@@ -1,0 +1,51 @@
+//! Feature-extraction benchmarks, including the family ablation
+//! (lexical / +layout / full) called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use synthattr_bench::sample_sources;
+use synthattr_features::{FeatureConfig, FeatureExtractor};
+
+fn bench_features(c: &mut Criterion) {
+    let sources = sample_sources(32);
+    let bytes: usize = sources.iter().map(String::len).sum();
+
+    let mut group = c.benchmark_group("features");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(bytes as u64));
+
+    for (name, cfg) in [
+        ("lexical_only", FeatureConfig::lexical_only()),
+        ("without_syntactic", FeatureConfig::without_syntactic()),
+        ("full", FeatureConfig::default()),
+    ] {
+        let extractor = FeatureExtractor::new(cfg);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for s in &sources {
+                    std::hint::black_box(extractor.extract(s).unwrap());
+                }
+            })
+        });
+    }
+
+    // Pre-parsed path (what the pipelines actually use).
+    let extractor = FeatureExtractor::new(FeatureConfig::default());
+    let parsed: Vec<_> = sources
+        .iter()
+        .map(|s| (s.as_str(), synthattr_lang::parse(s).unwrap()))
+        .collect();
+    group.bench_function("full_preparsed", |b| {
+        b.iter(|| {
+            for (src, unit) in &parsed {
+                std::hint::black_box(extractor.extract_parsed(src, unit));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Random-forest benchmarks, including the forest-size ablation
+//! called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synthattr_ml::dataset::Dataset;
+use synthattr_ml::forest::{ForestConfig, RandomForest};
+use synthattr_ml::select::select_top_k;
+use synthattr_util::Pcg64;
+
+/// A synthetic multi-class dataset shaped like the attribution task
+/// (many classes, wide features).
+fn synthetic(n_classes: usize, per_class: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = Pcg64::new(seed);
+    let mut ds = Dataset::new(n_classes);
+    // Per-class centroids.
+    let centroids: Vec<Vec<f64>> = (0..n_classes)
+        .map(|_| (0..dim).map(|_| rng.next_f64() * 4.0).collect())
+        .collect();
+    for (label, centroid) in centroids.iter().enumerate() {
+        for _ in 0..per_class {
+            let row = centroid
+                .iter()
+                .map(|&c| c + rng.next_gaussian(0.0, 0.6))
+                .collect();
+            ds.push(row, label);
+        }
+    }
+    ds
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let train = synthetic(24, 12, 150, 1);
+    let test = synthetic(24, 4, 150, 2);
+
+    let mut group = c.benchmark_group("forest");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(6));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    for n_trees in [25usize, 50, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("train", n_trees),
+            &n_trees,
+            |b, &n_trees| {
+                let cfg = ForestConfig {
+                    n_trees,
+                    ..ForestConfig::default()
+                };
+                b.iter(|| {
+                    std::hint::black_box(RandomForest::fit(&train, &cfg, &mut Pcg64::new(7)))
+                })
+            },
+        );
+    }
+
+    let forest = RandomForest::fit(&train, &ForestConfig::default(), &mut Pcg64::new(7));
+    group.bench_function("predict_batch", |b| {
+        b.iter(|| std::hint::black_box(forest.predict_all(&test)))
+    });
+
+    group.bench_function("info_gain_selection", |b| {
+        b.iter(|| std::hint::black_box(select_top_k(&train, 50)))
+    });
+
+    // Feature-selection ablation: training on the top-50 projection.
+    let projected = train.project(&select_top_k(&train, 50));
+    group.bench_function("train_selected_features", |b| {
+        let cfg = ForestConfig::default();
+        b.iter(|| std::hint::black_box(RandomForest::fit(&projected, &cfg, &mut Pcg64::new(7))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Shared fixtures for the benchmark harness and the `repro` binary.
+//!
+//! The `repro` binary regenerates every table and figure of the paper
+//! (see `repro --help`); the criterion benches under `benches/` measure
+//! the substrates (frontend, features, forest, transformation) and the
+//! end-to-end table pipelines at smoke scale.
+
+use synthattr_core::config::ExperimentConfig;
+use synthattr_gen::challenges::ChallengeId;
+use synthattr_gen::style::AuthorStyle;
+use synthattr_util::Pcg64;
+
+/// The three paper years.
+pub const YEARS: [u32; 3] = [2017, 2018, 2019];
+
+/// A deterministic set of generated C++ sources for micro-benchmarks.
+pub fn sample_sources(n: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    let challenges = ChallengeId::all();
+    for i in 0..n {
+        let mut rng = Pcg64::seed_from(0xBE7C, &["bench-src", &i.to_string()]);
+        let style = AuthorStyle::sample(&mut rng);
+        let ch = challenges[i % challenges.len()];
+        out.push(ch.render_solution(&style, rng.fork(&["file"])));
+    }
+    out
+}
+
+/// The benchmark-scale experiment configuration (between smoke and
+/// paper scale; large enough to be meaningful, small enough for
+/// criterion iteration).
+pub fn bench_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.scale.authors = 32;
+    cfg.scale.challenges = 4;
+    cfg.scale.transforms = 10;
+    cfg.scale.n_trees = 40;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_sources_parse() {
+        for s in sample_sources(8) {
+            synthattr_lang::parse(&s).unwrap();
+        }
+    }
+
+    #[test]
+    fn bench_config_is_mid_scale() {
+        let b = bench_config();
+        let s = ExperimentConfig::smoke();
+        let p = ExperimentConfig::paper();
+        assert!(b.scale.authors >= s.scale.authors);
+        assert!(b.scale.authors < p.scale.authors);
+    }
+}

@@ -1,0 +1,95 @@
+//! Experiment configuration and scale presets.
+
+use synthattr_features::FeatureConfig;
+use synthattr_ml::forest::ForestConfig;
+
+/// Dataset and model sizes for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Human authors per year (paper: 204).
+    pub authors: usize,
+    /// Challenges per year (paper: 8).
+    pub challenges: usize,
+    /// Transformations per setting per challenge (paper: 50).
+    pub transforms: usize,
+    /// Trees in every random forest (paper-scale runs use 100).
+    pub n_trees: usize,
+}
+
+/// A complete experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Root seed; every stream in the run derives from it.
+    pub seed: u64,
+    /// Dataset/model sizes.
+    pub scale: Scale,
+    /// Feature families and hashing.
+    pub features: FeatureConfig,
+}
+
+impl ExperimentConfig {
+    /// The paper-scale configuration (204 authors × 8 challenges,
+    /// 50 transformations per setting, 100-tree forests).
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            seed: 0x5EED_2025,
+            scale: Scale {
+                authors: 204,
+                challenges: 8,
+                transforms: 50,
+                n_trees: 100,
+            },
+            features: FeatureConfig::default(),
+        }
+    }
+
+    /// A reduced configuration exercising the same code paths in
+    /// seconds (used by tests, examples, and doc runs).
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            seed: 0x5EED_2025,
+            scale: Scale {
+                authors: 24,
+                challenges: 4,
+                transforms: 8,
+                n_trees: 30,
+            },
+            features: FeatureConfig::default(),
+        }
+    }
+
+    /// The forest hyperparameters implied by the scale.
+    pub fn forest(&self) -> ForestConfig {
+        ForestConfig {
+            n_trees: self.scale.n_trees,
+            ..ForestConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_tables() {
+        let c = ExperimentConfig::paper();
+        assert_eq!(c.scale.authors, 204);
+        assert_eq!(c.scale.challenges, 8);
+        assert_eq!(c.scale.transforms, 50);
+        // 204 authors * 8 challenges = 1632 (Table I); 4 settings * 50
+        // * 8 challenges = 1600 (Table II).
+        assert_eq!(c.scale.authors * c.scale.challenges, 1632);
+        assert_eq!(4 * c.scale.transforms * c.scale.challenges, 1600);
+    }
+
+    #[test]
+    fn smoke_is_smaller_but_same_shape() {
+        let p = ExperimentConfig::paper();
+        let s = ExperimentConfig::smoke();
+        assert!(s.scale.authors < p.scale.authors);
+        assert!(s.scale.transforms < p.scale.transforms);
+        assert_eq!(s.seed, p.seed);
+        assert_eq!(s.forest().n_trees, 30);
+    }
+}

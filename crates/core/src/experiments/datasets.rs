@@ -1,0 +1,235 @@
+//! Tables I–III: dataset composition summaries.
+//!
+//! These tables describe corpora rather than results; the drivers here
+//! regenerate them from actual pipeline state so that any size bug in
+//! the generator or transformation drivers shows up as a table
+//! mismatch rather than passing silently.
+
+use crate::pipeline::{Setting, YearPipeline};
+use synthattr_util::Table;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableIRow {
+    /// Year label.
+    pub year: u32,
+    /// Distinct authors.
+    pub authors: usize,
+    /// Challenge count.
+    pub challenges: usize,
+    /// Total samples.
+    pub total: usize,
+}
+
+/// Builds Table I (non-ChatGPT training corpora) from pipelines.
+pub fn table_i(pipelines: &[YearPipeline]) -> Vec<TableIRow> {
+    pipelines
+        .iter()
+        .map(|p| TableIRow {
+            year: p.year,
+            authors: p.n_authors(),
+            challenges: p.n_challenges(),
+            total: p.corpus.len(),
+        })
+        .collect()
+}
+
+/// Renders Table I in the paper's layout.
+pub fn render_table_i(rows: &[TableIRow]) -> Table {
+    let mut t = Table::new(vec!["Dataset", "Authors", "Challenges", "Language", "Total"])
+        .with_title("Table I: Non-ChatGPT code datasets");
+    for r in rows {
+        t.row(vec![
+            format!("GCJ {}", r.year),
+            r.authors.to_string(),
+            r.challenges.to_string(),
+            "C++".into(),
+            r.total.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableIIRow {
+    /// Year label.
+    pub year: u32,
+    /// Samples per setting per challenge, in `+N, +C, ±N, ±C` order.
+    pub per_setting: [usize; 4],
+    /// Total transformed samples for the year.
+    pub total: usize,
+}
+
+/// Builds Table II (transformed corpora) from pipelines.
+pub fn table_ii(pipelines: &[YearPipeline]) -> Vec<TableIIRow> {
+    pipelines
+        .iter()
+        .map(|p| {
+            let mut per_setting = [0usize; 4];
+            for s in Setting::all() {
+                // Count per challenge (constant across challenges).
+                per_setting[s.index()] = p.labels_for(0, s).len();
+            }
+            TableIIRow {
+                year: p.year,
+                per_setting,
+                total: p.transformed.len(),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table II in the paper's layout.
+pub fn render_table_ii(rows: &[TableIIRow]) -> Table {
+    let mut t = Table::new(vec!["Dataset", "+N", "+C", "±N", "±C", "Total"])
+        .with_title("Table II: ChatGPT-transformed datasets (per challenge)");
+    for r in rows {
+        let per_challenge: usize = r.per_setting.iter().sum();
+        t.row(vec![
+            format!("GCJ {}", r.year),
+            r.per_setting[0].to_string(),
+            r.per_setting[1].to_string(),
+            r.per_setting[2].to_string(),
+            r.per_setting[3].to_string(),
+            format!("{} ({}x{})", r.total, per_challenge, r.total / per_challenge.max(1)),
+        ]);
+    }
+    t
+}
+
+/// One row of Table III.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableIIIRow {
+    /// Dataset label (year or "Combined").
+    pub name: String,
+    /// Challenges used.
+    pub challenges: usize,
+    /// Codes per challenge (both classes together).
+    pub codes_per_challenge: usize,
+    /// Total samples.
+    pub total: usize,
+}
+
+/// Builds Table III (binary-classification corpora).
+///
+/// The combined dataset keeps the per-class balance by reducing each
+/// year to 5 challenges, exactly as the paper does.
+pub fn table_iii(pipelines: &[YearPipeline]) -> Vec<TableIIIRow> {
+    let mut rows: Vec<TableIIIRow> = pipelines
+        .iter()
+        .map(|p| {
+            let per_challenge_gpt = p.transformed.len() / p.n_challenges();
+            TableIIIRow {
+                name: format!("GCJ {}", p.year),
+                challenges: p.n_challenges(),
+                codes_per_challenge: per_challenge_gpt,
+                total: 2 * p.transformed.len(),
+            }
+        })
+        .collect();
+    if pipelines.len() > 1 {
+        let combined_challenges: usize = pipelines
+            .iter()
+            .map(|p| p.n_challenges().min(5))
+            .sum();
+        let per = rows[0].codes_per_challenge;
+        rows.push(TableIIIRow {
+            name: "Combined".into(),
+            challenges: combined_challenges,
+            codes_per_challenge: per,
+            total: combined_challenges * per * 2,
+        });
+    }
+    rows
+}
+
+/// Renders Table III in the paper's layout.
+pub fn render_table_iii(rows: &[TableIIIRow]) -> Table {
+    let mut t = Table::new(vec![
+        "Dataset",
+        "# of challenges",
+        "# of codes",
+        "Language",
+        "Total",
+    ])
+    .with_title("Table III: Binary classification datasets");
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            r.challenges.to_string(),
+            r.codes_per_challenge.to_string(),
+            "C++".into(),
+            r.total.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    fn pipelines() -> Vec<YearPipeline> {
+        vec![
+            YearPipeline::build(2017, &ExperimentConfig::smoke()),
+            YearPipeline::build(2018, &ExperimentConfig::smoke()),
+        ]
+    }
+
+    #[test]
+    fn table_i_shape() {
+        let ps = pipelines();
+        let rows = table_i(&ps);
+        assert_eq!(rows.len(), 2);
+        let cfg = ExperimentConfig::smoke().scale;
+        for r in &rows {
+            assert_eq!(r.authors, cfg.authors);
+            assert_eq!(r.total, cfg.authors * cfg.challenges);
+        }
+        let rendered = render_table_i(&rows).to_string();
+        assert!(rendered.contains("GCJ 2017"));
+    }
+
+    #[test]
+    fn table_ii_settings_are_equal_sized() {
+        let ps = pipelines();
+        let rows = table_ii(&ps);
+        let cfg = ExperimentConfig::smoke().scale;
+        for r in &rows {
+            assert_eq!(r.per_setting, [cfg.transforms; 4]);
+            assert_eq!(r.total, 4 * cfg.transforms * cfg.challenges);
+        }
+        let rendered = render_table_ii(&rows).to_string();
+        assert!(rendered.contains("±N"));
+    }
+
+    #[test]
+    fn table_iii_combined_balances() {
+        let ps = pipelines();
+        let rows = table_iii(&ps);
+        assert_eq!(rows.len(), 3);
+        let combined = rows.last().unwrap();
+        assert_eq!(combined.name, "Combined");
+        // Combined total = challenges * per-challenge * 2 classes.
+        assert_eq!(
+            combined.total,
+            combined.challenges * combined.codes_per_challenge * 2
+        );
+        let rendered = render_table_iii(&rows).to_string();
+        assert!(rendered.contains("Combined"));
+    }
+
+    #[test]
+    fn paper_scale_arithmetic_matches_the_paper() {
+        // Pure arithmetic check against the published numbers, without
+        // building paper-scale pipelines.
+        let cfg = ExperimentConfig::paper().scale;
+        assert_eq!(cfg.authors * cfg.challenges, 1632); // Table I total
+        assert_eq!(4 * cfg.transforms, 200); // Table II per challenge
+        assert_eq!(4 * cfg.transforms * cfg.challenges, 1600); // Table II total
+        assert_eq!(2 * 1600, 3200); // Table III per year
+        assert_eq!(5 * 3 * 200 * 2, 6000); // Table III combined
+    }
+}

@@ -1,0 +1,141 @@
+//! Tables V–VII: the diversity of styles.
+//!
+//! Histogram of the oracle's predicted labels over all transformed
+//! samples of a year, reported as `A<author>` with occurrence counts
+//! and percentages, filtering labels with fewer than two occurrences
+//! (the paper's convention).
+
+use crate::pipeline::YearPipeline;
+use synthattr_util::stats::ranked_histogram;
+use synthattr_util::Table;
+
+/// One diversity histogram (Table V, VI, or VII depending on year).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diversity {
+    /// The year.
+    pub year: u32,
+    /// `(label, occurrences, percentage)` sorted by descending count.
+    pub rows: Vec<(String, usize, f64)>,
+    /// Labels filtered out for having fewer than two occurrences.
+    pub filtered: usize,
+    /// Total samples histogrammed.
+    pub total: usize,
+}
+
+impl Diversity {
+    /// Share of the most common label (the paper highlights 77.1% for
+    /// GCJ 2017).
+    pub fn top_share(&self) -> f64 {
+        self.rows.first().map(|r| r.2 / 100.0).unwrap_or(0.0)
+    }
+
+    /// Combined share of the top `k` labels.
+    pub fn top_k_share(&self, k: usize) -> f64 {
+        self.rows.iter().take(k).map(|r| r.2 / 100.0).sum()
+    }
+}
+
+/// Runs the diversity analysis for one year.
+pub fn run(p: &YearPipeline) -> Diversity {
+    let labels = p.all_labels();
+    let total = labels.len();
+    let hist = ranked_histogram(&labels);
+    let filtered = hist.iter().filter(|(_, c)| *c < 2).count();
+    let rows = hist
+        .into_iter()
+        .filter(|(_, c)| *c >= 2)
+        .map(|(label, count)| {
+            (
+                format!("A{label}"),
+                count,
+                100.0 * count as f64 / total.max(1) as f64,
+            )
+        })
+        .collect();
+    Diversity {
+        year: p.year,
+        rows,
+        filtered,
+        total,
+    }
+}
+
+/// Renders the histogram in the paper's layout.
+pub fn render(d: &Diversity) -> Table {
+    let table_no = match d.year {
+        2017 => "V",
+        2018 => "VI",
+        2019 => "VII",
+        _ => "V?",
+    };
+    let mut t = Table::new(vec!["Label", "Occurrences", "Percentage"]).with_title(format!(
+        "Table {}: the diversity of styles - GCJ {} (filtered {} singleton labels)",
+        table_no, d.year, d.filtered
+    ));
+    for (label, count, pct) in &d.rows {
+        t.row(vec![
+            label.clone(),
+            count.to_string(),
+            format!("{pct:.1}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn histogram_is_sorted_and_consistent() {
+        let p = YearPipeline::build(2019, &ExperimentConfig::smoke());
+        let d = run(&p);
+        assert_eq!(d.total, p.transformed.len());
+        // Sorted by descending count.
+        for w in d.rows.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Percentages are consistent with counts.
+        for (_, count, pct) in &d.rows {
+            let expect = 100.0 * *count as f64 / d.total as f64;
+            assert!((pct - expect).abs() < 1e-9);
+        }
+        // All rows kept have >= 2 occurrences.
+        assert!(d.rows.iter().all(|r| r.1 >= 2));
+    }
+
+    #[test]
+    fn shares_are_sane() {
+        let p = YearPipeline::build(2017, &ExperimentConfig::smoke());
+        let d = run(&p);
+        assert!(d.top_share() > 0.0 && d.top_share() <= 1.0);
+        assert!(d.top_k_share(3) >= d.top_share());
+        assert!(d.top_k_share(100) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn skew_follows_year_calibration() {
+        // 2017's pool is far more skewed than 2018's; the oracle-label
+        // histogram should reflect that ordering.
+        let p17 = YearPipeline::build(2017, &ExperimentConfig::smoke());
+        let p18 = YearPipeline::build(2018, &ExperimentConfig::smoke());
+        let d17 = run(&p17);
+        let d18 = run(&p18);
+        assert!(
+            d17.top_share() > d18.top_share(),
+            "2017 top share {:.2} should exceed 2018 {:.2}",
+            d17.top_share(),
+            d18.top_share()
+        );
+    }
+
+    #[test]
+    fn render_uses_paper_table_numbers() {
+        let p = YearPipeline::build(2018, &ExperimentConfig::smoke());
+        let d = run(&p);
+        let text = render(&d).to_string();
+        assert!(text.contains("Table VI"));
+        assert!(text.contains("GCJ 2018"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Figures 1–5: pipeline schematic, NCT/CT topology, and the
+//! original/transformed code listings.
+
+use crate::pipeline::{Setting, YearPipeline};
+use synthattr_gen::challenges::ChallengeId;
+use synthattr_gen::naming::{Case, NamingStyle, Verbosity};
+use synthattr_gen::style::{
+    AuthorStyle, CommentStyle, IoStyle, LoopStyle, PrologueStyle, StructureStyle,
+};
+use synthattr_gpt::chain::{run_ct, run_nct};
+use synthattr_gpt::pool::YearPool;
+use synthattr_gpt::transform::Transformer;
+use synthattr_gen::corpus::Origin;
+use synthattr_lang::render::{BraceStyle, Indent, RenderStyle};
+use synthattr_util::Pcg64;
+
+/// Figure 1: a textual trace of the transformation/attribution
+/// pipeline, with the actual sample counts of `p`.
+pub fn figure1(p: &YearPipeline) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 1 - ChatGPT code transformation pipeline (GCJ {})\n",
+        p.year
+    ));
+    out.push_str(&format!(
+        "  (1) seeds: {} ChatGPT-generated + {} non-ChatGPT (author A{}) codes\n",
+        p.n_challenges(),
+        p.n_challenges(),
+        p.seed_author
+    ));
+    out.push_str(&format!(
+        "  (2) transform: {} samples across {{+N,+C,±N,±C}} x {} challenges\n",
+        p.transformed.len(),
+        p.n_challenges()
+    ));
+    out.push_str(&format!(
+        "  (3) oracle: {}-author model assigns styles; {} distinct styles observed\n",
+        p.n_authors(),
+        {
+            let mut labels = p.all_labels();
+            labels.sort_unstable();
+            labels.dedup();
+            labels.len()
+        }
+    ));
+    out.push_str("  (4) feature-based grouping -> 205-class model -> Tables VIII/IX\n");
+    out
+}
+
+/// Figure 2: NCT vs CT chain topology, shown by the latent style index
+/// chosen at every step of short real runs.
+pub fn figure2(year: u32, seed: u64, steps: usize) -> String {
+    let pool = YearPool::calibrated(year, seed);
+    let transformer = Transformer::new(&pool);
+    let style = paper_style();
+    let seed_code = ChallengeId::HorseRace
+        .render_solution(&style, Pcg64::seed_from(seed, &["fig2-seed"]));
+    let mut rng = Pcg64::seed_from(seed, &["fig2-nct"]);
+    let nct = run_nct(&transformer, &seed_code, steps, Origin::ChatGpt, &mut rng);
+    let mut rng = Pcg64::seed_from(seed, &["fig2-ct"]);
+    let ct = run_ct(&transformer, &seed_code, steps, Origin::ChatGpt, &mut rng);
+
+    let mut out = String::new();
+    out.push_str("Figure 2 - Non-chaining (NCT) vs chaining (CT)\n");
+    out.push_str("  NCT: CGc0 -> GPT -> CGc_i   (independent)\n   ");
+    for s in &nct {
+        out.push_str(&format!(" CGc0->s{}", s.pool_index));
+    }
+    out.push_str("\n  CT:  CGc_i -> GPT -> CGc_{i+1} (chained)\n   ");
+    out.push_str(" CGc0");
+    for s in &ct {
+        out.push_str(&format!("->s{}", s.pool_index));
+    }
+    out.push('\n');
+    out
+}
+
+/// The fixed style used to render Figure 3 (camelCase `nCase`-style
+/// medium names, 4-space indents, same-line braces, merged `cin`
+/// reads — the look of the paper's listing).
+pub fn paper_style() -> AuthorStyle {
+    AuthorStyle {
+        render: RenderStyle {
+            indent: Indent::Spaces(4),
+            brace: BraceStyle::SameLine,
+            space_around_binary: true,
+            space_around_assign: true,
+            space_after_comma: true,
+            space_after_keyword: true,
+            space_in_template_close: false,
+            braceless_single_stmt: false,
+            collapse_else_if: true,
+            blank_lines_between_fns: 0,
+            blank_line_after_prologue: false,
+        },
+        naming: NamingStyle {
+            case_style: Case::Camel,
+            verbosity: Verbosity::Medium,
+        },
+        io: IoStyle {
+            stdio: false,
+            merge_reads: true,
+            endl: false,
+        },
+        loops: LoopStyle {
+            while_bias: 0.0,
+            post_increment: false,
+            one_based_cases: true,
+        },
+        structure: StructureStyle {
+            helper_bias: 0.0,
+            ternary: false,
+            compound_assign: false,
+            static_cast: false,
+            merge_decls: true,
+        },
+        comments: CommentStyle {
+            density: 0.0,
+            block: false,
+        },
+        prologue: PrologueStyle {
+            bits_stdcpp: false,
+            long_long_alias: 0,
+            using_namespace: true,
+        },
+    }
+}
+
+/// Figure 3: the original horse-race program.
+pub fn figure3(seed: u64) -> String {
+    ChallengeId::HorseRace.render_solution(&paper_style(), Pcg64::seed_from(seed, &["fig3"]))
+}
+
+/// Figure 4: two independent NCT transformations of Figure 3.
+pub fn figure4(year: u32, seed: u64) -> [String; 2] {
+    let pool = YearPool::calibrated(year, seed);
+    let transformer = Transformer::new(&pool);
+    let original = figure3(seed);
+    let mut rng = Pcg64::seed_from(seed, &["fig4"]);
+    let out = run_nct(&transformer, &original, 2, Origin::ChatGpt, &mut rng);
+    [out[0].source.clone(), out[1].source.clone()]
+}
+
+/// Figure 5: two successive CT transformations of Figure 3.
+pub fn figure5(year: u32, seed: u64) -> [String; 2] {
+    let pool = YearPool::calibrated(year, seed);
+    let transformer = Transformer::new(&pool);
+    let original = figure3(seed);
+    let mut rng = Pcg64::seed_from(seed, &["fig5"]);
+    let out = run_ct(&transformer, &original, 2, Origin::ChatGpt, &mut rng);
+    [out[0].source.clone(), out[1].source.clone()]
+}
+
+/// Which settings the figure pipeline exercises (compile-time sanity
+/// for the schematic).
+pub fn figure2_settings() -> [Setting; 2] {
+    [Setting::GptNct, Setting::GptCt]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use synthattr_lang::parse;
+
+    #[test]
+    fn figure3_looks_like_the_paper() {
+        let src = figure3(7);
+        assert!(src.contains("#include <iostream>"), "{src}");
+        assert!(src.contains("using namespace std;"), "{src}");
+        assert!(src.contains("cin >>"), "{src}");
+        assert!(src.contains("Case #"), "{src}");
+        // Camel-cased medium names, one-based case loop.
+        assert!(src.contains("= 1;"), "{src}");
+        parse(&src).unwrap();
+    }
+
+    #[test]
+    fn figures_4_and_5_transform_and_parse() {
+        for f in figure4(2018, 7).iter().chain(figure5(2018, 7).iter()) {
+            parse(f).unwrap_or_else(|e| panic!("{e}\n{f}"));
+            assert!(f.contains("Case #"));
+        }
+        // CT step 2 derives from step 1, not from the original.
+        let [ct1, ct2] = figure5(2018, 7);
+        assert_ne!(ct1, ct2);
+    }
+
+    #[test]
+    fn figure1_and_2_describe_the_runs() {
+        let p = YearPipeline::build(2017, &ExperimentConfig::smoke());
+        let f1 = figure1(&p);
+        assert!(f1.contains("Figure 1"));
+        assert!(f1.contains(&format!("{}", p.transformed.len())));
+        let f2 = figure2(2017, 3, 4);
+        assert!(f2.contains("NCT"));
+        assert!(f2.contains("CT"));
+        assert_eq!(figure2_settings()[0], Setting::GptNct);
+    }
+}

@@ -1,0 +1,8 @@
+//! One driver per paper table/figure. See the crate docs for the map.
+
+pub mod attribution;
+pub mod binary;
+pub mod datasets;
+pub mod diversity;
+pub mod figures;
+pub mod styles;

@@ -1,0 +1,133 @@
+//! Table IV: the number of styles.
+//!
+//! "Number of styles" = count of distinct predicted labels the
+//! pre-trained non-ChatGPT oracle assigns to the 50 transformed samples
+//! of each `(challenge, setting)` cell.
+
+use crate::pipeline::{Setting, YearPipeline};
+use synthattr_util::stats::distinct_count;
+use synthattr_util::Table;
+
+/// Table IV content for one year.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StyleCounts {
+    /// The year.
+    pub year: u32,
+    /// Distinct-style counts per challenge, `[+N, +C, ±N, ±C]`.
+    pub per_challenge: Vec<[usize; 4]>,
+    /// Column averages in the same order.
+    pub averages: [f64; 4],
+    /// The largest cell in the table (the paper reports max 12).
+    pub max_styles: usize,
+}
+
+/// Runs the Table IV analysis for one year pipeline.
+pub fn run(p: &YearPipeline) -> StyleCounts {
+    let mut per_challenge = Vec::with_capacity(p.n_challenges());
+    for ci in 0..p.n_challenges() {
+        let mut row = [0usize; 4];
+        for setting in Setting::all() {
+            let labels = p.labels_for(ci, setting);
+            row[setting.index()] = distinct_count(&labels);
+        }
+        per_challenge.push(row);
+    }
+    let n = per_challenge.len().max(1) as f64;
+    let mut averages = [0.0f64; 4];
+    for row in &per_challenge {
+        for (a, &v) in averages.iter_mut().zip(row) {
+            *a += v as f64 / n;
+        }
+    }
+    let max_styles = per_challenge
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .max()
+        .unwrap_or(0);
+    StyleCounts {
+        year: p.year,
+        per_challenge,
+        averages,
+        max_styles,
+    }
+}
+
+/// Renders one or more years side by side in the paper's layout.
+pub fn render(results: &[StyleCounts]) -> Table {
+    let mut header = vec!["C".to_string()];
+    for r in results {
+        for s in Setting::all() {
+            header.push(format!("{} {}", r.year, s.notation()));
+        }
+    }
+    let mut t = Table::new(header).with_title("Table IV: number of styles per challenge");
+    let n_challenges = results.iter().map(|r| r.per_challenge.len()).max().unwrap_or(0);
+    for ci in 0..n_challenges {
+        let mut row = vec![format!("C{}", ci + 1)];
+        for r in results {
+            for s in Setting::all() {
+                row.push(
+                    r.per_challenge
+                        .get(ci)
+                        .map(|x| x[s.index()].to_string())
+                        .unwrap_or_default(),
+                );
+            }
+        }
+        t.row(row);
+    }
+    let mut avg_row = vec!["A".to_string()];
+    for r in results {
+        for s in Setting::all() {
+            avg_row.push(format!("{:.1}", r.averages[s.index()]));
+        }
+    }
+    t.row(avg_row);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn style_counts_are_bounded_and_positive() {
+        let p = YearPipeline::build(2018, &ExperimentConfig::smoke());
+        let r = run(&p);
+        assert_eq!(r.per_challenge.len(), p.n_challenges());
+        for row in &r.per_challenge {
+            for &v in row {
+                assert!(v >= 1, "each cell has at least one style");
+                assert!(v <= p.config.scale.transforms);
+            }
+        }
+        assert!(r.max_styles >= 1);
+        for a in r.averages {
+            assert!(a >= 1.0);
+        }
+    }
+
+    #[test]
+    fn chaining_averages_fewer_styles_than_nct() {
+        // The paper's headline Table IV shape: +N > +C on average.
+        let p = YearPipeline::build(2018, &ExperimentConfig::smoke());
+        let r = run(&p);
+        assert!(
+            r.averages[Setting::GptNct.index()] >= r.averages[Setting::GptCt.index()],
+            "+N {} should be >= +C {}",
+            r.averages[0],
+            r.averages[1]
+        );
+    }
+
+    #[test]
+    fn render_includes_all_cells() {
+        let p = YearPipeline::build(2017, &ExperimentConfig::smoke());
+        let r = run(&p);
+        let text = render(&[r]).to_string();
+        assert!(text.contains("2017 +N"));
+        assert!(text.contains("C1"));
+        assert!(text.contains("| A"));
+    }
+}

@@ -1,0 +1,179 @@
+//! The authorship attribution model: feature extraction + random
+//! forest, as in Caliskan-Islam et al. (the paper's baseline method).
+
+use synthattr_features::{FeatureConfig, FeatureExtractor};
+use synthattr_lang::ParseError;
+use synthattr_ml::dataset::Dataset;
+use synthattr_ml::forest::{ForestConfig, RandomForest};
+use synthattr_util::Pcg64;
+
+/// A trained source-code authorship model.
+///
+/// # Example
+///
+/// ```
+/// use synthattr_core::model::AuthorshipModel;
+/// use synthattr_features::FeatureConfig;
+/// use synthattr_ml::forest::ForestConfig;
+/// use synthattr_util::Pcg64;
+///
+/// let a = "int main(){int x=0;return x;}";
+/// let b = "int main()\n{\n\tint value = 0;\n\treturn value;\n}";
+/// let samples = vec![(a, 0), (b, 1), (a, 0), (b, 1)];
+/// let model = AuthorshipModel::train(
+///     &samples, 2, FeatureConfig::default(), ForestConfig::fast(), &mut Pcg64::new(1),
+/// )?;
+/// assert_eq!(model.predict(a)?, 0);
+/// # Ok::<(), synthattr_lang::ParseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AuthorshipModel {
+    extractor: FeatureExtractor,
+    forest: RandomForest,
+}
+
+impl AuthorshipModel {
+    /// Trains on `(source, label)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ParseError`] hit while featurizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn train(
+        samples: &[(&str, usize)],
+        n_classes: usize,
+        features: FeatureConfig,
+        forest: ForestConfig,
+        rng: &mut Pcg64,
+    ) -> Result<Self, ParseError> {
+        let extractor = FeatureExtractor::new(features);
+        let mut ds = Dataset::new(n_classes);
+        for (source, label) in samples {
+            ds.push(extractor.extract(source)?, *label);
+        }
+        Ok(Self::from_features(extractor, &ds, &forest, rng))
+    }
+
+    /// Trains on an already-featurized dataset (the pipelines cache
+    /// feature vectors and use this to avoid re-parsing).
+    pub fn from_features(
+        extractor: FeatureExtractor,
+        data: &Dataset,
+        forest: &ForestConfig,
+        rng: &mut Pcg64,
+    ) -> Self {
+        AuthorshipModel {
+            extractor,
+            forest: RandomForest::fit(data, forest, rng),
+        }
+    }
+
+    /// The feature extractor (shared so callers can featurize once).
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// The underlying forest.
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
+    /// Predicts the label of raw source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] when the source is outside the subset.
+    pub fn predict(&self, source: &str) -> Result<usize, ParseError> {
+        Ok(self.forest.predict(&self.extractor.extract(source)?))
+    }
+
+    /// Predicts from a pre-extracted feature vector.
+    pub fn predict_features(&self, features: &[f64]) -> usize {
+        self.forest.predict(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthattr_gen::challenges::ChallengeId;
+    use synthattr_gen::corpus::solution_in_style;
+    use synthattr_gen::style::AuthorStyle;
+
+    /// Authors with sampled styles, two solutions each, must be
+    /// re-identifiable from a held-out third solution.
+    #[test]
+    fn attributes_synthetic_authors() {
+        let n_authors = 6;
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        let styles: Vec<AuthorStyle> = (0..n_authors)
+            .map(|a| AuthorStyle::for_author(31, 2017, a))
+            .collect();
+        for (a, style) in styles.iter().enumerate() {
+            for (ci, ch) in [ChallengeId::SumSeries, ChallengeId::Gcd, ChallengeId::Fibonacci]
+                .iter()
+                .enumerate()
+            {
+                let src = solution_in_style(*ch, style, 5, &["m", &a.to_string(), &ci.to_string()]);
+                if ci < 2 {
+                    train.push((src, a));
+                } else {
+                    test.push((src, a));
+                }
+            }
+        }
+        let train_refs: Vec<(&str, usize)> =
+            train.iter().map(|(s, a)| (s.as_str(), *a)).collect();
+        let model = AuthorshipModel::train(
+            &train_refs,
+            n_authors,
+            FeatureConfig::default(),
+            ForestConfig::fast(),
+            &mut Pcg64::new(2),
+        )
+        .unwrap();
+        let correct = test
+            .iter()
+            .filter(|(s, a)| model.predict(s).unwrap() == *a)
+            .count();
+        assert!(
+            correct * 2 >= test.len(),
+            "style attribution should beat chance by far: {correct}/{}",
+            test.len()
+        );
+    }
+
+    #[test]
+    fn predict_features_matches_predict() {
+        let a = "int main(){int x=0;return x;}";
+        let b = "int main()\n{\n\tint value = 0;\n\treturn value;\n}";
+        let samples = vec![(a, 0), (b, 1), (a, 0), (b, 1)];
+        let model = AuthorshipModel::train(
+            &samples,
+            2,
+            FeatureConfig::default(),
+            ForestConfig::fast(),
+            &mut Pcg64::new(3),
+        )
+        .unwrap();
+        let f = model.extractor().extract(a).unwrap();
+        assert_eq!(model.predict(a).unwrap(), model.predict_features(&f));
+    }
+
+    #[test]
+    fn train_propagates_parse_errors() {
+        let samples = vec![("int main() {", 0)];
+        let err = AuthorshipModel::train(
+            &samples,
+            1,
+            FeatureConfig::default(),
+            ForestConfig::fast(),
+            &mut Pcg64::new(1),
+        );
+        assert!(err.is_err());
+    }
+}

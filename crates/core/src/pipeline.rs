@@ -1,0 +1,388 @@
+//! The shared per-year experiment pipeline (the paper's Figure 1).
+//!
+//! Building a [`YearPipeline`] performs, in order:
+//!
+//! 1. generate the year's human corpus (`authors × challenges`,
+//!    Table I);
+//! 2. train the **oracle**: the non-ChatGPT authorship model over all
+//!    human authors;
+//! 3. produce the seeds — one LLM-generated solution per challenge and
+//!    one human author's solutions — and run the four transformation
+//!    settings `+N`, `+C`, `±N`, `±C` (Table II);
+//! 4. featurize everything once and cache the oracle's predicted label
+//!    ("style") for every transformed sample.
+//!
+//! Every table driver in [`crate::experiments`] is a cheap analysis
+//! pass over this cached state.
+
+use crate::config::ExperimentConfig;
+use crate::model::AuthorshipModel;
+use synthattr_features::FeatureExtractor;
+use synthattr_gen::challenges::ChallengeId;
+use synthattr_gen::corpus::{generate_year, Origin, YearCorpus, YearSpec};
+use synthattr_gen::style::AuthorStyle;
+use synthattr_gpt::chain::{run_ct, run_nct, TransformedSample};
+use synthattr_gpt::pool::YearPool;
+use synthattr_gpt::transform::Transformer;
+use synthattr_ml::dataset::Dataset;
+use synthattr_util::Pcg64;
+
+/// The four transformation settings of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Setting {
+    /// ChatGPT-generated seed, non-chaining (`+N`).
+    GptNct,
+    /// ChatGPT-generated seed, chaining (`+C`).
+    GptCt,
+    /// Human-written seed, non-chaining (`±N`).
+    HumanNct,
+    /// Human-written seed, chaining (`±C`).
+    HumanCt,
+}
+
+impl Setting {
+    /// All settings in the paper's column order.
+    pub fn all() -> [Setting; 4] {
+        [
+            Setting::GptNct,
+            Setting::GptCt,
+            Setting::HumanNct,
+            Setting::HumanCt,
+        ]
+    }
+
+    /// The paper's column notation.
+    pub fn notation(self) -> &'static str {
+        match self {
+            Setting::GptNct => "+N",
+            Setting::GptCt => "+C",
+            Setting::HumanNct => "±N",
+            Setting::HumanCt => "±C",
+        }
+    }
+
+    /// Dense index in `[0, 4)`.
+    pub fn index(self) -> usize {
+        match self {
+            Setting::GptNct => 0,
+            Setting::GptCt => 1,
+            Setting::HumanNct => 2,
+            Setting::HumanCt => 3,
+        }
+    }
+
+    /// Whether the seed code is human-written.
+    pub fn human_seed(self) -> bool {
+        matches!(self, Setting::HumanNct | Setting::HumanCt)
+    }
+
+    /// Whether the protocol chains.
+    pub fn chaining(self) -> bool {
+        matches!(self, Setting::GptCt | Setting::HumanCt)
+    }
+}
+
+/// One transformed sample with cached analysis state.
+#[derive(Debug, Clone)]
+pub struct TransformedEntry {
+    /// The transformed sample itself.
+    pub sample: TransformedSample,
+    /// Challenge index within the year.
+    pub challenge: usize,
+    /// Transformation setting.
+    pub setting: Setting,
+    /// Cached stylometry vector.
+    pub features: Vec<f64>,
+    /// The oracle's predicted author label — the sample's "style".
+    pub oracle_label: usize,
+}
+
+/// Cached state for one experiment year.
+#[derive(Debug, Clone)]
+pub struct YearPipeline {
+    /// The year (2017/2018/2019).
+    pub year: u32,
+    /// Configuration used to build the pipeline.
+    pub config: ExperimentConfig,
+    /// The human corpus (Table I).
+    pub corpus: YearCorpus,
+    /// Feature vectors aligned with `corpus.samples`.
+    pub human_features: Vec<Vec<f64>>,
+    /// The non-ChatGPT oracle model (one class per human author).
+    pub oracle: AuthorshipModel,
+    /// All transformed samples with cached features and styles
+    /// (Table II).
+    pub transformed: Vec<TransformedEntry>,
+    /// The human author whose code seeded the `±` settings.
+    pub seed_author: usize,
+}
+
+impl YearPipeline {
+    /// Builds the full pipeline for `year`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `year` is not 2017/2018/2019, or on internal
+    /// generation bugs (generated code must always parse).
+    pub fn build(year: u32, config: &ExperimentConfig) -> Self {
+        let spec = year_spec(year, config);
+        let corpus = generate_year(&spec, config.seed);
+
+        let extractor = FeatureExtractor::new(config.features.clone());
+        let human_features: Vec<Vec<f64>> = corpus
+            .samples
+            .iter()
+            .map(|s| {
+                extractor
+                    .extract(&s.source)
+                    .unwrap_or_else(|e| panic!("generated sample must parse: {e}\n{}", s.source))
+            })
+            .collect();
+
+        // Oracle: one class per human author.
+        let mut human_ds = Dataset::new(spec.authors);
+        for (sample, features) in corpus.samples.iter().zip(&human_features) {
+            human_ds.push(features.clone(), sample.author);
+        }
+        let mut rng = Pcg64::seed_from(config.seed, &["oracle", &year.to_string()]);
+        let oracle =
+            AuthorshipModel::from_features(extractor, &human_ds, &config.forest(), &mut rng);
+
+        // Seeds and transformations.
+        let pool = YearPool::calibrated(year, config.seed);
+        let transformer = Transformer::new(&pool);
+        let seed_author = (year as usize * 7) % spec.authors;
+        let mut transformed = Vec::new();
+        for ci in 0..spec.challenges.len() {
+            let challenge = spec.challenges[ci];
+            // ChatGPT-generated seed: one solution in a weighted pool
+            // style (the "generation" role of the simulator).
+            let mut gen_rng = Pcg64::seed_from(
+                config.seed,
+                &["gpt-gen", &year.to_string(), &ci.to_string()],
+            );
+            let gen_style_idx = pool.sample_index(&mut gen_rng);
+            let gpt_seed = synthattr_gen::corpus::solution_in_style(
+                challenge,
+                pool.style(gen_style_idx),
+                config.seed,
+                &["gpt-gen-code", &year.to_string(), &ci.to_string()],
+            );
+            // Human seed: the chosen author's solution to this challenge.
+            let human_seed = corpus
+                .samples
+                .iter()
+                .find(|s| s.author == seed_author && s.challenge == ci)
+                .expect("corpus covers author x challenge")
+                .source
+                .clone();
+
+            for setting in Setting::all() {
+                let (seed_code, origin) = if setting.human_seed() {
+                    (&human_seed, Origin::Human)
+                } else {
+                    (&gpt_seed, Origin::ChatGpt)
+                };
+                let mut rng = Pcg64::seed_from(
+                    config.seed,
+                    &[
+                        "transform",
+                        &year.to_string(),
+                        &ci.to_string(),
+                        setting.notation(),
+                    ],
+                );
+                let samples = if setting.chaining() {
+                    run_ct(
+                        &transformer,
+                        seed_code,
+                        config.scale.transforms,
+                        origin,
+                        &mut rng,
+                    )
+                } else {
+                    run_nct(
+                        &transformer,
+                        seed_code,
+                        config.scale.transforms,
+                        origin,
+                        &mut rng,
+                    )
+                };
+                for sample in samples {
+                    let features = oracle
+                        .extractor()
+                        .extract(&sample.source)
+                        .unwrap_or_else(|e| {
+                            panic!("transformed sample must parse: {e}\n{}", sample.source)
+                        });
+                    let oracle_label = oracle.predict_features(&features);
+                    transformed.push(TransformedEntry {
+                        sample,
+                        challenge: ci,
+                        setting,
+                        features,
+                        oracle_label,
+                    });
+                }
+            }
+        }
+
+        YearPipeline {
+            year,
+            config: config.clone(),
+            corpus,
+            human_features,
+            oracle,
+            transformed,
+            seed_author,
+        }
+    }
+
+    /// Number of human authors.
+    pub fn n_authors(&self) -> usize {
+        self.corpus.spec.authors
+    }
+
+    /// Number of challenges.
+    pub fn n_challenges(&self) -> usize {
+        self.corpus.spec.challenges.len()
+    }
+
+    /// Challenge identities for this year.
+    pub fn challenges(&self) -> &[ChallengeId] {
+        &self.corpus.spec.challenges
+    }
+
+    /// The oracle labels of all transformed samples for one
+    /// `(challenge, setting)` cell.
+    pub fn labels_for(&self, challenge: usize, setting: Setting) -> Vec<usize> {
+        self.transformed
+            .iter()
+            .filter(|t| t.challenge == challenge && t.setting == setting)
+            .map(|t| t.oracle_label)
+            .collect()
+    }
+
+    /// Oracle labels of every transformed sample.
+    pub fn all_labels(&self) -> Vec<usize> {
+        self.transformed.iter().map(|t| t.oracle_label).collect()
+    }
+
+    /// The human dataset (author labels), plus per-sample challenge
+    /// groups for fold construction.
+    pub fn human_dataset(&self) -> (Dataset, Vec<usize>) {
+        let mut ds = Dataset::new(self.n_authors());
+        let mut groups = Vec::new();
+        for (sample, features) in self.corpus.samples.iter().zip(&self.human_features) {
+            ds.push(features.clone(), sample.author);
+            groups.push(sample.challenge);
+        }
+        (ds, groups)
+    }
+
+    /// The style of the human seed author (useful for diagnostics).
+    pub fn seed_author_style(&self) -> AuthorStyle {
+        AuthorStyle::for_author(self.config.seed, self.year, self.seed_author)
+    }
+}
+
+/// The year's dataset spec at the configured scale (paper-scale specs
+/// match [`YearSpec::paper`]).
+fn year_spec(year: u32, config: &ExperimentConfig) -> YearSpec {
+    let all = ChallengeId::all();
+    let offset = match year {
+        2017 => 0,
+        2018 => 3,
+        2019 => 6,
+        other => panic!("paper years are 2017-2019, got {other}"),
+    };
+    YearSpec {
+        year,
+        authors: config.scale.authors,
+        challenges: all[offset..offset + config.scale.challenges].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_pipeline() -> YearPipeline {
+        YearPipeline::build(2018, &ExperimentConfig::smoke())
+    }
+
+    #[test]
+    fn pipeline_shapes_match_config() {
+        let p = smoke_pipeline();
+        let cfg = &p.config.scale;
+        assert_eq!(p.corpus.len(), cfg.authors * cfg.challenges);
+        assert_eq!(p.human_features.len(), p.corpus.len());
+        // 4 settings x transforms x challenges.
+        assert_eq!(p.transformed.len(), 4 * cfg.transforms * cfg.challenges);
+        for t in &p.transformed {
+            assert!(t.oracle_label < cfg.authors);
+            assert_eq!(t.features.len(), p.oracle.extractor().dim());
+        }
+    }
+
+    #[test]
+    fn settings_partition_the_transformed_set() {
+        let p = smoke_pipeline();
+        let per_cell = p.config.scale.transforms;
+        for ci in 0..p.n_challenges() {
+            for setting in Setting::all() {
+                assert_eq!(p.labels_for(ci, setting).len(), per_cell);
+            }
+        }
+    }
+
+    #[test]
+    fn human_dataset_is_author_labelled_and_grouped() {
+        let p = smoke_pipeline();
+        let (ds, groups) = p.human_dataset();
+        assert_eq!(ds.len(), p.corpus.len());
+        assert_eq!(groups.len(), ds.len());
+        assert_eq!(ds.n_classes(), p.n_authors());
+        assert!(groups.iter().all(|&g| g < p.n_challenges()));
+    }
+
+    #[test]
+    fn setting_metadata_is_consistent() {
+        for s in Setting::all() {
+            assert_eq!(Setting::all()[s.index()], s);
+        }
+        assert_eq!(Setting::GptNct.notation(), "+N");
+        assert_eq!(Setting::HumanCt.notation(), "±C");
+        assert!(Setting::HumanNct.human_seed());
+        assert!(!Setting::GptCt.human_seed());
+        assert!(Setting::GptCt.chaining());
+        assert!(!Setting::HumanNct.chaining());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = smoke_pipeline();
+        let b = smoke_pipeline();
+        assert_eq!(a.all_labels(), b.all_labels());
+        assert_eq!(a.seed_author, b.seed_author);
+    }
+
+    #[test]
+    fn chatgpt_seeds_differ_from_human_seeds() {
+        let p = smoke_pipeline();
+        // The +N and ±N first steps come from different seeds, so their
+        // sources should differ for at least one challenge.
+        let gpt_first = p
+            .transformed
+            .iter()
+            .find(|t| t.setting == Setting::GptNct && t.sample.step == 1)
+            .unwrap();
+        let human_first = p
+            .transformed
+            .iter()
+            .find(|t| t.setting == Setting::HumanNct && t.sample.step == 1)
+            .unwrap();
+        assert_ne!(gpt_first.sample.source, human_first.sample.source);
+    }
+}

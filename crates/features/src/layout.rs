@@ -1,0 +1,267 @@
+//! Layout feature family: measurements taken from the raw source text
+//! (the AST deliberately carries no whitespace).
+
+use synthattr_util::stats::{log_ratio, mean, std_dev};
+
+/// Pushes one feature name per layout feature, in extraction order.
+pub fn push_names(names: &mut Vec<String>) {
+    for n in [
+        "lay.ln_tabs",
+        "lay.ln_spaces",
+        "lay.ln_empty_lines",
+        "lay.whitespace_ratio",
+        "lay.avg_line_len",
+        "lay.std_line_len",
+        "lay.max_line_len",
+        "lay.avg_leading_ws",
+        "lay.tab_indent_ratio",
+        "lay.indent_mod2_ratio",
+        "lay.indent_mod3_ratio",
+        "lay.indent_mod4_ratio",
+        "lay.brace_own_line_ratio",
+        "lay.brace_same_line_ratio",
+        "lay.space_after_comma_ratio",
+        "lay.space_around_assign_ratio",
+        "lay.space_after_keyword_ratio",
+        "lay.blank_line_ratio",
+        "lay.line_comment_density",
+        "lay.block_comment_density",
+    ] {
+        names.push(n.to_string());
+    }
+}
+
+/// Number of layout features.
+pub const DIM: usize = 20;
+
+/// Pushes the layout features for one raw source text.
+pub fn push_features(src: &str, out: &mut Vec<f64>) {
+    let len = src.len();
+    let lines: Vec<&str> = src.lines().collect();
+    let line_count = lines.len().max(1);
+
+    let tabs = src.matches('\t').count();
+    let spaces = src.matches(' ').count();
+    let empty_lines = lines.iter().filter(|l| l.trim().is_empty()).count();
+    let ws_chars = src.chars().filter(|c| c.is_whitespace()).count();
+
+    out.push(log_ratio(tabs, len));
+    out.push(log_ratio(spaces, len));
+    out.push(log_ratio(empty_lines, line_count));
+    out.push(ws_chars as f64 / len.max(1) as f64);
+
+    let line_lens: Vec<f64> = lines.iter().map(|l| l.len() as f64).collect();
+    out.push(mean(&line_lens) / 100.0);
+    out.push(std_dev(&line_lens) / 100.0);
+    out.push(line_lens.iter().cloned().fold(0.0, f64::max) / 100.0);
+
+    // Indentation measurements over indented, non-empty lines.
+    let mut leading_ws = Vec::new();
+    let mut tab_lines = 0usize;
+    let mut space_indented = Vec::new();
+    for l in &lines {
+        if l.trim().is_empty() {
+            continue;
+        }
+        let lead: String = l.chars().take_while(|c| *c == ' ' || *c == '\t').collect();
+        leading_ws.push(lead.len() as f64);
+        if lead.contains('\t') {
+            tab_lines += 1;
+        } else if !lead.is_empty() {
+            space_indented.push(lead.len());
+        }
+    }
+    out.push(mean(&leading_ws) / 10.0);
+    let indented_total = tab_lines + space_indented.len();
+    out.push(if indented_total == 0 {
+        0.0
+    } else {
+        tab_lines as f64 / indented_total as f64
+    });
+    let mod_ratio = |m: usize| {
+        if space_indented.is_empty() {
+            0.0
+        } else {
+            space_indented.iter().filter(|&&w| w % m == 0).count() as f64
+                / space_indented.len() as f64
+        }
+    };
+    out.push(mod_ratio(2));
+    out.push(mod_ratio(3));
+    out.push(mod_ratio(4));
+
+    // Brace placement.
+    let open_brace_lines = lines.iter().filter(|l| l.contains('{')).count();
+    let own_line = lines.iter().filter(|l| l.trim() == "{").count();
+    let same_line = lines
+        .iter()
+        .filter(|l| {
+            let t = l.trim();
+            t.ends_with('{') && t.len() > 1
+        })
+        .count();
+    out.push(if open_brace_lines == 0 {
+        0.0
+    } else {
+        own_line as f64 / open_brace_lines as f64
+    });
+    out.push(if open_brace_lines == 0 {
+        0.0
+    } else {
+        same_line as f64 / open_brace_lines as f64
+    });
+
+    // Micro-spacing habits.
+    let commas = src.matches(',').count();
+    let spaced_commas = src.matches(", ").count();
+    out.push(if commas == 0 {
+        0.0
+    } else {
+        spaced_commas as f64 / commas as f64
+    });
+    out.push(assign_spacing_ratio(src));
+    let kw_spaced = src.matches("if (").count()
+        + src.matches("for (").count()
+        + src.matches("while (").count();
+    let kw_tight = src.matches("if(").count()
+        + src.matches("for(").count()
+        + src.matches("while(").count();
+    out.push(if kw_spaced + kw_tight == 0 {
+        0.0
+    } else {
+        kw_spaced as f64 / (kw_spaced + kw_tight) as f64
+    });
+
+    out.push(empty_lines as f64 / line_count as f64);
+    let line_comments = src.matches("//").count();
+    let block_comments = src.matches("/*").count();
+    out.push(log_ratio(line_comments, line_count));
+    out.push(log_ratio(block_comments, line_count));
+}
+
+/// Fraction of plain `=` assignments written with surrounding spaces.
+///
+/// Compound operators (`==`, `<=`, `+=`, …) are excluded by inspecting
+/// the characters around each `=`.
+fn assign_spacing_ratio(src: &str) -> f64 {
+    let bytes = src.as_bytes();
+    let mut plain = 0usize;
+    let mut spaced = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'=' {
+            continue;
+        }
+        let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+        let next = *bytes.get(i + 1).unwrap_or(&b' ');
+        // Skip ==, !=, <=, >=, +=, -=, *=, /=, %=, &=, |=, ^=, <<=, >>=.
+        if matches!(
+            prev,
+            b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'
+        ) || next == b'='
+        {
+            continue;
+        }
+        plain += 1;
+        if prev == b' ' && next == b' ' {
+            spaced += 1;
+        }
+    }
+    if plain == 0 {
+        0.0
+    } else {
+        spaced as f64 / plain as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extract(src: &str) -> Vec<f64> {
+        let mut out = Vec::new();
+        push_features(src, &mut out);
+        out
+    }
+
+    fn idx(name: &str) -> usize {
+        let mut names = Vec::new();
+        push_names(&mut names);
+        names.iter().position(|n| n == name).unwrap()
+    }
+
+    #[test]
+    fn names_match_dim() {
+        let mut names = Vec::new();
+        push_names(&mut names);
+        assert_eq!(names.len(), DIM);
+        assert_eq!(extract("int main() { return 0; }").len(), DIM);
+    }
+
+    #[test]
+    fn all_finite_on_edge_cases() {
+        for src in ["", "\n\n\n", "x", "int main() { return 0; }"] {
+            for (i, v) in extract(src).iter().enumerate() {
+                assert!(v.is_finite(), "feature {i} not finite for {src:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tabs_vs_spaces_discriminates() {
+        let tabbed = "int main()\n{\n\treturn 0;\n}\n";
+        let spaced = "int main()\n{\n    return 0;\n}\n";
+        let i = idx("lay.tab_indent_ratio");
+        assert_eq!(extract(tabbed)[i], 1.0);
+        assert_eq!(extract(spaced)[i], 0.0);
+    }
+
+    #[test]
+    fn brace_placement_discriminates() {
+        let allman = "int main()\n{\n    return 0;\n}\n";
+        let knr = "int main() {\n    return 0;\n}\n";
+        let own = idx("lay.brace_own_line_ratio");
+        let same = idx("lay.brace_same_line_ratio");
+        assert_eq!(extract(allman)[own], 1.0);
+        assert_eq!(extract(knr)[same], 1.0);
+    }
+
+    #[test]
+    fn comma_and_assign_spacing() {
+        let tight = "int main() { int a=1,b=2; return f(a,b); }";
+        let airy = "int main() { int a = 1, b = 2; return f(a, b); }";
+        let ci = idx("lay.space_after_comma_ratio");
+        let ai = idx("lay.space_around_assign_ratio");
+        assert_eq!(extract(tight)[ci], 0.0);
+        assert_eq!(extract(airy)[ci], 1.0);
+        assert_eq!(extract(tight)[ai], 0.0);
+        assert_eq!(extract(airy)[ai], 1.0);
+    }
+
+    #[test]
+    fn assign_spacing_ignores_compound_operators() {
+        // Only `x = 1` is a plain assignment; the rest must not count.
+        let src = "x == y; x <= y; x += 1; x = 1;";
+        assert_eq!(assign_spacing_ratio(src), 1.0);
+        let src2 = "x == y; x=1;";
+        assert_eq!(assign_spacing_ratio(src2), 0.0);
+    }
+
+    #[test]
+    fn keyword_spacing_discriminates() {
+        let spaced = "int main() { if (1) { } while (0) { } return 0; }";
+        let tight = "int main() { if(1) { } while(0) { } return 0; }";
+        let i = idx("lay.space_after_keyword_ratio");
+        assert_eq!(extract(spaced)[i], 1.0);
+        assert_eq!(extract(tight)[i], 0.0);
+    }
+
+    #[test]
+    fn indent_width_modulus() {
+        let two = "int main() {\n  if (1) {\n    return 1;\n  }\n  return 0;\n}\n";
+        let i4 = idx("lay.indent_mod4_ratio");
+        let i2 = idx("lay.indent_mod2_ratio");
+        let f = extract(two);
+        assert_eq!(f[i2], 1.0);
+        assert!(f[i4] < 1.0);
+    }
+}

@@ -1,0 +1,662 @@
+//! Style-aware AST construction helpers.
+//!
+//! Challenge templates describe *what* a program does; the
+//! [`CodeBuilder`] decides *how it is spelled* according to the
+//! author's [`AuthorStyle`]: IO idiom, loop form, increment spelling,
+//! cast spelling, comment habits, declaration merging, and naming.
+
+use crate::naming::Namer;
+use crate::style::AuthorStyle;
+use synthattr_lang::ast::*;
+use synthattr_util::Pcg64;
+
+/// Builds style-conforming AST fragments.
+#[derive(Debug, Clone)]
+pub struct CodeBuilder {
+    /// The author profile driving every choice.
+    pub style: AuthorStyle,
+    /// Name synthesis (memoized per concept).
+    pub namer: Namer,
+    /// Per-file random stream (structural coin flips).
+    pub rng: Pcg64,
+}
+
+impl CodeBuilder {
+    /// Creates a builder for one file.
+    pub fn new(style: AuthorStyle, rng: Pcg64) -> Self {
+        let namer_rng = rng.fork(&["namer"]);
+        CodeBuilder {
+            namer: Namer::new(style.naming, namer_rng),
+            style,
+            rng,
+        }
+    }
+
+    /// Shorthand: the identifier for `concept`.
+    pub fn n(&mut self, concept: &str) -> String {
+        self.namer.name(concept)
+    }
+
+    /// Shorthand: an identifier expression for `concept`.
+    pub fn var(&mut self, concept: &str) -> Expr {
+        let name = self.n(concept);
+        Expr::Ident(name)
+    }
+
+    // -- prologue ---------------------------------------------------------
+
+    /// Emits includes (respecting the `bits/stdc++.h` habit), `using
+    /// namespace std;`, and the author's `long long` alias if any.
+    ///
+    /// `headers` are the headers the program actually needs (e.g.
+    /// `["iostream", "vector", "algorithm"]`).
+    pub fn prologue(&mut self, headers: &[&str]) -> Vec<Item> {
+        let mut items = Vec::new();
+        if self.style.prologue.bits_stdcpp {
+            items.push(Item::Include {
+                path: "bits/stdc++.h".into(),
+                system: true,
+            });
+        } else {
+            let mut list: Vec<&str> = headers.to_vec();
+            if self.style.io.stdio && !list.contains(&"cstdio") {
+                list.push("cstdio");
+            }
+            for h in list {
+                items.push(Item::Include {
+                    path: h.into(),
+                    system: true,
+                });
+            }
+        }
+        if self.style.prologue.using_namespace {
+            items.push(Item::UsingNamespace("std".into()));
+        }
+        match self.style.prologue.long_long_alias {
+            1 => items.push(Item::Typedef {
+                ty: Type::LongLong,
+                name: "ll".into(),
+            }),
+            2 => items.push(Item::UsingAlias {
+                name: "ll".into(),
+                ty: Type::LongLong,
+            }),
+            _ => {}
+        }
+        items
+    }
+
+    // -- comments -----------------------------------------------------------
+
+    /// Possibly emits a comment (per the author's comment density).
+    pub fn maybe_comment(&mut self, text: &str) -> Option<Stmt> {
+        if self.rng.next_bool(self.style.comments.density) {
+            Some(Stmt::Comment(Comment {
+                text: text.to_string(),
+                block: self.style.comments.block,
+            }))
+        } else {
+            None
+        }
+    }
+
+    /// Appends `maybe_comment` to `out` when it fires.
+    pub fn push_comment(&mut self, out: &mut Vec<Stmt>, text: &str) {
+        if let Some(c) = self.maybe_comment(text) {
+            out.push(c);
+        }
+    }
+
+    // -- IO ------------------------------------------------------------------
+
+    fn scanf_spec(ty: &Type) -> &'static str {
+        match ty {
+            Type::Int => "%d",
+            Type::Long | Type::LongLong => "%lld",
+            Type::Double | Type::Float => "%lf",
+            _ => "%d",
+        }
+    }
+
+    /// Declares the variables and reads them from input, honoring the
+    /// IO idiom and declaration-merging habits. Variables are given by
+    /// `(concept, type)`.
+    pub fn read_vars(&mut self, vars: &[(&str, Type)]) -> Vec<Stmt> {
+        let names: Vec<(String, Type)> = vars
+            .iter()
+            .map(|(c, t)| (self.n(c), t.clone()))
+            .collect();
+        let mut out = Vec::new();
+        // Declarations: merged per type when the habit says so.
+        if self.style.structure.merge_decls {
+            let mut i = 0;
+            while i < names.len() {
+                let ty = names[i].1.clone();
+                let mut declarators = vec![Declarator::plain(names[i].0.clone())];
+                let mut j = i + 1;
+                while j < names.len() && names[j].1 == ty {
+                    declarators.push(Declarator::plain(names[j].0.clone()));
+                    j += 1;
+                }
+                out.push(Stmt::Decl(Declaration { ty, declarators }));
+                i = j;
+            }
+        } else {
+            for (name, ty) in &names {
+                out.push(Stmt::Decl(Declaration {
+                    ty: ty.clone(),
+                    declarators: vec![Declarator::plain(name.clone())],
+                }));
+            }
+        }
+        out.extend(self.read_named(&names));
+        out
+    }
+
+    /// Reads already-declared `(name, type)` variables.
+    pub fn read_named(&mut self, names: &[(String, Type)]) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        if self.style.io.stdio
+            && names
+                .iter()
+                .all(|(_, t)| !matches!(t, Type::Str | Type::Vector(_)))
+        {
+            if self.style.io.merge_reads {
+                let fmt: Vec<&str> = names.iter().map(|(_, t)| Self::scanf_spec(t)).collect();
+                let args = std::iter::once(Expr::Str(fmt.join(" ")))
+                    .chain(names.iter().map(|(n, _)| addr_of(Expr::Ident(n.clone()))))
+                    .collect();
+                out.push(Stmt::Expr(Expr::call("scanf", args)));
+            } else {
+                for (n, t) in names {
+                    out.push(Stmt::Expr(Expr::call(
+                        "scanf",
+                        vec![
+                            Expr::Str(Self::scanf_spec(t).to_string()),
+                            addr_of(Expr::Ident(n.clone())),
+                        ],
+                    )));
+                }
+            }
+        } else if self.style.io.merge_reads && names.len() > 1 {
+            let mut chain = Expr::bin(
+                BinaryOp::Shr,
+                Expr::ident("cin"),
+                Expr::Ident(names[0].0.clone()),
+            );
+            for (n, _) in &names[1..] {
+                chain = Expr::bin(BinaryOp::Shr, chain, Expr::Ident(n.clone()));
+            }
+            out.push(Stmt::Expr(chain));
+        } else {
+            for (n, _) in names {
+                out.push(Stmt::Expr(Expr::bin(
+                    BinaryOp::Shr,
+                    Expr::ident("cin"),
+                    Expr::Ident(n.clone()),
+                )));
+            }
+        }
+        out
+    }
+
+    /// Emits the `Case #k: value` output line of a GCJ solution.
+    ///
+    /// `double_result` switches the formatting (`%.6lf` for printf).
+    pub fn print_case(&mut self, case_expr: Expr, value: Expr, double_result: bool) -> Stmt {
+        if self.style.io.stdio {
+            let fmt = if double_result {
+                "Case #%d: %.6lf\n"
+            } else {
+                "Case #%d: %d\n"
+            };
+            Stmt::Expr(Expr::call(
+                "printf",
+                vec![Expr::Str(fmt.into()), case_expr, value],
+            ))
+        } else {
+            let mut chain = Expr::bin(BinaryOp::Shl, Expr::ident("cout"), Expr::Str("Case #".into()));
+            chain = Expr::bin(BinaryOp::Shl, chain, case_expr);
+            chain = Expr::bin(BinaryOp::Shl, chain, Expr::Str(": ".into()));
+            chain = Expr::bin(BinaryOp::Shl, chain, value);
+            chain = Expr::bin(
+                BinaryOp::Shl,
+                chain,
+                if self.style.io.endl {
+                    Expr::ident("endl")
+                } else {
+                    Expr::Str("\n".into())
+                },
+            );
+            Stmt::Expr(chain)
+        }
+    }
+
+    /// Emits the case line for a string-valued result.
+    pub fn print_case_str(&mut self, case_expr: Expr, value: Expr) -> Stmt {
+        if self.style.io.stdio {
+            Stmt::Expr(Expr::call(
+                "printf",
+                vec![
+                    Expr::Str("Case #%d: %s\n".into()),
+                    case_expr,
+                    Expr::method(value, "c_str", vec![]),
+                ],
+            ))
+        } else {
+            self.print_case(case_expr, value, false)
+        }
+    }
+
+    // -- loops -------------------------------------------------------------
+
+    /// The author's increment expression for `name`.
+    pub fn incr(&mut self, name: &str) -> Expr {
+        let op = if self.style.loops.post_increment {
+            UnaryOp::PostInc
+        } else {
+            UnaryOp::PreInc
+        };
+        Expr::Unary {
+            op,
+            expr: Box::new(Expr::ident(name)),
+        }
+    }
+
+    /// A counting loop `for name in [from, to_exclusive)`, spelled as
+    /// `for` or `while` per the author's habit.
+    pub fn count_loop(
+        &mut self,
+        name: &str,
+        from: Expr,
+        to_exclusive: Expr,
+        body: Vec<Stmt>,
+    ) -> Vec<Stmt> {
+        let step = self.incr(name);
+        let cond = Expr::bin(BinaryOp::Lt, Expr::ident(name), to_exclusive);
+        if self.rng.next_bool(self.style.loops.while_bias) {
+            // while-form: declaration before, increment inside.
+            let mut inner = body;
+            inner.push(Stmt::Expr(step));
+            vec![
+                Stmt::Decl(Declaration {
+                    ty: Type::Int,
+                    declarators: vec![Declarator::init(name, from)],
+                }),
+                Stmt::While {
+                    cond,
+                    body: Block::new(inner),
+                },
+            ]
+        } else {
+            vec![Stmt::For {
+                init: Some(Box::new(Stmt::Decl(Declaration {
+                    ty: Type::Int,
+                    declarators: vec![Declarator::init(name, from)],
+                }))),
+                cond: Some(cond),
+                step: Some(step),
+                body: Block::new(body),
+            }]
+        }
+    }
+
+    /// Reads the number of test cases and loops over them.
+    ///
+    /// The `body` closure receives the builder and the *case-number
+    /// expression* (1-based, ready for `Case #`): either the loop
+    /// variable itself (one-based habit) or `i + 1`.
+    pub fn case_loop(
+        &mut self,
+        body: impl FnOnce(&mut CodeBuilder, Expr) -> Vec<Stmt>,
+    ) -> Vec<Stmt> {
+        let mut out = self.read_vars(&[("num_cases", Type::Int)]);
+        let t = self.n("num_cases");
+        let i = self.n("case_index");
+        if self.style.loops.one_based_cases {
+            let stmts = body(self, Expr::ident(i.clone()));
+            let step = self.incr(&i);
+            out.push(Stmt::For {
+                init: Some(Box::new(Stmt::Decl(Declaration {
+                    ty: Type::Int,
+                    declarators: vec![Declarator::init(i.clone(), Expr::Int(1))],
+                }))),
+                cond: Some(Expr::bin(BinaryOp::Le, Expr::ident(i), Expr::ident(t))),
+                step: Some(step),
+                body: Block::new(stmts),
+            });
+        } else {
+            let case_expr = Expr::bin(BinaryOp::Add, Expr::ident(i.clone()), Expr::Int(1));
+            let stmts = body(self, case_expr);
+            out.extend(self.count_loop(&i.clone(), Expr::Int(0), Expr::ident(t), stmts));
+        }
+        out
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    /// `target op= value` or `target = target op value` per habit.
+    pub fn accumulate(&mut self, target: &str, op: AssignOp, value: Expr) -> Stmt {
+        if self.style.structure.compound_assign && op != AssignOp::Assign {
+            Stmt::Expr(Expr::assign(op, Expr::ident(target), value))
+        } else {
+            let bin_op = match op {
+                AssignOp::Add => BinaryOp::Add,
+                AssignOp::Sub => BinaryOp::Sub,
+                AssignOp::Mul => BinaryOp::Mul,
+                AssignOp::Div => BinaryOp::Div,
+                AssignOp::Mod => BinaryOp::Mod,
+                AssignOp::Assign => {
+                    return Stmt::Expr(Expr::assign(AssignOp::Assign, Expr::ident(target), value))
+                }
+            };
+            Stmt::Expr(Expr::assign(
+                AssignOp::Assign,
+                Expr::ident(target),
+                Expr::bin(bin_op, Expr::ident(target), value),
+            ))
+        }
+    }
+
+    /// `target = max(target, value)`, or the `if`/ternary spellings,
+    /// per habit.
+    pub fn max_update(&mut self, target: &str, value: Expr) -> Stmt {
+        if self.style.structure.ternary && self.rng.next_bool(0.6) {
+            // target = value > target ? value : target;
+            Stmt::Expr(Expr::assign(
+                AssignOp::Assign,
+                Expr::ident(target),
+                Expr::Ternary {
+                    cond: Box::new(Expr::bin(
+                        BinaryOp::Gt,
+                        value.clone(),
+                        Expr::ident(target),
+                    )),
+                    then_expr: Box::new(value),
+                    else_expr: Box::new(Expr::ident(target)),
+                },
+            ))
+        } else if self.rng.next_bool(0.5) {
+            Stmt::Expr(Expr::assign(
+                AssignOp::Assign,
+                Expr::ident(target),
+                Expr::call("max", vec![Expr::ident(target), value]),
+            ))
+        } else {
+            Stmt::If {
+                cond: Expr::bin(BinaryOp::Gt, value.clone(), Expr::ident(target)),
+                then_branch: Block::new(vec![Stmt::Expr(Expr::assign(
+                    AssignOp::Assign,
+                    Expr::ident(target),
+                    value,
+                ))]),
+                else_branch: None,
+            }
+        }
+    }
+
+    /// A `double` cast in the author's spelling.
+    pub fn cast_double(&mut self, e: Expr) -> Expr {
+        if self.style.structure.static_cast {
+            // `static_cast<T>(...)` supplies its own parentheses.
+            Expr::StaticCast {
+                ty: Type::Double,
+                expr: Box::new(e.unparen_simple()),
+            }
+        } else {
+            Expr::Cast {
+                ty: Type::Double,
+                expr: Box::new(wrap_for_cast(e)),
+            }
+        }
+    }
+
+    /// Whether this file should use a helper function for per-case work.
+    pub fn wants_helper(&mut self) -> bool {
+        let bias = self.style.structure.helper_bias;
+        self.rng.next_bool(bias)
+    }
+
+    /// A declaration statement `ty name = init;`.
+    pub fn decl(&mut self, ty: Type, name: &str, init: Expr) -> Stmt {
+        Stmt::Decl(Declaration {
+            ty,
+            declarators: vec![Declarator::init(name, init)],
+        })
+    }
+}
+
+/// `&e` (scanf argument form).
+pub fn addr_of(e: Expr) -> Expr {
+    Expr::Unary {
+        op: UnaryOp::AddrOf,
+        expr: Box::new(e),
+    }
+}
+
+/// Casts bind tightly; wrap non-primary operands in parens so the
+/// rendered text means what the tree means.
+fn wrap_for_cast(e: Expr) -> Expr {
+    match &e {
+        Expr::Int(_)
+        | Expr::Float(_)
+        | Expr::Ident(_)
+        | Expr::Paren(_)
+        | Expr::Call { .. }
+        | Expr::Member { .. }
+        | Expr::Index { .. } => e,
+        _ => Expr::Paren(Box::new(e)),
+    }
+}
+
+trait UnparenSimple {
+    /// `static_cast<T>(x)` already parenthesizes its operand; drop an
+    /// outer `Paren` so we don't render `static_cast<double>((x))`.
+    fn unparen_simple(self) -> Expr;
+}
+
+impl UnparenSimple for Expr {
+    fn unparen_simple(self) -> Expr {
+        match self {
+            Expr::Paren(inner) => *inner,
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthattr_lang::render::{render, RenderStyle};
+    use synthattr_lang::parse;
+
+    fn builder(seed: u64) -> CodeBuilder {
+        let mut rng = Pcg64::new(seed);
+        let style = AuthorStyle::sample(&mut rng);
+        CodeBuilder::new(style, rng)
+    }
+
+    fn render_stmts(stmts: Vec<Stmt>) -> String {
+        let unit = TranslationUnit {
+            items: vec![Item::Function(Function {
+                ret: Type::Int,
+                name: "main".into(),
+                params: vec![],
+                body: Block::new(stmts),
+            })],
+        };
+        let text = render(&unit, &RenderStyle::default());
+        // The fragment must re-parse.
+        parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        text
+    }
+
+    #[test]
+    fn read_vars_emits_valid_code_for_many_styles() {
+        for seed in 0..30 {
+            let mut b = builder(seed);
+            let stmts = b.read_vars(&[("n_items", Type::Int), ("target", Type::Int)]);
+            let text = render_stmts(stmts);
+            assert!(
+                text.contains("cin") || text.contains("scanf"),
+                "seed {seed}: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn stdio_style_uses_scanf_with_addresses() {
+        let mut b = builder(3);
+        b.style.io.stdio = true;
+        b.style.io.merge_reads = true;
+        let stmts = b.read_vars(&[("a_val", Type::Int), ("b_val", Type::Int)]);
+        let text = render_stmts(stmts);
+        assert!(text.contains("scanf(\"%d %d\""), "{text}");
+        assert!(text.contains('&'), "{text}");
+    }
+
+    #[test]
+    fn string_reads_fall_back_to_cin() {
+        let mut b = builder(4);
+        b.style.io.stdio = true;
+        let stmts = b.read_vars(&[("text", Type::Str)]);
+        let text = render_stmts(stmts);
+        assert!(text.contains("cin"), "{text}");
+    }
+
+    #[test]
+    fn print_case_formats_both_idioms() {
+        let mut b = builder(5);
+        b.style.io.stdio = false;
+        b.style.io.endl = true;
+        let s1 = b.print_case(Expr::Int(1), Expr::Int(7), false);
+        let text1 = render_stmts(vec![s1]);
+        assert!(text1.contains("cout << \"Case #\" << 1"), "{text1}");
+        assert!(text1.contains("endl"), "{text1}");
+
+        let mut b2 = builder(6);
+        b2.style.io.stdio = true;
+        let s2 = b2.print_case(Expr::Int(1), Expr::Int(7), true);
+        let text2 = render_stmts(vec![s2]);
+        assert!(text2.contains("printf(\"Case #%d: %.6lf\\n\""), "{text2}");
+    }
+
+    #[test]
+    fn case_loop_one_based_vs_zero_based() {
+        let mut b = builder(7);
+        b.style.loops.one_based_cases = true;
+        b.style.loops.while_bias = 0.0;
+        let stmts = b.case_loop(|b, case| vec![b.print_case(case, Expr::Int(0), false)]);
+        let text = render_stmts(stmts);
+        assert!(text.contains("= 1;"), "{text}");
+        assert!(text.contains("<="), "{text}");
+
+        let mut b = builder(8);
+        b.style.loops.one_based_cases = false;
+        b.style.loops.while_bias = 0.0;
+        let stmts = b.case_loop(|b, case| vec![b.print_case(case, Expr::Int(0), false)]);
+        let text = render_stmts(stmts);
+        assert!(text.contains("= 0;"), "{text}");
+        assert!(text.contains("+ 1"), "{text}");
+    }
+
+    #[test]
+    fn count_loop_while_form() {
+        let mut b = builder(9);
+        b.style.loops.while_bias = 1.0;
+        let stmts = b.count_loop("i", Expr::Int(0), Expr::Int(5), vec![Stmt::Empty]);
+        let text = render_stmts(stmts);
+        assert!(text.contains("while"), "{text}");
+        assert!(!text.contains("for"), "{text}");
+    }
+
+    #[test]
+    fn accumulate_respects_compound_habit() {
+        let mut b = builder(10);
+        b.style.structure.compound_assign = true;
+        let text = render_stmts(vec![
+            b.decl(Type::Int, "x", Expr::Int(0)),
+            b.accumulate("x", AssignOp::Add, Expr::Int(2)),
+        ]);
+        assert!(text.contains("x += 2"), "{text}");
+
+        let mut b = builder(11);
+        b.style.structure.compound_assign = false;
+        let text = render_stmts(vec![
+            b.decl(Type::Int, "x", Expr::Int(0)),
+            b.accumulate("x", AssignOp::Add, Expr::Int(2)),
+        ]);
+        assert!(text.contains("x = x + 2"), "{text}");
+    }
+
+    #[test]
+    fn cast_double_respects_habit() {
+        let mut b = builder(12);
+        b.style.structure.static_cast = false;
+        let cast = b.cast_double(Expr::ident("x"));
+        let text = render_stmts(vec![b.decl(Type::Double, "d", cast)]);
+        assert!(text.contains("(double)x"), "{text}");
+
+        let mut b = builder(13);
+        b.style.structure.static_cast = true;
+        let cast = b.cast_double(Expr::ident("x"));
+        let text = render_stmts(vec![b.decl(Type::Double, "d", cast)]);
+        assert!(text.contains("static_cast<double>(x)"), "{text}");
+    }
+
+    #[test]
+    fn cast_of_binary_operand_is_parenthesized() {
+        let mut b = builder(14);
+        b.style.structure.static_cast = false;
+        let e = b.cast_double(Expr::bin(BinaryOp::Add, Expr::ident("x"), Expr::Int(1)));
+        let text = render_stmts(vec![b.decl(Type::Double, "d", e)]);
+        assert!(text.contains("(double)(x + 1)"), "{text}");
+    }
+
+    #[test]
+    fn max_update_variants_all_reparse() {
+        for seed in 0..20 {
+            let mut b = builder(seed);
+            let v = Expr::ident("x");
+            let stmts = vec![
+                b.decl(Type::Int, "t", Expr::Int(0)),
+                b.decl(Type::Int, "x", Expr::Int(3)),
+                b.max_update("t", v),
+            ];
+            render_stmts(stmts); // asserts reparse internally
+        }
+    }
+
+    #[test]
+    fn prologue_variants() {
+        let mut b = builder(15);
+        b.style.prologue.bits_stdcpp = true;
+        b.style.prologue.using_namespace = true;
+        b.style.prologue.long_long_alias = 1;
+        let items = b.prologue(&["iostream", "vector"]);
+        let unit = TranslationUnit { items };
+        let text = render(&unit, &RenderStyle::default());
+        assert!(text.contains("bits/stdc++.h"), "{text}");
+        assert!(!text.contains("iostream"), "{text}");
+        assert!(text.contains("typedef long long ll;"), "{text}");
+
+        let mut b = builder(16);
+        b.style.prologue.bits_stdcpp = false;
+        b.style.io.stdio = true;
+        b.style.prologue.long_long_alias = 2;
+        let items = b.prologue(&["iostream"]);
+        let unit = TranslationUnit { items };
+        let text = render(&unit, &RenderStyle::default());
+        assert!(text.contains("iostream") && text.contains("cstdio"), "{text}");
+        assert!(text.contains("using ll = long long;"), "{text}");
+    }
+
+    #[test]
+    fn comments_fire_at_configured_density() {
+        let mut b = builder(17);
+        b.style.comments.density = 1.0;
+        assert!(b.maybe_comment("always").is_some());
+        b.style.comments.density = 0.0;
+        assert!(b.maybe_comment("never").is_none());
+    }
+}

@@ -1,0 +1,1043 @@
+//! Challenge templates: GCJ-round-style problems built directly as
+//! ASTs, with structure that bends to the author's habits.
+//!
+//! Each template describes per-case work as "(statements, result
+//! expression)"; an internal scaffold wraps it in the author's preferred
+//! program shape — per-case helper function (the paper's Figure 4a
+//! transformation target) or everything inline in `main` — and adds the
+//! prologue and the `Case #k:` output protocol.
+
+use crate::builder::CodeBuilder;
+use crate::style::AuthorStyle;
+use synthattr_lang::ast::*;
+use synthattr_lang::render::render;
+use synthattr_util::Pcg64;
+
+/// The challenge catalogue. Years draw 8-challenge windows from this
+/// pool (see [`crate::corpus::YearSpec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ChallengeId {
+    /// The paper's Figure 3: last horse constrains your max speed.
+    HorseRace,
+    /// Sum of a series of integers.
+    SumSeries,
+    /// Maximum minus minimum of a series.
+    MinMaxDiff,
+    /// Count elements divisible by `k`.
+    CountDivisible,
+    /// Is the word a palindrome?
+    Palindrome,
+    /// Count vowels in a word.
+    VowelCount,
+    /// Greatest common divisor of two numbers.
+    Gcd,
+    /// n-th Fibonacci number.
+    Fibonacci,
+    /// Median after sorting.
+    SortMedian,
+    /// Count pairs summing to a target.
+    PairSum,
+    /// Balanced-parentheses check.
+    BracketBalance,
+    /// Total absolute day-to-day temperature change.
+    TemperatureRange,
+    /// Count primes up to `n`.
+    PrimeCount,
+    /// Repeated digit sum (digital root).
+    DigitRoot,
+    /// Longest run of equal adjacent values.
+    LongestRun,
+    /// Modular exponentiation `a^b mod m`.
+    ModPow,
+}
+
+impl ChallengeId {
+    /// Every challenge, in catalogue order.
+    pub fn all() -> [ChallengeId; 16] {
+        use ChallengeId::*;
+        [
+            HorseRace,
+            SumSeries,
+            MinMaxDiff,
+            CountDivisible,
+            Palindrome,
+            VowelCount,
+            Gcd,
+            Fibonacci,
+            SortMedian,
+            PairSum,
+            BracketBalance,
+            TemperatureRange,
+            PrimeCount,
+            DigitRoot,
+            LongestRun,
+            ModPow,
+        ]
+    }
+
+    /// Stable kebab-case name.
+    pub fn name(self) -> &'static str {
+        use ChallengeId::*;
+        match self {
+            HorseRace => "horse-race",
+            SumSeries => "sum-series",
+            MinMaxDiff => "min-max-diff",
+            CountDivisible => "count-divisible",
+            Palindrome => "palindrome",
+            VowelCount => "vowel-count",
+            Gcd => "gcd",
+            Fibonacci => "fibonacci",
+            SortMedian => "sort-median",
+            PairSum => "pair-sum",
+            BracketBalance => "bracket-balance",
+            TemperatureRange => "temperature-range",
+            PrimeCount => "prime-count",
+            DigitRoot => "digit-root",
+            LongestRun => "longest-run",
+            ModPow => "mod-pow",
+        }
+    }
+
+    /// Builds a complete solution AST in the builder's style.
+    pub fn build(self, b: &mut CodeBuilder) -> TranslationUnit {
+        use ChallengeId::*;
+        match self {
+            HorseRace => scaffold(b, &["iostream", "algorithm"], Result_::Double, &horse_race),
+            SumSeries => scaffold(b, &["iostream"], Result_::Long, &sum_series),
+            MinMaxDiff => scaffold(b, &["iostream", "algorithm"], Result_::Int, &min_max_diff),
+            CountDivisible => scaffold(b, &["iostream"], Result_::Int, &count_divisible),
+            Palindrome => scaffold(b, &["iostream", "string"], Result_::Str, &palindrome),
+            VowelCount => scaffold(b, &["iostream", "string"], Result_::Int, &vowel_count),
+            Gcd => gcd_program(b),
+            Fibonacci => scaffold(b, &["iostream"], Result_::Long, &fibonacci),
+            SortMedian => scaffold(
+                b,
+                &["iostream", "vector", "algorithm"],
+                Result_::Int,
+                &sort_median,
+            ),
+            PairSum => scaffold(b, &["iostream", "vector"], Result_::Int, &pair_sum),
+            BracketBalance => scaffold(b, &["iostream", "string"], Result_::Str, &bracket_balance),
+            TemperatureRange => scaffold(b, &["iostream"], Result_::Int, &temperature_range),
+            PrimeCount => scaffold(b, &["iostream"], Result_::Int, &prime_count),
+            DigitRoot => scaffold(b, &["iostream"], Result_::Int, &digit_root),
+            LongestRun => scaffold(b, &["iostream", "algorithm"], Result_::Int, &longest_run),
+            ModPow => scaffold(b, &["iostream"], Result_::Long, &mod_pow),
+        }
+    }
+
+    /// Renders a full solution in `style` (convenience used by the
+    /// corpus generator and the LLM simulator).
+    pub fn render_solution(self, style: &AuthorStyle, rng: Pcg64) -> String {
+        let mut b = CodeBuilder::new(style.clone(), rng);
+        let unit = self.build(&mut b);
+        render(&unit, &style.render)
+    }
+}
+
+/// Result type of the per-case computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Result_ {
+    Int,
+    Long,
+    Double,
+    Str,
+}
+
+impl Result_ {
+    fn ty(self, b: &CodeBuilder) -> Type {
+        match self {
+            Result_::Int => Type::Int,
+            Result_::Long => {
+                if b.style.prologue.long_long_alias > 0 {
+                    Type::Named("ll".into())
+                } else {
+                    Type::LongLong
+                }
+            }
+            Result_::Double => Type::Double,
+            Result_::Str => Type::Str,
+        }
+    }
+}
+
+type CaseBody = dyn Fn(&mut CodeBuilder) -> (Vec<Stmt>, Expr);
+
+/// Wraps per-case work in the author's program shape.
+fn scaffold(
+    b: &mut CodeBuilder,
+    headers: &[&str],
+    result: Result_,
+    case_body: &CaseBody,
+) -> TranslationUnit {
+    let mut items = b.prologue(headers);
+    let result_ty = result.ty(b);
+    let double_result = result == Result_::Double;
+
+    if let Some(Stmt::Comment(c)) = b.maybe_comment("solution") {
+        items.push(Item::Comment(c));
+    }
+
+    if b.wants_helper() {
+        let fname = b.n("solve_fn");
+        let (mut body_stmts, result_expr) = case_body(b);
+        body_stmts.push(Stmt::Return(Some(result_expr)));
+        items.push(Item::Function(Function {
+            ret: result_ty,
+            name: fname.clone(),
+            params: vec![],
+            body: Block::new(body_stmts),
+        }));
+        let main_stmts = b.case_loop(|b, case| {
+            let call = Expr::call(fname.clone(), vec![]);
+            let stmt = if result == Result_::Str {
+                b.print_case_str(case, call)
+            } else {
+                b.print_case(case, call, double_result)
+            };
+            vec![stmt]
+        });
+        items.push(main_fn(main_stmts));
+    } else {
+        let main_stmts = b.case_loop(|b, case| {
+            let (mut stmts, result_expr) = case_body(b);
+            let stmt = if result == Result_::Str {
+                b.print_case_str(case, result_expr)
+            } else {
+                b.print_case(case, result_expr, double_result)
+            };
+            stmts.push(stmt);
+            stmts
+        });
+        items.push(main_fn(main_stmts));
+    }
+    TranslationUnit { items }
+}
+
+fn main_fn(mut stmts: Vec<Stmt>) -> Item {
+    stmts.push(Stmt::Return(Some(Expr::Int(0))));
+    Item::Function(Function {
+        ret: Type::Int,
+        name: "main".into(),
+        params: vec![],
+        body: Block::new(stmts),
+    })
+}
+
+/// `i < (int)s.size()` in the author's cast style.
+fn size_bound(_b: &mut CodeBuilder, container: &str) -> Expr {
+    let size = Expr::method(Expr::ident(container), "size", vec![]);
+    Expr::Cast {
+        ty: Type::Int,
+        expr: Box::new(Expr::Paren(Box::new(size)).unparen_cast()),
+    }
+}
+
+trait UnparenCast {
+    fn unparen_cast(self) -> Expr;
+}
+
+impl UnparenCast for Expr {
+    fn unparen_cast(self) -> Expr {
+        // Method calls are postfix-tight; no parens needed under a cast.
+        match self {
+            Expr::Paren(inner) if matches!(*inner, Expr::Call { .. }) => *inner,
+            other => other,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-case bodies
+// ---------------------------------------------------------------------------
+
+fn horse_race(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    b.push_comment(&mut s, "read track length and number of horses");
+    s.extend(b.read_vars(&[("distance", Type::Int), ("n_items", Type::Int)]));
+    let d = b.n("distance");
+    let n = b.n("n_items");
+    let t = b.n("time_val");
+    s.push(b.decl(Type::Double, &t, Expr::Float("0".into())));
+    let i = b.n("loop_index");
+
+    let mut loop_body = Vec::new();
+    loop_body.extend(b.read_vars(&[("position", Type::Int), ("speed", Type::Int)]));
+    let x = b.n("position");
+    let y = b.n("speed");
+    // x = d - x;
+    loop_body.push(Stmt::Expr(Expr::assign(
+        AssignOp::Assign,
+        Expr::ident(x.clone()),
+        Expr::bin(BinaryOp::Sub, Expr::ident(d.clone()), Expr::ident(x.clone())),
+    )));
+    // t = max(t, (double)x / (double)y);
+    let ratio = Expr::bin(
+        BinaryOp::Div,
+        b.cast_double(Expr::ident(x)),
+        b.cast_double(Expr::ident(y)),
+    );
+    loop_body.push(b.max_update(&t, ratio));
+    s.extend(b.count_loop(&i, Expr::Int(0), Expr::ident(n), loop_body));
+
+    let result = Expr::bin(
+        BinaryOp::Div,
+        b.cast_double(Expr::ident(d)),
+        Expr::ident(t),
+    );
+    (s, result)
+}
+
+fn sum_series(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("n_items", Type::Int)]));
+    let n = b.n("n_items");
+    let sum = b.n("sum");
+    let sum_ty = Result_::Long.ty(b);
+    s.push(b.decl(sum_ty, &sum, Expr::Int(0)));
+    let i = b.n("loop_index");
+    let mut body = Vec::new();
+    body.extend(b.read_vars(&[("value", Type::Int)]));
+    let v = b.n("value");
+    body.push(b.accumulate(&sum, AssignOp::Add, Expr::ident(v)));
+    s.extend(b.count_loop(&i, Expr::Int(0), Expr::ident(n), body));
+    (s, Expr::ident(sum))
+}
+
+fn min_max_diff(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("n_items", Type::Int)]));
+    let n = b.n("n_items");
+    let best = b.n("best");
+    let worst = b.n("worst");
+    s.push(b.decl(Type::Int, &best, Expr::Int(-1000000000)));
+    s.push(b.decl(Type::Int, &worst, Expr::Int(1000000000)));
+    let i = b.n("loop_index");
+    let mut body = Vec::new();
+    body.extend(b.read_vars(&[("value", Type::Int)]));
+    let v = b.n("value");
+    body.push(b.max_update(&best, Expr::ident(v.clone())));
+    // worst = min(worst, v) — spelled as an if to vary from max_update.
+    body.push(Stmt::If {
+        cond: Expr::bin(BinaryOp::Lt, Expr::ident(v.clone()), Expr::ident(worst.clone())),
+        then_branch: Block::new(vec![Stmt::Expr(Expr::assign(
+            AssignOp::Assign,
+            Expr::ident(worst.clone()),
+            Expr::ident(v),
+        ))]),
+        else_branch: None,
+    });
+    s.extend(b.count_loop(&i, Expr::Int(0), Expr::ident(n), body));
+    (
+        s,
+        Expr::bin(BinaryOp::Sub, Expr::ident(best), Expr::ident(worst)),
+    )
+}
+
+fn count_divisible(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("n_items", Type::Int), ("target", Type::Int)]));
+    let n = b.n("n_items");
+    let k = b.n("target");
+    let count = b.n("count");
+    s.push(b.decl(Type::Int, &count, Expr::Int(0)));
+    let i = b.n("loop_index");
+    let mut body = Vec::new();
+    body.extend(b.read_vars(&[("value", Type::Int)]));
+    let v = b.n("value");
+    let divisible = Expr::bin(
+        BinaryOp::Eq,
+        Expr::bin(BinaryOp::Mod, Expr::ident(v), Expr::ident(k)),
+        Expr::Int(0),
+    );
+    let bump = b.incr(&count);
+    body.push(Stmt::If {
+        cond: divisible,
+        then_branch: Block::new(vec![Stmt::Expr(bump)]),
+        else_branch: None,
+    });
+    s.extend(b.count_loop(&i, Expr::Int(0), Expr::ident(n), body));
+    (s, Expr::ident(count))
+}
+
+fn palindrome(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("text", Type::Str)]));
+    let text = b.n("text");
+    let flag = b.n("flag");
+    s.push(b.decl(Type::Bool, &flag, Expr::Bool(true)));
+    let i = b.n("loop_index");
+    let len = size_bound(b, &text);
+    // mirror index: s[len - 1 - i]
+    let mirror = Expr::index(
+        Expr::ident(text.clone()),
+        Expr::bin(
+            BinaryOp::Sub,
+            Expr::bin(BinaryOp::Sub, len.clone(), Expr::Int(1)),
+            Expr::ident(i.clone()),
+        ),
+    );
+    let body = vec![Stmt::If {
+        cond: Expr::bin(
+            BinaryOp::Ne,
+            Expr::index(Expr::ident(text.clone()), Expr::ident(i.clone())),
+            mirror,
+        ),
+        then_branch: Block::new(vec![Stmt::Expr(Expr::assign(
+            AssignOp::Assign,
+            Expr::ident(flag.clone()),
+            Expr::Bool(false),
+        ))]),
+        else_branch: None,
+    }];
+    let half = Expr::bin(BinaryOp::Div, len, Expr::Int(2));
+    s.extend(b.count_loop(&i, Expr::Int(0), half, body));
+    let ans = b.n("answer");
+    s.push(b.decl(Type::Str, &ans, Expr::Str("YES".into())));
+    s.push(Stmt::If {
+        cond: Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(Expr::ident(flag)),
+        },
+        then_branch: Block::new(vec![Stmt::Expr(Expr::assign(
+            AssignOp::Assign,
+            Expr::ident(ans.clone()),
+            Expr::Str("NO".into()),
+        ))]),
+        else_branch: None,
+    });
+    (s, Expr::ident(ans))
+}
+
+fn vowel_count(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("text", Type::Str)]));
+    let text = b.n("text");
+    let count = b.n("count");
+    s.push(b.decl(Type::Int, &count, Expr::Int(0)));
+    let is_vowel = |c: Expr| {
+        let eq = |ch: char, e: &Expr| Expr::bin(BinaryOp::Eq, e.clone(), Expr::Char(ch));
+        let mut cond = eq('a', &c);
+        for ch in ['e', 'i', 'o', 'u'] {
+            cond = Expr::bin(BinaryOp::Or, cond, eq(ch, &c));
+        }
+        cond
+    };
+    let bump = b.incr(&count);
+    // Structural fork: range-for over chars vs indexed loop.
+    if b.rng.next_bool(0.5) {
+        let ch = b.n("value");
+        let body = vec![Stmt::If {
+            cond: is_vowel(Expr::ident(ch.clone())),
+            then_branch: Block::new(vec![Stmt::Expr(bump)]),
+            else_branch: None,
+        }];
+        s.push(Stmt::ForEach {
+            ty: Type::Char,
+            name: ch,
+            by_ref: false,
+            iterable: Expr::ident(text),
+            body: Block::new(body),
+        });
+    } else {
+        let i = b.n("loop_index");
+        let body = vec![Stmt::If {
+            cond: is_vowel(Expr::index(Expr::ident(text.clone()), Expr::ident(i.clone()))),
+            then_branch: Block::new(vec![Stmt::Expr(bump)]),
+            else_branch: None,
+        }];
+        let bound = size_bound(b, &text);
+        s.extend(b.count_loop(&i, Expr::Int(0), bound, body));
+    }
+    (s, Expr::ident(count))
+}
+
+/// GCD gets its own program shape: the recursive variant defines a
+/// standalone helper (classic competitive idiom).
+fn gcd_program(b: &mut CodeBuilder) -> TranslationUnit {
+    let mut items = b.prologue(&["iostream"]);
+    let recursive = b.wants_helper();
+    if recursive {
+        let g = b.n("helper_fn");
+        let a = b.n("a_val");
+        let bn = b.n("b_val");
+        let recurse = Expr::call(
+            g.clone(),
+            vec![
+                Expr::ident(bn.clone()),
+                Expr::bin(BinaryOp::Mod, Expr::ident(a.clone()), Expr::ident(bn.clone())),
+            ],
+        );
+        let body = if b.style.structure.ternary {
+            vec![Stmt::Return(Some(Expr::Ternary {
+                cond: Box::new(Expr::bin(
+                    BinaryOp::Eq,
+                    Expr::ident(bn.clone()),
+                    Expr::Int(0),
+                )),
+                then_expr: Box::new(Expr::ident(a.clone())),
+                else_expr: Box::new(recurse),
+            }))]
+        } else {
+            vec![
+                Stmt::If {
+                    cond: Expr::bin(BinaryOp::Eq, Expr::ident(bn.clone()), Expr::Int(0)),
+                    then_branch: Block::new(vec![Stmt::Return(Some(Expr::ident(a.clone())))]),
+                    else_branch: None,
+                },
+                Stmt::Return(Some(recurse)),
+            ]
+        };
+        items.push(Item::Function(Function {
+            ret: Type::Int,
+            name: g.clone(),
+            params: vec![
+                Param {
+                    ty: Type::Int,
+                    name: a,
+                },
+                Param {
+                    ty: Type::Int,
+                    name: bn,
+                },
+            ],
+            body: Block::new(body),
+        }));
+        let main_stmts = b.case_loop(|b, case| {
+            let mut stmts = b.read_vars(&[("value", Type::Int), ("value2", Type::Int)]);
+            let x = b.n("value");
+            let y = b.n("value2");
+            let call = Expr::call(g.clone(), vec![Expr::ident(x), Expr::ident(y)]);
+            stmts.push(b.print_case(case, call, false));
+            stmts
+        });
+        items.push(main_fn(main_stmts));
+    } else {
+        let main_stmts = b.case_loop(|b, case| {
+            let mut stmts = b.read_vars(&[("value", Type::Int), ("value2", Type::Int)]);
+            let x = b.n("value");
+            let y = b.n("value2");
+            let tmp = b.n("temp");
+            stmts.push(Stmt::While {
+                cond: Expr::bin(BinaryOp::Ne, Expr::ident(y.clone()), Expr::Int(0)),
+                body: Block::new(vec![
+                    Stmt::Decl(Declaration {
+                        ty: Type::Int,
+                        declarators: vec![Declarator::init(tmp.clone(), Expr::ident(y.clone()))],
+                    }),
+                    Stmt::Expr(Expr::assign(
+                        AssignOp::Assign,
+                        Expr::ident(y.clone()),
+                        Expr::bin(BinaryOp::Mod, Expr::ident(x.clone()), Expr::ident(y.clone())),
+                    )),
+                    Stmt::Expr(Expr::assign(
+                        AssignOp::Assign,
+                        Expr::ident(x.clone()),
+                        Expr::ident(tmp.clone()),
+                    )),
+                ]),
+            });
+            stmts.push(b.print_case(case, Expr::ident(x), false));
+            stmts
+        });
+        items.push(main_fn(main_stmts));
+    }
+    TranslationUnit { items }
+}
+
+fn fibonacci(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("n_items", Type::Int)]));
+    let n = b.n("n_items");
+    let a = b.n("a_val");
+    let bb = b.n("b_val");
+    let ty = Result_::Long.ty(b);
+    s.push(b.decl(ty.clone(), &a, Expr::Int(0)));
+    s.push(b.decl(ty.clone(), &bb, Expr::Int(1)));
+    let i = b.n("loop_index");
+    let tmp = b.n("temp");
+    let body = vec![
+        Stmt::Decl(Declaration {
+            ty,
+            declarators: vec![Declarator::init(
+                tmp.clone(),
+                Expr::bin(BinaryOp::Add, Expr::ident(a.clone()), Expr::ident(bb.clone())),
+            )],
+        }),
+        Stmt::Expr(Expr::assign(
+            AssignOp::Assign,
+            Expr::ident(a.clone()),
+            Expr::ident(bb.clone()),
+        )),
+        Stmt::Expr(Expr::assign(
+            AssignOp::Assign,
+            Expr::ident(bb.clone()),
+            Expr::ident(tmp),
+        )),
+    ];
+    s.extend(b.count_loop(&i, Expr::Int(0), Expr::ident(n), body));
+    (s, Expr::ident(a))
+}
+
+fn sort_median(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("n_items", Type::Int)]));
+    let n = b.n("n_items");
+    let arr = b.n("arr");
+    s.push(Stmt::Decl(Declaration {
+        ty: Type::Vector(Box::new(Type::Int)),
+        declarators: vec![Declarator::ctor(arr.clone(), vec![Expr::ident(n.clone())])],
+    }));
+    let i = b.n("loop_index");
+    let body = vec![Stmt::Expr(Expr::bin(
+        BinaryOp::Shr,
+        Expr::ident("cin"),
+        Expr::index(Expr::ident(arr.clone()), Expr::ident(i.clone())),
+    ))];
+    s.extend(b.count_loop(&i, Expr::Int(0), Expr::ident(n.clone()), body));
+    s.push(Stmt::Expr(Expr::call(
+        "sort",
+        vec![
+            Expr::method(Expr::ident(arr.clone()), "begin", vec![]),
+            Expr::method(Expr::ident(arr.clone()), "end", vec![]),
+        ],
+    )));
+    let median = Expr::index(
+        Expr::ident(arr),
+        Expr::bin(BinaryOp::Div, Expr::ident(n), Expr::Int(2)),
+    );
+    (s, median)
+}
+
+fn pair_sum(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("n_items", Type::Int), ("target", Type::Int)]));
+    let n = b.n("n_items");
+    let k = b.n("target");
+    let arr = b.n("arr");
+    s.push(Stmt::Decl(Declaration {
+        ty: Type::Vector(Box::new(Type::Int)),
+        declarators: vec![Declarator::ctor(arr.clone(), vec![Expr::ident(n.clone())])],
+    }));
+    let i = b.n("loop_index");
+    let read_body = vec![Stmt::Expr(Expr::bin(
+        BinaryOp::Shr,
+        Expr::ident("cin"),
+        Expr::index(Expr::ident(arr.clone()), Expr::ident(i.clone())),
+    ))];
+    s.extend(b.count_loop(&i, Expr::Int(0), Expr::ident(n.clone()), read_body));
+    let count = b.n("count");
+    s.push(b.decl(Type::Int, &count, Expr::Int(0)));
+    let j = b.n("loop_index2");
+    let bump = b.incr(&count);
+    let inner_body = vec![Stmt::If {
+        cond: Expr::bin(
+            BinaryOp::Eq,
+            Expr::bin(
+                BinaryOp::Add,
+                Expr::index(Expr::ident(arr.clone()), Expr::ident(i.clone())),
+                Expr::index(Expr::ident(arr.clone()), Expr::ident(j.clone())),
+            ),
+            Expr::ident(k),
+        ),
+        then_branch: Block::new(vec![Stmt::Expr(bump)]),
+        else_branch: None,
+    }];
+    let inner = b.count_loop(
+        &j,
+        Expr::bin(BinaryOp::Add, Expr::ident(i.clone()), Expr::Int(1)),
+        Expr::ident(n.clone()),
+        inner_body,
+    );
+    s.extend(b.count_loop(&i, Expr::Int(0), Expr::ident(n), inner));
+    (s, Expr::ident(count))
+}
+
+fn bracket_balance(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("text", Type::Str)]));
+    let text = b.n("text");
+    let depth = b.n("count");
+    let flag = b.n("flag");
+    s.push(b.decl(Type::Int, &depth, Expr::Int(0)));
+    s.push(b.decl(Type::Bool, &flag, Expr::Bool(true)));
+    let i = b.n("loop_index");
+    let c = Expr::index(Expr::ident(text.clone()), Expr::ident(i.clone()));
+    let body = vec![
+        Stmt::If {
+            cond: Expr::bin(BinaryOp::Eq, c.clone(), Expr::Char('(')),
+            then_branch: Block::new(vec![Stmt::Expr(b.incr(&depth))]),
+            else_branch: Some(Block::new(vec![Stmt::Expr(Expr::assign(
+                AssignOp::Assign,
+                Expr::ident(depth.clone()),
+                Expr::bin(BinaryOp::Sub, Expr::ident(depth.clone()), Expr::Int(1)),
+            ))])),
+        },
+        Stmt::If {
+            cond: Expr::bin(BinaryOp::Lt, Expr::ident(depth.clone()), Expr::Int(0)),
+            then_branch: Block::new(vec![Stmt::Expr(Expr::assign(
+                AssignOp::Assign,
+                Expr::ident(flag.clone()),
+                Expr::Bool(false),
+            ))]),
+            else_branch: None,
+        },
+    ];
+    let bound = size_bound(b, &text);
+    s.extend(b.count_loop(&i, Expr::Int(0), bound, body));
+    let ans = b.n("answer");
+    s.push(b.decl(Type::Str, &ans, Expr::Str("YES".into())));
+    let bad = Expr::bin(
+        BinaryOp::Or,
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(Expr::ident(flag)),
+        },
+        Expr::bin(BinaryOp::Ne, Expr::ident(depth), Expr::Int(0)),
+    );
+    s.push(Stmt::If {
+        cond: bad,
+        then_branch: Block::new(vec![Stmt::Expr(Expr::assign(
+            AssignOp::Assign,
+            Expr::ident(ans.clone()),
+            Expr::Str("NO".into()),
+        ))]),
+        else_branch: None,
+    });
+    (s, Expr::ident(ans))
+}
+
+fn temperature_range(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("n_items", Type::Int)]));
+    let n = b.n("n_items");
+    s.extend(b.read_vars(&[("value", Type::Int)]));
+    let prev = b.n("value");
+    let sum = b.n("sum");
+    s.push(b.decl(Type::Int, &sum, Expr::Int(0)));
+    let i = b.n("loop_index");
+    let mut body = b.read_vars(&[("value2", Type::Int)]);
+    let cur = b.n("value2");
+    let diff = b.n("temp");
+    body.push(Stmt::Decl(Declaration {
+        ty: Type::Int,
+        declarators: vec![Declarator::init(
+            diff.clone(),
+            Expr::bin(BinaryOp::Sub, Expr::ident(cur.clone()), Expr::ident(prev.clone())),
+        )],
+    }));
+    body.push(Stmt::If {
+        cond: Expr::bin(BinaryOp::Lt, Expr::ident(diff.clone()), Expr::Int(0)),
+        then_branch: Block::new(vec![Stmt::Expr(Expr::assign(
+            AssignOp::Assign,
+            Expr::ident(diff.clone()),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(Expr::ident(diff.clone())),
+            },
+        ))]),
+        else_branch: None,
+    });
+    body.push(b.accumulate(&sum, AssignOp::Add, Expr::ident(diff)));
+    body.push(Stmt::Expr(Expr::assign(
+        AssignOp::Assign,
+        Expr::ident(prev),
+        Expr::ident(cur),
+    )));
+    s.extend(b.count_loop(
+        &i,
+        Expr::Int(1),
+        Expr::ident(n),
+        body,
+    ));
+    (s, Expr::ident(sum))
+}
+
+fn prime_count(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("limit", Type::Int)]));
+    let n = b.n("limit");
+    let count = b.n("count");
+    s.push(b.decl(Type::Int, &count, Expr::Int(0)));
+    let i = b.n("value");
+    let j = b.n("loop_index2");
+    let flag = b.n("flag");
+    let bump = b.incr(&count);
+    let inner = vec![Stmt::If {
+        cond: Expr::bin(
+            BinaryOp::Eq,
+            Expr::bin(BinaryOp::Mod, Expr::ident(i.clone()), Expr::ident(j.clone())),
+            Expr::Int(0),
+        ),
+        then_branch: Block::new(vec![
+            Stmt::Expr(Expr::assign(
+                AssignOp::Assign,
+                Expr::ident(flag.clone()),
+                Expr::Bool(false),
+            )),
+            Stmt::Break,
+        ]),
+        else_branch: None,
+    }];
+    let mut outer = vec![b.decl(Type::Bool, &flag, Expr::Bool(true))];
+    // j * j <= i
+    let j_loop = Stmt::For {
+        init: Some(Box::new(Stmt::Decl(Declaration {
+            ty: Type::Int,
+            declarators: vec![Declarator::init(j.clone(), Expr::Int(2))],
+        }))),
+        cond: Some(Expr::bin(
+            BinaryOp::Le,
+            Expr::bin(BinaryOp::Mul, Expr::ident(j.clone()), Expr::ident(j.clone())),
+            Expr::ident(i.clone()),
+        )),
+        step: Some(b.incr(&j)),
+        body: Block::new(inner),
+    };
+    outer.push(j_loop);
+    outer.push(Stmt::If {
+        cond: Expr::ident(flag),
+        then_branch: Block::new(vec![Stmt::Expr(bump)]),
+        else_branch: None,
+    });
+    s.extend(b.count_loop(
+        &i,
+        Expr::Int(2),
+        Expr::bin(BinaryOp::Add, Expr::ident(n), Expr::Int(1)),
+        outer,
+    ));
+    (s, Expr::ident(count))
+}
+
+fn digit_root(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("value", Type::Int)]));
+    let n = b.n("value");
+    let sum = b.n("sum");
+    let outer_body = vec![
+        Stmt::Decl(Declaration {
+            ty: Type::Int,
+            declarators: vec![Declarator::init(sum.clone(), Expr::Int(0))],
+        }),
+        Stmt::While {
+            cond: Expr::bin(BinaryOp::Gt, Expr::ident(n.clone()), Expr::Int(0)),
+            body: Block::new(vec![
+                b.accumulate(
+                    &sum,
+                    AssignOp::Add,
+                    Expr::bin(BinaryOp::Mod, Expr::ident(n.clone()), Expr::Int(10)),
+                ),
+                Stmt::Expr(Expr::assign(
+                    AssignOp::Div,
+                    Expr::ident(n.clone()),
+                    Expr::Int(10),
+                )),
+            ]),
+        },
+        Stmt::Expr(Expr::assign(
+            AssignOp::Assign,
+            Expr::ident(n.clone()),
+            Expr::ident(sum.clone()),
+        )),
+    ];
+    s.push(Stmt::While {
+        cond: Expr::bin(BinaryOp::Ge, Expr::ident(n.clone()), Expr::Int(10)),
+        body: Block::new(outer_body),
+    });
+    (s, Expr::ident(n))
+}
+
+fn longest_run(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[("n_items", Type::Int)]));
+    let n = b.n("n_items");
+    s.extend(b.read_vars(&[("value", Type::Int)]));
+    let prev = b.n("value");
+    let cur_run = b.n("count");
+    let best = b.n("best");
+    s.push(b.decl(Type::Int, &cur_run, Expr::Int(1)));
+    s.push(b.decl(Type::Int, &best, Expr::Int(1)));
+    let i = b.n("loop_index");
+    let mut body = b.read_vars(&[("value2", Type::Int)]);
+    let cur = b.n("value2");
+    // if (cur == prev) run++ else run = 1
+    let bump = b.incr(&cur_run);
+    body.push(Stmt::If {
+        cond: Expr::bin(
+            BinaryOp::Eq,
+            Expr::ident(cur.clone()),
+            Expr::ident(prev.clone()),
+        ),
+        then_branch: Block::new(vec![Stmt::Expr(bump)]),
+        else_branch: Some(Block::new(vec![Stmt::Expr(Expr::assign(
+            AssignOp::Assign,
+            Expr::ident(cur_run.clone()),
+            Expr::Int(1),
+        ))])),
+    });
+    body.push(b.max_update(&best, Expr::ident(cur_run.clone())));
+    body.push(Stmt::Expr(Expr::assign(
+        AssignOp::Assign,
+        Expr::ident(prev),
+        Expr::ident(cur),
+    )));
+    s.extend(b.count_loop(&i, Expr::Int(1), Expr::ident(n), body));
+    (s, Expr::ident(best))
+}
+
+fn mod_pow(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
+    let mut s = Vec::new();
+    s.extend(b.read_vars(&[
+        ("a_val", Type::Int),
+        ("b_val", Type::Int),
+        ("limit", Type::Int),
+    ]));
+    let a = b.n("a_val");
+    let e = b.n("b_val");
+    let m = b.n("limit");
+    let acc = b.n("answer");
+    let base = b.n("temp");
+    let ty = Result_::Long.ty(b);
+    s.push(b.decl(ty.clone(), &acc, Expr::Int(1)));
+    s.push(b.decl(
+        ty,
+        &base,
+        Expr::bin(BinaryOp::Mod, Expr::ident(a), Expr::ident(m.clone())),
+    ));
+    // while (e > 0) { if (e % 2 == 1) acc = acc * base % m; base = base * base % m; e /= 2; }
+    let odd = Expr::bin(
+        BinaryOp::Eq,
+        Expr::bin(BinaryOp::Mod, Expr::ident(e.clone()), Expr::Int(2)),
+        Expr::Int(1),
+    );
+    let mul_mod = |lhs: &str, rhs: &str, m: &str| {
+        Expr::bin(
+            BinaryOp::Mod,
+            Expr::bin(BinaryOp::Mul, Expr::ident(lhs), Expr::ident(rhs)),
+            Expr::ident(m),
+        )
+    };
+    let body = vec![
+        Stmt::If {
+            cond: odd,
+            then_branch: Block::new(vec![Stmt::Expr(Expr::assign(
+                AssignOp::Assign,
+                Expr::ident(acc.clone()),
+                mul_mod(&acc, &base, &m),
+            ))]),
+            else_branch: None,
+        },
+        Stmt::Expr(Expr::assign(
+            AssignOp::Assign,
+            Expr::ident(base.clone()),
+            mul_mod(&base, &base, &m),
+        )),
+        Stmt::Expr(Expr::assign(
+            AssignOp::Div,
+            Expr::ident(e.clone()),
+            Expr::Int(2),
+        )),
+    ];
+    s.push(Stmt::While {
+        cond: Expr::bin(BinaryOp::Gt, Expr::ident(e), Expr::Int(0)),
+        body: Block::new(body),
+    });
+    (s, Expr::ident(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthattr_lang::parse;
+
+    fn build_one(ch: ChallengeId, seed: u64) -> String {
+        let mut rng = Pcg64::new(seed);
+        let style = AuthorStyle::sample(&mut rng);
+        ch.render_solution(&style, rng.fork(&["file"]))
+    }
+
+    #[test]
+    fn every_challenge_renders_parseable_code_across_styles() {
+        for ch in ChallengeId::all() {
+            for seed in 0..25 {
+                let text = build_one(ch, seed);
+                parse(&text).unwrap_or_else(|e| {
+                    panic!("{} seed {seed}: {e}\n{text}", ch.name())
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn solutions_have_main_and_case_output() {
+        for ch in ChallengeId::all() {
+            let text = build_one(ch, 7);
+            assert!(text.contains("main"), "{}: {text}", ch.name());
+            assert!(text.contains("Case #"), "{}: {text}", ch.name());
+        }
+    }
+
+    #[test]
+    fn same_style_same_seed_is_reproducible() {
+        let a = build_one(ChallengeId::HorseRace, 3);
+        let b = build_one(ChallengeId::HorseRace, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_authors_differ_textually() {
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..20 {
+            distinct.insert(build_one(ChallengeId::SumSeries, seed));
+        }
+        assert!(
+            distinct.len() >= 18,
+            "authors should rarely collide, got {} distinct",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn helper_extraction_actually_happens_for_helper_authors() {
+        let mut seen_helper = false;
+        let mut seen_inline = false;
+        for seed in 0..40 {
+            let text = build_one(ChallengeId::SumSeries, seed);
+            let unit = parse(&text).unwrap();
+            let fns = unit.functions().count();
+            if fns >= 2 {
+                seen_helper = true;
+            } else {
+                seen_inline = true;
+            }
+        }
+        assert!(seen_helper && seen_inline);
+    }
+
+    #[test]
+    fn horse_race_matches_figure3_shape() {
+        // Force the paper's Figure 3 shape: inline, stream reads,
+        // printf output happens in some styles; here we just check the
+        // computation skeleton exists.
+        let text = build_one(ChallengeId::HorseRace, 11);
+        let unit = parse(&text).unwrap();
+        use synthattr_lang::metrics::AstMetrics;
+        let m = AstMetrics::measure(&unit);
+        use synthattr_lang::ast::NodeKind;
+        // Two nested loops => at least 2 loop nodes; a division; casts.
+        let loops = m.kind_count(NodeKind::ForStmt) + m.kind_count(NodeKind::WhileStmt);
+        assert!(loops >= 2, "{text}");
+        assert!(
+            m.kind_count(NodeKind::Cast) + m.kind_count(NodeKind::StaticCastNode) >= 1,
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn challenge_names_are_unique() {
+        let mut names: Vec<&str> = ChallengeId::all().iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ChallengeId::all().len());
+    }
+}

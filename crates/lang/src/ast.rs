@@ -1,0 +1,809 @@
+//! Abstract syntax tree for the C++ subset.
+//!
+//! The tree is deliberately *concrete enough* to preserve stylistic
+//! signal (comments, cast spelling, pre/post increment) while staying
+//! small enough to transform mechanically. Every node category also has
+//! a [`NodeKind`] discriminant used by the AST metrics in
+//! [`crate::metrics`].
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A whole source file.
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub struct TranslationUnit {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl TranslationUnit {
+    /// Creates an empty unit.
+    pub fn new() -> Self {
+        TranslationUnit { items: Vec::new() }
+    }
+
+    /// A structural hash of the tree.
+    ///
+    /// Two units have equal shape hashes iff they are structurally
+    /// identical (same items, statements, expressions, names and
+    /// literals). Layout/whitespace does not participate — it is not in
+    /// the tree — so `parse(render(u)) ` has the same shape hash as `u`
+    /// for any render style.
+    pub fn shape_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    /// Returns all function definitions in the unit.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Function(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Returns the function named `name`, if present.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions().find(|f| f.name == name)
+    }
+}
+
+impl Default for TranslationUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub enum Item {
+    /// `#include <path>` or `#include "path"`.
+    Include {
+        /// Header path without delimiters.
+        path: String,
+        /// `true` for `<...>`, `false` for `"..."`.
+        system: bool,
+    },
+    /// Any other preprocessor line, e.g. `#define MAXN 100`.
+    Define {
+        /// The raw directive text after `#`.
+        text: String,
+    },
+    /// `using namespace ns;`
+    UsingNamespace(String),
+    /// `typedef long long ll;`
+    Typedef {
+        /// The aliased type.
+        ty: Type,
+        /// The new name.
+        name: String,
+    },
+    /// `using ll = long long;`
+    UsingAlias {
+        /// The new name.
+        name: String,
+        /// The aliased type.
+        ty: Type,
+    },
+    /// A file-scope variable declaration.
+    GlobalVar(Declaration),
+    /// A function definition.
+    Function(Function),
+    /// A free-standing comment at file scope.
+    Comment(Comment),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub struct Function {
+    /// Return type.
+    pub ret: Type,
+    /// Function name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Body block.
+    pub body: Block,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub struct Param {
+    /// Parameter type (may be `Type::Ref`/`Type::Const` wrapped).
+    pub ty: Type,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Clone, PartialEq, Hash, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Creates a block from statements.
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Block { stmts }
+    }
+}
+
+/// A comment, `// line` or `/* block */`.
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub struct Comment {
+    /// The trimmed comment text.
+    pub text: String,
+    /// `true` when written as a block comment.
+    pub block: bool,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub enum Stmt {
+    /// A local declaration, possibly with several declarators.
+    Decl(Declaration),
+    /// An expression statement.
+    Expr(Expr),
+    /// `if (cond) then else else_`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Block,
+        /// Optional else branch (an `else if` chain is a block whose
+        /// single statement is another `If`).
+        else_branch: Option<Block>,
+    },
+    /// A classic three-clause `for`.
+    For {
+        /// Init clause (declaration or expression), if any.
+        init: Option<Box<Stmt>>,
+        /// Loop condition, if any.
+        cond: Option<Expr>,
+        /// Step expression, if any.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// A range-based `for (ty name : iterable)`.
+    ForEach {
+        /// Element type (often `Type::Auto`).
+        ty: Type,
+        /// Loop variable.
+        name: String,
+        /// Whether the loop variable is taken by reference.
+        by_ref: bool,
+        /// The iterated expression.
+        iterable: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Body.
+        body: Block,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `return expr;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// A nested block.
+    Block(Block),
+    /// A free-standing comment.
+    Comment(Comment),
+    /// A lone `;`.
+    Empty,
+}
+
+/// A declaration: one type, one or more declarators.
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub struct Declaration {
+    /// The declared type.
+    pub ty: Type,
+    /// One or more declarators, e.g. `x = 1, y, z[10]`.
+    pub declarators: Vec<Declarator>,
+}
+
+/// One declared name within a [`Declaration`].
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub struct Declarator {
+    /// Variable name.
+    pub name: String,
+    /// Optional array extent, e.g. `a[100]`.
+    pub array: Option<Expr>,
+    /// Optional initializer.
+    pub init: Option<Initializer>,
+}
+
+/// How a declarator is initialized. The two surface forms have
+/// different semantics for containers (`vector<int> v(3, 7)` is three
+/// sevens; `vector<int> v = {3, 7}` is two elements), so the AST keeps
+/// them distinct.
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub enum Initializer {
+    /// `name = expr`
+    Assign(Expr),
+    /// `name(args...)` constructor-call form.
+    Ctor(Vec<Expr>),
+}
+
+impl Declarator {
+    /// Shorthand for a plain name with an `= expr` initializer.
+    pub fn init(name: impl Into<String>, init: Expr) -> Self {
+        Declarator {
+            name: name.into(),
+            array: None,
+            init: Some(Initializer::Assign(init)),
+        }
+    }
+
+    /// Shorthand for a constructor-call initializer `name(args...)`.
+    pub fn ctor(name: impl Into<String>, args: Vec<Expr>) -> Self {
+        Declarator {
+            name: name.into(),
+            array: None,
+            init: Some(Initializer::Ctor(args)),
+        }
+    }
+
+    /// Shorthand for a plain uninitialized name.
+    pub fn plain(name: impl Into<String>) -> Self {
+        Declarator {
+            name: name.into(),
+            array: None,
+            init: None,
+        }
+    }
+}
+
+/// A type in the subset.
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub enum Type {
+    /// `void`
+    Void,
+    /// `bool`
+    Bool,
+    /// `char`
+    Char,
+    /// `int`
+    Int,
+    /// `long`
+    Long,
+    /// `long long`
+    LongLong,
+    /// `unsigned` / `unsigned int`
+    Unsigned,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `auto`
+    Auto,
+    /// `std::string` / `string`
+    Str,
+    /// A named (user or library) type, e.g. a typedef name.
+    Named(String),
+    /// `vector<T>`
+    Vector(Box<Type>),
+    /// `pair<A, B>`
+    Pair(Box<Type>, Box<Type>),
+    /// `map<K, V>`
+    Map(Box<Type>, Box<Type>),
+    /// `set<T>`
+    Set(Box<Type>),
+    /// `T&`
+    Ref(Box<Type>),
+    /// `const T`
+    Const(Box<Type>),
+}
+
+impl Type {
+    /// Wraps `self` in a reference.
+    pub fn by_ref(self) -> Type {
+        Type::Ref(Box::new(self))
+    }
+
+    /// Wraps `self` in `const`.
+    pub fn as_const(self) -> Type {
+        Type::Const(Box::new(self))
+    }
+}
+
+/// Binary operators (including stream `<<`/`>>`, which C++ overloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinaryOp {
+    /// Surface spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        use BinaryOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Mod => "%",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            And => "&&",
+            Or => "||",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            Shl => "<<",
+            Shr => ">>",
+        }
+    }
+
+    /// Binding power (higher binds tighter); mirrors C++ precedence.
+    pub fn precedence(self) -> u8 {
+        use BinaryOp::*;
+        match self {
+            Mul | Div | Mod => 10,
+            Add | Sub => 9,
+            Shl | Shr => 8,
+            Lt | Gt | Le | Ge => 7,
+            Eq | Ne => 6,
+            BitAnd => 5,
+            BitXor => 4,
+            BitOr => 3,
+            And => 2,
+            Or => 1,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `-x`
+    Neg,
+    /// `+x`
+    Plus,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+    /// `++x`
+    PreInc,
+    /// `--x`
+    PreDec,
+    /// `x++`
+    PostInc,
+    /// `x--`
+    PostDec,
+    /// `&x` (address-of, used by `scanf`-style IO)
+    AddrOf,
+}
+
+impl UnaryOp {
+    /// Whether the operator is written after its operand.
+    pub fn is_postfix(self) -> bool {
+        matches!(self, UnaryOp::PostInc | UnaryOp::PostDec)
+    }
+
+    /// Surface spelling.
+    pub fn symbol(self) -> &'static str {
+        use UnaryOp::*;
+        match self {
+            Neg => "-",
+            Plus => "+",
+            Not => "!",
+            BitNot => "~",
+            PreInc | PostInc => "++",
+            PreDec | PostDec => "--",
+            AddrOf => "&",
+        }
+    }
+}
+
+/// Compound assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+    /// `%=`
+    Mod,
+}
+
+impl AssignOp {
+    /// Surface spelling.
+    pub fn symbol(self) -> &'static str {
+        use AssignOp::*;
+        match self {
+            Assign => "=",
+            Add => "+=",
+            Sub => "-=",
+            Mul => "*=",
+            Div => "/=",
+            Mod => "%=",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal; the spelling is preserved verbatim.
+    Float(String),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// Character literal.
+    Char(char),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A name.
+    Ident(String),
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// An assignment (simple or compound). Right-associative.
+    Assign {
+        /// Operator.
+        op: AssignOp,
+        /// Target.
+        lhs: Box<Expr>,
+        /// Value.
+        rhs: Box<Expr>,
+    },
+    /// `cond ? a : b`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_expr: Box<Expr>,
+        /// Value when false.
+        else_expr: Box<Expr>,
+    },
+    /// A call, `callee(args...)`.
+    Call {
+        /// Callee (usually an identifier or member access).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Member access, `base.member` or `base->member`.
+    Member {
+        /// Object expression.
+        base: Box<Expr>,
+        /// Member name.
+        member: String,
+        /// `true` for `->`.
+        arrow: bool,
+    },
+    /// Indexing, `base[index]`.
+    Index {
+        /// Indexed expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// A C-style cast, `(double)x`.
+    Cast {
+        /// Target type.
+        ty: Type,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `static_cast<T>(x)`.
+    StaticCast {
+        /// Target type.
+        ty: Type,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Explicit parentheses preserved from source.
+    Paren(Box<Expr>),
+    /// A brace initializer list, `{a, b}`.
+    InitList(Vec<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for an identifier expression.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+
+    /// Shorthand for a binary expression.
+    pub fn bin(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Shorthand for an assignment expression.
+    pub fn assign(op: AssignOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Assign {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Shorthand for a free-function call.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            callee: Box::new(Expr::ident(name)),
+            args,
+        }
+    }
+
+    /// Shorthand for a method call `base.name(args)`.
+    pub fn method(base: Expr, name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            callee: Box::new(Expr::Member {
+                base: Box::new(base),
+                member: name.into(),
+                arrow: false,
+            }),
+            args,
+        }
+    }
+
+    /// Shorthand for `base[index]`.
+    pub fn index(base: Expr, index: Expr) -> Expr {
+        Expr::Index {
+            base: Box::new(base),
+            index: Box::new(index),
+        }
+    }
+
+    /// Strips any number of [`Expr::Paren`] wrappers.
+    pub fn unparenthesized(&self) -> &Expr {
+        let mut e = self;
+        while let Expr::Paren(inner) = e {
+            e = inner;
+        }
+        e
+    }
+}
+
+/// Discriminants for every AST node category, used for syntactic
+/// feature extraction (node-kind term frequencies and bigrams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum NodeKind {
+    Unit,
+    Include,
+    Define,
+    UsingNamespace,
+    Typedef,
+    UsingAlias,
+    GlobalVar,
+    Function,
+    Param,
+    Block,
+    DeclStmt,
+    ExprStmt,
+    IfStmt,
+    ForStmt,
+    ForEachStmt,
+    WhileStmt,
+    DoWhileStmt,
+    ReturnStmt,
+    BreakStmt,
+    ContinueStmt,
+    CommentNode,
+    EmptyStmt,
+    Declarator,
+    IntLit,
+    FloatLit,
+    StrLit,
+    CharLit,
+    BoolLit,
+    Ident,
+    Unary,
+    Binary,
+    Assign,
+    Ternary,
+    Call,
+    Member,
+    Index,
+    Cast,
+    StaticCastNode,
+    Paren,
+    InitList,
+    TypeNode,
+}
+
+impl NodeKind {
+    /// Total number of node kinds (for fixed-size count arrays).
+    pub const COUNT: usize = 41;
+
+    /// Dense index of the kind in `[0, COUNT)`.
+    pub fn index(self) -> usize {
+        self as u8 as usize
+    }
+
+    /// All kinds in index order.
+    pub fn all() -> [NodeKind; Self::COUNT] {
+        use NodeKind::*;
+        [
+            Unit,
+            Include,
+            Define,
+            UsingNamespace,
+            Typedef,
+            UsingAlias,
+            GlobalVar,
+            Function,
+            Param,
+            Block,
+            DeclStmt,
+            ExprStmt,
+            IfStmt,
+            ForStmt,
+            ForEachStmt,
+            WhileStmt,
+            DoWhileStmt,
+            ReturnStmt,
+            BreakStmt,
+            ContinueStmt,
+            CommentNode,
+            EmptyStmt,
+            Declarator,
+            IntLit,
+            FloatLit,
+            StrLit,
+            CharLit,
+            BoolLit,
+            Ident,
+            Unary,
+            Binary,
+            Assign,
+            Ternary,
+            Call,
+            Member,
+            Index,
+            Cast,
+            StaticCastNode,
+            Paren,
+            InitList,
+            TypeNode,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_unit() -> TranslationUnit {
+        TranslationUnit {
+            items: vec![Item::Function(Function {
+                ret: Type::Int,
+                name: "main".into(),
+                params: vec![],
+                body: Block::new(vec![Stmt::Return(Some(Expr::Int(0)))]),
+            })],
+        }
+    }
+
+    #[test]
+    fn shape_hash_is_stable_and_sensitive() {
+        let a = tiny_unit();
+        let b = tiny_unit();
+        assert_eq!(a.shape_hash(), b.shape_hash());
+        let mut c = tiny_unit();
+        if let Item::Function(f) = &mut c.items[0] {
+            f.name = "main2".into();
+        }
+        assert_ne!(a.shape_hash(), c.shape_hash());
+    }
+
+    #[test]
+    fn functions_iterator_and_lookup() {
+        let unit = tiny_unit();
+        assert_eq!(unit.functions().count(), 1);
+        assert!(unit.function("main").is_some());
+        assert!(unit.function("nope").is_none());
+    }
+
+    #[test]
+    fn node_kind_indices_are_dense_and_unique() {
+        let all = NodeKind::all();
+        assert_eq!(all.len(), NodeKind::COUNT);
+        for (i, k) in all.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn precedence_ordering_matches_cpp() {
+        assert!(BinaryOp::Mul.precedence() > BinaryOp::Add.precedence());
+        assert!(BinaryOp::Add.precedence() > BinaryOp::Shl.precedence());
+        assert!(BinaryOp::Shl.precedence() > BinaryOp::Lt.precedence());
+        assert!(BinaryOp::Lt.precedence() > BinaryOp::Eq.precedence());
+        assert!(BinaryOp::And.precedence() > BinaryOp::Or.precedence());
+    }
+
+    #[test]
+    fn expr_helpers_build_expected_shapes() {
+        let e = Expr::method(Expr::ident("v"), "push_back", vec![Expr::Int(1)]);
+        match e {
+            Expr::Call { callee, args } => {
+                assert_eq!(args.len(), 1);
+                assert!(matches!(*callee, Expr::Member { .. }));
+            }
+            _ => panic!("expected call"),
+        }
+        let p = Expr::Paren(Box::new(Expr::Paren(Box::new(Expr::Int(3)))));
+        assert_eq!(p.unparenthesized(), &Expr::Int(3));
+    }
+
+    #[test]
+    fn unary_postfix_classification() {
+        assert!(UnaryOp::PostInc.is_postfix());
+        assert!(!UnaryOp::PreInc.is_postfix());
+        assert_eq!(UnaryOp::PostInc.symbol(), "++");
+    }
+
+    #[test]
+    fn type_wrappers() {
+        let t = Type::Vector(Box::new(Type::Int)).by_ref();
+        assert!(matches!(t, Type::Ref(_)));
+        let c = Type::Str.as_const();
+        assert!(matches!(c, Type::Const(_)));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type shared by the lexer and parser.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while lexing or parsing C++ source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    line: u32,
+}
+
+impl ParseError {
+    /// Creates an error at 1-based source `line`.
+    pub fn new(message: impl Into<String>, line: u32) -> Self {
+        ParseError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// The 1-based source line the error was detected on.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// The human-readable description (without position).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_line_and_message() {
+        let e = ParseError::new("expected ';'", 12);
+        assert_eq!(e.to_string(), "parse error at line 12: expected ';'");
+        assert_eq!(e.line(), 12);
+        assert_eq!(e.message(), "expected ';'");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(ParseError::new("x", 1));
+    }
+}

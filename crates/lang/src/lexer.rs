@@ -1,0 +1,610 @@
+//! Hand-written lexer for the C++ subset.
+//!
+//! The lexer never panics on arbitrary input: unknown characters
+//! produce a [`ParseError`] with position information. Comments and
+//! preprocessor directives are kept as tokens because the parser
+//! attaches them to the AST (comments are stylistic signal).
+
+use crate::error::ParseError;
+use crate::token::{Span, Token, TokenKind};
+
+/// Lexes `src` into a token stream terminated by [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for unterminated string/char literals,
+/// unterminated block comments, or characters outside the subset.
+///
+/// # Example
+///
+/// ```
+/// use synthattr_lang::lexer::lex;
+/// let toks = lex("int x = 1;")?;
+/// assert_eq!(toks.len(), 6); // int, x, =, 1, ;, eof
+/// # Ok::<(), synthattr_lang::ParseError>(())
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn peek3(&self) -> u8 {
+        *self.src.get(self.pos + 2).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token::new(kind, Span::new(start, self.pos, line)));
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.line)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        loop {
+            // Skip horizontal/vertical whitespace (it is recovered for
+            // layout features directly from the raw text, not tokens).
+            while matches!(self.peek(), b' ' | b'\t' | b'\r' | b'\n') {
+                self.bump();
+            }
+            let start = self.pos;
+            let line = self.line;
+            let c = self.peek();
+            if c == 0 {
+                self.push(TokenKind::Eof, start, line);
+                return Ok(self.tokens);
+            }
+            match c {
+                b'#' => self.directive(start, line),
+                b'/' if self.peek2() == b'/' => self.line_comment(start, line),
+                b'/' if self.peek2() == b'*' => self.block_comment(start, line)?,
+                b'"' => self.string_lit(start, line)?,
+                b'\'' => self.char_lit(start, line)?,
+                b'0'..=b'9' => self.number(start, line)?,
+                b'.' if self.peek2().is_ascii_digit() => self.number(start, line)?,
+                c if c == b'_' || c.is_ascii_alphabetic() => self.word(start, line),
+                _ => self.operator(start, line)?,
+            }
+        }
+    }
+
+    fn directive(&mut self, start: usize, line: u32) {
+        // A directive runs to the end of the line (no continuations in
+        // the subset).
+        while self.peek() != 0 && self.peek() != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos])
+            .trim_end()
+            .to_string();
+        self.push(TokenKind::Directive(text), start, line);
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        self.bump();
+        self.bump();
+        let body_start = self.pos;
+        while self.peek() != 0 && self.peek() != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[body_start..self.pos])
+            .trim()
+            .to_string();
+        self.push(TokenKind::Comment(text, false), start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) -> Result<(), ParseError> {
+        self.bump();
+        self.bump();
+        let body_start = self.pos;
+        loop {
+            if self.peek() == 0 {
+                return Err(self.error("unterminated block comment"));
+            }
+            if self.peek() == b'*' && self.peek2() == b'/' {
+                let text = String::from_utf8_lossy(&self.src[body_start..self.pos])
+                    .trim()
+                    .to_string();
+                self.bump();
+                self.bump();
+                self.push(TokenKind::Comment(text, true), start, line);
+                return Ok(());
+            }
+            self.bump();
+        }
+    }
+
+    fn string_lit(&mut self, start: usize, line: u32) -> Result<(), ParseError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                0 | b'\n' => return Err(self.error("unterminated string literal")),
+                b'"' => {
+                    self.bump();
+                    self.push(TokenKind::StrLit(out), start, line);
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.bump();
+                    let esc = self.bump();
+                    out.push(unescape(esc));
+                }
+                c => {
+                    self.bump();
+                    out.push(c as char);
+                }
+            }
+        }
+    }
+
+    fn char_lit(&mut self, start: usize, line: u32) -> Result<(), ParseError> {
+        self.bump(); // opening quote
+        let c = match self.peek() {
+            0 | b'\n' => return Err(self.error("unterminated character literal")),
+            b'\\' => {
+                self.bump();
+                unescape(self.bump())
+            }
+            c => {
+                self.bump();
+                c as char
+            }
+        };
+        if self.peek() != b'\'' {
+            return Err(self.error("unterminated character literal"));
+        }
+        self.bump();
+        self.push(TokenKind::CharLit(c), start, line);
+        Ok(())
+    }
+
+    fn number(&mut self, start: usize, line: u32) -> Result<(), ParseError> {
+        let mut is_float = false;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.peek() == b'.' && self.peek2() != b'.' {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E')
+            && (self.peek2().is_ascii_digit()
+                || (matches!(self.peek2(), b'+' | b'-') && self.peek3().is_ascii_digit()))
+        {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), b'+' | b'-') {
+                self.bump();
+            }
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        let text_end = self.pos;
+        // Absorb integer suffixes (LL, ll, u, U); the float suffix
+        // (f/F) is only valid on an actual floating literal — `0f` is
+        // not a number in C++, so the `f` is left for the next token.
+        loop {
+            match self.peek() {
+                b'l' | b'L' | b'u' | b'U' => {
+                    self.bump();
+                }
+                b'f' | b'F' if is_float => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..text_end])
+            .map_err(|_| self.error("invalid utf-8 in number"))?;
+        if is_float {
+            self.push(TokenKind::FloatLit(text.to_string()), start, line);
+        } else {
+            let value: i64 = text
+                .parse()
+                .map_err(|_| self.error(format!("integer literal out of range: {text}")))?;
+            self.push(TokenKind::IntLit(value), start, line);
+        }
+        Ok(())
+    }
+
+    fn word(&mut self, start: usize, line: u32) {
+        while self.peek() == b'_' || self.peek().is_ascii_alphanumeric() {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let kind = TokenKind::keyword(&text).unwrap_or(TokenKind::Ident(text));
+        self.push(kind, start, line);
+    }
+
+    fn operator(&mut self, start: usize, line: u32) -> Result<(), ParseError> {
+        use TokenKind::*;
+        let c = self.bump();
+        let kind = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'?' => Question,
+            b'~' => Tilde,
+            b'.' => Dot,
+            b':' => {
+                if self.peek() == b':' {
+                    self.bump();
+                    ColonColon
+                } else {
+                    Colon
+                }
+            }
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.bump();
+                    PlusPlus
+                }
+                b'=' => {
+                    self.bump();
+                    PlusAssign
+                }
+                _ => Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.bump();
+                    MinusMinus
+                }
+                b'=' => {
+                    self.bump();
+                    MinusAssign
+                }
+                b'>' => {
+                    self.bump();
+                    Arrow
+                }
+                _ => Minus,
+            },
+            b'*' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    StarAssign
+                } else {
+                    Star
+                }
+            }
+            b'/' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    SlashAssign
+                } else {
+                    Slash
+                }
+            }
+            b'%' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    PercentAssign
+                } else {
+                    Percent
+                }
+            }
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    Eq
+                } else {
+                    Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    Ne
+                } else {
+                    Not
+                }
+            }
+            b'<' => match (self.peek(), self.peek2()) {
+                (b'<', b'=') => {
+                    self.bump();
+                    self.bump();
+                    ShlAssign
+                }
+                (b'<', _) => {
+                    self.bump();
+                    Shl
+                }
+                (b'=', _) => {
+                    self.bump();
+                    Le
+                }
+                _ => Lt,
+            },
+            b'>' => match (self.peek(), self.peek2()) {
+                (b'>', b'=') => {
+                    self.bump();
+                    self.bump();
+                    ShrAssign
+                }
+                (b'>', _) => {
+                    self.bump();
+                    Shr
+                }
+                (b'=', _) => {
+                    self.bump();
+                    Ge
+                }
+                _ => Gt,
+            },
+            b'&' => match self.peek() {
+                b'&' => {
+                    self.bump();
+                    AndAnd
+                }
+                b'=' => {
+                    self.bump();
+                    AmpAssign
+                }
+                _ => Amp,
+            },
+            b'|' => match self.peek() {
+                b'|' => {
+                    self.bump();
+                    OrOr
+                }
+                b'=' => {
+                    self.bump();
+                    PipeAssign
+                }
+                _ => Pipe,
+            },
+            b'^' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    CaretAssign
+                } else {
+                    Caret
+                }
+            }
+            other => {
+                return Err(self.error(format!(
+                    "unexpected character {:?}",
+                    other as char
+                )))
+            }
+        };
+        self.push(kind, start, line);
+        Ok(())
+    }
+}
+
+fn unescape(c: u8) -> char {
+    match c {
+        b'n' => '\n',
+        b't' => '\t',
+        b'r' => '\r',
+        b'0' => '\0',
+        b'\\' => '\\',
+        b'\'' => '\'',
+        b'"' => '"',
+        other => other as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![KwInt, Ident("x".into()), Assign, IntLit(42), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_stream_io() {
+        assert_eq!(
+            kinds("cin >> n; cout << n;"),
+            vec![
+                Ident("cin".into()),
+                Shr,
+                Ident("n".into()),
+                Semi,
+                Ident("cout".into()),
+                Shl,
+                Ident("n".into()),
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_multi_char_operators() {
+        assert_eq!(
+            kinds("a<=b >=c ==d !=e &&f ||g ++h --i += -= *= /= %= <<= >>= ::"),
+            vec![
+                Ident("a".into()),
+                Le,
+                Ident("b".into()),
+                Ge,
+                Ident("c".into()),
+                Eq,
+                Ident("d".into()),
+                Ne,
+                Ident("e".into()),
+                AndAnd,
+                Ident("f".into()),
+                OrOr,
+                Ident("g".into()),
+                PlusPlus,
+                Ident("h".into()),
+                MinusMinus,
+                Ident("i".into()),
+                PlusAssign,
+                MinusAssign,
+                StarAssign,
+                SlashAssign,
+                PercentAssign,
+                ShlAssign,
+                ShrAssign,
+                ColonColon,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_float_and_suffixes() {
+        assert_eq!(
+            kinds("1.5 2e3 7LL 3.0f .25"),
+            vec![
+                FloatLit("1.5".into()),
+                FloatLit("2e3".into()),
+                IntLit(7),
+                FloatLit("3.0".into()),
+                FloatLit(".25".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn float_suffix_does_not_attach_to_integers() {
+        // `0f` is not a C++ literal: the `f` starts the next token.
+        assert_eq!(
+            kinds("00f"),
+            vec![IntLit(0), Ident("f".into()), Eof]
+        );
+        assert_eq!(kinds("7u"), vec![IntLit(7), Eof]);
+    }
+
+    #[test]
+    fn lexes_string_with_escapes() {
+        assert_eq!(
+            kinds(r#"cout << "Case #\n";"#),
+            vec![
+                Ident("cout".into()),
+                Shl,
+                StrLit("Case #\n".into()),
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_char_literal() {
+        assert_eq!(kinds("'a' '\\n'"), vec![CharLit('a'), CharLit('\n'), Eof]);
+    }
+
+    #[test]
+    fn lexes_comments() {
+        assert_eq!(
+            kinds("// hello\nx /* wor ld */ y"),
+            vec![
+                Comment("hello".into(), false),
+                Ident("x".into()),
+                Comment("wor ld".into(), true),
+                Ident("y".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_directives() {
+        assert_eq!(
+            kinds("#include <iostream>\n#define MAXN 100\nint x;"),
+            vec![
+                Directive("#include <iostream>".into()),
+                Directive("#define MAXN 100".into()),
+                KwInt,
+                Ident("x".into()),
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.span.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\nd\"").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("int $x;").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn rejects_overflowing_integer() {
+        assert!(lex("999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![Eof]);
+        assert_eq!(kinds("   \n\t "), vec![Eof]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Syntactic measurements over the AST.
+//!
+//! These are the "syntactic features" of the Caliskan-Islam feature
+//! set: tree depth statistics, node-kind term frequencies, and
+//! parent–child node-kind bigram frequencies.
+
+use crate::ast::{NodeKind, TranslationUnit};
+use crate::visit::{walk_unit, Visitor};
+use std::collections::HashMap;
+
+/// Aggregated syntactic metrics of one translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstMetrics {
+    /// Total AST nodes.
+    pub node_count: usize,
+    /// Maximum node depth (unit = 0).
+    pub max_depth: usize,
+    /// Mean node depth.
+    pub avg_depth: f64,
+    /// Occurrences of each [`NodeKind`], indexed by [`NodeKind::index`].
+    pub kind_counts: [usize; NodeKind::COUNT],
+    /// Parent–child kind bigram occurrences.
+    pub bigram_counts: HashMap<(NodeKind, NodeKind), usize>,
+    /// Mean number of children over internal (non-leaf) nodes.
+    pub avg_branching: f64,
+}
+
+impl AstMetrics {
+    /// Computes metrics for `unit`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use synthattr_lang::{parse, metrics::AstMetrics};
+    /// let unit = parse("int main() { return 1 + 2; }")?;
+    /// let m = AstMetrics::measure(&unit);
+    /// assert!(m.node_count > 5);
+    /// assert!(m.max_depth >= 3);
+    /// # Ok::<(), synthattr_lang::ParseError>(())
+    /// ```
+    pub fn measure(unit: &TranslationUnit) -> Self {
+        let mut collector = Collector::default();
+        walk_unit(unit, &mut collector);
+        collector.finish()
+    }
+
+    /// Count for one node kind.
+    pub fn kind_count(&self, kind: NodeKind) -> usize {
+        self.kind_counts[kind.index()]
+    }
+}
+
+struct Collector {
+    node_count: usize,
+    depth_sum: usize,
+    max_depth: usize,
+    kind_counts: [usize; NodeKind::COUNT],
+    bigram_counts: HashMap<(NodeKind, NodeKind), usize>,
+    /// Stack of ancestors: `stack[d]` is the most recent node at depth d.
+    stack: Vec<NodeKind>,
+    /// Total parent→child edges seen.
+    children_total: usize,
+    /// Number of nodes that received at least one child.
+    internal_nodes: usize,
+    /// Stack of "has this ancestor been counted as internal yet".
+    counted: Vec<bool>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector {
+            node_count: 0,
+            depth_sum: 0,
+            max_depth: 0,
+            kind_counts: [0; NodeKind::COUNT],
+            bigram_counts: HashMap::new(),
+            stack: Vec::new(),
+            children_total: 0,
+            internal_nodes: 0,
+            counted: Vec::new(),
+        }
+    }
+}
+
+impl Visitor for Collector {
+    fn visit(&mut self, kind: NodeKind, depth: usize) {
+        self.node_count += 1;
+        self.depth_sum += depth;
+        self.max_depth = self.max_depth.max(depth);
+        self.kind_counts[kind.index()] += 1;
+
+        self.stack.truncate(depth);
+        self.counted.truncate(depth);
+        if depth > 0 {
+            if let Some(&parent) = self.stack.last() {
+                *self.bigram_counts.entry((parent, kind)).or_insert(0) += 1;
+                self.children_total += 1;
+                if let Some(flag) = self.counted.last_mut() {
+                    if !*flag {
+                        *flag = true;
+                        self.internal_nodes += 1;
+                    }
+                }
+            }
+        }
+        self.stack.push(kind);
+        self.counted.push(false);
+    }
+}
+
+impl Collector {
+    fn finish(self) -> AstMetrics {
+        let avg_depth = if self.node_count == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.node_count as f64
+        };
+        let avg_branching = if self.internal_nodes == 0 {
+            0.0
+        } else {
+            self.children_total as f64 / self.internal_nodes as f64
+        };
+        AstMetrics {
+            node_count: self.node_count,
+            max_depth: self.max_depth,
+            avg_depth,
+            kind_counts: self.kind_counts,
+            bigram_counts: self.bigram_counts,
+            avg_branching,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn counts_basic_kinds() {
+        let unit = parse(
+            "int main() { int x = 1; if (x > 0) { x++; } for (int i = 0; i < 3; ++i) { } return x; }",
+        )
+        .unwrap();
+        let m = AstMetrics::measure(&unit);
+        assert_eq!(m.kind_count(NodeKind::Function), 1);
+        assert_eq!(m.kind_count(NodeKind::IfStmt), 1);
+        assert_eq!(m.kind_count(NodeKind::ForStmt), 1);
+        assert_eq!(m.kind_count(NodeKind::ReturnStmt), 1);
+        assert!(m.kind_count(NodeKind::Ident) >= 4);
+    }
+
+    #[test]
+    fn deeper_nesting_increases_depth() {
+        let flat = parse("int main() { int a = 1; int b = 2; int c = 3; return a; }").unwrap();
+        let deep =
+            parse("int main() { if (1) { if (1) { if (1) { return 1; } } } return 0; }").unwrap();
+        let mf = AstMetrics::measure(&flat);
+        let md = AstMetrics::measure(&deep);
+        assert!(md.max_depth > mf.max_depth);
+    }
+
+    #[test]
+    fn bigrams_capture_parent_child_pairs() {
+        let unit = parse("int main() { return 1 + 2; }").unwrap();
+        let m = AstMetrics::measure(&unit);
+        assert!(m
+            .bigram_counts
+            .contains_key(&(NodeKind::ReturnStmt, NodeKind::Binary)));
+        assert_eq!(
+            m.bigram_counts
+                .get(&(NodeKind::Binary, NodeKind::IntLit))
+                .copied(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn branching_factor_positive_and_consistent() {
+        let unit = parse("int main() { int a = 1, b = 2; return a + b; }").unwrap();
+        let m = AstMetrics::measure(&unit);
+        assert!(m.avg_branching >= 1.0);
+        // Total children == node_count - 1 (every node except the root
+        // is someone's child).
+        let children: usize = m.bigram_counts.values().sum();
+        assert_eq!(children, m.node_count - 1);
+    }
+
+    #[test]
+    fn empty_unit_is_all_zeroes() {
+        let unit = parse("").unwrap();
+        let m = AstMetrics::measure(&unit);
+        assert_eq!(m.node_count, 1); // the unit node itself
+        assert_eq!(m.max_depth, 0);
+        assert_eq!(m.avg_branching, 0.0);
+    }
+
+    #[test]
+    fn metrics_are_layout_invariant() {
+        use crate::render::{render, BraceStyle, Indent, RenderStyle};
+        let unit = parse("int main() { if (1) { return 1; } return 0; }").unwrap();
+        let restyled = render(
+            &unit,
+            &RenderStyle {
+                indent: Indent::Tab,
+                brace: BraceStyle::NextLine,
+                space_around_binary: false,
+                ..RenderStyle::default()
+            },
+        );
+        let unit2 = parse(&restyled).unwrap();
+        let m1 = AstMetrics::measure(&unit);
+        let m2 = AstMetrics::measure(&unit2);
+        assert_eq!(m1, m2);
+    }
+}

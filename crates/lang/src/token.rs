@@ -1,0 +1,337 @@
+//! Token definitions for the C++ subset lexer.
+
+use std::fmt;
+
+/// A half-open byte span into the original source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of the first character.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end` on `line`.
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+}
+
+/// The kind of a lexed token.
+///
+/// Keywords of the supported subset get dedicated variants; all other
+/// identifiers are [`TokenKind::Ident`]. Multi-character operators are
+/// single tokens (`<<`, `>>`, `<=`, `&&`, `+=`, …).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and names -------------------------------------------------
+    /// An integer literal, e.g. `42` (suffixes `LL`/`u` are absorbed).
+    IntLit(i64),
+    /// A floating literal; the original spelling is preserved.
+    FloatLit(String),
+    /// A double-quoted string literal (contents, unescaped).
+    StrLit(String),
+    /// A single-quoted character literal.
+    CharLit(char),
+    /// An identifier or non-keyword name.
+    Ident(String),
+
+    // Keywords ------------------------------------------------------------
+    KwInt,
+    KwLong,
+    KwShort,
+    KwChar,
+    KwBool,
+    KwFloat,
+    KwDouble,
+    KwVoid,
+    KwAuto,
+    KwConst,
+    KwUnsigned,
+    KwSigned,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwStruct,
+    KwTypedef,
+    KwUsing,
+    KwNamespace,
+    KwTrue,
+    KwFalse,
+    KwStaticCast,
+    KwSizeof,
+
+    // Punctuation and operators -------------------------------------------
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    ColonColon,
+    Question,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    AmpAssign,
+    Pipe,
+    PipeAssign,
+    Caret,
+    CaretAssign,
+    Tilde,
+    Shl,
+    Shr,
+    ShlAssign,
+    ShrAssign,
+
+    // Trivia the parser cares about ----------------------------------------
+    /// A `//` or `/* */` comment; `(text, is_block)`.
+    Comment(String, bool),
+    /// A full preprocessor line starting with `#` (without newline).
+    Directive(String),
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `word`, if it is a keyword of the
+    /// supported subset.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match word {
+            "int" => KwInt,
+            "long" => KwLong,
+            "short" => KwShort,
+            "char" => KwChar,
+            "bool" => KwBool,
+            "float" => KwFloat,
+            "double" => KwDouble,
+            "void" => KwVoid,
+            "auto" => KwAuto,
+            "const" => KwConst,
+            "unsigned" => KwUnsigned,
+            "signed" => KwSigned,
+            "if" => KwIf,
+            "else" => KwElse,
+            "for" => KwFor,
+            "while" => KwWhile,
+            "do" => KwDo,
+            "return" => KwReturn,
+            "break" => KwBreak,
+            "continue" => KwContinue,
+            "switch" => KwSwitch,
+            "case" => KwCase,
+            "default" => KwDefault,
+            "struct" => KwStruct,
+            "typedef" => KwTypedef,
+            "using" => KwUsing,
+            "namespace" => KwNamespace,
+            "true" => KwTrue,
+            "false" => KwFalse,
+            "static_cast" => KwStaticCast,
+            "sizeof" => KwSizeof,
+            _ => return None,
+        })
+    }
+
+    /// Whether this token can begin a type in the subset grammar.
+    pub fn starts_type(&self) -> bool {
+        use TokenKind::*;
+        matches!(
+            self,
+            KwInt
+                | KwLong
+                | KwShort
+                | KwChar
+                | KwBool
+                | KwFloat
+                | KwDouble
+                | KwVoid
+                | KwAuto
+                | KwConst
+                | KwUnsigned
+                | KwSigned
+        )
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            IntLit(v) => write!(f, "{v}"),
+            FloatLit(s) => write!(f, "{s}"),
+            StrLit(s) => write!(f, "\"{s}\""),
+            CharLit(c) => write!(f, "'{c}'"),
+            Ident(s) => write!(f, "{s}"),
+            Comment(_, _) => write!(f, "<comment>"),
+            Directive(d) => write!(f, "{d}"),
+            Eof => write!(f, "<eof>"),
+            other => {
+                let s = match other {
+                    KwInt => "int",
+                    KwLong => "long",
+                    KwShort => "short",
+                    KwChar => "char",
+                    KwBool => "bool",
+                    KwFloat => "float",
+                    KwDouble => "double",
+                    KwVoid => "void",
+                    KwAuto => "auto",
+                    KwConst => "const",
+                    KwUnsigned => "unsigned",
+                    KwSigned => "signed",
+                    KwIf => "if",
+                    KwElse => "else",
+                    KwFor => "for",
+                    KwWhile => "while",
+                    KwDo => "do",
+                    KwReturn => "return",
+                    KwBreak => "break",
+                    KwContinue => "continue",
+                    KwSwitch => "switch",
+                    KwCase => "case",
+                    KwDefault => "default",
+                    KwStruct => "struct",
+                    KwTypedef => "typedef",
+                    KwUsing => "using",
+                    KwNamespace => "namespace",
+                    KwTrue => "true",
+                    KwFalse => "false",
+                    KwStaticCast => "static_cast",
+                    KwSizeof => "sizeof",
+                    LParen => "(",
+                    RParen => ")",
+                    LBrace => "{",
+                    RBrace => "}",
+                    LBracket => "[",
+                    RBracket => "]",
+                    Semi => ";",
+                    Comma => ",",
+                    Colon => ":",
+                    ColonColon => "::",
+                    Question => "?",
+                    Dot => ".",
+                    Arrow => "->",
+                    Plus => "+",
+                    Minus => "-",
+                    Star => "*",
+                    Slash => "/",
+                    Percent => "%",
+                    PlusPlus => "++",
+                    MinusMinus => "--",
+                    Assign => "=",
+                    PlusAssign => "+=",
+                    MinusAssign => "-=",
+                    StarAssign => "*=",
+                    SlashAssign => "/=",
+                    PercentAssign => "%=",
+                    Eq => "==",
+                    Ne => "!=",
+                    Lt => "<",
+                    Gt => ">",
+                    Le => "<=",
+                    Ge => ">=",
+                    AndAnd => "&&",
+                    OrOr => "||",
+                    Not => "!",
+                    Amp => "&",
+                    AmpAssign => "&=",
+                    Pipe => "|",
+                    PipeAssign => "|=",
+                    Caret => "^",
+                    CaretAssign => "^=",
+                    Tilde => "~",
+                    Shl => "<<",
+                    Shr => ">>",
+                    ShlAssign => "<<=",
+                    ShrAssign => ">>=",
+                    _ => unreachable!(),
+                };
+                write!(f, "{s}")
+            }
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("int"), Some(TokenKind::KwInt));
+        assert_eq!(TokenKind::keyword("static_cast"), Some(TokenKind::KwStaticCast));
+        assert_eq!(TokenKind::keyword("vector"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+    }
+
+    #[test]
+    fn starts_type_classification() {
+        assert!(TokenKind::KwInt.starts_type());
+        assert!(TokenKind::KwConst.starts_type());
+        assert!(!TokenKind::KwIf.starts_type());
+        assert!(!TokenKind::Ident("vector".into()).starts_type());
+    }
+
+    #[test]
+    fn display_matches_surface_syntax() {
+        assert_eq!(TokenKind::Shl.to_string(), "<<");
+        assert_eq!(TokenKind::KwReturn.to_string(), "return");
+        assert_eq!(TokenKind::IntLit(7).to_string(), "7");
+        assert_eq!(TokenKind::StrLit("hi".into()).to_string(), "\"hi\"");
+    }
+}

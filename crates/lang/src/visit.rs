@@ -1,0 +1,589 @@
+//! AST traversal: read-only kind walking (for metrics) and mutation
+//! helpers (for the transformation engine).
+
+use crate::ast::*;
+use std::collections::HashMap;
+
+/// A read-only visitor receiving every node's [`NodeKind`] and depth.
+///
+/// Depth 0 is the translation unit itself; each structural level of
+/// nesting adds one.
+pub trait Visitor {
+    /// Called once per node in pre-order.
+    fn visit(&mut self, kind: NodeKind, depth: usize);
+
+    /// Called once per item, before its children. Default: no-op.
+    fn visit_item(&mut self, _item: &Item) {}
+
+    /// Called once per statement, before its children. Default: no-op.
+    fn visit_stmt(&mut self, _stmt: &Stmt) {}
+
+    /// Called once per expression, before its children. Default: no-op.
+    fn visit_expr(&mut self, _expr: &Expr) {}
+}
+
+/// Walks the unit in pre-order, invoking `v` for every node.
+pub fn walk_unit<V: Visitor>(unit: &TranslationUnit, v: &mut V) {
+    v.visit(NodeKind::Unit, 0);
+    for item in &unit.items {
+        walk_item(item, v, 1);
+    }
+}
+
+fn walk_item<V: Visitor>(item: &Item, v: &mut V, depth: usize) {
+    v.visit_item(item);
+    match item {
+        Item::Include { .. } => v.visit(NodeKind::Include, depth),
+        Item::Define { .. } => v.visit(NodeKind::Define, depth),
+        Item::UsingNamespace(_) => v.visit(NodeKind::UsingNamespace, depth),
+        Item::Typedef { .. } => v.visit(NodeKind::Typedef, depth),
+        Item::UsingAlias { .. } => v.visit(NodeKind::UsingAlias, depth),
+        Item::Comment(_) => v.visit(NodeKind::CommentNode, depth),
+        Item::GlobalVar(decl) => {
+            v.visit(NodeKind::GlobalVar, depth);
+            walk_declaration(decl, v, depth + 1);
+        }
+        Item::Function(f) => {
+            v.visit(NodeKind::Function, depth);
+            for _p in &f.params {
+                v.visit(NodeKind::Param, depth + 1);
+            }
+            walk_block(&f.body, v, depth + 1);
+        }
+    }
+}
+
+fn walk_block<V: Visitor>(block: &Block, v: &mut V, depth: usize) {
+    v.visit(NodeKind::Block, depth);
+    for stmt in &block.stmts {
+        walk_stmt(stmt, v, depth + 1);
+    }
+}
+
+fn walk_declaration<V: Visitor>(decl: &Declaration, v: &mut V, depth: usize) {
+    v.visit(NodeKind::TypeNode, depth);
+    for d in &decl.declarators {
+        v.visit(NodeKind::Declarator, depth);
+        if let Some(extent) = &d.array {
+            walk_expr(extent, v, depth + 1);
+        }
+        match &d.init {
+            Some(Initializer::Assign(e)) => walk_expr(e, v, depth + 1),
+            Some(Initializer::Ctor(args)) => {
+                for a in args {
+                    walk_expr(a, v, depth + 1);
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+fn walk_stmt<V: Visitor>(stmt: &Stmt, v: &mut V, depth: usize) {
+    v.visit_stmt(stmt);
+    match stmt {
+        Stmt::Decl(d) => {
+            v.visit(NodeKind::DeclStmt, depth);
+            walk_declaration(d, v, depth + 1);
+        }
+        Stmt::Expr(e) => {
+            v.visit(NodeKind::ExprStmt, depth);
+            walk_expr(e, v, depth + 1);
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            v.visit(NodeKind::IfStmt, depth);
+            walk_expr(cond, v, depth + 1);
+            walk_block(then_branch, v, depth + 1);
+            if let Some(e) = else_branch {
+                walk_block(e, v, depth + 1);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            v.visit(NodeKind::ForStmt, depth);
+            if let Some(i) = init {
+                walk_stmt(i, v, depth + 1);
+            }
+            if let Some(c) = cond {
+                walk_expr(c, v, depth + 1);
+            }
+            if let Some(s) = step {
+                walk_expr(s, v, depth + 1);
+            }
+            walk_block(body, v, depth + 1);
+        }
+        Stmt::ForEach { iterable, body, .. } => {
+            v.visit(NodeKind::ForEachStmt, depth);
+            walk_expr(iterable, v, depth + 1);
+            walk_block(body, v, depth + 1);
+        }
+        Stmt::While { cond, body } => {
+            v.visit(NodeKind::WhileStmt, depth);
+            walk_expr(cond, v, depth + 1);
+            walk_block(body, v, depth + 1);
+        }
+        Stmt::DoWhile { body, cond } => {
+            v.visit(NodeKind::DoWhileStmt, depth);
+            walk_block(body, v, depth + 1);
+            walk_expr(cond, v, depth + 1);
+        }
+        Stmt::Return(e) => {
+            v.visit(NodeKind::ReturnStmt, depth);
+            if let Some(e) = e {
+                walk_expr(e, v, depth + 1);
+            }
+        }
+        Stmt::Break => v.visit(NodeKind::BreakStmt, depth),
+        Stmt::Continue => v.visit(NodeKind::ContinueStmt, depth),
+        Stmt::Block(b) => walk_block(b, v, depth),
+        Stmt::Comment(_) => v.visit(NodeKind::CommentNode, depth),
+        Stmt::Empty => v.visit(NodeKind::EmptyStmt, depth),
+    }
+}
+
+fn walk_expr<V: Visitor>(expr: &Expr, v: &mut V, depth: usize) {
+    v.visit_expr(expr);
+    match expr {
+        Expr::Int(_) => v.visit(NodeKind::IntLit, depth),
+        Expr::Float(_) => v.visit(NodeKind::FloatLit, depth),
+        Expr::Str(_) => v.visit(NodeKind::StrLit, depth),
+        Expr::Char(_) => v.visit(NodeKind::CharLit, depth),
+        Expr::Bool(_) => v.visit(NodeKind::BoolLit, depth),
+        Expr::Ident(_) => v.visit(NodeKind::Ident, depth),
+        Expr::Unary { expr, .. } => {
+            v.visit(NodeKind::Unary, depth);
+            walk_expr(expr, v, depth + 1);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            v.visit(NodeKind::Binary, depth);
+            walk_expr(lhs, v, depth + 1);
+            walk_expr(rhs, v, depth + 1);
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            v.visit(NodeKind::Assign, depth);
+            walk_expr(lhs, v, depth + 1);
+            walk_expr(rhs, v, depth + 1);
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            v.visit(NodeKind::Ternary, depth);
+            walk_expr(cond, v, depth + 1);
+            walk_expr(then_expr, v, depth + 1);
+            walk_expr(else_expr, v, depth + 1);
+        }
+        Expr::Call { callee, args } => {
+            v.visit(NodeKind::Call, depth);
+            walk_expr(callee, v, depth + 1);
+            for a in args {
+                walk_expr(a, v, depth + 1);
+            }
+        }
+        Expr::Member { base, .. } => {
+            v.visit(NodeKind::Member, depth);
+            walk_expr(base, v, depth + 1);
+        }
+        Expr::Index { base, index } => {
+            v.visit(NodeKind::Index, depth);
+            walk_expr(base, v, depth + 1);
+            walk_expr(index, v, depth + 1);
+        }
+        Expr::Cast { expr, .. } => {
+            v.visit(NodeKind::Cast, depth);
+            walk_expr(expr, v, depth + 1);
+        }
+        Expr::StaticCast { expr, .. } => {
+            v.visit(NodeKind::StaticCastNode, depth);
+            walk_expr(expr, v, depth + 1);
+        }
+        Expr::Paren(inner) => {
+            v.visit(NodeKind::Paren, depth);
+            walk_expr(inner, v, depth + 1);
+        }
+        Expr::InitList(elems) => {
+            v.visit(NodeKind::InitList, depth);
+            for e in elems {
+                walk_expr(e, v, depth + 1);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation helpers
+// ---------------------------------------------------------------------------
+
+/// Collects every *user-declared* name in the unit: function names,
+/// parameters, local and global variables, and range-for variables.
+///
+/// Library names (`cin`, `max`, member names, …) never appear here, so
+/// a renaming built on this set cannot break library calls.
+pub fn declared_names(unit: &TranslationUnit) -> Vec<String> {
+    let mut names = Vec::new();
+    for item in &unit.items {
+        match item {
+            Item::GlobalVar(d) => {
+                names.extend(d.declarators.iter().map(|x| x.name.clone()));
+            }
+            Item::Function(f) => {
+                if f.name != "main" {
+                    names.push(f.name.clone());
+                }
+                names.extend(f.params.iter().map(|p| p.name.clone()));
+                collect_block_names(&f.body, &mut names);
+            }
+            _ => {}
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn collect_block_names(block: &Block, names: &mut Vec<String>) {
+    for stmt in &block.stmts {
+        collect_stmt_names(stmt, names);
+    }
+}
+
+fn collect_stmt_names(stmt: &Stmt, names: &mut Vec<String>) {
+    match stmt {
+        Stmt::Decl(d) => names.extend(d.declarators.iter().map(|x| x.name.clone())),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_block_names(then_branch, names);
+            if let Some(e) = else_branch {
+                collect_block_names(e, names);
+            }
+        }
+        Stmt::For { init, body, .. } => {
+            if let Some(i) = init {
+                collect_stmt_names(i, names);
+            }
+            collect_block_names(body, names);
+        }
+        Stmt::ForEach { name, body, .. } => {
+            names.push(name.clone());
+            collect_block_names(body, names);
+        }
+        Stmt::While { body, .. } => collect_block_names(body, names),
+        Stmt::DoWhile { body, .. } => collect_block_names(body, names),
+        Stmt::Block(b) => collect_block_names(b, names),
+        _ => {}
+    }
+}
+
+/// Applies `mapping` to every declaration site and identifier use in
+/// the unit. Member names, include paths, string literals, and any
+/// identifier not in the mapping are untouched.
+pub fn rename_idents(unit: &mut TranslationUnit, mapping: &HashMap<String, String>) {
+    let rename = |name: &mut String| {
+        if let Some(new) = mapping.get(name) {
+            *name = new.clone();
+        }
+    };
+    for item in &mut unit.items {
+        match item {
+            Item::GlobalVar(d) => rename_declaration(d, mapping),
+            Item::Function(f) => {
+                rename(&mut f.name);
+                for p in &mut f.params {
+                    rename(&mut p.name);
+                }
+                rename_block(&mut f.body, mapping);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn rename_declaration(decl: &mut Declaration, mapping: &HashMap<String, String>) {
+    for d in &mut decl.declarators {
+        if let Some(new) = mapping.get(&d.name) {
+            d.name = new.clone();
+        }
+        if let Some(extent) = &mut d.array {
+            rename_expr(extent, mapping);
+        }
+        match &mut d.init {
+            Some(Initializer::Assign(e)) => rename_expr(e, mapping),
+            Some(Initializer::Ctor(args)) => {
+                for a in args {
+                    rename_expr(a, mapping);
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+fn rename_block(block: &mut Block, mapping: &HashMap<String, String>) {
+    for stmt in &mut block.stmts {
+        rename_stmt(stmt, mapping);
+    }
+}
+
+fn rename_stmt(stmt: &mut Stmt, mapping: &HashMap<String, String>) {
+    match stmt {
+        Stmt::Decl(d) => rename_declaration(d, mapping),
+        Stmt::Expr(e) => rename_expr(e, mapping),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            rename_expr(cond, mapping);
+            rename_block(then_branch, mapping);
+            if let Some(e) = else_branch {
+                rename_block(e, mapping);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(i) = init {
+                rename_stmt(i, mapping);
+            }
+            if let Some(c) = cond {
+                rename_expr(c, mapping);
+            }
+            if let Some(s) = step {
+                rename_expr(s, mapping);
+            }
+            rename_block(body, mapping);
+        }
+        Stmt::ForEach {
+            name,
+            iterable,
+            body,
+            ..
+        } => {
+            if let Some(new) = mapping.get(name) {
+                *name = new.clone();
+            }
+            rename_expr(iterable, mapping);
+            rename_block(body, mapping);
+        }
+        Stmt::While { cond, body } => {
+            rename_expr(cond, mapping);
+            rename_block(body, mapping);
+        }
+        Stmt::DoWhile { body, cond } => {
+            rename_block(body, mapping);
+            rename_expr(cond, mapping);
+        }
+        Stmt::Return(Some(e)) => rename_expr(e, mapping),
+        Stmt::Block(b) => rename_block(b, mapping),
+        _ => {}
+    }
+}
+
+fn rename_expr(expr: &mut Expr, mapping: &HashMap<String, String>) {
+    match expr {
+        Expr::Ident(name) => {
+            if let Some(new) = mapping.get(name) {
+                *name = new.clone();
+            }
+        }
+        Expr::Unary { expr, .. } => rename_expr(expr, mapping),
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            rename_expr(lhs, mapping);
+            rename_expr(rhs, mapping);
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            rename_expr(cond, mapping);
+            rename_expr(then_expr, mapping);
+            rename_expr(else_expr, mapping);
+        }
+        Expr::Call { callee, args } => {
+            rename_expr(callee, mapping);
+            for a in args {
+                rename_expr(a, mapping);
+            }
+        }
+        Expr::Member { base, .. } => rename_expr(base, mapping),
+        Expr::Index { base, index } => {
+            rename_expr(base, mapping);
+            rename_expr(index, mapping);
+        }
+        Expr::Cast { expr, .. } | Expr::StaticCast { expr, .. } | Expr::Paren(expr) => {
+            rename_expr(expr, mapping)
+        }
+        Expr::InitList(elems) => {
+            for e in elems {
+                rename_expr(e, mapping);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Applies `f` to every statement block in the unit (function bodies
+/// and all nested blocks), outermost first. Used by structural
+/// transformations that rewrite statement lists.
+pub fn for_each_block_mut(unit: &mut TranslationUnit, f: &mut impl FnMut(&mut Block)) {
+    for item in &mut unit.items {
+        if let Item::Function(func) = item {
+            visit_block_mut(&mut func.body, f);
+        }
+    }
+}
+
+fn visit_block_mut(block: &mut Block, f: &mut impl FnMut(&mut Block)) {
+    f(block);
+    for stmt in &mut block.stmts {
+        match stmt {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                visit_block_mut(then_branch, f);
+                if let Some(e) = else_branch {
+                    visit_block_mut(e, f);
+                }
+            }
+            Stmt::For { body, .. }
+            | Stmt::ForEach { body, .. }
+            | Stmt::While { body, .. }
+            | Stmt::DoWhile { body, .. } => visit_block_mut(body, f),
+            Stmt::Block(b) => visit_block_mut(b, f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    const SRC: &str = r#"
+#include <iostream>
+using namespace std;
+int total;
+int helper(int a, vector<int>& xs) {
+    int acc = a;
+    for (auto& x : xs) acc += x;
+    return acc;
+}
+int main() {
+    int n;
+    cin >> n;
+    for (int i = 0; i < n; ++i) total += i;
+    cout << helper(total, *&) << endl;
+    return 0;
+}
+"#;
+
+    fn fixture() -> TranslationUnit {
+        // The `*&` above would be invalid; use a valid call instead.
+        let src = SRC.replace("*&", "xsv");
+        let src = src.replace(
+            "int main() {",
+            "vector<int> xsv;\nint main() {",
+        );
+        parse(&src).unwrap()
+    }
+
+    struct Counter {
+        nodes: usize,
+        max_depth: usize,
+    }
+
+    impl Visitor for Counter {
+        fn visit(&mut self, _kind: NodeKind, depth: usize) {
+            self.nodes += 1;
+            self.max_depth = self.max_depth.max(depth);
+        }
+    }
+
+    #[test]
+    fn walk_visits_every_node_once() {
+        let unit = fixture();
+        let mut c = Counter {
+            nodes: 0,
+            max_depth: 0,
+        };
+        walk_unit(&unit, &mut c);
+        assert!(c.nodes > 30, "expected a real tree, got {} nodes", c.nodes);
+        assert!(c.max_depth >= 5, "depth {}", c.max_depth);
+    }
+
+    #[test]
+    fn declared_names_excludes_library_and_main() {
+        let unit = fixture();
+        let names = declared_names(&unit);
+        for expected in ["helper", "a", "xs", "acc", "x", "n", "i", "total", "xsv"] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+        assert!(!names.contains(&"main".to_string()));
+        assert!(!names.contains(&"cin".to_string()));
+        assert!(!names.contains(&"cout".to_string()));
+        assert!(!names.contains(&"endl".to_string()));
+        assert!(!names.contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn rename_is_consistent_across_decl_and_use() {
+        let mut unit = fixture();
+        let mut mapping = HashMap::new();
+        mapping.insert("total".to_string(), "grandTotal".to_string());
+        mapping.insert("helper".to_string(), "accumulate".to_string());
+        rename_idents(&mut unit, &mapping);
+        let text = crate::render::render(&unit, &crate::render::RenderStyle::default());
+        assert!(!text.contains("total +="));
+        assert!(text.contains("grandTotal"));
+        assert!(text.contains("accumulate(grandTotal"));
+        assert!(!text.contains("helper("));
+        // Re-parses cleanly.
+        assert!(parse(&text).is_ok(), "{text}");
+    }
+
+    #[test]
+    fn rename_does_not_touch_members_or_strings() {
+        let mut unit = parse(
+            "int main() { vector<int> size; size.push_back(1); cout << \"size\"; return (int)size.size(); }",
+        )
+        .unwrap();
+        let mut mapping = HashMap::new();
+        mapping.insert("size".to_string(), "values".to_string());
+        rename_idents(&mut unit, &mapping);
+        let text = crate::render::render(&unit, &crate::render::RenderStyle::default());
+        assert!(text.contains("values.push_back"));
+        assert!(text.contains("values.size()"), "{text}");
+        assert!(text.contains("\"size\""), "string literal must survive: {text}");
+    }
+
+    #[test]
+    fn for_each_block_mut_reaches_nested_blocks() {
+        let mut unit = parse(
+            "int main() { if (1) { while (0) { int x = 1; } } for (;;) { } return 0; }",
+        )
+        .unwrap();
+        let mut blocks = 0;
+        for_each_block_mut(&mut unit, &mut |_b| blocks += 1);
+        // main body, if-then, while body, for body.
+        assert_eq!(blocks, 4);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the C++ frontend: total functions never panic,
+//! and structured inputs round-trip.
+
+use proptest::prelude::*;
+use synthattr_lang::lexer::lex;
+use synthattr_lang::parse;
+use synthattr_lang::render::{render, BraceStyle, Indent, RenderStyle};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer is total: any byte soup either lexes or returns an
+    /// error — it never panics.
+    #[test]
+    fn lexer_never_panics(input in ".{0,200}") {
+        let _ = lex(&input);
+    }
+
+    /// The parser is total over arbitrary input too.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Arbitrary C-ish token soup (identifiers, numbers, punctuation)
+    /// never panics the parser either.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "int", "x", "1", ";", "{", "}", "(", ")", "if", "else", "for",
+                "while", "return", "+", "-", "*", "/", "=", "==", "<", ">",
+                "<<", ">>", ",", "\"s\"", "'c'", "vector", "&", "++", "[", "]",
+            ]),
+            0..60,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = parse(&input);
+    }
+
+    /// Lexing preserves enough information that token display text
+    /// re-lexes to the same token stream (for non-trivia tokens —
+    /// comments and directives display as placeholders, so they are
+    /// excluded).
+    #[test]
+    fn token_display_relexes(input in "[a-z0-9 +\\-*/<>=;(){},]{0,80}") {
+        use synthattr_lang::token::TokenKind;
+        let is_trivia = |k: &TokenKind| {
+            matches!(k, TokenKind::Eof | TokenKind::Comment(_, _) | TokenKind::Directive(_))
+        };
+        if let Ok(tokens) = lex(&input) {
+            let text: String = tokens
+                .iter()
+                .filter(|t| !is_trivia(&t.kind))
+                .map(|t| format!("{} ", t.kind))
+                .collect();
+            if let Ok(again) = lex(&text) {
+                let a: Vec<String> = tokens
+                    .iter()
+                    .filter(|t| !is_trivia(&t.kind))
+                    .map(|t| format!("{}", t.kind))
+                    .collect();
+                let b: Vec<String> = again
+                    .iter()
+                    .filter(|t| !is_trivia(&t.kind))
+                    .map(|t| format!("{}", t.kind))
+                    .collect();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// For any valid program accepted by the parser, every render
+    /// style yields text that reparses to the same shape hash.
+    #[test]
+    fn render_roundtrips_under_arbitrary_styles(
+        indent_pick in 0usize..3,
+        next_line in any::<bool>(),
+        braceless in any::<bool>(),
+        spaced in any::<bool>(),
+        template_space in any::<bool>(),
+    ) {
+        let src = r#"
+#include <iostream>
+using namespace std;
+int helper(int a, vector<int>& xs) {
+    int acc = a;
+    for (auto& x : xs) acc += x;
+    if (acc > 3) return acc; else if (acc > 1) { return 1; } else return 0;
+}
+int main() {
+    vector<vector<int>> g;
+    int n;
+    cin >> n;
+    do { n--; } while (n > 0 && n < 100);
+    double d = (double)n / 2.0;
+    cout << "Case #" << 1 << ": " << d << endl;
+    return 0;
+}
+"#;
+        let unit = parse(src).unwrap();
+        let style = RenderStyle {
+            indent: [Indent::Spaces(2), Indent::Spaces(4), Indent::Tab][indent_pick],
+            brace: if next_line { BraceStyle::NextLine } else { BraceStyle::SameLine },
+            braceless_single_stmt: braceless,
+            space_around_binary: spaced,
+            space_after_comma: spaced,
+            space_after_keyword: spaced,
+            space_in_template_close: template_space,
+            ..RenderStyle::default()
+        };
+        let text = render(&unit, &style);
+        let again = parse(&text).expect("rendered text parses");
+        prop_assert_eq!(unit.shape_hash(), again.shape_hash());
+    }
+}

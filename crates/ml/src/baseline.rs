@@ -1,0 +1,173 @@
+//! Trivial baselines used as sanity floors.
+//!
+//! A stylometry model is only meaningful if it beats (a) always
+//! predicting the most common class and (b) a geometric
+//! nearest-centroid rule; the test suites and ablation benches compare
+//! against both.
+
+use crate::dataset::Dataset;
+
+/// Always predicts the training set's most common class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MajorityClassifier {
+    class: usize,
+}
+
+impl MajorityClassifier {
+    /// Learns the majority class (ties break low).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let counts = data.class_counts();
+        let class = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        MajorityClassifier { class }
+    }
+
+    /// The constant prediction.
+    pub fn predict(&self, _features: &[f64]) -> usize {
+        self.class
+    }
+
+    /// Predicts every row of `data`.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<usize> {
+        vec![self.class; data.len()]
+    }
+}
+
+/// Classifies by Euclidean distance to per-class mean vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NearestCentroid {
+    centroids: Vec<Option<Vec<f64>>>,
+}
+
+impl NearestCentroid {
+    /// Computes per-class centroids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let dim = data.dim();
+        let mut sums: Vec<Vec<f64>> = vec![vec![0.0; dim]; data.n_classes()];
+        let mut counts = vec![0usize; data.n_classes()];
+        for i in 0..data.len() {
+            let l = data.label(i);
+            counts[l] += 1;
+            for (s, &x) in sums[l].iter_mut().zip(data.row(i)) {
+                *s += x;
+            }
+        }
+        let centroids = sums
+            .into_iter()
+            .zip(&counts)
+            .map(|(sum, &c)| {
+                if c == 0 {
+                    None
+                } else {
+                    Some(sum.into_iter().map(|s| s / c as f64).collect())
+                }
+            })
+            .collect();
+        NearestCentroid { centroids }
+    }
+
+    /// Predicts the class with the nearest centroid (ties break low;
+    /// classes absent from training are never predicted).
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            if let Some(centroid) = centroid {
+                let dist: f64 = centroid
+                    .iter()
+                    .zip(features)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = c;
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts every row of `data`.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<usize> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn blobs() -> Dataset {
+        let mut ds = Dataset::new(3);
+        for i in 0..10 {
+            let jitter = i as f64 * 0.01;
+            ds.push(vec![0.0 + jitter, 0.0], 0);
+            ds.push(vec![10.0 + jitter, 0.0], 1);
+        }
+        // Class 2 has fewer samples.
+        ds.push(vec![0.0, 10.0], 2);
+        ds
+    }
+
+    #[test]
+    fn majority_picks_most_common() {
+        let mut ds = blobs();
+        ds.push(vec![0.5, 0.5], 0);
+        let m = MajorityClassifier::fit(&ds);
+        assert_eq!(m.predict(&[100.0, 100.0]), 0);
+        assert_eq!(m.predict_all(&ds).len(), ds.len());
+    }
+
+    #[test]
+    fn centroid_separates_blobs() {
+        let ds = blobs();
+        let nc = NearestCentroid::fit(&ds);
+        assert_eq!(nc.predict(&[0.1, 0.1]), 0);
+        assert_eq!(nc.predict(&[9.8, 0.2]), 1);
+        assert_eq!(nc.predict(&[0.0, 9.0]), 2);
+    }
+
+    #[test]
+    fn centroid_beats_majority_on_balanced_data() {
+        let ds = blobs();
+        let nc = NearestCentroid::fit(&ds);
+        let mj = MajorityClassifier::fit(&ds);
+        let nc_acc = accuracy(&nc.predict_all(&ds), ds.labels());
+        let mj_acc = accuracy(&mj.predict_all(&ds), ds.labels());
+        assert!(nc_acc > mj_acc);
+        assert!(nc_acc > 0.99);
+    }
+
+    #[test]
+    fn centroid_never_predicts_absent_class() {
+        let mut ds = Dataset::new(5);
+        ds.push(vec![0.0], 1);
+        ds.push(vec![1.0], 3);
+        let nc = NearestCentroid::fit(&ds);
+        for x in [-5.0, 0.0, 0.6, 9.0] {
+            let p = nc.predict(&[x]);
+            assert!(p == 1 || p == 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn fit_on_empty_panics() {
+        MajorityClassifier::fit(&Dataset::new(2));
+    }
+}

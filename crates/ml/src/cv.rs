@@ -1,0 +1,160 @@
+//! Cross-validation fold construction.
+//!
+//! The paper evaluates with one fold per GCJ challenge (8 folds of 8
+//! challenges): train on 7 challenges' code, test on the held-out
+//! challenge. [`group_folds`] implements that protocol;
+//! [`stratified_folds`] is the classic per-class-balanced k-fold used
+//! by the ablation benches.
+
+use synthattr_util::Pcg64;
+
+/// One train/test split as index lists into the original dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices to train on.
+    pub train: Vec<usize>,
+    /// Indices to evaluate on.
+    pub test: Vec<usize>,
+}
+
+/// Builds one fold per distinct group id: the fold tests on exactly
+/// that group and trains on all others.
+///
+/// Folds are ordered by ascending group id, so fold `k` of the paper's
+/// tables is challenge `k`.
+///
+/// # Panics
+///
+/// Panics if `groups` is empty.
+pub fn group_folds(groups: &[usize]) -> Vec<Fold> {
+    assert!(!groups.is_empty(), "cannot fold an empty dataset");
+    let mut ids: Vec<usize> = groups.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.iter()
+        .map(|&g| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, &gi) in groups.iter().enumerate() {
+                if gi == g {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            Fold { train, test }
+        })
+        .collect()
+}
+
+/// Classic stratified k-fold: every fold's test set has approximately
+/// the dataset's class proportions.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `labels` is empty.
+pub fn stratified_folds(labels: &[usize], k: usize, rng: &mut Pcg64) -> Vec<Fold> {
+    assert!(k > 0, "k must be positive");
+    assert!(!labels.is_empty(), "cannot fold an empty dataset");
+    let n_classes = labels.iter().max().unwrap() + 1;
+    // Per-class index pools, shuffled.
+    let mut pools: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        pools[l].push(i);
+    }
+    let mut assignment = vec![0usize; labels.len()];
+    for pool in &mut pools {
+        rng.shuffle(pool);
+        for (j, &i) in pool.iter().enumerate() {
+            assignment[i] = j % k;
+        }
+    }
+    (0..k)
+        .map(|fold| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, &a) in assignment.iter().enumerate() {
+                if a == fold {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            Fold { train, test }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_folds_partition_exactly() {
+        let groups = [0, 1, 2, 0, 1, 2, 0];
+        let folds = group_folds(&groups);
+        assert_eq!(folds.len(), 3);
+        for fold in &folds {
+            assert_eq!(fold.train.len() + fold.test.len(), groups.len());
+            // Disjoint.
+            for t in &fold.test {
+                assert!(!fold.train.contains(t));
+            }
+        }
+        // Every sample is tested exactly once across folds.
+        let mut tested: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        tested.sort_unstable();
+        assert_eq!(tested, (0..groups.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_folds_test_on_single_group() {
+        let groups = [0, 1, 1, 0, 2];
+        let folds = group_folds(&groups);
+        assert_eq!(folds[1].test, vec![1, 2]);
+        assert!(folds[1].train.iter().all(|&i| groups[i] != 1));
+    }
+
+    #[test]
+    fn stratified_folds_balance_classes() {
+        // 30 of class 0, 30 of class 1.
+        let labels: Vec<usize> = (0..60).map(|i| i % 2).collect();
+        let folds = stratified_folds(&labels, 3, &mut Pcg64::new(1));
+        assert_eq!(folds.len(), 3);
+        for fold in &folds {
+            let c0 = fold.test.iter().filter(|&&i| labels[i] == 0).count();
+            let c1 = fold.test.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(c0, 10);
+            assert_eq!(c1, 10);
+        }
+    }
+
+    #[test]
+    fn stratified_folds_cover_everything_once() {
+        let labels: Vec<usize> = (0..23).map(|i| i % 3).collect();
+        let folds = stratified_folds(&labels, 4, &mut Pcg64::new(5));
+        let mut tested: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        tested.sort_unstable();
+        assert_eq!(tested, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stratified_is_deterministic_per_seed() {
+        let labels: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        let f1 = stratified_folds(&labels, 5, &mut Pcg64::new(9));
+        let f2 = stratified_folds(&labels, 5, &mut Pcg64::new(9));
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_groups_panic() {
+        group_folds(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        stratified_folds(&[0], 0, &mut Pcg64::new(1));
+    }
+}

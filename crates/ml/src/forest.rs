@@ -1,0 +1,330 @@
+//! Bagged random forests with parallel training.
+
+use crate::dataset::Dataset;
+use crate::tree::{argmax, DecisionTree, TreeConfig};
+use synthattr_util::Pcg64;
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth limits.
+    pub tree: TreeConfig,
+    /// Bootstrap sample size as a fraction of the training set
+    /// (denominator 100; 100 = classic bagging).
+    pub bootstrap_pct: u8,
+    /// Train trees on worker threads.
+    pub parallel: bool,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            tree: TreeConfig::default(),
+            bootstrap_pct: 100,
+            parallel: true,
+        }
+    }
+}
+
+impl ForestConfig {
+    /// A small fast configuration for unit tests and examples.
+    pub fn fast() -> Self {
+        ForestConfig {
+            n_trees: 25,
+            ..Self::default()
+        }
+    }
+}
+
+/// A trained random forest.
+///
+/// Prediction averages per-tree class probabilities (soft voting);
+/// ties break to the lowest class id for determinism.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Trains a forest.
+    ///
+    /// Each tree gets an independent RNG stream forked from `rng`, so
+    /// results are identical whether training runs parallel or serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `config.n_trees == 0`.
+    pub fn fit(data: &Dataset, config: &ForestConfig, rng: &mut Pcg64) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(config.n_trees > 0, "forest needs at least one tree");
+        let n = data.len();
+        let sample_size = ((n * config.bootstrap_pct as usize) / 100).max(1);
+
+        // Pre-derive per-tree seeds so parallel and serial training
+        // produce identical forests.
+        let seeds: Vec<Pcg64> = (0..config.n_trees)
+            .map(|t| rng.fork(&["tree", &t.to_string()]))
+            .collect();
+
+        let train_one = |mut tree_rng: Pcg64| -> DecisionTree {
+            let indices: Vec<usize> = (0..sample_size)
+                .map(|_| tree_rng.next_below(n))
+                .collect();
+            DecisionTree::fit_on(data, &indices, &config.tree, &mut tree_rng)
+        };
+
+        let trees: Vec<DecisionTree> = if config.parallel && config.n_trees > 1 {
+            parallel_map(seeds, train_one)
+        } else {
+            seeds.into_iter().map(train_one).collect()
+        };
+
+        RandomForest {
+            trees,
+            n_classes: data.n_classes(),
+        }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Mean class-probability vector over all trees.
+    pub fn predict_proba(&self, features: &[f64]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.n_classes];
+        for tree in &self.trees {
+            let p = tree.predict_proba(features);
+            for (a, &x) in acc.iter_mut().zip(p) {
+                *a += x;
+            }
+        }
+        let k = self.trees.len() as f32;
+        for a in &mut acc {
+            *a /= k;
+        }
+        acc
+    }
+
+    /// Predicted class (argmax of [`Self::predict_proba`]).
+    pub fn predict(&self, features: &[f64]) -> usize {
+        argmax(&self.predict_proba(features))
+    }
+
+    /// Predicts every row of `data`, in order.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<usize> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+}
+
+/// Order-preserving parallel map over a work list, scoped threads only.
+fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let n = items.len();
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, I)> = items.into_iter().enumerate().collect();
+    let queue = parking::Queue::new(work);
+    let results = parking::Queue::new(Vec::new());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                while let Some((i, item)) = queue.pop() {
+                    let out = f(item);
+                    results.push((i, out));
+                }
+            });
+        }
+    })
+    .expect("forest worker thread panicked");
+
+    for (i, out) in results.into_vec() {
+        slots[i] = Some(out);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every work item must produce a result"))
+        .collect()
+}
+
+/// A minimal mutex-protected work queue (no external dependency beyond
+/// std; crossbeam provides the scoped threads).
+mod parking {
+    use std::sync::Mutex;
+
+    pub struct Queue<T> {
+        inner: Mutex<Vec<T>>,
+    }
+
+    impl<T> Queue<T> {
+        pub fn new(items: Vec<T>) -> Self {
+            Queue {
+                inner: Mutex::new(items),
+            }
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("queue poisoned").pop()
+        }
+
+        pub fn push(&self, item: T) {
+            self.inner.lock().expect("queue poisoned").push(item);
+        }
+
+        pub fn into_vec(self) -> Vec<T> {
+            self.inner.into_inner().expect("queue poisoned")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Four Gaussian-ish blobs, one per class.
+    fn blobs(n_per_class: usize, seed: u64) -> Dataset {
+        let mut rng = Pcg64::new(seed);
+        let centers = [
+            (0.0, 0.0),
+            (5.0, 5.0),
+            (0.0, 5.0),
+            (5.0, 0.0),
+        ];
+        let mut ds = Dataset::new(4);
+        for (label, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per_class {
+                ds.push(
+                    vec![
+                        rng.next_gaussian(cx, 0.6),
+                        rng.next_gaussian(cy, 0.6),
+                    ],
+                    label,
+                );
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn separable_blobs_classify_cleanly() {
+        let train = blobs(30, 1);
+        let test = blobs(10, 2);
+        let forest = RandomForest::fit(&train, &ForestConfig::fast(), &mut Pcg64::new(3));
+        let preds = forest.predict_all(&test);
+        let correct = preds
+            .iter()
+            .zip(test.labels())
+            .filter(|(p, l)| p == l)
+            .count();
+        assert!(
+            correct as f64 / test.len() as f64 > 0.95,
+            "accuracy {correct}/{}",
+            test.len()
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_training_agree() {
+        let train = blobs(20, 4);
+        let cfg_par = ForestConfig {
+            n_trees: 12,
+            parallel: true,
+            ..ForestConfig::default()
+        };
+        let cfg_ser = ForestConfig {
+            parallel: false,
+            ..cfg_par
+        };
+        let fp = RandomForest::fit(&train, &cfg_par, &mut Pcg64::new(11));
+        let fs = RandomForest::fit(&train, &cfg_ser, &mut Pcg64::new(11));
+        let test = blobs(15, 5);
+        for i in 0..test.len() {
+            assert_eq!(
+                fp.predict_proba(test.row(i)),
+                fs.predict_proba(test.row(i)),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let train = blobs(10, 6);
+        let forest = RandomForest::fit(&train, &ForestConfig::fast(), &mut Pcg64::new(7));
+        let p = forest.predict_proba(&[2.5, 2.5]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "{p:?}");
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn more_trees_does_not_hurt_on_noise() {
+        // Smoke test: a bigger forest still trains and predicts.
+        let train = blobs(10, 8);
+        let forest = RandomForest::fit(
+            &train,
+            &ForestConfig {
+                n_trees: 60,
+                ..ForestConfig::default()
+            },
+            &mut Pcg64::new(9),
+        );
+        assert_eq!(forest.n_trees(), 60);
+        assert_eq!(forest.n_classes(), 4);
+        let _ = forest.predict(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let train = blobs(15, 10);
+        let f1 = RandomForest::fit(&train, &ForestConfig::fast(), &mut Pcg64::new(42));
+        let f2 = RandomForest::fit(&train, &ForestConfig::fast(), &mut Pcg64::new(42));
+        let test = blobs(5, 11);
+        assert_eq!(f1.predict_all(&test), f2.predict_all(&test));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let ds = Dataset::new(2);
+        RandomForest::fit(&ds, &ForestConfig::default(), &mut Pcg64::new(1));
+    }
+
+    #[test]
+    fn bootstrap_pct_shrinks_sample() {
+        let train = blobs(25, 12);
+        let forest = RandomForest::fit(
+            &train,
+            &ForestConfig {
+                bootstrap_pct: 50,
+                ..ForestConfig::fast()
+            },
+            &mut Pcg64::new(13),
+        );
+        // Still a sane classifier on its own training distribution.
+        let preds = forest.predict_all(&train);
+        let correct = preds
+            .iter()
+            .zip(train.labels())
+            .filter(|(p, l)| p == l)
+            .count();
+        assert!(correct * 10 > train.len() * 8);
+    }
+}

@@ -1,0 +1,141 @@
+//! k-nearest-neighbour classifier.
+//!
+//! The code-stylometry literature (e.g. Kothari et al., Burrows et
+//! al.) frequently uses nearest-neighbour rules; this is the third
+//! baseline the ablation benches compare the forest against, one
+//! notch stronger than [`crate::baseline::NearestCentroid`].
+
+use crate::dataset::Dataset;
+
+/// A k-NN classifier with Euclidean distance and majority vote (ties
+/// break toward the nearest contributing neighbour's class).
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+    k: usize,
+}
+
+impl KnnClassifier {
+    /// Stores the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `k == 0`.
+    pub fn fit(data: &Dataset, k: usize) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        assert!(k > 0, "k must be positive");
+        KnnClassifier {
+            rows: (0..data.len()).map(|i| data.row(i).to_vec()).collect(),
+            labels: data.labels().to_vec(),
+            n_classes: data.n_classes(),
+            k: k.min(data.len()),
+        }
+    }
+
+    /// The effective `k` (clamped to the training size).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Predicts the class of `features`.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, usize)> = self
+            .rows
+            .iter()
+            .zip(&self.labels)
+            .map(|(row, &label)| {
+                let d: f64 = row
+                    .iter()
+                    .zip(features)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d, label)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut votes = vec![0usize; self.n_classes];
+        for &(_, label) in dists.iter().take(self.k) {
+            votes[label] += 1;
+        }
+        let best_count = *votes.iter().max().unwrap_or(&0);
+        // Tie break: the nearest neighbour among tied classes.
+        dists
+            .iter()
+            .take(self.k)
+            .find(|(_, l)| votes[*l] == best_count)
+            .map(|&(_, l)| l)
+            .unwrap_or(0)
+    }
+
+    /// Predicts every row of `data`.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<usize> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use synthattr_util::Pcg64;
+
+    fn blobs(n_per_class: usize, seed: u64) -> Dataset {
+        let mut rng = Pcg64::new(seed);
+        let centers = [(0.0, 0.0), (6.0, 6.0), (0.0, 6.0)];
+        let mut ds = Dataset::new(3);
+        for (label, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per_class {
+                ds.push(
+                    vec![rng.next_gaussian(cx, 0.7), rng.next_gaussian(cy, 0.7)],
+                    label,
+                );
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn classifies_separable_blobs() {
+        let train = blobs(25, 1);
+        let test = blobs(10, 2);
+        let knn = KnnClassifier::fit(&train, 5);
+        let acc = accuracy(&knn.predict_all(&test), test.labels());
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn k_equal_one_memorizes_training_set() {
+        let train = blobs(10, 3);
+        let knn = KnnClassifier::fit(&train, 1);
+        let acc = accuracy(&knn.predict_all(&train), train.labels());
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn k_clamps_to_dataset_size() {
+        let train = blobs(2, 4);
+        let knn = KnnClassifier::fit(&train, 100);
+        assert_eq!(knn.k(), 6);
+        let _ = knn.predict(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn tie_break_prefers_nearest_class() {
+        // Two classes, k=2, one neighbour each: the closer one wins.
+        let mut ds = Dataset::new(2);
+        ds.push(vec![0.0], 0);
+        ds.push(vec![1.0], 1);
+        let knn = KnnClassifier::fit(&ds, 2);
+        assert_eq!(knn.predict(&[0.2]), 0);
+        assert_eq!(knn.predict(&[0.8]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        KnnClassifier::fit(&blobs(2, 5), 0);
+    }
+}

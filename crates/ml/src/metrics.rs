@@ -1,0 +1,165 @@
+//! Classification metrics.
+
+/// Fraction of positions where `pred == truth`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+///
+/// ```
+/// let acc = synthattr_ml::metrics::accuracy(&[1, 0, 1], &[1, 1, 1]);
+/// assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let correct = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / pred.len() as f64
+}
+
+/// A dense confusion matrix; `rows` are true classes, `columns` are
+/// predicted classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    cells: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/truth slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any label is out of range.
+    pub fn from_predictions(pred: &[usize], truth: &[usize], n_classes: usize) -> Self {
+        assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+        let mut cells = vec![0usize; n_classes * n_classes];
+        for (&p, &t) in pred.iter().zip(truth) {
+            assert!(p < n_classes && t < n_classes, "label out of range");
+            cells[t * n_classes + p] += 1;
+        }
+        ConfusionMatrix { n_classes, cells }
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.cells[t * self.n_classes + p]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.cells.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.n_classes).map(|i| self.count(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Recall of class `c` (0 when the class has no true samples).
+    pub fn recall(&self, c: usize) -> f64 {
+        let row: usize = (0..self.n_classes).map(|p| self.count(c, p)).sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.count(c, c) as f64 / row as f64
+        }
+    }
+
+    /// Precision of class `c` (0 when the class is never predicted).
+    pub fn precision(&self, c: usize) -> f64 {
+        let col: usize = (0..self.n_classes).map(|t| self.count(t, c)).sum();
+        if col == 0 {
+            0.0
+        } else {
+            self.count(c, c) as f64 / col as f64
+        }
+    }
+
+    /// F1 score of class `c`.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean recall over classes that have true samples.
+    pub fn macro_recall(&self) -> f64 {
+        let present: Vec<usize> = (0..self.n_classes)
+            .filter(|&c| (0..self.n_classes).map(|p| self.count(c, p)).sum::<usize>() > 0)
+            .collect();
+        if present.is_empty() {
+            return 0.0;
+        }
+        present.iter().map(|&c| self.recall(c)).sum::<f64>() / present.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[0, 0], &[1, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_counts_and_accuracy() {
+        let pred = [0, 1, 1, 0, 2];
+        let truth = [0, 1, 0, 0, 2];
+        let cm = ConfusionMatrix::from_predictions(&pred, &truth, 3);
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.count(2, 2), 1);
+        assert_eq!(cm.total(), 5);
+        assert!((cm.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        // Class 1: predicted twice, correct once; true once.
+        let pred = [1, 1, 0];
+        let truth = [1, 0, 0];
+        let cm = ConfusionMatrix::from_predictions(&pred, &truth, 2);
+        assert!((cm.recall(1) - 1.0).abs() < 1e-12);
+        assert!((cm.precision(1) - 0.5).abs() < 1e-12);
+        assert!((cm.f1(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_has_zero_scores() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0], 3);
+        assert_eq!(cm.recall(2), 0.0);
+        assert_eq!(cm.precision(2), 0.0);
+        assert_eq!(cm.f1(2), 0.0);
+        // Macro recall ignores the absent classes.
+        assert!((cm.macro_recall() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        ConfusionMatrix::from_predictions(&[5], &[0], 2);
+    }
+}

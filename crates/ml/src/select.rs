@@ -1,0 +1,156 @@
+//! Information-gain feature ranking.
+//!
+//! Caliskan-Islam et al. reduce their very wide feature set with
+//! WEKA's information-gain criterion before training; we implement the
+//! same idea: per feature, the entropy reduction of the best binary
+//! split, ranked descending.
+
+use crate::dataset::Dataset;
+
+/// Information gain of the best single threshold on feature `f`.
+///
+/// Returns 0.0 when the feature is constant.
+pub fn information_gain(data: &Dataset, feature: usize) -> f64 {
+    let n = data.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let n_classes = data.n_classes();
+    let mut pairs: Vec<(f64, usize)> = (0..n)
+        .map(|i| (data.row(i)[feature], data.label(i)))
+        .collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    if pairs[0].0 == pairs[n - 1].0 {
+        return 0.0;
+    }
+    let mut total_counts = vec![0usize; n_classes];
+    for &(_, l) in &pairs {
+        total_counts[l] += 1;
+    }
+    let parent = entropy(&total_counts, n);
+    let mut left = vec![0usize; n_classes];
+    let mut best = 0.0f64;
+    for split in 1..n {
+        left[pairs[split - 1].1] += 1;
+        if pairs[split - 1].0 == pairs[split].0 {
+            continue;
+        }
+        let right: Vec<usize> = total_counts
+            .iter()
+            .zip(&left)
+            .map(|(&t, &l)| t - l)
+            .collect();
+        let weighted = (split as f64 * entropy(&left, split)
+            + (n - split) as f64 * entropy(&right, n - split))
+            / n as f64;
+        best = best.max(parent - weighted);
+    }
+    best
+}
+
+/// Ranks all features by information gain, descending (ties break by
+/// feature index for determinism).
+pub fn rank_features(data: &Dataset) -> Vec<(usize, f64)> {
+    let mut gains: Vec<(usize, f64)> = (0..data.dim())
+        .map(|f| (f, information_gain(data, f)))
+        .collect();
+    gains.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    gains
+}
+
+/// The indices of the `k` highest-gain features, ascending by index
+/// (ready to pass to [`Dataset::project`]).
+pub fn select_top_k(data: &Dataset, k: usize) -> Vec<usize> {
+    let mut top: Vec<usize> = rank_features(data)
+        .into_iter()
+        .take(k)
+        .map(|(f, _)| f)
+        .collect();
+    top.sort_unstable();
+    top
+}
+
+fn entropy(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / t;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feature 0 perfectly separates; feature 1 is noise; feature 2 is
+    /// constant.
+    fn fixture() -> Dataset {
+        let mut ds = Dataset::new(2);
+        let noise = [0.3, 0.9, 0.1, 0.7, 0.5, 0.2, 0.8, 0.4];
+        for (i, &n) in noise.iter().enumerate() {
+            let label = usize::from(i >= 4);
+            ds.push(vec![label as f64, n, 7.0], label);
+        }
+        ds
+    }
+
+    #[test]
+    fn perfect_feature_has_full_gain() {
+        let ds = fixture();
+        let g = information_gain(&ds, 0);
+        assert!((g - 1.0).abs() < 1e-9, "gain {g}");
+    }
+
+    #[test]
+    fn constant_feature_has_zero_gain() {
+        let ds = fixture();
+        assert_eq!(information_gain(&ds, 2), 0.0);
+    }
+
+    #[test]
+    fn ranking_puts_informative_first() {
+        let ds = fixture();
+        let ranked = rank_features(&ds);
+        assert_eq!(ranked[0].0, 0);
+        assert_eq!(ranked[2].0, 2);
+        assert!(ranked[0].1 >= ranked[1].1 && ranked[1].1 >= ranked[2].1);
+    }
+
+    #[test]
+    fn select_top_k_returns_sorted_indices() {
+        let ds = fixture();
+        assert_eq!(select_top_k(&ds, 1), vec![0]);
+        assert_eq!(select_top_k(&ds, 2).len(), 2);
+        assert_eq!(select_top_k(&ds, 99), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn projecting_on_selection_preserves_separability() {
+        let ds = fixture();
+        let proj = ds.project(&select_top_k(&ds, 1));
+        assert_eq!(proj.dim(), 1);
+        // The projected single feature still separates the labels.
+        for i in 0..proj.len() {
+            assert_eq!(proj.row(i)[0] as usize, proj.label(i));
+        }
+    }
+
+    #[test]
+    fn tiny_datasets_do_not_panic() {
+        let mut ds = Dataset::new(2);
+        assert_eq!(information_gain(&ds, 0), 0.0);
+        ds.push(vec![1.0], 0);
+        assert_eq!(information_gain(&ds, 0), 0.0);
+    }
+}

@@ -1,0 +1,424 @@
+//! CART decision trees with Gini impurity and per-node feature
+//! subsampling (the randomized trees inside the forest).
+
+use crate::dataset::Dataset;
+use synthattr_util::Pcg64;
+
+/// How many candidate features each split considers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxFeatures {
+    /// `ceil(sqrt(d))` — the standard random-forest default.
+    Sqrt,
+    /// All features — classic single CART tree.
+    All,
+    /// A fixed count (clamped to `d`).
+    Count(usize),
+}
+
+impl MaxFeatures {
+    fn resolve(self, dim: usize) -> usize {
+        match self {
+            MaxFeatures::Sqrt => (dim as f64).sqrt().ceil() as usize,
+            MaxFeatures::All => dim,
+            MaxFeatures::Count(k) => k.min(dim),
+        }
+        .max(1)
+    }
+}
+
+/// Tree growth limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples a node needs to be split further.
+    pub min_samples_split: usize,
+    /// Split candidate feature count.
+    pub max_features: MaxFeatures,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 40,
+            min_samples_split: 2,
+            max_features: MaxFeatures::Sqrt,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Normalized class distribution at the leaf.
+        probs: Vec<f32>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the left child in the node arena.
+        left: usize,
+        /// Index of the right child in the node arena.
+        right: usize,
+    },
+}
+
+/// A trained CART decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `data`, optionally restricted to the sample
+    /// indices in `indices` (bootstrap support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `indices` is empty.
+    pub fn fit_on(
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut Pcg64,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes: data.n_classes(),
+        };
+        let mut idx = indices.to_vec();
+        tree.build(data, &mut idx, 0, config, rng);
+        tree
+    }
+
+    /// Fits on every sample of `data`.
+    pub fn fit(data: &Dataset, config: &TreeConfig, rng: &mut Pcg64) -> Self {
+        let all: Vec<usize> = (0..data.len()).collect();
+        Self::fit_on(data, &all, config, rng)
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// Builds a subtree over `indices`; returns its arena slot.
+    fn build(
+        &mut self,
+        data: &Dataset,
+        indices: &mut [usize],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut Pcg64,
+    ) -> usize {
+        let counts = class_counts(data, indices, self.n_classes);
+        let total = indices.len();
+        let pure = counts.contains(&total);
+        if pure || depth >= config.max_depth || total < config.min_samples_split {
+            return self.leaf(&counts, total);
+        }
+
+        let dim = data.dim();
+        let k = config.max_features.resolve(dim);
+        let candidates = rng.sample_indices(dim, k);
+
+        let parent_gini = gini(&counts, total);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(total);
+        for &feature in &candidates {
+            scratch.clear();
+            scratch.extend(
+                indices
+                    .iter()
+                    .map(|&i| (data.row(i)[feature], data.label(i))),
+            );
+            scratch.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            if scratch[0].0 == scratch[total - 1].0 {
+                continue; // constant feature in this node
+            }
+            let mut left_counts = vec![0usize; self.n_classes];
+            for split_at in 1..total {
+                left_counts[scratch[split_at - 1].1] += 1;
+                let (prev_val, cur_val) = (scratch[split_at - 1].0, scratch[split_at].0);
+                if prev_val == cur_val {
+                    continue; // cannot split between equal values
+                }
+                let right_counts: Vec<usize> = counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(&c, &l)| c - l)
+                    .collect();
+                let n_left = split_at;
+                let n_right = total - split_at;
+                let weighted = (n_left as f64 * gini(&left_counts, n_left)
+                    + n_right as f64 * gini(&right_counts, n_right))
+                    / total as f64;
+                let gain = parent_gini - weighted;
+                // Zero-gain splits are accepted on impure nodes (XOR-like
+                // structure has no first-split gain); recursion still
+                // terminates because both children are strictly smaller.
+                if best.is_none_or(|(_, _, g)| gain > g) {
+                    let threshold = 0.5 * (prev_val + cur_val);
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            return self.leaf(&counts, total);
+        };
+
+        // Partition indices in place around the threshold.
+        let mid = partition(indices, |&i| data.row(i)[feature] <= threshold);
+        if mid == 0 || mid == total {
+            return self.leaf(&counts, total);
+        }
+        // Reserve the slot before children so the parent sits above them.
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { probs: Vec::new() });
+        let (left_idx, right_idx) = indices.split_at_mut(mid);
+        let left = self.build(data, left_idx, depth + 1, config, rng);
+        let right = self.build(data, right_idx, depth + 1, config, rng);
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        slot
+    }
+
+    fn leaf(&mut self, counts: &[usize], total: usize) -> usize {
+        let probs: Vec<f32> = counts
+            .iter()
+            .map(|&c| c as f32 / total.max(1) as f32)
+            .collect();
+        self.nodes.push(Node::Leaf { probs });
+        self.nodes.len() - 1
+    }
+
+    /// Class-probability estimate for one sample.
+    pub fn predict_proba(&self, features: &[f64]) -> &[f32] {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { probs } => return probs,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicted class for one sample (argmax probability; ties break
+    /// to the lowest class id).
+    pub fn predict(&self, features: &[f64]) -> usize {
+        argmax(self.predict_proba(features))
+    }
+}
+
+/// Index of the maximum element; ties break low.
+pub(crate) fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn class_counts(data: &Dataset, indices: &[usize], n_classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_classes];
+    for &i in indices {
+        counts[data.label(i)] += 1;
+    }
+    counts
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+/// Stable-enough in-place partition; returns the count of elements
+/// satisfying the predicate (moved to the front).
+fn partition<T, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
+    let mut store = 0usize;
+    for i in 0..xs.len() {
+        if pred(&xs[i]) {
+            xs.swap(store, i);
+            store += 1;
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_dataset() -> Dataset {
+        // XOR with noise-free corners replicated: not linearly
+        // separable, requires depth >= 2.
+        let mut ds = Dataset::new(2);
+        for _ in 0..10 {
+            ds.push(vec![0.0, 0.0], 0);
+            ds.push(vec![1.0, 1.0], 0);
+            ds.push(vec![0.0, 1.0], 1);
+            ds.push(vec![1.0, 0.0], 1);
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_xor_with_all_features() {
+        let ds = xor_dataset();
+        let cfg = TreeConfig {
+            max_features: MaxFeatures::All,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&ds, &cfg, &mut Pcg64::new(1));
+        assert_eq!(tree.predict(&[0.0, 0.0]), 0);
+        assert_eq!(tree.predict(&[1.0, 1.0]), 0);
+        assert_eq!(tree.predict(&[0.0, 1.0]), 1);
+        assert_eq!(tree.predict(&[1.0, 0.0]), 1);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let mut ds = Dataset::new(2);
+        for i in 0..5 {
+            ds.push(vec![i as f64], 1);
+        }
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default(), &mut Pcg64::new(1));
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[2.0]), 1);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let ds = xor_dataset();
+        let cfg = TreeConfig {
+            max_depth: 1,
+            max_features: MaxFeatures::All,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&ds, &cfg, &mut Pcg64::new(1));
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn constant_features_yield_leaf() {
+        let mut ds = Dataset::new(2);
+        ds.push(vec![5.0, 5.0], 0);
+        ds.push(vec![5.0, 5.0], 1);
+        ds.push(vec![5.0, 5.0], 0);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default(), &mut Pcg64::new(3));
+        assert_eq!(tree.node_count(), 1);
+        // Majority class wins.
+        assert_eq!(tree.predict(&[5.0, 5.0]), 0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let ds = xor_dataset();
+        let tree = DecisionTree::fit(
+            &ds,
+            &TreeConfig {
+                max_depth: 1,
+                max_features: MaxFeatures::All,
+                ..TreeConfig::default()
+            },
+            &mut Pcg64::new(5),
+        );
+        let p = tree.predict_proba(&[0.0, 0.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = xor_dataset();
+        let cfg = TreeConfig::default();
+        let t1 = DecisionTree::fit(&ds, &cfg, &mut Pcg64::new(9));
+        let t2 = DecisionTree::fit(&ds, &cfg, &mut Pcg64::new(9));
+        for pt in [[0.0, 0.0], [0.3, 0.8], [0.9, 0.2]] {
+            assert_eq!(t1.predict(&pt), t2.predict(&pt));
+        }
+    }
+
+    #[test]
+    fn fit_on_subset_uses_only_those_rows() {
+        let mut ds = Dataset::new(2);
+        // Rows 0..4 say feature>0 means class 1; row 4 is a contrary point.
+        ds.push(vec![1.0], 1);
+        ds.push(vec![2.0], 1);
+        ds.push(vec![-1.0], 0);
+        ds.push(vec![-2.0], 0);
+        ds.push(vec![3.0], 0); // excluded outlier
+        let tree = DecisionTree::fit_on(
+            &ds,
+            &[0, 1, 2, 3],
+            &TreeConfig {
+                max_features: MaxFeatures::All,
+                ..TreeConfig::default()
+            },
+            &mut Pcg64::new(2),
+        );
+        assert_eq!(tree.predict(&[3.0]), 1);
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::Sqrt.resolve(100), 10);
+        assert_eq!(MaxFeatures::All.resolve(7), 7);
+        assert_eq!(MaxFeatures::Count(3).resolve(2), 2);
+        assert_eq!(MaxFeatures::Count(0).resolve(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_fit_panics() {
+        let ds = Dataset::new(2);
+        DecisionTree::fit_on(&ds, &[], &TreeConfig::default(), &mut Pcg64::new(1));
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared utilities for the `synthattr` workspace.
+//!
+//! This crate deliberately has no heavyweight dependencies: every other
+//! crate in the workspace builds on it, and full experiment
+//! reproducibility requires that randomness, statistics, and report
+//! formatting behave identically on every platform.
+//!
+//! # Contents
+//!
+//! * [`rng`] — a deterministic, seedable PRNG ([`rng::Pcg64`]) plus
+//!   hierarchical seed derivation so that independent experiment arms
+//!   never share random streams.
+//! * [`stats`] — small-sample statistics used throughout the
+//!   evaluation pipeline (mean, variance, entropy, histograms).
+//! * [`table`] — fixed-width ASCII table rendering used by the
+//!   experiment drivers to print paper-style tables.
+//!
+//! # Example
+//!
+//! ```
+//! use synthattr_util::rng::Pcg64;
+//!
+//! let mut rng = Pcg64::seed_from(0xFEED, &["experiment", "fold-3"]);
+//! let x = rng.next_f64();
+//! assert!((0.0..1.0).contains(&x));
+//! ```
+
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use rng::Pcg64;
+pub use stats::{mean, population_variance, shannon_entropy, std_dev};
+pub use table::Table;

@@ -1,0 +1,145 @@
+//! Small-sample statistics used by the feature extractor and the
+//! experiment analysis code.
+
+use std::collections::BTreeMap;
+
+/// Arithmetic mean of `xs`; `0.0` for an empty slice.
+///
+/// ```
+/// assert_eq!(synthattr_util::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(synthattr_util::stats::mean(&[]), 0.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance of `xs`; `0.0` for fewer than two samples.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of `xs`.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    population_variance(xs).sqrt()
+}
+
+/// Shannon entropy (bits) of a count histogram. Zero-count entries are
+/// ignored; an empty or all-zero histogram has entropy `0.0`.
+///
+/// ```
+/// let h = synthattr_util::stats::shannon_entropy(&[1, 1]);
+/// assert!((h - 1.0).abs() < 1e-12);
+/// ```
+pub fn shannon_entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Natural log of `(count / denom)`, with the paper's convention that a
+/// zero numerator maps to `ln(1/denom)` shifted to a sentinel floor.
+///
+/// Caliskan-Islam-style feature sets take `ln(frequency / file length)`
+/// for many term frequencies; a zero frequency would be `-inf`, so we
+/// floor the count at a small epsilon to keep feature vectors finite.
+pub fn log_ratio(count: usize, denom: usize) -> f64 {
+    let denom = denom.max(1) as f64;
+    let c = if count == 0 { 0.1 } else { count as f64 };
+    (c / denom).ln()
+}
+
+/// Builds an occurrence histogram over the items, sorted by descending
+/// count (ties broken by key order for determinism).
+pub fn ranked_histogram<K: Ord + Clone>(items: &[K]) -> Vec<(K, usize)> {
+    let mut counts: BTreeMap<K, usize> = BTreeMap::new();
+    for item in items {
+        *counts.entry(item.clone()).or_insert(0) += 1;
+    }
+    let mut out: Vec<(K, usize)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// Number of distinct items in the slice.
+pub fn distinct_count<K: Ord + Clone>(items: &[K]) -> usize {
+    let mut v: Vec<K> = items.to_vec();
+    v.sort();
+    v.dedup();
+    v.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((population_variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_singleton_is_zero() {
+        assert_eq!(population_variance(&[42.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn entropy_uniform_vs_skewed() {
+        let uniform = shannon_entropy(&[5, 5, 5, 5]);
+        let skewed = shannon_entropy(&[17, 1, 1, 1]);
+        assert!((uniform - 2.0).abs() < 1e-12);
+        assert!(skewed < uniform);
+        assert_eq!(shannon_entropy(&[0, 0]), 0.0);
+        assert_eq!(shannon_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn log_ratio_is_finite_for_zero_counts() {
+        let v = log_ratio(0, 100);
+        assert!(v.is_finite());
+        assert!(v < log_ratio(1, 100));
+        assert!(log_ratio(50, 100) > log_ratio(10, 100));
+    }
+
+    #[test]
+    fn log_ratio_handles_zero_denominator() {
+        assert!(log_ratio(3, 0).is_finite());
+    }
+
+    #[test]
+    fn ranked_histogram_orders_by_count_then_key() {
+        let items = ["b", "a", "b", "c", "a", "b"];
+        let hist = ranked_histogram(&items);
+        assert_eq!(hist, vec![("b", 3), ("a", 2), ("c", 1)]);
+        // Tie break on key order.
+        let tied = ranked_histogram(&["z", "y"]);
+        assert_eq!(tied, vec![("y", 1), ("z", 1)]);
+    }
+
+    #[test]
+    fn distinct_count_works() {
+        assert_eq!(distinct_count(&[1, 1, 2, 3, 3, 3]), 3);
+        assert_eq!(distinct_count::<u8>(&[]), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Fixed-width ASCII table rendering.
+//!
+//! The experiment drivers print paper-style tables (Tables I–X of the
+//! reproduced paper) to stdout and into `EXPERIMENTS.md`. This module
+//! provides the single shared renderer so every table in the repository
+//! has a consistent look.
+
+use std::fmt;
+
+/// A simple column-aligned ASCII table.
+///
+/// # Example
+///
+/// ```
+/// use synthattr_util::Table;
+///
+/// let mut t = Table::new(vec!["Dataset", "Authors", "Total"]);
+/// t.row(vec!["GCJ 2017".into(), "204".into(), "1632".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("GCJ 2017"));
+/// assert!(s.contains("Authors"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a caption printed above the table.
+    pub fn with_title<S: Into<String>>(mut self, title: S) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a data row. Rows shorter than the header are padded with
+    /// empty cells; longer rows extend the table width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows currently in the table.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self.column_count();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        if let Some(title) = &self.title {
+            writeln!(f, "{title}")?;
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("+{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "+";
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                s.push_str(&format!("| {cell:<w$} ", w = w));
+            }
+            s.push('|');
+            s
+        };
+        writeln!(f, "{sep}")?;
+        writeln!(f, "{}", fmt_row(&self.header))?;
+        writeln!(f, "{sep}")?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        writeln!(f, "{sep}")
+    }
+}
+
+/// Formats a float as a percentage with one decimal, matching the
+/// paper's table style (e.g. `90.2`).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Formats a check / cross mark as used by the paper's Tables VIII–IX.
+pub fn mark(ok: bool) -> String {
+    if ok { "v".into() } else { "x".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["A", "Long header"]).with_title("Table T");
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer cell".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("Table T\n"));
+        // All body lines equal length.
+        let lens: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().count())
+            .collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{s}");
+        assert!(s.contains("longer cell"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["only".into()]);
+        let s = t.to_string();
+        assert!(s.contains("only"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn pct_and_mark_format() {
+        assert_eq!(pct(0.902), "90.2");
+        assert_eq!(pct(1.0), "100.0");
+        assert_eq!(mark(true), "v");
+        assert_eq!(mark(false), "x");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(vec!["h"]);
+        assert!(t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains("| h |"));
+    }
+}

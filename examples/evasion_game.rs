@@ -1,0 +1,71 @@
+//! The paper's threat model in action: an adversary feeds a human
+//! author's code through the LLM transformer to *misattribute* it.
+//! We train the oracle, transform one author's solution repeatedly,
+//! and watch the predicted author change — then show that the
+//! feature-based ChatGPT class catches the transformed code anyway.
+//!
+//! ```sh
+//! cargo run --release --example evasion_game
+//! ```
+
+use synthattr::core::config::ExperimentConfig;
+use synthattr::core::pipeline::{Setting, YearPipeline};
+use synthattr::util::stats::ranked_histogram;
+use synthattr::util::Table;
+
+fn main() {
+    let cfg = ExperimentConfig::smoke();
+    println!("building GCJ 2019 pipeline...");
+    let pipeline = YearPipeline::build(2019, &cfg);
+
+    let victim = pipeline.seed_author;
+    println!(
+        "victim: author A{victim} (their code seeds the ± transformation settings)\n"
+    );
+
+    // How often does the oracle still say "A<victim>" after the
+    // adversary's transformations?
+    let mut t = Table::new(vec![
+        "Setting",
+        "Samples",
+        "Still attributed to victim",
+        "Evasion rate",
+        "Top misattribution",
+    ])
+    .with_title("Evasion: oracle predictions on transformed victim code");
+    for setting in [Setting::HumanNct, Setting::HumanCt] {
+        let labels: Vec<usize> = pipeline
+            .transformed
+            .iter()
+            .filter(|e| e.setting == setting)
+            .map(|e| e.oracle_label)
+            .collect();
+        let still = labels.iter().filter(|&&l| l == victim).count();
+        let evasion = 1.0 - still as f64 / labels.len().max(1) as f64;
+        let top = ranked_histogram(&labels)
+            .into_iter()
+            .find(|(l, _)| *l != victim)
+            .map(|(l, c)| format!("A{l} ({c}x)"))
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            setting.notation().into(),
+            labels.len().to_string(),
+            still.to_string(),
+            format!("{:.1}%", 100.0 * evasion),
+            top,
+        ]);
+    }
+    println!("{t}");
+
+    // The defence: transformed code clusters on few styles, so the
+    // feature-based ChatGPT class still captures it.
+    use synthattr::core::experiments::attribution::{run, Grouping};
+    let fb = run(&pipeline, Grouping::FeatureBased);
+    println!(
+        "feature-based defence: ChatGPT set of {} samples recognized in {:.0}% of folds",
+        fb.set_size,
+        100.0 * fb.chatgpt_pct()
+    );
+    println!("(paper: transformation evades per-author attribution, but the");
+    println!(" feature-based ChatGPT-set approach remains effective)");
+}

@@ -1,0 +1,74 @@
+//! Survey of the synthetic author population: how diverse are the
+//! generated styles, and how stable is an author's style across
+//! challenges? (This is the property that makes the attribution task
+//! well-posed — DESIGN.md §2.)
+//!
+//! ```sh
+//! cargo run --release --example style_survey
+//! ```
+
+use synthattr::features::{FeatureConfig, FeatureExtractor};
+use synthattr::gen::corpus::{generate_year, YearSpec};
+use synthattr::util::Table;
+
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn main() {
+    let spec = YearSpec::tiny(2018, 12, 4);
+    let corpus = generate_year(&spec, 2024);
+    let extractor = FeatureExtractor::new(FeatureConfig::default());
+
+    let features: Vec<Vec<f64>> = corpus
+        .samples
+        .iter()
+        .map(|s| extractor.extract(&s.source).expect("generated code parses"))
+        .collect();
+
+    // Within-author vs across-author feature distances.
+    let mut within = Vec::new();
+    let mut across = Vec::new();
+    for i in 0..corpus.samples.len() {
+        for j in (i + 1)..corpus.samples.len() {
+            let d = euclid(&features[i], &features[j]);
+            if corpus.samples[i].author == corpus.samples[j].author {
+                within.push(d);
+            } else {
+                across.push(d);
+            }
+        }
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let mut t = Table::new(vec!["Pair type", "Pairs", "Mean feature distance"])
+        .with_title("Style survey: 12 authors x 4 challenges");
+    t.row(vec![
+        "same author".into(),
+        within.len().to_string(),
+        format!("{:.2}", mean(&within)),
+    ]);
+    t.row(vec![
+        "different author".into(),
+        across.len().to_string(),
+        format!("{:.2}", mean(&across)),
+    ]);
+    println!("{t}");
+    println!(
+        "separation ratio (across / within): {:.2}x",
+        mean(&across) / mean(&within)
+    );
+    assert!(
+        mean(&across) > mean(&within),
+        "authors must be closer to themselves than to each other"
+    );
+
+    // Show two authors' takes on the same challenge.
+    let a0 = corpus.by_author(0).next().unwrap();
+    let a1 = corpus.by_author(1).next().unwrap();
+    println!("--- author A0, challenge 0 ---\n{}", a0.source);
+    println!("--- author A1, challenge 0 ---\n{}", a1.source);
+}

@@ -1,0 +1,158 @@
+//! End-to-end integration tests: miniature runs of every table
+//! pipeline asserting the paper's *shape* relations (DESIGN.md §4).
+
+use synthattr::core::config::ExperimentConfig;
+use synthattr::core::experiments::{attribution, binary, datasets, diversity, figures, styles};
+use synthattr::core::pipeline::{Setting, YearPipeline};
+
+fn pipelines() -> Vec<YearPipeline> {
+    let cfg = ExperimentConfig::smoke();
+    [2017, 2018, 2019]
+        .iter()
+        .map(|&y| YearPipeline::build(y, &cfg))
+        .collect()
+}
+
+#[test]
+fn tables_1_to_3_report_consistent_dataset_sizes() {
+    let ps = pipelines();
+    let cfg = ExperimentConfig::smoke().scale;
+
+    let t1 = datasets::table_i(&ps);
+    assert_eq!(t1.len(), 3);
+    for row in &t1 {
+        assert_eq!(row.total, cfg.authors * cfg.challenges);
+    }
+
+    let t2 = datasets::table_ii(&ps);
+    for row in &t2 {
+        assert_eq!(row.per_setting, [cfg.transforms; 4]);
+        assert_eq!(row.total, 4 * cfg.transforms * cfg.challenges);
+    }
+
+    let t3 = datasets::table_iii(&ps);
+    let combined = t3.last().unwrap();
+    assert_eq!(combined.name, "Combined");
+    assert_eq!(
+        combined.total,
+        combined.challenges * combined.codes_per_challenge * 2
+    );
+}
+
+#[test]
+fn table4_shape_nct_exceeds_ct_and_styles_are_bounded() {
+    let ps = pipelines();
+    let mut nct_wins = 0usize;
+    let mut comparisons = 0usize;
+    for p in &ps {
+        let r = styles::run(p);
+        // Styles never exceed the sample count and at least one style
+        // always appears.
+        assert!(r.max_styles >= 1);
+        assert!(r.max_styles <= p.config.scale.transforms);
+        // Paper shape: NCT >= CT on average for both seed kinds.
+        for (n, c) in [
+            (Setting::GptNct, Setting::GptCt),
+            (Setting::HumanNct, Setting::HumanCt),
+        ] {
+            comparisons += 1;
+            if r.averages[n.index()] >= r.averages[c.index()] {
+                nct_wins += 1;
+            }
+        }
+    }
+    assert!(
+        nct_wins * 3 >= comparisons * 2,
+        "NCT should out-diversify CT in most settings: {nct_wins}/{comparisons}"
+    );
+}
+
+#[test]
+fn diversity_skew_orders_2017_above_2018() {
+    let ps = pipelines();
+    let d17 = diversity::run(&ps[0]);
+    let d18 = diversity::run(&ps[1]);
+    assert!(
+        d17.top_share() > d18.top_share(),
+        "2017 ({:.2}) must be more skewed than 2018 ({:.2})",
+        d17.top_share(),
+        d18.top_share()
+    );
+    // Histograms cover the whole transformed set.
+    assert_eq!(d17.total, ps[0].transformed.len());
+}
+
+#[test]
+fn attribution_feature_based_dominates_naive() {
+    let ps = pipelines();
+    let mut fb_total = 0.0;
+    let mut naive_total = 0.0;
+    for p in &ps {
+        let naive = attribution::run(p, attribution::Grouping::Naive);
+        let fb = attribution::run(p, attribution::Grouping::FeatureBased);
+        naive_total += naive.chatgpt_pct();
+        fb_total += fb.chatgpt_pct();
+        // 205-class accuracy stays in a sane band at smoke scale.
+        assert!(naive.avg_accuracy() > 0.3, "{}", naive.avg_accuracy());
+        assert!(fb.avg_accuracy() > 0.3, "{}", fb.avg_accuracy());
+        // The feature-based set is style-pure and larger than naive's
+        // when a style dominates.
+        assert!(fb.set_size >= 1);
+    }
+    assert!(
+        fb_total >= naive_total,
+        "feature-based ({fb_total:.2}) must not lose to naive ({naive_total:.2}) overall"
+    );
+}
+
+#[test]
+fn binary_classification_beats_chance_soundly() {
+    let ps = pipelines();
+    for p in &ps {
+        let r = binary::run_individual(p);
+        assert!(
+            r.avg() > 0.7,
+            "GCJ {} binary accuracy too low: {:.3}",
+            p.year,
+            r.avg()
+        );
+    }
+    let combined = binary::run_combined(&ps);
+    assert!(
+        combined.all_avg() > 0.7,
+        "combined accuracy {:.3}",
+        combined.all_avg()
+    );
+    // The All column is the mean of the cells.
+    let cells: Vec<f64> = combined.cells.iter().flatten().copied().collect();
+    let mean = cells.iter().sum::<f64>() / cells.len() as f64;
+    assert!((combined.all_avg() - mean).abs() < 1e-12);
+}
+
+#[test]
+fn figures_regenerate_and_parse() {
+    let cfg = ExperimentConfig::smoke();
+    let p = YearPipeline::build(2018, &cfg);
+    assert!(figures::figure1(&p).contains("Figure 1"));
+    assert!(figures::figure2(2018, cfg.seed, 3).contains("CT"));
+    let f3 = figures::figure3(cfg.seed);
+    synthattr::lang::parse(&f3).unwrap();
+    for f in figures::figure4(2018, cfg.seed)
+        .iter()
+        .chain(figures::figure5(2018, cfg.seed).iter())
+    {
+        synthattr::lang::parse(f).unwrap();
+    }
+}
+
+#[test]
+fn whole_run_is_deterministic() {
+    let cfg = ExperimentConfig::smoke();
+    let a = YearPipeline::build(2017, &cfg);
+    let b = YearPipeline::build(2017, &cfg);
+    assert_eq!(a.all_labels(), b.all_labels());
+    let ra = attribution::run(&a, attribution::Grouping::FeatureBased);
+    let rb = attribution::run(&b, attribution::Grouping::FeatureBased);
+    assert_eq!(ra.fold_accuracy, rb.fold_accuracy);
+    assert_eq!(ra.chatgpt_ok, rb.chatgpt_ok);
+}
