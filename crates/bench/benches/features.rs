@@ -1,19 +1,16 @@
 //! Feature-extraction benchmarks, including the family ablation
 //! (lexical / +layout / full) called out in DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use synthattr_bench::harness::Group;
 use synthattr_bench::sample_sources;
 use synthattr_features::{FeatureConfig, FeatureExtractor};
 
-fn bench_features(c: &mut Criterion) {
+fn main() {
     let sources = sample_sources(32);
     let bytes: usize = sources.iter().map(String::len).sum();
 
-    let mut group = c.benchmark_group("features");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(4));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.throughput(Throughput::Bytes(bytes as u64));
+    let mut group = Group::new("features");
+    group.throughput_bytes(bytes as u64);
 
     for (name, cfg) in [
         ("lexical_only", FeatureConfig::lexical_only()),
@@ -21,12 +18,10 @@ fn bench_features(c: &mut Criterion) {
         ("full", FeatureConfig::default()),
     ] {
         let extractor = FeatureExtractor::new(cfg);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                for s in &sources {
-                    std::hint::black_box(extractor.extract(s).unwrap());
-                }
-            })
+        group.bench(name, || {
+            for s in &sources {
+                std::hint::black_box(extractor.extract(s).unwrap());
+            }
         });
     }
 
@@ -36,16 +31,9 @@ fn bench_features(c: &mut Criterion) {
         .iter()
         .map(|s| (s.as_str(), synthattr_lang::parse(s).unwrap()))
         .collect();
-    group.bench_function("full_preparsed", |b| {
-        b.iter(|| {
-            for (src, unit) in &parsed {
-                std::hint::black_box(extractor.extract_parsed(src, unit));
-            }
-        })
+    group.bench("full_preparsed", || {
+        for (src, unit) in &parsed {
+            std::hint::black_box(extractor.extract_parsed(src, unit));
+        }
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_features);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Random-forest benchmarks, including the forest-size ablation
 //! called out in DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synthattr_bench::harness::Group;
 use synthattr_ml::dataset::Dataset;
 use synthattr_ml::forest::{ForestConfig, RandomForest};
 use synthattr_ml::select::select_top_k;
@@ -28,49 +28,35 @@ fn synthetic(n_classes: usize, per_class: usize, dim: usize, seed: u64) -> Datas
     ds
 }
 
-fn bench_forest(c: &mut Criterion) {
+fn main() {
     let train = synthetic(24, 12, 150, 1);
     let test = synthetic(24, 4, 150, 2);
 
-    let mut group = c.benchmark_group("forest");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(6));
-    group.warm_up_time(std::time::Duration::from_secs(1));
+    let mut group = Group::new("forest");
 
     for n_trees in [25usize, 50, 100] {
-        group.bench_with_input(
-            BenchmarkId::new("train", n_trees),
-            &n_trees,
-            |b, &n_trees| {
-                let cfg = ForestConfig {
-                    n_trees,
-                    ..ForestConfig::default()
-                };
-                b.iter(|| {
-                    std::hint::black_box(RandomForest::fit(&train, &cfg, &mut Pcg64::new(7)))
-                })
-            },
-        );
+        let cfg = ForestConfig {
+            n_trees,
+            ..ForestConfig::default()
+        };
+        group.bench(&format!("train/{n_trees}"), || {
+            std::hint::black_box(RandomForest::fit(&train, &cfg, &mut Pcg64::new(7)));
+        });
     }
 
     let forest = RandomForest::fit(&train, &ForestConfig::default(), &mut Pcg64::new(7));
-    group.bench_function("predict_batch", |b| {
-        b.iter(|| std::hint::black_box(forest.predict_all(&test)))
+    group.bench("predict_batch", || {
+        std::hint::black_box(forest.predict_all(&test));
     });
 
-    group.bench_function("info_gain_selection", |b| {
-        b.iter(|| std::hint::black_box(select_top_k(&train, 50)))
+    group.bench("info_gain_selection", || {
+        std::hint::black_box(select_top_k(&train, 50));
     });
 
     // Feature-selection ablation: training on the top-50 projection.
     let projected = train.project(&select_top_k(&train, 50));
-    group.bench_function("train_selected_features", |b| {
-        let cfg = ForestConfig::default();
-        b.iter(|| std::hint::black_box(RandomForest::fit(&projected, &cfg, &mut Pcg64::new(7))))
+    let cfg = ForestConfig::default();
+    group.bench("train_selected_features", || {
+        std::hint::black_box(RandomForest::fit(&projected, &cfg, &mut Pcg64::new(7)));
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_forest);
-criterion_main!(benches);

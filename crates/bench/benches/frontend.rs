@@ -1,63 +1,42 @@
 //! Microbenchmarks for the C++ frontend: lexing, parsing, rendering.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use synthattr_bench::harness::Group;
 use synthattr_bench::sample_sources;
 use synthattr_lang::lexer::lex;
-use synthattr_lang::render::{render, RenderStyle};
 use synthattr_lang::parse;
+use synthattr_lang::render::{render, RenderStyle};
 
-fn bench_frontend(c: &mut Criterion) {
+fn main() {
     let sources = sample_sources(32);
     let bytes: usize = sources.iter().map(String::len).sum();
 
-    let mut group = c.benchmark_group("frontend");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(4));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.throughput(Throughput::Bytes(bytes as u64));
+    let mut group = Group::new("frontend");
+    group.throughput_bytes(bytes as u64);
 
-    group.bench_function("lex", |b| {
-        b.iter(|| {
-            for s in &sources {
-                std::hint::black_box(lex(s).unwrap());
-            }
-        })
+    group.bench("lex", || {
+        for s in &sources {
+            std::hint::black_box(lex(s).unwrap());
+        }
     });
 
-    group.bench_function("parse", |b| {
-        b.iter(|| {
-            for s in &sources {
-                std::hint::black_box(parse(s).unwrap());
-            }
-        })
+    group.bench("parse", || {
+        for s in &sources {
+            std::hint::black_box(parse(s).unwrap());
+        }
     });
 
     let units: Vec<_> = sources.iter().map(|s| parse(s).unwrap()).collect();
-    group.bench_function("render", |b| {
-        let style = RenderStyle::default();
-        b.iter(|| {
-            for u in &units {
-                std::hint::black_box(render(u, &style));
-            }
-        })
+    let style = RenderStyle::default();
+    group.bench("render", || {
+        for u in &units {
+            std::hint::black_box(render(u, &style));
+        }
     });
 
-    group.bench_function("roundtrip", |b| {
-        let style = RenderStyle::default();
-        b.iter_batched(
-            || units.clone(),
-            |units| {
-                for u in units {
-                    let text = render(&u, &style);
-                    std::hint::black_box(parse(&text).unwrap());
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    group.bench("roundtrip", || {
+        for u in &units {
+            let text = render(u, &style);
+            std::hint::black_box(parse(&text).unwrap());
+        }
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_frontend);
-criterion_main!(benches);

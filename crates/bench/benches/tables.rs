@@ -3,55 +3,43 @@
 //! measured as workloads (the `repro` binary prints the actual
 //! tables).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use synthattr_bench::bench_config;
+use synthattr_bench::harness::Group;
 use synthattr_core::experiments::{attribution, binary, diversity, styles};
 use synthattr_core::pipeline::YearPipeline;
 
-fn bench_tables(c: &mut Criterion) {
+fn main() {
     let cfg = bench_config();
     // The pipeline build (corpus + oracle + transformations) is itself
     // the Table I/II workload.
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(6));
-    group.warm_up_time(std::time::Duration::from_secs(1));
+    let mut group = Group::new("tables");
 
-    group.bench_function("pipeline_build_tables_1_2", |b| {
-        b.iter(|| std::hint::black_box(YearPipeline::build(2018, &cfg)))
+    group.bench("pipeline_build_tables_1_2", || {
+        std::hint::black_box(YearPipeline::build(2018, &cfg));
     });
 
     let pipeline = YearPipeline::build(2018, &cfg);
 
-    group.bench_function("table4_style_counts", |b| {
-        b.iter(|| std::hint::black_box(styles::run(&pipeline)))
+    group.bench("table4_style_counts", || {
+        std::hint::black_box(styles::run(&pipeline));
     });
 
-    group.bench_function("table5_7_diversity", |b| {
-        b.iter(|| std::hint::black_box(diversity::run(&pipeline)))
+    group.bench("table5_7_diversity", || {
+        std::hint::black_box(diversity::run(&pipeline));
     });
 
-    group.bench_function("table8_attribution_naive", |b| {
-        b.iter(|| {
-            std::hint::black_box(attribution::run(&pipeline, attribution::Grouping::Naive))
-        })
+    group.bench("table8_attribution_naive", || {
+        std::hint::black_box(attribution::run(&pipeline, attribution::Grouping::Naive));
     });
 
-    group.bench_function("table9_attribution_feature_based", |b| {
-        b.iter(|| {
-            std::hint::black_box(attribution::run(
-                &pipeline,
-                attribution::Grouping::FeatureBased,
-            ))
-        })
+    group.bench("table9_attribution_feature_based", || {
+        std::hint::black_box(attribution::run(
+            &pipeline,
+            attribution::Grouping::FeatureBased,
+        ));
     });
 
-    group.bench_function("table10_binary", |b| {
-        b.iter(|| std::hint::black_box(binary::run_individual(&pipeline)))
+    group.bench("table10_binary", || {
+        std::hint::black_box(binary::run_individual(&pipeline));
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

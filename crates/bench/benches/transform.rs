@@ -1,6 +1,6 @@
 //! LLM-simulator benchmarks: single transformations and NCT/CT runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synthattr_bench::harness::Group;
 use synthattr_bench::sample_sources;
 use synthattr_gen::corpus::Origin;
 use synthattr_gpt::chain::{run_ct, run_nct};
@@ -8,55 +8,41 @@ use synthattr_gpt::pool::YearPool;
 use synthattr_gpt::transform::Transformer;
 use synthattr_util::Pcg64;
 
-fn bench_transform(c: &mut Criterion) {
+fn main() {
     let sources = sample_sources(8);
     let pool = YearPool::calibrated(2018, 1);
     let transformer = Transformer::new(&pool);
 
-    let mut group = c.benchmark_group("transform");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(4));
-    group.warm_up_time(std::time::Duration::from_secs(1));
+    let mut group = Group::new("transform");
 
-    group.bench_function("single", |b| {
-        b.iter(|| {
-            let mut rng = Pcg64::new(3);
-            for s in &sources {
-                let idx = pool.sample_index(&mut rng);
-                std::hint::black_box(transformer.transform(s, idx, &mut rng).unwrap());
-            }
-        })
+    group.bench("single", || {
+        let mut rng = Pcg64::new(3);
+        for s in &sources {
+            let idx = pool.sample_index(&mut rng);
+            std::hint::black_box(transformer.transform(s, idx, &mut rng).unwrap());
+        }
     });
 
     for steps in [10usize, 25] {
-        group.bench_with_input(BenchmarkId::new("nct", steps), &steps, |b, &steps| {
-            b.iter(|| {
-                let mut rng = Pcg64::new(4);
-                std::hint::black_box(run_nct(
-                    &transformer,
-                    &sources[0],
-                    steps,
-                    Origin::ChatGpt,
-                    &mut rng,
-                ))
-            })
+        group.bench(&format!("nct/{steps}"), || {
+            let mut rng = Pcg64::new(4);
+            std::hint::black_box(run_nct(
+                &transformer,
+                &sources[0],
+                steps,
+                Origin::ChatGpt,
+                &mut rng,
+            ));
         });
-        group.bench_with_input(BenchmarkId::new("ct", steps), &steps, |b, &steps| {
-            b.iter(|| {
-                let mut rng = Pcg64::new(5);
-                std::hint::black_box(run_ct(
-                    &transformer,
-                    &sources[0],
-                    steps,
-                    Origin::ChatGpt,
-                    &mut rng,
-                ))
-            })
+        group.bench(&format!("ct/{steps}"), || {
+            let mut rng = Pcg64::new(5);
+            std::hint::black_box(run_ct(
+                &transformer,
+                &sources[0],
+                steps,
+                Origin::ChatGpt,
+                &mut rng,
+            ));
         });
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_transform);
-criterion_main!(benches);

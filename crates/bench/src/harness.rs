@@ -1,0 +1,346 @@
+//! The in-repo benchmark harness (criterion replacement).
+//!
+//! The workspace builds offline with zero registry dependencies, so
+//! the five bench targets under `benches/` drive this ~250-line
+//! harness instead of criterion. It keeps the parts the trajectory
+//! tooling actually consumes:
+//!
+//! * a warmup phase, then wall-clock samples of a closure;
+//! * median / p95 / mean / min / max over the samples;
+//! * optional bytes-per-iteration throughput;
+//! * **one JSON line per benchmark on stdout** (human-readable
+//!   progress goes to stderr), so `cargo bench` output can be
+//!   appended to `BENCH_*.json` trajectory files directly, or teed
+//!   via [`ENV_JSON_PATH`].
+//!
+//! # Example
+//!
+//! ```
+//! use synthattr_bench::harness::Group;
+//!
+//! let mut group = Group::new("doc");
+//! group.bench("sum", || {
+//!     std::hint::black_box((0..1000u64).sum::<u64>());
+//! });
+//! ```
+//!
+//! # Tuning
+//!
+//! `SYNTHATTR_BENCH_WARMUP_MS`, `SYNTHATTR_BENCH_MEASURE_MS`, and
+//! `SYNTHATTR_BENCH_SAMPLES` scale the run (CI smoke vs. a real
+//! measurement session) without touching bench code.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Env var: warmup duration per benchmark, in milliseconds (default 300).
+pub const ENV_WARMUP_MS: &str = "SYNTHATTR_BENCH_WARMUP_MS";
+/// Env var: measurement budget per benchmark, in milliseconds (default 2000).
+pub const ENV_MEASURE_MS: &str = "SYNTHATTR_BENCH_MEASURE_MS";
+/// Env var: minimum sample count per benchmark (default 10).
+pub const ENV_SAMPLES: &str = "SYNTHATTR_BENCH_SAMPLES";
+/// Env var: if set, JSON lines are also appended to this file.
+pub const ENV_JSON_PATH: &str = "SYNTHATTR_BENCH_JSON";
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+/// A named group of benchmarks (mirrors criterion's `benchmark_group`).
+pub struct Group {
+    name: String,
+    throughput_bytes: Option<u64>,
+    warmup: Duration,
+    measure: Duration,
+    min_samples: usize,
+}
+
+impl Group {
+    /// A group with budgets resolved from the environment.
+    pub fn new(name: &str) -> Self {
+        Group {
+            name: name.to_string(),
+            throughput_bytes: None,
+            warmup: env_ms(ENV_WARMUP_MS, 300),
+            measure: env_ms(ENV_MEASURE_MS, 2000),
+            min_samples: std::env::var(ENV_SAMPLES)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|&s| s > 0)
+                .unwrap_or(10),
+        }
+    }
+
+    /// Declares that one iteration processes `bytes` bytes; summaries
+    /// gain a MB/s throughput field until the next call.
+    pub fn throughput_bytes(&mut self, bytes: u64) {
+        self.throughput_bytes = Some(bytes);
+    }
+
+    /// Clears the throughput declaration.
+    pub fn clear_throughput(&mut self) {
+        self.throughput_bytes = None;
+    }
+
+    /// Times `f`, prints progress to stderr and a JSON line to
+    /// stdout, and returns the summary.
+    ///
+    /// One call of `f` is one iteration/sample; do internal batching
+    /// inside `f` when a single pass is too fast to time (the
+    /// existing targets all iterate over a source corpus per call).
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) -> Summary {
+        // Warmup: run until the budget elapses, at least once.
+        let warm_start = Instant::now();
+        loop {
+            f();
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+
+        // Measurement: at least `min_samples` samples, and keep
+        // sampling until the time budget is spent.
+        let mut samples_ns: Vec<u128> = Vec::with_capacity(self.min_samples * 2);
+        let measure_start = Instant::now();
+        while samples_ns.len() < self.min_samples || measure_start.elapsed() < self.measure {
+            let t = Instant::now();
+            f();
+            samples_ns.push(t.elapsed().as_nanos());
+            if samples_ns.len() >= 100_000 {
+                break; // pathological: closure far faster than the budget
+            }
+        }
+        samples_ns.sort_unstable();
+
+        let summary = Summary::from_sorted(&self.name, name, &samples_ns, self.throughput_bytes);
+        eprintln!("{}", summary.human_line());
+        println!("{}", summary.json_line());
+        if let Ok(path) = std::env::var(ENV_JSON_PATH) {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(file, "{}", summary.json_line());
+            }
+        }
+        summary
+    }
+}
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Group name.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub bench: String,
+    /// Number of timed iterations.
+    pub samples: usize,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// 50th percentile.
+    pub median_ns: f64,
+    /// 95th percentile.
+    pub p95_ns: f64,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Bytes processed per iteration, if declared.
+    pub bytes_per_iter: Option<u64>,
+}
+
+impl Summary {
+    /// Builds a summary from an ascending-sorted sample vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sorted_ns` is empty.
+    pub fn from_sorted(
+        group: &str,
+        bench: &str,
+        sorted_ns: &[u128],
+        bytes_per_iter: Option<u64>,
+    ) -> Self {
+        assert!(!sorted_ns.is_empty(), "benchmark produced no samples");
+        let sum: u128 = sorted_ns.iter().sum();
+        Summary {
+            group: group.to_string(),
+            bench: bench.to_string(),
+            samples: sorted_ns.len(),
+            mean_ns: sum as f64 / sorted_ns.len() as f64,
+            median_ns: percentile(sorted_ns, 50.0),
+            p95_ns: percentile(sorted_ns, 95.0),
+            min_ns: sorted_ns[0],
+            max_ns: *sorted_ns.last().unwrap(),
+            bytes_per_iter,
+        }
+    }
+
+    /// Median throughput in MB/s, when a byte count was declared.
+    pub fn throughput_mb_per_s(&self) -> Option<f64> {
+        self.bytes_per_iter.map(|bytes| {
+            let secs = self.median_ns / 1e9;
+            (bytes as f64 / (1024.0 * 1024.0)) / secs.max(1e-12)
+        })
+    }
+
+    /// The stderr progress line.
+    pub fn human_line(&self) -> String {
+        let mut line = format!(
+            "{}/{}: median {} (p95 {}, {} samples)",
+            self.group,
+            self.bench,
+            format_ns(self.median_ns),
+            format_ns(self.p95_ns),
+            self.samples
+        );
+        if let Some(mbs) = self.throughput_mb_per_s() {
+            line.push_str(&format!(", {mbs:.1} MB/s"));
+        }
+        line
+    }
+
+    /// One self-contained JSON object (no trailing newline).
+    pub fn json_line(&self) -> String {
+        let mut fields = vec![
+            format!("\"group\":{}", json_string(&self.group)),
+            format!("\"bench\":{}", json_string(&self.bench)),
+            format!("\"samples\":{}", self.samples),
+            format!("\"mean_ns\":{:.1}", self.mean_ns),
+            format!("\"median_ns\":{:.1}", self.median_ns),
+            format!("\"p95_ns\":{:.1}", self.p95_ns),
+            format!("\"min_ns\":{}", self.min_ns),
+            format!("\"max_ns\":{}", self.max_ns),
+        ];
+        if let Some(bytes) = self.bytes_per_iter {
+            fields.push(format!("\"bytes_per_iter\":{bytes}"));
+            fields.push(format!(
+                "\"throughput_mb_per_s\":{:.3}",
+                self.throughput_mb_per_s().unwrap()
+            ));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+/// Linear-interpolated percentile over ascending-sorted samples.
+fn percentile(sorted_ns: &[u128], pct: f64) -> f64 {
+    if sorted_ns.len() == 1 {
+        return sorted_ns[0] as f64;
+    }
+    let rank = pct / 100.0 * (sorted_ns.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted_ns[lo] as f64 * (1.0 - frac) + sorted_ns[hi] as f64 * frac
+}
+
+/// Human time formatting: picks ns/µs/ms/s.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.1} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary() -> Summary {
+        Summary::from_sorted("g", "b", &[100, 200, 300, 400, 1000], Some(1024 * 1024))
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = sample_summary();
+        assert_eq!(s.median_ns, 300.0);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 1000);
+        // p95 between the 4th and 5th of five samples.
+        assert!(s.p95_ns > 400.0 && s.p95_ns < 1000.0, "{}", s.p95_ns);
+        assert_eq!(percentile(&[7], 95.0), 7.0);
+        assert_eq!(percentile(&[0, 100], 50.0), 50.0);
+    }
+
+    #[test]
+    fn throughput_uses_median() {
+        // 1 MiB per iteration at 300 ns/iter.
+        let mbs = sample_summary().throughput_mb_per_s().unwrap();
+        assert!((mbs - 1e9 / 300.0).abs() / mbs < 1e-6, "{mbs}");
+    }
+
+    #[test]
+    fn json_line_is_valid_and_complete() {
+        let line = sample_summary().json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        for key in [
+            "\"group\":\"g\"",
+            "\"bench\":\"b\"",
+            "\"samples\":5",
+            "\"median_ns\":300.0",
+            "\"bytes_per_iter\":1048576",
+            "\"throughput_mb_per_s\":",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        // No throughput fields without a declared byte count.
+        let plain = Summary::from_sorted("g", "b", &[5], None).json_line();
+        assert!(!plain.contains("throughput"), "{plain}");
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn bench_runs_and_counts_samples() {
+        // Keep this fast: tiny budgets via a locally-built group.
+        let mut group = Group {
+            name: "test".into(),
+            throughput_bytes: None,
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            min_samples: 3,
+        };
+        let summary = group.bench("spin", || {
+            std::hint::black_box((0..100u64).sum::<u64>());
+        });
+        assert!(summary.samples >= 3);
+        assert!(summary.min_ns <= summary.max_ns);
+        assert!(summary.median_ns <= summary.p95_ns);
+    }
+}

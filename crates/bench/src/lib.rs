@@ -1,9 +1,14 @@
 //! Shared fixtures for the benchmark harness and the `repro` binary.
 //!
 //! The `repro` binary regenerates every table and figure of the paper
-//! (see `repro --help`); the criterion benches under `benches/` measure
-//! the substrates (frontend, features, forest, transformation) and the
-//! end-to-end table pipelines at smoke scale.
+//! (see `repro --help`); the benches under `benches/` drive the
+//! in-repo [`harness`] (a criterion replacement, kept registry-free
+//! for the offline build) over the substrates (frontend, features,
+//! forest, transformation) and the end-to-end table pipelines at
+//! smoke scale. Each bench emits one JSON line per target on stdout
+//! for the `BENCH_*.json` trajectory files.
+
+pub mod harness;
 
 use synthattr_core::config::ExperimentConfig;
 use synthattr_gen::challenges::ChallengeId;
@@ -28,7 +33,7 @@ pub fn sample_sources(n: usize) -> Vec<String> {
 
 /// The benchmark-scale experiment configuration (between smoke and
 /// paper scale; large enough to be meaningful, small enough for
-/// criterion iteration).
+/// timed iteration).
 pub fn bench_config() -> ExperimentConfig {
     let mut cfg = ExperimentConfig::smoke();
     cfg.scale.authors = 32;

@@ -25,6 +25,11 @@ pub struct ExperimentConfig {
     pub scale: Scale,
     /// Feature families and hashing.
     pub features: FeatureConfig,
+    /// Worker-thread override for pipeline build and forest training;
+    /// `None` defers to `SYNTHATTR_WORKERS` / available parallelism.
+    /// Results are identical for every worker count — this only tunes
+    /// wall-clock time (set to `Some(1)` for serial execution).
+    pub workers: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -40,6 +45,7 @@ impl ExperimentConfig {
                 n_trees: 100,
             },
             features: FeatureConfig::default(),
+            workers: None,
         }
     }
 
@@ -55,6 +61,7 @@ impl ExperimentConfig {
                 n_trees: 30,
             },
             features: FeatureConfig::default(),
+            workers: None,
         }
     }
 
@@ -62,6 +69,7 @@ impl ExperimentConfig {
     pub fn forest(&self) -> ForestConfig {
         ForestConfig {
             n_trees: self.scale.n_trees,
+            workers: self.workers,
             ..ForestConfig::default()
         }
     }

@@ -25,7 +25,7 @@ use synthattr_gpt::chain::{run_ct, run_nct, TransformedSample};
 use synthattr_gpt::pool::YearPool;
 use synthattr_gpt::transform::Transformer;
 use synthattr_ml::dataset::Dataset;
-use synthattr_util::Pcg64;
+use synthattr_util::{pool, Pcg64};
 
 /// The four transformation settings of Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -120,24 +120,31 @@ pub struct YearPipeline {
 impl YearPipeline {
     /// Builds the full pipeline for `year`.
     ///
+    /// The two hot stages — per-sample feature extraction and
+    /// per-challenge transformation — run on the scoped worker pool
+    /// (`synthattr_util::pool`). Every random stream is derived
+    /// hierarchically *before* dispatch, and the pool preserves input
+    /// order, so the result is byte-identical for any worker count
+    /// (`config.workers` / `SYNTHATTR_WORKERS` only change wall-clock
+    /// time; see `parallel_build_matches_serial` in the tests).
+    ///
     /// # Panics
     ///
     /// Panics if `year` is not 2017/2018/2019, or on internal
     /// generation bugs (generated code must always parse).
     pub fn build(year: u32, config: &ExperimentConfig) -> Self {
+        let workers = pool::resolve_workers(config.workers);
         let spec = year_spec(year, config);
         let corpus = generate_year(&spec, config.seed);
 
         let extractor = FeatureExtractor::new(config.features.clone());
-        let human_features: Vec<Vec<f64>> = corpus
-            .samples
-            .iter()
-            .map(|s| {
+        let human_features: Vec<Vec<f64>> =
+            pool::parallel_map_workers(workers, (0..corpus.samples.len()).collect(), |i| {
+                let s = &corpus.samples[i];
                 extractor
                     .extract(&s.source)
                     .unwrap_or_else(|e| panic!("generated sample must parse: {e}\n{}", s.source))
-            })
-            .collect();
+            });
 
         // Oracle: one class per human author.
         let mut human_ds = Dataset::new(spec.authors);
@@ -152,81 +159,89 @@ impl YearPipeline {
         let pool = YearPool::calibrated(year, config.seed);
         let transformer = Transformer::new(&pool);
         let seed_author = (year as usize * 7) % spec.authors;
-        let mut transformed = Vec::new();
-        for ci in 0..spec.challenges.len() {
-            let challenge = spec.challenges[ci];
-            // ChatGPT-generated seed: one solution in a weighted pool
-            // style (the "generation" role of the simulator).
-            let mut gen_rng = Pcg64::seed_from(
-                config.seed,
-                &["gpt-gen", &year.to_string(), &ci.to_string()],
-            );
-            let gen_style_idx = pool.sample_index(&mut gen_rng);
-            let gpt_seed = synthattr_gen::corpus::solution_in_style(
-                challenge,
-                pool.style(gen_style_idx),
-                config.seed,
-                &["gpt-gen-code", &year.to_string(), &ci.to_string()],
-            );
-            // Human seed: the chosen author's solution to this challenge.
-            let human_seed = corpus
-                .samples
-                .iter()
-                .find(|s| s.author == seed_author && s.challenge == ci)
-                .expect("corpus covers author x challenge")
-                .source
-                .clone();
-
-            for setting in Setting::all() {
-                let (seed_code, origin) = if setting.human_seed() {
-                    (&human_seed, Origin::Human)
-                } else {
-                    (&gpt_seed, Origin::ChatGpt)
-                };
-                let mut rng = Pcg64::seed_from(
+        // One task per challenge; each task derives its own RNG
+        // streams from the root seed, so scheduling cannot perturb
+        // them, and the order-preserving pool plus a flatten
+        // reproduces the serial push order exactly.
+        let per_challenge: Vec<Vec<TransformedEntry>> =
+            pool::parallel_map_workers(workers, (0..spec.challenges.len()).collect(), |ci| {
+                let challenge = spec.challenges[ci];
+                let mut transformed = Vec::new();
+                // ChatGPT-generated seed: one solution in a weighted pool
+                // style (the "generation" role of the simulator).
+                let mut gen_rng = Pcg64::seed_from(
                     config.seed,
-                    &[
-                        "transform",
-                        &year.to_string(),
-                        &ci.to_string(),
-                        setting.notation(),
-                    ],
+                    &["gpt-gen", &year.to_string(), &ci.to_string()],
                 );
-                let samples = if setting.chaining() {
-                    run_ct(
-                        &transformer,
-                        seed_code,
-                        config.scale.transforms,
-                        origin,
-                        &mut rng,
-                    )
-                } else {
-                    run_nct(
-                        &transformer,
-                        seed_code,
-                        config.scale.transforms,
-                        origin,
-                        &mut rng,
-                    )
-                };
-                for sample in samples {
-                    let features = oracle
-                        .extractor()
-                        .extract(&sample.source)
-                        .unwrap_or_else(|e| {
-                            panic!("transformed sample must parse: {e}\n{}", sample.source)
+                let gen_style_idx = pool.sample_index(&mut gen_rng);
+                let gpt_seed = synthattr_gen::corpus::solution_in_style(
+                    challenge,
+                    pool.style(gen_style_idx),
+                    config.seed,
+                    &["gpt-gen-code", &year.to_string(), &ci.to_string()],
+                );
+                // Human seed: the chosen author's solution to this challenge.
+                let human_seed = corpus
+                    .samples
+                    .iter()
+                    .find(|s| s.author == seed_author && s.challenge == ci)
+                    .expect("corpus covers author x challenge")
+                    .source
+                    .clone();
+
+                for setting in Setting::all() {
+                    let (seed_code, origin) = if setting.human_seed() {
+                        (&human_seed, Origin::Human)
+                    } else {
+                        (&gpt_seed, Origin::ChatGpt)
+                    };
+                    let mut rng = Pcg64::seed_from(
+                        config.seed,
+                        &[
+                            "transform",
+                            &year.to_string(),
+                            &ci.to_string(),
+                            setting.notation(),
+                        ],
+                    );
+                    let samples = if setting.chaining() {
+                        run_ct(
+                            &transformer,
+                            seed_code,
+                            config.scale.transforms,
+                            origin,
+                            &mut rng,
+                        )
+                    } else {
+                        run_nct(
+                            &transformer,
+                            seed_code,
+                            config.scale.transforms,
+                            origin,
+                            &mut rng,
+                        )
+                    };
+                    for sample in samples {
+                        let features =
+                            oracle
+                                .extractor()
+                                .extract(&sample.source)
+                                .unwrap_or_else(|e| {
+                                    panic!("transformed sample must parse: {e}\n{}", sample.source)
+                                });
+                        let oracle_label = oracle.predict_features(&features);
+                        transformed.push(TransformedEntry {
+                            sample,
+                            challenge: ci,
+                            setting,
+                            features,
+                            oracle_label,
                         });
-                    let oracle_label = oracle.predict_features(&features);
-                    transformed.push(TransformedEntry {
-                        sample,
-                        challenge: ci,
-                        setting,
-                        features,
-                        oracle_label,
-                    });
+                    }
                 }
-            }
-        }
+                transformed
+            });
+        let transformed: Vec<TransformedEntry> = per_challenge.into_iter().flatten().collect();
 
         YearPipeline {
             year,
@@ -358,6 +373,30 @@ mod tests {
         assert!(!Setting::GptCt.human_seed());
         assert!(Setting::GptCt.chaining());
         assert!(!Setting::HumanNct.chaining());
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        // The tentpole guarantee: the pool only changes wall-clock
+        // time. A serial build (1 worker) and a wide build (8
+        // workers) must agree byte-for-byte on every cached artifact.
+        let mut serial_cfg = ExperimentConfig::smoke();
+        serial_cfg.workers = Some(1);
+        let mut parallel_cfg = ExperimentConfig::smoke();
+        parallel_cfg.workers = Some(8);
+        let serial = YearPipeline::build(2018, &serial_cfg);
+        let parallel = YearPipeline::build(2018, &parallel_cfg);
+
+        assert_eq!(serial.human_features, parallel.human_features);
+        assert_eq!(serial.seed_author, parallel.seed_author);
+        assert_eq!(serial.transformed.len(), parallel.transformed.len());
+        for (s, p) in serial.transformed.iter().zip(&parallel.transformed) {
+            assert_eq!(s.sample.source, p.sample.source);
+            assert_eq!(s.challenge, p.challenge);
+            assert_eq!(s.setting, p.setting);
+            assert_eq!(s.features, p.features);
+            assert_eq!(s.oracle_label, p.oracle_label);
+        }
     }
 
     #[test]

@@ -1,87 +1,110 @@
 //! Property tests for the C++ frontend: total functions never panic,
 //! and structured inputs round-trip.
+//!
+//! Driven by the in-repo harness (`synthattr_util::prop`) — see
+//! DESIGN.md's hermetic zero-dependency policy.
 
-use proptest::prelude::*;
 use synthattr_lang::lexer::lex;
 use synthattr_lang::parse;
 use synthattr_lang::render::{render, BraceStyle, Indent, RenderStyle};
+use synthattr_util::prop::{gen, Runner};
+use synthattr_util::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// The lexer is total: any byte soup either lexes or returns an
+/// error — it never panics.
+#[test]
+fn lexer_never_panics() {
+    Runner::new("lexer_never_panics").cases(256).run(
+        |rng| gen::any_string(rng, 200),
+        |input| {
+            let _ = lex(input);
+            Ok(())
+        },
+    );
+}
 
-    /// The lexer is total: any byte soup either lexes or returns an
-    /// error — it never panics.
-    #[test]
-    fn lexer_never_panics(input in ".{0,200}") {
-        let _ = lex(&input);
-    }
+/// The parser is total over arbitrary input too.
+#[test]
+fn parser_never_panics() {
+    Runner::new("parser_never_panics").cases(256).run(
+        |rng| gen::any_string(rng, 200),
+        |input| {
+            let _ = parse(input);
+            Ok(())
+        },
+    );
+}
 
-    /// The parser is total over arbitrary input too.
-    #[test]
-    fn parser_never_panics(input in ".{0,200}") {
-        let _ = parse(&input);
-    }
+/// Arbitrary C-ish token soup (identifiers, numbers, punctuation)
+/// never panics the parser either.
+#[test]
+fn parser_never_panics_on_token_soup() {
+    const VOCAB: [&str; 33] = [
+        "int", "x", "1", ";", "{", "}", "(", ")", "if", "else", "for", "while", "return", "+", "-",
+        "*", "/", "=", "==", "<", ">", "<<", ">>", ",", "\"s\"", "'c'", "vector", "&", "++", "[",
+        "]", "auto", "do",
+    ];
+    Runner::new("parser_never_panics_on_token_soup")
+        .cases(256)
+        .run(
+            |rng| gen::vec_of(rng, 60, |r| gen::select(r, &VOCAB)),
+            |tokens| {
+                let input = tokens.join(" ");
+                let _ = parse(&input);
+                Ok(())
+            },
+        );
+}
 
-    /// Arbitrary C-ish token soup (identifiers, numbers, punctuation)
-    /// never panics the parser either.
-    #[test]
-    fn parser_never_panics_on_token_soup(
-        tokens in prop::collection::vec(
-            prop::sample::select(vec![
-                "int", "x", "1", ";", "{", "}", "(", ")", "if", "else", "for",
-                "while", "return", "+", "-", "*", "/", "=", "==", "<", ">",
-                "<<", ">>", ",", "\"s\"", "'c'", "vector", "&", "++", "[", "]",
-            ]),
-            0..60,
+/// Lexing preserves enough information that token display text
+/// re-lexes to the same token stream (for non-trivia tokens —
+/// comments and directives display as placeholders, so they are
+/// excluded).
+#[test]
+fn token_display_relexes() {
+    use synthattr_lang::token::TokenKind;
+    let charset: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789 +-*/<>=;(){},"
+        .chars()
+        .collect();
+    let is_trivia = |k: &TokenKind| {
+        matches!(
+            k,
+            TokenKind::Eof | TokenKind::Comment(_, _) | TokenKind::Directive(_)
         )
-    ) {
-        let input = tokens.join(" ");
-        let _ = parse(&input);
-    }
-
-    /// Lexing preserves enough information that token display text
-    /// re-lexes to the same token stream (for non-trivia tokens —
-    /// comments and directives display as placeholders, so they are
-    /// excluded).
-    #[test]
-    fn token_display_relexes(input in "[a-z0-9 +\\-*/<>=;(){},]{0,80}") {
-        use synthattr_lang::token::TokenKind;
-        let is_trivia = |k: &TokenKind| {
-            matches!(k, TokenKind::Eof | TokenKind::Comment(_, _) | TokenKind::Directive(_))
-        };
-        if let Ok(tokens) = lex(&input) {
-            let text: String = tokens
-                .iter()
-                .filter(|t| !is_trivia(&t.kind))
-                .map(|t| format!("{} ", t.kind))
-                .collect();
-            if let Ok(again) = lex(&text) {
-                let a: Vec<String> = tokens
+    };
+    Runner::new("token_display_relexes").cases(256).run(
+        |rng| gen::string_from(rng, &charset, 80),
+        |input| {
+            if let Ok(tokens) = lex(input) {
+                let text: String = tokens
                     .iter()
                     .filter(|t| !is_trivia(&t.kind))
-                    .map(|t| format!("{}", t.kind))
+                    .map(|t| format!("{} ", t.kind))
                     .collect();
-                let b: Vec<String> = again
-                    .iter()
-                    .filter(|t| !is_trivia(&t.kind))
-                    .map(|t| format!("{}", t.kind))
-                    .collect();
-                prop_assert_eq!(a, b);
+                if let Ok(again) = lex(&text) {
+                    let a: Vec<String> = tokens
+                        .iter()
+                        .filter(|t| !is_trivia(&t.kind))
+                        .map(|t| format!("{}", t.kind))
+                        .collect();
+                    let b: Vec<String> = again
+                        .iter()
+                        .filter(|t| !is_trivia(&t.kind))
+                        .map(|t| format!("{}", t.kind))
+                        .collect();
+                    prop_assert_eq!(a, b);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// For any valid program accepted by the parser, every render
-    /// style yields text that reparses to the same shape hash.
-    #[test]
-    fn render_roundtrips_under_arbitrary_styles(
-        indent_pick in 0usize..3,
-        next_line in any::<bool>(),
-        braceless in any::<bool>(),
-        spaced in any::<bool>(),
-        template_space in any::<bool>(),
-    ) {
-        let src = r#"
+/// For any valid program accepted by the parser, every render
+/// style yields text that reparses to the same shape hash.
+#[test]
+fn render_roundtrips_under_arbitrary_styles() {
+    let src = r#"
 #include <iostream>
 using namespace std;
 int helper(int a, vector<int>& xs) {
@@ -99,19 +122,41 @@ int main() {
     return 0;
 }
 "#;
-        let unit = parse(src).unwrap();
-        let style = RenderStyle {
-            indent: [Indent::Spaces(2), Indent::Spaces(4), Indent::Tab][indent_pick],
-            brace: if next_line { BraceStyle::NextLine } else { BraceStyle::SameLine },
-            braceless_single_stmt: braceless,
-            space_around_binary: spaced,
-            space_after_comma: spaced,
-            space_after_keyword: spaced,
-            space_in_template_close: template_space,
-            ..RenderStyle::default()
-        };
-        let text = render(&unit, &style);
-        let again = parse(&text).expect("rendered text parses");
-        prop_assert_eq!(unit.shape_hash(), again.shape_hash());
-    }
+    let unit = parse(src).unwrap();
+    Runner::new("render_roundtrips_under_arbitrary_styles")
+        .cases(256)
+        .run(
+            |rng| {
+                (
+                    rng.next_below(3),
+                    rng.next_bool(0.5),
+                    rng.next_bool(0.5),
+                    rng.next_bool(0.5),
+                    rng.next_bool(0.5),
+                )
+            },
+            |&(indent_pick, next_line, braceless, spaced, template_space)| {
+                let style = RenderStyle {
+                    indent: [Indent::Spaces(2), Indent::Spaces(4), Indent::Tab][indent_pick],
+                    brace: if next_line {
+                        BraceStyle::NextLine
+                    } else {
+                        BraceStyle::SameLine
+                    },
+                    braceless_single_stmt: braceless,
+                    space_around_binary: spaced,
+                    space_after_comma: spaced,
+                    space_after_keyword: spaced,
+                    space_in_template_close: template_space,
+                    ..RenderStyle::default()
+                };
+                let text = render(&unit, &style);
+                let again = parse(&text).expect("rendered text parses");
+                prop_assert!(
+                    unit.shape_hash() == again.shape_hash(),
+                    "shape hash changed under style {style:?}"
+                );
+                Ok(())
+            },
+        );
 }

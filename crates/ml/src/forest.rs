@@ -2,7 +2,7 @@
 
 use crate::dataset::Dataset;
 use crate::tree::{argmax, DecisionTree, TreeConfig};
-use synthattr_util::Pcg64;
+use synthattr_util::{pool, Pcg64};
 
 /// Random-forest hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +16,11 @@ pub struct ForestConfig {
     pub bootstrap_pct: u8,
     /// Train trees on worker threads.
     pub parallel: bool,
+    /// Worker-count override for parallel training; `None` defers to
+    /// `SYNTHATTR_WORKERS` / available parallelism (see
+    /// [`synthattr_util::pool::resolve_workers`]). Never affects
+    /// results, only wall-clock time.
+    pub workers: Option<usize>,
 }
 
 impl Default for ForestConfig {
@@ -25,6 +30,7 @@ impl Default for ForestConfig {
             tree: TreeConfig::default(),
             bootstrap_pct: 100,
             parallel: true,
+            workers: None,
         }
     }
 }
@@ -71,14 +77,12 @@ impl RandomForest {
             .collect();
 
         let train_one = |mut tree_rng: Pcg64| -> DecisionTree {
-            let indices: Vec<usize> = (0..sample_size)
-                .map(|_| tree_rng.next_below(n))
-                .collect();
+            let indices: Vec<usize> = (0..sample_size).map(|_| tree_rng.next_below(n)).collect();
             DecisionTree::fit_on(data, &indices, &config.tree, &mut tree_rng)
         };
 
         let trees: Vec<DecisionTree> = if config.parallel && config.n_trees > 1 {
-            parallel_map(seeds, train_one)
+            pool::parallel_map_workers(pool::resolve_workers(config.workers), seeds, train_one)
         } else {
             seeds.into_iter().map(train_one).collect()
         };
@@ -126,74 +130,6 @@ impl RandomForest {
     }
 }
 
-/// Order-preserving parallel map over a work list, scoped threads only.
-fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
-where
-    I: Send,
-    O: Send,
-    F: Fn(I) -> O + Sync,
-{
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let n = items.len();
-    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    let work: Vec<(usize, I)> = items.into_iter().enumerate().collect();
-    let queue = parking::Queue::new(work);
-    let results = parking::Queue::new(Vec::new());
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| {
-                while let Some((i, item)) = queue.pop() {
-                    let out = f(item);
-                    results.push((i, out));
-                }
-            });
-        }
-    })
-    .expect("forest worker thread panicked");
-
-    for (i, out) in results.into_vec() {
-        slots[i] = Some(out);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every work item must produce a result"))
-        .collect()
-}
-
-/// A minimal mutex-protected work queue (no external dependency beyond
-/// std; crossbeam provides the scoped threads).
-mod parking {
-    use std::sync::Mutex;
-
-    pub struct Queue<T> {
-        inner: Mutex<Vec<T>>,
-    }
-
-    impl<T> Queue<T> {
-        pub fn new(items: Vec<T>) -> Self {
-            Queue {
-                inner: Mutex::new(items),
-            }
-        }
-
-        pub fn pop(&self) -> Option<T> {
-            self.inner.lock().expect("queue poisoned").pop()
-        }
-
-        pub fn push(&self, item: T) {
-            self.inner.lock().expect("queue poisoned").push(item);
-        }
-
-        pub fn into_vec(self) -> Vec<T> {
-            self.inner.into_inner().expect("queue poisoned")
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,20 +137,12 @@ mod tests {
     /// Four Gaussian-ish blobs, one per class.
     fn blobs(n_per_class: usize, seed: u64) -> Dataset {
         let mut rng = Pcg64::new(seed);
-        let centers = [
-            (0.0, 0.0),
-            (5.0, 5.0),
-            (0.0, 5.0),
-            (5.0, 0.0),
-        ];
+        let centers = [(0.0, 0.0), (5.0, 5.0), (0.0, 5.0), (5.0, 0.0)];
         let mut ds = Dataset::new(4);
         for (label, &(cx, cy)) in centers.iter().enumerate() {
             for _ in 0..n_per_class {
                 ds.push(
-                    vec![
-                        rng.next_gaussian(cx, 0.6),
-                        rng.next_gaussian(cy, 0.6),
-                    ],
+                    vec![rng.next_gaussian(cx, 0.6), rng.next_gaussian(cy, 0.6)],
                     label,
                 );
             }
@@ -261,6 +189,34 @@ mod tests {
                 fs.predict_proba(test.row(i)),
                 "row {i}"
             );
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_forest() {
+        // The satellite guarantee behind SYNTHATTR_WORKERS: per-tree
+        // seeds are derived before dispatch, so 1/2/8 workers must
+        // train byte-identical forests.
+        let train = blobs(20, 30);
+        let test = blobs(15, 31);
+        let fit_with = |workers: usize| {
+            let cfg = ForestConfig {
+                n_trees: 16,
+                workers: Some(workers),
+                ..ForestConfig::default()
+            };
+            RandomForest::fit(&train, &cfg, &mut Pcg64::new(77))
+        };
+        let baseline = fit_with(1);
+        for workers in [2, 8] {
+            let forest = fit_with(workers);
+            for i in 0..test.len() {
+                assert_eq!(
+                    baseline.predict_proba(test.row(i)),
+                    forest.predict_proba(test.row(i)),
+                    "row {i} with {workers} workers"
+                );
+            }
         }
     }
 

@@ -145,6 +145,7 @@ pub fn top_permutation_features(
         tree: TreeConfig::default(),
         bootstrap_pct: 100,
         parallel: false,
+        workers: None,
     };
     let forest = AnalysisForest::fit(data, &config, &mut rng.fork(&["analysis"]));
     let mut scores: Vec<(usize, f64)> = forest

@@ -7,8 +7,9 @@
 //! * [`dataset`] — a labelled feature matrix with named classes;
 //! * [`tree`] — CART decision trees (Gini impurity, per-node feature
 //!   subsampling);
-//! * [`forest`] — bagged random forests with crossbeam-parallel
-//!   training and probability voting;
+//! * [`forest`] — bagged random forests with probability voting,
+//!   trained in parallel on the in-repo scoped pool
+//!   (`synthattr_util::pool`);
 //! * [`cv`] — stratified k-fold and *grouped* folds (the paper
 //!   evaluates with one fold per GCJ challenge);
 //! * [`select`] — information-gain feature ranking (the paper's

@@ -1,7 +1,8 @@
 //! Shared utilities for the `synthattr` workspace.
 //!
-//! This crate deliberately has no heavyweight dependencies: every other
-//! crate in the workspace builds on it, and full experiment
+//! This crate deliberately has **no dependencies at all**: every other
+//! crate in the workspace builds on it, the reproduction environment
+//! is fully offline (no crate registry), and full experiment
 //! reproducibility requires that randomness, statistics, and report
 //! formatting behave identically on every platform.
 //!
@@ -10,6 +11,13 @@
 //! * [`rng`] — a deterministic, seedable PRNG ([`rng::Pcg64`]) plus
 //!   hierarchical seed derivation so that independent experiment arms
 //!   never share random streams.
+//! * [`pool`] — a scoped, order-preserving parallel map used by
+//!   forest training and the experiment pipelines; worker count is
+//!   overridable via config or `SYNTHATTR_WORKERS` and never affects
+//!   results.
+//! * [`prop`] — the in-repo property-testing harness (seeded
+//!   generators, shrinking, `prop_assert!` macros) that replaces
+//!   `proptest`.
 //! * [`stats`] — small-sample statistics used throughout the
 //!   evaluation pipeline (mean, variance, entropy, histograms).
 //! * [`table`] — fixed-width ASCII table rendering used by the
@@ -25,6 +33,8 @@
 //! assert!((0.0..1.0).contains(&x));
 //! ```
 
+pub mod pool;
+pub mod prop;
 pub mod rng;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,255 @@
+//! A scoped, order-preserving parallel map over owned work items.
+//!
+//! The workspace's hot loops (forest training, per-challenge
+//! transformation, per-sample feature extraction) are all shaped the
+//! same way: a list of independent work items whose outputs must come
+//! back **in input order** so that experiment results stay
+//! byte-identical regardless of how many threads ran. This module
+//! provides exactly that shape on `std::thread::scope` — no external
+//! dependency, no detached threads, no unsafe.
+//!
+//! # Scheduling
+//!
+//! Workers self-schedule over a shared atomic cursor in small chunks:
+//! a worker that finishes its chunk immediately claims the next one,
+//! so uneven item costs balance out (the useful half of work
+//! stealing) while the chunk size keeps cursor contention negligible.
+//! Each output is written into the slot of its input index, so the
+//! returned vector order never depends on thread timing.
+//!
+//! # Determinism and worker counts
+//!
+//! The number of workers changes only *wall-clock time*, never
+//! results — every caller in this workspace derives per-item RNG
+//! streams before dispatch. The count resolves, in priority order:
+//!
+//! 1. an explicit override (e.g. a config field) passed to
+//!    [`resolve_workers`];
+//! 2. the `SYNTHATTR_WORKERS` environment variable ([`ENV_WORKERS`]),
+//!    for reproducible CI runs;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! # Panics
+//!
+//! A panic on a worker thread is caught, the remaining queue is
+//! drained without running `f`, and the original panic payload is
+//! re-raised on the calling thread once every worker has parked.
+//!
+//! # Example
+//!
+//! ```
+//! use synthattr_util::pool;
+//!
+//! let squares = pool::parallel_map((0..100u64).collect(), |x| x * x);
+//! assert_eq!(squares[7], 49);
+//! assert_eq!(squares.len(), 100);
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count (`0` or unset
+/// means "auto"). Set it to `1` to force fully serial execution.
+pub const ENV_WORKERS: &str = "SYNTHATTR_WORKERS";
+
+/// Items each worker claims per visit to the shared cursor. Small
+/// enough to balance skewed workloads (one slow tree, one huge
+/// challenge), large enough that the atomic is never contended.
+const CHUNK: usize = 4;
+
+/// Resolves the effective worker count.
+///
+/// `override_workers` (from a config struct) wins over the
+/// [`ENV_WORKERS`] environment variable, which wins over the
+/// machine's available parallelism. Zero from any source means
+/// "auto"; the result is always at least 1.
+pub fn resolve_workers(override_workers: Option<usize>) -> usize {
+    let picked = override_workers.filter(|&w| w > 0).or_else(|| {
+        std::env::var(ENV_WORKERS)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w > 0)
+    });
+    picked
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .max(1)
+}
+
+/// Order-preserving parallel map with the ambient worker count
+/// (see [`resolve_workers`]).
+pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    parallel_map_workers(resolve_workers(None), items, f)
+}
+
+/// Order-preserving parallel map on exactly `workers` threads
+/// (clamped to the item count; `1` runs inline on the caller).
+///
+/// Output index `i` always holds `f(items[i])`.
+pub fn parallel_map_workers<I, O, F>(workers: usize, items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        // Serial fallback: identical semantics, zero thread overhead.
+        return items.into_iter().map(f).collect();
+    }
+
+    // Input slots: each index is claimed by exactly one worker via the
+    // cursor, taken under a short-lived per-slot lock.
+    let input: Vec<Mutex<Option<I>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let output: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                if start >= n {
+                    return;
+                }
+                for i in start..(start + CHUNK).min(n) {
+                    if poisoned.load(Ordering::Relaxed) {
+                        // A sibling panicked: drain without running f.
+                        continue;
+                    }
+                    let item = input[i]
+                        .lock()
+                        .expect("pool input slot poisoned")
+                        .take()
+                        .expect("pool input slot claimed twice");
+                    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        Ok(out) => {
+                            *output[i].lock().expect("pool output slot poisoned") = Some(out);
+                        }
+                        Err(payload) => {
+                            poisoned.store(true, Ordering::Relaxed);
+                            let mut slot = panic_payload.lock().expect("pool panic slot poisoned");
+                            // Keep the first payload; later ones are
+                            // cascade noise.
+                            slot.get_or_insert(payload);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(payload) = panic_payload
+        .into_inner()
+        .expect("pool panic slot poisoned")
+    {
+        resume_unwind(payload);
+    }
+
+    output
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("pool output slot poisoned")
+                .unwrap_or_else(|| panic!("work item {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map_workers(8, (0..1000usize).collect(), |x| x * 3);
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn preserves_order_under_uneven_chunk_sizes() {
+        // Early items are much slower than late ones, so late chunks
+        // finish first; ordering must still hold.
+        let out = parallel_map_workers(4, (0..97usize).collect(), |x| {
+            if x < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=97).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_falls_back_to_serial() {
+        // With one worker no threads spawn; results match the map.
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map_workers(1, (0..50u64).collect(), |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x * x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 50);
+        assert_eq!(out[49], 49 * 49);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = parallel_map_workers(8, Vec::<u8>::new(), |x| x);
+        assert!(empty.is_empty());
+        let one = parallel_map_workers(8, vec![41u8], |x| x + 1);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let f = |x: u64| x.wrapping_mul(0x9E37_79B9).rotate_left(13);
+        let base = parallel_map_workers(1, (0..500u64).collect(), f);
+        for workers in [2, 3, 8] {
+            assert_eq!(
+                parallel_map_workers(workers, (0..500u64).collect(), f),
+                base,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn panic_propagates_with_original_message() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_workers(4, (0..64usize).collect(), |x| {
+                if x == 17 {
+                    panic!("item 17 exploded");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("item 17 exploded"), "payload was: {msg}");
+    }
+
+    #[test]
+    fn resolve_workers_priority() {
+        // Explicit override wins regardless of the environment.
+        assert_eq!(resolve_workers(Some(3)), 3);
+        // Zero means auto, which is always at least one.
+        assert!(resolve_workers(Some(0)) >= 1);
+        assert!(resolve_workers(None) >= 1);
+    }
+}

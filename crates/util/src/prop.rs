@@ -1,0 +1,499 @@
+//! A minimal in-repo property-testing harness.
+//!
+//! The workspace must build with **zero registry dependencies** (the
+//! reproduction environment has no network), so this module replaces
+//! `proptest` for the handful of patterns the test suites actually
+//! use: seeded generation over [`crate::rng::Pcg64`], greedy
+//! shrinking for integers / vectors / strings / tuples, and
+//! `prop_assert!`-style early returns.
+//!
+//! # Model
+//!
+//! A property is a function `Fn(&T) -> Result<(), String>`; `Err`
+//! (or a panic inside the property) falsifies it. A generator is any
+//! `Fn(&mut Pcg64) -> T`. [`Runner::run`] drives `cases` seeded
+//! generations, and on the first failure greedily shrinks the
+//! counterexample via the value's [`Shrink`] implementation before
+//! panicking with the minimal case, the case index, and the seed —
+//! everything needed to replay deterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use synthattr_util::prop::Runner;
+//! use synthattr_util::prop_assert;
+//!
+//! Runner::new("addition_commutes").cases(64).run(
+//!     |rng| (rng.next_below(1000) as u64, rng.next_below(1000) as u64),
+//!     |&(a, b)| {
+//!         prop_assert!(a + b == b + a, "{a} + {b} not commutative");
+//!         Ok(())
+//!     },
+//! );
+//! ```
+//!
+//! Failing cases replay exactly: generation for case `i` of runner
+//! `name` draws from `Pcg64::seed_from(seed, &[name, i])`, so the
+//! panic message's `(name, seed, case)` triple pins the input.
+
+use crate::rng::Pcg64;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Environment variable scaling the case count of every runner
+/// (useful for a long fuzzing session: `SYNTHATTR_PROP_CASES=4096`).
+pub const ENV_CASES: &str = "SYNTHATTR_PROP_CASES";
+
+/// Drives seeded property checks. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Runner {
+    name: &'static str,
+    cases: u32,
+    seed: u64,
+    max_shrink_steps: u32,
+}
+
+impl Runner {
+    /// A runner with default budget (256 cases, seed `0xP0P`-ish).
+    ///
+    /// `name` seeds generation, so two runners with different names
+    /// explore different inputs even at the same seed.
+    pub fn new(name: &'static str) -> Self {
+        Runner {
+            name,
+            cases: 256,
+            seed: 0x5EED_1A7E,
+            max_shrink_steps: 512,
+        }
+    }
+
+    /// Sets the number of generated cases ([`ENV_CASES`] overrides).
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Sets the root seed (rarely needed; the default is fixed for
+    /// reproducibility).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the property over `cases` generated inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the shrunk counterexample if the property returns
+    /// `Err` or panics for any generated input.
+    pub fn run<T, G, P>(&self, generate: G, property: P)
+    where
+        T: Debug,
+        T: Shrink,
+        G: Fn(&mut Pcg64) -> T,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        let cases = std::env::var(ENV_CASES)
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(self.cases);
+        for case in 0..cases {
+            let mut rng = Pcg64::seed_from(self.seed, &[self.name, &case.to_string()]);
+            let value = generate(&mut rng);
+            if let Err(error) = run_one(&property, &value) {
+                let (minimal, minimal_error, steps) =
+                    shrink_failure(&property, value, error, self.max_shrink_steps);
+                panic!(
+                    "property '{}' falsified (case {case}/{cases}, seed {:#x}, \
+                     {steps} shrink steps)\n  counterexample: {minimal:?}\n  error: {}",
+                    self.name, self.seed, minimal_error
+                );
+            }
+        }
+    }
+}
+
+/// Runs the property on one value, converting panics into `Err`.
+fn run_one<T, P>(property: &P, value: &T) -> Result<(), String>
+where
+    P: Fn(&T) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| property(value))) {
+        Ok(result) => result,
+        Err(payload) => Err(payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .map(|m| format!("property panicked: {m}"))
+            .unwrap_or_else(|| "property panicked (non-string payload)".to_string())),
+    }
+}
+
+/// Greedy shrink: repeatedly replace the counterexample with its
+/// first still-failing shrink candidate until none fails or the step
+/// budget runs out.
+fn shrink_failure<T, P>(
+    property: &P,
+    mut value: T,
+    mut error: String,
+    max_steps: u32,
+) -> (T, String, u32)
+where
+    T: Shrink,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for candidate in value.shrink() {
+            steps += 1;
+            if let Err(e) = run_one(property, &candidate) {
+                value = candidate;
+                error = e;
+                continue 'outer;
+            }
+            if steps >= max_steps {
+                break;
+            }
+        }
+        break;
+    }
+    (value, error, steps)
+}
+
+/// Produces "simpler" variants of a failing value, tried in order.
+///
+/// An empty vector stops shrinking. Implementations must move
+/// *strictly* toward simpler values (no cycles): integers toward 0,
+/// containers toward shorter.
+pub trait Shrink: Sized {
+    /// Candidate simplifications, simplest first.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                for c in [0, v / 2, v.saturating_sub(1)] {
+                    if c != v && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+impl Shrink for i64 {
+    fn shrink(&self) -> Vec<Self> {
+        let v = *self;
+        let mut out = Vec::new();
+        for c in [0, v / 2, v - v.signum()] {
+            if c != v && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for char {}
+
+// Borrowed atoms (e.g. a token-soup vocabulary) cannot simplify
+// further; vectors of them still shrink structurally.
+impl Shrink for &str {}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        let chars: Vec<char> = self.chars().collect();
+        if chars.is_empty() {
+            return Vec::new();
+        }
+        let n = chars.len();
+        let mut out: Vec<String> = vec![
+            String::new(),
+            chars[..n / 2].iter().collect(),
+            chars[n / 2..].iter().collect(),
+            chars[..n - 1].iter().collect(),
+        ];
+        out.retain(|c| c != self);
+        out.dedup();
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<Vec<T>> = vec![
+            Vec::new(),
+            self[..n / 2].to_vec(),
+            self[n / 2..].to_vec(),
+            self[..n - 1].to_vec(),
+        ];
+        out.retain(|c| c.len() != n);
+        // Element-wise: shrink one position at a time (first candidate
+        // only, to keep the fan-out linear in length).
+        for i in 0..n {
+            if let Some(simpler) = self[i].shrink().into_iter().next() {
+                let mut copy = self.clone();
+                copy[i] = simpler;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink() {
+                        let mut copy = self.clone();
+                        copy.$idx = candidate;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+impl_shrink_tuple!(A: 0);
+impl_shrink_tuple!(A: 0, B: 1);
+impl_shrink_tuple!(A: 0, B: 1, C: 2);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Common generator helpers (plain functions over [`Pcg64`]; compose
+/// them inside your generator closure).
+pub mod gen {
+    use crate::rng::Pcg64;
+
+    /// A string of `0..=max_len` chars drawn uniformly from `charset`.
+    pub fn string_from(rng: &mut Pcg64, charset: &[char], max_len: usize) -> String {
+        let len = rng.next_below(max_len + 1);
+        (0..len)
+            .map(|_| charset[rng.next_below(charset.len())])
+            .collect()
+    }
+
+    /// Arbitrary "byte soup": printable ASCII heavily mixed with
+    /// controls, whitespace, and multibyte chars — the totality-test
+    /// input class (`.{0,n}` in proptest regexes).
+    pub fn any_string(rng: &mut Pcg64, max_len: usize) -> String {
+        let len = rng.next_below(max_len + 1);
+        (0..len)
+            .map(|_| match rng.next_below(8) {
+                0 => char::from_u32(rng.next_below(0x20) as u32).unwrap_or('\0'),
+                1 => ['é', 'λ', '→', '…', '中', '\u{7f}', '\u{2028}', '🦀'][rng.next_below(8)],
+                _ => char::from_u32(0x20 + rng.next_below(0x5f) as u32).unwrap(),
+            })
+            .collect()
+    }
+
+    /// A vector of `0..=max_len` items from `element`.
+    pub fn vec_of<T>(
+        rng: &mut Pcg64,
+        max_len: usize,
+        mut element: impl FnMut(&mut Pcg64) -> T,
+    ) -> Vec<T> {
+        let len = rng.next_below(max_len + 1);
+        (0..len).map(|_| element(rng)).collect()
+    }
+
+    /// A uniform pick from a non-empty slice, cloned out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn select<T: Clone>(rng: &mut Pcg64, items: &[T]) -> T {
+        items[rng.next_below(items.len())].clone()
+    }
+}
+
+/// Fails the surrounding property (returns `Err`) when the condition
+/// is false. With one argument the condition text is the message;
+/// extra arguments are a `format!` message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the surrounding property when the two values differ,
+/// reporting both sides (and an optional `format!` context).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "prop_assert_eq failed: {:?} != {:?} ({} vs {})",
+                l, r, stringify!($left), stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!("{}\n  left:  {:?}\n  right: {:?}", format!($($fmt)+), l, r));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        // `run` takes Fn, so count via a Cell.
+        let counter = std::cell::Cell::new(0u32);
+        Runner::new("passes").cases(40).run(
+            |rng| rng.next_below(100),
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        seen += counter.get();
+        assert_eq!(seen, 40);
+    }
+
+    #[test]
+    fn failing_property_panics_with_counterexample() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Runner::new("fails").cases(200).run(
+                |rng| rng.next_below(1000) as u64,
+                |&v| {
+                    prop_assert!(v < 250, "value {v} too big");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = match result.expect_err("must falsify").downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => panic!("panic payload should be a String"),
+        };
+        assert!(msg.contains("falsified"), "{msg}");
+        // Greedy shrinking must land on the boundary counterexample.
+        assert!(msg.contains("counterexample: 250"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_reported() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Runner::new("panics").cases(50).run(
+                |rng| rng.next_below(10),
+                |&v| {
+                    assert!(v < 100, "unreachable");
+                    if v > 3 {
+                        panic!("boom at {v}");
+                    }
+                    Ok(())
+                },
+            );
+        }));
+        let msg = match result.expect_err("must falsify").downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => panic!("panic payload should be a String"),
+        };
+        assert!(msg.contains("property panicked"), "{msg}");
+        // Shrinks to the smallest panicking value, 4.
+        assert!(msg.contains("counterexample: 4"), "{msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name_and_case() {
+        let collect = |name: &'static str| {
+            let values = std::cell::RefCell::new(Vec::new());
+            Runner::new(name).cases(10).run(
+                |rng| rng.next_u64(),
+                |&v| {
+                    values.borrow_mut().push(v);
+                    Ok(())
+                },
+            );
+            values.into_inner()
+        };
+        assert_eq!(collect("det"), collect("det"));
+        assert_ne!(collect("det"), collect("det2"));
+    }
+
+    #[test]
+    fn integer_shrink_moves_toward_zero() {
+        assert!(100u64.shrink().contains(&0));
+        assert!(100u64.shrink().contains(&50));
+        assert!(0u64.shrink().is_empty());
+        assert!((-8i64).shrink().contains(&-4));
+    }
+
+    #[test]
+    fn vec_and_string_shrink_toward_empty() {
+        let v = vec![3u64, 9, 27];
+        let shrunk = v.shrink();
+        assert!(shrunk.contains(&Vec::new()));
+        assert!(shrunk.iter().any(|c| c.len() == 2));
+        // Element-wise shrink appears too.
+        assert!(shrunk.iter().any(|c| c.len() == 3 && c[0] == 0));
+        let s = "abcd".to_string();
+        assert!(s.shrink().contains(&String::new()));
+        assert!(s.shrink().contains(&"abc".to_string()));
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_coordinate() {
+        let shrunk = (4u64, true).shrink();
+        assert!(shrunk.contains(&(0, true)));
+        assert!(shrunk.contains(&(4, false)));
+    }
+
+    #[test]
+    fn gen_helpers_respect_bounds() {
+        let mut rng = Pcg64::new(5);
+        for _ in 0..200 {
+            let s = gen::string_from(&mut rng, &['a', 'b'], 7);
+            assert!(s.chars().count() <= 7);
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+            let soup = gen::any_string(&mut rng, 30);
+            assert!(soup.chars().count() <= 30);
+            let v = gen::vec_of(&mut rng, 5, |r| r.next_below(3));
+            assert!(v.len() <= 5);
+            assert_eq!(gen::select(&mut rng, &[9usize]), 9);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly as CI runs it: an offline release build
+# plus the quiet test suite. The workspace has zero registry
+# dependencies (see DESIGN.md "Hermetic zero-dependency policy"), so
+# this must pass with the network fully isolated — CARGO_NET_OFFLINE
+# makes any accidental registry dependency fail fast with a clear
+# error instead of hanging on an unreachable index.
+#
+# Usage:
+#   scripts/verify.sh             # tier-1: build + tests
+#   SYNTHATTR_WORKERS=1 scripts/verify.sh   # serial, for timing noise
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== tier-1: cargo build --release (offline) ==" >&2
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q (offline) ==" >&2
+cargo test -q --offline
+
+# Tier-1 covers the root package; the workspace flag pulls in every
+# crate's unit and integration tests (pool, prop harness, forest
+# worker-count determinism, ...).
+echo "== extended: cargo test -q --workspace (offline) ==" >&2
+cargo test -q --offline --workspace
+
+echo "verify: OK" >&2

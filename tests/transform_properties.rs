@@ -2,89 +2,133 @@
 //! frontend loop: for arbitrary author styles and seeds, generated
 //! programs parse, survive re-rendering, and keep their behavioural
 //! skeleton through LLM-style transformation.
+//!
+//! Driven by the in-repo harness (`synthattr::util::prop`) — see
+//! DESIGN.md's hermetic zero-dependency policy.
 
-use proptest::prelude::*;
 use synthattr::features::collect::CodeStats;
 use synthattr::gen::challenges::ChallengeId;
 use synthattr::gen::style::AuthorStyle;
 use synthattr::gpt::pool::YearPool;
 use synthattr::gpt::transform::Transformer;
-use synthattr::lang::render::{render, RenderStyle};
 use synthattr::lang::parse;
+use synthattr::lang::render::{render, RenderStyle};
+use synthattr::util::prop::Runner;
 use synthattr::util::Pcg64;
+use synthattr_util::{prop_assert, prop_assert_eq};
 
-fn arb_challenge() -> impl Strategy<Value = ChallengeId> {
-    prop::sample::select(ChallengeId::all().to_vec())
+/// Generates `(challenge, extra seeds...)` as shrinkable primitives;
+/// the challenge is picked by index into [`ChallengeId::all`].
+fn challenge(idx: usize) -> ChallengeId {
+    let all = ChallengeId::all();
+    all[idx % all.len()]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Every (style, challenge, seed) combination yields parseable
+/// code whose re-rendered form parses to the same tree shape.
+#[test]
+fn generated_code_roundtrips() {
+    Runner::new("generated_code_roundtrips").cases(48).run(
+        |rng| {
+            (
+                rng.next_below(5000) as u64,
+                rng.next_below(5000) as u64,
+                rng.next_below(ChallengeId::all().len()),
+            )
+        },
+        |&(style_seed, file_seed, ch_idx)| {
+            let mut rng = Pcg64::new(style_seed);
+            let style = AuthorStyle::sample(&mut rng);
+            let src = challenge(ch_idx).render_solution(&style, Pcg64::new(file_seed));
+            let unit = parse(&src).expect("generated code parses");
+            let re = render(&unit, &RenderStyle::default());
+            let unit2 = parse(&re).expect("re-rendered code parses");
+            prop_assert_eq!(unit.shape_hash(), unit2.shape_hash());
+            Ok(())
+        },
+    );
+}
 
-    /// Every (style, challenge, seed) combination yields parseable
-    /// code whose re-rendered form parses to the same tree shape.
-    #[test]
-    fn generated_code_roundtrips(style_seed in 0u64..5000, file_seed in 0u64..5000, ch in arb_challenge()) {
-        let mut rng = Pcg64::new(style_seed);
-        let style = AuthorStyle::sample(&mut rng);
-        let src = ch.render_solution(&style, Pcg64::new(file_seed));
-        let unit = parse(&src).expect("generated code parses");
-        let re = render(&unit, &RenderStyle::default());
-        let unit2 = parse(&re).expect("re-rendered code parses");
-        prop_assert_eq!(unit.shape_hash(), unit2.shape_hash());
-    }
+/// Transformation preserves the program's *behavioural skeleton*:
+/// it still reads input, still prints the GCJ case banner, and
+/// keeps the loop count within one structural rewrite of the
+/// original (for/while conversion and helper extraction never
+/// add or remove iteration logic).
+#[test]
+fn transformation_preserves_skeleton() {
+    Runner::new("transformation_preserves_skeleton")
+        .cases(48)
+        .run(
+            |rng| {
+                (
+                    rng.next_below(2000) as u64,
+                    rng.next_below(2000) as u64,
+                    rng.next_below(ChallengeId::all().len()),
+                )
+            },
+            |&(style_seed, t_seed, ch_idx)| {
+                let mut rng = Pcg64::new(style_seed);
+                let style = AuthorStyle::sample(&mut rng);
+                let src =
+                    challenge(ch_idx).render_solution(&style, Pcg64::new(style_seed ^ 0xABCD));
+                let pool = YearPool::calibrated(2018, 99);
+                let gpt = Transformer::new(&pool);
+                let mut t_rng = Pcg64::new(t_seed);
+                let idx = pool.sample_index(&mut t_rng);
+                let out = gpt.transform(&src, idx, &mut t_rng).expect("transforms");
 
-    /// Transformation preserves the program's *behavioural skeleton*:
-    /// it still reads input, still prints the GCJ case banner, and
-    /// keeps the loop count within one structural rewrite of the
-    /// original (for/while conversion and helper extraction never
-    /// add or remove iteration logic).
-    #[test]
-    fn transformation_preserves_skeleton(style_seed in 0u64..2000, t_seed in 0u64..2000, ch in arb_challenge()) {
-        let mut rng = Pcg64::new(style_seed);
-        let style = AuthorStyle::sample(&mut rng);
-        let src = ch.render_solution(&style, Pcg64::new(style_seed ^ 0xABCD));
-        let pool = YearPool::calibrated(2018, 99);
-        let gpt = Transformer::new(&pool);
-        let mut t_rng = Pcg64::new(t_seed);
-        let idx = pool.sample_index(&mut t_rng);
-        let out = gpt.transform(&src, idx, &mut t_rng).expect("transforms");
+                let before = CodeStats::collect(&parse(&src).unwrap());
+                let after = CodeStats::collect(&parse(&out).unwrap());
 
-        let before = CodeStats::collect(&parse(&src).unwrap());
-        let after = CodeStats::collect(&parse(&out).unwrap());
-
-        // IO protocol survives.
-        prop_assert!(out.contains("Case #"), "banner lost:\n{}", out);
-        let reads_before = before.stream_io_count + before.stdio_count;
-        let reads_after = after.stream_io_count + after.stdio_count;
-        prop_assert!(reads_after > 0, "all IO lost:\n{}", out);
-        // IO statement count is stable (conversion maps 1:1; merged
-        // reads stay merged).
-        prop_assert_eq!(reads_before, reads_after, "IO count changed:\n{}", out);
-        // Iteration structure is stable.
-        prop_assert_eq!(before.loop_count(), after.loop_count(), "loops changed:\n{}", out);
-        // Conditionals may be restyled but never invented from nothing:
-        // ternary + if total is preserved.
-        prop_assert_eq!(
-            before.if_count + before.ternary_count,
-            after.if_count + after.ternary_count,
-            "branching changed:\n{}", out
+                // IO protocol survives.
+                prop_assert!(out.contains("Case #"), "banner lost:\n{}", out);
+                let reads_before = before.stream_io_count + before.stdio_count;
+                let reads_after = after.stream_io_count + after.stdio_count;
+                prop_assert!(reads_after > 0, "all IO lost:\n{}", out);
+                // IO statement count is stable (conversion maps 1:1; merged
+                // reads stay merged).
+                prop_assert_eq!(reads_before, reads_after, "IO count changed:\n{}", out);
+                // Iteration structure is stable.
+                prop_assert_eq!(
+                    before.loop_count(),
+                    after.loop_count(),
+                    "loops changed:\n{}",
+                    out
+                );
+                // Conditionals may be restyled but never invented from nothing:
+                // ternary + if total is preserved.
+                prop_assert_eq!(
+                    before.if_count + before.ternary_count,
+                    after.if_count + after.ternary_count,
+                    "branching changed:\n{}",
+                    out
+                );
+                Ok(())
+            },
         );
-    }
+}
 
-    /// Chained transformation outputs always stay inside the subset.
-    #[test]
-    fn chains_never_leave_the_subset(seed in 0u64..300) {
-        let mut rng = Pcg64::new(seed);
-        let style = AuthorStyle::sample(&mut rng);
-        let src = ChallengeId::Gcd.render_solution(&style, Pcg64::new(seed));
-        let pool = YearPool::calibrated(2019, 7);
-        let gpt = Transformer::new(&pool);
-        let mut current = src;
-        let mut c_rng = Pcg64::new(seed ^ 0xFFFF);
-        for _ in 0..4 {
-            let idx = pool.sample_index(&mut c_rng);
-            current = gpt.transform(&current, idx, &mut c_rng).expect("chain step");
-            parse(&current).expect("chain output parses");
-        }
-    }
+/// Chained transformation outputs always stay inside the subset.
+#[test]
+fn chains_never_leave_the_subset() {
+    Runner::new("chains_never_leave_the_subset").cases(48).run(
+        |rng| rng.next_below(300) as u64,
+        |&seed| {
+            let mut rng = Pcg64::new(seed);
+            let style = AuthorStyle::sample(&mut rng);
+            let src = ChallengeId::Gcd.render_solution(&style, Pcg64::new(seed));
+            let pool = YearPool::calibrated(2019, 7);
+            let gpt = Transformer::new(&pool);
+            let mut current = src;
+            let mut c_rng = Pcg64::new(seed ^ 0xFFFF);
+            for _ in 0..4 {
+                let idx = pool.sample_index(&mut c_rng);
+                current = gpt
+                    .transform(&current, idx, &mut c_rng)
+                    .expect("chain step");
+                parse(&current).expect("chain output parses");
+            }
+            Ok(())
+        },
+    );
 }
