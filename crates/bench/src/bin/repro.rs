@@ -28,7 +28,7 @@ use synthattr_gpt::chain::run_ct;
 use synthattr_gpt::pool::YearPool;
 use synthattr_gpt::transform::Transformer;
 use synthattr_util::stats::distinct_count;
-use synthattr_util::{Pcg64, Table};
+use synthattr_util::{pool, Pcg64, Table};
 
 struct Runner {
     config: ExperimentConfig,
@@ -51,9 +51,26 @@ impl Runner {
         })
     }
 
+    /// Builds every missing year pipeline on the worker pool. Each
+    /// year derives its own seed hierarchy before dispatch and the
+    /// pool preserves input order, so the results are byte-identical
+    /// to the sequential build for any worker count (asserted by
+    /// `parallel_pipeline_build_is_worker_invariant` in
+    /// `tests/e2e_pipeline.rs`).
     fn all_pipelines(&mut self) -> Vec<&YearPipeline> {
-        for year in YEARS {
-            self.pipeline(year);
+        let missing: Vec<u32> = YEARS
+            .iter()
+            .copied()
+            .filter(|y| !self.pipelines.contains_key(y))
+            .collect();
+        if !missing.is_empty() {
+            let config = self.config.clone();
+            for year in &missing {
+                eprintln!("[repro] building GCJ {year} pipeline ...");
+            }
+            let built =
+                pool::parallel_map(missing.clone(), |year| YearPipeline::build(year, &config));
+            self.pipelines.extend(missing.into_iter().zip(built));
         }
         YEARS.iter().map(|y| &self.pipelines[y]).collect()
     }
@@ -115,7 +132,10 @@ impl Runner {
             }
             "figure2" => println!("{}", figures::figure2(2018, self.config.seed, 5)),
             "figure3" => {
-                println!("Figure 3 - original code:\n{}", figures::figure3(self.config.seed));
+                println!(
+                    "Figure 3 - original code:\n{}",
+                    figures::figure3(self.config.seed)
+                );
             }
             "figure4" => {
                 let [a, b] = figures::figure4(2018, self.config.seed);
@@ -133,9 +153,24 @@ impl Runner {
             "feature-importance" => self.feature_importance(),
             "all" => {
                 for t in [
-                    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
-                    "table8", "table9", "table10", "figure1", "figure2", "figure3", "figure4",
-                    "figure5", "ablation-features", "ablation-chain", "ablation-grouping",
+                    "table1",
+                    "table2",
+                    "table3",
+                    "table4",
+                    "table5",
+                    "table6",
+                    "table7",
+                    "table8",
+                    "table9",
+                    "table10",
+                    "figure1",
+                    "figure2",
+                    "figure3",
+                    "figure4",
+                    "figure5",
+                    "ablation-features",
+                    "ablation-chain",
+                    "ablation-grouping",
                     "feature-importance",
                 ] {
                     self.run(t);
@@ -184,11 +219,8 @@ impl Runner {
         // WEKA-style reduction).
         let p = self.pipeline(2018).clone();
         for k in [60usize, 120] {
-            let r = attribution::run_with_selection(
-                &p,
-                attribution::Grouping::FeatureBased,
-                Some(k),
-            );
+            let r =
+                attribution::run_with_selection(&p, attribution::Grouping::FeatureBased, Some(k));
             t.row(vec![
                 format!("full, IG top-{k}"),
                 k.to_string(),
@@ -212,10 +244,8 @@ impl Runner {
             let mut totals = 0.0;
             let reps = 6;
             for rep in 0..reps {
-                let mut rng = Pcg64::seed_from(
-                    self.config.seed,
-                    &["ablate-chain", &rep.to_string()],
-                );
+                let mut rng =
+                    Pcg64::seed_from(self.config.seed, &["ablate-chain", &rep.to_string()]);
                 let out = run_ct(
                     &transformer,
                     &seed_src,
@@ -302,13 +332,10 @@ fn main() {
             "--smoke" => config = ExperimentConfig::smoke(),
             "--seed" => {
                 i += 1;
-                config.seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs an integer");
-                        std::process::exit(2);
-                    });
+                config.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
             }
             "--help" | "-h" => {
                 println!(

@@ -114,9 +114,7 @@ pub fn run_with_selection(
             .transformed
             .iter()
             .enumerate()
-            .filter(|(_, t)| {
-                t.sample.step == 1 && t.setting == crate::pipeline::Setting::GptNct
-            })
+            .filter(|(_, t)| t.sample.step == 1 && t.setting == crate::pipeline::Setting::GptNct)
             .map(|(i, _)| i)
             .collect(),
         Grouping::FeatureBased => p
@@ -160,23 +158,33 @@ pub fn run_with_selection(
             &[
                 "attribution",
                 &p.year.to_string(),
-                if grouping == Grouping::Naive { "naive" } else { "feature" },
+                if grouping == Grouping::Naive {
+                    "naive"
+                } else {
+                    "feature"
+                },
                 &fi.to_string(),
             ],
         );
         let forest = RandomForest::fit(&train, &p.config.forest(), &mut rng);
         let truth: Vec<usize> = fold.test.iter().map(|&i| ds.label(i)).collect();
-        let pred: Vec<usize> = fold
-            .test
-            .iter()
-            .map(|&i| match &columns {
-                Some(cols) => {
-                    let row: Vec<f64> = cols.iter().map(|&c| ds.row(i)[c]).collect();
-                    forest.predict(&row)
-                }
-                None => forest.predict(ds.row(i)),
-            })
-            .collect();
+        // Bulk prediction through the pool-parallel batch API (order-
+        // preserving, so results match the per-row loop exactly).
+        let pred: Vec<usize> = match &columns {
+            Some(cols) => {
+                let projected: Vec<Vec<f64>> = fold
+                    .test
+                    .iter()
+                    .map(|&i| cols.iter().map(|&c| ds.row(i)[c]).collect())
+                    .collect();
+                let rows: Vec<&[f64]> = projected.iter().map(Vec::as_slice).collect();
+                forest.predict_batch(&rows)
+            }
+            None => {
+                let rows: Vec<&[f64]> = fold.test.iter().map(|&i| ds.row(i)).collect();
+                forest.predict_batch(&rows)
+            }
+        };
         fold_accuracy.push(accuracy(&pred, &truth));
         chatgpt_ok.push(class_recognized(&pred, &truth, gpt_class));
         target_ok.push(class_recognized(&pred, &truth, target_label));
@@ -232,8 +240,7 @@ pub fn render_feature_based(results: &[AttributionResult]) -> Table {
         header.push(format!("{} T", r.year));
         header.push(format!("{} F", r.year));
     }
-    let mut t =
-        Table::new(header).with_title("Table IX: accuracy (feature-based) for 205 authors");
+    let mut t = Table::new(header).with_title("Table IX: accuracy (feature-based) for 205 authors");
     render_rows(results, &mut t, true);
     t
 }

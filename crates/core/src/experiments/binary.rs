@@ -114,8 +114,8 @@ pub fn run_individual(p: &YearPipeline) -> BinaryResult {
         );
         let forest = RandomForest::fit(&train, &p.config.forest(), &mut rng);
         let truth: Vec<usize> = fold.test.iter().map(|&i| ds.label(i)).collect();
-        let pred: Vec<usize> = fold.test.iter().map(|&i| forest.predict(ds.row(i))).collect();
-        per_challenge.push(accuracy(&pred, &truth));
+        let rows: Vec<&[f64]> = fold.test.iter().map(|&i| ds.row(i)).collect();
+        per_challenge.push(accuracy(&forest.predict_batch(&rows), &truth));
     }
     BinaryResult {
         year: p.year,
@@ -156,8 +156,8 @@ pub fn run_combined(pipelines: &[YearPipeline]) -> CombinedBinaryResult {
         );
         let forest = RandomForest::fit(&train, &pipelines[0].config.forest(), &mut rng);
         let truth: Vec<usize> = fold.test.iter().map(|&i| ds.label(i)).collect();
-        let pred: Vec<usize> = fold.test.iter().map(|&i| forest.predict(ds.row(i))).collect();
-        cells[ci][yi] = accuracy(&pred, &truth);
+        let rows: Vec<&[f64]> = fold.test.iter().map(|&i| ds.row(i)).collect();
+        cells[ci][yi] = accuracy(&forest.predict_batch(&rows), &truth);
     }
     CombinedBinaryResult {
         years: pipelines.iter().map(|p| p.year).collect(),
@@ -263,7 +263,10 @@ mod tests {
         let ps = vec![pipeline(2017), pipeline(2018)];
         let r = run_combined(&ps);
         assert_eq!(r.years, vec![2017, 2018]);
-        assert_eq!(r.cells.len(), ps[0].n_challenges().min(5).min(ps[1].n_challenges()));
+        assert_eq!(
+            r.cells.len(),
+            ps[0].n_challenges().min(5).min(ps[1].n_challenges())
+        );
         for row in &r.cells {
             assert_eq!(row.len(), 2);
             for &a in row {

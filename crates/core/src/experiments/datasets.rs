@@ -36,8 +36,14 @@ pub fn table_i(pipelines: &[YearPipeline]) -> Vec<TableIRow> {
 
 /// Renders Table I in the paper's layout.
 pub fn render_table_i(rows: &[TableIRow]) -> Table {
-    let mut t = Table::new(vec!["Dataset", "Authors", "Challenges", "Language", "Total"])
-        .with_title("Table I: Non-ChatGPT code datasets");
+    let mut t = Table::new(vec![
+        "Dataset",
+        "Authors",
+        "Challenges",
+        "Language",
+        "Total",
+    ])
+    .with_title("Table I: Non-ChatGPT code datasets");
     for r in rows {
         t.row(vec![
             format!("GCJ {}", r.year),
@@ -92,7 +98,12 @@ pub fn render_table_ii(rows: &[TableIIRow]) -> Table {
             r.per_setting[1].to_string(),
             r.per_setting[2].to_string(),
             r.per_setting[3].to_string(),
-            format!("{} ({}x{})", r.total, per_challenge, r.total / per_challenge.max(1)),
+            format!(
+                "{} ({}x{})",
+                r.total,
+                per_challenge,
+                r.total / per_challenge.max(1)
+            ),
         ]);
     }
     t
@@ -129,10 +140,7 @@ pub fn table_iii(pipelines: &[YearPipeline]) -> Vec<TableIIIRow> {
         })
         .collect();
     if pipelines.len() > 1 {
-        let combined_challenges: usize = pipelines
-            .iter()
-            .map(|p| p.n_challenges().min(5))
-            .sum();
+        let combined_challenges: usize = pipelines.iter().map(|p| p.n_challenges().min(5)).sum();
         let per = rows[0].codes_per_challenge;
         rows.push(TableIIIRow {
             name: "Combined".into(),

@@ -73,11 +73,7 @@ pub fn render(d: &Diversity) -> Table {
         table_no, d.year, d.filtered
     ));
     for (label, count, pct) in &d.rows {
-        t.row(vec![
-            label.clone(),
-            count.to_string(),
-            format!("{pct:.1}"),
-        ]);
+        t.row(vec![label.clone(), count.to_string(), format!("{pct:.1}")]);
     }
     t
 }

@@ -3,6 +3,7 @@
 
 use crate::pipeline::{Setting, YearPipeline};
 use synthattr_gen::challenges::ChallengeId;
+use synthattr_gen::corpus::Origin;
 use synthattr_gen::naming::{Case, NamingStyle, Verbosity};
 use synthattr_gen::style::{
     AuthorStyle, CommentStyle, IoStyle, LoopStyle, PrologueStyle, StructureStyle,
@@ -10,7 +11,6 @@ use synthattr_gen::style::{
 use synthattr_gpt::chain::{run_ct, run_nct};
 use synthattr_gpt::pool::YearPool;
 use synthattr_gpt::transform::Transformer;
-use synthattr_gen::corpus::Origin;
 use synthattr_lang::render::{BraceStyle, Indent, RenderStyle};
 use synthattr_util::Pcg64;
 
@@ -53,8 +53,8 @@ pub fn figure2(year: u32, seed: u64, steps: usize) -> String {
     let pool = YearPool::calibrated(year, seed);
     let transformer = Transformer::new(&pool);
     let style = paper_style();
-    let seed_code = ChallengeId::HorseRace
-        .render_solution(&style, Pcg64::seed_from(seed, &["fig2-seed"]));
+    let seed_code =
+        ChallengeId::HorseRace.render_solution(&style, Pcg64::seed_from(seed, &["fig2-seed"]));
     let mut rng = Pcg64::seed_from(seed, &["fig2-nct"]);
     let nct = run_nct(&transformer, &seed_code, steps, Origin::ChatGpt, &mut rng);
     let mut rng = Pcg64::seed_from(seed, &["fig2-ct"]);

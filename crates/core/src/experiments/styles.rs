@@ -61,7 +61,11 @@ pub fn render(results: &[StyleCounts]) -> Table {
         }
     }
     let mut t = Table::new(header).with_title("Table IV: number of styles per challenge");
-    let n_challenges = results.iter().map(|r| r.per_challenge.len()).max().unwrap_or(0);
+    let n_challenges = results
+        .iter()
+        .map(|r| r.per_challenge.len())
+        .max()
+        .unwrap_or(0);
     for ci in 0..n_challenges {
         let mut row = vec![format!("C{}", ci + 1)];
         for r in results {

@@ -114,9 +114,13 @@ mod tests {
             .map(|a| AuthorStyle::for_author(31, 2017, a))
             .collect();
         for (a, style) in styles.iter().enumerate() {
-            for (ci, ch) in [ChallengeId::SumSeries, ChallengeId::Gcd, ChallengeId::Fibonacci]
-                .iter()
-                .enumerate()
+            for (ci, ch) in [
+                ChallengeId::SumSeries,
+                ChallengeId::Gcd,
+                ChallengeId::Fibonacci,
+            ]
+            .iter()
+            .enumerate()
             {
                 let src = solution_in_style(*ch, style, 5, &["m", &a.to_string(), &ci.to_string()]);
                 if ci < 2 {
@@ -126,8 +130,7 @@ mod tests {
                 }
             }
         }
-        let train_refs: Vec<(&str, usize)> =
-            train.iter().map(|(s, a)| (s.as_str(), *a)).collect();
+        let train_refs: Vec<(&str, usize)> = train.iter().map(|(s, a)| (s.as_str(), *a)).collect();
         let model = AuthorshipModel::train(
             &train_refs,
             n_authors,

@@ -174,9 +174,9 @@ impl Visitor for CodeStats {
                 match name.as_str() {
                     "endl" => self.endl_count += 1,
                     // Library names are not stylistic identifiers.
-                    "cin" | "cout" | "cerr" | "std" | "max" | "min" | "abs" | "sort"
-                    | "swap" | "sqrt" | "pow" | "floor" | "ceil" | "printf" | "scanf"
-                    | "puts" | "getline" | "to_string" => {}
+                    "cin" | "cout" | "cerr" | "std" | "max" | "min" | "abs" | "sort" | "swap"
+                    | "sqrt" | "pow" | "floor" | "ceil" | "printf" | "scanf" | "puts"
+                    | "getline" | "to_string" => {}
                     _ => self.ident_names.push(name.clone()),
                 }
             }

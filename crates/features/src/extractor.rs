@@ -199,7 +199,10 @@ int main()
             .map(|(x, y)| (x - y) * (x - y))
             .sum::<f64>()
             .sqrt();
-        assert!(distance > 1.0, "expected well-separated vectors: {distance}");
+        assert!(
+            distance > 1.0,
+            "expected well-separated vectors: {distance}"
+        );
     }
 
     #[test]
@@ -219,7 +222,12 @@ int main()
         let ex = FeatureExtractor::new(FeatureConfig::default());
         for src in ["", A, B, "int x;"] {
             for (i, v) in ex.extract(src).unwrap().iter().enumerate() {
-                assert!(v.is_finite(), "feature {} ({}) not finite", i, ex.names()[i]);
+                assert!(
+                    v.is_finite(),
+                    "feature {} ({}) not finite",
+                    i,
+                    ex.names()[i]
+                );
             }
         }
     }

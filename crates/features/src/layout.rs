@@ -120,12 +120,10 @@ pub fn push_features(src: &str, out: &mut Vec<f64>) {
         spaced_commas as f64 / commas as f64
     });
     out.push(assign_spacing_ratio(src));
-    let kw_spaced = src.matches("if (").count()
-        + src.matches("for (").count()
-        + src.matches("while (").count();
-    let kw_tight = src.matches("if(").count()
-        + src.matches("for(").count()
-        + src.matches("while(").count();
+    let kw_spaced =
+        src.matches("if (").count() + src.matches("for (").count() + src.matches("while (").count();
+    let kw_tight =
+        src.matches("if(").count() + src.matches("for(").count() + src.matches("while(").count();
     out.push(if kw_spaced + kw_tight == 0 {
         0.0
     } else {

@@ -65,12 +65,7 @@ pub fn push_names(unigram_buckets: usize, names: &mut Vec<String>) {
 ///
 /// `len` is the raw source length in bytes (the paper's per-length
 /// normalization denominator).
-pub fn push_features(
-    stats: &CodeStats,
-    len: usize,
-    unigram_buckets: usize,
-    out: &mut Vec<f64>,
-) {
+pub fn push_features(stats: &CodeStats, len: usize, unigram_buckets: usize, out: &mut Vec<f64>) {
     let s = stats;
     out.push(log_ratio(s.if_count, len));
     out.push(log_ratio(s.else_count, len));
@@ -113,11 +108,7 @@ pub fn push_features(
     let total = s.ident_names.len().max(1) as f64;
     let short = s.ident_names.iter().filter(|n| n.len() <= 2).count();
     out.push(short as f64 / total);
-    let snake = s
-        .ident_names
-        .iter()
-        .filter(|n| n.contains('_'))
-        .count();
+    let snake = s.ident_names.iter().filter(|n| n.contains('_')).count();
     out.push(snake as f64 / total);
     let camel = s
         .ident_names
@@ -190,22 +181,34 @@ mod tests {
     #[test]
     fn snake_vs_camel_is_discriminative() {
         let snake = extract("int main() { int my_long_name = 1; int other_name = 2; return my_long_name + other_name; }");
-        let camel = extract("int main() { int myLongName = 1; int otherName = 2; return myLongName + otherName; }");
+        let camel = extract(
+            "int main() { int myLongName = 1; int otherName = 2; return myLongName + otherName; }",
+        );
         let mut names = Vec::new();
         push_names(16, &mut names);
-        let snake_idx = names.iter().position(|n| n == "lex.ident_snake_ratio").unwrap();
-        let camel_idx = names.iter().position(|n| n == "lex.ident_camel_ratio").unwrap();
+        let snake_idx = names
+            .iter()
+            .position(|n| n == "lex.ident_snake_ratio")
+            .unwrap();
+        let camel_idx = names
+            .iter()
+            .position(|n| n == "lex.ident_camel_ratio")
+            .unwrap();
         assert!(snake[snake_idx] > camel[snake_idx]);
         assert!(camel[camel_idx] > snake[camel_idx]);
     }
 
     #[test]
     fn io_idiom_is_discriminative() {
-        let streams = extract("#include <iostream>\nint main() { int x; cin >> x; cout << x; return 0; }");
+        let streams =
+            extract("#include <iostream>\nint main() { int x; cin >> x; cout << x; return 0; }");
         let stdio = extract("#include <cstdio>\nint main() { int x; scanf(\"%d\", x); printf(\"%d\", x); return 0; }");
         let mut names = Vec::new();
         push_names(16, &mut names);
-        let idx = names.iter().position(|n| n == "lex.stream_vs_stdio").unwrap();
+        let idx = names
+            .iter()
+            .position(|n| n == "lex.stream_vs_stdio")
+            .unwrap();
         assert!(streams[idx] > 0.9);
         assert!(stdio[idx] < 0.1);
     }

@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn structurally_different_programs_differ() {
-        let loops = extract("int main() { for (int i = 0; i < 9; ++i) { } return 0; }", 32);
+        let loops = extract(
+            "int main() { for (int i = 0; i < 9; ++i) { } return 0; }",
+            32,
+        );
         let branches = extract("int main() { if (1) { return 1; } return 0; }", 32);
         assert_ne!(loops, branches);
     }

@@ -122,10 +122,7 @@ impl CodeBuilder {
     /// IO idiom and declaration-merging habits. Variables are given by
     /// `(concept, type)`.
     pub fn read_vars(&mut self, vars: &[(&str, Type)]) -> Vec<Stmt> {
-        let names: Vec<(String, Type)> = vars
-            .iter()
-            .map(|(c, t)| (self.n(c), t.clone()))
-            .collect();
+        let names: Vec<(String, Type)> = vars.iter().map(|(c, t)| (self.n(c), t.clone())).collect();
         let mut out = Vec::new();
         // Declarations: merged per type when the habit says so.
         if self.style.structure.merge_decls {
@@ -215,7 +212,11 @@ impl CodeBuilder {
                 vec![Expr::Str(fmt.into()), case_expr, value],
             ))
         } else {
-            let mut chain = Expr::bin(BinaryOp::Shl, Expr::ident("cout"), Expr::Str("Case #".into()));
+            let mut chain = Expr::bin(
+                BinaryOp::Shl,
+                Expr::ident("cout"),
+                Expr::Str("Case #".into()),
+            );
             chain = Expr::bin(BinaryOp::Shl, chain, case_expr);
             chain = Expr::bin(BinaryOp::Shl, chain, Expr::Str(": ".into()));
             chain = Expr::bin(BinaryOp::Shl, chain, value);
@@ -367,11 +368,7 @@ impl CodeBuilder {
                 AssignOp::Assign,
                 Expr::ident(target),
                 Expr::Ternary {
-                    cond: Box::new(Expr::bin(
-                        BinaryOp::Gt,
-                        value.clone(),
-                        Expr::ident(target),
-                    )),
+                    cond: Box::new(Expr::bin(BinaryOp::Gt, value.clone(), Expr::ident(target))),
                     then_expr: Box::new(value),
                     else_expr: Box::new(Expr::ident(target)),
                 },
@@ -467,8 +464,8 @@ impl UnparenSimple for Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use synthattr_lang::render::{render, RenderStyle};
     use synthattr_lang::parse;
+    use synthattr_lang::render::{render, RenderStyle};
 
     fn builder(seed: u64) -> CodeBuilder {
         let mut rng = Pcg64::new(seed);
@@ -647,7 +644,10 @@ mod tests {
         let items = b.prologue(&["iostream"]);
         let unit = TranslationUnit { items };
         let text = render(&unit, &RenderStyle::default());
-        assert!(text.contains("iostream") && text.contains("cstdio"), "{text}");
+        assert!(
+            text.contains("iostream") && text.contains("cstdio"),
+            "{text}"
+        );
         assert!(text.contains("using ll = long long;"), "{text}");
     }
 

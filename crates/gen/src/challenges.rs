@@ -269,7 +269,11 @@ fn horse_race(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
     loop_body.push(Stmt::Expr(Expr::assign(
         AssignOp::Assign,
         Expr::ident(x.clone()),
-        Expr::bin(BinaryOp::Sub, Expr::ident(d.clone()), Expr::ident(x.clone())),
+        Expr::bin(
+            BinaryOp::Sub,
+            Expr::ident(d.clone()),
+            Expr::ident(x.clone()),
+        ),
     )));
     // t = max(t, (double)x / (double)y);
     let ratio = Expr::bin(
@@ -280,11 +284,7 @@ fn horse_race(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
     loop_body.push(b.max_update(&t, ratio));
     s.extend(b.count_loop(&i, Expr::Int(0), Expr::ident(n), loop_body));
 
-    let result = Expr::bin(
-        BinaryOp::Div,
-        b.cast_double(Expr::ident(d)),
-        Expr::ident(t),
-    );
+    let result = Expr::bin(BinaryOp::Div, b.cast_double(Expr::ident(d)), Expr::ident(t));
     (s, result)
 }
 
@@ -319,7 +319,11 @@ fn min_max_diff(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
     body.push(b.max_update(&best, Expr::ident(v.clone())));
     // worst = min(worst, v) — spelled as an if to vary from max_update.
     body.push(Stmt::If {
-        cond: Expr::bin(BinaryOp::Lt, Expr::ident(v.clone()), Expr::ident(worst.clone())),
+        cond: Expr::bin(
+            BinaryOp::Lt,
+            Expr::ident(v.clone()),
+            Expr::ident(worst.clone()),
+        ),
         then_branch: Block::new(vec![Stmt::Expr(Expr::assign(
             AssignOp::Assign,
             Expr::ident(worst.clone()),
@@ -442,7 +446,10 @@ fn vowel_count(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
     } else {
         let i = b.n("loop_index");
         let body = vec![Stmt::If {
-            cond: is_vowel(Expr::index(Expr::ident(text.clone()), Expr::ident(i.clone()))),
+            cond: is_vowel(Expr::index(
+                Expr::ident(text.clone()),
+                Expr::ident(i.clone()),
+            )),
             then_branch: Block::new(vec![Stmt::Expr(bump)]),
             else_branch: None,
         }];
@@ -465,7 +472,11 @@ fn gcd_program(b: &mut CodeBuilder) -> TranslationUnit {
             g.clone(),
             vec![
                 Expr::ident(bn.clone()),
-                Expr::bin(BinaryOp::Mod, Expr::ident(a.clone()), Expr::ident(bn.clone())),
+                Expr::bin(
+                    BinaryOp::Mod,
+                    Expr::ident(a.clone()),
+                    Expr::ident(bn.clone()),
+                ),
             ],
         );
         let body = if b.style.structure.ternary {
@@ -528,7 +539,11 @@ fn gcd_program(b: &mut CodeBuilder) -> TranslationUnit {
                     Stmt::Expr(Expr::assign(
                         AssignOp::Assign,
                         Expr::ident(y.clone()),
-                        Expr::bin(BinaryOp::Mod, Expr::ident(x.clone()), Expr::ident(y.clone())),
+                        Expr::bin(
+                            BinaryOp::Mod,
+                            Expr::ident(x.clone()),
+                            Expr::ident(y.clone()),
+                        ),
                     )),
                     Stmt::Expr(Expr::assign(
                         AssignOp::Assign,
@@ -561,7 +576,11 @@ fn fibonacci(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
             ty,
             declarators: vec![Declarator::init(
                 tmp.clone(),
-                Expr::bin(BinaryOp::Add, Expr::ident(a.clone()), Expr::ident(bb.clone())),
+                Expr::bin(
+                    BinaryOp::Add,
+                    Expr::ident(a.clone()),
+                    Expr::ident(bb.clone()),
+                ),
             )],
         }),
         Stmt::Expr(Expr::assign(
@@ -723,7 +742,11 @@ fn temperature_range(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
         ty: Type::Int,
         declarators: vec![Declarator::init(
             diff.clone(),
-            Expr::bin(BinaryOp::Sub, Expr::ident(cur.clone()), Expr::ident(prev.clone())),
+            Expr::bin(
+                BinaryOp::Sub,
+                Expr::ident(cur.clone()),
+                Expr::ident(prev.clone()),
+            ),
         )],
     }));
     body.push(Stmt::If {
@@ -744,12 +767,7 @@ fn temperature_range(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
         Expr::ident(prev),
         Expr::ident(cur),
     )));
-    s.extend(b.count_loop(
-        &i,
-        Expr::Int(1),
-        Expr::ident(n),
-        body,
-    ));
+    s.extend(b.count_loop(&i, Expr::Int(1), Expr::ident(n), body));
     (s, Expr::ident(sum))
 }
 
@@ -766,7 +784,11 @@ fn prime_count(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
     let inner = vec![Stmt::If {
         cond: Expr::bin(
             BinaryOp::Eq,
-            Expr::bin(BinaryOp::Mod, Expr::ident(i.clone()), Expr::ident(j.clone())),
+            Expr::bin(
+                BinaryOp::Mod,
+                Expr::ident(i.clone()),
+                Expr::ident(j.clone()),
+            ),
             Expr::Int(0),
         ),
         then_branch: Block::new(vec![
@@ -788,7 +810,11 @@ fn prime_count(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
         }))),
         cond: Some(Expr::bin(
             BinaryOp::Le,
-            Expr::bin(BinaryOp::Mul, Expr::ident(j.clone()), Expr::ident(j.clone())),
+            Expr::bin(
+                BinaryOp::Mul,
+                Expr::ident(j.clone()),
+                Expr::ident(j.clone()),
+            ),
             Expr::ident(i.clone()),
         )),
         step: Some(b.incr(&j)),
@@ -961,9 +987,7 @@ mod tests {
         for ch in ChallengeId::all() {
             for seed in 0..25 {
                 let text = build_one(ch, seed);
-                parse(&text).unwrap_or_else(|e| {
-                    panic!("{} seed {seed}: {e}\n{text}", ch.name())
-                });
+                parse(&text).unwrap_or_else(|e| panic!("{} seed {seed}: {e}\n{text}", ch.name()));
             }
         }
     }

@@ -227,10 +227,7 @@ mod tests {
         let corpus = generate_year(&spec, 5);
         for author in 0..6 {
             let samples: Vec<&CodeSample> = corpus.by_author(author).collect();
-            let tab_counts: Vec<bool> = samples
-                .iter()
-                .map(|s| s.source.contains("\n\t"))
-                .collect();
+            let tab_counts: Vec<bool> = samples.iter().map(|s| s.source.contains("\n\t")).collect();
             assert!(
                 tab_counts.iter().all(|&t| t == tab_counts[0]),
                 "author {author} switched indentation mid-year"

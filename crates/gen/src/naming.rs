@@ -118,12 +118,20 @@ fn synonyms(concept: &str) -> Synonyms {
         "num_cases" => syn!(
             ["t", "tc", "q"],
             [["n", "case"], ["num", "cases"], ["cases"], ["n", "tests"]],
-            [["number", "of", "cases"], ["total", "test", "cases"], ["num", "test", "cases"]]
+            [
+                ["number", "of", "cases"],
+                ["total", "test", "cases"],
+                ["num", "test", "cases"]
+            ]
         ),
         "case_index" => syn!(
             ["i", "tt", "cs"],
             [["i", "case"], ["case", "num"], ["test"], ["case", "id"]],
-            [["case", "number"], ["current", "test", "case"], ["test", "case", "index"]]
+            [
+                ["case", "number"],
+                ["current", "test", "case"],
+                ["test", "case", "index"]
+            ]
         ),
         "loop_index" => syn!(
             ["i", "j", "k"],
@@ -133,22 +141,38 @@ fn synonyms(concept: &str) -> Synonyms {
         "loop_index2" => syn!(
             ["j", "k", "p"],
             [["j"], ["jdx"], ["inner"]],
-            [["inner", "index"], ["second", "index"], ["other", "position"]]
+            [
+                ["inner", "index"],
+                ["second", "index"],
+                ["other", "position"]
+            ]
         ),
         "count" => syn!(
             ["c", "cnt", "k"],
             [["count"], ["cnt"], ["num", "found"]],
-            [["total", "count"], ["matching", "count"], ["found", "count"]]
+            [
+                ["total", "count"],
+                ["matching", "count"],
+                ["found", "count"]
+            ]
         ),
         "sum" => syn!(
             ["s", "sm", "acc"],
             [["sum"], ["total"], ["acc"]],
-            [["running", "total"], ["overall", "sum"], ["accumulated", "value"]]
+            [
+                ["running", "total"],
+                ["overall", "sum"],
+                ["accumulated", "value"]
+            ]
         ),
         "answer" => syn!(
             ["r", "res", "ans"],
             [["ans"], ["result"], ["answer"], ["out"]],
-            [["final", "answer"], ["case", "result"], ["computed", "result"]]
+            [
+                ["final", "answer"],
+                ["case", "result"],
+                ["computed", "result"]
+            ]
         ),
         "n_items" => syn!(
             ["n", "m", "sz"],
@@ -158,7 +182,11 @@ fn synonyms(concept: &str) -> Synonyms {
         "value" => syn!(
             ["x", "v", "w"],
             [["val"], ["x"], ["item"], ["num"]],
-            [["current", "value"], ["input", "value"], ["element", "value"]]
+            [
+                ["current", "value"],
+                ["input", "value"],
+                ["element", "value"]
+            ]
         ),
         "value2" => syn!(
             ["y", "u", "z"],
@@ -168,12 +196,20 @@ fn synonyms(concept: &str) -> Synonyms {
         "best" => syn!(
             ["b", "mx", "opt"],
             [["best"], ["max", "val"], ["top"]],
-            [["best", "so", "far"], ["maximum", "value"], ["optimal", "value"]]
+            [
+                ["best", "so", "far"],
+                ["maximum", "value"],
+                ["optimal", "value"]
+            ]
         ),
         "worst" => syn!(
             ["w", "mn", "lo"],
             [["worst"], ["min", "val"], ["low"]],
-            [["minimum", "value"], ["smallest", "value"], ["lowest", "seen"]]
+            [
+                ["minimum", "value"],
+                ["smallest", "value"],
+                ["lowest", "seen"]
+            ]
         ),
         "distance" => syn!(
             ["d", "dd", "ds"],
@@ -238,12 +274,21 @@ fn synonyms(concept: &str) -> Synonyms {
         "solve_fn" => syn!(
             ["f", "go", "run"],
             [["solve"], ["process"], ["work"], ["calc"]],
-            [["solve", "case"], ["process", "case"], ["handle", "test", "case"], ["solve", "test", "case"]]
+            [
+                ["solve", "case"],
+                ["process", "case"],
+                ["handle", "test", "case"],
+                ["solve", "test", "case"]
+            ]
         ),
         "helper_fn" => syn!(
             ["g", "h", "aux"],
             [["helper"], ["compute"], ["check"], ["eval"]],
-            [["compute", "value"], ["check", "condition"], ["evaluate", "item"]]
+            [
+                ["compute", "value"],
+                ["check", "condition"],
+                ["evaluate", "item"]
+            ]
         ),
         "a_val" => syn!(
             ["a", "p", "m"],
@@ -339,12 +384,50 @@ impl Namer {
 fn is_reserved(name: &str) -> bool {
     matches!(
         name,
-        "int" | "long" | "char" | "bool" | "float" | "double" | "void" | "auto" | "const"
-            | "if" | "else" | "for" | "while" | "do" | "return" | "break" | "continue"
-            | "true" | "false" | "using" | "namespace" | "typedef" | "struct" | "switch"
-            | "case" | "default" | "string" | "vector" | "pair" | "map" | "set" | "cin"
-            | "cout" | "cerr" | "endl" | "std" | "main" | "max" | "min" | "abs" | "sort"
-            | "swap" | "printf" | "scanf"
+        "int"
+            | "long"
+            | "char"
+            | "bool"
+            | "float"
+            | "double"
+            | "void"
+            | "auto"
+            | "const"
+            | "if"
+            | "else"
+            | "for"
+            | "while"
+            | "do"
+            | "return"
+            | "break"
+            | "continue"
+            | "true"
+            | "false"
+            | "using"
+            | "namespace"
+            | "typedef"
+            | "struct"
+            | "switch"
+            | "case"
+            | "default"
+            | "string"
+            | "vector"
+            | "pair"
+            | "map"
+            | "set"
+            | "cin"
+            | "cout"
+            | "cerr"
+            | "endl"
+            | "std"
+            | "main"
+            | "max"
+            | "min"
+            | "abs"
+            | "sort"
+            | "swap"
+            | "printf"
+            | "scanf"
     )
 }
 

@@ -177,8 +177,12 @@ pub fn detect_render_style(src: &str) -> RenderStyle {
     // Braceless bodies: control headers without an opening brace.
     let braceless = lines.iter().any(|l| {
         let t = l.trim();
-        (t.starts_with("if ") || t.starts_with("if(") || t.starts_with("for ")
-            || t.starts_with("for(") || t.starts_with("while ") || t.starts_with("while("))
+        (t.starts_with("if ")
+            || t.starts_with("if(")
+            || t.starts_with("for ")
+            || t.starts_with("for(")
+            || t.starts_with("while ")
+            || t.starts_with("while("))
             && t.ends_with(')')
     });
     RenderStyle {
@@ -445,8 +449,8 @@ const FN_WORDS: &[&[&str]] = &[
 ];
 
 const SHORT_NAMES: &[&str] = &[
-    "a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "m", "n", "p", "q", "r", "s", "t",
-    "u", "v", "w", "x", "y", "z",
+    "a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "m", "n", "p", "q", "r", "s", "t", "u",
+    "v", "w", "x", "y", "z",
 ];
 
 /// A style family's fixed renaming vocabulary: a small shuffled slice
@@ -533,13 +537,63 @@ fn rename_all(unit: &mut TranslationUnit, naming: NamingStyle, vocab: &StyleVoca
 fn is_reserved_name(name: &str) -> bool {
     matches!(
         name,
-        "int" | "long" | "char" | "bool" | "float" | "double" | "void" | "auto" | "const"
-            | "if" | "else" | "for" | "while" | "do" | "return" | "break" | "continue" | "true"
-            | "false" | "string" | "vector" | "pair" | "map" | "set" | "cin" | "cout" | "endl"
-            | "std" | "main" | "max" | "min" | "abs" | "sort" | "swap" | "printf" | "scanf"
-            | "ll" | "case" | "switch" | "default" | "struct" | "typedef" | "using"
-            | "namespace" | "unsigned" | "signed" | "short" | "sizeof" | "static_cast"
-            | "cerr" | "getline" | "to_string" | "puts" | "sqrt" | "pow" | "floor" | "ceil"
+        "int"
+            | "long"
+            | "char"
+            | "bool"
+            | "float"
+            | "double"
+            | "void"
+            | "auto"
+            | "const"
+            | "if"
+            | "else"
+            | "for"
+            | "while"
+            | "do"
+            | "return"
+            | "break"
+            | "continue"
+            | "true"
+            | "false"
+            | "string"
+            | "vector"
+            | "pair"
+            | "map"
+            | "set"
+            | "cin"
+            | "cout"
+            | "endl"
+            | "std"
+            | "main"
+            | "max"
+            | "min"
+            | "abs"
+            | "sort"
+            | "swap"
+            | "printf"
+            | "scanf"
+            | "ll"
+            | "case"
+            | "switch"
+            | "default"
+            | "struct"
+            | "typedef"
+            | "using"
+            | "namespace"
+            | "unsigned"
+            | "signed"
+            | "short"
+            | "sizeof"
+            | "static_cast"
+            | "cerr"
+            | "getline"
+            | "to_string"
+            | "puts"
+            | "sqrt"
+            | "pow"
+            | "floor"
+            | "ceil"
     )
 }
 
@@ -613,14 +667,28 @@ fn set_compound(unit: &mut TranslationUnit, compound: bool) {
             };
             if compound {
                 // x = x op v  =>  x op= v
-                let Expr::Assign { op: AssignOp::Assign, lhs, rhs } = e else {
+                let Expr::Assign {
+                    op: AssignOp::Assign,
+                    lhs,
+                    rhs,
+                } = e
+                else {
                     continue;
                 };
-                let Expr::Ident(x) = lhs.as_ref() else { continue };
-                let Expr::Binary { op, lhs: bl, rhs: br } = rhs.as_ref() else {
+                let Expr::Ident(x) = lhs.as_ref() else {
                     continue;
                 };
-                let Expr::Ident(bx) = bl.as_ref() else { continue };
+                let Expr::Binary {
+                    op,
+                    lhs: bl,
+                    rhs: br,
+                } = rhs.as_ref()
+                else {
+                    continue;
+                };
+                let Expr::Ident(bx) = bl.as_ref() else {
+                    continue;
+                };
                 if bx != x {
                     continue;
                 }
@@ -635,7 +703,9 @@ fn set_compound(unit: &mut TranslationUnit, compound: bool) {
                 *e = Expr::assign(aop, Expr::Ident(x.clone()), (**br).clone());
             } else {
                 // x op= v  =>  x = x op v
-                let Expr::Assign { op, lhs, rhs } = e else { continue };
+                let Expr::Assign { op, lhs, rhs } = e else {
+                    continue;
+                };
                 let bop = match op {
                     AssignOp::Add => BinaryOp::Add,
                     AssignOp::Sub => BinaryOp::Sub,
@@ -644,7 +714,9 @@ fn set_compound(unit: &mut TranslationUnit, compound: bool) {
                     AssignOp::Mod => BinaryOp::Mod,
                     AssignOp::Assign => continue,
                 };
-                let Expr::Ident(x) = lhs.as_ref() else { continue };
+                let Expr::Ident(x) = lhs.as_ref() else {
+                    continue;
+                };
                 let rhs_needs_paren = matches!(
                     rhs.as_ref(),
                     Expr::Binary { .. } | Expr::Ternary { .. } | Expr::Assign { .. }
@@ -702,14 +774,13 @@ fn convert_loops(unit: &mut TranslationUnit, to_while: bool, rng: &mut Pcg64) {
                 ]));
             } else {
                 // while { ...; i++ }  =>  for (; cond; i++) { ... }
-                let Stmt::While { body, .. } = stmt else { continue };
+                let Stmt::While { body, .. } = stmt else {
+                    continue;
+                };
                 let is_step = matches!(
                     body.stmts.last(),
                     Some(Stmt::Expr(Expr::Unary {
-                        op: UnaryOp::PreInc
-                            | UnaryOp::PostInc
-                            | UnaryOp::PreDec
-                            | UnaryOp::PostDec,
+                        op: UnaryOp::PreInc | UnaryOp::PostInc | UnaryOp::PreDec | UnaryOp::PostDec,
                         ..
                     }))
                 );
@@ -747,15 +818,18 @@ fn convert_conditionals(unit: &mut TranslationUnit, to_ternary: bool) {
                 else {
                     continue;
                 };
-                let (Some(Stmt::Expr(Expr::Assign {
-                    op: op_a,
-                    lhs: lhs_a,
-                    rhs: rhs_a,
-                })), Some(Stmt::Expr(Expr::Assign {
-                    op: op_b,
-                    lhs: lhs_b,
-                    rhs: rhs_b,
-                }))) = (
+                let (
+                    Some(Stmt::Expr(Expr::Assign {
+                        op: op_a,
+                        lhs: lhs_a,
+                        rhs: rhs_a,
+                    })),
+                    Some(Stmt::Expr(Expr::Assign {
+                        op: op_b,
+                        lhs: lhs_b,
+                        rhs: rhs_b,
+                    })),
+                ) = (
                     (then_branch.stmts.len() == 1).then(|| &then_branch.stmts[0]),
                     (else_branch.stmts.len() == 1).then(|| &else_branch.stmts[0]),
                 )
@@ -1055,8 +1129,7 @@ fn stream_to_stdio(unit: &mut TranslationUnit, env: &TypeEnv) {
                     let tys: Option<Vec<Ty>> = ops.iter().map(|o| env.infer(o)).collect();
                     if let Some(tys) = tys {
                         if tys.iter().all(|t| !matches!(t, Ty::Str)) {
-                            let fmt: Vec<&str> =
-                                tys.iter().map(|&t| scan_spec_for(t)).collect();
+                            let fmt: Vec<&str> = tys.iter().map(|&t| scan_spec_for(t)).collect();
                             let mut args = vec![Expr::Str(fmt.join(" "))];
                             args.extend(ops.into_iter().map(|o| Expr::Unary {
                                 op: UnaryOp::AddrOf,
@@ -1120,7 +1193,9 @@ fn stdio_to_stream(unit: &mut TranslationUnit, want_endl: bool) {
     for_each_block_mut(unit, &mut |block| {
         for stmt in &mut block.stmts {
             let Stmt::Expr(e) = stmt else { continue };
-            let Expr::Call { callee, args } = e else { continue };
+            let Expr::Call { callee, args } = e else {
+                continue;
+            };
             let Expr::Ident(name) = callee.unparenthesized() else {
                 continue;
             };
@@ -1482,8 +1557,8 @@ fn expr_mut(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
 mod tests {
     use super::*;
     use synthattr_gen::challenges::ChallengeId;
-    use synthattr_gen::naming::Case;
     use synthattr_gen::corpus::solution_in_style;
+    use synthattr_gen::naming::Case;
 
     fn sample_source(seed: u64) -> String {
         let mut rng = Pcg64::new(seed);
@@ -1604,7 +1679,10 @@ int main() {
         stream_to_stdio(&mut unit, &env);
         let text = render(&unit, &RenderStyle::default());
         assert!(text.contains("scanf(\"%d\", &n)"), "{text}");
-        assert!(text.contains("printf(\"Case #%d: %.6lf\\n\", 1, t)"), "{text}");
+        assert!(
+            text.contains("printf(\"Case #%d: %.6lf\\n\", 1, t)"),
+            "{text}"
+        );
         parse(&text).unwrap();
     }
 
@@ -1635,7 +1713,10 @@ int main() {
         stdio_to_stream(&mut unit, true);
         let text = render(&unit, &RenderStyle::default());
         assert!(text.contains("cin >> n"), "{text}");
-        assert!(text.contains("cout << \"Case #\" << 1 << \": \" << n << endl"), "{text}");
+        assert!(
+            text.contains("cout << \"Case #\" << 1 << \": \" << n << endl"),
+            "{text}"
+        );
         parse(&text).unwrap();
     }
 
@@ -1736,7 +1817,8 @@ int main() {
 
     #[test]
     fn conditionals_convert_both_ways() {
-        let src = "int main() { int x = 0; int c = 1; if (c > 0) { x = 1; } else { x = 2; } return x; }";
+        let src =
+            "int main() { int x = 0; int c = 1; if (c > 0) { x = 1; } else { x = 2; } return x; }";
         let mut unit = parse(src).unwrap();
         convert_conditionals(&mut unit, true);
         let text = render(&unit, &RenderStyle::default());
@@ -1752,7 +1834,8 @@ int main() {
     #[test]
     fn conditionals_require_matching_targets() {
         // Different assignment targets must NOT merge into a ternary.
-        let src = "int main() { int x = 0, y = 0; if (x < 1) { x = 1; } else { y = 2; } return x + y; }";
+        let src =
+            "int main() { int x = 0, y = 0; if (x < 1) { x = 1; } else { y = 2; } return x + y; }";
         let mut unit = parse(src).unwrap();
         convert_conditionals(&mut unit, true);
         let text = render(&unit, &RenderStyle::default());

@@ -66,7 +66,8 @@ impl<'a> Lexer<'a> {
     }
 
     fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
-        self.tokens.push(Token::new(kind, Span::new(start, self.pos, line)));
+        self.tokens
+            .push(Token::new(kind, Span::new(start, self.pos, line)));
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
@@ -405,12 +406,7 @@ impl<'a> Lexer<'a> {
                     Caret
                 }
             }
-            other => {
-                return Err(self.error(format!(
-                    "unexpected character {:?}",
-                    other as char
-                )))
-            }
+            other => return Err(self.error(format!("unexpected character {:?}", other as char))),
         };
         self.push(kind, start, line);
         Ok(())
@@ -518,10 +514,7 @@ mod tests {
     #[test]
     fn float_suffix_does_not_attach_to_integers() {
         // `0f` is not a C++ literal: the `f` starts the next token.
-        assert_eq!(
-            kinds("00f"),
-            vec![IntLit(0), Ident("f".into()), Eof]
-        );
+        assert_eq!(kinds("00f"), vec![IntLit(0), Ident("f".into()), Eof]);
         assert_eq!(kinds("7u"), vec![IntLit(7), Eof]);
     }
 

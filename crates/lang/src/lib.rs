@@ -92,8 +92,7 @@ int main() {
         for (i, src) in SAMPLES.iter().enumerate() {
             let unit = parse(src).unwrap_or_else(|e| panic!("sample {i}: {e}"));
             let text = render(&unit, &RenderStyle::default());
-            let again =
-                parse(&text).unwrap_or_else(|e| panic!("re-parse sample {i}: {e}\n{text}"));
+            let again = parse(&text).unwrap_or_else(|e| panic!("re-parse sample {i}: {e}\n{text}"));
             assert_eq!(unit.shape_hash(), again.shape_hash(), "sample {i}:\n{text}");
         }
     }

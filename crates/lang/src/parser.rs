@@ -920,19 +920,13 @@ fn parse_directive(text: &str) -> Item {
     let trimmed = text.trim();
     if let Some(rest) = trimmed.strip_prefix("#include") {
         let rest = rest.trim();
-        if let Some(path) = rest
-            .strip_prefix('<')
-            .and_then(|r| r.strip_suffix('>'))
-        {
+        if let Some(path) = rest.strip_prefix('<').and_then(|r| r.strip_suffix('>')) {
             return Item::Include {
                 path: path.to_string(),
                 system: true,
             };
         }
-        if let Some(path) = rest
-            .strip_prefix('"')
-            .and_then(|r| r.strip_suffix('"'))
-        {
+        if let Some(path) = rest.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
             return Item::Include {
                 path: path.to_string(),
                 system: false,
@@ -1034,7 +1028,10 @@ mod tests {
             }
             other => panic!("expected foreach, got {other:?}"),
         }
-        assert!(matches!(&main.body.stmts[2], Stmt::ForEach { by_ref: false, .. }));
+        assert!(matches!(
+            &main.body.stmts[2],
+            Stmt::ForEach { by_ref: false, .. }
+        ));
     }
 
     #[test]
@@ -1056,7 +1053,8 @@ mod tests {
 
     #[test]
     fn parses_else_if_chain() {
-        let unit = ok("int f(int x) { if (x > 0) return 1; else if (x < 0) return -1; else return 0; }");
+        let unit =
+            ok("int f(int x) { if (x > 0) return 1; else if (x < 0) return -1; else return 0; }");
         let f = unit.function("f").unwrap();
         match &f.body.stmts[0] {
             Stmt::If {
@@ -1069,10 +1067,13 @@ mod tests {
 
     #[test]
     fn parses_nested_template_types_with_shr_split() {
-        let unit = ok("int main() { vector<vector<int>> grid; map<string, vector<int>> m; return 0; }");
+        let unit =
+            ok("int main() { vector<vector<int>> grid; map<string, vector<int>> m; return 0; }");
         let main = unit.function("main").unwrap();
         match &main.body.stmts[0] {
-            Stmt::Decl(d) => assert!(matches!(&d.ty, Type::Vector(inner) if matches!(**inner, Type::Vector(_)))),
+            Stmt::Decl(d) => {
+                assert!(matches!(&d.ty, Type::Vector(inner) if matches!(**inner, Type::Vector(_))))
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -1158,7 +1159,9 @@ mod tests {
 
     #[test]
     fn parses_member_calls_and_indexing() {
-        let unit = ok("int main() { vector<int> v; v.push_back(1); int n = (int)v.size(); return v[0] + n; }");
+        let unit = ok(
+            "int main() { vector<int> v; v.push_back(1); int n = (int)v.size(); return v[0] + n; }",
+        );
         let main = unit.function("main").unwrap();
         assert!(matches!(&main.body.stmts[1], Stmt::Expr(Expr::Call { .. })));
     }
@@ -1216,7 +1219,8 @@ mod tests {
 
     #[test]
     fn parses_long_long_and_unsigned_spellings() {
-        let unit = ok("long long a; unsigned int b; unsigned long long c; long d; short e; signed f;");
+        let unit =
+            ok("long long a; unsigned int b; unsigned long long c; long d; short e; signed f;");
         let tys: Vec<&Type> = unit
             .items
             .iter()
@@ -1235,7 +1239,8 @@ mod tests {
 
     #[test]
     fn parses_std_qualified_names() {
-        let unit = ok("#include <string>\nstd::string g;\nint main() { std::cout << g; return 0; }");
+        let unit =
+            ok("#include <string>\nstd::string g;\nint main() { std::cout << g; return 0; }");
         assert!(matches!(&unit.items[1], Item::GlobalVar(d) if d.ty == Type::Str));
     }
 

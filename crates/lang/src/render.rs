@@ -308,8 +308,7 @@ fn render_stmt(stmt: &Stmt, w: &mut Writer<'_>) {
             render_block_contents(body, w);
             let tail = format!(
                 " {};",
-                kw_paren(w, "while", &expr_text(cond, 0, w.style))
-                    .trim_start_matches(' ')
+                kw_paren(w, "while", &expr_text(cond, 0, w.style)).trim_start_matches(' ')
             );
             w.close(&tail);
         }
@@ -426,7 +425,10 @@ fn render_else(else_block: &Block, w: &mut Writer<'_>, after_brace: bool) {
             else_branch,
         } = &else_block.stmts[0]
         {
-            let header = format!("{prefix} {}", kw_paren(w, "if", &expr_text(cond, 0, w.style)));
+            let header = format!(
+                "{prefix} {}",
+                kw_paren(w, "if", &expr_text(cond, 0, w.style))
+            );
             render_if_chain(&header, then_branch, else_branch.as_ref(), w);
             return;
         }
@@ -494,7 +496,11 @@ pub fn type_text(ty: &Type, style: &RenderStyle) -> String {
 
 fn declaration_text(decl: &Declaration, style: &RenderStyle) -> String {
     let comma = if style.space_after_comma { ", " } else { "," };
-    let assign = if style.space_around_assign { " = " } else { "=" };
+    let assign = if style.space_around_assign {
+        " = "
+    } else {
+        "="
+    };
     let parts: Vec<String> = decl
         .declarators
         .iter()
@@ -509,8 +515,7 @@ fn declaration_text(decl: &Declaration, style: &RenderStyle) -> String {
                     s.push_str(&expr_text(e, 0, style));
                 }
                 Some(Initializer::Ctor(args)) => {
-                    let args: Vec<String> =
-                        args.iter().map(|a| expr_text(a, 0, style)).collect();
+                    let args: Vec<String> = args.iter().map(|a| expr_text(a, 0, style)).collect();
                     s.push_str(&format!("({})", args.join(comma)));
                 }
                 None => {}
@@ -648,9 +653,7 @@ fn expr_text_inner(e: &Expr, style: &RenderStyle) -> String {
             format!("({}){}", type_text(ty, style), expr_text(expr, 13, style))
         }
         Expr::StaticCast { ty, expr } => {
-            let close = if style.space_in_template_close
-                && type_text(ty, style).ends_with('>')
-            {
+            let close = if style.space_in_template_close && type_text(ty, style).ends_with('>') {
                 format!("static_cast<{} >", type_text(ty, style))
             } else {
                 format!("static_cast<{}>", type_text(ty, style))
@@ -741,8 +744,7 @@ int main() {
         let unit = parse(&src).unwrap();
         for (i, style) in all_styles().iter().enumerate() {
             let text = render(&unit, style);
-            let reparsed =
-                parse(&text).unwrap_or_else(|e| panic!("style {i}: {e}\n{text}"));
+            let reparsed = parse(&text).unwrap_or_else(|e| panic!("style {i}: {e}\n{text}"));
             assert_eq!(
                 unit.shape_hash(),
                 reparsed.shape_hash(),
@@ -824,7 +826,10 @@ int main() {
             parse("int f(int x) { if (x > 0) { return 1; } else if (x < 0) { return -1; } else { return 0; } }")
                 .unwrap();
         let text = render(&unit, &RenderStyle::default());
-        assert!(text.contains("} else if (x < 0) {") || text.contains("else if (x < 0)"), "{text}");
+        assert!(
+            text.contains("} else if (x < 0) {") || text.contains("else if (x < 0)"),
+            "{text}"
+        );
         let reparsed = parse(&text).unwrap();
         assert_eq!(unit.shape_hash(), reparsed.shape_hash());
     }
@@ -856,7 +861,7 @@ int main() {
 
     #[test]
     fn negative_literal_does_not_fuse() {
-        use crate::ast::{UnaryOp};
+        use crate::ast::UnaryOp;
         let e = Expr::Unary {
             op: UnaryOp::Neg,
             expr: Box::new(Expr::Unary {
@@ -883,8 +888,8 @@ int main() {
 
     #[test]
     fn ctor_and_assign_initializers_render_differently() {
-        let unit = parse("int main() { vector<int> a(3, 7); vector<int> b = {3, 7}; return 0; }")
-            .unwrap();
+        let unit =
+            parse("int main() { vector<int> a(3, 7); vector<int> b = {3, 7}; return 0; }").unwrap();
         let text = render(&unit, &RenderStyle::default());
         assert!(text.contains("a(3, 7)"), "{text}");
         assert!(text.contains("b = {3, 7}"), "{text}");

@@ -314,7 +314,10 @@ mod tests {
     #[test]
     fn keyword_lookup() {
         assert_eq!(TokenKind::keyword("int"), Some(TokenKind::KwInt));
-        assert_eq!(TokenKind::keyword("static_cast"), Some(TokenKind::KwStaticCast));
+        assert_eq!(
+            TokenKind::keyword("static_cast"),
+            Some(TokenKind::KwStaticCast)
+        );
         assert_eq!(TokenKind::keyword("vector"), None);
         assert_eq!(TokenKind::keyword(""), None);
     }

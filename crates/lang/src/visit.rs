@@ -499,10 +499,7 @@ int main() {
     fn fixture() -> TranslationUnit {
         // The `*&` above would be invalid; use a valid call instead.
         let src = SRC.replace("*&", "xsv");
-        let src = src.replace(
-            "int main() {",
-            "vector<int> xsv;\nint main() {",
-        );
+        let src = src.replace("int main() {", "vector<int> xsv;\nint main() {");
         parse(&src).unwrap()
     }
 
@@ -572,15 +569,17 @@ int main() {
         let text = crate::render::render(&unit, &crate::render::RenderStyle::default());
         assert!(text.contains("values.push_back"));
         assert!(text.contains("values.size()"), "{text}");
-        assert!(text.contains("\"size\""), "string literal must survive: {text}");
+        assert!(
+            text.contains("\"size\""),
+            "string literal must survive: {text}"
+        );
     }
 
     #[test]
     fn for_each_block_mut_reaches_nested_blocks() {
-        let mut unit = parse(
-            "int main() { if (1) { while (0) { int x = 1; } } for (;;) { } return 0; }",
-        )
-        .unwrap();
+        let mut unit =
+            parse("int main() { if (1) { while (0) { int x = 1; } } for (;;) { } return 0; }")
+                .unwrap();
         let mut blocks = 0;
         for_each_block_mut(&mut unit, &mut |_b| blocks += 1);
         // main body, if-then, while body, for body.

@@ -23,8 +23,8 @@ impl Dataset {
     ///
     /// # Panics
     ///
-    /// Panics if lengths differ, rows have inconsistent dimension, or a
-    /// label is out of range.
+    /// Panics if lengths differ, rows have inconsistent dimension, a
+    /// label is out of range, or any feature value is non-finite.
     pub fn from_parts(rows: Vec<Vec<f64>>, labels: Vec<usize>, n_classes: usize) -> Self {
         assert_eq!(rows.len(), labels.len(), "rows and labels must align");
         if let Some(d) = rows.first().map(Vec::len) {
@@ -33,10 +33,10 @@ impl Dataset {
                 "inconsistent feature dimension"
             );
         }
-        assert!(
-            labels.iter().all(|&l| l < n_classes),
-            "label out of range"
-        );
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
+        for row in &rows {
+            assert_finite(row);
+        }
         Dataset {
             rows,
             labels,
@@ -48,13 +48,25 @@ impl Dataset {
     ///
     /// # Panics
     ///
-    /// Panics if `label >= n_classes` or the dimension differs from
-    /// existing rows.
+    /// Panics if `label >= n_classes`, the dimension differs from
+    /// existing rows, or any feature value is NaN/infinite (the
+    /// downstream classifiers assume finite features; rejecting
+    /// corruption here keeps the oracle from silently training on it).
     pub fn push(&mut self, features: Vec<f64>, label: usize) {
         assert!(label < self.n_classes, "label {label} out of range");
         if let Some(first) = self.rows.first() {
             assert_eq!(first.len(), features.len(), "feature dimension mismatch");
         }
+        assert_finite(&features);
+        self.rows.push(features);
+        self.labels.push(label);
+    }
+
+    /// Test-only escape hatch that skips the finite-features check, so
+    /// NaN-robustness regression tests can build corrupt datasets.
+    #[cfg(test)]
+    pub(crate) fn push_unchecked(&mut self, features: Vec<f64>, label: usize) {
+        assert!(label < self.n_classes, "label {label} out of range");
         self.rows.push(features);
         self.labels.push(label);
     }
@@ -140,6 +152,16 @@ impl Dataset {
     }
 }
 
+/// Rejects NaN/±∞ at the dataset boundary.
+fn assert_finite(features: &[f64]) {
+    if let Some(pos) = features.iter().position(|v| !v.is_finite()) {
+        panic!(
+            "non-finite feature value {} at column {pos}: features must be finite",
+            features[pos]
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +236,31 @@ mod tests {
     #[should_panic(expected = "label out of range")]
     fn from_parts_rejects_bad_labels() {
         Dataset::from_parts(vec![vec![1.0]], vec![5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite feature value")]
+    fn push_rejects_nan() {
+        tiny().push(vec![0.0, f64::NAN], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite feature value")]
+    fn push_rejects_infinity() {
+        tiny().push(vec![f64::INFINITY, 0.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite feature value")]
+    fn from_parts_rejects_nan() {
+        Dataset::from_parts(vec![vec![1.0], vec![f64::NAN]], vec![0, 1], 2);
+    }
+
+    #[test]
+    fn push_unchecked_bypasses_validation_for_tests() {
+        let mut ds = tiny();
+        ds.push_unchecked(vec![f64::NAN, 0.0], 0);
+        assert_eq!(ds.len(), 5);
+        assert!(ds.row(4)[0].is_nan());
     }
 }

@@ -65,6 +65,28 @@ impl RandomForest {
     ///
     /// Panics if `data` is empty or `config.n_trees == 0`.
     pub fn fit(data: &Dataset, config: &ForestConfig, rng: &mut Pcg64) -> Self {
+        Self::fit_with(data, config, rng, DecisionTree::fit_on)
+    }
+
+    /// Trains through the naive reference splitter
+    /// ([`crate::tree::reference`]) — identical seed derivation and
+    /// bootstrap sampling, so the result must be bit-identical to
+    /// [`Self::fit`]. Exists for the golden-equivalence tests and the
+    /// `forest` benchmark's `train_reference` baseline.
+    #[cfg(any(test, feature = "reference-splitter"))]
+    pub fn fit_reference(data: &Dataset, config: &ForestConfig, rng: &mut Pcg64) -> Self {
+        Self::fit_with(data, config, rng, crate::tree::reference::fit_on)
+    }
+
+    /// Shared trainer: forks one RNG stream per tree *before*
+    /// dispatch, so worker count never changes the forest, then fits
+    /// each bootstrap through `fit_on`.
+    fn fit_with(
+        data: &Dataset,
+        config: &ForestConfig,
+        rng: &mut Pcg64,
+        fit_on: fn(&Dataset, &[usize], &TreeConfig, &mut Pcg64) -> DecisionTree,
+    ) -> Self {
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         assert!(config.n_trees > 0, "forest needs at least one tree");
         let n = data.len();
@@ -78,7 +100,7 @@ impl RandomForest {
 
         let train_one = |mut tree_rng: Pcg64| -> DecisionTree {
             let indices: Vec<usize> = (0..sample_size).map(|_| tree_rng.next_below(n)).collect();
-            DecisionTree::fit_on(data, &indices, &config.tree, &mut tree_rng)
+            fit_on(data, &indices, &config.tree, &mut tree_rng)
         };
 
         let trees: Vec<DecisionTree> = if config.parallel && config.n_trees > 1 {
@@ -124,11 +146,39 @@ impl RandomForest {
         argmax(&self.predict_proba(features))
     }
 
-    /// Predicts every row of `data`, in order.
+    /// Mean class-probability vectors for a batch of rows, in input
+    /// order, fanned out over the scoped worker pool.
+    ///
+    /// Per-row prediction is a pure function of the trained forest and
+    /// the pool preserves input order, so the result is byte-identical
+    /// for every worker count (only wall-clock changes). Small batches
+    /// stay on the calling thread.
+    pub fn predict_proba_batch(&self, rows: &[&[f64]]) -> Vec<Vec<f32>> {
+        if rows.len() < PARALLEL_PREDICT_MIN {
+            return rows.iter().map(|r| self.predict_proba(r)).collect();
+        }
+        pool::parallel_map(rows.to_vec(), |r| self.predict_proba(r))
+    }
+
+    /// Predicted classes for a batch of rows, in input order (argmax
+    /// of [`Self::predict_proba_batch`], same determinism guarantee).
+    pub fn predict_batch(&self, rows: &[&[f64]]) -> Vec<usize> {
+        if rows.len() < PARALLEL_PREDICT_MIN {
+            return rows.iter().map(|r| self.predict(r)).collect();
+        }
+        pool::parallel_map(rows.to_vec(), |r| self.predict(r))
+    }
+
+    /// Predicts every row of `data`, in order (batch fast path).
     pub fn predict_all(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+        let rows: Vec<&[f64]> = (0..data.len()).map(|i| data.row(i)).collect();
+        self.predict_batch(&rows)
     }
 }
+
+/// Batches below this size are predicted on the calling thread: the
+/// pool's thread spawn costs more than a handful of tree walks.
+const PARALLEL_PREDICT_MIN: usize = 64;
 
 #[cfg(test)]
 mod tests {
@@ -261,6 +311,80 @@ mod tests {
     fn empty_dataset_panics() {
         let ds = Dataset::new(2);
         RandomForest::fit(&ds, &ForestConfig::default(), &mut Pcg64::new(1));
+    }
+
+    /// Golden equivalence: the optimised trainer must produce
+    /// bit-identical forests to the naive reference splitter — same
+    /// seeds, same predictions, at every worker count.
+    #[test]
+    fn optimized_forest_is_bit_identical_to_reference() {
+        // Heavy value ties stress the split search harder than
+        // Gaussian blobs do.
+        let mut rng = Pcg64::new(21);
+        let mut train = Dataset::new(3);
+        for _ in 0..90 {
+            let label = rng.next_below(3);
+            train.push(
+                vec![
+                    (label * 2 + rng.next_below(3)) as f64 / 2.0,
+                    rng.next_below(4) as f64 / 2.0,
+                    1.25, // constant feature
+                ],
+                label,
+            );
+        }
+        let test = blobs(12, 22);
+        for seed in [3u64, 77] {
+            for workers in [1usize, 4, 8] {
+                let cfg = ForestConfig {
+                    n_trees: 16,
+                    workers: Some(workers),
+                    ..ForestConfig::default()
+                };
+                let fast = RandomForest::fit(&train, &cfg, &mut Pcg64::new(seed));
+                let naive = RandomForest::fit_reference(&train, &cfg, &mut Pcg64::new(seed));
+                for i in 0..train.len() {
+                    assert_eq!(
+                        fast.predict_proba(train.row(i)),
+                        naive.predict_proba(train.row(i)),
+                        "seed {seed} workers {workers} train row {i}"
+                    );
+                }
+                for i in 0..test.len() {
+                    // Off-distribution probes exercise every leaf path.
+                    assert_eq!(
+                        fast.predict_proba(test.row(i)),
+                        naive.predict_proba(test.row(i)),
+                        "seed {seed} workers {workers} test row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_prediction_matches_serial() {
+        let train = blobs(20, 14);
+        let forest = RandomForest::fit(&train, &ForestConfig::fast(), &mut Pcg64::new(15));
+        // Big enough to cross PARALLEL_PREDICT_MIN and hit the pool.
+        let test = blobs(40, 16);
+        let rows: Vec<&[f64]> = (0..test.len()).map(|i| test.row(i)).collect();
+        assert!(rows.len() >= super::PARALLEL_PREDICT_MIN);
+        let serial_probs: Vec<Vec<f32>> = rows.iter().map(|r| forest.predict_proba(r)).collect();
+        assert_eq!(forest.predict_proba_batch(&rows), serial_probs);
+        let serial_preds: Vec<usize> = rows.iter().map(|r| forest.predict(r)).collect();
+        assert_eq!(forest.predict_batch(&rows), serial_preds);
+        assert_eq!(forest.predict_all(&test), serial_preds);
+    }
+
+    #[test]
+    fn tiny_batches_stay_on_the_calling_thread() {
+        let train = blobs(8, 17);
+        let forest = RandomForest::fit(&train, &ForestConfig::fast(), &mut Pcg64::new(18));
+        let row = train.row(0);
+        assert_eq!(forest.predict_batch(&[row]), vec![forest.predict(row)]);
+        assert!(forest.predict_batch(&[]).is_empty());
+        assert!(forest.predict_proba_batch(&[]).is_empty());
     }
 
     #[test]

@@ -44,9 +44,7 @@ impl AnalysisForest {
         let mut in_bag = Vec::with_capacity(config.n_trees);
         for t in 0..config.n_trees {
             let mut tree_rng = rng.fork(&["tree", &t.to_string()]);
-            let indices: Vec<usize> = (0..sample_size)
-                .map(|_| tree_rng.next_below(n))
-                .collect();
+            let indices: Vec<usize> = (0..sample_size).map(|_| tree_rng.next_below(n)).collect();
             let tree = DecisionTree::fit_on(data, &indices, &config.tree, &mut tree_rng);
             let mut bag = indices;
             bag.sort_unstable();
@@ -91,7 +89,7 @@ impl AnalysisForest {
             let pred = votes
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(c, _)| c)
                 .unwrap_or(0);
             if pred != data.label(i) {
@@ -124,8 +122,7 @@ impl AnalysisForest {
                         row
                     })
                     .collect();
-                let shuffled =
-                    Dataset::from_parts(rows, data.labels().to_vec(), data.n_classes());
+                let shuffled = Dataset::from_parts(rows, data.labels().to_vec(), data.n_classes());
                 let degraded = 1.0 - self.oob_error(&shuffled);
                 (baseline - degraded).max(0.0)
             })
@@ -135,11 +132,7 @@ impl AnalysisForest {
 
 /// Convenience: the `k` most important features of `data` under a
 /// small analysis forest, as `(feature index, importance)` descending.
-pub fn top_permutation_features(
-    data: &Dataset,
-    k: usize,
-    rng: &mut Pcg64,
-) -> Vec<(usize, f64)> {
+pub fn top_permutation_features(data: &Dataset, k: usize, rng: &mut Pcg64) -> Vec<(usize, f64)> {
     let config = ForestConfig {
         n_trees: 30,
         tree: TreeConfig::default(),
@@ -153,11 +146,7 @@ pub fn top_permutation_features(
         .into_iter()
         .enumerate()
         .collect();
-    scores.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0.cmp(&b.0))
-    });
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     scores.truncate(k);
     scores
 }

@@ -55,7 +55,9 @@ impl KnnClassifier {
                 (d, label)
             })
             .collect();
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp keeps the comparator total under NaN (a corrupt
+        // distance sorts last instead of scrambling the whole order).
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut votes = vec![0usize; self.n_classes];
         for &(_, label) in dists.iter().take(self.k) {
             votes[label] += 1;
@@ -137,5 +139,31 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         KnnClassifier::fit(&blobs(2, 5), 0);
+    }
+
+    /// Satellite regression test: a NaN-bearing training row produces
+    /// NaN distances; with `total_cmp` those sort strictly last, so
+    /// the row can never displace a genuine neighbour (with the old
+    /// non-total comparator it could scramble the whole sort order).
+    #[test]
+    fn nan_training_row_never_becomes_a_neighbour() {
+        let mut clean = blobs(12, 7);
+        let mut dirty = clean.clone();
+        // A poisoned row with a deliberately misleading label.
+        dirty.push_unchecked(vec![f64::NAN, 0.0], 2);
+        let knn_clean = KnnClassifier::fit(&clean, 5);
+        let knn_dirty = KnnClassifier::fit(&dirty, 5);
+        let probes = blobs(6, 8);
+        for i in 0..probes.len() {
+            assert_eq!(
+                knn_dirty.predict(probes.row(i)),
+                knn_clean.predict(probes.row(i)),
+                "probe {i}: NaN row changed the neighbourhood"
+            );
+        }
+        // Determinism with the corrupt row present.
+        clean.push_unchecked(vec![f64::NAN, 0.0], 2);
+        let again = KnnClassifier::fit(&clean, 5);
+        assert_eq!(again.predict_all(&probes), knn_dirty.predict_all(&probes));
     }
 }

@@ -19,7 +19,7 @@ pub fn information_gain(data: &Dataset, feature: usize) -> f64 {
     let mut pairs: Vec<(f64, usize)> = (0..n)
         .map(|i| (data.row(i)[feature], data.label(i)))
         .collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     if pairs[0].0 == pairs[n - 1].0 {
         return 0.0;
     }
@@ -54,11 +54,7 @@ pub fn rank_features(data: &Dataset) -> Vec<(usize, f64)> {
     let mut gains: Vec<(usize, f64)> = (0..data.dim())
         .map(|f| (f, information_gain(data, f)))
         .collect();
-    gains.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0.cmp(&b.0))
-    });
+    gains.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     gains
 }
 

@@ -1,5 +1,27 @@
 //! CART decision trees with Gini impurity and per-node feature
 //! subsampling (the randomized trees inside the forest).
+//!
+//! # The fast split search
+//!
+//! The split search is the training hot path: every node scans `k`
+//! candidate features over `n` samples. The optimised path
+//! ([`SplitScratch`]) keeps all per-node working memory in buffers
+//! reused down the recursion and maintains **incremental class counts
+//! with a running sum of squared counts** for both sides of the
+//! candidate split, so the Gini gain of each position is an O(1)
+//! update instead of an O(C) re-count — and no count vector is ever
+//! allocated inside the scan.
+//!
+//! Because class counts are integers, the running sums of squares are
+//! *exactly* equal to the naive recomputation, so the optimised search
+//! selects bit-identical `(feature, threshold, gain)` triples to the
+//! reference implementation retained in [`reference`]. A golden
+//! equivalence test and a property test
+//! (`optimized_split_matches_reference`) pin this invariant.
+//!
+//! All float sorts use [`f64::total_cmp`]: the comparator is total
+//! even in the presence of NaN, so a corrupt value can never scramble
+//! the sort order (NaN sorts after every finite value).
 
 use crate::dataset::Dataset;
 use synthattr_util::Pcg64;
@@ -63,6 +85,125 @@ enum Node {
     },
 }
 
+/// The best split found for one node: `(feature, threshold, gain)`.
+type BestSplit = Option<(usize, f64, f64)>;
+
+/// Reusable per-node working memory for the split search, owned once
+/// per tree fit and threaded down the recursion so no inner loop
+/// allocates.
+///
+/// `pairs` holds the sorted `(sort key, label)` projection of the
+/// node's samples onto one candidate feature — the key is the
+/// order-preserving integer image of the value (see [`total_cmp_key`]),
+/// so the sort runs on plain `u64` compares instead of re-deriving the
+/// `total_cmp` bit transform at every comparison. `left_counts` /
+/// `right_counts` are the incrementally-maintained class histograms of
+/// the two sides of the sweeping split position.
+pub(crate) struct SplitScratch {
+    pairs: Vec<(u64, usize)>,
+    left_counts: Vec<usize>,
+    right_counts: Vec<usize>,
+}
+
+impl SplitScratch {
+    pub(crate) fn new(n_classes: usize) -> Self {
+        SplitScratch {
+            pairs: Vec::new(),
+            left_counts: vec![0; n_classes],
+            right_counts: vec![0; n_classes],
+        }
+    }
+
+    /// The optimised split search: one sort per candidate feature,
+    /// then a single sweep maintaining class counts and sums of
+    /// squared counts for both sides, so each candidate position costs
+    /// O(1) instead of an O(C) allocation + re-count.
+    ///
+    /// Returns the same `(feature, threshold, gain)` as
+    /// [`reference::best_split`], bit for bit: the running sums of
+    /// squares are integer arithmetic, so the floating-point Gini
+    /// expressions receive identical operands in both paths.
+    pub(crate) fn find_best(
+        &mut self,
+        data: &Dataset,
+        indices: &[usize],
+        candidates: &[usize],
+        counts: &[usize],
+        parent_gini: f64,
+    ) -> BestSplit {
+        let total = indices.len();
+        let total_sq = sum_sq(counts);
+        let mut best: BestSplit = None;
+        // Strictly below any finite gain, so the first evaluated
+        // position is always accepted — the same selection the
+        // reference's `is_none_or` makes (gains are always finite:
+        // both ginis are ratios of finite integers).
+        let mut best_gain = f64::NEG_INFINITY;
+        let SplitScratch {
+            pairs,
+            left_counts,
+            right_counts,
+        } = self;
+        for &feature in candidates {
+            pairs.clear();
+            pairs.extend(
+                indices
+                    .iter()
+                    .map(|&i| (total_cmp_key(data.row(i)[feature]), data.label(i))),
+            );
+            // Unstable sort on integer keys: no allocation, and no
+            // per-comparison float bit transform. Within a run of
+            // equal values the label order is irrelevant — splits are
+            // only scored at value boundaries, where the side
+            // histograms are permutation-invariant.
+            pairs.sort_unstable_by_key(|p| p.0);
+            // Length-pinned view so the sweep's indexing is
+            // bounds-check-free.
+            let pairs = &pairs[..total];
+            // Constant-feature and tie checks must compare the
+            // *recovered floats*, not the keys: -0.0 and +0.0 have
+            // distinct keys but are equal values, and the reference
+            // compares values.
+            if key_to_f64(pairs[0].0) == key_to_f64(pairs[total - 1].0) {
+                continue; // constant feature in this node
+            }
+            left_counts.fill(0);
+            right_counts.copy_from_slice(counts);
+            let mut left_sq = 0u64;
+            let mut right_sq = total_sq;
+            for split_at in 1..total {
+                // Move one sample from the right side to the left:
+                // (c+1)^2 - c^2 = 2c+1 and (c-1)^2 - c^2 = -(2c-1).
+                let (prev_key, class) = pairs[split_at - 1];
+                left_sq += 2 * left_counts[class] as u64 + 1;
+                left_counts[class] += 1;
+                right_sq -= 2 * right_counts[class] as u64 - 1;
+                right_counts[class] -= 1;
+                let prev_val = key_to_f64(prev_key);
+                let cur_val = key_to_f64(pairs[split_at].0);
+                if prev_val == cur_val {
+                    continue; // cannot split between equal values
+                }
+                let n_left = split_at;
+                let n_right = total - split_at;
+                let weighted = (n_left as f64 * gini_from_sq(left_sq, n_left)
+                    + n_right as f64 * gini_from_sq(right_sq, n_right))
+                    / total as f64;
+                let gain = parent_gini - weighted;
+                // Zero-gain splits are accepted on impure nodes (XOR-like
+                // structure has no first-split gain); recursion still
+                // terminates because both children are strictly smaller.
+                if gain > best_gain {
+                    best_gain = gain;
+                    let threshold = 0.5 * (prev_val + cur_val);
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+        best
+    }
+}
+
 /// A trained CART decision tree.
 #[derive(Debug, Clone)]
 pub struct DecisionTree {
@@ -77,19 +218,22 @@ impl DecisionTree {
     /// # Panics
     ///
     /// Panics if `data` is empty or `indices` is empty.
-    pub fn fit_on(
-        data: &Dataset,
-        indices: &[usize],
-        config: &TreeConfig,
-        rng: &mut Pcg64,
-    ) -> Self {
+    pub fn fit_on(data: &Dataset, indices: &[usize], config: &TreeConfig, rng: &mut Pcg64) -> Self {
         assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
         let mut tree = DecisionTree {
             nodes: Vec::new(),
             n_classes: data.n_classes(),
         };
         let mut idx = indices.to_vec();
-        tree.build(data, &mut idx, 0, config, rng);
+        let mut scratch = SplitScratch::new(data.n_classes());
+        tree.build_with(
+            data,
+            &mut idx,
+            0,
+            config,
+            rng,
+            &mut |d, i, cand, counts, pg| scratch.find_best(d, i, cand, counts, pg),
+        );
         tree
     }
 
@@ -122,14 +266,24 @@ impl DecisionTree {
     }
 
     /// Builds a subtree over `indices`; returns its arena slot.
-    fn build(
+    ///
+    /// The growth skeleton (stopping rules, candidate sampling, RNG
+    /// draws, partitioning, recursion order) is shared between the
+    /// optimised and the reference splitter, so the two trainers can
+    /// only differ through `find_best` — which the equivalence tests
+    /// prove they don't.
+    fn build_with<F>(
         &mut self,
         data: &Dataset,
         indices: &mut [usize],
         depth: usize,
         config: &TreeConfig,
         rng: &mut Pcg64,
-    ) -> usize {
+        find_best: &mut F,
+    ) -> usize
+    where
+        F: FnMut(&Dataset, &[usize], &[usize], &[usize], f64) -> BestSplit,
+    {
         let counts = class_counts(data, indices, self.n_classes);
         let total = indices.len();
         let pure = counts.contains(&total);
@@ -141,47 +295,8 @@ impl DecisionTree {
         let k = config.max_features.resolve(dim);
         let candidates = rng.sample_indices(dim, k);
 
-        let parent_gini = gini(&counts, total);
-        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
-        let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(total);
-        for &feature in &candidates {
-            scratch.clear();
-            scratch.extend(
-                indices
-                    .iter()
-                    .map(|&i| (data.row(i)[feature], data.label(i))),
-            );
-            scratch.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-            if scratch[0].0 == scratch[total - 1].0 {
-                continue; // constant feature in this node
-            }
-            let mut left_counts = vec![0usize; self.n_classes];
-            for split_at in 1..total {
-                left_counts[scratch[split_at - 1].1] += 1;
-                let (prev_val, cur_val) = (scratch[split_at - 1].0, scratch[split_at].0);
-                if prev_val == cur_val {
-                    continue; // cannot split between equal values
-                }
-                let right_counts: Vec<usize> = counts
-                    .iter()
-                    .zip(&left_counts)
-                    .map(|(&c, &l)| c - l)
-                    .collect();
-                let n_left = split_at;
-                let n_right = total - split_at;
-                let weighted = (n_left as f64 * gini(&left_counts, n_left)
-                    + n_right as f64 * gini(&right_counts, n_right))
-                    / total as f64;
-                let gain = parent_gini - weighted;
-                // Zero-gain splits are accepted on impure nodes (XOR-like
-                // structure has no first-split gain); recursion still
-                // terminates because both children are strictly smaller.
-                if best.is_none_or(|(_, _, g)| gain > g) {
-                    let threshold = 0.5 * (prev_val + cur_val);
-                    best = Some((feature, threshold, gain));
-                }
-            }
-        }
+        let parent_gini = gini_from_sq(sum_sq(&counts), total);
+        let best = find_best(data, indices, &candidates, &counts, parent_gini);
 
         let Some((feature, threshold, _)) = best else {
             return self.leaf(&counts, total);
@@ -196,8 +311,8 @@ impl DecisionTree {
         let slot = self.nodes.len();
         self.nodes.push(Node::Leaf { probs: Vec::new() });
         let (left_idx, right_idx) = indices.split_at_mut(mid);
-        let left = self.build(data, left_idx, depth + 1, config, rng);
-        let right = self.build(data, right_idx, depth + 1, config, rng);
+        let left = self.build_with(data, left_idx, depth + 1, config, rng, find_best);
+        let right = self.build_with(data, right_idx, depth + 1, config, rng, find_best);
         self.nodes[slot] = Node::Split {
             feature,
             threshold,
@@ -245,6 +360,93 @@ impl DecisionTree {
     }
 }
 
+/// The naive split search retained as the correctness reference for
+/// the optimised path.
+///
+/// It re-sorts a freshly extended scratch vector per feature with a
+/// stable sort and materialises a new `right_counts` vector at every
+/// candidate split position — the O(n·k·C) allocation pattern the
+/// fast path eliminates. Training through it must produce
+/// **bit-identical** trees to [`DecisionTree::fit_on`]; the golden
+/// equivalence tests and the `forest` benchmark's `train_reference`
+/// target both rely on that.
+#[cfg(any(test, feature = "reference-splitter"))]
+pub mod reference {
+    use super::*;
+
+    /// Fits a tree with the naive splitter; same API and RNG stream as
+    /// [`DecisionTree::fit_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn fit_on(
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut Pcg64,
+    ) -> DecisionTree {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes: data.n_classes(),
+        };
+        let mut idx = indices.to_vec();
+        tree.build_with(data, &mut idx, 0, config, rng, &mut best_split);
+        tree
+    }
+
+    /// The naive per-node search: allocates and re-counts at every
+    /// candidate position.
+    pub(crate) fn best_split(
+        data: &Dataset,
+        indices: &[usize],
+        candidates: &[usize],
+        counts: &[usize],
+        parent_gini: f64,
+    ) -> BestSplit {
+        let total = indices.len();
+        let mut best: BestSplit = None;
+        let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(total);
+        for &feature in candidates {
+            scratch.clear();
+            scratch.extend(
+                indices
+                    .iter()
+                    .map(|&i| (data.row(i)[feature], data.label(i))),
+            );
+            scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
+            if scratch[0].0 == scratch[total - 1].0 {
+                continue;
+            }
+            let mut left_counts = vec![0usize; counts.len()];
+            for split_at in 1..total {
+                left_counts[scratch[split_at - 1].1] += 1;
+                let (prev_val, cur_val) = (scratch[split_at - 1].0, scratch[split_at].0);
+                if prev_val == cur_val {
+                    continue;
+                }
+                let right_counts: Vec<usize> = counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(&c, &l)| c - l)
+                    .collect();
+                let n_left = split_at;
+                let n_right = total - split_at;
+                let weighted = (n_left as f64 * gini_from_sq(sum_sq(&left_counts), n_left)
+                    + n_right as f64 * gini_from_sq(sum_sq(&right_counts), n_right))
+                    / total as f64;
+                let gain = parent_gini - weighted;
+                if best.is_none_or(|(_, _, g)| gain > g) {
+                    let threshold = 0.5 * (prev_val + cur_val);
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+        best
+    }
+}
+
 /// Index of the maximum element; ties break low.
 pub(crate) fn argmax(xs: &[f32]) -> usize {
     let mut best = 0usize;
@@ -264,18 +466,42 @@ fn class_counts(data: &Dataset, indices: &[usize], n_classes: usize) -> Vec<usiz
     counts
 }
 
-fn gini(counts: &[usize], total: usize) -> f64 {
+/// Order-preserving integer image of an `f64`: sorting keys ascending
+/// orders the originals exactly as [`f64::total_cmp`] ascending would
+/// (NaN after every finite value). This is the same bit transform
+/// `total_cmp` applies per comparison — hoisted to once per element.
+#[inline]
+fn total_cmp_key(v: f64) -> u64 {
+    let bits = v.to_bits();
+    // Negatives: flip all bits (reverses their order). Non-negatives:
+    // flip only the sign bit (lifts them above all negatives).
+    bits ^ ((((bits as i64) >> 63) as u64) | (1 << 63))
+}
+
+/// Exact inverse of [`total_cmp_key`]: recovers the original bits, so
+/// thresholds computed from recovered values are bit-identical to ones
+/// computed from the values themselves.
+#[inline]
+fn key_to_f64(key: u64) -> f64 {
+    let mask = if key & (1 << 63) != 0 { 1 << 63 } else { !0u64 };
+    f64::from_bits(key ^ mask)
+}
+
+/// Sum of squared class counts — the integer core of the Gini
+/// impurity. Exact, so the incremental and naive paths agree bit for
+/// bit once converted to float.
+fn sum_sq(counts: &[usize]) -> u64 {
+    counts.iter().map(|&c| (c as u64) * (c as u64)).sum()
+}
+
+/// Gini impurity `1 - Σ p_c²` expressed through the integer sum of
+/// squared counts: `1 - sq / n²`.
+fn gini_from_sq(sq: u64, total: usize) -> f64 {
     if total == 0 {
         return 0.0;
     }
     let t = total as f64;
-    1.0 - counts
-        .iter()
-        .map(|&c| {
-            let p = c as f64 / t;
-            p * p
-        })
-        .sum::<f64>()
+    1.0 - sq as f64 / (t * t)
 }
 
 /// Stable-enough in-place partition; returns the count of elements
@@ -294,6 +520,8 @@ fn partition<T, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use synthattr_util::prop::Runner;
+    use synthattr_util::prop_assert_eq;
 
     fn xor_dataset() -> Dataset {
         // XOR with noise-free corners replicated: not linearly
@@ -420,5 +648,159 @@ mod tests {
     fn empty_fit_panics() {
         let ds = Dataset::new(2);
         DecisionTree::fit_on(&ds, &[], &TreeConfig::default(), &mut Pcg64::new(1));
+    }
+
+    /// A seeded dataset with heavy value ties (small discrete grid),
+    /// several classes, and a constant feature — the tricky cases for
+    /// split-search equivalence.
+    fn gridded_dataset(seed: u64, n: usize, dim: usize, n_classes: usize) -> Dataset {
+        let mut rng = Pcg64::new(seed);
+        let mut ds = Dataset::new(n_classes);
+        for _ in 0..n {
+            let mut row: Vec<f64> = (0..dim).map(|_| rng.next_below(5) as f64 / 2.0).collect();
+            row.push(3.5); // constant tail feature
+            ds.push(row, rng.next_below(n_classes));
+        }
+        ds
+    }
+
+    #[test]
+    fn optimized_tree_is_bit_identical_to_reference() {
+        for seed in [1u64, 7, 42, 1234] {
+            let ds = gridded_dataset(seed, 60, 4, 3);
+            let cfg = TreeConfig::default();
+            let fast = DecisionTree::fit(&ds, &cfg, &mut Pcg64::new(seed));
+            let naive = {
+                let all: Vec<usize> = (0..ds.len()).collect();
+                reference::fit_on(&ds, &all, &cfg, &mut Pcg64::new(seed))
+            };
+            assert_eq!(fast.node_count(), naive.node_count(), "seed {seed}");
+            assert_eq!(fast.depth(), naive.depth(), "seed {seed}");
+            for i in 0..ds.len() {
+                // Exact f32 equality: the trees must be the same tree.
+                assert_eq!(
+                    fast.predict_proba(ds.row(i)),
+                    naive.predict_proba(ds.row(i)),
+                    "seed {seed} row {i}"
+                );
+            }
+        }
+    }
+
+    /// Satellite property test: on random seeded datasets — including
+    /// ties and constant features — the optimised split search picks
+    /// exactly the same `(feature, threshold, gain)` as the reference.
+    #[test]
+    fn optimized_split_matches_reference() {
+        Runner::new("split_equivalence").cases(192).run(
+            |rng| {
+                let n_classes = 2 + rng.next_below(3);
+                let n = 2 + rng.next_below(40);
+                let dim = 1 + rng.next_below(5);
+                let rows: Vec<Vec<u8>> = (0..n)
+                    .map(|_| (0..dim).map(|_| rng.next_below(4) as u8).collect())
+                    .collect();
+                let labels: Vec<u8> = (0..n).map(|_| rng.next_below(n_classes) as u8).collect();
+                (n_classes as u8, rows, labels)
+            },
+            |(n_classes, rows, labels)| {
+                let n_classes = (*n_classes).max(1) as usize;
+                let n = rows.len().min(labels.len());
+                if n < 2 {
+                    return Ok(()); // shrinking may drop below a splittable size
+                }
+                let dim = rows[0].len();
+                if dim == 0 || rows[..n].iter().any(|r| r.len() != dim) {
+                    return Ok(()); // shrinking may desync row dimensions
+                }
+                let mut ds = Dataset::new(n_classes);
+                for i in 0..n {
+                    // Map the integer grid to halves so thresholds land
+                    // between representable values, including ties.
+                    let row: Vec<f64> = rows[i].iter().map(|&v| v as f64 / 2.0).collect();
+                    ds.push(row, labels[i] as usize % n_classes);
+                }
+                let indices: Vec<usize> = (0..n).collect();
+                let candidates: Vec<usize> = (0..dim).collect();
+                let mut counts = vec![0usize; n_classes];
+                for i in 0..n {
+                    counts[ds.label(i)] += 1;
+                }
+                let parent_gini = gini_from_sq(sum_sq(&counts), n);
+                let mut scratch = SplitScratch::new(n_classes);
+                let fast = scratch.find_best(&ds, &indices, &candidates, &counts, parent_gini);
+                let naive = reference::best_split(&ds, &indices, &candidates, &counts, parent_gini);
+                prop_assert_eq!(fast, naive, "split search diverged");
+                Ok(())
+            },
+        );
+    }
+
+    /// Satellite regression test: a NaN feature value must not corrupt
+    /// the splitter. `total_cmp` keeps the sort total (NaN last), so
+    /// training stays deterministic and the finite structure is still
+    /// learned.
+    #[test]
+    fn nan_row_does_not_corrupt_the_splitter() {
+        let mut ds = Dataset::new(2);
+        for i in 0..12 {
+            let label = usize::from(i >= 6);
+            // Feature 0 separates cleanly at 5.5.
+            ds.push_unchecked(vec![i as f64, 1.0], label);
+        }
+        ds.push_unchecked(vec![f64::NAN, 1.0], 0);
+        let cfg = TreeConfig {
+            max_features: MaxFeatures::All,
+            ..TreeConfig::default()
+        };
+        let t1 = DecisionTree::fit(&ds, &cfg, &mut Pcg64::new(3));
+        let t2 = DecisionTree::fit(&ds, &cfg, &mut Pcg64::new(3));
+        // Deterministic despite the NaN...
+        for i in 0..12 {
+            assert_eq!(t1.predict(ds.row(i)), t2.predict(ds.row(i)), "row {i}");
+        }
+        // ...and the finite separation is still learned.
+        assert_eq!(t1.predict(&[1.0, 1.0]), 0);
+        assert_eq!(t1.predict(&[10.0, 1.0]), 1);
+    }
+
+    #[test]
+    fn sort_key_round_trips_and_orders_like_total_cmp() {
+        let specials = [
+            f64::NEG_INFINITY,
+            -1.5e300,
+            -1.0,
+            -f64::MIN_POSITIVE / 2.0, // negative subnormal
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE / 2.0,
+            1.0,
+            1.5e300,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+        ];
+        for &a in &specials {
+            // Bit-exact round trip (NaN payloads included).
+            assert_eq!(key_to_f64(total_cmp_key(a)).to_bits(), a.to_bits());
+            for &b in &specials {
+                assert_eq!(
+                    total_cmp_key(a).cmp(&total_cmp_key(b)),
+                    a.total_cmp(&b),
+                    "key order diverges from total_cmp for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gini_helpers_agree_with_definition() {
+        // counts [1, 2] over 3 samples: 1 - (1 + 4) / 9.
+        assert_eq!(sum_sq(&[1, 2]), 5);
+        let g = gini_from_sq(5, 3);
+        assert!((g - (1.0 - 5.0 / 9.0)).abs() < 1e-15, "{g}");
+        assert_eq!(gini_from_sq(0, 0), 0.0);
+        // Pure node: zero impurity, exactly.
+        assert_eq!(gini_from_sq(sum_sq(&[4, 0]), 4), 0.0);
     }
 }

@@ -122,7 +122,11 @@ pub fn pct(x: f64) -> String {
 
 /// Formats a check / cross mark as used by the paper's Tables VIII–IX.
 pub fn mark(ok: bool) -> String {
-    if ok { "v".into() } else { "x".into() }
+    if ok {
+        "v".into()
+    } else {
+        "x".into()
+    }
 }
 
 #[cfg(test)]
@@ -137,11 +141,7 @@ mod tests {
         let s = t.to_string();
         assert!(s.starts_with("Table T\n"));
         // All body lines equal length.
-        let lens: Vec<usize> = s
-            .lines()
-            .skip(1)
-            .map(|l| l.chars().count())
-            .collect();
+        let lens: Vec<usize> = s.lines().skip(1).map(|l| l.chars().count()).collect();
         assert!(lens.windows(2).all(|w| w[0] == w[1]), "{s}");
         assert!(s.contains("longer cell"));
     }

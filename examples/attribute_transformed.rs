@@ -30,13 +30,22 @@ fn main() {
     // Tables V-VII: how skewed is style usage?
     let div = diversity::run(&pipeline);
     println!("\n{}", diversity::render(&div));
-    println!("top style carries {:.1}% of samples", 100.0 * div.top_share());
+    println!(
+        "top style carries {:.1}% of samples",
+        100.0 * div.top_share()
+    );
 
     // Tables VIII/IX: can the 205-class model still find ChatGPT?
     let naive = attribution::run(&pipeline, attribution::Grouping::Naive);
     let feature = attribution::run(&pipeline, attribution::Grouping::FeatureBased);
-    println!("\n{}", attribution::render_naive(std::slice::from_ref(&naive)));
-    println!("{}", attribution::render_feature_based(std::slice::from_ref(&feature)));
+    println!(
+        "\n{}",
+        attribution::render_naive(std::slice::from_ref(&naive))
+    );
+    println!(
+        "{}",
+        attribution::render_feature_based(std::slice::from_ref(&feature))
+    );
     println!(
         "ChatGPT-set recognition: naive {:.0}% vs feature-based {:.0}%",
         100.0 * naive.chatgpt_pct(),

@@ -38,5 +38,8 @@ fn main() {
         combined.years.len(),
         100.0 * combined.all_avg()
     );
-    assert!(combined.all_avg() > 0.6, "detector must beat chance soundly");
+    assert!(
+        combined.all_avg() > 0.6,
+        "detector must beat chance soundly"
+    );
 }

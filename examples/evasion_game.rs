@@ -19,9 +19,7 @@ fn main() {
     let pipeline = YearPipeline::build(2019, &cfg);
 
     let victim = pipeline.seed_author;
-    println!(
-        "victim: author A{victim} (their code seeds the ± transformation settings)\n"
-    );
+    println!("victim: author A{victim} (their code seeds the ± transformation settings)\n");
 
     // How often does the oracle still say "A<victim>" after the
     // adversary's transformations?

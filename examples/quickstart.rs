@@ -88,7 +88,9 @@ int main()
     println!(
         "parsed alice's solution: {} top-level items, main has {} statements",
         unit.items.len(),
-        unit.function("main").map(|f| f.body.stmts.len()).unwrap_or(0)
+        unit.function("main")
+            .map(|f| f.body.stmts.len())
+            .unwrap_or(0)
     );
 
     // ...and the authorship model learns who writes like what.

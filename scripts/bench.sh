@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Perf-trajectory baseline: runs the `forest` and `features` bench
+# targets through `synthattr_bench::harness` and writes one JSON line
+# per benchmark into BENCH_forest.json (the harness prints JSON on
+# stdout, human progress on stderr — see DESIGN.md "Benchmarking").
+#
+# The forest target benches both the optimised trainer (`train/50`)
+# and the retained naive splitter (`train_reference/50`) in the same
+# run, so the summary printed at the end is an apples-to-apples
+# fast-path speedup on this machine.
+#
+# Usage:
+#   scripts/bench.sh                  # full budgets, writes BENCH_forest.json
+#   SYNTHATTR_BENCH_MEASURE_MS=500 scripts/bench.sh   # quicker pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+OUT="${SYNTHATTR_BENCH_OUT:-BENCH_forest.json}"
+
+: > "$OUT"
+for target in forest features; do
+  echo "== bench: $target ==" >&2
+  # Keep only the harness's JSON lines; cargo chatter goes to stderr
+  # already, this guards against any stray stdout.
+  cargo bench --offline -p synthattr-bench --bench "$target" | grep '^{' >> "$OUT"
+done
+
+median_of() {
+  grep "\"group\":\"forest\"" "$OUT" | grep "\"bench\":\"$1\"" \
+    | sed -E 's/.*"median_ns":([0-9.]+).*/\1/' | head -n 1
+}
+
+fast=$(median_of "train/50")
+naive=$(median_of "train_reference/50")
+if [[ -n "$fast" && -n "$naive" ]]; then
+  awk -v fast="$fast" -v naive="$naive" 'BEGIN {
+    printf "forest train/50: optimised %.2f ms vs reference %.2f ms -> %.2fx speedup\n",
+      fast / 1e6, naive / 1e6, naive / fast
+  }' >&2
+fi
+echo "wrote $(wc -l < "$OUT") benchmark lines to $OUT" >&2

@@ -7,10 +7,21 @@
 # error instead of hanging on an unreachable index.
 #
 # Usage:
-#   scripts/verify.sh             # tier-1: build + tests
+#   scripts/verify.sh                 # tier-1: build + tests
+#   scripts/verify.sh --bench-smoke   # tier-1 + one-iteration bench pass
 #   SYNTHATTR_WORKERS=1 scripts/verify.sh   # serial, for timing noise
+#
+# --bench-smoke additionally runs every bench target with minimal
+# budgets (one warmup iteration, one sample; offline, seconds), so
+# bench bit-rot fails locally instead of at the next measurement
+# session.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  BENCH_SMOKE=1
+fi
 
 export CARGO_NET_OFFLINE=true
 
@@ -25,5 +36,15 @@ cargo test -q --offline
 # worker-count determinism, ...).
 echo "== extended: cargo test -q --workspace (offline) ==" >&2
 cargo test -q --offline --workspace
+
+if [[ "$BENCH_SMOKE" == "1" ]]; then
+  export SYNTHATTR_BENCH_WARMUP_MS=1
+  export SYNTHATTR_BENCH_MEASURE_MS=1
+  export SYNTHATTR_BENCH_SAMPLES=1
+  for b in frontend features forest transform tables; do
+    echo "== bench smoke: $b (one warmup iteration) ==" >&2
+    cargo bench --offline -p synthattr-bench --bench "$b" > /dev/null
+  done
+fi
 
 echo "verify: OK" >&2

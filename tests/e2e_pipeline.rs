@@ -146,6 +146,31 @@ fn figures_regenerate_and_parse() {
 }
 
 #[test]
+fn parallel_pipeline_build_is_worker_invariant() {
+    // The satellite guarantee behind `repro`'s parallel
+    // `all_pipelines`: year pipelines fork their seed hierarchies
+    // before dispatch and the pool preserves input order, so building
+    // the three years on 1 or 8 workers yields identical results.
+    use synthattr::util::pool;
+    let cfg = ExperimentConfig::smoke();
+    let build_all = |workers: usize| {
+        pool::parallel_map_workers(workers, vec![2017u32, 2018, 2019], |y| {
+            let p = YearPipeline::build(y, &cfg);
+            (
+                p.year,
+                p.all_labels(),
+                p.human_features.len(),
+                p.seed_author,
+            )
+        })
+    };
+    let serial = build_all(1);
+    let parallel = build_all(8);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.len(), 3);
+}
+
+#[test]
 fn whole_run_is_deterministic() {
     let cfg = ExperimentConfig::smoke();
     let a = YearPipeline::build(2017, &cfg);
