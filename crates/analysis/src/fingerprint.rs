@@ -1,0 +1,1085 @@
+//! Semantic fingerprinting: a normalized AST hash that is invariant
+//! under every style rewrite the `synthattr-gpt` simulator performs.
+//!
+//! `fingerprint(c0) == fingerprint(GPT(c0))` is the checked form of the
+//! paper's core assumption — that an LLM "rewrite" changes *style*, not
+//! *semantics*. The normalizer maps both programs onto one canonical
+//! representative of their shared equivalence class:
+//!
+//! 1. comments are dropped (pure annotation);
+//! 2. parentheses, `static_cast` spelling and `.c_str()` adapters are
+//!    erased; `endl` becomes the string `"\n"`;
+//! 3. trivially-outlined helpers (zero parameters, a single trailing
+//!    `return`, exactly one call site) are inlined back — the inverse
+//!    of the paper's Figure 4a helper extraction;
+//! 4. multi-declarator statements are split (`int a, b;` → two decls);
+//! 5. read-only range-`for` loops over a named container are lowered to
+//!    indexed loops, exactly as the transformer lowers them;
+//! 6. every conditioned `for` becomes its `while` form (init hoisted
+//!    into a wrapper block, step appended to the body);
+//! 7. statement-position `x++`/`x--` become prefix form, compound
+//!    assignments are expanded (`x += v` → `x = x + v`), and
+//!    ternary-assignments are distributed back into `if`/`else`;
+//! 8. stdio IO is rewritten to the stream idiom (`printf` → `cout`
+//!    chain, `scanf` → `cin` chain) and adjacent string operands merge;
+//! 9. declared names are α-renamed to position-canonical names.
+//!
+//! The result is hashed with the AST's structural hash. Two programs
+//! with equal fingerprints are therefore identical modulo naming,
+//! layout, loop form, sugar, IO idiom and helper outlining.
+
+use std::collections::HashSet;
+use synthattr_lang::ast::*;
+use synthattr_lang::visit::{declared_names, for_each_block_mut, rename_idents};
+use synthattr_lang::{parse, ParseError};
+
+/// The normalized-AST hash of `unit`.
+pub fn fingerprint(unit: &TranslationUnit) -> u64 {
+    normalize(unit).shape_hash()
+}
+
+/// Parses `source` and fingerprints it.
+///
+/// # Errors
+///
+/// Returns the parse error when `source` is outside the subset.
+pub fn fingerprint_source(source: &str) -> Result<u64, ParseError> {
+    Ok(fingerprint(&parse(source)?))
+}
+
+/// Produces the canonical representative of `unit`'s style-equivalence
+/// class. Exposed (rather than kept private to [`fingerprint`]) so
+/// tests and debugging tools can render the normal form.
+pub fn normalize(unit: &TranslationUnit) -> TranslationUnit {
+    let mut u = unit.clone();
+    strip_comments(&mut u);
+    scrub_exprs(&mut u);
+    inline_trivial_helpers(&mut u);
+    split_declarations(&mut u);
+    lower_all_foreach(&mut u);
+    normalize_io(&mut u);
+    normalize_stmts(&mut u);
+    canonicalize_names(&mut u);
+    u
+}
+
+// ---------------------------------------------------------------------------
+// 1. Comments
+// ---------------------------------------------------------------------------
+
+fn strip_comments(u: &mut TranslationUnit) {
+    // Includes and `using namespace` are environment preamble: they
+    // gate which names a program may reference (a lint concern, see
+    // `resolve`) but contribute nothing to what it computes, and
+    // equivalent programs legitimately differ in them (`<cstdio>` vs
+    // `<iostream>` for the two IO idioms).
+    u.items.retain(|i| {
+        !matches!(
+            i,
+            Item::Comment(_) | Item::Include { .. } | Item::UsingNamespace(_)
+        )
+    });
+    for_each_block_mut(u, &mut |b| {
+        b.stmts.retain(|s| !matches!(s, Stmt::Comment(_)));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 2. Expression-level scrubbing: parens, cast spelling, c_str, endl
+// ---------------------------------------------------------------------------
+
+fn scrub_exprs(u: &mut TranslationUnit) {
+    for_each_expr_mut(u, &mut |e| loop {
+        match e {
+            Expr::Paren(inner) => {
+                *e = std::mem::replace(inner, Expr::Int(0));
+            }
+            Expr::StaticCast { ty, expr } => {
+                *e = Expr::Cast {
+                    ty: ty.clone(),
+                    expr: std::mem::replace(expr, Box::new(Expr::Int(0))),
+                };
+            }
+            Expr::Call { callee, args } if args.is_empty() => {
+                if let Expr::Member { base, member, .. } = callee.as_mut() {
+                    if member == "c_str" {
+                        *e = std::mem::replace(base, Expr::Int(0));
+                        continue;
+                    }
+                }
+                break;
+            }
+            Expr::Ident(name) if name == "endl" => {
+                *e = Expr::Str("\n".into());
+            }
+            _ => break,
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 3. Helper inlining (inverse of Figure 4a extraction)
+// ---------------------------------------------------------------------------
+
+fn count_returns(b: &Block) -> usize {
+    let mut n = 0;
+    each_stmt(b, &mut |s| {
+        if matches!(s, Stmt::Return(_)) {
+            n += 1;
+        }
+    });
+    n
+}
+
+fn count_calls_in_block(b: &Block, name: &str) -> usize {
+    let mut n = 0;
+    each_stmt(b, &mut |s| {
+        stmt_exprs(s, &mut |e| {
+            if let Expr::Call { callee, .. } = e {
+                if matches!(callee.unparenthesized(), Expr::Ident(f) if f == name) {
+                    n += 1;
+                }
+            }
+        });
+    });
+    n
+}
+
+fn inline_trivial_helpers(u: &mut TranslationUnit) {
+    loop {
+        let Some((name, body)) = find_inline_candidate(u) else {
+            return;
+        };
+        let n = body.stmts.len();
+        let mut work: Vec<Stmt> = body.stmts[..n - 1].to_vec();
+        let Some(Stmt::Return(Some(value))) = body.stmts.last() else {
+            unreachable!("candidate shape checked");
+        };
+        let value = value.clone();
+        if !splice_call_site(u, &name, work.drain(..).collect(), value) {
+            return;
+        }
+        u.items
+            .retain(|i| !matches!(i, Item::Function(f) if f.name == name));
+    }
+}
+
+/// A helper is inlineable when it could have been produced by the
+/// transformer's case-helper extraction: no parameters, not `main`, a
+/// single `return` as its final statement, no self-call, and exactly
+/// one zero-argument call site in the rest of the unit.
+fn find_inline_candidate(u: &TranslationUnit) -> Option<(String, Block)> {
+    for f in u.functions() {
+        if f.name == "main" || !f.params.is_empty() {
+            continue;
+        }
+        if !matches!(f.body.stmts.last(), Some(Stmt::Return(Some(_)))) {
+            continue;
+        }
+        if count_returns(&f.body) != 1 || count_calls_in_block(&f.body, &f.name) != 0 {
+            continue;
+        }
+        let calls: usize = u
+            .functions()
+            .filter(|g| g.name != f.name)
+            .map(|g| count_calls_in_block(&g.body, &f.name))
+            .sum();
+        if calls == 1 {
+            return Some((f.name.clone(), f.body.clone()));
+        }
+    }
+    None
+}
+
+/// Finds the unique statement containing `name()`, splices `work`
+/// before it, and replaces the call with `value`.
+fn splice_call_site(
+    u: &mut TranslationUnit,
+    name: &str,
+    work: Vec<Stmt>,
+    value: Expr,
+) -> bool {
+    let mut done = false;
+    for item in &mut u.items {
+        let Item::Function(f) = item else { continue };
+        if f.name == name || done {
+            continue;
+        }
+        done = splice_in_block(&mut f.body, name, &work, &value);
+    }
+    done
+}
+
+fn splice_in_block(b: &mut Block, name: &str, work: &[Stmt], value: &Expr) -> bool {
+    for i in 0..b.stmts.len() {
+        let mut replaced = false;
+        stmt_exprs_mut(&mut b.stmts[i], &mut |e| {
+            if replaced {
+                return;
+            }
+            if let Expr::Call { callee, args } = e {
+                if args.is_empty()
+                    && matches!(callee.unparenthesized(), Expr::Ident(f) if f == name)
+                {
+                    *e = value.clone();
+                    replaced = true;
+                }
+            }
+        });
+        if replaced {
+            b.stmts.splice(i..i, work.iter().cloned());
+            return true;
+        }
+        // Recurse into nested blocks of this statement.
+        let found = match &mut b.stmts[i] {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                splice_in_block(then_branch, name, work, value)
+                    || else_branch
+                        .as_mut()
+                        .is_some_and(|e| splice_in_block(e, name, work, value))
+            }
+            Stmt::For { body, .. }
+            | Stmt::ForEach { body, .. }
+            | Stmt::While { body, .. }
+            | Stmt::DoWhile { body, .. } => splice_in_block(body, name, work, value),
+            Stmt::Block(inner) => splice_in_block(inner, name, work, value),
+            _ => false,
+        };
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// 4. Declaration splitting
+// ---------------------------------------------------------------------------
+
+fn split_declarations(u: &mut TranslationUnit) {
+    for_each_block_mut(u, &mut |block| {
+        let mut out: Vec<Stmt> = Vec::with_capacity(block.stmts.len());
+        for stmt in block.stmts.drain(..) {
+            if let Stmt::Decl(d) = &stmt {
+                if d.declarators.len() > 1 {
+                    for dd in &d.declarators {
+                        out.push(Stmt::Decl(Declaration {
+                            ty: d.ty.clone(),
+                            declarators: vec![dd.clone()],
+                        }));
+                    }
+                    continue;
+                }
+            }
+            out.push(stmt);
+        }
+        block.stmts = out;
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 5. Range-for lowering (mirrors the transformer's `lower_foreach`)
+// ---------------------------------------------------------------------------
+
+fn lower_all_foreach(u: &mut TranslationUnit) {
+    let taken: HashSet<String> = declared_names(u).into_iter().collect();
+    let mut counter = 0usize;
+    for_each_block_mut(u, &mut |block| {
+        for stmt in &mut block.stmts {
+            let Stmt::ForEach {
+                by_ref: false,
+                iterable: Expr::Ident(_),
+                ..
+            } = stmt
+            else {
+                continue;
+            };
+            let Stmt::ForEach {
+                ty,
+                name,
+                iterable: Expr::Ident(container),
+                body,
+                ..
+            } = std::mem::replace(stmt, Stmt::Empty)
+            else {
+                unreachable!();
+            };
+            let mut idx = format!("__fe{counter}");
+            while taken.contains(&idx) || idx == name {
+                counter += 1;
+                idx = format!("__fe{counter}");
+            }
+            counter += 1;
+            let elem_ty = match ty {
+                Type::Auto => Type::Int,
+                other => other,
+            };
+            let mut inner = vec![Stmt::Decl(Declaration {
+                ty: elem_ty,
+                declarators: vec![Declarator::init(
+                    name,
+                    Expr::index(Expr::ident(container.clone()), Expr::ident(idx.clone())),
+                )],
+            })];
+            inner.extend(body.stmts);
+            let bound = Expr::Cast {
+                ty: Type::Int,
+                expr: Box::new(Expr::method(Expr::ident(container), "size", vec![])),
+            };
+            *stmt = Stmt::For {
+                init: Some(Box::new(Stmt::Decl(Declaration {
+                    ty: Type::Int,
+                    declarators: vec![Declarator::init(idx.clone(), Expr::Int(0))],
+                }))),
+                cond: Some(Expr::bin(BinaryOp::Lt, Expr::ident(idx.clone()), bound)),
+                step: Some(Expr::Unary {
+                    op: UnaryOp::PostInc,
+                    expr: Box::new(Expr::ident(idx)),
+                }),
+                body: Block::new(inner),
+            };
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 6. IO idiom: stdio -> stream, merged string operands
+// ---------------------------------------------------------------------------
+
+fn normalize_io(u: &mut TranslationUnit) {
+    for_each_block_mut(u, &mut |block| {
+        for stmt in &mut block.stmts {
+            let Stmt::Expr(e) = stmt else { continue };
+            stdio_call_to_chain(e);
+            merge_cout_strings(e);
+        }
+    });
+}
+
+fn stdio_call_to_chain(e: &mut Expr) {
+    let Expr::Call { callee, args } = e else {
+        return;
+    };
+    let Expr::Ident(name) = callee.unparenthesized() else {
+        return;
+    };
+    if name == "scanf" && args.len() >= 2 {
+        let operands: Vec<Expr> = args[1..]
+            .iter()
+            .map(|a| match a {
+                Expr::Unary {
+                    op: UnaryOp::AddrOf,
+                    expr,
+                } => (**expr).clone(),
+                other => other.clone(),
+            })
+            .collect();
+        *e = rebuild_chain("cin", BinaryOp::Shr, operands);
+    } else if name == "printf" && !args.is_empty() {
+        let Expr::Str(fmt) = &args[0] else { return };
+        let Some(operands) = printf_operands(fmt, &args[1..]) else {
+            return;
+        };
+        *e = rebuild_chain("cout", BinaryOp::Shl, operands);
+    }
+}
+
+/// Splits a printf format into cout operands (same grammar as the
+/// transformer's converter: optional flags, `l` length modifiers, and
+/// the `d`/`f`/`s`/`c`/`u` conversions; `%%` is a literal percent).
+fn printf_operands(fmt: &str, args: &[Expr]) -> Option<Vec<Expr>> {
+    let mut operands = Vec::new();
+    let mut text = String::new();
+    let mut arg_iter = args.iter();
+    let chars: Vec<char> = fmt.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '%' {
+            if i + 1 < chars.len() && chars[i + 1] == '%' {
+                text.push('%');
+                i += 2;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < chars.len() && !chars[j].is_ascii_alphabetic() {
+                j += 1;
+            }
+            while j < chars.len() && chars[j] == 'l' {
+                j += 1;
+            }
+            if j >= chars.len() || !matches!(chars[j], 'd' | 'f' | 's' | 'c' | 'u') {
+                return None;
+            }
+            if !text.is_empty() {
+                operands.push(Expr::Str(std::mem::take(&mut text)));
+            }
+            operands.push(arg_iter.next()?.clone());
+            i = j + 1;
+        } else {
+            text.push(chars[i]);
+            i += 1;
+        }
+    }
+    if !text.is_empty() {
+        operands.push(Expr::Str(text));
+    }
+    Some(operands)
+}
+
+fn rebuild_chain(root: &str, op: BinaryOp, operands: Vec<Expr>) -> Expr {
+    let mut e = Expr::ident(root);
+    for operand in operands {
+        e = Expr::bin(op, e, operand);
+    }
+    e
+}
+
+fn chain_operands(e: &Expr, op: BinaryOp, root: &str) -> Option<Vec<Expr>> {
+    match e {
+        Expr::Binary {
+            op: actual,
+            lhs,
+            rhs,
+        } if *actual == op => {
+            let mut left = chain_operands(lhs, op, root)?;
+            left.push((**rhs).clone());
+            Some(left)
+        }
+        Expr::Ident(name) if name == root => Some(Vec::new()),
+        _ => None,
+    }
+}
+
+/// `cout << "a" << "b"` and `cout << "ab"` are the same output; merge
+/// adjacent string operands so the printf round-trip (which splits
+/// format text around conversions) cannot distinguish them.
+fn merge_cout_strings(e: &mut Expr) {
+    let Some(ops) = chain_operands(e, BinaryOp::Shl, "cout") else {
+        return;
+    };
+    if ops.len() < 2 {
+        return;
+    }
+    let mut merged: Vec<Expr> = Vec::with_capacity(ops.len());
+    for op in ops {
+        if let (Expr::Str(next), Some(Expr::Str(prev))) = (&op, merged.last_mut()) {
+            prev.push_str(next);
+            continue;
+        }
+        merged.push(op);
+    }
+    *e = rebuild_chain("cout", BinaryOp::Shl, merged);
+}
+
+// ---------------------------------------------------------------------------
+// 7. Statement normal forms: loop shape, inc/dec, compound sugar,
+//    ternary-assignment distribution
+// ---------------------------------------------------------------------------
+
+fn normalize_stmts(u: &mut TranslationUnit) {
+    for item in &mut u.items {
+        if let Item::Function(f) = item {
+            norm_stmt_list(&mut f.body.stmts);
+        }
+    }
+}
+
+fn norm_stmt_list(stmts: &mut Vec<Stmt>) {
+    for stmt in stmts.iter_mut() {
+        norm_stmt(stmt);
+    }
+}
+
+fn norm_stmt(stmt: &mut Stmt) {
+    // Rewrite this node to a fixed point before recursing.
+    loop {
+        match stmt {
+            // Conditioned `for` -> canonical `while` form. The init is
+            // hoisted into a wrapper block exactly as the transformer's
+            // for->while conversion does, so both directions land on
+            // the same shape.
+            Stmt::For {
+                cond: Some(_), ..
+            } => {
+                let Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                } = std::mem::replace(stmt, Stmt::Empty)
+                else {
+                    unreachable!();
+                };
+                let mut inner = body.stmts;
+                if let Some(s) = step {
+                    inner.push(Stmt::Expr(s));
+                }
+                let while_stmt = Stmt::While {
+                    cond: cond.expect("matched above"),
+                    body: Block::new(inner),
+                };
+                *stmt = match init {
+                    Some(init) => Stmt::Block(Block::new(vec![*init, while_stmt])),
+                    None => while_stmt,
+                };
+                continue;
+            }
+            Stmt::Expr(e) => {
+                if norm_value_dropped_expr(e) {
+                    continue;
+                }
+                // Ternary-assignment -> if/else (inverse of the
+                // transformer's conditional conversion, generalized to
+                // the compound-expanded form `x = x op (c ? a : b)`).
+                if let Some(rewritten) = distribute_ternary(e) {
+                    *stmt = rewritten;
+                    continue;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    // Canonicalize the step of any remaining (condition-less) `for`.
+    if let Stmt::For {
+        step: Some(s), ..
+    } = stmt
+    {
+        norm_value_dropped_expr(s);
+    }
+    // Recurse into child blocks.
+    match stmt {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            norm_stmt_list(&mut then_branch.stmts);
+            if let Some(e) = else_branch {
+                norm_stmt_list(&mut e.stmts);
+            }
+        }
+        Stmt::For { body, .. }
+        | Stmt::ForEach { body, .. }
+        | Stmt::While { body, .. }
+        | Stmt::DoWhile { body, .. } => norm_stmt_list(&mut body.stmts),
+        Stmt::Block(b) => norm_stmt_list(&mut b.stmts),
+        _ => {}
+    }
+}
+
+/// Rewrites an expression whose value is dropped (statement or for-step
+/// position): postfix inc/dec becomes prefix, compound assignment is
+/// expanded. Returns whether anything changed.
+fn norm_value_dropped_expr(e: &mut Expr) -> bool {
+    match e {
+        Expr::Unary { op, .. } => {
+            let fixed = match *op {
+                UnaryOp::PostInc => UnaryOp::PreInc,
+                UnaryOp::PostDec => UnaryOp::PreDec,
+                _ => return false,
+            };
+            *op = fixed;
+            true
+        }
+        Expr::Assign { op, lhs, rhs } => {
+            let bop = match op {
+                AssignOp::Add => BinaryOp::Add,
+                AssignOp::Sub => BinaryOp::Sub,
+                AssignOp::Mul => BinaryOp::Mul,
+                AssignOp::Div => BinaryOp::Div,
+                AssignOp::Mod => BinaryOp::Mod,
+                AssignOp::Assign => return false,
+            };
+            let target = lhs.clone();
+            let value = std::mem::replace(rhs, Box::new(Expr::Int(0)));
+            *e = Expr::Assign {
+                op: AssignOp::Assign,
+                lhs: target.clone(),
+                rhs: Box::new(Expr::Binary {
+                    op: bop,
+                    lhs: target,
+                    rhs: value,
+                }),
+            };
+            true
+        }
+        _ => false,
+    }
+}
+
+/// `x = c ? a : b`            -> `if (c) x = a; else x = b;`
+/// `x = x op (c ? a : b)`     -> `if (c) x = x op a; else x = x op b;`
+/// (the second shape is what compound expansion makes of `x += c?a:b`).
+fn distribute_ternary(e: &Expr) -> Option<Stmt> {
+    let Expr::Assign {
+        op: AssignOp::Assign,
+        lhs,
+        rhs,
+    } = e
+    else {
+        return None;
+    };
+    let branch = |value: Expr| Block::new(vec![Stmt::Expr(Expr::Assign {
+        op: AssignOp::Assign,
+        lhs: lhs.clone(),
+        rhs: Box::new(value),
+    })]);
+    match rhs.as_ref() {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => Some(Stmt::If {
+            cond: (**cond).clone(),
+            then_branch: branch((**then_expr).clone()),
+            else_branch: Some(branch((**else_expr).clone())),
+        }),
+        Expr::Binary {
+            op,
+            lhs: base,
+            rhs: operand,
+        } => {
+            let Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } = operand.as_ref()
+            else {
+                return None;
+            };
+            if base != lhs {
+                return None;
+            }
+            let apply = |value: &Expr| {
+                Expr::Binary {
+                    op: *op,
+                    lhs: base.clone(),
+                    rhs: Box::new(value.clone()),
+                }
+            };
+            Some(Stmt::If {
+                cond: (**cond).clone(),
+                then_branch: branch(apply(then_expr)),
+                else_branch: Some(branch(apply(else_expr))),
+            })
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 8. α-renaming to position-canonical names
+// ---------------------------------------------------------------------------
+
+/// Renames every user-declared name to `__v{N}` where `N` is the order
+/// of the name's first declaration site in a pre-order walk. Because
+/// the transformer renames via a single name-level bijection, two
+/// α-equivalent programs collect the same name *positions* and land on
+/// identical canonical trees. (`main`, typedef/alias names and library
+/// names are left untouched — the transformer never renames them.)
+fn canonicalize_names(u: &mut TranslationUnit) {
+    let mut order: Vec<String> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut note = |name: &str| {
+        if seen.insert(name.to_string()) {
+            order.push(name.to_string());
+        }
+    };
+    for item in &u.items {
+        match item {
+            Item::GlobalVar(d) => {
+                for dd in &d.declarators {
+                    note(&dd.name);
+                }
+            }
+            Item::Function(f) => {
+                if f.name != "main" {
+                    note(&f.name);
+                }
+                for p in &f.params {
+                    note(&p.name);
+                }
+                collect_decl_order(&f.body, &mut note);
+            }
+            _ => {}
+        }
+    }
+    let mapping: std::collections::HashMap<String, String> = order
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| (name, format!("__v{i}")))
+        .collect();
+    rename_idents(u, &mapping);
+}
+
+fn collect_decl_order(b: &Block, note: &mut impl FnMut(&str)) {
+    for stmt in &b.stmts {
+        collect_stmt_decl_order(stmt, note);
+    }
+}
+
+fn collect_stmt_decl_order(stmt: &Stmt, note: &mut impl FnMut(&str)) {
+    match stmt {
+        Stmt::Decl(d) => {
+            for dd in &d.declarators {
+                note(&dd.name);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_decl_order(then_branch, note);
+            if let Some(e) = else_branch {
+                collect_decl_order(e, note);
+            }
+        }
+        Stmt::For { init, body, .. } => {
+            if let Some(i) = init {
+                collect_stmt_decl_order(i, note);
+            }
+            collect_decl_order(body, note);
+        }
+        Stmt::ForEach { name, body, .. } => {
+            note(name);
+            collect_decl_order(body, note);
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => collect_decl_order(body, note),
+        Stmt::Block(b) => collect_decl_order(b, note),
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Local walkers
+// ---------------------------------------------------------------------------
+
+fn each_stmt(b: &Block, f: &mut impl FnMut(&Stmt)) {
+    for stmt in &b.stmts {
+        f(stmt);
+        match stmt {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                each_stmt(then_branch, f);
+                if let Some(e) = else_branch {
+                    each_stmt(e, f);
+                }
+            }
+            Stmt::For { init, body, .. } => {
+                if let Some(i) = init {
+                    f(i);
+                }
+                each_stmt(body, f);
+            }
+            Stmt::ForEach { body, .. }
+            | Stmt::While { body, .. }
+            | Stmt::DoWhile { body, .. } => each_stmt(body, f),
+            Stmt::Block(inner) => each_stmt(inner, f),
+            _ => {}
+        }
+    }
+}
+
+/// Applies `f` to every expression in the statement, pre-order.
+fn stmt_exprs(stmt: &Stmt, f: &mut impl FnMut(&Expr)) {
+    match stmt {
+        Stmt::Decl(d) => {
+            for dd in &d.declarators {
+                if let Some(a) = &dd.array {
+                    each_expr(a, f);
+                }
+                match &dd.init {
+                    Some(Initializer::Assign(e)) => each_expr(e, f),
+                    Some(Initializer::Ctor(args)) => {
+                        for a in args {
+                            each_expr(a, f);
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+        Stmt::Expr(e) | Stmt::Return(Some(e)) => each_expr(e, f),
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::DoWhile { cond, .. } => {
+            each_expr(cond, f)
+        }
+        Stmt::For {
+            init, cond, step, ..
+        } => {
+            if let Some(i) = init {
+                stmt_exprs(i, f);
+            }
+            if let Some(c) = cond {
+                each_expr(c, f);
+            }
+            if let Some(s) = step {
+                each_expr(s, f);
+            }
+        }
+        Stmt::ForEach { iterable, .. } => each_expr(iterable, f),
+        _ => {}
+    }
+}
+
+fn each_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Unary { expr, .. }
+        | Expr::Cast { expr, .. }
+        | Expr::StaticCast { expr, .. }
+        | Expr::Paren(expr) => each_expr(expr, f),
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            each_expr(lhs, f);
+            each_expr(rhs, f);
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            each_expr(cond, f);
+            each_expr(then_expr, f);
+            each_expr(else_expr, f);
+        }
+        Expr::Call { callee, args } => {
+            each_expr(callee, f);
+            for a in args {
+                each_expr(a, f);
+            }
+        }
+        Expr::Member { base, .. } => each_expr(base, f),
+        Expr::Index { base, index } => {
+            each_expr(base, f);
+            each_expr(index, f);
+        }
+        Expr::InitList(elems) => {
+            for x in elems {
+                each_expr(x, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Mutable pre-order expression walker over the whole unit. The
+/// callback runs before descent, so a callback that rewrites the node
+/// in place (looping internally, as [`scrub_exprs`] does) still has its
+/// children visited afterwards.
+fn for_each_expr_mut(u: &mut TranslationUnit, f: &mut impl FnMut(&mut Expr)) {
+    for item in &mut u.items {
+        match item {
+            Item::GlobalVar(d) => decl_exprs_mut(d, f),
+            Item::Function(func) => block_exprs_mut(&mut func.body, f),
+            _ => {}
+        }
+    }
+}
+
+fn decl_exprs_mut(d: &mut Declaration, f: &mut impl FnMut(&mut Expr)) {
+    for dd in &mut d.declarators {
+        if let Some(a) = &mut dd.array {
+            expr_mut(a, f);
+        }
+        match &mut dd.init {
+            Some(Initializer::Assign(e)) => expr_mut(e, f),
+            Some(Initializer::Ctor(args)) => {
+                for a in args {
+                    expr_mut(a, f);
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+fn block_exprs_mut(b: &mut Block, f: &mut impl FnMut(&mut Expr)) {
+    for stmt in &mut b.stmts {
+        stmt_exprs_mut(stmt, f);
+        match stmt {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                block_exprs_mut(then_branch, f);
+                if let Some(e) = else_branch {
+                    block_exprs_mut(e, f);
+                }
+            }
+            Stmt::For { body, .. }
+            | Stmt::ForEach { body, .. }
+            | Stmt::While { body, .. }
+            | Stmt::DoWhile { body, .. } => block_exprs_mut(body, f),
+            Stmt::Block(inner) => block_exprs_mut(inner, f),
+            _ => {}
+        }
+    }
+}
+
+fn stmt_exprs_mut(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    match stmt {
+        Stmt::Decl(d) => decl_exprs_mut(d, f),
+        Stmt::Expr(e) | Stmt::Return(Some(e)) => expr_mut(e, f),
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::DoWhile { cond, .. } => {
+            expr_mut(cond, f)
+        }
+        Stmt::For {
+            init, cond, step, ..
+        } => {
+            if let Some(i) = init {
+                stmt_exprs_mut(i, f);
+            }
+            if let Some(c) = cond {
+                expr_mut(c, f);
+            }
+            if let Some(s) = step {
+                expr_mut(s, f);
+            }
+        }
+        Stmt::ForEach { iterable, .. } => expr_mut(iterable, f),
+        _ => {}
+    }
+}
+
+fn expr_mut(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    f(e);
+    match e {
+        Expr::Unary { expr, .. }
+        | Expr::Cast { expr, .. }
+        | Expr::StaticCast { expr, .. }
+        | Expr::Paren(expr) => expr_mut(expr, f),
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            expr_mut(lhs, f);
+            expr_mut(rhs, f);
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            expr_mut(cond, f);
+            expr_mut(then_expr, f);
+            expr_mut(else_expr, f);
+        }
+        Expr::Call { callee, args } => {
+            expr_mut(callee, f);
+            for a in args {
+                expr_mut(a, f);
+            }
+        }
+        Expr::Member { base, .. } => expr_mut(base, f),
+        Expr::Index { base, index } => {
+            expr_mut(base, f);
+            expr_mut(index, f);
+        }
+        Expr::InitList(elems) => {
+            for x in elems {
+                expr_mut(x, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(src: &str) -> u64 {
+        fingerprint_source(src).expect("test source parses")
+    }
+
+    #[test]
+    fn fingerprint_ignores_layout_and_names() {
+        let a = fp("int main() { int total = 0; total += 2; return total; }");
+        let b = fp("int main()\n{\n\tint s=0;\n\ts=s+2;\n\treturn s;\n}");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_quotients_loop_form() {
+        let a = fp("int main() { for (int i = 0; i < 9; i++) { } return 0; }");
+        let b = fp("int main() { { int i = 0; while (i < 9) { ++i; } } return 0; }");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_quotients_ternary_and_compound() {
+        let a = fp("int main() { int x = 1; if (x > 0) x = 5; else x = 7; return x; }");
+        let b = fp("int main() { int y = 1; y = y > 0 ? 5 : 7; return y; }");
+        assert_eq!(a, b);
+        let c = fp("int main() { int x = 1; if (x > 0) x += 5; else x += 7; return x; }");
+        let d = fp("int main() { int y = 1; y += y > 0 ? 5 : 7; return y; }");
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn fingerprint_quotients_io_idiom() {
+        let a = fp(
+            "#include <iostream>\nusing namespace std;\nint main() { int n; cin >> n; cout << \"n: \" << n << endl; return 0; }",
+        );
+        let b = fp(
+            "#include <iostream>\n#include <cstdio>\nusing namespace std;\nint main() { int v; scanf(\"%d\", &v); printf(\"n: %d\\n\", v); return 0; }",
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_quotients_helper_outlining() {
+        let flat = fp(
+            "#include <iostream>\nusing namespace std;\nint main() { int t; cin >> t; for (int i = 1; i <= t; i++) { int n; cin >> n; int r = n * 2; cout << \"Case #\" << i << \": \" << r << \"\\n\"; } return 0; }",
+        );
+        let outlined = fp(
+            "#include <iostream>\nusing namespace std;\nint solve() { int n; cin >> n; int r = n * 2; return r; }\nint main() { int t; cin >> t; for (int i = 1; i <= t; i++) { cout << \"Case #\" << i << \": \" << solve() << \"\\n\"; } return 0; }",
+        );
+        assert_eq!(flat, outlined);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_semantics() {
+        let a = fp("int main() { return 0; }");
+        let b = fp("int main() { return 1; }");
+        assert_ne!(a, b);
+        let c = fp("int main() { int x = 1; x = x + 2; return x; }");
+        let d = fp("int main() { int x = 1; x = x - 2; return x; }");
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn fingerprint_quotients_foreach_lowering() {
+        let a = fp(
+            "#include <vector>\nusing namespace std;\nint main() { vector<int> v; int s = 0; for (int x : v) { s += x; } return s; }",
+        );
+        let b = fp(
+            "#include <vector>\nusing namespace std;\nint main() { vector<int> v; int s = 0; for (int k = 0; k < (int)v.size(); k++) { int x = v[k]; s += x; } return s; }",
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_quotients_casts_parens_comments() {
+        let a = fp("int main() { double d = 1.5; int x = (int)d; /* note */ return x; }");
+        let b = fp("int main() { double d = 1.5; int x = static_cast<int>(d); return (x); }");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let unit = synthattr_lang::parse(
+            "#include <iostream>\nusing namespace std;\nint main() { int t; cin >> t; for (int i = 0; i < t; i++) { cout << i << endl; } return 0; }",
+        )
+        .unwrap();
+        let once = normalize(&unit);
+        let twice = normalize(&once);
+        assert_eq!(once.shape_hash(), twice.shape_hash());
+    }
+}

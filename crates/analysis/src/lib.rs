@@ -1,0 +1,31 @@
+//! `synthattr-analysis`: a semantic lint engine over the
+//! `synthattr_lang` C++ subset AST.
+//!
+//! The crate turns the paper's implicit assumption — that a ChatGPT
+//! rewrite preserves program semantics — into a checked invariant.
+//! It provides three layers:
+//!
+//! - [`resolve`]: a block-scoped symbol resolver that binds every
+//!   identifier use to its declaration (params, for-init declarations,
+//!   typedef/`using` aliases, `#define` macros, and the std names
+//!   implied by includes / `using namespace std`).
+//! - [`passes`]: a [`Pass`] framework with an [`Analyzer`] registry and
+//!   severity-tagged [`Diagnostic`]s. Five built-in passes detect
+//!   undeclared identifiers, duplicate declarations, shadowing, unused
+//!   variables, and unreachable code after `return`/`break`/`continue`.
+//! - [`fingerprint`]: a normalized AST hash that quotients out names,
+//!   layout, loop form, compound-assignment sugar, IO idiom and helper
+//!   outlining, so `fingerprint(c0) == fingerprint(GPT(c0))` is
+//!   assertable for every transform the simulator performs.
+//!
+//! Diagnostics carry structural paths (`main/[3]/for/body/[0]`) rather
+//! than source spans: paths stay stable across re-rendering, which is
+//! what the transform pre/post gates compare.
+
+pub mod fingerprint;
+pub mod passes;
+pub mod resolve;
+
+pub use fingerprint::{fingerprint, fingerprint_source, normalize};
+pub use passes::{error_count, new_errors, Analyzer, Context, Diagnostic, Pass, Severity};
+pub use resolve::{resolve, Binding, BindingKind, Resolution, Undeclared};

@@ -1,0 +1,197 @@
+//! Golden diagnostics tests: small C++ snippets with known defects
+//! must produce *exactly* the expected diagnostic set — and defect-free
+//! twins of each snippet must keep every pass silent.
+//!
+//! Each of the five built-in passes gets at least one firing golden and
+//! one silent golden, per the analysis subsystem's acceptance criteria.
+
+use synthattr_analysis::{Analyzer, Severity};
+
+/// Renders the analyzer's output as sorted `severity[pass] at site`
+/// lines (message text is covered by unit tests; goldens pin the
+/// pass/site/severity triple, which is what gates compare).
+fn lint(src: &str) -> Vec<String> {
+    let mut lines: Vec<String> = Analyzer::new()
+        .analyze_source(src)
+        .expect("golden snippet parses")
+        .iter()
+        .map(|d| format!("{}[{}] at {}", d.severity.label(), d.pass, d.site))
+        .collect();
+    lines.sort();
+    lines
+}
+
+#[test]
+fn undeclared_identifier_fires() {
+    assert_eq!(
+        lint("int main() { return result; }"),
+        vec!["error[undeclared-identifier] at main/[0]"]
+    );
+}
+
+#[test]
+fn undeclared_identifier_stays_silent_when_declared() {
+    assert_eq!(
+        lint("int main() { int result = 4; return result; }"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn undeclared_identifier_fires_for_std_without_include() {
+    // `cout` without any include or `using namespace std` in scope.
+    assert_eq!(
+        lint("int main() { cout << 1; return 0; }"),
+        vec!["error[undeclared-identifier] at main/[0]"]
+    );
+}
+
+#[test]
+fn duplicate_declaration_fires() {
+    // The redeclaration is an error; the orphaned first binding (all
+    // later uses resolve to the newer `x`) is additionally unused.
+    assert_eq!(
+        lint("int main() { int x = 1; int x = 2; return x; }"),
+        vec![
+            "error[duplicate-declaration] at main/[1]",
+            "warning[unused-variable] at main/[0]",
+        ]
+    );
+}
+
+#[test]
+fn duplicate_declaration_stays_silent_across_scopes() {
+    // Two `i` declarations, but each in its own for-init scope.
+    assert_eq!(
+        lint(
+            "int main() { int s = 0; for (int i = 0; i < 2; i++) { s = s + i; } for (int i = 0; i < 3; i++) { s = s + i; } return s; }"
+        ),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn variable_shadowing_fires() {
+    assert_eq!(
+        lint("int main() { int v = 1; if (v > 0) { int v = 2; return v; } return v; }"),
+        vec!["warning[variable-shadowing] at main/[1]/then/[0]"]
+    );
+}
+
+#[test]
+fn variable_shadowing_stays_silent_for_distinct_names() {
+    assert_eq!(
+        lint("int main() { int v = 1; if (v > 0) { int w = 2; return w; } return v; }"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn unused_variable_fires() {
+    assert_eq!(
+        lint("int main() { int used = 1; int spare = 2; return used; }"),
+        vec!["warning[unused-variable] at main/[1]"]
+    );
+}
+
+#[test]
+fn unused_variable_stays_silent_when_read() {
+    assert_eq!(
+        lint("int main() { int a = 1; int b = 2; return a + b; }"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn unreachable_code_fires_after_return() {
+    assert_eq!(
+        lint("int main() { int x = 1; return x; x = 2; }"),
+        vec!["warning[unreachable-code] at main/[2]"]
+    );
+}
+
+#[test]
+fn unreachable_code_fires_after_break() {
+    assert_eq!(
+        lint(
+            "int main() { int n = 3; while (n > 0) { break; n = n - 1; } return n; }"
+        ),
+        vec!["warning[unreachable-code] at main/[1]/[1]"]
+    );
+}
+
+#[test]
+fn unreachable_code_stays_silent_for_trailing_terminator() {
+    // A `break` as the last statement (the generator's prime-count
+    // shape) is fine; so is the final `return`.
+    assert_eq!(
+        lint(
+            "int main() { int n = 9; while (n > 0) { if (n == 5) { break; } n = n - 1; } return n; }"
+        ),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn multiple_defects_report_together() {
+    // One snippet, three passes firing at once — counts and sites all
+    // pinned.
+    assert_eq!(
+        lint(
+            "int main() { int dead = 1; int x = 2; int x = 3; return missing; }"
+        ),
+        vec![
+            "error[duplicate-declaration] at main/[2]",
+            "error[undeclared-identifier] at main/[3]",
+            "warning[unused-variable] at main/[0]",
+            "warning[unused-variable] at main/[1]",
+        ]
+    );
+}
+
+#[test]
+fn resolver_bindings_agree_with_declared_names() {
+    // Differential regression for the `visit::declared_names` fix:
+    // every name the resolver binds (other than `main`, which the
+    // renamers deliberately exclude) must be visible to
+    // `declared_names`, including parameters, for-init declarations,
+    // range-for variables, typedef/using aliases, and macros.
+    use std::collections::BTreeSet;
+    use synthattr_analysis::resolve;
+    use synthattr_lang::parse;
+    use synthattr_lang::visit::declared_names;
+
+    let snippets = [
+        "int scale(int factor) { return factor * 2; }\nint main() { return scale(3); }",
+        "int main() { for (int idx = 0; idx < 3; idx++) { } return 0; }",
+        "#include <vector>\nusing namespace std;\nint main() { vector<int> xs; int s = 0; for (int x : xs) { s = s + x; } return s; }",
+        "#define MAXN 100\ntypedef long long ll;\nusing vi = int;\nint total;\nint main() { total = MAXN; return total; }",
+        "int helper() { int inner = 4; return inner; }\nint main() { int outer = helper(); return outer; }",
+    ];
+    for src in snippets {
+        let unit = parse(src).expect("snippet parses");
+        let declared: BTreeSet<String> = declared_names(&unit).into_iter().collect();
+        let bound: BTreeSet<String> = resolve(&unit)
+            .bindings
+            .iter()
+            .map(|b| b.name.clone())
+            .filter(|n| n != "main")
+            .collect();
+        assert_eq!(declared, bound, "mismatch for:\n{src}");
+    }
+}
+
+#[test]
+fn severity_split_matches_pass_contract() {
+    let diags = Analyzer::new()
+        .analyze_source("int main() { int x = 1; int x = 2; int y = 9; return z; }")
+        .unwrap();
+    for d in &diags {
+        let expected = match d.pass {
+            "undeclared-identifier" | "duplicate-declaration" => Severity::Error,
+            _ => Severity::Warning,
+        };
+        assert_eq!(d.severity, expected, "{d}");
+    }
+    assert_eq!(diags.iter().filter(|d| d.severity == Severity::Error).count(), 2);
+}

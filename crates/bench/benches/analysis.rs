@@ -1,0 +1,51 @@
+//! Analyzer throughput benchmarks: full lint (resolve + passes) and
+//! semantic fingerprinting over a generated 2017 corpus.
+//!
+//! The JSON lines include `units` iterated per measurement so
+//! `scripts/bench.sh` (and readers) can derive units/sec from
+//! `median_ns`: `units / (median_ns / 1e9)`.
+
+use synthattr_analysis::{fingerprint, resolve, Analyzer};
+use synthattr_bench::harness::Group;
+use synthattr_gen::corpus::{generate_year, YearSpec};
+
+fn main() {
+    let spec = YearSpec::tiny(2017, 32, 4);
+    let corpus = generate_year(&spec, 0xBE7C);
+    let sources: Vec<&str> = corpus.samples.iter().map(|s| s.source.as_str()).collect();
+    let units = sources.len();
+    let bytes: usize = sources.iter().map(|s| s.len()).sum();
+    let parsed: Vec<_> = sources
+        .iter()
+        .map(|s| synthattr_lang::parse(s).unwrap())
+        .collect();
+
+    eprintln!("analysis bench corpus: {units} units, {bytes} bytes (2017)");
+
+    let mut group = Group::new("analysis");
+    group.throughput_bytes(bytes as u64);
+
+    let analyzer = Analyzer::new();
+    group.bench(&format!("lint/{units}"), || {
+        for s in &sources {
+            std::hint::black_box(analyzer.analyze_source(s).unwrap());
+        }
+    });
+
+    // Pre-parsed paths: what the pipeline gates actually pay.
+    group.bench(&format!("lint_preparsed/{units}"), || {
+        for u in &parsed {
+            std::hint::black_box(analyzer.analyze(u));
+        }
+    });
+    group.bench(&format!("resolve_preparsed/{units}"), || {
+        for u in &parsed {
+            std::hint::black_box(resolve(u));
+        }
+    });
+    group.bench(&format!("fingerprint_preparsed/{units}"), || {
+        for u in &parsed {
+            std::hint::black_box(fingerprint(u));
+        }
+    });
+}

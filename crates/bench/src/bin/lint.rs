@@ -1,0 +1,69 @@
+//! `lint`: aggregated per-year corpus diagnostics report.
+//!
+//! Generates each paper year's corpus (at a size controlled by
+//! `SYNTHATTR_LINT_AUTHORS` / `SYNTHATTR_LINT_CHALLENGES`, default
+//! 24x4), lints every program, and prints one JSON line per year:
+//!
+//! ```json
+//! {"year":2017,"units":96,"errors":0,"warnings":12,"per_pass":{"unused-variable":12}}
+//! ```
+//!
+//! Exits nonzero if any error-severity diagnostic is found — the CI
+//! contract behind `scripts/verify.sh --lint`.
+
+use std::collections::BTreeMap;
+use synthattr_analysis::{Analyzer, Severity};
+use synthattr_bench::YEARS;
+use synthattr_gen::corpus::{generate_year, YearSpec};
+
+fn env_size(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let authors = env_size("SYNTHATTR_LINT_AUTHORS", 24);
+    let challenges = env_size("SYNTHATTR_LINT_CHALLENGES", 4);
+    let analyzer = Analyzer::new();
+    let mut total_errors = 0usize;
+
+    for year in YEARS {
+        let spec = YearSpec::tiny(year, authors, challenges);
+        let corpus = generate_year(&spec, 7);
+        let mut errors = 0usize;
+        let mut warnings = 0usize;
+        let mut per_pass: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for sample in &corpus.samples {
+            let diags = analyzer
+                .analyze_source(&sample.source)
+                .unwrap_or_else(|e| panic!("{year} corpus must parse: {e}\n{}", sample.source));
+            for d in &diags {
+                *per_pass.entry(d.pass).or_insert(0) += 1;
+                match d.severity {
+                    Severity::Error => {
+                        errors += 1;
+                        eprintln!("{year}: {d}");
+                    }
+                    Severity::Warning => warnings += 1,
+                }
+            }
+        }
+        let passes: Vec<String> = per_pass
+            .iter()
+            .map(|(p, n)| format!("\"{p}\":{n}"))
+            .collect();
+        println!(
+            "{{\"year\":{year},\"units\":{},\"errors\":{errors},\"warnings\":{warnings},\"per_pass\":{{{}}}}}",
+            corpus.samples.len(),
+            passes.join(",")
+        );
+        total_errors += errors;
+    }
+
+    if total_errors > 0 {
+        eprintln!("lint: {total_errors} error-severity diagnostics");
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,8 @@
 
 use crate::config::ExperimentConfig;
 use crate::model::AuthorshipModel;
+use std::collections::BTreeMap;
+use synthattr_analysis::{Analyzer, Severity};
 use synthattr_features::FeatureExtractor;
 use synthattr_gen::challenges::ChallengeId;
 use synthattr_gen::corpus::{generate_year, Origin, YearCorpus, YearSpec};
@@ -82,6 +84,36 @@ impl Setting {
     }
 }
 
+/// Aggregated lint results over every program a pipeline produced
+/// (human corpus plus all transformed samples). Counts are summed per
+/// pass, so they are invariant under worker count and sample order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiagnosticStats {
+    /// Programs analyzed.
+    pub units: usize,
+    /// Diagnostic count per analysis pass name.
+    pub per_pass: BTreeMap<String, usize>,
+    /// Error-severity diagnostics (the generation and transform gates
+    /// keep this at zero; a nonzero value here is a pipeline bug).
+    pub errors: usize,
+    /// Warning-severity diagnostics (unused variables, shadowing, …).
+    pub warnings: usize,
+}
+
+impl DiagnosticStats {
+    /// Folds one program's diagnostics into the stats.
+    fn absorb(&mut self, diags: &[synthattr_analysis::Diagnostic]) {
+        self.units += 1;
+        for d in diags {
+            *self.per_pass.entry(d.pass.to_string()).or_insert(0) += 1;
+            match d.severity {
+                Severity::Error => self.errors += 1,
+                Severity::Warning => self.warnings += 1,
+            }
+        }
+    }
+}
+
 /// One transformed sample with cached analysis state.
 #[derive(Debug, Clone)]
 pub struct TransformedEntry {
@@ -115,6 +147,8 @@ pub struct YearPipeline {
     pub transformed: Vec<TransformedEntry>,
     /// The human author whose code seeded the `±` settings.
     pub seed_author: usize,
+    /// Aggregated analyzer diagnostics over every program in the run.
+    pub diagnostics: DiagnosticStats,
 }
 
 impl YearPipeline {
@@ -243,6 +277,27 @@ impl YearPipeline {
             });
         let transformed: Vec<TransformedEntry> = per_challenge.into_iter().flatten().collect();
 
+        // Run stats: lint every program the run produced. Per-sample
+        // analysis parallelizes like featurization; summed counts make
+        // the result independent of worker count and merge order.
+        let analyzer = Analyzer::new();
+        let sources: Vec<&str> = corpus
+            .samples
+            .iter()
+            .map(|s| s.source.as_str())
+            .chain(transformed.iter().map(|t| t.sample.source.as_str()))
+            .collect();
+        let per_unit: Vec<Vec<synthattr_analysis::Diagnostic>> =
+            pool::parallel_map_workers(workers, (0..sources.len()).collect(), |i| {
+                analyzer
+                    .analyze_source(sources[i])
+                    .unwrap_or_else(|e| panic!("pipeline output must parse: {e}\n{}", sources[i]))
+            });
+        let mut diagnostics = DiagnosticStats::default();
+        for diags in &per_unit {
+            diagnostics.absorb(diags);
+        }
+
         YearPipeline {
             year,
             config: config.clone(),
@@ -251,6 +306,7 @@ impl YearPipeline {
             oracle,
             transformed,
             seed_author,
+            diagnostics,
         }
     }
 
@@ -342,6 +398,16 @@ mod tests {
     }
 
     #[test]
+    fn run_stats_lint_every_program_and_stay_error_free() {
+        let p = smoke_pipeline();
+        let d = &p.diagnostics;
+        assert_eq!(d.units, p.corpus.len() + p.transformed.len());
+        assert_eq!(d.errors, 0, "gated pipeline must be error-free: {d:?}");
+        let summed: usize = d.per_pass.values().sum();
+        assert_eq!(summed, d.errors + d.warnings);
+    }
+
+    #[test]
     fn settings_partition_the_transformed_set() {
         let p = smoke_pipeline();
         let per_cell = p.config.scale.transforms;
@@ -389,6 +455,7 @@ mod tests {
 
         assert_eq!(serial.human_features, parallel.human_features);
         assert_eq!(serial.seed_author, parallel.seed_author);
+        assert_eq!(serial.diagnostics, parallel.diagnostics);
         assert_eq!(serial.transformed.len(), parallel.transformed.len());
         for (s, p) in serial.transformed.iter().zip(&parallel.transformed) {
             assert_eq!(s.sample.source, p.sample.source);

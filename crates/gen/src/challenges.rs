@@ -131,6 +131,23 @@ impl ChallengeId {
     pub fn render_solution(self, style: &AuthorStyle, rng: Pcg64) -> String {
         let mut b = CodeBuilder::new(style.clone(), rng);
         let unit = self.build(&mut b);
+        // Gate: every synthesized program must be diagnostic-clean —
+        // an error here is a generator bug, never bad input.
+        #[cfg(debug_assertions)]
+        {
+            let diags = synthattr_analysis::Analyzer::new().analyze(&unit);
+            let errors: Vec<String> = diags
+                .iter()
+                .filter(|d| d.severity == synthattr_analysis::Severity::Error)
+                .map(|d| d.to_string())
+                .collect();
+            assert!(
+                errors.is_empty(),
+                "{self:?} synthesized a program with error diagnostics:\n{}\n--- source ---\n{}",
+                errors.join("\n"),
+                render(&unit, &style.render)
+            );
+        }
         render(&unit, &style.render)
     }
 }
@@ -648,13 +665,17 @@ fn pair_sum(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
     let count = b.n("count");
     s.push(b.decl(Type::Int, &count, Expr::Int(0)));
     let j = b.n("loop_index2");
+    // The pair scan needs its own counter: reusing the read-loop's
+    // would redeclare it in the same scope when both loops come out
+    // in the while-form spelling.
+    let p = b.n("loop_index3");
     let bump = b.incr(&count);
     let inner_body = vec![Stmt::If {
         cond: Expr::bin(
             BinaryOp::Eq,
             Expr::bin(
                 BinaryOp::Add,
-                Expr::index(Expr::ident(arr.clone()), Expr::ident(i.clone())),
+                Expr::index(Expr::ident(arr.clone()), Expr::ident(p.clone())),
                 Expr::index(Expr::ident(arr.clone()), Expr::ident(j.clone())),
             ),
             Expr::ident(k),
@@ -664,11 +685,11 @@ fn pair_sum(b: &mut CodeBuilder) -> (Vec<Stmt>, Expr) {
     }];
     let inner = b.count_loop(
         &j,
-        Expr::bin(BinaryOp::Add, Expr::ident(i.clone()), Expr::Int(1)),
+        Expr::bin(BinaryOp::Add, Expr::ident(p.clone()), Expr::Int(1)),
         Expr::ident(n.clone()),
         inner_body,
     );
-    s.extend(b.count_loop(&i, Expr::Int(0), Expr::ident(n), inner));
+    s.extend(b.count_loop(&p, Expr::Int(0), Expr::ident(n), inner));
     (s, Expr::ident(count))
 }
 

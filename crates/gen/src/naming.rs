@@ -147,6 +147,15 @@ fn synonyms(concept: &str) -> Synonyms {
                 ["other", "position"]
             ]
         ),
+        "loop_index3" => syn!(
+            ["p", "u", "a"],
+            [["p"], ["first"], ["outer"]],
+            [
+                ["first", "index"],
+                ["outer", "position"],
+                ["scan", "index"]
+            ]
+        ),
         "count" => syn!(
             ["c", "cnt", "k"],
             [["count"], ["cnt"], ["num", "found"]],

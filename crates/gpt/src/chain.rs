@@ -54,12 +54,21 @@ pub fn run_nct(
     rng: &mut Pcg64,
 ) -> Vec<TransformedSample> {
     let pool = transformer.pool();
+    #[cfg(debug_assertions)]
+    let seed_fp = synthattr_analysis::fingerprint_source(seed_code)
+        .expect("seed is inside the subset");
     (1..=n)
         .map(|step| {
             let pool_index = pool.sample_index(rng);
             let source = transformer
                 .transform(seed_code, pool_index, rng)
                 .expect("generator-produced seed must transform");
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                synthattr_analysis::fingerprint_source(&source).expect("output reparses"),
+                seed_fp,
+                "NCT step {step} drifted from the seed's semantic fingerprint"
+            );
             TransformedSample {
                 source,
                 step,
@@ -85,6 +94,9 @@ pub fn run_ct(
     rng: &mut Pcg64,
 ) -> Vec<TransformedSample> {
     let pool = transformer.pool();
+    #[cfg(debug_assertions)]
+    let seed_fp = synthattr_analysis::fingerprint_source(seed_code)
+        .expect("seed is inside the subset");
     let mut current = seed_code.to_string();
     let mut style_idx = pool.sample_index(rng);
     let mut out = Vec::with_capacity(n);
@@ -95,6 +107,15 @@ pub fn run_ct(
         let source = transformer
             .transform(&current, style_idx, rng)
             .expect("chain steps stay inside the subset");
+        // Fingerprint stability is transitive through the per-step
+        // transform gate, but chains are where drift would compound;
+        // assert against the *seed*, not just the previous step.
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            synthattr_analysis::fingerprint_source(&source).expect("output reparses"),
+            seed_fp,
+            "CT step {step} drifted from the seed's semantic fingerprint"
+        );
         current = source.clone();
         out.push(TransformedSample {
             source,

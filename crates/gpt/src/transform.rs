@@ -17,7 +17,7 @@ use synthattr_gen::naming::{apply_case, NamingStyle, Verbosity};
 use synthattr_gen::style::AuthorStyle;
 use synthattr_lang::ast::*;
 use synthattr_lang::render::{render, BraceStyle, Indent, RenderStyle};
-use synthattr_lang::visit::{declared_names, for_each_block_mut, rename_idents};
+use synthattr_lang::visit::{declared_names, for_each_block_mut, rename_idents, unrenameable_names};
 use synthattr_lang::{parse, ParseError};
 use synthattr_util::Pcg64;
 
@@ -114,14 +114,62 @@ impl<'a> Transformer<'a> {
             restyle_comments(&mut unit, target, rng);
         }
         if target.structure.helper_bias > 0.5 && rng.next_bool(fidelity * 0.6) {
-            extract_case_helper(&mut unit, target, &env, rng);
+            // Safety gate: helper extraction moves statements out of
+            // `main`; if the moved block reads a local that stays
+            // behind (the loop counter, a pre-loop accumulator), the
+            // helper would reference an undeclared name. Run the
+            // extraction on a candidate and commit only when the
+            // resolver sees no new undeclared identifiers. The RNG is
+            // drawn on the candidate path either way, so skipping a
+            // bad extraction never perturbs later sampling.
+            let before = synthattr_analysis::resolve(&unit).undeclared.len();
+            let mut candidate = unit.clone();
+            extract_case_helper(&mut candidate, target, &env, rng);
+            if synthattr_analysis::resolve(&candidate).undeclared.len() <= before {
+                unit = candidate;
+            }
         }
 
         // Layout blend: each field adopts the target with probability
         // `fidelity`, else keeps the detected source value.
         let style = blend_render_styles(&src_render, &target.render, fidelity, rng);
-        Ok(render(&unit, &style))
+        let out = render(&unit, &style);
+        #[cfg(debug_assertions)]
+        debug_assert_semantics_preserved(source, &out);
+        Ok(out)
     }
+}
+
+/// Debug-build gate behind every transform: the output must introduce
+/// no new error-severity diagnostics and must keep the input's
+/// semantic fingerprint. This is the checked form of the paper's
+/// style-not-semantics assumption (see `synthattr-analysis`).
+#[cfg(debug_assertions)]
+fn debug_assert_semantics_preserved(source: &str, out: &str) {
+    use synthattr_analysis::{fingerprint_source, new_errors, Analyzer};
+    let analyzer = Analyzer::new();
+    let pre = analyzer
+        .analyze_source(source)
+        .expect("input parsed before transforming");
+    let post = analyzer
+        .analyze_source(out)
+        .expect("transform output reparses");
+    let fresh = new_errors(&pre, &post);
+    assert!(
+        fresh.is_empty(),
+        "transform introduced error diagnostics:\n{}\n--- input ---\n{source}\n--- output ---\n{out}",
+        fresh
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let fp_in = fingerprint_source(source).expect("input fingerprints");
+    let fp_out = fingerprint_source(out).expect("output fingerprints");
+    assert_eq!(
+        fp_in, fp_out,
+        "transform changed the semantic fingerprint\n--- input ---\n{source}\n--- output ---\n{out}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -493,14 +541,22 @@ impl StyleVocab {
 /// vocabulary entries by position so the mapping is deterministic for
 /// a given (program, vocabulary) pair.
 fn rename_all(unit: &mut TranslationUnit, naming: NamingStyle, vocab: &StyleVocab) {
-    let names = declared_names(unit); // sorted and deduplicated
+    // Typedef/using/define names are declared names but live in type
+    // and macro positions `rename_idents` cannot rewrite; renaming
+    // them would orphan their uses, so they are skipped (and their
+    // names stay off-limits to the `used` collision check below).
+    let skip = unrenameable_names(unit);
+    let names: Vec<String> = declared_names(unit) // sorted and deduplicated
+        .into_iter()
+        .filter(|n| !skip.contains(n))
+        .collect();
     let fn_names: Vec<String> = unit
         .functions()
         .filter(|f| f.name != "main")
         .map(|f| f.name.clone())
         .collect();
     let mut mapping = HashMap::new();
-    let mut used: Vec<String> = Vec::new();
+    let mut used: Vec<String> = skip;
     let mut var_i = 0usize;
     let mut fn_i = 0usize;
     for name in names {
@@ -736,6 +792,25 @@ fn set_compound(unit: &mut TranslationUnit, compound: bool) {
     });
 }
 
+/// Whether `block` contains a `continue` that would bind to the loop
+/// directly enclosing it (descends into `if`/bare blocks but not into
+/// nested loops, whose `continue`s bind to themselves).
+fn has_direct_continue(block: &Block) -> bool {
+    block.stmts.iter().any(|stmt| match stmt {
+        Stmt::Continue => true,
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            has_direct_continue(then_branch)
+                || else_branch.as_ref().is_some_and(has_direct_continue)
+        }
+        Stmt::Block(b) => has_direct_continue(b),
+        _ => false,
+    })
+}
+
 fn convert_loops(unit: &mut TranslationUnit, to_while: bool, rng: &mut Pcg64) {
     for_each_block_mut(unit, &mut |block| {
         for stmt in &mut block.stmts {
@@ -744,11 +819,18 @@ fn convert_loops(unit: &mut TranslationUnit, to_while: bool, rng: &mut Pcg64) {
                     init,
                     cond: Some(_),
                     step,
+                    body,
                     ..
                 } = stmt
                 else {
                     continue;
                 };
+                // `continue` in a `for` body still runs the step;
+                // after the rewrite it would jump past the appended
+                // step statement. Such loops must keep their form.
+                if has_direct_continue(body) {
+                    continue;
+                }
                 if init.is_none() || step.is_none() || !rng.next_bool(0.7) {
                     continue;
                 }

@@ -223,11 +223,28 @@ fn walk_expr<V: Visitor>(expr: &Expr, v: &mut V, depth: usize) {
 // Mutation helpers
 // ---------------------------------------------------------------------------
 
+/// Extracts the defined name from a `#define` directive body (the text
+/// stored in [`Item::Define`], without the leading `#`). Returns `None`
+/// for non-define directives such as `pragma once`.
+pub fn define_name(text: &str) -> Option<&str> {
+    let mut parts = text.split_whitespace();
+    if parts.next()? != "define" {
+        return None;
+    }
+    let name = parts.next()?;
+    Some(name.split('(').next().unwrap_or(name))
+}
+
 /// Collects every *user-declared* name in the unit: function names,
-/// parameters, local and global variables, and range-for variables.
+/// parameters, local and global variables, range-for variables,
+/// `typedef`/`using` alias names, and `#define` macro names.
 ///
-/// Library names (`cin`, `max`, member names, …) never appear here, so
-/// a renaming built on this set cannot break library calls.
+/// Library names (`cin`, `max`, member names, …) never appear here.
+/// The set serves two callers with different needs: fresh-name
+/// generation must avoid *everything* listed here, while renamers must
+/// additionally skip the type-alias and macro names ([`rename_idents`]
+/// only rewrites declarator sites and identifier expressions, so those
+/// names are declaration-only from its point of view).
 pub fn declared_names(unit: &TranslationUnit) -> Vec<String> {
     let mut names = Vec::new();
     for item in &unit.items {
@@ -242,9 +259,36 @@ pub fn declared_names(unit: &TranslationUnit) -> Vec<String> {
                 names.extend(f.params.iter().map(|p| p.name.clone()));
                 collect_block_names(&f.body, &mut names);
             }
+            Item::Typedef { name, .. } | Item::UsingAlias { name, .. } => {
+                names.push(name.clone());
+            }
+            Item::Define { text } => {
+                if let Some(name) = define_name(text) {
+                    names.push(name.to_string());
+                }
+            }
             _ => {}
         }
     }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// The subset of [`declared_names`] that a renamer must leave alone:
+/// `typedef`/`using` alias names and `#define` macro names, whose uses
+/// live in type positions or macro expansions that [`rename_idents`]
+/// cannot rewrite.
+pub fn unrenameable_names(unit: &TranslationUnit) -> Vec<String> {
+    let mut names: Vec<String> = unit
+        .items
+        .iter()
+        .filter_map(|item| match item {
+            Item::Typedef { name, .. } | Item::UsingAlias { name, .. } => Some(name.clone()),
+            Item::Define { text } => define_name(text).map(str::to_string),
+            _ => None,
+        })
+        .collect();
     names.sort();
     names.dedup();
     names
@@ -539,6 +583,42 @@ int main() {
         assert!(!names.contains(&"cout".to_string()));
         assert!(!names.contains(&"endl".to_string()));
         assert!(!names.contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn declared_names_covers_params_and_for_init() {
+        // Regression guard: parameters and for-init declarations are
+        // declaration sites and must be visible to fresh-name
+        // generation and renaming alike.
+        let unit = parse(
+            "int scale(int factor) { return factor * 2; }\nint main() { for (int idx = 0; idx < 3; idx++) { } return 0; }",
+        )
+        .unwrap();
+        let names = declared_names(&unit);
+        assert!(names.contains(&"factor".to_string()), "{names:?}");
+        assert!(names.contains(&"idx".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn declared_names_covers_aliases_and_macros() {
+        // Regression guard: typedef/using/define names are declared
+        // names too — fresh identifiers must not collide with them.
+        let unit = parse(
+            "#define MAXN 100\ntypedef long long ll;\nusing vi = vector<int>;\nint main() { return 0; }",
+        )
+        .unwrap();
+        let names = declared_names(&unit);
+        for expected in ["MAXN", "ll", "vi"] {
+            assert!(names.contains(&expected.to_string()), "{names:?}");
+        }
+        assert_eq!(unrenameable_names(&unit), vec!["MAXN", "ll", "vi"]);
+    }
+
+    #[test]
+    fn define_name_parses_directives() {
+        assert_eq!(define_name("define MAXN 100"), Some("MAXN"));
+        assert_eq!(define_name("define SQ(x) ((x)*(x))"), Some("SQ"));
+        assert_eq!(define_name("pragma once"), None);
     }
 
     #[test]

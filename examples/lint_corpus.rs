@@ -1,0 +1,66 @@
+//! Per-year diagnostics report over the three synthetic corpora: the
+//! static-analysis view of what the generator produces (DESIGN.md §8).
+//!
+//! Every corpus program must be free of error-severity diagnostics —
+//! the same invariant the transform and generation gates enforce —
+//! so this example doubles as the `scripts/verify.sh --lint` check
+//! and exits nonzero on any error.
+//!
+//! ```sh
+//! cargo run --release --example lint_corpus
+//! ```
+
+use std::collections::BTreeMap;
+use synthattr::analysis::{Analyzer, Severity};
+use synthattr::gen::corpus::{generate_year, YearSpec};
+use synthattr::util::Table;
+
+fn main() {
+    let analyzer = Analyzer::new();
+    let mut table = Table::new(vec!["Year", "Programs", "Errors", "Warnings", "Top pass"])
+        .with_title("Corpus lint report (24 authors x 4 challenges per year)");
+    let mut total_errors = 0usize;
+
+    for year in [2017u32, 2018, 2019] {
+        let spec = YearSpec::tiny(year, 24, 4);
+        let corpus = generate_year(&spec, 7);
+        let mut errors = 0usize;
+        let mut warnings = 0usize;
+        let mut per_pass: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for sample in &corpus.samples {
+            let diags = analyzer
+                .analyze_source(&sample.source)
+                .expect("generated code parses");
+            for d in &diags {
+                *per_pass.entry(d.pass).or_insert(0) += 1;
+                match d.severity {
+                    Severity::Error => {
+                        errors += 1;
+                        eprintln!("{year}: {d}");
+                    }
+                    Severity::Warning => warnings += 1,
+                }
+            }
+        }
+        let top = per_pass
+            .iter()
+            .max_by_key(|(_, n)| **n)
+            .map(|(p, n)| format!("{p} ({n})"))
+            .unwrap_or_else(|| "-".into());
+        table.row(vec![
+            year.to_string(),
+            corpus.samples.len().to_string(),
+            errors.to_string(),
+            warnings.to_string(),
+            top,
+        ]);
+        total_errors += errors;
+    }
+
+    println!("{table}");
+    assert_eq!(
+        total_errors, 0,
+        "corpus programs must be free of error-severity diagnostics"
+    );
+    println!("all corpora clean: no error-severity diagnostics");
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Perf-trajectory baseline: runs the `forest` and `features` bench
-# targets through `synthattr_bench::harness` and writes one JSON line
+# Perf-trajectory baseline: runs the `forest`, `features`, and
+# `analysis` bench targets through `synthattr_bench::harness` and
+# writes one JSON line
 # per benchmark into BENCH_forest.json (the harness prints JSON on
 # stdout, human progress on stderr — see DESIGN.md "Benchmarking").
 #
@@ -19,7 +20,7 @@ export CARGO_NET_OFFLINE=true
 OUT="${SYNTHATTR_BENCH_OUT:-BENCH_forest.json}"
 
 : > "$OUT"
-for target in forest features; do
+for target in forest features analysis; do
   echo "== bench: $target ==" >&2
   # Keep only the harness's JSON lines; cargo chatter goes to stderr
   # already, this guards against any stray stdout.

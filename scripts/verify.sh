@@ -9,19 +9,30 @@
 # Usage:
 #   scripts/verify.sh                 # tier-1: build + tests
 #   scripts/verify.sh --bench-smoke   # tier-1 + one-iteration bench pass
+#   scripts/verify.sh --lint          # tier-1 + warnings-as-errors build
+#                                     #   + corpus lint (all three years)
 #   SYNTHATTR_WORKERS=1 scripts/verify.sh   # serial, for timing noise
 #
 # --bench-smoke additionally runs every bench target with minimal
 # budgets (one warmup iteration, one sample; offline, seconds), so
 # bench bit-rot fails locally instead of at the next measurement
 # session.
+#
+# --lint rebuilds with RUSTFLAGS="-D warnings" and runs the
+# lint_corpus example over the 2017/2018/2019 corpora; the example
+# exits nonzero on any error-severity diagnostic (DESIGN.md §8).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
-if [[ "${1:-}" == "--bench-smoke" ]]; then
-  BENCH_SMOKE=1
-fi
+LINT=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    --lint) LINT=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 export CARGO_NET_OFFLINE=true
 
@@ -41,10 +52,17 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
   export SYNTHATTR_BENCH_WARMUP_MS=1
   export SYNTHATTR_BENCH_MEASURE_MS=1
   export SYNTHATTR_BENCH_SAMPLES=1
-  for b in frontend features forest transform tables; do
+  for b in frontend features forest transform tables analysis; do
     echo "== bench smoke: $b (one warmup iteration) ==" >&2
     cargo bench --offline -p synthattr-bench --bench "$b" > /dev/null
   done
+fi
+
+if [[ "$LINT" == "1" ]]; then
+  echo "== lint: cargo build --release with -D warnings ==" >&2
+  RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
+  echo "== lint: corpus diagnostics (2017/2018/2019) ==" >&2
+  cargo run --release --offline --example lint_corpus
 fi
 
 echo "verify: OK" >&2

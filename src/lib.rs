@@ -27,12 +27,14 @@
 //! |---|---|---|
 //! | [`util`] | `synthattr-util` | seeded PRNG, statistics, tables |
 //! | [`lang`] | `synthattr-lang` | C++ subset lexer/parser/AST/renderer |
+//! | [`analysis`] | `synthattr-analysis` | lint passes + semantic fingerprint |
 //! | [`features`] | `synthattr-features` | stylometry feature set |
 //! | [`ml`] | `synthattr-ml` | CART forests, CV, info gain |
 //! | [`gen`] | `synthattr-gen` | author styles + GCJ-like corpora |
 //! | [`gpt`] | `synthattr-gpt` | LLM style simulator (NCT/CT) |
 //! | [`core`] | `synthattr-core` | attribution pipelines + experiments |
 
+pub use synthattr_analysis as analysis;
 pub use synthattr_core as core;
 pub use synthattr_features as features;
 pub use synthattr_gen as gen;

@@ -6,9 +6,12 @@
 //! Driven by the in-repo harness (`synthattr::util::prop`) — see
 //! DESIGN.md's hermetic zero-dependency policy.
 
+use synthattr::analysis::{fingerprint_source, new_errors, Analyzer};
 use synthattr::features::collect::CodeStats;
 use synthattr::gen::challenges::ChallengeId;
+use synthattr::gen::corpus::Origin;
 use synthattr::gen::style::AuthorStyle;
+use synthattr::gpt::chain::{run_ct, run_nct};
 use synthattr::gpt::pool::YearPool;
 use synthattr::gpt::transform::Transformer;
 use synthattr::lang::parse;
@@ -106,6 +109,100 @@ fn transformation_preserves_skeleton() {
                 Ok(())
             },
         );
+}
+
+/// Every transform output is analyzer-clean (no new error-severity
+/// diagnostics over the seed) and keeps the seed's semantic
+/// fingerprint — for arbitrary styles, challenges, and RNG streams.
+#[test]
+fn transforms_are_analyzer_clean_and_fingerprint_stable() {
+    let analyzer = Analyzer::new();
+    Runner::new("transforms_are_analyzer_clean_and_fingerprint_stable")
+        .cases(48)
+        .run(
+            |rng| {
+                (
+                    rng.next_below(2000) as u64,
+                    rng.next_below(2000) as u64,
+                    rng.next_below(ChallengeId::all().len()),
+                )
+            },
+            |&(style_seed, t_seed, ch_idx)| {
+                let mut rng = Pcg64::new(style_seed);
+                let style = AuthorStyle::sample(&mut rng);
+                let src =
+                    challenge(ch_idx).render_solution(&style, Pcg64::new(style_seed ^ 0x5EED));
+                let pool = YearPool::calibrated(2017, 3);
+                let gpt = Transformer::new(&pool);
+                let mut t_rng = Pcg64::new(t_seed);
+                let idx = pool.sample_index(&mut t_rng);
+                let out = gpt.transform(&src, idx, &mut t_rng).expect("transforms");
+
+                let pre = analyzer.analyze_source(&src).expect("seed parses");
+                let post = analyzer.analyze_source(&out).expect("output parses");
+                let fresh = new_errors(&pre, &post);
+                prop_assert!(
+                    fresh.is_empty(),
+                    "new error diagnostics {:?}:\n{}",
+                    fresh,
+                    out
+                );
+                prop_assert_eq!(
+                    fingerprint_source(&src).unwrap(),
+                    fingerprint_source(&out).unwrap(),
+                    "fingerprint drifted:\n--- seed ---\n{}\n--- out ---\n{}",
+                    src,
+                    out
+                );
+                Ok(())
+            },
+        );
+}
+
+/// The acceptance invariant in its strongest form: for every pool
+/// seed (each challenge, rendered in a pool style), both the NCT fan
+/// and a full 50-step CT chain stay analyzer-clean and keep the
+/// seed's semantic fingerprint at every step.
+#[test]
+fn every_pool_seed_survives_a_50_step_chain() {
+    let analyzer = Analyzer::new();
+    for (ci, &ch) in ChallengeId::all().iter().enumerate() {
+        let year = [2017u32, 2018, 2019][ci % 3];
+        let pool = YearPool::calibrated(year, 11);
+        let gpt = Transformer::new(&pool);
+        let seed_src = ch.render_solution(
+            &pool.style(ci % pool.styles.len()).clone(),
+            Pcg64::new(1000 + ci as u64),
+        );
+        let seed_fp = fingerprint_source(&seed_src).expect("seed fingerprints");
+        let pre = analyzer.analyze_source(&seed_src).expect("seed parses");
+
+        let mut rng = Pcg64::seed_from(42, &["prop-ct", &ci.to_string()]);
+        let ct = run_ct(&gpt, &seed_src, 50, Origin::ChatGpt, &mut rng);
+        assert_eq!(ct.len(), 50);
+        let mut rng = Pcg64::seed_from(42, &["prop-nct", &ci.to_string()]);
+        let nct = run_nct(&gpt, &seed_src, 10, Origin::ChatGpt, &mut rng);
+
+        for s in ct.iter().chain(nct.iter()) {
+            let post = analyzer.analyze_source(&s.source).expect("step parses");
+            let fresh = new_errors(&pre, &post);
+            assert!(
+                fresh.is_empty(),
+                "{ch:?} {:?} step {}: new errors {fresh:?}\n{}",
+                s.mode,
+                s.step,
+                s.source
+            );
+            assert_eq!(
+                fingerprint_source(&s.source).unwrap(),
+                seed_fp,
+                "{ch:?} {:?} step {} drifted\n--- seed ---\n{seed_src}\n--- step ---\n{}",
+                s.mode,
+                s.step,
+                s.source
+            );
+        }
+    }
 }
 
 /// Chained transformation outputs always stay inside the subset.
