@@ -1,7 +1,7 @@
 //! The in-repo benchmark harness (criterion replacement).
 //!
 //! The workspace builds offline with zero registry dependencies, so
-//! the six bench targets under `benches/` drive this ~250-line
+//! the seven bench targets under `benches/` drive this ~250-line
 //! harness instead of criterion. It keeps the parts the trajectory
 //! tooling actually consumes:
 //!

@@ -1,5 +1,6 @@
 //! Experiment configuration and scale presets.
 
+use synthattr_faults::FaultProfile;
 use synthattr_features::FeatureConfig;
 use synthattr_ml::forest::ForestConfig;
 
@@ -30,6 +31,12 @@ pub struct ExperimentConfig {
     /// Results are identical for every worker count — this only tunes
     /// wall-clock time (set to `Some(1)` for serial execution).
     pub workers: Option<usize>,
+    /// Fault injection for the simulated LLM service. `None` runs the
+    /// perfect service; `Some(profile)` routes every transformation
+    /// through the `synthattr-faults` chaos proxy. With a profile
+    /// whose faults all recover within budget, pipeline outputs are
+    /// byte-identical to `None` (see `tests/chaos_pipeline.rs`).
+    pub faults: Option<FaultProfile>,
 }
 
 impl ExperimentConfig {
@@ -46,6 +53,7 @@ impl ExperimentConfig {
             },
             features: FeatureConfig::default(),
             workers: None,
+            faults: None,
         }
     }
 
@@ -62,7 +70,14 @@ impl ExperimentConfig {
             },
             features: FeatureConfig::default(),
             workers: None,
+            faults: None,
         }
+    }
+
+    /// The same configuration with fault injection enabled.
+    pub fn with_faults(mut self, profile: FaultProfile) -> Self {
+        self.faults = Some(profile);
+        self
     }
 
     /// The forest hyperparameters implied by the scale.

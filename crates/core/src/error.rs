@@ -1,0 +1,99 @@
+//! Typed errors for fallible pipeline construction.
+//!
+//! [`crate::pipeline::YearPipeline::try_build`] surfaces every failure
+//! mode a build can hit as a [`PipelineError`] instead of a panic;
+//! the classic `build` stays a thin panicking wrapper for callers who
+//! treat build failure as a bug (tests, examples, table drivers).
+
+use std::error::Error;
+use std::fmt;
+use synthattr_gpt::GptError;
+use synthattr_lang::ParseError;
+
+/// Why a [`crate::pipeline::YearPipeline`] could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The requested year is outside the paper's 2017–2019 range.
+    UnsupportedYear(u32),
+    /// A transformation stream failed irrecoverably (in practice: a
+    /// seed outside the subset — service faults degrade, they don't
+    /// error).
+    Transform {
+        /// Experiment year.
+        year: u32,
+        /// Challenge index within the year.
+        challenge: usize,
+        /// Setting notation (`+N`, `+C`, `±N`, `±C`).
+        setting: &'static str,
+        /// The underlying service error.
+        source: GptError,
+    },
+    /// A generated or transformed program failed to parse in a
+    /// downstream analysis stage (featurization or linting) — always
+    /// a pipeline bug, surfaced as data for the caller to report.
+    Analysis {
+        /// Which stage rejected the program.
+        stage: &'static str,
+        /// The parse failure.
+        source: ParseError,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::UnsupportedYear(y) => {
+                write!(f, "paper years are 2017-2019, got {y}")
+            }
+            PipelineError::Transform {
+                year,
+                challenge,
+                setting,
+                source,
+            } => write!(
+                f,
+                "transform stream {year}/ch{challenge}/{setting} failed: {source}"
+            ),
+            PipelineError::Analysis { stage, source } => {
+                write!(f, "{stage} stage rejected a pipeline program: {source}")
+            }
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::UnsupportedYear(_) => None,
+            PipelineError::Transform { source, .. } => Some(source),
+            PipelineError::Analysis { source, .. } => Some(source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composes_with_box_dyn_error() {
+        let err = PipelineError::Transform {
+            year: 2018,
+            challenge: 3,
+            setting: "+N",
+            source: GptError::Parse(ParseError::new("expected ';'", 9)),
+        };
+        let boxed: Box<dyn Error> = Box::new(err);
+        assert!(boxed.to_string().contains("2018/ch3/+N"));
+        let gpt = boxed.source().expect("chains to GptError");
+        let parse = gpt.source().expect("chains to ParseError");
+        assert!(parse.to_string().contains("line 9"));
+    }
+
+    #[test]
+    fn unsupported_year_is_terminal() {
+        let err = PipelineError::UnsupportedYear(1999);
+        assert!(err.source().is_none());
+        assert!(err.to_string().contains("1999"));
+    }
+}

@@ -36,10 +36,12 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod experiments;
 pub mod model;
 pub mod pipeline;
 
 pub use config::{ExperimentConfig, Scale};
+pub use error::PipelineError;
 pub use model::AuthorshipModel;
 pub use pipeline::{Setting, YearPipeline};

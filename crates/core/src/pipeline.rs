@@ -16,14 +16,17 @@
 //! pass over this cached state.
 
 use crate::config::ExperimentConfig;
+use crate::error::PipelineError;
 use crate::model::AuthorshipModel;
 use std::collections::BTreeMap;
 use synthattr_analysis::{Analyzer, Severity};
+use synthattr_faults::drivers::{run_ct_resilient, run_nct_resilient};
+use synthattr_faults::{FaultyTransformer, Outcome, ResilienceStats};
 use synthattr_features::FeatureExtractor;
 use synthattr_gen::challenges::ChallengeId;
 use synthattr_gen::corpus::{generate_year, Origin, YearCorpus, YearSpec};
 use synthattr_gen::style::AuthorStyle;
-use synthattr_gpt::chain::{run_ct, run_nct, TransformedSample};
+use synthattr_gpt::chain::{try_run_ct, try_run_nct, TransformedSample};
 use synthattr_gpt::pool::YearPool;
 use synthattr_gpt::transform::Transformer;
 use synthattr_ml::dataset::Dataset;
@@ -127,6 +130,9 @@ pub struct TransformedEntry {
     pub features: Vec<f64>,
     /// The oracle's predicted author label — the sample's "style".
     pub oracle_label: usize,
+    /// How the sample survived fault injection ([`Outcome::Clean`]
+    /// everywhere when the pipeline runs without a fault profile).
+    pub outcome: Outcome,
 }
 
 /// Cached state for one experiment year.
@@ -149,6 +155,9 @@ pub struct YearPipeline {
     pub seed_author: usize,
     /// Aggregated analyzer diagnostics over every program in the run.
     pub diagnostics: DiagnosticStats,
+    /// Resilience accounting for the transformation stage (all-clean
+    /// with zero overhead when `config.faults` is `None`).
+    pub resilience: ResilienceStats,
 }
 
 impl YearPipeline {
@@ -165,20 +174,40 @@ impl YearPipeline {
     /// # Panics
     ///
     /// Panics if `year` is not 2017/2018/2019, or on internal
-    /// generation bugs (generated code must always parse).
+    /// generation bugs (generated code must always parse). Fallible
+    /// callers should use [`YearPipeline::try_build`].
     pub fn build(year: u32, config: &ExperimentConfig) -> Self {
+        Self::try_build(year, config).unwrap_or_else(|e| panic!("pipeline build failed: {e}"))
+    }
+
+    /// Builds the full pipeline for `year`, surfacing failures as
+    /// [`PipelineError`]s. Worker-thread errors propagate through
+    /// `pool::parallel_try_map_workers` instead of poisoning the
+    /// whole process.
+    ///
+    /// # Errors
+    ///
+    /// * [`PipelineError::UnsupportedYear`] — `year` outside 2017–2019.
+    /// * [`PipelineError::Transform`] — a transformation stream failed
+    ///   irrecoverably (service faults *degrade* rather than error;
+    ///   see `config.faults`).
+    /// * [`PipelineError::Analysis`] — a pipeline-produced program was
+    ///   rejected downstream (always a bug, reported as data).
+    pub fn try_build(year: u32, config: &ExperimentConfig) -> Result<Self, PipelineError> {
         let workers = pool::resolve_workers(config.workers);
-        let spec = year_spec(year, config);
+        let spec = try_year_spec(year, config)?;
         let corpus = generate_year(&spec, config.seed);
 
         let extractor = FeatureExtractor::new(config.features.clone());
         let human_features: Vec<Vec<f64>> =
-            pool::parallel_map_workers(workers, (0..corpus.samples.len()).collect(), |i| {
-                let s = &corpus.samples[i];
+            pool::parallel_try_map_workers(workers, (0..corpus.samples.len()).collect(), |i| {
                 extractor
-                    .extract(&s.source)
-                    .unwrap_or_else(|e| panic!("generated sample must parse: {e}\n{}", s.source))
-            });
+                    .extract(&corpus.samples[i].source)
+                    .map_err(|e| PipelineError::Analysis {
+                        stage: "featurize",
+                        source: e,
+                    })
+            })?;
 
         // Oracle: one class per human author.
         let mut human_ds = Dataset::new(spec.authors);
@@ -193,13 +222,24 @@ impl YearPipeline {
         let pool = YearPool::calibrated(year, config.seed);
         let transformer = Transformer::new(&pool);
         let seed_author = (year as usize * 7) % spec.authors;
+        // Resilience state is sharded per (challenge x setting) call
+        // stream: each stream owns a breaker and an equal, fixed slice
+        // of the pipeline retry budget, decided before dispatch — so
+        // the outcome cannot depend on which worker drains which
+        // stream (DESIGN.md §9).
+        let n_streams = spec.challenges.len() * Setting::all().len();
         // One task per challenge; each task derives its own RNG
         // streams from the root seed, so scheduling cannot perturb
         // them, and the order-preserving pool plus a flatten
         // reproduces the serial push order exactly.
-        let per_challenge: Vec<Vec<TransformedEntry>> =
-            pool::parallel_map_workers(workers, (0..spec.challenges.len()).collect(), |ci| {
+        let per_challenge: Vec<(Vec<TransformedEntry>, ResilienceStats)> =
+            pool::parallel_try_map_workers(workers, (0..spec.challenges.len()).collect(), |ci| {
                 let challenge = spec.challenges[ci];
+                let service = config
+                    .faults
+                    .as_ref()
+                    .map(|p| FaultyTransformer::new(&pool, p.plan(), p.policy.clone()));
+                let mut stream_stats = ResilienceStats::default();
                 let mut transformed = Vec::new();
                 // ChatGPT-generated seed: one solution in a weighted pool
                 // style (the "generation" role of the simulator).
@@ -238,31 +278,74 @@ impl YearPipeline {
                             setting.notation(),
                         ],
                     );
-                    let samples = if setting.chaining() {
-                        run_ct(
-                            &transformer,
-                            seed_code,
-                            config.scale.transforms,
-                            origin,
-                            &mut rng,
-                        )
-                    } else {
-                        run_nct(
-                            &transformer,
-                            seed_code,
-                            config.scale.transforms,
-                            origin,
-                            &mut rng,
-                        )
+                    let fail = |source| PipelineError::Transform {
+                        year,
+                        challenge: ci,
+                        setting: setting.notation(),
+                        source,
                     };
-                    for sample in samples {
-                        let features =
-                            oracle
-                                .extractor()
-                                .extract(&sample.source)
-                                .unwrap_or_else(|e| {
-                                    panic!("transformed sample must parse: {e}\n{}", sample.source)
-                                });
+                    let (samples, outcomes) = match (&service, &config.faults) {
+                        (Some(svc), Some(profile)) => {
+                            let anchor = format!("ch{ci}/{}", setting.notation());
+                            let mut cx = profile.stream_cx(n_streams);
+                            let run = if setting.chaining() {
+                                run_ct_resilient(
+                                    svc,
+                                    seed_code,
+                                    config.scale.transforms,
+                                    origin,
+                                    &mut rng,
+                                    &anchor,
+                                    &mut cx,
+                                )
+                            } else {
+                                run_nct_resilient(
+                                    svc,
+                                    seed_code,
+                                    config.scale.transforms,
+                                    origin,
+                                    &mut rng,
+                                    &anchor,
+                                    &mut cx,
+                                )
+                            }
+                            .map_err(fail)?;
+                            stream_stats.merge(&run.stats);
+                            (run.samples, run.outcomes)
+                        }
+                        _ => {
+                            let samples = if setting.chaining() {
+                                try_run_ct(
+                                    &transformer,
+                                    seed_code,
+                                    config.scale.transforms,
+                                    origin,
+                                    &mut rng,
+                                )
+                            } else {
+                                try_run_nct(
+                                    &transformer,
+                                    seed_code,
+                                    config.scale.transforms,
+                                    origin,
+                                    &mut rng,
+                                )
+                            }
+                            .map_err(fail)?;
+                            let outcomes = vec![Outcome::Clean; samples.len()];
+                            for o in &outcomes {
+                                stream_stats.record(*o);
+                            }
+                            (samples, outcomes)
+                        }
+                    };
+                    for (sample, outcome) in samples.into_iter().zip(outcomes) {
+                        let features = oracle.extractor().extract(&sample.source).map_err(|e| {
+                            PipelineError::Analysis {
+                                stage: "featurize",
+                                source: e,
+                            }
+                        })?;
                         let oracle_label = oracle.predict_features(&features);
                         transformed.push(TransformedEntry {
                             sample,
@@ -270,12 +353,18 @@ impl YearPipeline {
                             setting,
                             features,
                             oracle_label,
+                            outcome,
                         });
                     }
                 }
-                transformed
-            });
-        let transformed: Vec<TransformedEntry> = per_challenge.into_iter().flatten().collect();
+                Ok((transformed, stream_stats))
+            })?;
+        let mut resilience = ResilienceStats::default();
+        let mut transformed: Vec<TransformedEntry> = Vec::new();
+        for (entries, stats) in per_challenge {
+            transformed.extend(entries);
+            resilience.merge(&stats);
+        }
 
         // Run stats: lint every program the run produced. Per-sample
         // analysis parallelizes like featurization; summed counts make
@@ -288,17 +377,20 @@ impl YearPipeline {
             .chain(transformed.iter().map(|t| t.sample.source.as_str()))
             .collect();
         let per_unit: Vec<Vec<synthattr_analysis::Diagnostic>> =
-            pool::parallel_map_workers(workers, (0..sources.len()).collect(), |i| {
+            pool::parallel_try_map_workers(workers, (0..sources.len()).collect(), |i| {
                 analyzer
                     .analyze_source(sources[i])
-                    .unwrap_or_else(|e| panic!("pipeline output must parse: {e}\n{}", sources[i]))
-            });
+                    .map_err(|e| PipelineError::Analysis {
+                        stage: "lint",
+                        source: e,
+                    })
+            })?;
         let mut diagnostics = DiagnosticStats::default();
         for diags in &per_unit {
             diagnostics.absorb(diags);
         }
 
-        YearPipeline {
+        Ok(YearPipeline {
             year,
             config: config.clone(),
             corpus,
@@ -307,7 +399,8 @@ impl YearPipeline {
             transformed,
             seed_author,
             diagnostics,
-        }
+            resilience,
+        })
     }
 
     /// Number of human authors.
@@ -360,19 +453,19 @@ impl YearPipeline {
 
 /// The year's dataset spec at the configured scale (paper-scale specs
 /// match [`YearSpec::paper`]).
-fn year_spec(year: u32, config: &ExperimentConfig) -> YearSpec {
+fn try_year_spec(year: u32, config: &ExperimentConfig) -> Result<YearSpec, PipelineError> {
     let all = ChallengeId::all();
     let offset = match year {
         2017 => 0,
         2018 => 3,
         2019 => 6,
-        other => panic!("paper years are 2017-2019, got {other}"),
+        other => return Err(PipelineError::UnsupportedYear(other)),
     };
-    YearSpec {
+    Ok(YearSpec {
         year,
         authors: config.scale.authors,
         challenges: all[offset..offset + config.scale.challenges].to_vec(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -472,6 +565,40 @@ mod tests {
         let b = smoke_pipeline();
         assert_eq!(a.all_labels(), b.all_labels());
         assert_eq!(a.seed_author, b.seed_author);
+    }
+
+    #[test]
+    fn try_build_rejects_out_of_range_years() {
+        let err = YearPipeline::try_build(2025, &ExperimentConfig::smoke()).unwrap_err();
+        assert_eq!(err, PipelineError::UnsupportedYear(2025));
+    }
+
+    #[test]
+    fn fault_free_config_reports_all_clean_resilience() {
+        let p = smoke_pipeline();
+        assert_eq!(p.resilience.calls as usize, p.transformed.len());
+        assert_eq!(p.resilience.clean, p.resilience.calls);
+        assert_eq!(p.resilience.retries, 0);
+        assert_eq!(p.resilience.fidelity(), 1.0);
+        assert!(p.transformed.iter().all(|t| t.outcome == Outcome::Clean));
+    }
+
+    #[test]
+    fn recoverable_faults_leave_the_pipeline_byte_identical() {
+        use synthattr_faults::FaultProfile;
+        let plain_cfg = ExperimentConfig::smoke();
+        let chaos_cfg = ExperimentConfig::smoke().with_faults(FaultProfile::recoverable(7, 0.20));
+        let plain = YearPipeline::build(2017, &plain_cfg);
+        let chaos = YearPipeline::build(2017, &chaos_cfg);
+
+        assert_eq!(plain.transformed.len(), chaos.transformed.len());
+        for (a, b) in plain.transformed.iter().zip(&chaos.transformed) {
+            assert_eq!(a.sample.source, b.sample.source);
+            assert_eq!(a.oracle_label, b.oracle_label);
+        }
+        assert!(chaos.resilience.recovered > 0, "{:?}", chaos.resilience);
+        assert_eq!(chaos.resilience.fidelity(), 1.0);
+        assert!(chaos.transformed.iter().all(|t| t.outcome.is_faithful()));
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! A deterministic circuit breaker.
+//!
+//! The classic Closed → Open → HalfOpen automaton, with one twist to
+//! keep the whole system replayable: the Open state cools down by
+//! **rejected call count**, not wall-clock time. A breaker that has
+//! rejected `cooldown_calls` calls transitions to HalfOpen and lets
+//! one probe through; a probe success closes the breaker, a probe
+//! failure re-opens it. Counting calls instead of seconds makes every
+//! breaker trajectory a pure function of the call/outcome sequence —
+//! the same property the fault plan has.
+
+/// Circuit breaker tuning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures in Closed state that trip the breaker.
+    pub failure_threshold: u32,
+    /// Calls rejected while Open before allowing a HalfOpen probe.
+    pub cooldown_calls: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 8,
+            cooldown_calls: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { rejections_left: u32 },
+    HalfOpen,
+}
+
+/// The breaker automaton. One instance guards one call stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: State,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: State::Closed {
+                consecutive_failures: 0,
+            },
+            trips: 0,
+        }
+    }
+
+    /// Asks to place a call. `Ok(())` admits it; `Err(n)` rejects it
+    /// (breaker open, `n` = failures that tripped it). Each rejection
+    /// counts toward the cooldown.
+    pub fn admit(&mut self) -> Result<(), u32> {
+        match self.state {
+            State::Closed { .. } | State::HalfOpen => Ok(()),
+            State::Open { rejections_left } => {
+                if rejections_left <= 1 {
+                    self.state = State::HalfOpen;
+                } else {
+                    self.state = State::Open {
+                        rejections_left: rejections_left - 1,
+                    };
+                }
+                Err(self.config.failure_threshold)
+            }
+        }
+    }
+
+    /// Reports that an admitted call succeeded.
+    pub fn record_success(&mut self) {
+        self.state = State::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// Reports that an admitted call failed (after its own retries).
+    pub fn record_failure(&mut self) {
+        match self.state {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                let fails = consecutive_failures + 1;
+                if fails >= self.config.failure_threshold {
+                    self.trip();
+                } else {
+                    self.state = State::Closed {
+                        consecutive_failures: fails,
+                    };
+                }
+            }
+            State::HalfOpen => self.trip(),
+            // A failure report while Open means the caller ignored a
+            // rejection; treat as another trip-worthy failure.
+            State::Open { .. } => self.trip(),
+        }
+    }
+
+    fn trip(&mut self) {
+        self.trips += 1;
+        self.state = State::Open {
+            rejections_left: self.config.cooldown_calls.max(1),
+        };
+    }
+
+    /// Whether the next [`CircuitBreaker::admit`] would reject.
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, State::Open { .. })
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_calls: 2,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = small();
+        for _ in 0..2 {
+            assert!(b.admit().is_ok());
+            b.record_failure();
+            assert!(!b.is_open());
+        }
+        assert!(b.admit().is_ok());
+        b.record_failure();
+        assert!(b.is_open(), "third consecutive failure trips");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = small();
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert!(!b.is_open(), "streak was reset, only 2 consecutive");
+    }
+
+    #[test]
+    fn cooldown_counts_rejections_then_probes() {
+        let mut b = small();
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert!(b.is_open());
+        // cooldown_calls = 2 rejections...
+        assert!(b.admit().is_err());
+        assert!(b.admit().is_err());
+        // ...then a HalfOpen probe is admitted.
+        assert!(b.admit().is_ok());
+        b.record_success();
+        assert!(!b.is_open(), "probe success closes the breaker");
+        assert!(b.admit().is_ok());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = small();
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert!(b.admit().is_err());
+        assert!(b.admit().is_err());
+        assert!(b.admit().is_ok(), "half-open probe");
+        b.record_failure();
+        assert!(b.is_open(), "failed probe re-trips");
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn trajectory_is_a_pure_function_of_the_event_sequence() {
+        // Determinism: replaying the same admit/success/failure script
+        // yields an identical automaton.
+        let script = [0u8, 1, 0, 1, 1, 1, 0, 0, 1, 1, 1, 1, 0, 1];
+        let run = |script: &[u8]| {
+            let mut b = small();
+            let mut log = Vec::new();
+            for &ev in script {
+                match ev {
+                    0 => log.push(b.admit().is_ok()),
+                    _ => {
+                        if b.admit().is_ok() {
+                            b.record_failure();
+                        }
+                        log.push(b.is_open());
+                    }
+                }
+            }
+            (b, log)
+        };
+        assert_eq!(run(&script), run(&script));
+    }
+}

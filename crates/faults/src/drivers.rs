@@ -1,0 +1,557 @@
+//! Resilient NCT/CT drivers: `synthattr_gpt::chain` under chaos.
+//!
+//! These mirror the fault-free drivers **draw for draw** — the style
+//! index comes off the caller's RNG before the service call, exactly
+//! as in `run_nct`/`run_ct` — so with a zero-rate plan (or a plan
+//! whose every fault recovers within policy) the output sample vector
+//! is byte-identical to the fault-free run. When recovery fails the
+//! drivers degrade instead of erroring:
+//!
+//! * **NCT** steps are independent, so a lost step is *resampled* on a
+//!   fresh derived RNG stream (a different but equally valid transform
+//!   of the same seed); if every resample also fails, the seed code
+//!   stands in and the step is [`Outcome::Failed`].
+//! * **CT** steps feed forward, so a lost step *holds* the chain's
+//!   last good source ([`Fallback::HeldStep`]) and the chain continues
+//!   from there; a breaker-rejected step is [`Outcome::Failed`].
+//!
+//! Either way the run completes with `n` samples and a full
+//! [`ResilienceStats`] accounting — the pipeline never panics because
+//! the simulated service had a bad day.
+
+use crate::breaker::CircuitBreaker;
+use crate::outcome::{Fallback, Outcome, ResilienceStats};
+use crate::plan::CallScope;
+use crate::retry::RetryBudget;
+use crate::service::{CallTrace, FaultyTransformer};
+use synthattr_gen::corpus::Origin;
+use synthattr_gpt::{GptError, TransformMode, TransformedSample};
+use synthattr_util::Pcg64;
+
+/// Mutable per-stream state: one retry budget and one breaker guard a
+/// whole NCT/CT call stream (DESIGN.md §9 explains why resilience
+/// state is sharded per stream rather than shared across workers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamCx {
+    /// Retries this stream may still spend.
+    pub budget: RetryBudget,
+    /// The stream's circuit breaker.
+    pub breaker: CircuitBreaker,
+    /// NCT resample attempts per degraded step.
+    pub resamples: u32,
+}
+
+impl StreamCx {
+    /// A forgiving context: unlimited budget, default breaker, three
+    /// resamples.
+    pub fn lenient() -> Self {
+        StreamCx {
+            budget: RetryBudget::unlimited(),
+            breaker: CircuitBreaker::default(),
+            resamples: 3,
+        }
+    }
+}
+
+/// A completed resilient run: `n` samples, one outcome per sample,
+/// and the stream's aggregated stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientRun {
+    /// The transformed samples, in step order. Always `n` long.
+    pub samples: Vec<TransformedSample>,
+    /// `outcomes[i]` describes how `samples[i]` survived the chaos.
+    pub outcomes: Vec<Outcome>,
+    /// Aggregated accounting for the stream.
+    pub stats: ResilienceStats,
+}
+
+fn absorb(stats: &mut ResilienceStats, trace: &CallTrace) {
+    stats.record_trace(trace.attempts, trace.backoff_ms);
+    for tag in &trace.fault_tags {
+        stats.record_fault(tag);
+    }
+}
+
+/// Runs non-chaining transformation under fault injection.
+///
+/// # Errors
+///
+/// Only [`GptError::Parse`] — `seed_code` outside the subset. Service
+/// faults never surface as errors; they degrade.
+#[allow(clippy::too_many_arguments)]
+pub fn run_nct_resilient(
+    svc: &FaultyTransformer<'_>,
+    seed_code: &str,
+    n: usize,
+    seed_origin: Origin,
+    rng: &mut Pcg64,
+    anchor: &str,
+    cx: &mut StreamCx,
+) -> Result<ResilientRun, GptError> {
+    let pool = svc.pool();
+    let year = pool.year;
+    let mut samples = Vec::with_capacity(n);
+    let mut outcomes = Vec::with_capacity(n);
+    let mut stats = ResilienceStats::default();
+    let trips_before = cx.breaker.trips();
+    for step in 1..=n {
+        let pool_index = pool.sample_index(rng);
+        let scope = CallScope { year, anchor, step };
+        let mut trace = CallTrace::default();
+        let outcome = match svc.transform(
+            seed_code,
+            pool_index,
+            rng,
+            &scope,
+            &mut cx.budget,
+            &mut cx.breaker,
+            &mut trace,
+        ) {
+            Ok(source) => {
+                absorb(&mut stats, &trace);
+                samples.push(sample(source, step, TransformMode::NonChaining, seed_origin, pool_index));
+                if trace.attempts > 1 {
+                    Outcome::Recovered {
+                        attempts: trace.attempts,
+                    }
+                } else {
+                    Outcome::Clean
+                }
+            }
+            Err(GptError::Parse(e)) => return Err(GptError::Parse(e)),
+            Err(err) => {
+                absorb(&mut stats, &trace);
+                if matches!(err, GptError::CircuitOpen { .. }) {
+                    stats.record_fault("circuit-open");
+                }
+                // NCT degradation: the step is independent of its
+                // siblings, so re-draw it on a fresh derived stream.
+                // Each resample has its own anchor, hence its own
+                // fault coordinates — a deterministic "new request".
+                let mut rescued = None;
+                for k in 1..=cx.resamples {
+                    let re_anchor = format!("{anchor}/resample{k}");
+                    let re_scope = CallScope {
+                        year,
+                        anchor: &re_anchor,
+                        step,
+                    };
+                    let mut re_rng = Pcg64::seed_from(
+                        svc.plan().seed,
+                        &[
+                            "nct-resample",
+                            &year.to_string(),
+                            anchor,
+                            &step.to_string(),
+                            &k.to_string(),
+                        ],
+                    );
+                    let mut re_trace = CallTrace::default();
+                    match svc.transform(
+                        seed_code,
+                        pool_index,
+                        &mut re_rng,
+                        &re_scope,
+                        &mut cx.budget,
+                        &mut cx.breaker,
+                        &mut re_trace,
+                    ) {
+                        Ok(source) => {
+                            absorb(&mut stats, &re_trace);
+                            rescued = Some((source, k));
+                            break;
+                        }
+                        Err(GptError::Parse(e)) => return Err(GptError::Parse(e)),
+                        Err(re_err) => {
+                            absorb(&mut stats, &re_trace);
+                            if matches!(re_err, GptError::CircuitOpen { .. }) {
+                                stats.record_fault("circuit-open");
+                            }
+                        }
+                    }
+                }
+                match rescued {
+                    Some((source, k)) => {
+                        samples.push(sample(
+                            source,
+                            step,
+                            TransformMode::NonChaining,
+                            seed_origin,
+                            pool_index,
+                        ));
+                        Outcome::Degraded {
+                            fallback: Fallback::Resampled { resamples: k },
+                        }
+                    }
+                    None => {
+                        samples.push(sample(
+                            seed_code.to_string(),
+                            step,
+                            TransformMode::NonChaining,
+                            seed_origin,
+                            pool_index,
+                        ));
+                        Outcome::Failed
+                    }
+                }
+            }
+        };
+        stats.record(outcome);
+        outcomes.push(outcome);
+    }
+    stats.breaker_trips = cx.breaker.trips() - trips_before;
+    Ok(ResilientRun {
+        samples,
+        outcomes,
+        stats,
+    })
+}
+
+/// Runs chaining transformation under fault injection.
+///
+/// # Errors
+///
+/// Only [`GptError::Parse`] — `seed_code` outside the subset.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ct_resilient(
+    svc: &FaultyTransformer<'_>,
+    seed_code: &str,
+    n: usize,
+    seed_origin: Origin,
+    rng: &mut Pcg64,
+    anchor: &str,
+    cx: &mut StreamCx,
+) -> Result<ResilientRun, GptError> {
+    let pool = svc.pool();
+    let year = pool.year;
+    let mut samples = Vec::with_capacity(n);
+    let mut outcomes = Vec::with_capacity(n);
+    let mut stats = ResilienceStats::default();
+    let trips_before = cx.breaker.trips();
+    let mut current = seed_code.to_string();
+    let mut style_idx = pool.sample_index(rng);
+    for step in 1..=n {
+        if step > 1 && !rng.next_bool(pool.ct_stickiness) {
+            style_idx = pool.sample_index(rng);
+        }
+        let scope = CallScope { year, anchor, step };
+        let mut trace = CallTrace::default();
+        let outcome = match svc.transform(
+            &current,
+            style_idx,
+            rng,
+            &scope,
+            &mut cx.budget,
+            &mut cx.breaker,
+            &mut trace,
+        ) {
+            Ok(source) => {
+                absorb(&mut stats, &trace);
+                current = source.clone();
+                samples.push(sample(source, step, TransformMode::Chaining, seed_origin, style_idx));
+                if trace.attempts > 1 {
+                    Outcome::Recovered {
+                        attempts: trace.attempts,
+                    }
+                } else {
+                    Outcome::Clean
+                }
+            }
+            Err(GptError::Parse(e)) => return Err(GptError::Parse(e)),
+            Err(err) => {
+                absorb(&mut stats, &trace);
+                // CT degradation: a chain cannot resample a mid-chain
+                // step without rewriting history, so the chain *holds*
+                // — the sample repeats the last good source and the
+                // next step transforms from it.
+                samples.push(sample(
+                    current.clone(),
+                    step,
+                    TransformMode::Chaining,
+                    seed_origin,
+                    style_idx,
+                ));
+                if matches!(err, GptError::CircuitOpen { .. }) {
+                    stats.record_fault("circuit-open");
+                    Outcome::Failed
+                } else {
+                    Outcome::Degraded {
+                        fallback: Fallback::HeldStep,
+                    }
+                }
+            }
+        };
+        stats.record(outcome);
+        outcomes.push(outcome);
+    }
+    stats.breaker_trips = cx.breaker.trips() - trips_before;
+    Ok(ResilientRun {
+        samples,
+        outcomes,
+        stats,
+    })
+}
+
+fn sample(
+    source: String,
+    step: usize,
+    mode: TransformMode,
+    seed_origin: Origin,
+    pool_index: usize,
+) -> TransformedSample {
+    TransformedSample {
+        source,
+        step,
+        mode,
+        seed_origin,
+        pool_index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerConfig;
+    use crate::plan::FaultPlan;
+    use crate::retry::RetryPolicy;
+    use synthattr_gen::challenges::ChallengeId;
+    use synthattr_gen::corpus::solution_in_style;
+    use synthattr_gen::style::AuthorStyle;
+    use synthattr_gpt::{try_run_ct, try_run_nct, Transformer, YearPool};
+
+    fn seed_code(seed: u64) -> String {
+        let mut rng = Pcg64::new(seed);
+        let style = AuthorStyle::sample(&mut rng);
+        solution_in_style(ChallengeId::SumSeries, &style, seed, &["drv-seed"])
+    }
+
+    fn lenient_svc(pool: &YearPool, fault_seed: u64, rate: f64) -> FaultyTransformer<'_> {
+        FaultyTransformer::new(
+            pool,
+            FaultPlan::new(fault_seed, rate),
+            RetryPolicy {
+                max_attempts: 12,
+                ..RetryPolicy::default()
+            },
+        )
+    }
+
+    fn lenient_cx() -> StreamCx {
+        StreamCx {
+            budget: RetryBudget::unlimited(),
+            breaker: CircuitBreaker::new(BreakerConfig {
+                failure_threshold: 64,
+                cooldown_calls: 16,
+            }),
+            resamples: 3,
+        }
+    }
+
+    #[test]
+    fn zero_rate_matches_fault_free_drivers_exactly() {
+        let pool = YearPool::calibrated(2018, 1);
+        let bare = Transformer::new(&pool);
+        let svc = lenient_svc(&pool, 99, 0.0);
+        let seed = seed_code(1);
+
+        let plain = try_run_nct(&bare, &seed, 10, Origin::ChatGpt, &mut Pcg64::new(4)).unwrap();
+        let run = run_nct_resilient(
+            &svc,
+            &seed,
+            10,
+            Origin::ChatGpt,
+            &mut Pcg64::new(4),
+            "a",
+            &mut lenient_cx(),
+        )
+        .unwrap();
+        assert_eq!(run.samples, plain);
+        assert!(run.outcomes.iter().all(|o| *o == Outcome::Clean));
+        assert_eq!(run.stats.clean, 10);
+        assert_eq!(run.stats.retries, 0);
+
+        let plain = try_run_ct(&bare, &seed, 10, Origin::Human, &mut Pcg64::new(5)).unwrap();
+        let run = run_ct_resilient(
+            &svc,
+            &seed,
+            10,
+            Origin::Human,
+            &mut Pcg64::new(5),
+            "a",
+            &mut lenient_cx(),
+        )
+        .unwrap();
+        assert_eq!(run.samples, plain);
+        assert_eq!(run.stats.fidelity(), 1.0);
+    }
+
+    #[test]
+    fn recoverable_faults_are_byte_invisible() {
+        // 20% fault rate, generous retries: every step must recover
+        // and the sample vectors must be *identical* to fault-free.
+        let pool = YearPool::calibrated(2019, 2);
+        let bare = Transformer::new(&pool);
+        let svc = lenient_svc(&pool, 7, 0.2);
+        let seed = seed_code(2);
+
+        let plain = try_run_nct(&bare, &seed, 15, Origin::ChatGpt, &mut Pcg64::new(8)).unwrap();
+        let run = run_nct_resilient(
+            &svc,
+            &seed,
+            15,
+            Origin::ChatGpt,
+            &mut Pcg64::new(8),
+            "b",
+            &mut lenient_cx(),
+        )
+        .unwrap();
+        assert_eq!(run.samples, plain, "recovered NCT must be byte-identical");
+        assert!(run.outcomes.iter().all(|o| o.is_faithful()));
+        assert!(run.stats.recovered > 0, "20% rate must hit something");
+        assert!(run.stats.backoff_ms > 0);
+
+        let plain = try_run_ct(&bare, &seed, 15, Origin::ChatGpt, &mut Pcg64::new(9)).unwrap();
+        let run = run_ct_resilient(
+            &svc,
+            &seed,
+            15,
+            Origin::ChatGpt,
+            &mut Pcg64::new(9),
+            "b",
+            &mut lenient_cx(),
+        )
+        .unwrap();
+        assert_eq!(run.samples, plain, "recovered CT must be byte-identical");
+        assert!(run.outcomes.iter().all(|o| o.is_faithful()));
+    }
+
+    #[test]
+    fn nct_degrades_by_resampling_and_completes() {
+        // Harsh service: no retries, so ~35% of calls fail outright
+        // and must be rescued by resampling.
+        let pool = YearPool::calibrated(2018, 3);
+        let svc = FaultyTransformer::new(
+            &pool,
+            FaultPlan::new(21, 0.35),
+            RetryPolicy::no_retries(),
+        );
+        let seed = seed_code(3);
+        let mut cx = StreamCx {
+            budget: RetryBudget::unlimited(),
+            breaker: CircuitBreaker::new(BreakerConfig {
+                failure_threshold: 1_000,
+                cooldown_calls: 4,
+            }),
+            resamples: 3,
+        };
+        let run = run_nct_resilient(
+            &svc,
+            &seed,
+            40,
+            Origin::ChatGpt,
+            &mut Pcg64::new(10),
+            "c",
+            &mut cx,
+        )
+        .unwrap();
+        assert_eq!(run.samples.len(), 40, "degraded runs still complete");
+        let resampled = run
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Degraded { fallback: Fallback::Resampled { .. } }))
+            .count();
+        assert!(resampled > 0, "expected resampled steps: {:?}", run.stats);
+        // Resampled steps still carry valid, parseable transforms.
+        for (s, o) in run.samples.iter().zip(&run.outcomes) {
+            if !matches!(o, Outcome::Failed) {
+                synthattr_lang::parse(&s.source)
+                    .unwrap_or_else(|e| panic!("step {}: {e}", s.step));
+            }
+        }
+        assert_eq!(
+            run.stats.clean + run.stats.recovered + run.stats.degraded + run.stats.failed,
+            40
+        );
+    }
+
+    #[test]
+    fn ct_holds_last_good_step_under_total_outage() {
+        // Rate 1.0 with no retries: every call fails, the chain never
+        // advances, and every sample is the seed itself.
+        let pool = YearPool::calibrated(2017, 1);
+        let svc = FaultyTransformer::new(
+            &pool,
+            FaultPlan::new(33, 1.0),
+            RetryPolicy::no_retries(),
+        );
+        let seed = seed_code(4);
+        let mut cx = StreamCx {
+            budget: RetryBudget::new(5),
+            breaker: CircuitBreaker::new(BreakerConfig {
+                failure_threshold: 4,
+                cooldown_calls: 3,
+            }),
+            resamples: 0,
+        };
+        let run = run_ct_resilient(
+            &svc,
+            &seed,
+            20,
+            Origin::Human,
+            &mut Pcg64::new(11),
+            "d",
+            &mut cx,
+        )
+        .unwrap();
+        assert_eq!(run.samples.len(), 20);
+        assert!(run.samples.iter().all(|s| s.source == seed));
+        assert!(run
+            .outcomes
+            .iter()
+            .all(|o| matches!(o, Outcome::Degraded { fallback: Fallback::HeldStep } | Outcome::Failed)));
+        assert!(
+            run.outcomes.iter().any(|o| matches!(o, Outcome::Failed)),
+            "the tripped breaker must reject some calls outright: {:?}",
+            run.stats
+        );
+        assert!(run.stats.breaker_trips > 0);
+        assert_eq!(run.stats.fidelity(), 0.0);
+    }
+
+    #[test]
+    fn resilient_runs_are_deterministic() {
+        let pool = YearPool::calibrated(2019, 5);
+        let svc = lenient_svc(&pool, 17, 0.3);
+        let seed = seed_code(5);
+        let go = || {
+            run_nct_resilient(
+                &svc,
+                &seed,
+                12,
+                Origin::ChatGpt,
+                &mut Pcg64::new(14),
+                "e",
+                &mut lenient_cx(),
+            )
+            .unwrap()
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn bad_seed_is_still_a_typed_error() {
+        let pool = YearPool::calibrated(2018, 1);
+        let svc = lenient_svc(&pool, 1, 0.1);
+        let err = run_nct_resilient(
+            &svc,
+            "int main( {",
+            3,
+            Origin::ChatGpt,
+            &mut Pcg64::new(1),
+            "f",
+            &mut lenient_cx(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GptError::Parse(_)));
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-sample resilience outcomes and the aggregated run statistics.
+//!
+//! Every transformed sample produced under fault injection carries an
+//! [`Outcome`] describing how it survived the chaos, and every
+//! resilient run folds those into one [`ResilienceStats`]. The
+//! headline invariant lives in the outcome taxonomy: a
+//! [`Outcome::Clean`] or [`Outcome::Recovered`] sample is
+//! **byte-identical** to the sample the fault-free pipeline would have
+//! produced; only [`Outcome::Degraded`] and [`Outcome::Failed`]
+//! samples diverge, and the stats account for exactly how many did.
+
+use std::collections::BTreeMap;
+
+/// How a degraded sample was backfilled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fallback {
+    /// CT only: the chain held its last good step — the sample repeats
+    /// the previous step's source and the chain continues from there.
+    HeldStep,
+    /// NCT only: the step was re-drawn from a fresh derived RNG stream
+    /// (a different but equally valid transform of the same seed).
+    Resampled {
+        /// Which resample attempt succeeded (1-based).
+        resamples: u32,
+    },
+    /// The untransformed seed code was used verbatim.
+    SeedCode,
+}
+
+impl Fallback {
+    /// Short lowercase tag for stats keys.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Fallback::HeldStep => "held-step",
+            Fallback::Resampled { .. } => "resampled",
+            Fallback::SeedCode => "seed-code",
+        }
+    }
+}
+
+/// What happened to one logical transform call under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// No fault fired; the sample is exactly the fault-free sample.
+    Clean,
+    /// Faults fired but retries recovered within policy and budget;
+    /// the sample is **still** exactly the fault-free sample.
+    Recovered {
+        /// Total attempts performed, including the first (so `>= 2`).
+        attempts: u32,
+    },
+    /// Recovery failed but a fallback kept the pipeline moving; the
+    /// sample differs from the fault-free run.
+    Degraded {
+        /// The fallback that produced the sample.
+        fallback: Fallback,
+    },
+    /// Recovery *and* every fallback failed (or the breaker rejected
+    /// the call outright); the stream's stand-in of last resort — the
+    /// seed code for NCT, the last good step for CT — fills the slot
+    /// and the loss is accounted here.
+    Failed,
+}
+
+impl Outcome {
+    /// Whether the sample is byte-identical to the fault-free run's.
+    pub fn is_faithful(self) -> bool {
+        matches!(self, Outcome::Clean | Outcome::Recovered { .. })
+    }
+
+    /// Short lowercase tag for stats keys.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Outcome::Clean => "clean",
+            Outcome::Recovered { .. } => "recovered",
+            Outcome::Degraded { .. } => "degraded",
+            Outcome::Failed => "failed",
+        }
+    }
+}
+
+/// Aggregated resilience accounting for a run (one NCT/CT stream, one
+/// pipeline, or a whole experiment — stats merge associatively).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Logical steps that produced a sample (one outcome each).
+    pub calls: u64,
+    /// Samples with [`Outcome::Clean`].
+    pub clean: u64,
+    /// Samples with [`Outcome::Recovered`].
+    pub recovered: u64,
+    /// Samples with [`Outcome::Degraded`].
+    pub degraded: u64,
+    /// Samples with [`Outcome::Failed`].
+    pub failed: u64,
+    /// Retry attempts performed beyond each service call's first
+    /// attempt (including failed calls and NCT resample calls).
+    pub retries: u64,
+    /// Total simulated backoff slept across all retries, in ms.
+    pub backoff_ms: u64,
+    /// Times a circuit breaker transitioned Closed/HalfOpen -> Open.
+    pub breaker_trips: u64,
+    /// Count of injected-fault attempts by error tag ("timeout",
+    /// "unparseable", ...). BTreeMap so iteration order — and thus any
+    /// rendering of the stats — is deterministic.
+    pub faults_by_tag: BTreeMap<&'static str, u64>,
+}
+
+impl ResilienceStats {
+    /// Folds one sample outcome into the totals.
+    pub fn record(&mut self, outcome: Outcome) {
+        self.calls += 1;
+        match outcome {
+            Outcome::Clean => self.clean += 1,
+            Outcome::Recovered { .. } => self.recovered += 1,
+            Outcome::Degraded { .. } => self.degraded += 1,
+            Outcome::Failed => self.failed += 1,
+        }
+    }
+
+    /// Accounts the retry cost of one service call (successful or
+    /// not): attempts beyond the first and the simulated backoff.
+    pub fn record_trace(&mut self, attempts: u32, backoff_ms: u64) {
+        self.retries += u64::from(attempts.saturating_sub(1));
+        self.backoff_ms += backoff_ms;
+    }
+
+    /// Counts one failed attempt with the given error tag.
+    pub fn record_fault(&mut self, tag: &'static str) {
+        *self.faults_by_tag.entry(tag).or_insert(0) += 1;
+    }
+
+    /// Merges another stats block into this one (associative and
+    /// commutative, so per-stream stats fold in any order to the same
+    /// pipeline total).
+    pub fn merge(&mut self, other: &ResilienceStats) {
+        self.calls += other.calls;
+        self.clean += other.clean;
+        self.recovered += other.recovered;
+        self.degraded += other.degraded;
+        self.failed += other.failed;
+        self.retries += other.retries;
+        self.backoff_ms += other.backoff_ms;
+        self.breaker_trips += other.breaker_trips;
+        for (tag, n) in &other.faults_by_tag {
+            *self.faults_by_tag.entry(tag).or_insert(0) += n;
+        }
+    }
+
+    /// Fraction of samples that are byte-identical to the fault-free
+    /// run (`clean + recovered` over `calls`); 1.0 for an empty run.
+    pub fn fidelity(&self) -> f64 {
+        if self.calls == 0 {
+            return 1.0;
+        }
+        (self.clean + self.recovered) as f64 / self.calls as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_outcomes() {
+        let mut s = ResilienceStats::default();
+        s.record(Outcome::Clean);
+        s.record(Outcome::Recovered { attempts: 3 });
+        s.record(Outcome::Degraded {
+            fallback: Fallback::HeldStep,
+        });
+        s.record(Outcome::Failed);
+        s.record_trace(3, 700);
+        assert_eq!(s.calls, 4);
+        assert_eq!((s.clean, s.recovered, s.degraded, s.failed), (1, 1, 1, 1));
+        assert_eq!(s.retries, 2, "3 attempts = 2 retries");
+        assert_eq!(s.backoff_ms, 700);
+        assert!((s.fidelity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = ResilienceStats::default();
+        a.record(Outcome::Clean);
+        a.record_fault("timeout");
+        let mut b = ResilienceStats::default();
+        b.record(Outcome::Failed);
+        b.record_fault("timeout");
+        b.record_fault("unparseable");
+        b.breaker_trips = 2;
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.faults_by_tag["timeout"], 2);
+        assert_eq!(ab.breaker_trips, 2);
+    }
+
+    #[test]
+    fn faithfulness_matches_taxonomy() {
+        assert!(Outcome::Clean.is_faithful());
+        assert!(Outcome::Recovered { attempts: 2 }.is_faithful());
+        assert!(!Outcome::Degraded {
+            fallback: Fallback::Resampled { resamples: 1 }
+        }
+        .is_faithful());
+        assert!(!Outcome::Failed.is_faithful());
+    }
+
+    #[test]
+    fn empty_run_has_unit_fidelity() {
+        assert_eq!(ResilienceStats::default().fidelity(), 1.0);
+    }
+}

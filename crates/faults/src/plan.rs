@@ -1,0 +1,295 @@
+//! The deterministic fault plan.
+//!
+//! A [`FaultPlan`] decides, for every `(scope, attempt)` pair, whether
+//! a fault fires and which kind — by hashing the coordinates into a
+//! dedicated [`Pcg64`] stream that is **independent of the transform
+//! RNG**. Two consequences, both load-bearing:
+//!
+//! 1. **Replayability.** A failure observed anywhere reproduces from
+//!    `(plan seed, year, anchor, step, attempt)` alone — no global
+//!    call counter, no shared mutable state, no dependence on worker
+//!    scheduling.
+//! 2. **Non-interference.** Injecting or removing faults never
+//!    perturbs the transform randomness, which is what makes the
+//!    recovered-run ≡ fault-free-run byte-identity provable rather
+//!    than statistical.
+
+use synthattr_util::Pcg64;
+
+/// The kinds of fault the simulated service can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Call-level: the request exceeds its deadline. No response body.
+    Timeout,
+    /// Call-level: HTTP 429 load shedding. No response body.
+    RateLimit,
+    /// Call-level: transient 5xx / dropped connection. No response
+    /// body.
+    Transient,
+    /// Response-level: the transform ran but its output is cut off
+    /// mid-token (the classic max-tokens truncation).
+    Truncated,
+    /// Response-level: the transform ran but the output's behaviour
+    /// was silently altered (the response validator must catch it).
+    Corrupted,
+}
+
+impl FaultKind {
+    /// Call-level faults abort before any response body exists;
+    /// response-level faults sabotage an otherwise complete response.
+    pub fn is_call_level(self) -> bool {
+        matches!(
+            self,
+            FaultKind::Timeout | FaultKind::RateLimit | FaultKind::Transient
+        )
+    }
+
+    /// Short lowercase tag for stats keys.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultKind::Timeout => "timeout",
+            FaultKind::RateLimit => "rate-limit",
+            FaultKind::Transient => "transient",
+            FaultKind::Truncated => "truncated",
+            FaultKind::Corrupted => "corrupted",
+        }
+    }
+}
+
+/// Relative mix of fault kinds, used as weights for a weighted draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultWeights {
+    /// Weight of [`FaultKind::Timeout`].
+    pub timeout: f64,
+    /// Weight of [`FaultKind::RateLimit`].
+    pub rate_limit: f64,
+    /// Weight of [`FaultKind::Transient`].
+    pub transient: f64,
+    /// Weight of [`FaultKind::Truncated`].
+    pub truncated: f64,
+    /// Weight of [`FaultKind::Corrupted`].
+    pub corrupted: f64,
+}
+
+impl Default for FaultWeights {
+    /// A production-shaped mix: transport flakiness dominates,
+    /// truncation is common, silent corruption is rare.
+    fn default() -> Self {
+        FaultWeights {
+            timeout: 3.0,
+            rate_limit: 2.0,
+            transient: 2.0,
+            truncated: 2.0,
+            corrupted: 1.0,
+        }
+    }
+}
+
+impl FaultWeights {
+    /// Only call-level (trivially retryable) faults.
+    pub fn call_level_only() -> Self {
+        FaultWeights {
+            timeout: 1.0,
+            rate_limit: 1.0,
+            transient: 1.0,
+            truncated: 0.0,
+            corrupted: 0.0,
+        }
+    }
+
+    fn as_array(&self) -> [f64; 5] {
+        [
+            self.timeout,
+            self.rate_limit,
+            self.transient,
+            self.truncated,
+            self.corrupted,
+        ]
+    }
+}
+
+const KINDS: [FaultKind; 5] = [
+    FaultKind::Timeout,
+    FaultKind::RateLimit,
+    FaultKind::Transient,
+    FaultKind::Truncated,
+    FaultKind::Corrupted,
+];
+
+/// The deterministic coordinates of one logical service call.
+///
+/// `anchor` names the call stream (e.g. `"2018/ch3/+C"`), `step` the
+/// position within it. Together with the plan seed and the attempt
+/// number they fully determine the fault decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallScope<'a> {
+    /// Experiment year (keys the per-year calibration).
+    pub year: u32,
+    /// Stable name of the call stream this call belongs to.
+    pub anchor: &'a str,
+    /// 1-based step index within the stream.
+    pub step: usize,
+}
+
+impl CallScope<'_> {
+    /// Derives the decision stream for one attempt of this call.
+    pub fn stream(&self, seed: u64, label: &str, attempt: u32) -> Pcg64 {
+        Pcg64::seed_from(
+            seed,
+            &[
+                label,
+                &self.year.to_string(),
+                self.anchor,
+                &self.step.to_string(),
+                &attempt.to_string(),
+            ],
+        )
+    }
+}
+
+/// A fault that fired, plus the tail of its decision stream for
+/// drawing fault parameters (timeout duration, cut point, ...).
+#[derive(Debug, Clone)]
+pub struct InjectedFault {
+    /// Which fault fired.
+    pub kind: FaultKind,
+    /// Parameter stream — continue drawing from here so parameters
+    /// replay with the decision.
+    pub params: Pcg64,
+}
+
+/// A seeded, rate-controlled fault injection plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Root seed of the fault universe (independent of the experiment
+    /// seed, so the same experiment can replay under many plans).
+    pub seed: u64,
+    /// Per-attempt probability that a fault fires, in `[0, 1]`.
+    pub rate: f64,
+    /// Mix of fault kinds.
+    pub weights: FaultWeights,
+}
+
+impl FaultPlan {
+    /// A plan with the default production-shaped fault mix.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "fault rate must be a probability, got {rate}"
+        );
+        FaultPlan {
+            seed,
+            rate,
+            weights: FaultWeights::default(),
+        }
+    }
+
+    /// The zero-rate plan: never injects anything.
+    pub fn none() -> Self {
+        FaultPlan::new(0, 0.0)
+    }
+
+    /// Decides whether a fault fires for `attempt` of the call at
+    /// `scope`. Pure: same inputs, same decision, forever.
+    pub fn draw(&self, scope: &CallScope<'_>, attempt: u32) -> Option<InjectedFault> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let mut rng = scope.stream(self.seed, "fault", attempt);
+        if !rng.next_bool(self.rate) {
+            return None;
+        }
+        let kind = KINDS[rng.choose_weighted(&self.weights.as_array())];
+        Some(InjectedFault { kind, params: rng })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCOPE: CallScope<'static> = CallScope {
+        year: 2018,
+        anchor: "ch3/+C",
+        step: 7,
+    };
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let plan = FaultPlan::none();
+        for step in 1..200 {
+            let scope = CallScope { step, ..SCOPE };
+            assert!(plan.draw(&scope, 1).is_none());
+        }
+    }
+
+    #[test]
+    fn full_rate_always_fires() {
+        let plan = FaultPlan::new(9, 1.0);
+        for attempt in 1..50 {
+            assert!(plan.draw(&SCOPE, attempt).is_some());
+        }
+    }
+
+    #[test]
+    fn draws_are_reproducible_and_scope_sensitive() {
+        let plan = FaultPlan::new(42, 0.5);
+        let a = plan.draw(&SCOPE, 1).map(|f| f.kind);
+        let b = plan.draw(&SCOPE, 1).map(|f| f.kind);
+        assert_eq!(a, b, "same coordinates, same decision");
+
+        // Different coordinates give independent decisions: over many
+        // steps the firing pattern must not be constant.
+        let fired: Vec<bool> = (1..=64)
+            .map(|step| {
+                let scope = CallScope { step, ..SCOPE };
+                plan.draw(&scope, 1).is_some()
+            })
+            .collect();
+        assert!(fired.iter().any(|&f| f) && fired.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn attempts_are_independent_draws() {
+        // At rate 0.5 some attempt of the same call must eventually be
+        // fault-free — that's what makes retries effective.
+        let plan = FaultPlan::new(7, 0.5);
+        let outcomes: Vec<bool> = (1..=32).map(|a| plan.draw(&SCOPE, a).is_some()).collect();
+        assert!(outcomes.iter().any(|&f| f) && outcomes.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let plan = FaultPlan::new(3, 0.2);
+        let n = 4000;
+        let fired = (1..=n)
+            .filter(|&step| {
+                let scope = CallScope {
+                    step,
+                    year: 2017,
+                    anchor: "rate-check",
+                };
+                plan.draw(&scope, 1).is_some()
+            })
+            .count();
+        let observed = fired as f64 / n as f64;
+        assert!(
+            (observed - 0.2).abs() < 0.03,
+            "observed {observed}, want ~0.2"
+        );
+    }
+
+    #[test]
+    fn weighted_mix_respects_zero_weights() {
+        let plan = FaultPlan {
+            seed: 5,
+            rate: 1.0,
+            weights: FaultWeights::call_level_only(),
+        };
+        for step in 1..200 {
+            let scope = CallScope { step, ..SCOPE };
+            let f = plan.draw(&scope, 1).expect("rate 1.0");
+            assert!(f.kind.is_call_level(), "got {:?}", f.kind);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! [`FaultProfile`]: the one-struct configuration surface the core
+//! pipeline carries in `ExperimentConfig.faults`.
+//!
+//! A profile bundles the fault plan, retry policy, breaker tuning,
+//! pipeline retry budget and resample allowance, and knows how to
+//! shard itself into deterministic per-stream contexts: the pipeline
+//! runs one call stream per (challenge × setting) and each stream
+//! gets its own [`StreamCx`] with an equal slice of the budget —
+//! shared mutable state across worker threads would make the outcome
+//! depend on scheduling, which this workspace never allows.
+
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::drivers::StreamCx;
+use crate::plan::{FaultPlan, FaultWeights};
+use crate::retry::{RetryBudget, RetryPolicy};
+
+/// Everything the pipeline needs to run under fault injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Seed of the fault universe (independent of the experiment
+    /// seed: the same experiment replays under many fault plans).
+    pub seed: u64,
+    /// Per-attempt fault probability.
+    pub rate: f64,
+    /// Fault-kind mix.
+    pub weights: FaultWeights,
+    /// Retry/backoff policy for every call.
+    pub policy: RetryPolicy,
+    /// Breaker tuning for every stream.
+    pub breaker: BreakerConfig,
+    /// Total retries the whole pipeline may spend, split evenly
+    /// across streams. `u64::MAX` means unlimited.
+    pub retry_budget: u64,
+    /// NCT resample attempts per degraded step.
+    pub resamples: u32,
+}
+
+impl FaultProfile {
+    /// A profile tuned so that, at realistic rates (≤ ~25%), every
+    /// fault recovers within policy: generous attempts, an effectively
+    /// untrippable breaker, unlimited budget. Under this profile the
+    /// pipeline's outputs are byte-identical to the fault-free run —
+    /// the chaos suite's headline invariant.
+    pub fn recoverable(seed: u64, rate: f64) -> Self {
+        FaultProfile {
+            seed,
+            rate,
+            weights: FaultWeights::default(),
+            policy: RetryPolicy {
+                max_attempts: 12,
+                base_delay_ms: 50,
+                multiplier: 2.0,
+                max_delay_ms: 2_000,
+                jitter: 0.25,
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 64,
+                cooldown_calls: 16,
+            },
+            retry_budget: u64::MAX,
+            resamples: 3,
+        }
+    }
+
+    /// A hostile profile guaranteed to exceed recovery capacity: high
+    /// rate, almost no retries, a hair-trigger breaker and a tiny
+    /// budget. Exercises every degradation path.
+    pub fn brutal(seed: u64) -> Self {
+        FaultProfile {
+            seed,
+            rate: 0.45,
+            weights: FaultWeights::default(),
+            policy: RetryPolicy {
+                max_attempts: 2,
+                base_delay_ms: 50,
+                multiplier: 2.0,
+                max_delay_ms: 500,
+                jitter: 0.25,
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 4,
+                cooldown_calls: 8,
+            },
+            retry_budget: 64,
+            resamples: 2,
+        }
+    }
+
+    /// The fault plan this profile injects.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            rate: self.rate,
+            weights: self.weights.clone(),
+        }
+    }
+
+    /// A fresh per-stream context, with the pipeline budget split
+    /// evenly over `n_streams` streams (each stream's slice is fixed
+    /// up front, so the outcome cannot depend on which worker thread
+    /// drains which stream first).
+    pub fn stream_cx(&self, n_streams: usize) -> StreamCx {
+        let budget = if self.retry_budget == u64::MAX {
+            RetryBudget::unlimited()
+        } else {
+            RetryBudget::new(self.retry_budget / n_streams.max(1) as u64)
+        };
+        StreamCx {
+            budget,
+            breaker: CircuitBreaker::new(self.breaker.clone()),
+            resamples: self.resamples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recoverable_profile_is_generous() {
+        let p = FaultProfile::recoverable(1, 0.2);
+        assert!(p.policy.max_attempts >= 8);
+        assert_eq!(p.retry_budget, u64::MAX);
+        let mut cx = p.stream_cx(56);
+        for _ in 0..10_000 {
+            assert!(cx.budget.try_spend(), "unlimited split stays unlimited");
+        }
+    }
+
+    #[test]
+    fn brutal_profile_splits_its_budget() {
+        let p = FaultProfile::brutal(2);
+        let mut cx = p.stream_cx(8);
+        assert_eq!(cx.budget.remaining(), 8);
+        for _ in 0..8 {
+            assert!(cx.budget.try_spend());
+        }
+        assert!(!cx.budget.try_spend());
+    }
+
+    #[test]
+    fn zero_streams_does_not_divide_by_zero() {
+        let p = FaultProfile::brutal(3);
+        assert_eq!(p.stream_cx(0).budget.remaining(), 64);
+    }
+}

@@ -1,0 +1,162 @@
+//! Retry policy: exponential backoff with deterministic jitter, and
+//! the per-pipeline retry budget.
+//!
+//! Backoff here is *simulated* — no thread ever sleeps. The policy
+//! computes the delay a production client would have waited and the
+//! caller accounts it in [`crate::ResilienceStats::backoff_ms`], which
+//! is what the fault benchmarks report as retry overhead.
+
+use synthattr_util::Pcg64;
+
+/// Exponential backoff retry policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per logical call, including the first
+    /// (`1` disables retries entirely).
+    pub max_attempts: u32,
+    /// Delay before the first retry, in ms.
+    pub base_delay_ms: u64,
+    /// Multiplier applied per subsequent retry.
+    pub multiplier: f64,
+    /// Ceiling on any single delay, in ms.
+    pub max_delay_ms: u64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a factor
+    /// drawn uniformly from `[1 - jitter, 1 + jitter]`. The draw comes
+    /// from a caller-supplied seeded stream, so jitter is exactly
+    /// reproducible — "deterministic jitter" in the full-jitter sense.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 100,
+            multiplier: 2.0,
+            max_delay_ms: 5_000,
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Simulated delay before the retry that follows failed attempt
+    /// `attempt` (1-based), jittered from `jitter_rng`.
+    pub fn backoff_ms(&self, attempt: u32, jitter_rng: &mut Pcg64) -> u64 {
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = (self.base_delay_ms as f64) * self.multiplier.powi(exp as i32);
+        let capped = raw.min(self.max_delay_ms as f64);
+        let scale = 1.0 + self.jitter * (2.0 * jitter_rng.next_f64() - 1.0);
+        (capped * scale.max(0.0)).round() as u64
+    }
+}
+
+/// A shared pool of retries for one pipeline (or one call stream).
+///
+/// Every retry spends one unit; when the budget is dry, failing calls
+/// go straight to [`synthattr_gpt::GptError::BudgetExhausted`] and the
+/// degradation machinery takes over. `u64::MAX` means unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudget {
+    remaining: u64,
+    unlimited: bool,
+}
+
+impl RetryBudget {
+    /// A budget of `total` retries.
+    pub fn new(total: u64) -> Self {
+        RetryBudget {
+            remaining: total,
+            unlimited: false,
+        }
+    }
+
+    /// A budget that never runs out.
+    pub fn unlimited() -> Self {
+        RetryBudget {
+            remaining: u64::MAX,
+            unlimited: true,
+        }
+    }
+
+    /// Spends one retry if any remain; `false` means the caller must
+    /// not retry.
+    pub fn try_spend(&mut self) -> bool {
+        if self.unlimited {
+            return true;
+        }
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        true
+    }
+
+    /// Retries left (`u64::MAX` if unlimited).
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = Pcg64::new(1);
+        assert_eq!(policy.backoff_ms(1, &mut rng), 100);
+        assert_eq!(policy.backoff_ms(2, &mut rng), 200);
+        assert_eq!(policy.backoff_ms(3, &mut rng), 400);
+        assert_eq!(policy.backoff_ms(10, &mut rng), 5_000, "hits the cap");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_reproducible() {
+        let policy = RetryPolicy::default(); // jitter 0.25
+        let delays: Vec<u64> = (0..100)
+            .map(|i| {
+                let mut rng = Pcg64::seed_from(9, &["jitter", &i.to_string()]);
+                policy.backoff_ms(2, &mut rng)
+            })
+            .collect();
+        for &d in &delays {
+            assert!((150..=250).contains(&d), "200ms +/- 25%: got {d}");
+        }
+        // Same stream, same jitter.
+        let mut rng = Pcg64::seed_from(9, &["jitter", "0"]);
+        assert_eq!(policy.backoff_ms(2, &mut rng), delays[0]);
+        // Jitter actually varies across streams.
+        assert!(delays.iter().any(|&d| d != delays[0]));
+    }
+
+    #[test]
+    fn budget_spends_down_and_stops() {
+        let mut b = RetryBudget::new(2);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+        assert!(!b.try_spend(), "stays dry");
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn unlimited_budget_never_dries() {
+        let mut b = RetryBudget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.try_spend());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Response validation: the service-layer reuse of the
+//! `synthattr-analysis` lint + fingerprint gate.
+//!
+//! The transformer's own debug gate (`debug_assert_semantics_preserved`)
+//! guards against *transformer bugs* and panics, because a buggy
+//! transformer is a programming error. The validator here guards
+//! against *sabotaged responses* — truncation and corruption injected
+//! by the fault plan — and returns typed
+//! [`GptError::InvalidResponse`]s, because a mangled response is an
+//! operational event to retry, not a bug.
+//!
+//! Checks run cheapest-first: parse (catches truncation), then the
+//! lint pass delta (catches responses that introduce error-severity
+//! diagnostics), then the semantic fingerprint (catches parseable,
+//! lint-clean responses whose behaviour changed).
+
+use synthattr_analysis::{fingerprint_source, new_errors, Analyzer, Diagnostic};
+use synthattr_gpt::{GptError, ResponseViolation};
+
+/// What a valid response must live up to, precomputed from the input
+/// once per logical call (attempts and retries reuse it).
+#[derive(Debug, Clone)]
+pub struct Expectation {
+    pre_diags: Vec<Diagnostic>,
+    fingerprint: u64,
+}
+
+/// Validates service responses against the input they transform.
+pub struct ResponseValidator {
+    analyzer: Analyzer,
+}
+
+impl ResponseValidator {
+    /// A validator with the default analysis pass registry.
+    pub fn new() -> Self {
+        ResponseValidator {
+            analyzer: Analyzer::new(),
+        }
+    }
+
+    /// Precomputes the input's diagnostics and fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`GptError::Parse`] if the *input* is outside the subset — a
+    /// deterministic caller error, never retried.
+    pub fn expectation(&self, input: &str) -> Result<Expectation, GptError> {
+        let pre_diags = self.analyzer.analyze_source(input).map_err(GptError::Parse)?;
+        let fingerprint = fingerprint_source(input).map_err(GptError::Parse)?;
+        Ok(Expectation {
+            pre_diags,
+            fingerprint,
+        })
+    }
+
+    /// Accepts or rejects one response body.
+    ///
+    /// # Errors
+    ///
+    /// [`GptError::InvalidResponse`] naming the first violated gate.
+    pub fn validate(&self, expected: &Expectation, response: &str) -> Result<(), GptError> {
+        let post_diags = match self.analyzer.analyze_source(response) {
+            Ok(d) => d,
+            Err(e) => {
+                return Err(GptError::InvalidResponse {
+                    violation: ResponseViolation::Unparseable,
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let fresh = new_errors(&expected.pre_diags, &post_diags);
+        if let Some(first) = fresh.first() {
+            return Err(GptError::InvalidResponse {
+                violation: ResponseViolation::LintErrors,
+                detail: format!("{} new error(s), first: {first}", fresh.len()),
+            });
+        }
+        let fp = fingerprint_source(response).map_err(|e| GptError::InvalidResponse {
+            violation: ResponseViolation::Unparseable,
+            detail: e.to_string(),
+        })?;
+        if fp != expected.fingerprint {
+            return Err(GptError::InvalidResponse {
+                violation: ResponseViolation::FingerprintMismatch,
+                detail: format!(
+                    "fingerprint {fp:#018x} != expected {:#018x}",
+                    expected.fingerprint
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ResponseValidator {
+    fn default() -> Self {
+        ResponseValidator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int main() { int x = 0; x = x + 1; return 0; }";
+
+    fn violation_of(err: GptError) -> ResponseViolation {
+        match err {
+            GptError::InvalidResponse { violation, .. } => violation,
+            other => panic!("expected InvalidResponse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identity_response_passes() {
+        let v = ResponseValidator::new();
+        let exp = v.expectation(SRC).unwrap();
+        v.validate(&exp, SRC).unwrap();
+    }
+
+    #[test]
+    fn renamed_variables_pass() {
+        // A faithful transform changes style, not behaviour.
+        let v = ResponseValidator::new();
+        let exp = v.expectation(SRC).unwrap();
+        let renamed = "int main() { int count = 0; count = count + 1; return 0; }";
+        v.validate(&exp, renamed).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_unparseable() {
+        let v = ResponseValidator::new();
+        let exp = v.expectation(SRC).unwrap();
+        let cut = &SRC[..SRC.len() / 2];
+        assert_eq!(
+            violation_of(v.validate(&exp, cut).unwrap_err()),
+            ResponseViolation::Unparseable
+        );
+    }
+
+    #[test]
+    fn undeclared_identifier_is_a_lint_error() {
+        let v = ResponseValidator::new();
+        let exp = v.expectation(SRC).unwrap();
+        let corrupt = "int main() { int x = 0; x = x + 1; return chaos_leak; }";
+        assert_eq!(
+            violation_of(v.validate(&exp, corrupt).unwrap_err()),
+            ResponseViolation::LintErrors
+        );
+    }
+
+    #[test]
+    fn behaviour_change_is_a_fingerprint_mismatch() {
+        let v = ResponseValidator::new();
+        let exp = v.expectation(SRC).unwrap();
+        let corrupt = "int main() { int x = 0; x = x + 1; return 1; }";
+        assert_eq!(
+            violation_of(v.validate(&exp, corrupt).unwrap_err()),
+            ResponseViolation::FingerprintMismatch
+        );
+    }
+
+    #[test]
+    fn bad_input_is_a_parse_error_not_invalid_response() {
+        let v = ResponseValidator::new();
+        let err = v.expectation("int main( {").unwrap_err();
+        assert!(matches!(err, GptError::Parse(_)), "{err:?}");
+    }
+}

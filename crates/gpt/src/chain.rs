@@ -10,6 +10,7 @@
 //! chains converge onto few styles — exactly the NCT > CT style-count
 //! gap of the paper's Table IV.
 
+use crate::error::GptError;
 use crate::transform::Transformer;
 use synthattr_gen::corpus::Origin;
 use synthattr_util::Pcg64;
@@ -42,10 +43,48 @@ pub struct TransformedSample {
 /// Runs non-chaining transformation: `n` independent transforms of
 /// `seed_code`.
 ///
+/// # Errors
+///
+/// Returns [`GptError::Parse`] if `seed_code` is outside the supported
+/// C++ subset.
+pub fn try_run_nct(
+    transformer: &Transformer<'_>,
+    seed_code: &str,
+    n: usize,
+    seed_origin: Origin,
+    rng: &mut Pcg64,
+) -> Result<Vec<TransformedSample>, GptError> {
+    let pool = transformer.pool();
+    #[cfg(debug_assertions)]
+    let seed_fp = synthattr_analysis::fingerprint_source(seed_code).map_err(GptError::Parse)?;
+    (1..=n)
+        .map(|step| {
+            let pool_index = pool.sample_index(rng);
+            let source = transformer.transform(seed_code, pool_index, rng)?;
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                synthattr_analysis::fingerprint_source(&source).map_err(GptError::Parse)?,
+                seed_fp,
+                "NCT step {step} drifted from the seed's semantic fingerprint"
+            );
+            Ok(TransformedSample {
+                source,
+                step,
+                mode: TransformMode::NonChaining,
+                seed_origin,
+                pool_index,
+            })
+        })
+        .collect()
+}
+
+/// Runs non-chaining transformation, panicking on error.
+///
 /// # Panics
 ///
 /// Panics if `seed_code` is outside the supported C++ subset (seeds
 /// are generator-produced, so this indicates a bug, not bad input).
+/// Fallible callers should use [`try_run_nct`].
 pub fn run_nct(
     transformer: &Transformer<'_>,
     seed_code: &str,
@@ -53,50 +92,27 @@ pub fn run_nct(
     seed_origin: Origin,
     rng: &mut Pcg64,
 ) -> Vec<TransformedSample> {
-    let pool = transformer.pool();
-    #[cfg(debug_assertions)]
-    let seed_fp = synthattr_analysis::fingerprint_source(seed_code)
-        .expect("seed is inside the subset");
-    (1..=n)
-        .map(|step| {
-            let pool_index = pool.sample_index(rng);
-            let source = transformer
-                .transform(seed_code, pool_index, rng)
-                .expect("generator-produced seed must transform");
-            #[cfg(debug_assertions)]
-            debug_assert_eq!(
-                synthattr_analysis::fingerprint_source(&source).expect("output reparses"),
-                seed_fp,
-                "NCT step {step} drifted from the seed's semantic fingerprint"
-            );
-            TransformedSample {
-                source,
-                step,
-                mode: TransformMode::NonChaining,
-                seed_origin,
-                pool_index,
-            }
-        })
-        .collect()
+    try_run_nct(transformer, seed_code, n, seed_origin, rng)
+        .unwrap_or_else(|e| panic!("generator-produced seed must transform: {e}"))
 }
 
 /// Runs chaining transformation: a chain of `n` steps starting from
 /// `seed_code`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `seed_code` is outside the supported C++ subset.
-pub fn run_ct(
+/// Returns [`GptError::Parse`] if `seed_code` is outside the supported
+/// C++ subset.
+pub fn try_run_ct(
     transformer: &Transformer<'_>,
     seed_code: &str,
     n: usize,
     seed_origin: Origin,
     rng: &mut Pcg64,
-) -> Vec<TransformedSample> {
+) -> Result<Vec<TransformedSample>, GptError> {
     let pool = transformer.pool();
     #[cfg(debug_assertions)]
-    let seed_fp = synthattr_analysis::fingerprint_source(seed_code)
-        .expect("seed is inside the subset");
+    let seed_fp = synthattr_analysis::fingerprint_source(seed_code).map_err(GptError::Parse)?;
     let mut current = seed_code.to_string();
     let mut style_idx = pool.sample_index(rng);
     let mut out = Vec::with_capacity(n);
@@ -104,15 +120,13 @@ pub fn run_ct(
         if step > 1 && !rng.next_bool(pool.ct_stickiness) {
             style_idx = pool.sample_index(rng);
         }
-        let source = transformer
-            .transform(&current, style_idx, rng)
-            .expect("chain steps stay inside the subset");
+        let source = transformer.transform(&current, style_idx, rng)?;
         // Fingerprint stability is transitive through the per-step
         // transform gate, but chains are where drift would compound;
         // assert against the *seed*, not just the previous step.
         #[cfg(debug_assertions)]
         debug_assert_eq!(
-            synthattr_analysis::fingerprint_source(&source).expect("output reparses"),
+            synthattr_analysis::fingerprint_source(&source).map_err(GptError::Parse)?,
             seed_fp,
             "CT step {step} drifted from the seed's semantic fingerprint"
         );
@@ -125,7 +139,24 @@ pub fn run_ct(
             pool_index: style_idx,
         });
     }
-    out
+    Ok(out)
+}
+
+/// Runs chaining transformation, panicking on error.
+///
+/// # Panics
+///
+/// Panics if `seed_code` is outside the supported C++ subset.
+/// Fallible callers should use [`try_run_ct`].
+pub fn run_ct(
+    transformer: &Transformer<'_>,
+    seed_code: &str,
+    n: usize,
+    seed_origin: Origin,
+    rng: &mut Pcg64,
+) -> Vec<TransformedSample> {
+    try_run_ct(transformer, seed_code, n, seed_origin, rng)
+        .unwrap_or_else(|e| panic!("chain steps stay inside the subset: {e}"))
 }
 
 #[cfg(test)]
@@ -210,6 +241,34 @@ mod tests {
         let a = run_nct(&gpt, &seed, 5, Origin::ChatGpt, &mut Pcg64::new(11));
         let b = run_nct(&gpt, &seed, 5, Origin::ChatGpt, &mut Pcg64::new(11));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_seed_yields_typed_parse_error_not_panic() {
+        let pool = YearPool::calibrated(2018, 1);
+        let gpt = Transformer::new(&pool);
+        let bad = "int main( { return 0; }"; // malformed: not in the subset
+        let mut rng = Pcg64::new(5);
+        let nct = try_run_nct(&gpt, bad, 3, Origin::ChatGpt, &mut rng);
+        assert!(matches!(nct, Err(GptError::Parse(_))), "{nct:?}");
+        let ct = try_run_ct(&gpt, bad, 3, Origin::Human, &mut rng);
+        assert!(matches!(ct, Err(GptError::Parse(_))), "{ct:?}");
+        // The error composes as a std error with a ParseError source.
+        let err: Box<dyn std::error::Error> = Box::new(ct.unwrap_err());
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn try_and_panicking_drivers_agree() {
+        let pool = YearPool::calibrated(2019, 2);
+        let gpt = Transformer::new(&pool);
+        let seed = seed_code(8);
+        let a = run_nct(&gpt, &seed, 6, Origin::ChatGpt, &mut Pcg64::new(21));
+        let b = try_run_nct(&gpt, &seed, 6, Origin::ChatGpt, &mut Pcg64::new(21)).unwrap();
+        assert_eq!(a, b);
+        let c = run_ct(&gpt, &seed, 6, Origin::Human, &mut Pcg64::new(22));
+        let d = try_run_ct(&gpt, &seed, 6, Origin::Human, &mut Pcg64::new(22)).unwrap();
+        assert_eq!(c, d);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Typed errors for the simulated LLM service.
+//!
+//! Until PR 4 the simulator was *too perfect*: every call either
+//! succeeded or panicked through an `expect`. Real LLM backends time
+//! out, rate-limit, drop connections, and return truncated or mangled
+//! code — the dominant operational cost reported by every large-scale
+//! LLM code-harvesting effort. [`GptError`] is the typed vocabulary
+//! for all of those failure modes, shared by the plain transformer
+//! (`Parse`, `Gate`) and by the fault-injected service layer in
+//! `synthattr-faults` (`Service`, `InvalidResponse`,
+//! `RetriesExhausted`, `CircuitOpen`, `BudgetExhausted`).
+//!
+//! Both [`GptError`] and [`synthattr_lang::ParseError`] implement
+//! [`std::error::Error`], so callers can hold either behind
+//! `Box<dyn Error>` and walk `source()` chains.
+
+use std::error::Error;
+use std::fmt;
+use synthattr_lang::ParseError;
+
+/// A call-level fault of the simulated remote service. These model the
+/// transport/HTTP layer: the request never produced a usable response
+/// body, so retrying is always safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// The request exceeded its deadline.
+    Timeout {
+        /// Simulated elapsed time at abort, in milliseconds.
+        after_ms: u64,
+    },
+    /// The service shed load (HTTP 429).
+    RateLimited {
+        /// Simulated `Retry-After` hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A transient server-side error (HTTP 5xx, dropped connection).
+    Transient {
+        /// Simulated status code.
+        code: u16,
+    },
+}
+
+impl ServiceFault {
+    /// Short lowercase tag for logs and stats keys.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ServiceFault::Timeout { .. } => "timeout",
+            ServiceFault::RateLimited { .. } => "rate-limited",
+            ServiceFault::Transient { .. } => "transient",
+        }
+    }
+}
+
+impl fmt::Display for ServiceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceFault::Timeout { after_ms } => {
+                write!(f, "request timed out after {after_ms}ms")
+            }
+            ServiceFault::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited (retry after {retry_after_ms}ms)")
+            }
+            ServiceFault::Transient { code } => {
+                write!(f, "transient service error (status {code})")
+            }
+        }
+    }
+}
+
+/// Why a response body was rejected by validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseViolation {
+    /// The response did not parse (typical of truncation).
+    Unparseable,
+    /// The response parsed but introduced error-severity lint
+    /// diagnostics.
+    LintErrors,
+    /// The response parsed cleanly but its semantic fingerprint
+    /// differs from the input's (the transform changed behaviour).
+    FingerprintMismatch,
+}
+
+impl ResponseViolation {
+    /// Short lowercase tag for logs and stats keys.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ResponseViolation::Unparseable => "unparseable",
+            ResponseViolation::LintErrors => "lint-errors",
+            ResponseViolation::FingerprintMismatch => "fingerprint-mismatch",
+        }
+    }
+}
+
+/// An error from one simulated LLM call or call sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GptError {
+    /// The *input* is outside the supported C++ subset. Deterministic:
+    /// retrying can never succeed, so the service layer fails fast.
+    Parse(ParseError),
+    /// A call-level service fault (timeout / rate limit / transient).
+    Service(ServiceFault),
+    /// The response body failed validation (truncated or corrupted
+    /// code that the lint + fingerprint gate rejected).
+    InvalidResponse {
+        /// What the validator objected to.
+        violation: ResponseViolation,
+        /// Human-readable detail (first diagnostic, parse error, …).
+        detail: String,
+    },
+    /// The retry policy ran out of attempts; `last` is the final
+    /// attempt's error.
+    RetriesExhausted {
+        /// Attempts performed (including the first call).
+        attempts: u32,
+        /// The error of the last attempt.
+        last: Box<GptError>,
+    },
+    /// The per-pipeline retry budget is spent; no retry was performed.
+    BudgetExhausted {
+        /// The error that wanted a retry.
+        last: Box<GptError>,
+    },
+    /// The circuit breaker is open: the call was rejected without
+    /// reaching the service.
+    CircuitOpen {
+        /// Consecutive failures that tripped the breaker.
+        consecutive_failures: u32,
+    },
+}
+
+impl GptError {
+    /// Whether a retry of the same request could possibly succeed.
+    ///
+    /// Service faults and invalid responses are retryable; a
+    /// [`GptError::Parse`] of the *input* is deterministic and is not,
+    /// and the terminal wrappers (`RetriesExhausted`,
+    /// `BudgetExhausted`, `CircuitOpen`) are final by construction.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            GptError::Service(_) | GptError::InvalidResponse { .. }
+        )
+    }
+
+    /// Short lowercase tag naming the error family (stable key for
+    /// stats and logs).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            GptError::Parse(_) => "parse",
+            GptError::Service(s) => s.tag(),
+            GptError::InvalidResponse { violation, .. } => violation.tag(),
+            GptError::RetriesExhausted { .. } => "retries-exhausted",
+            GptError::BudgetExhausted { .. } => "budget-exhausted",
+            GptError::CircuitOpen { .. } => "circuit-open",
+        }
+    }
+}
+
+impl fmt::Display for GptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GptError::Parse(e) => write!(f, "input outside the supported subset: {e}"),
+            GptError::Service(s) => write!(f, "service fault: {s}"),
+            GptError::InvalidResponse { violation, detail } => {
+                write!(f, "invalid response ({}): {detail}", violation.tag())
+            }
+            GptError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+            GptError::BudgetExhausted { last } => {
+                write!(f, "retry budget exhausted: {last}")
+            }
+            GptError::CircuitOpen {
+                consecutive_failures,
+            } => write!(
+                f,
+                "circuit breaker open after {consecutive_failures} consecutive failures"
+            ),
+        }
+    }
+}
+
+impl Error for GptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GptError::Parse(e) => Some(e),
+            GptError::RetriesExhausted { last, .. } | GptError::BudgetExhausted { last } => {
+                Some(last.as_ref())
+            }
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for GptError {
+    fn from(e: ParseError) -> Self {
+        GptError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composes_with_box_dyn_error() {
+        // The satellite guarantee: ParseError and GptError both erase
+        // into Box<dyn Error> and chain through source().
+        let parse = ParseError::new("expected ';'", 3);
+        let boxed_parse: Box<dyn Error> = Box::new(parse.clone());
+        assert!(boxed_parse.to_string().contains("line 3"));
+
+        let err = GptError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(GptError::Parse(parse)),
+        };
+        let boxed: Box<dyn Error> = Box::new(err);
+        let mid = boxed.source().expect("retries wrap a cause");
+        let root = mid.source().expect("parse variant chains to ParseError");
+        assert!(root.to_string().contains("expected ';'"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(GptError::Service(ServiceFault::Timeout { after_ms: 10 }).is_retryable());
+        assert!(GptError::InvalidResponse {
+            violation: ResponseViolation::Unparseable,
+            detail: "eof".into(),
+        }
+        .is_retryable());
+        assert!(!GptError::Parse(ParseError::new("x", 1)).is_retryable());
+        assert!(!GptError::CircuitOpen {
+            consecutive_failures: 5
+        }
+        .is_retryable());
+        assert!(!GptError::BudgetExhausted {
+            last: Box::new(GptError::Service(ServiceFault::Transient { code: 503 })),
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(
+            GptError::Service(ServiceFault::RateLimited { retry_after_ms: 1 }).tag(),
+            "rate-limited"
+        );
+        assert_eq!(
+            GptError::InvalidResponse {
+                violation: ResponseViolation::FingerprintMismatch,
+                detail: String::new(),
+            }
+            .tag(),
+            "fingerprint-mismatch"
+        );
+        assert_eq!(
+            GptError::CircuitOpen {
+                consecutive_failures: 1
+            }
+            .tag(),
+            "circuit-open"
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = GptError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(GptError::Service(ServiceFault::Timeout { after_ms: 800 })),
+        };
+        let s = e.to_string();
+        assert!(s.contains("3 attempts"));
+        assert!(s.contains("800ms"));
+    }
+}

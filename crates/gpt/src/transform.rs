@@ -11,6 +11,7 @@
 //! source traits leak through, producing the hybrid styles the paper
 //! observes on human-seeded transformations.
 
+use crate::error::GptError;
 use crate::pool::YearPool;
 use std::collections::HashMap;
 use synthattr_gen::naming::{apply_case, NamingStyle, Verbosity};
@@ -18,7 +19,7 @@ use synthattr_gen::style::AuthorStyle;
 use synthattr_lang::ast::*;
 use synthattr_lang::render::{render, BraceStyle, Indent, RenderStyle};
 use synthattr_lang::visit::{declared_names, for_each_block_mut, rename_idents, unrenameable_names};
-use synthattr_lang::{parse, ParseError};
+use synthattr_lang::parse;
 use synthattr_util::Pcg64;
 
 /// The transformation engine bound to one year pool.
@@ -43,18 +44,18 @@ impl<'a> Transformer<'a> {
     ///
     /// # Errors
     ///
-    /// Returns a [`ParseError`] when `source` is not in the supported
-    /// C++ subset (the simulator, like the paper's pipeline, only
-    /// handles parseable inputs).
+    /// Returns [`GptError::Parse`] when `source` is not in the
+    /// supported C++ subset (the simulator, like the paper's pipeline,
+    /// only handles parseable inputs).
     pub fn transform(
         &self,
         source: &str,
         pool_idx: usize,
         rng: &mut Pcg64,
-    ) -> Result<String, ParseError> {
+    ) -> Result<String, GptError> {
         let target = &self.pool.styles[pool_idx].style;
         let fidelity = self.pool.fidelity;
-        let mut unit = parse(source)?;
+        let mut unit = parse(source).map_err(GptError::Parse)?;
         let src_render = detect_render_style(source);
         // NOTE: the type environment is captured *before* renaming, so
         // IO-idiom conversion only fires for statements whose variables
@@ -135,7 +136,7 @@ impl<'a> Transformer<'a> {
         let style = blend_render_styles(&src_render, &target.render, fidelity, rng);
         let out = render(&unit, &style);
         #[cfg(debug_assertions)]
-        debug_assert_semantics_preserved(source, &out);
+        debug_assert_semantics_preserved(source, &out)?;
         Ok(out)
     }
 }
@@ -144,16 +145,18 @@ impl<'a> Transformer<'a> {
 /// no new error-severity diagnostics and must keep the input's
 /// semantic fingerprint. This is the checked form of the paper's
 /// style-not-semantics assumption (see `synthattr-analysis`).
+///
+/// Re-analysis failures surface as typed [`GptError::Parse`] values
+/// (not `expect` panics) so the fault-injected service layer can treat
+/// them like any other invalid response; the fingerprint and lint
+/// comparisons themselves keep assert semantics — a violation there is
+/// a transformer bug, not an input problem.
 #[cfg(debug_assertions)]
-fn debug_assert_semantics_preserved(source: &str, out: &str) {
+fn debug_assert_semantics_preserved(source: &str, out: &str) -> Result<(), GptError> {
     use synthattr_analysis::{fingerprint_source, new_errors, Analyzer};
     let analyzer = Analyzer::new();
-    let pre = analyzer
-        .analyze_source(source)
-        .expect("input parsed before transforming");
-    let post = analyzer
-        .analyze_source(out)
-        .expect("transform output reparses");
+    let pre = analyzer.analyze_source(source).map_err(GptError::Parse)?;
+    let post = analyzer.analyze_source(out).map_err(GptError::Parse)?;
     let fresh = new_errors(&pre, &post);
     assert!(
         fresh.is_empty(),
@@ -164,12 +167,13 @@ fn debug_assert_semantics_preserved(source: &str, out: &str) {
             .collect::<Vec<_>>()
             .join("\n")
     );
-    let fp_in = fingerprint_source(source).expect("input fingerprints");
-    let fp_out = fingerprint_source(out).expect("output fingerprints");
+    let fp_in = fingerprint_source(source).map_err(GptError::Parse)?;
+    let fp_out = fingerprint_source(out).map_err(GptError::Parse)?;
     assert_eq!(
         fp_in, fp_out,
         "transform changed the semantic fingerprint\n--- input ---\n{source}\n--- output ---\n{out}"
     );
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

@@ -168,6 +168,122 @@ where
         .collect()
 }
 
+/// Fallible order-preserving parallel map with the ambient worker
+/// count (see [`resolve_workers`] and [`parallel_try_map_workers`]).
+pub fn parallel_try_map<I, O, E, F>(items: Vec<I>, f: F) -> Result<Vec<O>, E>
+where
+    I: Send,
+    O: Send,
+    E: Send,
+    F: Fn(I) -> Result<O, E> + Sync,
+{
+    parallel_try_map_workers(resolve_workers(None), items, f)
+}
+
+/// Fallible order-preserving parallel map on exactly `workers`
+/// threads.
+///
+/// On success, output index `i` holds the `Ok` value of `f(items[i])`.
+/// The first `Err` **short-circuits**: the poisoned flag is raised,
+/// every not-yet-claimed item is drained without running `f`, and the
+/// error is returned once all workers have parked. When several
+/// in-flight items error concurrently, the error with the *lowest
+/// input index* among those that actually ran wins, so the common
+/// case (one bad item) reports deterministically; which items ran at
+/// all still depends on scheduling, as it must for a short-circuit.
+///
+/// Worker panics keep their existing semantics: the queue drains and
+/// the first payload re-raises on the caller (panics outrank errors).
+pub fn parallel_try_map_workers<I, O, E, F>(
+    workers: usize,
+    items: Vec<I>,
+    f: F,
+) -> Result<Vec<O>, E>
+where
+    I: Send,
+    O: Send,
+    E: Send,
+    F: Fn(I) -> Result<O, E> + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        // Serial fallback: `?` gives exact first-error semantics.
+        return items.into_iter().map(f).collect();
+    }
+
+    let input: Vec<Mutex<Option<I>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let output: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let error_slot: Mutex<Option<(usize, E)>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                if start >= n {
+                    return;
+                }
+                for i in start..(start + CHUNK).min(n) {
+                    if poisoned.load(Ordering::Relaxed) {
+                        // A sibling errored or panicked: drain without
+                        // running f.
+                        continue;
+                    }
+                    let item = input[i]
+                        .lock()
+                        .expect("pool input slot poisoned")
+                        .take()
+                        .expect("pool input slot claimed twice");
+                    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        Ok(Ok(out)) => {
+                            *output[i].lock().expect("pool output slot poisoned") = Some(out);
+                        }
+                        Ok(Err(e)) => {
+                            poisoned.store(true, Ordering::Relaxed);
+                            let mut slot = error_slot.lock().expect("pool error slot poisoned");
+                            // Prefer the lowest input index among the
+                            // errors that ran.
+                            if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                *slot = Some((i, e));
+                            }
+                        }
+                        Err(payload) => {
+                            poisoned.store(true, Ordering::Relaxed);
+                            let mut slot = panic_payload.lock().expect("pool panic slot poisoned");
+                            // Keep the first payload; later ones are
+                            // cascade noise.
+                            slot.get_or_insert(payload);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(payload) = panic_payload
+        .into_inner()
+        .expect("pool panic slot poisoned")
+    {
+        resume_unwind(payload);
+    }
+    if let Some((_, e)) = error_slot.into_inner().expect("pool error slot poisoned") {
+        return Err(e);
+    }
+
+    Ok(output
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("pool output slot poisoned")
+                .unwrap_or_else(|| panic!("work item {i} produced no result"))
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +358,112 @@ mod tests {
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("item 17 exploded"), "payload was: {msg}");
+    }
+
+    #[test]
+    fn two_concurrent_panics_terminate_and_keep_a_real_payload() {
+        // Regression: two workers panicking at the same instant must
+        // neither deadlock the scope join nor lose the recorded
+        // payload. A barrier forces items 0 and 4 (claimed by
+        // different workers, CHUNK = 4) to panic truly concurrently.
+        let barrier = std::sync::Barrier::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_workers(2, (0..8usize).collect(), |x| {
+                if x == 0 || x == 4 {
+                    barrier.wait();
+                    panic!("worker bomb {x}");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg == "worker bomb 0" || msg == "worker bomb 4",
+            "payload must be one of the two genuine panics, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn try_map_collects_ok_results_in_order() {
+        let out = parallel_try_map_workers(8, (0..500usize).collect(), |x| {
+            Ok::<_, String>(x * 2)
+        })
+        .unwrap();
+        assert_eq!(out, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_short_circuit_drains_the_queue() {
+        // Item 0 errors instantly; every other item sleeps. By the
+        // time the sleepers finish, the poisoned flag is up, so the
+        // vast majority of the queue must drain without running f.
+        let calls = AtomicUsize::new(0);
+        let n = 1000usize;
+        let result = parallel_try_map_workers(4, (0..n).collect(), |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if x == 0 {
+                return Err(format!("item {x} failed"));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            Ok(x)
+        });
+        assert_eq!(result, Err("item 0 failed".to_string()));
+        let ran = calls.load(Ordering::Relaxed);
+        assert!(
+            ran < n / 2,
+            "short-circuit should skip most of the queue, but f ran {ran}/{n} times"
+        );
+    }
+
+    #[test]
+    fn try_map_serial_path_returns_first_error() {
+        let calls = AtomicUsize::new(0);
+        let result = parallel_try_map_workers(1, (0..50usize).collect(), |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if x >= 3 {
+                Err(x)
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(result, Err(3));
+        assert_eq!(calls.load(Ordering::Relaxed), 4, "stops at the first error");
+    }
+
+    #[test]
+    fn try_map_prefers_lowest_index_error() {
+        // Item 40 errors fast; item 3 sleeps briefly then errors.
+        // Whichever lands first, the reported error must be a genuine
+        // one, and when both recorded, index 3 wins. Run a few times
+        // to cover schedules.
+        for _ in 0..5 {
+            let result = parallel_try_map_workers(4, (0..64usize).collect(), |x| {
+                if x == 3 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    return Err(x);
+                }
+                if x == 40 {
+                    return Err(x);
+                }
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                Ok(x)
+            });
+            let err = result.expect_err("at least one item errors");
+            assert!(err == 3 || err == 40, "unexpected error index {err}");
+        }
+    }
+
+    #[test]
+    fn try_map_empty_and_singleton() {
+        let empty: Result<Vec<u8>, ()> = parallel_try_map_workers(8, Vec::new(), Ok);
+        assert_eq!(empty, Ok(Vec::new()));
+        let one: Result<Vec<u8>, ()> = parallel_try_map(vec![41], |x| Ok(x + 1));
+        assert_eq!(one, Ok(vec![42]));
     }
 
     #[test]

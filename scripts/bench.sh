@@ -10,14 +10,20 @@
 # run, so the summary printed at the end is an apples-to-apples
 # fast-path speedup on this machine.
 #
+# The `faults` target sweeps the chaos proxy at 0/5/20% fault rates
+# against the bare simulator and lands in BENCH_faults.json, so the
+# retry/validation overhead has its own trajectory file.
+#
 # Usage:
 #   scripts/bench.sh                  # full budgets, writes BENCH_forest.json
+#                                     #   and BENCH_faults.json
 #   SYNTHATTR_BENCH_MEASURE_MS=500 scripts/bench.sh   # quicker pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 OUT="${SYNTHATTR_BENCH_OUT:-BENCH_forest.json}"
+FAULTS_OUT="${SYNTHATTR_BENCH_FAULTS_OUT:-BENCH_faults.json}"
 
 : > "$OUT"
 for target in forest features analysis; do
@@ -26,6 +32,9 @@ for target in forest features analysis; do
   # already, this guards against any stray stdout.
   cargo bench --offline -p synthattr-bench --bench "$target" | grep '^{' >> "$OUT"
 done
+
+echo "== bench: faults (chaos proxy overhead) ==" >&2
+cargo bench --offline -p synthattr-bench --bench faults | grep '^{' > "$FAULTS_OUT"
 
 median_of() {
   grep "\"group\":\"forest\"" "$OUT" | grep "\"bench\":\"$1\"" \
@@ -40,4 +49,18 @@ if [[ -n "$fast" && -n "$naive" ]]; then
       fast / 1e6, naive / 1e6, naive / fast
   }' >&2
 fi
+faults_median() {
+  grep "\"group\":\"faults\"" "$FAULTS_OUT" | grep "\"bench\":\"$1\"" \
+    | sed -E 's/.*"median_ns":([0-9.]+).*/\1/' | head -n 1
+}
+
+bare=$(faults_median "nct/bare")
+r20=$(faults_median "nct/rate20")
+if [[ -n "$bare" && -n "$r20" ]]; then
+  awk -v bare="$bare" -v r20="$r20" 'BEGIN {
+    printf "faults nct/10: bare %.2f ms vs chaos@20%% %.2f ms -> %.2fx overhead\n",
+      bare / 1e6, r20 / 1e6, r20 / bare
+  }' >&2
+fi
 echo "wrote $(wc -l < "$OUT") benchmark lines to $OUT" >&2
+echo "wrote $(wc -l < "$FAULTS_OUT") benchmark lines to $FAULTS_OUT" >&2

@@ -11,6 +11,8 @@
 #   scripts/verify.sh --bench-smoke   # tier-1 + one-iteration bench pass
 #   scripts/verify.sh --lint          # tier-1 + warnings-as-errors build
 #                                     #   + corpus lint (all three years)
+#   scripts/verify.sh --chaos         # tier-1 + the fault-injection
+#                                     #   suites + the chaos_drill demo
 #   SYNTHATTR_WORKERS=1 scripts/verify.sh   # serial, for timing noise
 #
 # --bench-smoke additionally runs every bench target with minimal
@@ -21,15 +23,24 @@
 # --lint rebuilds with RUSTFLAGS="-D warnings" and runs the
 # lint_corpus example over the 2017/2018/2019 corpora; the example
 # exits nonzero on any error-severity diagnostic (DESIGN.md §8).
+#
+# --chaos re-runs the two chaos suites by name (the crate-level
+# property sweep in synthattr-faults and the end-to-end pipeline
+# suite) and then the chaos_drill example, which prints the
+# resilience accounting for a recoverable and a budget-exhausted
+# build (DESIGN.md §9). Both suites also run under plain tier-1;
+# the flag exists to exercise them in isolation with visible output.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
 LINT=0
+CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --lint) LINT=1 ;;
+    --chaos) CHAOS=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -52,7 +63,7 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
   export SYNTHATTR_BENCH_WARMUP_MS=1
   export SYNTHATTR_BENCH_MEASURE_MS=1
   export SYNTHATTR_BENCH_SAMPLES=1
-  for b in frontend features forest transform tables analysis; do
+  for b in frontend features forest transform tables analysis faults; do
     echo "== bench smoke: $b (one warmup iteration) ==" >&2
     cargo bench --offline -p synthattr-bench --bench "$b" > /dev/null
   done
@@ -63,6 +74,15 @@ if [[ "$LINT" == "1" ]]; then
   RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
   echo "== lint: corpus diagnostics (2017/2018/2019) ==" >&2
   cargo run --release --offline --example lint_corpus
+fi
+
+if [[ "$CHAOS" == "1" ]]; then
+  echo "== chaos: crate-level property sweep (rates 0/5/20%) ==" >&2
+  cargo test --offline -p synthattr-faults --test chaos_properties
+  echo "== chaos: end-to-end pipeline suite ==" >&2
+  cargo test --offline --test chaos_pipeline
+  echo "== chaos: drill (resilience accounting demo) ==" >&2
+  cargo run --release --offline --example chaos_drill
 fi
 
 echo "verify: OK" >&2

@@ -32,10 +32,12 @@
 //! | [`ml`] | `synthattr-ml` | CART forests, CV, info gain |
 //! | [`gen`] | `synthattr-gen` | author styles + GCJ-like corpora |
 //! | [`gpt`] | `synthattr-gpt` | LLM style simulator (NCT/CT) |
+//! | [`faults`] | `synthattr-faults` | deterministic chaos: fault injection, retry, breaker |
 //! | [`core`] | `synthattr-core` | attribution pipelines + experiments |
 
 pub use synthattr_analysis as analysis;
 pub use synthattr_core as core;
+pub use synthattr_faults as faults;
 pub use synthattr_features as features;
 pub use synthattr_gen as gen;
 pub use synthattr_gpt as gpt;
