@@ -34,7 +34,7 @@ impl Severity {
 }
 
 /// One finding from one pass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Name of the pass that produced the finding.
     pub pass: &'static str,

@@ -1,0 +1,62 @@
+//! The single-parse frontend vs. the reference re-parse frontend,
+//! end to end (ISSUE 5 acceptance: ≥ 1.5× median speedup in one run).
+//!
+//! Both sides build the *same* `YearPipeline` — the A/B suite in
+//! `synthattr-core` proves the results bit-identical — so any timing
+//! gap is pure frontend overhead:
+//!
+//! * `cached/plain` / `reference/plain` — fault-free build;
+//! * `cached/chaos20` / `reference/chaos20` — the same build under
+//!   the recoverable 20% fault profile (the fault layer's validator
+//!   is one of the re-parse sites the cache eliminates: the reference
+//!   service recomputes the parse + lint + fingerprint expectation of
+//!   the input on every call and re-parses every candidate response;
+//!   the cached service computes the expectation once per stream);
+//!
+//! The binary installs [`CountingAllocator`] as its global allocator
+//! and the group reports `allocs_per_iter` / `alloc_bytes_per_iter`,
+//! making the avoided AST churn visible next to the wall-clock.
+//!
+//! Feeds `BENCH_pipeline.json` via `scripts/bench.sh`; the script
+//! prints the cached-vs-reference speedup from the medians.
+//!
+//! The config leans frontend-heavy on purpose (many transforms, small
+//! forest): the oracle training and corpus generation are identical
+//! work on both sides, and the point is to measure the frontend.
+
+use synthattr_bench::alloc_counter::CountingAllocator;
+use synthattr_bench::harness::Group;
+use synthattr_core::config::ExperimentConfig;
+use synthattr_core::pipeline::YearPipeline;
+use synthattr_faults::FaultProfile;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Frontend-dominated scale: 1024 transformed samples against a small
+/// corpus and a shallow oracle forest.
+fn frontend_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.scale.authors = 8;
+    cfg.scale.challenges = 4;
+    cfg.scale.transforms = 64;
+    cfg.scale.n_trees = 6;
+    cfg
+}
+
+fn main() {
+    let mut group = Group::new("pipeline");
+    group.measure_allocs(true);
+
+    let plain = frontend_config();
+    let chaos20 = frontend_config().with_faults(FaultProfile::recoverable(7, 0.20));
+
+    for (label, cfg) in [("plain", &plain), ("chaos20", &chaos20)] {
+        group.bench(&format!("cached/{label}"), || {
+            std::hint::black_box(YearPipeline::try_build(2018, cfg).unwrap());
+        });
+        group.bench(&format!("reference/{label}"), || {
+            std::hint::black_box(YearPipeline::try_build_reference(2018, cfg).unwrap());
+        });
+    }
+}

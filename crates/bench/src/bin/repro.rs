@@ -44,11 +44,13 @@ impl Runner {
     }
 
     fn pipeline(&mut self, year: u32) -> &YearPipeline {
-        let config = self.config.clone();
-        self.pipelines.entry(year).or_insert_with(|| {
+        if !self.pipelines.contains_key(&year) {
             eprintln!("[repro] building GCJ {year} pipeline ...");
-            YearPipeline::build(year, &config)
-        })
+            let p = YearPipeline::build(year, &self.config);
+            report_frontend(year, &p);
+            self.pipelines.insert(year, p);
+        }
+        &self.pipelines[&year]
     }
 
     /// Builds every missing year pipeline on the worker pool. Each
@@ -70,6 +72,9 @@ impl Runner {
             }
             let built =
                 pool::parallel_map(missing.clone(), |year| YearPipeline::build(year, &config));
+            for (year, p) in missing.iter().zip(&built) {
+                report_frontend(*year, p);
+            }
             self.pipelines.extend(missing.into_iter().zip(built));
         }
         YEARS.iter().map(|y| &self.pipelines[y]).collect()
@@ -295,6 +300,32 @@ impl Runner {
         println!("{t}");
     }
 
+    /// Deterministic cache accounting for every year pipeline this
+    /// invocation built, on stdout so `repro_output.txt` records the
+    /// single-parse frontend's behaviour. Hit/miss counters are
+    /// worker-invariant pure functions of the inputs; wall-clock
+    /// timing stays on stderr (see `report_frontend`) because it is
+    /// machine-local.
+    fn frontend_summary(&self) {
+        if self.pipelines.is_empty() {
+            return;
+        }
+        let mut years: Vec<u32> = self.pipelines.keys().copied().collect();
+        years.sort_unstable();
+        let mut t = Table::new(vec!["Year", "Parses", "Cache hits", "Hit rate"])
+            .with_title("Single-parse frontend: artifact cache accounting");
+        for year in years {
+            let fe = &self.pipelines[&year].frontend;
+            t.row(vec![
+                year.to_string(),
+                fe.cache_misses.to_string(),
+                fe.cache_hits.to_string(),
+                format!("{:.1}%", 100.0 * fe.hit_rate()),
+            ]);
+        }
+        println!("{t}");
+    }
+
     /// Design-choice ablation: naive vs feature-based grouping across
     /// years (the paper's core comparison, condensed).
     fn ablation_grouping(&mut self) {
@@ -320,6 +351,20 @@ impl Runner {
         }
         println!("{t}");
     }
+}
+
+/// One stderr line per pipeline build: how much of the frontend the
+/// artifact cache absorbed, and what the frontend cost on this
+/// machine.
+fn report_frontend(year: u32, p: &YearPipeline) {
+    let fe = &p.frontend;
+    eprintln!(
+        "[repro] GCJ {year} frontend: {} parses, {} cache hits ({:.1}% hit rate), {:.1} ms",
+        fe.cache_misses,
+        fe.cache_hits,
+        100.0 * fe.hit_rate(),
+        fe.frontend_ns as f64 / 1e6
+    );
 }
 
 fn main() {
@@ -357,4 +402,5 @@ fn main() {
     for t in targets {
         runner.run(&t);
     }
+    runner.frontend_summary();
 }

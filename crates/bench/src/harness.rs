@@ -55,6 +55,7 @@ fn env_ms(var: &str, default_ms: u64) -> Duration {
 pub struct Group {
     name: String,
     throughput_bytes: Option<u64>,
+    measure_allocs: bool,
     warmup: Duration,
     measure: Duration,
     min_samples: usize,
@@ -66,6 +67,7 @@ impl Group {
         Group {
             name: name.to_string(),
             throughput_bytes: None,
+            measure_allocs: false,
             warmup: env_ms(ENV_WARMUP_MS, 300),
             measure: env_ms(ENV_MEASURE_MS, 2000),
             min_samples: std::env::var(ENV_SAMPLES)
@@ -74,6 +76,17 @@ impl Group {
                 .filter(|&s| s > 0)
                 .unwrap_or(10),
         }
+    }
+
+    /// Also report allocator traffic per iteration
+    /// (`allocs_per_iter` / `alloc_bytes_per_iter` in the JSON line),
+    /// measured over one extra untimed iteration after sampling.
+    ///
+    /// Only meaningful in a binary whose `#[global_allocator]` is
+    /// [`crate::alloc_counter::CountingAllocator`]; elsewhere both
+    /// counts read as zero.
+    pub fn measure_allocs(&mut self, yes: bool) {
+        self.measure_allocs = yes;
     }
 
     /// Declares that one iteration processes `bytes` bytes; summaries
@@ -117,7 +130,15 @@ impl Group {
         }
         samples_ns.sort_unstable();
 
-        let summary = Summary::from_sorted(&self.name, name, &samples_ns, self.throughput_bytes);
+        let mut summary =
+            Summary::from_sorted(&self.name, name, &samples_ns, self.throughput_bytes);
+        if self.measure_allocs {
+            let (calls_before, bytes_before) = crate::alloc_counter::snapshot();
+            f();
+            let (calls_after, bytes_after) = crate::alloc_counter::snapshot();
+            summary.allocs_per_iter = Some(calls_after - calls_before);
+            summary.alloc_bytes_per_iter = Some(bytes_after - bytes_before);
+        }
         eprintln!("{}", summary.human_line());
         println!("{}", summary.json_line());
         if let Ok(path) = std::env::var(ENV_JSON_PATH) {
@@ -154,6 +175,12 @@ pub struct Summary {
     pub max_ns: u128,
     /// Bytes processed per iteration, if declared.
     pub bytes_per_iter: Option<u64>,
+    /// Allocator calls in one iteration, when the group measures
+    /// allocations under a counting global allocator.
+    pub allocs_per_iter: Option<u64>,
+    /// Bytes requested from the allocator in one iteration, under the
+    /// same conditions.
+    pub alloc_bytes_per_iter: Option<u64>,
 }
 
 impl Summary {
@@ -180,6 +207,8 @@ impl Summary {
             min_ns: sorted_ns[0],
             max_ns: *sorted_ns.last().unwrap(),
             bytes_per_iter,
+            allocs_per_iter: None,
+            alloc_bytes_per_iter: None,
         }
     }
 
@@ -204,6 +233,9 @@ impl Summary {
         if let Some(mbs) = self.throughput_mb_per_s() {
             line.push_str(&format!(", {mbs:.1} MB/s"));
         }
+        if let Some(allocs) = self.allocs_per_iter {
+            line.push_str(&format!(", {allocs} allocs/iter"));
+        }
         line
     }
 
@@ -225,6 +257,12 @@ impl Summary {
                 "\"throughput_mb_per_s\":{:.3}",
                 self.throughput_mb_per_s().unwrap()
             ));
+        }
+        if let Some(allocs) = self.allocs_per_iter {
+            fields.push(format!("\"allocs_per_iter\":{allocs}"));
+        }
+        if let Some(bytes) = self.alloc_bytes_per_iter {
+            fields.push(format!("\"alloc_bytes_per_iter\":{bytes}"));
         }
         format!("{{{}}}", fields.join(","))
     }
@@ -321,6 +359,18 @@ mod tests {
     }
 
     #[test]
+    fn alloc_fields_appear_only_when_measured() {
+        let mut s = sample_summary();
+        assert!(!s.json_line().contains("allocs_per_iter"));
+        s.allocs_per_iter = Some(42);
+        s.alloc_bytes_per_iter = Some(4096);
+        let line = s.json_line();
+        assert!(line.contains("\"allocs_per_iter\":42"), "{line}");
+        assert!(line.contains("\"alloc_bytes_per_iter\":4096"), "{line}");
+        assert!(s.human_line().contains("42 allocs/iter"));
+    }
+
+    #[test]
     fn json_strings_escape_specials() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
@@ -332,6 +382,7 @@ mod tests {
         let mut group = Group {
             name: "test".into(),
             throughput_bytes: None,
+            measure_allocs: false,
             warmup: Duration::from_millis(1),
             measure: Duration::from_millis(5),
             min_samples: 3,

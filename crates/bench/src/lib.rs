@@ -8,6 +8,7 @@
 //! smoke scale. Each bench emits one JSON line per target on stdout
 //! for the `BENCH_*.json` trajectory files.
 
+pub mod alloc_counter;
 pub mod harness;
 
 use synthattr_core::config::ExperimentConfig;

@@ -1,0 +1,410 @@
+//! Single-parse frontend artifacts and the content-addressed cache.
+//!
+//! Before this module existed, every transformed sample crossed the
+//! lexer/parser four to five times: the transformer parsed its input,
+//! then the lint gate, the semantic fingerprint, the fault-layer
+//! response validator, and the feature extractor each re-parsed the
+//! identical rendered text. An [`Artifact`] ties one source text to
+//! every frontend product derived from it — token stream, AST,
+//! diagnostics, fingerprint, feature vector, oracle label — each
+//! materialised lazily and **at most once**. An [`ArtifactCache`]
+//! content-addresses artifacts by a 64-bit hash of the source bytes
+//! (with full-text collision verification), so two samples with
+//! identical text share one artifact and all of its products.
+//!
+//! Invariants (verified by the A/B suite in [`crate::pipeline`]):
+//!
+//! * **Purity** — every cached product equals what recomputing it from
+//!   the text would produce; the cache can only change *when* work
+//!   happens, never *what* it produces.
+//! * **Worker invariance** — the pipeline shards caches per dispatch
+//!   unit (per human sample, per challenge task), so hit/miss totals
+//!   and all outputs are identical for any `SYNTHATTR_WORKERS`.
+//! * **Content addressing** — artifacts are keyed by source bytes
+//!   alone; provenance (which setting or step produced the text) never
+//!   affects sharing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use synthattr_analysis::{fingerprint, Analyzer, Diagnostic};
+use synthattr_features::FeatureExtractor;
+use synthattr_lang::lexer::lex;
+use synthattr_lang::token::Token;
+use synthattr_lang::{parse, ParseError, TranslationUnit};
+
+use crate::model::AuthorshipModel;
+
+/// 64-bit FNV-1a over the source bytes: the cache's content address.
+///
+/// In-repo (the workspace is hermetic): FNV-1a is tiny, stable across
+/// platforms, and fast on the short programs this pipeline handles.
+/// Collisions are tolerated, not assumed away — [`ArtifactCache`]
+/// verifies full source equality within a bucket.
+pub fn content_hash(source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in source.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One source text plus every frontend product derived from it, each
+/// computed lazily and at most once.
+#[derive(Debug)]
+pub struct Artifact {
+    source: String,
+    tokens: OnceLock<Result<Vec<Token>, ParseError>>,
+    unit: OnceLock<Result<TranslationUnit, ParseError>>,
+    diagnostics: OnceLock<Vec<Diagnostic>>,
+    fingerprint: OnceLock<u64>,
+    features: OnceLock<Vec<f64>>,
+    oracle_label: OnceLock<usize>,
+}
+
+impl Artifact {
+    /// An artifact over `source` with nothing materialised yet.
+    pub fn new(source: impl Into<String>) -> Self {
+        Artifact {
+            source: source.into(),
+            tokens: OnceLock::new(),
+            unit: OnceLock::new(),
+            diagnostics: OnceLock::new(),
+            fingerprint: OnceLock::new(),
+            features: OnceLock::new(),
+            oracle_label: OnceLock::new(),
+        }
+    }
+
+    /// An artifact over `source` whose AST is already known — the
+    /// single-parse handoff from the transform layer, which parses
+    /// each rendered output inside its validation gate. `unit` must be
+    /// exactly `parse(source)`.
+    pub fn with_unit(source: impl Into<String>, unit: TranslationUnit) -> Self {
+        let artifact = Artifact::new(source);
+        artifact
+            .unit
+            .set(Ok(unit))
+            .expect("fresh artifact has no unit");
+        artifact
+    }
+
+    /// The source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The token stream, lexed on first call.
+    ///
+    /// # Errors
+    ///
+    /// The lexer's [`ParseError`] if the text is outside the subset.
+    pub fn tokens(&self) -> Result<&[Token], ParseError> {
+        match self.tokens.get_or_init(|| lex(&self.source)) {
+            Ok(t) => Ok(t),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The AST, parsed on first call (or supplied at construction).
+    ///
+    /// # Errors
+    ///
+    /// The parser's [`ParseError`] if the text is outside the subset.
+    pub fn unit(&self) -> Result<&TranslationUnit, ParseError> {
+        match self.unit.get_or_init(|| parse(&self.source)) {
+            Ok(u) => Ok(u),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Analyzer diagnostics, computed on first call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Artifact::unit`]'s parse error.
+    pub fn diagnostics(&self, analyzer: &Analyzer) -> Result<&[Diagnostic], ParseError> {
+        if let Some(d) = self.diagnostics.get() {
+            return Ok(d);
+        }
+        let unit = self.unit()?;
+        Ok(self.diagnostics.get_or_init(|| analyzer.analyze(unit)))
+    }
+
+    /// The semantic fingerprint, computed on first call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Artifact::unit`]'s parse error.
+    pub fn fingerprint(&self) -> Result<u64, ParseError> {
+        if let Some(fp) = self.fingerprint.get() {
+            return Ok(*fp);
+        }
+        let unit = self.unit()?;
+        Ok(*self.fingerprint.get_or_init(|| fingerprint(unit)))
+    }
+
+    /// The stylometry feature vector, computed on first call.
+    ///
+    /// All callers within one pipeline share one extractor
+    /// configuration, which is what makes a per-source cache slot
+    /// sound; mixing extractors against one artifact would return the
+    /// first caller's vector to everyone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Artifact::unit`]'s parse error.
+    pub fn features(&self, extractor: &FeatureExtractor) -> Result<&[f64], ParseError> {
+        if let Some(f) = self.features.get() {
+            return Ok(f);
+        }
+        let unit = self.unit()?;
+        Ok(self
+            .features
+            .get_or_init(|| extractor.extract_parsed(&self.source, unit)))
+    }
+
+    /// The oracle's predicted label, computed on first call (features
+    /// materialise first if needed). Same single-configuration caveat
+    /// as [`Artifact::features`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Artifact::unit`]'s parse error.
+    pub fn oracle_label(&self, model: &AuthorshipModel) -> Result<usize, ParseError> {
+        if let Some(l) = self.oracle_label.get() {
+            return Ok(*l);
+        }
+        let features = self.features(model.extractor())?.to_vec();
+        Ok(*self
+            .oracle_label
+            .get_or_init(|| model.predict_features(&features)))
+    }
+}
+
+/// Frontend accounting for one pipeline build, merged across dispatch
+/// units in input order.
+///
+/// `cache_misses` counts distinct sources materialised (each paid for
+/// its frontend work exactly once); `cache_hits` counts the re-parses
+/// the cache avoided. Equality deliberately ignores `frontend_ns` —
+/// wall-clock varies run to run, the counters must not.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrontendStats {
+    /// Requests served by an existing artifact.
+    pub cache_hits: u64,
+    /// Requests that materialised a new artifact.
+    pub cache_misses: u64,
+    /// Wall-clock nanoseconds spent in frontend work (parse, lint,
+    /// fingerprint, featurize), summed over dispatch units.
+    pub frontend_ns: u128,
+}
+
+impl PartialEq for FrontendStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.cache_hits == other.cache_hits && self.cache_misses == other.cache_misses
+    }
+}
+
+impl FrontendStats {
+    /// Folds another dispatch unit's stats into this one.
+    pub fn merge(&mut self, other: &FrontendStats) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.frontend_ns += other.frontend_ns;
+    }
+
+    /// Fraction of artifact requests served from cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+}
+
+/// A content-addressed artifact cache: 64-bit source hash → artifacts,
+/// with full-text verification inside each bucket.
+///
+/// Not a global structure: the pipeline creates one per dispatch unit
+/// (per human sample, per challenge task) so that hit/miss totals are
+/// a pure function of the inputs, never of scheduling.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    buckets: HashMap<u64, Vec<Arc<Artifact>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ArtifactCache::default()
+    }
+
+    /// Returns the artifact for `source`, creating it on first sight.
+    pub fn intern(&mut self, source: &str) -> Arc<Artifact> {
+        if let Some(existing) = self.lookup(source) {
+            self.hits += 1;
+            return existing;
+        }
+        self.insert(Arc::new(Artifact::new(source)))
+    }
+
+    /// Returns the artifact for `source`, seeding its AST with `unit`
+    /// on first sight (the transform layer already parsed it; a miss
+    /// here records a new distinct source but costs no parse). `unit`
+    /// must be exactly `parse(&source)`.
+    pub fn intern_with_unit(&mut self, source: String, unit: TranslationUnit) -> Arc<Artifact> {
+        if let Some(existing) = self.lookup(&source) {
+            self.hits += 1;
+            return existing;
+        }
+        self.insert(Arc::new(Artifact::with_unit(source, unit)))
+    }
+
+    /// Requests served by an existing artifact.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Requests that materialised a new artifact.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// This cache's counters as mergeable stats (zero wall-clock; the
+    /// pipeline times frontend work around its cache calls).
+    pub fn stats(&self) -> FrontendStats {
+        FrontendStats {
+            cache_hits: self.hits,
+            cache_misses: self.misses,
+            frontend_ns: 0,
+        }
+    }
+
+    fn lookup(&self, source: &str) -> Option<Arc<Artifact>> {
+        self.buckets
+            .get(&content_hash(source))?
+            .iter()
+            .find(|a| a.source() == source)
+            .cloned()
+    }
+
+    fn insert(&mut self, artifact: Arc<Artifact>) -> Arc<Artifact> {
+        self.misses += 1;
+        self.buckets
+            .entry(content_hash(artifact.source()))
+            .or_default()
+            .push(Arc::clone(&artifact));
+        artifact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthattr_analysis::{fingerprint_source, Analyzer};
+
+    const SRC: &str = "int main() { int x = 0; x = x + 1; return 0; }";
+
+    #[test]
+    fn content_hash_is_stable_and_text_sensitive() {
+        assert_eq!(content_hash(SRC), content_hash(SRC));
+        assert_ne!(content_hash(SRC), content_hash("int main() { return 0; }"));
+        // Known FNV-1a vector: hashing the empty string yields the
+        // offset basis.
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn artifact_products_match_from_scratch_computation() {
+        let analyzer = Analyzer::new();
+        let a = Artifact::new(SRC);
+        assert_eq!(a.unit().unwrap(), &parse(SRC).unwrap());
+        assert_eq!(a.tokens().unwrap(), &lex(SRC).unwrap()[..]);
+        assert_eq!(a.fingerprint().unwrap(), fingerprint_source(SRC).unwrap());
+        assert_eq!(
+            a.diagnostics(&analyzer).unwrap(),
+            &analyzer.analyze_source(SRC).unwrap()[..]
+        );
+    }
+
+    #[test]
+    fn with_unit_skips_the_parse_but_changes_nothing() {
+        let unit = parse(SRC).unwrap();
+        let seeded = Artifact::with_unit(SRC, unit.clone());
+        let fresh = Artifact::new(SRC);
+        assert_eq!(seeded.unit().unwrap(), fresh.unit().unwrap());
+        assert_eq!(
+            seeded.fingerprint().unwrap(),
+            fresh.fingerprint().unwrap()
+        );
+        assert_eq!(seeded.unit().unwrap(), &unit);
+    }
+
+    #[test]
+    fn products_are_computed_once_and_shared() {
+        let a = Artifact::new(SRC);
+        let first = a.unit().unwrap() as *const TranslationUnit;
+        let second = a.unit().unwrap() as *const TranslationUnit;
+        assert_eq!(first, second, "repeat calls return the same storage");
+    }
+
+    #[test]
+    fn parse_errors_are_reported_and_sticky() {
+        let a = Artifact::new("int main( {");
+        assert!(a.unit().is_err());
+        assert!(a.fingerprint().is_err());
+        let analyzer = Analyzer::new();
+        assert!(a.diagnostics(&analyzer).is_err());
+    }
+
+    #[test]
+    fn cache_shares_identical_sources_and_counts() {
+        let mut cache = ArtifactCache::new();
+        let a = cache.intern(SRC);
+        let b = cache.intern(SRC);
+        let c = cache.intern("int main() { return 1; }");
+        assert!(Arc::ptr_eq(&a, &b), "identical text shares one artifact");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.stats().hit_rate(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn intern_with_unit_dedups_against_plain_interns() {
+        let mut cache = ArtifactCache::new();
+        let a = cache.intern(SRC);
+        let b = cache.intern_with_unit(SRC.to_string(), parse(SRC).unwrap());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn frontend_stats_merge_and_ignore_wallclock_in_eq() {
+        let mut a = FrontendStats {
+            cache_hits: 2,
+            cache_misses: 3,
+            frontend_ns: 100,
+        };
+        let b = FrontendStats {
+            cache_hits: 1,
+            cache_misses: 1,
+            frontend_ns: 999,
+        };
+        a.merge(&b);
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.cache_misses, 4);
+        assert_eq!(a.frontend_ns, 1099);
+        let c = FrontendStats {
+            cache_hits: 3,
+            cache_misses: 4,
+            frontend_ns: 0,
+        };
+        assert_eq!(a, c, "equality is on counters, not wall-clock");
+        assert!((a.hit_rate() - 3.0 / 7.0).abs() < 1e-12);
+    }
+}

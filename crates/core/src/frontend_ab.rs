@@ -1,0 +1,186 @@
+//! A/B equivalence suite for the single-parse frontend.
+//!
+//! Every test here builds the same experiment twice — once through the
+//! cached artifact frontend ([`YearPipeline::try_build`]) and once
+//! through the pre-cache reference frontend
+//! ([`YearPipeline::try_build_reference`], which re-parses from text at
+//! every stage exactly as the pipeline did before the refactor) — and
+//! asserts the results are bit-identical. The cache is only allowed to
+//! change *when* frontend work happens, never *what* it produces.
+//!
+//! Coverage follows the paper's experimental grid at reduced scale:
+//! all nine style pools (years 2017–2019 × root seeds 1–3), both
+//! protocols (NCT and CT run inside every pipeline via the four
+//! settings of Table II), and fault-injection rates 0%, 5%, and 20%.
+
+use crate::config::{ExperimentConfig, Scale};
+use crate::experiments::attribution::{self, Grouping};
+use crate::experiments::{binary, diversity, figures, styles};
+use crate::pipeline::YearPipeline;
+use synthattr_faults::FaultProfile;
+
+const YEARS: [u32; 3] = [2017, 2018, 2019];
+const SEEDS: [u64; 3] = [1, 2, 3];
+const RATES: [f64; 3] = [0.0, 0.05, 0.20];
+
+/// A deliberately tiny scale: the grid below builds dozens of
+/// pipelines, and frontend equivalence is scale-free (the same code
+/// paths run at paper scale with bigger loops).
+fn tiny(seed: u64, rate: f64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.seed = seed;
+    cfg.scale = Scale {
+        authors: 6,
+        challenges: 2,
+        transforms: 4,
+        n_trees: 4,
+    };
+    if rate > 0.0 {
+        cfg = cfg.with_faults(FaultProfile::recoverable(seed, rate));
+    }
+    cfg
+}
+
+/// Field-by-field bit-identity between two pipeline builds.
+fn assert_pipelines_identical(cached: &YearPipeline, reference: &YearPipeline, ctx: &str) {
+    assert_eq!(
+        cached.human_features, reference.human_features,
+        "human feature matrix diverged ({ctx})"
+    );
+    assert_eq!(cached.seed_author, reference.seed_author, "{ctx}");
+    assert_eq!(
+        cached.diagnostics, reference.diagnostics,
+        "lint diagnostics diverged ({ctx})"
+    );
+    assert_eq!(
+        cached.resilience, reference.resilience,
+        "resilience accounting diverged ({ctx})"
+    );
+    assert_eq!(
+        cached.transformed.len(),
+        reference.transformed.len(),
+        "{ctx}"
+    );
+    for (a, b) in cached.transformed.iter().zip(&reference.transformed) {
+        assert_eq!(a.sample, b.sample, "transformed sample diverged ({ctx})");
+        assert_eq!(a.challenge, b.challenge, "{ctx}");
+        assert_eq!(a.setting, b.setting, "{ctx}");
+        assert_eq!(a.features, b.features, "feature vector diverged ({ctx})");
+        assert_eq!(a.oracle_label, b.oracle_label, "oracle label diverged ({ctx})");
+        assert_eq!(a.outcome, b.outcome, "{ctx}");
+    }
+}
+
+/// The tentpole guarantee over the full grid: 9 pools × 3 fault rates,
+/// NCT and CT both exercised inside every build.
+#[test]
+fn cached_frontend_matches_reference_across_pools_and_fault_rates() {
+    for year in YEARS {
+        for seed in SEEDS {
+            for rate in RATES {
+                let ctx = format!("year={year} seed={seed} rate={rate}");
+                let cfg = tiny(seed, rate);
+                let cached = YearPipeline::try_build(year, &cfg)
+                    .unwrap_or_else(|e| panic!("cached build failed ({ctx}): {e}"));
+                let reference = YearPipeline::try_build_reference(year, &cfg)
+                    .unwrap_or_else(|e| panic!("reference build failed ({ctx}): {e}"));
+                assert_pipelines_identical(&cached, &reference, &ctx);
+
+                // The reference frontend records no cache traffic; the
+                // cached frontend must have materialised every human
+                // sample plus every distinct transformed source, and
+                // each seed's second setting is a guaranteed hit.
+                assert_eq!(reference.frontend.cache_hits, 0, "{ctx}");
+                assert_eq!(reference.frontend.cache_misses, 0, "{ctx}");
+                assert!(
+                    cached.frontend.cache_misses >= cached.corpus.len() as u64,
+                    "{ctx}: {:?}",
+                    cached.frontend
+                );
+                assert!(
+                    cached.frontend.cache_hits >= 2 * cfg.scale.challenges as u64,
+                    "{ctx}: {:?}",
+                    cached.frontend
+                );
+            }
+        }
+    }
+}
+
+/// Every table and figure driver is a pure function of the pipeline,
+/// so frontend equivalence must propagate to the paper's artifacts
+/// (Tables IV–X, Figure 1). Debug formatting is the strictest cheap
+/// equality available across all result types.
+#[test]
+fn experiment_tables_match_reference_frontend() {
+    let mut cached_years = Vec::new();
+    let mut reference_years = Vec::new();
+    for year in YEARS {
+        let ctx = format!("tables year={year}");
+        let cfg = tiny(2, 0.05);
+        let cached = YearPipeline::try_build(year, &cfg).unwrap();
+        let reference = YearPipeline::try_build_reference(year, &cfg).unwrap();
+
+        // Table IV (styles), Tables V–VII (diversity).
+        assert_eq!(
+            format!("{:?}", styles::run(&cached)),
+            format!("{:?}", styles::run(&reference)),
+            "{ctx}"
+        );
+        assert_eq!(
+            format!("{:?}", diversity::run(&cached)),
+            format!("{:?}", diversity::run(&reference)),
+            "{ctx}"
+        );
+        // Tables VIII–IX (attribution, both groupings).
+        for grouping in [Grouping::Naive, Grouping::FeatureBased] {
+            assert_eq!(
+                format!("{:?}", attribution::run(&cached, grouping)),
+                format!("{:?}", attribution::run(&reference, grouping)),
+                "{ctx} {grouping:?}"
+            );
+        }
+        // Table X (binary, per-year) and Figure 1.
+        assert_eq!(
+            format!("{:?}", binary::run_individual(&cached)),
+            format!("{:?}", binary::run_individual(&reference)),
+            "{ctx}"
+        );
+        assert_eq!(figures::figure1(&cached), figures::figure1(&reference), "{ctx}");
+
+        cached_years.push(cached);
+        reference_years.push(reference);
+    }
+    // Table X (combined over all years).
+    assert_eq!(
+        format!("{:?}", binary::run_combined(&cached_years)),
+        format!("{:?}", binary::run_combined(&reference_years)),
+        "combined binary"
+    );
+}
+
+/// Degraded (not just recovered) runs must also be frontend-invariant:
+/// the brutal profile forces NCT resamples and CT held steps, which is
+/// exactly where the cached path's held-step hits come from.
+#[test]
+fn degraded_runs_match_reference_and_hit_the_cache() {
+    let mut cfg = tiny(3, 0.0);
+    cfg = cfg.with_faults(FaultProfile::brutal(3));
+    let cached = YearPipeline::try_build(2018, &cfg).unwrap();
+    let reference = YearPipeline::try_build_reference(2018, &cfg).unwrap();
+    assert_pipelines_identical(&cached, &reference, "brutal 2018");
+    assert!(
+        cached.resilience.degraded + cached.resilience.failed > 0,
+        "brutal profile should degrade: {:?}",
+        cached.resilience
+    );
+    // A CT stream that holds its last good step (or an NCT stream that
+    // falls back to the seed) re-interns an already-seen source, so
+    // degradation strictly increases the hit count beyond the per-seed
+    // floor.
+    assert!(
+        cached.frontend.cache_hits > 2 * cfg.scale.challenges as u64,
+        "{:?}",
+        cached.frontend
+    );
+}

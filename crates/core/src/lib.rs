@@ -35,12 +35,16 @@
 //! assert_eq!(styles.per_challenge.len(), cfg.scale.challenges);
 //! ```
 
+pub mod artifact;
 pub mod config;
+#[cfg(test)]
+mod frontend_ab;
 pub mod error;
 pub mod experiments;
 pub mod model;
 pub mod pipeline;
 
+pub use artifact::{Artifact, ArtifactCache, FrontendStats};
 pub use config::{ExperimentConfig, Scale};
 pub use error::PipelineError;
 pub use model::AuthorshipModel;

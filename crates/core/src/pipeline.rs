@@ -15,20 +15,23 @@
 //! Every table driver in [`crate::experiments`] is a cheap analysis
 //! pass over this cached state.
 
+use crate::artifact::{Artifact, ArtifactCache, FrontendStats};
 use crate::config::ExperimentConfig;
 use crate::error::PipelineError;
 use crate::model::AuthorshipModel;
 use std::collections::BTreeMap;
+use std::time::Instant;
 use synthattr_analysis::{Analyzer, Severity};
-use synthattr_faults::drivers::{run_ct_resilient, run_nct_resilient};
+use synthattr_faults::drivers::{run_ct_resilient_parsed, run_nct_resilient_parsed};
 use synthattr_faults::{FaultyTransformer, Outcome, ResilienceStats};
 use synthattr_features::FeatureExtractor;
 use synthattr_gen::challenges::ChallengeId;
 use synthattr_gen::corpus::{generate_year, Origin, YearCorpus, YearSpec};
 use synthattr_gen::style::AuthorStyle;
-use synthattr_gpt::chain::{try_run_ct, try_run_nct, TransformedSample};
+use synthattr_gpt::chain::{try_run_ct_steps, try_run_nct_steps, TransformedSample};
 use synthattr_gpt::pool::YearPool;
 use synthattr_gpt::transform::Transformer;
+use synthattr_gpt::GptError;
 use synthattr_ml::dataset::Dataset;
 use synthattr_util::{pool, Pcg64};
 
@@ -115,6 +118,18 @@ impl DiagnosticStats {
             }
         }
     }
+
+    /// Folds another dispatch unit's stats into this one. All fields
+    /// are sums, so merging in input order is equal to absorbing every
+    /// program serially.
+    fn merge(&mut self, other: &DiagnosticStats) {
+        self.units += other.units;
+        for (pass, n) in &other.per_pass {
+            *self.per_pass.entry(pass.clone()).or_insert(0) += n;
+        }
+        self.errors += other.errors;
+        self.warnings += other.warnings;
+    }
 }
 
 /// One transformed sample with cached analysis state.
@@ -158,6 +173,10 @@ pub struct YearPipeline {
     /// Resilience accounting for the transformation stage (all-clean
     /// with zero overhead when `config.faults` is `None`).
     pub resilience: ResilienceStats,
+    /// Frontend accounting: artifact-cache hits/misses and wall-clock
+    /// spent in parse/lint/fingerprint/featurize work. The counters
+    /// are worker-count invariant; only `frontend_ns` varies.
+    pub frontend: FrontendStats,
 }
 
 impl YearPipeline {
@@ -197,17 +216,47 @@ impl YearPipeline {
         let workers = pool::resolve_workers(config.workers);
         let spec = try_year_spec(year, config)?;
         let corpus = generate_year(&spec, config.seed);
+        let analyzer = Analyzer::new();
 
+        // Human stage: one artifact per sample carries the parse from
+        // featurization straight into lint — the corpus is featurized
+        // AND linted off a single parse each. Sharding per sample (one
+        // artifact, one miss) keeps the counters a pure function of
+        // the corpus.
         let extractor = FeatureExtractor::new(config.features.clone());
-        let human_features: Vec<Vec<f64>> =
+        let human: Vec<(Vec<f64>, DiagnosticStats, FrontendStats)> =
             pool::parallel_try_map_workers(workers, (0..corpus.samples.len()).collect(), |i| {
-                extractor
-                    .extract(&corpus.samples[i].source)
+                let t0 = Instant::now();
+                let artifact = Artifact::new(corpus.samples[i].source.as_str());
+                let features = artifact
+                    .features(&extractor)
                     .map_err(|e| PipelineError::Analysis {
                         stage: "featurize",
                         source: e,
-                    })
+                    })?
+                    .to_vec();
+                let mut diags = DiagnosticStats::default();
+                diags.absorb(artifact.diagnostics(&analyzer).map_err(|e| {
+                    PipelineError::Analysis {
+                        stage: "lint",
+                        source: e,
+                    }
+                })?);
+                let frontend = FrontendStats {
+                    cache_hits: 0,
+                    cache_misses: 1,
+                    frontend_ns: t0.elapsed().as_nanos(),
+                };
+                Ok((features, diags, frontend))
             })?;
+        let mut human_features: Vec<Vec<f64>> = Vec::with_capacity(human.len());
+        let mut diagnostics = DiagnosticStats::default();
+        let mut frontend = FrontendStats::default();
+        for (features, diags, fe) in human {
+            human_features.push(features);
+            diagnostics.merge(&diags);
+            frontend.merge(&fe);
+        }
 
         // Oracle: one class per human author.
         let mut human_ds = Dataset::new(spec.authors);
@@ -231,8 +280,17 @@ impl YearPipeline {
         // One task per challenge; each task derives its own RNG
         // streams from the root seed, so scheduling cannot perturb
         // them, and the order-preserving pool plus a flatten
-        // reproduces the serial push order exactly.
-        let per_challenge: Vec<(Vec<TransformedEntry>, ResilienceStats)> =
+        // reproduces the serial push order exactly. Each task owns a
+        // local artifact cache — sharded per challenge so hit/miss
+        // totals are a pure function of the inputs, never of which
+        // worker drained which task.
+        #[allow(clippy::type_complexity)]
+        let per_challenge: Vec<(
+            Vec<TransformedEntry>,
+            ResilienceStats,
+            DiagnosticStats,
+            FrontendStats,
+        )> =
             pool::parallel_try_map_workers(workers, (0..spec.challenges.len()).collect(), |ci| {
                 let challenge = spec.challenges[ci];
                 let service = config
@@ -241,6 +299,9 @@ impl YearPipeline {
                     .map(|p| FaultyTransformer::new(&pool, p.plan(), p.policy.clone()));
                 let mut stream_stats = ResilienceStats::default();
                 let mut transformed = Vec::new();
+                let mut cache = ArtifactCache::new();
+                let mut diags = DiagnosticStats::default();
+                let mut frontend_ns: u128 = 0;
                 // ChatGPT-generated seed: one solution in a weighted pool
                 // style (the "generation" role of the simulator).
                 let mut gen_rng = Pcg64::seed_from(
@@ -284,12 +345,250 @@ impl YearPipeline {
                         setting: setting.notation(),
                         source,
                     };
+                    // Intern the seed once per setting: each seed text
+                    // is shared by its two settings, so this is two
+                    // misses and two hits per challenge — and exactly
+                    // one parse per distinct seed.
+                    let t0 = Instant::now();
+                    let seed_artifact = cache.intern(seed_code);
+                    let seed_unit = seed_artifact
+                        .unit()
+                        .map_err(|e| fail(GptError::Parse(e)))?;
+                    frontend_ns += t0.elapsed().as_nanos();
+                    let (samples, units, outcomes) = match (&service, &config.faults) {
+                        (Some(svc), Some(profile)) => {
+                            let anchor = format!("ch{ci}/{}", setting.notation());
+                            let mut cx = profile.stream_cx(n_streams);
+                            let run = if setting.chaining() {
+                                run_ct_resilient_parsed(
+                                    svc,
+                                    seed_code,
+                                    seed_unit,
+                                    config.scale.transforms,
+                                    origin,
+                                    &mut rng,
+                                    &anchor,
+                                    &mut cx,
+                                )
+                            } else {
+                                run_nct_resilient_parsed(
+                                    svc,
+                                    seed_code,
+                                    seed_unit,
+                                    config.scale.transforms,
+                                    origin,
+                                    &mut rng,
+                                    &anchor,
+                                    &mut cx,
+                                )
+                            }
+                            .map_err(fail)?;
+                            stream_stats.merge(&run.stats);
+                            (run.samples, run.units, run.outcomes)
+                        }
+                        _ => {
+                            let steps = if setting.chaining() {
+                                try_run_ct_steps(
+                                    &transformer,
+                                    seed_code,
+                                    seed_unit,
+                                    config.scale.transforms,
+                                    origin,
+                                    &mut rng,
+                                )
+                            } else {
+                                try_run_nct_steps(
+                                    &transformer,
+                                    seed_code,
+                                    seed_unit,
+                                    config.scale.transforms,
+                                    origin,
+                                    &mut rng,
+                                )
+                            }
+                            .map_err(fail)?;
+                            let outcomes = vec![Outcome::Clean; steps.len()];
+                            for o in &outcomes {
+                                stream_stats.record(*o);
+                            }
+                            let mut samples = Vec::with_capacity(steps.len());
+                            let mut units = Vec::with_capacity(steps.len());
+                            for step in steps {
+                                samples.push(step.sample);
+                                units.push(step.unit);
+                            }
+                            (samples, units, outcomes)
+                        }
+                    };
+                    // Featurize, label, and lint each sample off one
+                    // shared artifact. The transform layer already
+                    // parsed every accepted response, so even a cache
+                    // miss here costs no parse; a hit (CT held steps,
+                    // NCT fixed points) reuses every cached product.
+                    for ((sample, unit), outcome) in
+                        samples.into_iter().zip(units).zip(outcomes)
+                    {
+                        let t0 = Instant::now();
+                        let artifact = cache.intern_with_unit(sample.source.clone(), unit);
+                        let features = artifact
+                            .features(oracle.extractor())
+                            .map_err(|e| PipelineError::Analysis {
+                                stage: "featurize",
+                                source: e,
+                            })?
+                            .to_vec();
+                        let oracle_label =
+                            artifact
+                                .oracle_label(&oracle)
+                                .map_err(|e| PipelineError::Analysis {
+                                    stage: "featurize",
+                                    source: e,
+                                })?;
+                        diags.absorb(artifact.diagnostics(&analyzer).map_err(|e| {
+                            PipelineError::Analysis {
+                                stage: "lint",
+                                source: e,
+                            }
+                        })?);
+                        frontend_ns += t0.elapsed().as_nanos();
+                        transformed.push(TransformedEntry {
+                            sample,
+                            challenge: ci,
+                            setting,
+                            features,
+                            oracle_label,
+                            outcome,
+                        });
+                    }
+                }
+                let mut frontend = cache.stats();
+                frontend.frontend_ns = frontend_ns;
+                Ok((transformed, stream_stats, diags, frontend))
+            })?;
+        let mut resilience = ResilienceStats::default();
+        let mut transformed: Vec<TransformedEntry> = Vec::new();
+        for (entries, stats, d, fe) in per_challenge {
+            transformed.extend(entries);
+            resilience.merge(&stats);
+            diagnostics.merge(&d);
+            frontend.merge(&fe);
+        }
+
+        Ok(YearPipeline {
+            year,
+            config: config.clone(),
+            corpus,
+            human_features,
+            oracle,
+            transformed,
+            seed_author,
+            diagnostics,
+            resilience,
+            frontend,
+        })
+    }
+
+    /// Builds the pipeline through the pre-cache frontend: every stage
+    /// re-parses from text, exactly as the pipeline did before the
+    /// single-parse artifact refactor. Kept (test/feature-gated) as the
+    /// reference implementation the A/B suite and the `pipeline` bench
+    /// compare against; `frontend` is all-zero since nothing is cached.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`YearPipeline::try_build`].
+    #[cfg(any(test, feature = "reference-frontend"))]
+    pub fn try_build_reference(
+        year: u32,
+        config: &ExperimentConfig,
+    ) -> Result<Self, PipelineError> {
+        use synthattr_faults::drivers::{run_ct_resilient_reference, run_nct_resilient_reference};
+        use synthattr_gpt::chain::{try_run_ct, try_run_nct};
+
+        let workers = pool::resolve_workers(config.workers);
+        let spec = try_year_spec(year, config)?;
+        let corpus = generate_year(&spec, config.seed);
+
+        let extractor = FeatureExtractor::new(config.features.clone());
+        let human_features: Vec<Vec<f64>> =
+            pool::parallel_try_map_workers(workers, (0..corpus.samples.len()).collect(), |i| {
+                extractor
+                    .extract(&corpus.samples[i].source)
+                    .map_err(|e| PipelineError::Analysis {
+                        stage: "featurize",
+                        source: e,
+                    })
+            })?;
+
+        // Oracle: one class per human author.
+        let mut human_ds = Dataset::new(spec.authors);
+        for (sample, features) in corpus.samples.iter().zip(&human_features) {
+            human_ds.push(features.clone(), sample.author);
+        }
+        let mut rng = Pcg64::seed_from(config.seed, &["oracle", &year.to_string()]);
+        let oracle =
+            AuthorshipModel::from_features(extractor, &human_ds, &config.forest(), &mut rng);
+
+        // Seeds and transformations.
+        let pool = YearPool::calibrated(year, config.seed);
+        let transformer = Transformer::new(&pool);
+        let seed_author = (year as usize * 7) % spec.authors;
+        let n_streams = spec.challenges.len() * Setting::all().len();
+        let per_challenge: Vec<(Vec<TransformedEntry>, ResilienceStats)> =
+            pool::parallel_try_map_workers(workers, (0..spec.challenges.len()).collect(), |ci| {
+                let challenge = spec.challenges[ci];
+                let service = config
+                    .faults
+                    .as_ref()
+                    .map(|p| FaultyTransformer::new(&pool, p.plan(), p.policy.clone()));
+                let mut stream_stats = ResilienceStats::default();
+                let mut transformed = Vec::new();
+                let mut gen_rng = Pcg64::seed_from(
+                    config.seed,
+                    &["gpt-gen", &year.to_string(), &ci.to_string()],
+                );
+                let gen_style_idx = pool.sample_index(&mut gen_rng);
+                let gpt_seed = synthattr_gen::corpus::solution_in_style(
+                    challenge,
+                    pool.style(gen_style_idx),
+                    config.seed,
+                    &["gpt-gen-code", &year.to_string(), &ci.to_string()],
+                );
+                let human_seed = corpus
+                    .samples
+                    .iter()
+                    .find(|s| s.author == seed_author && s.challenge == ci)
+                    .expect("corpus covers author x challenge")
+                    .source
+                    .clone();
+
+                for setting in Setting::all() {
+                    let (seed_code, origin) = if setting.human_seed() {
+                        (&human_seed, Origin::Human)
+                    } else {
+                        (&gpt_seed, Origin::ChatGpt)
+                    };
+                    let mut rng = Pcg64::seed_from(
+                        config.seed,
+                        &[
+                            "transform",
+                            &year.to_string(),
+                            &ci.to_string(),
+                            setting.notation(),
+                        ],
+                    );
+                    let fail = |source| PipelineError::Transform {
+                        year,
+                        challenge: ci,
+                        setting: setting.notation(),
+                        source,
+                    };
                     let (samples, outcomes) = match (&service, &config.faults) {
                         (Some(svc), Some(profile)) => {
                             let anchor = format!("ch{ci}/{}", setting.notation());
                             let mut cx = profile.stream_cx(n_streams);
                             let run = if setting.chaining() {
-                                run_ct_resilient(
+                                run_ct_resilient_reference(
                                     svc,
                                     seed_code,
                                     config.scale.transforms,
@@ -299,7 +598,7 @@ impl YearPipeline {
                                     &mut cx,
                                 )
                             } else {
-                                run_nct_resilient(
+                                run_nct_resilient_reference(
                                     svc,
                                     seed_code,
                                     config.scale.transforms,
@@ -366,9 +665,8 @@ impl YearPipeline {
             resilience.merge(&stats);
         }
 
-        // Run stats: lint every program the run produced. Per-sample
-        // analysis parallelizes like featurization; summed counts make
-        // the result independent of worker count and merge order.
+        // Run stats: lint every program the run produced, each from a
+        // fresh parse of its text.
         let analyzer = Analyzer::new();
         let sources: Vec<&str> = corpus
             .samples
@@ -400,6 +698,7 @@ impl YearPipeline {
             seed_author,
             diagnostics,
             resilience,
+            frontend: FrontendStats::default(),
         })
     }
 
@@ -549,6 +848,10 @@ mod tests {
         assert_eq!(serial.human_features, parallel.human_features);
         assert_eq!(serial.seed_author, parallel.seed_author);
         assert_eq!(serial.diagnostics, parallel.diagnostics);
+        // FrontendStats equality is on the hit/miss counters (wall
+        // clock is excluded): the artifact cache is sharded per
+        // dispatch unit, so its traffic cannot depend on scheduling.
+        assert_eq!(serial.frontend, parallel.frontend);
         assert_eq!(serial.transformed.len(), parallel.transformed.len());
         for (s, p) in serial.transformed.iter().zip(&parallel.transformed) {
             assert_eq!(s.sample.source, p.sample.source);

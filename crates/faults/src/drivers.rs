@@ -26,6 +26,7 @@ use crate::retry::RetryBudget;
 use crate::service::{CallTrace, FaultyTransformer};
 use synthattr_gen::corpus::Origin;
 use synthattr_gpt::{GptError, TransformMode, TransformedSample};
+use synthattr_lang::{parse, TranslationUnit};
 use synthattr_util::Pcg64;
 
 /// Mutable per-stream state: one retry budget and one breaker guard a
@@ -59,6 +60,10 @@ impl StreamCx {
 pub struct ResilientRun {
     /// The transformed samples, in step order. Always `n` long.
     pub samples: Vec<TransformedSample>,
+    /// `units[i]` is the AST of `samples[i].source`, carried out of
+    /// the validation gate (or cloned from the seed for failed steps)
+    /// so downstream stages never re-parse accepted responses.
+    pub units: Vec<TranslationUnit>,
     /// `outcomes[i]` describes how `samples[i]` survived the chaos.
     pub outcomes: Vec<Outcome>,
     /// Aggregated accounting for the stream.
@@ -88,6 +93,333 @@ pub fn run_nct_resilient(
     anchor: &str,
     cx: &mut StreamCx,
 ) -> Result<ResilientRun, GptError> {
+    let seed_unit = parse(seed_code).map_err(GptError::Parse)?;
+    run_nct_resilient_parsed(svc, seed_code, &seed_unit, n, seed_origin, rng, anchor, cx)
+}
+
+/// Single-parse variant of [`run_nct_resilient`]: the caller supplies
+/// the seed's already-parsed AST, the validation expectation is
+/// computed once for the whole stream (every step transforms the same
+/// seed), and accepted responses come back with their ASTs attached.
+/// Samples, outcomes, and stats are byte-identical to
+/// [`run_nct_resilient`].
+///
+/// # Errors
+///
+/// Only [`GptError::Parse`], and only from a transformer bug surfaced
+/// by the debug semantics gate — service faults degrade, not error.
+#[allow(clippy::too_many_arguments)]
+pub fn run_nct_resilient_parsed(
+    svc: &FaultyTransformer<'_>,
+    seed_code: &str,
+    seed_unit: &TranslationUnit,
+    n: usize,
+    seed_origin: Origin,
+    rng: &mut Pcg64,
+    anchor: &str,
+    cx: &mut StreamCx,
+) -> Result<ResilientRun, GptError> {
+    let pool = svc.pool();
+    let year = pool.year;
+    let seed_exp = svc.prepare(seed_unit);
+    let mut samples = Vec::with_capacity(n);
+    let mut units = Vec::with_capacity(n);
+    let mut outcomes = Vec::with_capacity(n);
+    let mut stats = ResilienceStats::default();
+    let trips_before = cx.breaker.trips();
+    for step in 1..=n {
+        let pool_index = pool.sample_index(rng);
+        let scope = CallScope { year, anchor, step };
+        let mut trace = CallTrace::default();
+        let outcome = match svc.transform_prepared(
+            seed_code,
+            seed_unit,
+            &seed_exp,
+            pool_index,
+            rng,
+            &scope,
+            &mut cx.budget,
+            &mut cx.breaker,
+            &mut trace,
+        ) {
+            Ok(accepted) => {
+                absorb(&mut stats, &trace);
+                samples.push(sample(
+                    accepted.source,
+                    step,
+                    TransformMode::NonChaining,
+                    seed_origin,
+                    pool_index,
+                ));
+                units.push(accepted.unit);
+                if trace.attempts > 1 {
+                    Outcome::Recovered {
+                        attempts: trace.attempts,
+                    }
+                } else {
+                    Outcome::Clean
+                }
+            }
+            Err(GptError::Parse(e)) => return Err(GptError::Parse(e)),
+            Err(err) => {
+                absorb(&mut stats, &trace);
+                if matches!(err, GptError::CircuitOpen { .. }) {
+                    stats.record_fault("circuit-open");
+                }
+                // NCT degradation: the step is independent of its
+                // siblings, so re-draw it on a fresh derived stream.
+                // Each resample has its own anchor, hence its own
+                // fault coordinates — a deterministic "new request".
+                let mut rescued = None;
+                for k in 1..=cx.resamples {
+                    let re_anchor = format!("{anchor}/resample{k}");
+                    let re_scope = CallScope {
+                        year,
+                        anchor: &re_anchor,
+                        step,
+                    };
+                    let mut re_rng = Pcg64::seed_from(
+                        svc.plan().seed,
+                        &[
+                            "nct-resample",
+                            &year.to_string(),
+                            anchor,
+                            &step.to_string(),
+                            &k.to_string(),
+                        ],
+                    );
+                    let mut re_trace = CallTrace::default();
+                    match svc.transform_prepared(
+                        seed_code,
+                        seed_unit,
+                        &seed_exp,
+                        pool_index,
+                        &mut re_rng,
+                        &re_scope,
+                        &mut cx.budget,
+                        &mut cx.breaker,
+                        &mut re_trace,
+                    ) {
+                        Ok(accepted) => {
+                            absorb(&mut stats, &re_trace);
+                            rescued = Some((accepted, k));
+                            break;
+                        }
+                        Err(GptError::Parse(e)) => return Err(GptError::Parse(e)),
+                        Err(re_err) => {
+                            absorb(&mut stats, &re_trace);
+                            if matches!(re_err, GptError::CircuitOpen { .. }) {
+                                stats.record_fault("circuit-open");
+                            }
+                        }
+                    }
+                }
+                match rescued {
+                    Some((accepted, k)) => {
+                        samples.push(sample(
+                            accepted.source,
+                            step,
+                            TransformMode::NonChaining,
+                            seed_origin,
+                            pool_index,
+                        ));
+                        units.push(accepted.unit);
+                        Outcome::Degraded {
+                            fallback: Fallback::Resampled { resamples: k },
+                        }
+                    }
+                    None => {
+                        samples.push(sample(
+                            seed_code.to_string(),
+                            step,
+                            TransformMode::NonChaining,
+                            seed_origin,
+                            pool_index,
+                        ));
+                        units.push(seed_unit.clone());
+                        Outcome::Failed
+                    }
+                }
+            }
+        };
+        stats.record(outcome);
+        outcomes.push(outcome);
+    }
+    stats.breaker_trips = cx.breaker.trips() - trips_before;
+    Ok(ResilientRun {
+        samples,
+        units,
+        outcomes,
+        stats,
+    })
+}
+
+/// Runs chaining transformation under fault injection.
+///
+/// # Errors
+///
+/// Only [`GptError::Parse`] — `seed_code` outside the subset.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ct_resilient(
+    svc: &FaultyTransformer<'_>,
+    seed_code: &str,
+    n: usize,
+    seed_origin: Origin,
+    rng: &mut Pcg64,
+    anchor: &str,
+    cx: &mut StreamCx,
+) -> Result<ResilientRun, GptError> {
+    let seed_unit = parse(seed_code).map_err(GptError::Parse)?;
+    run_ct_resilient_parsed(svc, seed_code, &seed_unit, n, seed_origin, rng, anchor, cx)
+}
+
+/// Single-parse variant of [`run_ct_resilient`]: the chain threads
+/// each accepted response's AST and expectation (byproducts of the
+/// validation gate) into the next step, so a whole `n`-step chain
+/// parses each rendered output exactly once and the seed zero times
+/// beyond the caller's own parse. Samples, outcomes, and stats are
+/// byte-identical to [`run_ct_resilient`].
+///
+/// # Errors
+///
+/// Only [`GptError::Parse`], and only from a transformer bug surfaced
+/// by the debug semantics gate.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ct_resilient_parsed(
+    svc: &FaultyTransformer<'_>,
+    seed_code: &str,
+    seed_unit: &TranslationUnit,
+    n: usize,
+    seed_origin: Origin,
+    rng: &mut Pcg64,
+    anchor: &str,
+    cx: &mut StreamCx,
+) -> Result<ResilientRun, GptError> {
+    let pool = svc.pool();
+    let year = pool.year;
+    let mut samples: Vec<TransformedSample> = Vec::with_capacity(n);
+    let mut units: Vec<TranslationUnit> = Vec::with_capacity(n);
+    let mut outcomes = Vec::with_capacity(n);
+    let mut stats = ResilienceStats::default();
+    let trips_before = cx.breaker.trips();
+    // The chain head: source text, AST, and validation expectation of
+    // whatever the next call transforms. Held steps keep it in place.
+    let mut current_source = seed_code.to_string();
+    let mut current_unit = seed_unit.clone();
+    let mut current_exp = svc.prepare(seed_unit);
+    let mut style_idx = pool.sample_index(rng);
+    for step in 1..=n {
+        if step > 1 && !rng.next_bool(pool.ct_stickiness) {
+            style_idx = pool.sample_index(rng);
+        }
+        let scope = CallScope { year, anchor, step };
+        let mut trace = CallTrace::default();
+        let outcome = match svc.transform_prepared(
+            &current_source,
+            &current_unit,
+            &current_exp,
+            style_idx,
+            rng,
+            &scope,
+            &mut cx.budget,
+            &mut cx.breaker,
+            &mut trace,
+        ) {
+            Ok(accepted) => {
+                absorb(&mut stats, &trace);
+                current_source = accepted.source.clone();
+                current_unit = accepted.unit;
+                current_exp = accepted.expectation;
+                samples.push(sample(
+                    accepted.source,
+                    step,
+                    TransformMode::Chaining,
+                    seed_origin,
+                    style_idx,
+                ));
+                units.push(current_unit.clone());
+                if trace.attempts > 1 {
+                    Outcome::Recovered {
+                        attempts: trace.attempts,
+                    }
+                } else {
+                    Outcome::Clean
+                }
+            }
+            Err(GptError::Parse(e)) => return Err(GptError::Parse(e)),
+            Err(err) => {
+                absorb(&mut stats, &trace);
+                // CT degradation: a chain cannot resample a mid-chain
+                // step without rewriting history, so the chain *holds*
+                // — the sample repeats the last good source and the
+                // next step transforms from it.
+                samples.push(sample(
+                    current_source.clone(),
+                    step,
+                    TransformMode::Chaining,
+                    seed_origin,
+                    style_idx,
+                ));
+                units.push(current_unit.clone());
+                if matches!(err, GptError::CircuitOpen { .. }) {
+                    stats.record_fault("circuit-open");
+                    Outcome::Failed
+                } else {
+                    Outcome::Degraded {
+                        fallback: Fallback::HeldStep,
+                    }
+                }
+            }
+        };
+        stats.record(outcome);
+        outcomes.push(outcome);
+    }
+    stats.breaker_trips = cx.breaker.trips() - trips_before;
+    Ok(ResilientRun {
+        samples,
+        units,
+        outcomes,
+        stats,
+    })
+}
+
+fn sample(
+    source: String,
+    step: usize,
+    mode: TransformMode,
+    seed_origin: Origin,
+    pool_index: usize,
+) -> TransformedSample {
+    TransformedSample {
+        source,
+        step,
+        mode,
+        seed_origin,
+        pool_index,
+    }
+}
+
+/// The pre-cache NCT driver, kept as the reference baseline for the
+/// single-parse frontend's A/B suite and the `pipeline` bench: every
+/// step goes through [`FaultyTransformer::transform`], which re-parses
+/// and re-validates its input *per call* and discards the response AST
+/// it just checked. Samples, outcomes, and stats are byte-identical to
+/// [`run_nct_resilient_parsed`] — only the repeated frontend work
+/// differs.
+///
+/// # Errors
+///
+/// Only [`GptError::Parse`] — `seed_code` outside the subset.
+#[allow(clippy::too_many_arguments)]
+pub fn run_nct_resilient_reference(
+    svc: &FaultyTransformer<'_>,
+    seed_code: &str,
+    n: usize,
+    seed_origin: Origin,
+    rng: &mut Pcg64,
+    anchor: &str,
+    cx: &mut StreamCx,
+) -> Result<ReferenceRun, GptError> {
     let pool = svc.pool();
     let year = pool.year;
     let mut samples = Vec::with_capacity(n);
@@ -109,7 +441,13 @@ pub fn run_nct_resilient(
         ) {
             Ok(source) => {
                 absorb(&mut stats, &trace);
-                samples.push(sample(source, step, TransformMode::NonChaining, seed_origin, pool_index));
+                samples.push(sample(
+                    source,
+                    step,
+                    TransformMode::NonChaining,
+                    seed_origin,
+                    pool_index,
+                ));
                 if trace.attempts > 1 {
                     Outcome::Recovered {
                         attempts: trace.attempts,
@@ -124,10 +462,6 @@ pub fn run_nct_resilient(
                 if matches!(err, GptError::CircuitOpen { .. }) {
                     stats.record_fault("circuit-open");
                 }
-                // NCT degradation: the step is independent of its
-                // siblings, so re-draw it on a fresh derived stream.
-                // Each resample has its own anchor, hence its own
-                // fault coordinates — a deterministic "new request".
                 let mut rescued = None;
                 for k in 1..=cx.resamples {
                     let re_anchor = format!("{anchor}/resample{k}");
@@ -200,20 +534,20 @@ pub fn run_nct_resilient(
         outcomes.push(outcome);
     }
     stats.breaker_trips = cx.breaker.trips() - trips_before;
-    Ok(ResilientRun {
+    Ok(ReferenceRun {
         samples,
         outcomes,
         stats,
     })
 }
 
-/// Runs chaining transformation under fault injection.
+/// The pre-cache CT driver; see [`run_nct_resilient_reference`].
 ///
 /// # Errors
 ///
 /// Only [`GptError::Parse`] — `seed_code` outside the subset.
 #[allow(clippy::too_many_arguments)]
-pub fn run_ct_resilient(
+pub fn run_ct_resilient_reference(
     svc: &FaultyTransformer<'_>,
     seed_code: &str,
     n: usize,
@@ -221,7 +555,7 @@ pub fn run_ct_resilient(
     rng: &mut Pcg64,
     anchor: &str,
     cx: &mut StreamCx,
-) -> Result<ResilientRun, GptError> {
+) -> Result<ReferenceRun, GptError> {
     let pool = svc.pool();
     let year = pool.year;
     let mut samples = Vec::with_capacity(n);
@@ -248,7 +582,13 @@ pub fn run_ct_resilient(
             Ok(source) => {
                 absorb(&mut stats, &trace);
                 current = source.clone();
-                samples.push(sample(source, step, TransformMode::Chaining, seed_origin, style_idx));
+                samples.push(sample(
+                    source,
+                    step,
+                    TransformMode::Chaining,
+                    seed_origin,
+                    style_idx,
+                ));
                 if trace.attempts > 1 {
                     Outcome::Recovered {
                         attempts: trace.attempts,
@@ -260,10 +600,6 @@ pub fn run_ct_resilient(
             Err(GptError::Parse(e)) => return Err(GptError::Parse(e)),
             Err(err) => {
                 absorb(&mut stats, &trace);
-                // CT degradation: a chain cannot resample a mid-chain
-                // step without rewriting history, so the chain *holds*
-                // — the sample repeats the last good source and the
-                // next step transforms from it.
                 samples.push(sample(
                     current.clone(),
                     step,
@@ -285,27 +621,24 @@ pub fn run_ct_resilient(
         outcomes.push(outcome);
     }
     stats.breaker_trips = cx.breaker.trips() - trips_before;
-    Ok(ResilientRun {
+    Ok(ReferenceRun {
         samples,
         outcomes,
         stats,
     })
 }
 
-fn sample(
-    source: String,
-    step: usize,
-    mode: TransformMode,
-    seed_origin: Origin,
-    pool_index: usize,
-) -> TransformedSample {
-    TransformedSample {
-        source,
-        step,
-        mode,
-        seed_origin,
-        pool_index,
-    }
+/// What the reference drivers return: a [`ResilientRun`] minus the
+/// carried ASTs (the pre-cache pipeline threw them away — that is the
+/// point of the comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceRun {
+    /// The transformed samples, in step order. Always `n` long.
+    pub samples: Vec<TransformedSample>,
+    /// `outcomes[i]` describes how `samples[i]` survived the chaos.
+    pub outcomes: Vec<Outcome>,
+    /// Aggregated accounting for the stream.
+    pub stats: ResilienceStats,
 }
 
 #[cfg(test)]
@@ -536,6 +869,111 @@ mod tests {
             .unwrap()
         };
         assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn reference_drivers_match_parsed_drivers_byte_for_byte() {
+        // The pre-cache baseline must differ only in how much frontend
+        // work it repeats — samples, outcomes, and stats are identical
+        // at every fault rate, or the A/B comparison measures nothing.
+        let pool = YearPool::calibrated(2019, 3);
+        let seed = seed_code(9);
+        for rate in [0.0, 0.05, 0.35] {
+            let svc = FaultyTransformer::new(
+                &pool,
+                FaultPlan::new(55, rate),
+                RetryPolicy::no_retries(),
+            );
+            let nct_new = run_nct_resilient(
+                &svc,
+                &seed,
+                10,
+                Origin::ChatGpt,
+                &mut Pcg64::new(31),
+                "r",
+                &mut lenient_cx(),
+            )
+            .unwrap();
+            let nct_ref = run_nct_resilient_reference(
+                &svc,
+                &seed,
+                10,
+                Origin::ChatGpt,
+                &mut Pcg64::new(31),
+                "r",
+                &mut lenient_cx(),
+            )
+            .unwrap();
+            assert_eq!(nct_new.samples, nct_ref.samples, "rate={rate}");
+            assert_eq!(nct_new.outcomes, nct_ref.outcomes, "rate={rate}");
+            assert_eq!(nct_new.stats, nct_ref.stats, "rate={rate}");
+
+            let ct_new = run_ct_resilient(
+                &svc,
+                &seed,
+                10,
+                Origin::Human,
+                &mut Pcg64::new(32),
+                "r",
+                &mut lenient_cx(),
+            )
+            .unwrap();
+            let ct_ref = run_ct_resilient_reference(
+                &svc,
+                &seed,
+                10,
+                Origin::Human,
+                &mut Pcg64::new(32),
+                "r",
+                &mut lenient_cx(),
+            )
+            .unwrap();
+            assert_eq!(ct_new.samples, ct_ref.samples, "rate={rate}");
+            assert_eq!(ct_new.outcomes, ct_ref.outcomes, "rate={rate}");
+            assert_eq!(ct_new.stats, ct_ref.stats, "rate={rate}");
+        }
+    }
+
+    #[test]
+    fn carried_units_match_a_fresh_parse_of_each_sample() {
+        // Every AST the drivers hand downstream must be exactly what
+        // re-parsing the sample text would produce — including held CT
+        // steps and failed NCT steps that fall back to the seed.
+        let pool = YearPool::calibrated(2018, 2);
+        let seed = seed_code(6);
+        for rate in [0.0, 0.35] {
+            let svc = FaultyTransformer::new(
+                &pool,
+                FaultPlan::new(77, rate),
+                RetryPolicy::no_retries(),
+            );
+            let nct = run_nct_resilient(
+                &svc,
+                &seed,
+                12,
+                Origin::ChatGpt,
+                &mut Pcg64::new(19),
+                "u",
+                &mut lenient_cx(),
+            )
+            .unwrap();
+            let ct = run_ct_resilient(
+                &svc,
+                &seed,
+                12,
+                Origin::Human,
+                &mut Pcg64::new(20),
+                "u",
+                &mut lenient_cx(),
+            )
+            .unwrap();
+            for run in [&nct, &ct] {
+                assert_eq!(run.units.len(), run.samples.len());
+                for (s, u) in run.samples.iter().zip(&run.units) {
+                    assert_eq!(*u, parse(&s.source).unwrap(), "step {}", s.step);
+                }
+            }
+        }
     }
 
     #[test]

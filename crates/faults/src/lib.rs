@@ -56,10 +56,13 @@ pub mod service;
 pub mod validate;
 
 pub use breaker::{BreakerConfig, CircuitBreaker};
-pub use drivers::{run_ct_resilient, run_nct_resilient, ResilientRun, StreamCx};
+pub use drivers::{
+    run_ct_resilient, run_ct_resilient_parsed, run_ct_resilient_reference, run_nct_resilient,
+    run_nct_resilient_parsed, run_nct_resilient_reference, ReferenceRun, ResilientRun, StreamCx,
+};
 pub use outcome::{Fallback, Outcome, ResilienceStats};
 pub use plan::{CallScope, FaultKind, FaultPlan, FaultWeights, InjectedFault};
 pub use profile::FaultProfile;
 pub use retry::{RetryBudget, RetryPolicy};
-pub use service::{CallTrace, FaultyTransformer};
+pub use service::{AcceptedResponse, CallTrace, FaultyTransformer};
 pub use validate::{Expectation, ResponseValidator};

@@ -21,6 +21,7 @@ use crate::plan::{CallScope, FaultKind, FaultPlan};
 use crate::retry::{RetryBudget, RetryPolicy};
 use crate::validate::{Expectation, ResponseValidator};
 use synthattr_gpt::{GptError, ServiceFault, Transformer, YearPool};
+use synthattr_lang::{parse, TranslationUnit};
 use synthattr_util::Pcg64;
 
 /// Telemetry for one logical call.
@@ -32,6 +33,20 @@ pub struct CallTrace {
     pub backoff_ms: u64,
     /// Error tag of every failed attempt, in order.
     pub fault_tags: Vec<&'static str>,
+}
+
+/// A response that passed the validation gate, together with the
+/// byproducts of validating it: its AST (parsed exactly once, inside
+/// the gate) and its own [`Expectation`] for when it becomes the next
+/// chain step's input.
+#[derive(Debug, Clone)]
+pub struct AcceptedResponse {
+    /// The accepted transformed source text.
+    pub source: String,
+    /// The AST of `source`.
+    pub unit: TranslationUnit,
+    /// `source`'s diagnostics + fingerprint, ready for the next call.
+    pub expectation: Expectation,
 }
 
 /// A [`Transformer`] behind a deterministic chaos proxy.
@@ -90,7 +105,58 @@ impl<'a> FaultyTransformer<'a> {
         breaker: &mut CircuitBreaker,
         trace: &mut CallTrace,
     ) -> Result<String, GptError> {
-        let expectation = self.validator.expectation(source)?;
+        let unit = parse(source).map_err(GptError::Parse)?;
+        let expectation = self.prepare(&unit);
+        self.transform_prepared(
+            source,
+            &unit,
+            &expectation,
+            pool_index,
+            rng,
+            scope,
+            budget,
+            breaker,
+            trace,
+        )
+        .map(|accepted| accepted.source)
+    }
+
+    /// Precomputes the validation [`Expectation`] for an input that is
+    /// already parsed. Chains compute this once per logical call site
+    /// instead of once per retry loop *and* re-parse.
+    pub fn prepare(&self, unit: &TranslationUnit) -> Expectation {
+        self.validator.expectation_parsed(unit)
+    }
+
+    /// Single-parse variant of [`FaultyTransformer::transform`]: the
+    /// caller supplies the input's AST and precomputed expectation
+    /// (from [`FaultyTransformer::prepare`]), and gets back the
+    /// accepted response together with its AST and expectation — both
+    /// byproducts of the validation gate the response already passed,
+    /// so a CT chain can feed the response straight into the next call
+    /// with zero re-parses.
+    ///
+    /// Faults, retries, RNG commitment, and the produced text are
+    /// byte-identical to [`FaultyTransformer::transform`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FaultyTransformer::transform`], minus the fail-fast
+    /// [`GptError::Parse`] (a parsed input cannot be outside the
+    /// subset).
+    #[allow(clippy::too_many_arguments)]
+    pub fn transform_prepared(
+        &self,
+        source: &str,
+        unit: &TranslationUnit,
+        expectation: &Expectation,
+        pool_index: usize,
+        rng: &mut Pcg64,
+        scope: &CallScope<'_>,
+        budget: &mut RetryBudget,
+        breaker: &mut CircuitBreaker,
+        trace: &mut CallTrace,
+    ) -> Result<AcceptedResponse, GptError> {
         let mut attempt: u32 = 1;
         loop {
             if let Err(fails) = breaker.admit() {
@@ -99,7 +165,7 @@ impl<'a> FaultyTransformer<'a> {
                 });
             }
             trace.attempts = attempt;
-            match self.attempt(source, pool_index, rng, scope, attempt, &expectation) {
+            match self.attempt(source, unit, pool_index, rng, scope, attempt, expectation) {
                 Ok(out) => {
                     breaker.record_success();
                     return Ok(out);
@@ -130,15 +196,17 @@ impl<'a> FaultyTransformer<'a> {
 
     /// One attempt: inject per the plan, transform on a cloned stream,
     /// validate, and commit the stream only if everything passed.
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
         source: &str,
+        unit: &TranslationUnit,
         pool_index: usize,
         rng: &mut Pcg64,
         scope: &CallScope<'_>,
         attempt: u32,
         expectation: &Expectation,
-    ) -> Result<String, GptError> {
+    ) -> Result<AcceptedResponse, GptError> {
         let injected = self.plan.draw(scope, attempt);
         if let Some(fault) = &injected {
             let mut params = fault.params.clone();
@@ -161,7 +229,9 @@ impl<'a> FaultyTransformer<'a> {
             }
         }
         let mut attempt_rng = rng.clone();
-        let out = self.inner.transform(source, pool_index, &mut attempt_rng)?;
+        let out = self
+            .inner
+            .transform_parsed(source, unit, pool_index, &mut attempt_rng)?;
         let out = match injected {
             Some(fault) => {
                 let mut params = fault.params;
@@ -169,11 +239,15 @@ impl<'a> FaultyTransformer<'a> {
             }
             None => out,
         };
-        self.validator.validate(expectation, &out)?;
+        let (resp_unit, resp_expectation) = self.validator.validate(expectation, &out)?;
         // Commit: the caller's stream advances exactly as a fault-free
         // call would have.
         *rng = attempt_rng;
-        Ok(out)
+        Ok(AcceptedResponse {
+            source: out,
+            unit: resp_unit,
+            expectation: resp_expectation,
+        })
     }
 
     /// Mangles a good response so the validator is guaranteed to

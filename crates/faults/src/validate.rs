@@ -14,12 +14,13 @@
 //! diagnostics), then the semantic fingerprint (catches parseable,
 //! lint-clean responses whose behaviour changed).
 
-use synthattr_analysis::{fingerprint_source, new_errors, Analyzer, Diagnostic};
+use synthattr_analysis::{fingerprint, new_errors, Analyzer, Diagnostic};
 use synthattr_gpt::{GptError, ResponseViolation};
+use synthattr_lang::{parse, TranslationUnit};
 
 /// What a valid response must live up to, precomputed from the input
 /// once per logical call (attempts and retries reuse it).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Expectation {
     pre_diags: Vec<Diagnostic>,
     fingerprint: u64,
@@ -45,22 +46,40 @@ impl ResponseValidator {
     /// [`GptError::Parse`] if the *input* is outside the subset — a
     /// deterministic caller error, never retried.
     pub fn expectation(&self, input: &str) -> Result<Expectation, GptError> {
-        let pre_diags = self.analyzer.analyze_source(input).map_err(GptError::Parse)?;
-        let fingerprint = fingerprint_source(input).map_err(GptError::Parse)?;
-        Ok(Expectation {
-            pre_diags,
-            fingerprint,
-        })
+        let unit = parse(input).map_err(GptError::Parse)?;
+        Ok(self.expectation_parsed(&unit))
+    }
+
+    /// Precomputes an input's diagnostics and fingerprint from its
+    /// already-parsed AST. Infallible: a unit in hand is in the subset
+    /// by construction. This is the single-parse entry point — callers
+    /// holding an artifact never re-parse the input just to describe
+    /// what a valid response must look like.
+    pub fn expectation_parsed(&self, unit: &TranslationUnit) -> Expectation {
+        Expectation {
+            pre_diags: self.analyzer.analyze(unit),
+            fingerprint: fingerprint(unit),
+        }
     }
 
     /// Accepts or rejects one response body.
     ///
+    /// On success, returns the response's AST (parsed exactly once,
+    /// here) together with the response's own [`Expectation`] — CT
+    /// chains feed each accepted response in as the next call's input,
+    /// and both byproducts fall out of the gates this method already
+    /// ran, so returning them makes the whole retry loop single-parse.
+    ///
     /// # Errors
     ///
     /// [`GptError::InvalidResponse`] naming the first violated gate.
-    pub fn validate(&self, expected: &Expectation, response: &str) -> Result<(), GptError> {
-        let post_diags = match self.analyzer.analyze_source(response) {
-            Ok(d) => d,
+    pub fn validate(
+        &self,
+        expected: &Expectation,
+        response: &str,
+    ) -> Result<(TranslationUnit, Expectation), GptError> {
+        let unit = match parse(response) {
+            Ok(u) => u,
             Err(e) => {
                 return Err(GptError::InvalidResponse {
                     violation: ResponseViolation::Unparseable,
@@ -68,6 +87,7 @@ impl ResponseValidator {
                 })
             }
         };
+        let post_diags = self.analyzer.analyze(&unit);
         let fresh = new_errors(&expected.pre_diags, &post_diags);
         if let Some(first) = fresh.first() {
             return Err(GptError::InvalidResponse {
@@ -75,10 +95,7 @@ impl ResponseValidator {
                 detail: format!("{} new error(s), first: {first}", fresh.len()),
             });
         }
-        let fp = fingerprint_source(response).map_err(|e| GptError::InvalidResponse {
-            violation: ResponseViolation::Unparseable,
-            detail: e.to_string(),
-        })?;
+        let fp = fingerprint(&unit);
         if fp != expected.fingerprint {
             return Err(GptError::InvalidResponse {
                 violation: ResponseViolation::FingerprintMismatch,
@@ -88,7 +105,13 @@ impl ResponseValidator {
                 ),
             });
         }
-        Ok(())
+        Ok((
+            unit,
+            Expectation {
+                pre_diags: post_diags,
+                fingerprint: fp,
+            },
+        ))
     }
 }
 
@@ -165,5 +188,24 @@ mod tests {
         let v = ResponseValidator::new();
         let err = v.expectation("int main( {").unwrap_err();
         assert!(matches!(err, GptError::Parse(_)), "{err:?}");
+    }
+
+    #[test]
+    fn parsed_expectation_matches_source_expectation() {
+        let v = ResponseValidator::new();
+        let unit = parse(SRC).unwrap();
+        assert_eq!(v.expectation(SRC).unwrap(), v.expectation_parsed(&unit));
+    }
+
+    #[test]
+    fn validate_returns_the_responses_own_expectation() {
+        // CT chains reuse the accepted response's expectation for the
+        // next call; it must equal recomputing it from scratch.
+        let v = ResponseValidator::new();
+        let exp = v.expectation(SRC).unwrap();
+        let renamed = "int main() { int count = 0; count = count + 1; return 0; }";
+        let (unit, next) = v.validate(&exp, renamed).unwrap();
+        assert_eq!(unit, parse(renamed).unwrap());
+        assert_eq!(next, v.expectation(renamed).unwrap());
     }
 }

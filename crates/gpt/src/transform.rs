@@ -53,9 +53,41 @@ impl<'a> Transformer<'a> {
         pool_idx: usize,
         rng: &mut Pcg64,
     ) -> Result<String, GptError> {
+        let unit = parse(source).map_err(GptError::Parse)?;
+        self.transform_owned(source, unit, pool_idx, rng)
+    }
+
+    /// Like [`Transformer::transform`], but reuses an already-parsed
+    /// `unit` of `source` instead of re-parsing it. This is the
+    /// single-parse frontend entry point: callers that hold the
+    /// artifact for `source` (the chain drivers, the fault service)
+    /// pay one AST clone here instead of a full lex+parse.
+    ///
+    /// `source` must be the exact text `unit` was parsed from — the
+    /// layout detector reads the raw text while the rewrites walk the
+    /// AST, and the two must agree for results to match `transform`.
+    pub fn transform_parsed(
+        &self,
+        source: &str,
+        unit: &TranslationUnit,
+        pool_idx: usize,
+        rng: &mut Pcg64,
+    ) -> Result<String, GptError> {
+        self.transform_owned(source, unit.clone(), pool_idx, rng)
+    }
+
+    /// The rewrite body, consuming its working AST (freshly parsed in
+    /// [`Transformer::transform`], cloned from the caller's shared unit
+    /// in [`Transformer::transform_parsed`]).
+    fn transform_owned(
+        &self,
+        source: &str,
+        mut unit: TranslationUnit,
+        pool_idx: usize,
+        rng: &mut Pcg64,
+    ) -> Result<String, GptError> {
         let target = &self.pool.styles[pool_idx].style;
         let fidelity = self.pool.fidelity;
-        let mut unit = parse(source).map_err(GptError::Parse)?;
         let src_render = detect_render_style(source);
         // NOTE: the type environment is captured *before* renaming, so
         // IO-idiom conversion only fires for statements whose variables

@@ -6,7 +6,7 @@
 //! attaches them to the AST (comments are stylistic signal).
 
 use crate::error::ParseError;
-use crate::token::{Span, Token, TokenKind};
+use crate::token::{Span, Symbol, Token, TokenKind};
 
 /// Lexes `src` into a token stream terminated by [`TokenKind::Eof`].
 ///
@@ -250,8 +250,13 @@ impl<'a> Lexer<'a> {
         while self.peek() == b'_' || self.peek().is_ascii_alphanumeric() {
             self.bump();
         }
-        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
-        let kind = TokenKind::keyword(&text).unwrap_or(TokenKind::Ident(text));
+        // The loop above admitted only ASCII word bytes, so the slice
+        // is valid UTF-8; keywords and repeated identifiers both lex
+        // without allocating a fresh String per occurrence.
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("word bytes are ASCII by construction");
+        let kind =
+            TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(Symbol::intern(text)));
         self.push(kind, start, line);
     }
 

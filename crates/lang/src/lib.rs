@@ -48,6 +48,7 @@ pub mod visit;
 pub use ast::TranslationUnit;
 pub use error::ParseError;
 pub use parser::parse;
+pub use token::Symbol;
 
 #[cfg(test)]
 mod roundtrip_tests {

@@ -133,7 +133,7 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Ident(name) => {
                 self.advance();
-                Ok(name)
+                Ok(name.to_string())
             }
             other => Err(self.err(format!("expected identifier, found `{other}`"))),
         }
@@ -251,7 +251,7 @@ impl Parser {
             return true;
         }
         if let TokenKind::Ident(name) = &first {
-            if self.type_names.iter().any(|t| t == name) {
+            if self.type_names.iter().any(|t| name == t.as_str()) {
                 // `vector<`, `string x`, `pair<`, or a typedef name
                 // followed by an identifier.
                 return matches!(
@@ -350,7 +350,7 @@ impl Parser {
                 let name = if name == "std" && self.eat(&ColonColon) {
                     self.expect_ident()?
                 } else {
-                    name
+                    name.to_string()
                 };
                 match name.as_str() {
                     "string" => Ok(Type::Str),
@@ -530,7 +530,7 @@ impl Parser {
                         };
                         return Ok(Stmt::ForEach {
                             ty,
-                            name,
+                            name: name.to_string(),
                             by_ref,
                             iterable,
                             body,
@@ -870,7 +870,7 @@ impl Parser {
                     let inner = self.expect_ident()?;
                     return Ok(Expr::Ident(inner));
                 }
-                Ok(Expr::Ident(name))
+                Ok(Expr::Ident(name.to_string()))
             }
             LBrace => {
                 self.advance();

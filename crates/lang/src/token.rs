@@ -1,6 +1,132 @@
-//! Token definitions for the C++ subset lexer.
+//! Token definitions for the C++ subset lexer, plus the interned
+//! identifier symbol table.
 
+use std::borrow::Borrow;
+use std::collections::HashSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// An interned identifier.
+///
+/// Every distinct identifier spelling is stored exactly once in a
+/// process-wide symbol table; a `Symbol` is a shared handle to that
+/// storage, so cloning a symbol (and cloning tokens or peeking ahead
+/// in the parser) is a reference-count bump instead of a fresh
+/// `String` allocation. The experiment pipelines lex the same small
+/// identifier vocabulary millions of times, which is why the lexer
+/// interns instead of allocating per occurrence.
+///
+/// Interning is purely an allocation optimisation: equality, hashing
+/// and ordering are defined on the spelling, so results never depend
+/// on interner state.
+#[derive(Clone)]
+pub struct Symbol(Arc<str>);
+
+/// The process-wide symbol table, sharded to keep parallel pipeline
+/// workers from serialising on one lock. Shard choice uses the same
+/// FNV-1a hash as the table lookups; the table only ever grows, which
+/// is fine for this workload (the identifier vocabulary is bounded by
+/// the generator's naming concepts).
+const INTERNER_SHARDS: usize = 32;
+
+fn interner() -> &'static [Mutex<HashSet<Arc<str>>>; INTERNER_SHARDS] {
+    static TABLE: OnceLock<[Mutex<HashSet<Arc<str>>>; INTERNER_SHARDS]> = OnceLock::new();
+    TABLE.get_or_init(|| std::array::from_fn(|_| Mutex::new(HashSet::new())))
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Symbol {
+    /// Returns the unique symbol for `text`, creating it on first use.
+    pub fn intern(text: &str) -> Symbol {
+        let shard = &interner()[(fnv1a(text.as_bytes()) as usize) % INTERNER_SHARDS];
+        let mut set = shard.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = set.get(text) {
+            return Symbol(Arc::clone(existing));
+        }
+        let arc: Arc<str> = Arc::from(text);
+        set.insert(Arc::clone(&arc));
+        Symbol(arc)
+    }
+
+    /// The interned spelling.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Symbol {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Symbol) -> bool {
+        // Interned symbols with equal spellings share storage, so the
+        // pointer check settles almost every comparison.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Symbol {}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl Hash for Symbol {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
 
 /// A half-open byte span into the original source text.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -36,8 +162,9 @@ pub enum TokenKind {
     StrLit(String),
     /// A single-quoted character literal.
     CharLit(char),
-    /// An identifier or non-keyword name.
-    Ident(String),
+    /// An identifier or non-keyword name, interned in the process-wide
+    /// symbol table (see [`Symbol`]).
+    Ident(Symbol),
 
     // Keywords ------------------------------------------------------------
     KwInt,
@@ -336,5 +463,30 @@ mod tests {
         assert_eq!(TokenKind::KwReturn.to_string(), "return");
         assert_eq!(TokenKind::IntLit(7).to_string(), "7");
         assert_eq!(TokenKind::StrLit("hi".into()).to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn symbols_intern_to_shared_storage() {
+        let a = Symbol::intern("total_count");
+        let b = Symbol::intern("total_count");
+        let c = Symbol::intern("other_name");
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a.0, &b.0), "equal spellings must share storage");
+        assert_ne!(a, c);
+        assert_eq!(a, *"total_count");
+        assert_eq!(a, "total_count");
+        assert_eq!(a.to_string(), "total_count");
+        assert_eq!(format!("{a:?}"), "\"total_count\"");
+    }
+
+    #[test]
+    fn symbol_hash_matches_str_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        let sym = Symbol::intern("acc");
+        let mut h1 = DefaultHasher::new();
+        sym.hash(&mut h1);
+        let mut h2 = DefaultHasher::new();
+        "acc".hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
     }
 }

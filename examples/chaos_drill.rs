@@ -14,6 +14,7 @@
 
 use synthattr::core::config::ExperimentConfig;
 use synthattr::core::pipeline::YearPipeline;
+use synthattr::core::FrontendStats;
 use synthattr::faults::{FaultProfile, ResilienceStats};
 
 fn report(label: &str, r: &ResilienceStats) {
@@ -36,17 +37,33 @@ fn report(label: &str, r: &ResilienceStats) {
     }
 }
 
+/// The single-parse frontend's accounting for one build: how many
+/// sources actually hit the parser, how many the artifact cache
+/// absorbed, and what the frontend cost in wall-clock. Counters are
+/// deterministic; the milliseconds are this machine's.
+fn report_frontend(fe: &FrontendStats) {
+    println!(
+        "   frontend: {} parses, {} cache hits ({:.1}% hit rate), {:.1} ms",
+        fe.cache_misses,
+        fe.cache_hits,
+        100.0 * fe.hit_rate(),
+        fe.frontend_ns as f64 / 1e6
+    );
+}
+
 fn main() {
     let year = 2018;
     let plain_cfg = ExperimentConfig::smoke();
     let plain = YearPipeline::build(year, &plain_cfg);
     report("fault-free service", &plain.resilience);
+    report_frontend(&plain.frontend);
 
     let chaos_cfg = plain_cfg
         .clone()
         .with_faults(FaultProfile::recoverable(0xD211, 0.20));
     let chaos = YearPipeline::build(year, &chaos_cfg);
     report("recoverable chaos, 20% fault rate", &chaos.resilience);
+    report_frontend(&chaos.frontend);
 
     let identical = plain
         .transformed
@@ -65,6 +82,7 @@ fn main() {
     let brutal_cfg = plain_cfg.with_faults(FaultProfile::brutal(0xBAD));
     let brutal = YearPipeline::build(year, &brutal_cfg);
     report("brutal chaos, 45% rate, tight budget", &brutal.resilience);
+    report_frontend(&brutal.frontend);
     println!(
         "   run completed with {} samples despite exhaustion",
         brutal.transformed.len()

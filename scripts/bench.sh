@@ -14,9 +14,17 @@
 # against the bare simulator and lands in BENCH_faults.json, so the
 # retry/validation overhead has its own trajectory file.
 #
+# The `pipeline` target races the single-parse artifact frontend
+# against the retained reference re-parse frontend on the same
+# end-to-end `YearPipeline` build (fault-free and chaos@20%), lands
+# in BENCH_pipeline.json, and the summary printed at the end is the
+# cached-vs-reference speedup on this machine. Its JSON lines carry
+# `allocs_per_iter`/`alloc_bytes_per_iter` from the bench binary's
+# counting allocator.
+#
 # Usage:
-#   scripts/bench.sh                  # full budgets, writes BENCH_forest.json
-#                                     #   and BENCH_faults.json
+#   scripts/bench.sh                  # full budgets, writes BENCH_forest.json,
+#                                     #   BENCH_faults.json, BENCH_pipeline.json
 #   SYNTHATTR_BENCH_MEASURE_MS=500 scripts/bench.sh   # quicker pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,6 +32,7 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 OUT="${SYNTHATTR_BENCH_OUT:-BENCH_forest.json}"
 FAULTS_OUT="${SYNTHATTR_BENCH_FAULTS_OUT:-BENCH_faults.json}"
+PIPELINE_OUT="${SYNTHATTR_BENCH_PIPELINE_OUT:-BENCH_pipeline.json}"
 
 : > "$OUT"
 for target in forest features analysis; do
@@ -35,6 +44,15 @@ done
 
 echo "== bench: faults (chaos proxy overhead) ==" >&2
 cargo bench --offline -p synthattr-bench --bench faults | grep '^{' > "$FAULTS_OUT"
+
+echo "== bench: pipeline (single-parse frontend vs reference) ==" >&2
+# End-to-end pipeline builds run ~100 ms/iteration, so the harness
+# defaults (300 ms warmup / 2 s measure) yield too few samples for
+# stable medians; give this target a larger budget unless the caller
+# already set one.
+SYNTHATTR_BENCH_WARMUP_MS="${SYNTHATTR_BENCH_WARMUP_MS:-2000}" \
+SYNTHATTR_BENCH_MEASURE_MS="${SYNTHATTR_BENCH_MEASURE_MS:-12000}" \
+  cargo bench --offline -p synthattr-bench --bench pipeline | grep '^{' > "$PIPELINE_OUT"
 
 median_of() {
   grep "\"group\":\"forest\"" "$OUT" | grep "\"bench\":\"$1\"" \
@@ -62,5 +80,22 @@ if [[ -n "$bare" && -n "$r20" ]]; then
       bare / 1e6, r20 / 1e6, r20 / bare
   }' >&2
 fi
+pipeline_median() {
+  grep "\"group\":\"pipeline\"" "$PIPELINE_OUT" | grep "\"bench\":\"$1\"" \
+    | sed -E 's/.*"median_ns":([0-9.]+).*/\1/' | head -n 1
+}
+
+for pair in plain chaos20; do
+  cached=$(pipeline_median "cached/$pair")
+  reference=$(pipeline_median "reference/$pair")
+  if [[ -n "$cached" && -n "$reference" ]]; then
+    awk -v cached="$cached" -v reference="$reference" -v pair="$pair" 'BEGIN {
+      printf "pipeline %s: cached %.2f ms vs reference %.2f ms -> %.2fx speedup\n",
+        pair, cached / 1e6, reference / 1e6, reference / cached
+    }' >&2
+  fi
+done
+
 echo "wrote $(wc -l < "$OUT") benchmark lines to $OUT" >&2
 echo "wrote $(wc -l < "$FAULTS_OUT") benchmark lines to $FAULTS_OUT" >&2
+echo "wrote $(wc -l < "$PIPELINE_OUT") benchmark lines to $PIPELINE_OUT" >&2

@@ -13,6 +13,9 @@
 #                                     #   + corpus lint (all three years)
 #   scripts/verify.sh --chaos         # tier-1 + the fault-injection
 #                                     #   suites + the chaos_drill demo
+#   scripts/verify.sh --frontend      # tier-1 + the single-parse
+#                                     #   frontend A/B + cache suites
+#                                     #   with visible output
 #   SYNTHATTR_WORKERS=1 scripts/verify.sh   # serial, for timing noise
 #
 # --bench-smoke additionally runs every bench target with minimal
@@ -30,17 +33,27 @@
 # resilience accounting for a recoverable and a budget-exhausted
 # build (DESIGN.md §9). Both suites also run under plain tier-1;
 # the flag exists to exercise them in isolation with visible output.
+#
+# --frontend re-runs the single-parse frontend suites by name: the
+# cached-vs-reference A/B grid in synthattr-core (9 pools × NCT/CT ×
+# fault rates 0/5/20%, DESIGN.md §10) and the end-to-end cache
+# property suite, plus a build of synthattr-core with the
+# reference-frontend feature enabled so the retained baseline cannot
+# bit-rot. Both suites also run under plain tier-1; the flag exists
+# to exercise them in isolation with visible output.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
 LINT=0
 CHAOS=0
+FRONTEND=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --lint) LINT=1 ;;
     --chaos) CHAOS=1 ;;
+    --frontend) FRONTEND=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -63,7 +76,7 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
   export SYNTHATTR_BENCH_WARMUP_MS=1
   export SYNTHATTR_BENCH_MEASURE_MS=1
   export SYNTHATTR_BENCH_SAMPLES=1
-  for b in frontend features forest transform tables analysis faults; do
+  for b in frontend features forest transform tables analysis faults pipeline; do
     echo "== bench smoke: $b (one warmup iteration) ==" >&2
     cargo bench --offline -p synthattr-bench --bench "$b" > /dev/null
   done
@@ -83,6 +96,15 @@ if [[ "$CHAOS" == "1" ]]; then
   cargo test --offline --test chaos_pipeline
   echo "== chaos: drill (resilience accounting demo) ==" >&2
   cargo run --release --offline --example chaos_drill
+fi
+
+if [[ "$FRONTEND" == "1" ]]; then
+  echo "== frontend: cached vs reference A/B grid (9 pools x 0/5/20%) ==" >&2
+  cargo test --offline -p synthattr-core --lib frontend_ab
+  echo "== frontend: artifact cache property suite ==" >&2
+  cargo test --offline --test frontend_cache
+  echo "== frontend: reference-frontend feature build ==" >&2
+  cargo test -q --offline -p synthattr-core --features reference-frontend
 fi
 
 echo "verify: OK" >&2
