@@ -1,0 +1,153 @@
+//! Serving-path benchmark: a real `synthattr-serve` server on a
+//! loopback socket under seeded open-loop load.
+//!
+//! Scenarios:
+//!
+//! * `attribute/serial` — one keep-alive client, per-request latency
+//!   with no coalescing opportunity (every batch is a batch of one);
+//! * `attribute/concurrent8` — eight keep-alive clients hammering the
+//!   same server, which is where micro-batching earns its keep; the
+//!   summary's p50/p95 are per-request latencies across all clients,
+//!   and a separate `throughput` line reports sustained req/s;
+//! * `healthz/serial` — the no-model control: pure parse + route +
+//!   serialize overhead.
+//!
+//! Request sources are drawn per-client from a seeded [`Pcg64`], so
+//! two runs issue the identical request streams. Honors
+//! `SYNTHATTR_BENCH_SAMPLES` (requests per scenario, default 256).
+//! Feeds `BENCH_serve.json` via `scripts/bench.sh`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use synthattr_bench::harness::Summary;
+use synthattr_core::config::ExperimentConfig;
+use synthattr_serve::client::Client;
+use synthattr_serve::server::{RunningServer, ServeConfig, Server};
+use synthattr_util::Pcg64;
+
+const YEAR: u32 = 2018;
+const CLIENTS: usize = 8;
+
+fn samples_per_scenario() -> usize {
+    std::env::var("SYNTHATTR_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(256)
+}
+
+fn sources() -> Vec<String> {
+    (0..16)
+        .map(|i| {
+            format!(
+                "int work{i}(int x) {{ int y = x + {i}; return y * {m}; }}\n\
+                 int main() {{ int acc = {i}; for (int k = 0; k < {n}; k = k + 1) {{ acc = acc + work{i}(k); }} return acc; }}\n",
+                m = i + 1,
+                n = 4 + i,
+            )
+        })
+        .collect()
+}
+
+fn spawn_server() -> RunningServer {
+    let mut config = ServeConfig::smoke();
+    config.experiment = ExperimentConfig::smoke();
+    config.years = vec![YEAR];
+    config.rate = None;
+    config.preload = true;
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+/// One client's seeded request loop; returns per-request nanoseconds.
+fn client_loop(
+    server: &RunningServer,
+    client_id: usize,
+    requests: usize,
+    sources: &[String],
+) -> Vec<u128> {
+    let mut rng = Pcg64::seed_from(0xBE4C_4, &["serve-load", &client_id.to_string()]);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let target = format!("/attribute?year={YEAR}");
+    let mut lat = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let src = &sources[rng.next_below(sources.len())];
+        let started = Instant::now();
+        let resp = client
+            .request("POST", &target, &[], src.as_bytes())
+            .expect("attribute");
+        lat.push(started.elapsed().as_nanos());
+        assert_eq!(resp.status, 200, "bench request failed: {}", resp.text());
+    }
+    lat
+}
+
+fn emit(summary: &Summary) {
+    eprintln!("{}", summary.human_line());
+    println!("{}", summary.json_line());
+}
+
+fn main() {
+    let n = samples_per_scenario();
+    let sources = sources();
+    let server = spawn_server();
+
+    // Warm the cache and the batcher exactly once per source.
+    for src in &sources {
+        client_loop(&server, usize::MAX, 1, std::slice::from_ref(src));
+    }
+
+    // Serial: one client, no coalescing.
+    let mut serial = client_loop(&server, 0, n, &sources);
+    serial.sort_unstable();
+    emit(&Summary::from_sorted("serve", "attribute/serial", &serial, None));
+
+    // Concurrent: 8 clients, shared wall clock for sustained req/s.
+    let done = AtomicU64::new(0);
+    let wall = Instant::now();
+    let per_client = n.div_ceil(CLIENTS);
+    let mut all: Vec<u128> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let server = &server;
+                let sources = &sources;
+                let done = &done;
+                scope.spawn(move || {
+                    let lat = client_loop(server, c + 1, per_client, sources);
+                    done.fetch_add(lat.len() as u64, Ordering::Relaxed);
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let wall_ns = wall.elapsed().as_nanos();
+    all.sort_unstable();
+    let concurrent = Summary::from_sorted("serve", "attribute/concurrent8", &all, None);
+    emit(&concurrent);
+
+    let requests = done.load(Ordering::Relaxed);
+    let req_per_s = requests as f64 / (wall_ns as f64 / 1e9).max(1e-12);
+    eprintln!("serve/attribute/throughput: {req_per_s:.0} req/s sustained ({requests} requests, {CLIENTS} clients)");
+    println!(
+        "{{\"group\":\"serve\",\"bench\":\"attribute/throughput\",\"requests\":{requests},\
+         \"clients\":{CLIENTS},\"wall_ns\":{wall_ns},\"req_per_s\":{req_per_s:.1}}}"
+    );
+
+    // Control: routing + serialization floor, no model in the path.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut health = Vec::with_capacity(n);
+    for _ in 0..n {
+        let started = Instant::now();
+        let resp = client.request("GET", "/healthz", &[], b"").expect("healthz");
+        health.push(started.elapsed().as_nanos());
+        assert_eq!(resp.status, 200);
+    }
+    health.sort_unstable();
+    emit(&Summary::from_sorted("serve", "healthz/serial", &health, None));
+
+    server.shutdown();
+}

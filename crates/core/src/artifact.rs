@@ -24,7 +24,7 @@
 //!   alone; provenance (which setting or step produced the text) never
 //!   affects sharing.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, OnceLock};
 use synthattr_analysis::{fingerprint, Analyzer, Diagnostic};
 use synthattr_features::FeatureExtractor;
@@ -224,28 +224,71 @@ impl FrontendStats {
     }
 }
 
+/// One resident cache entry: the artifact plus the recency tick of its
+/// last access (ticks only maintained in bounded mode).
+#[derive(Debug)]
+struct CacheEntry {
+    artifact: Arc<Artifact>,
+    tick: u64,
+}
+
 /// A content-addressed artifact cache: 64-bit source hash → artifacts,
 /// with full-text verification inside each bucket.
 ///
-/// Not a global structure: the pipeline creates one per dispatch unit
-/// (per human sample, per challenge task) so that hit/miss totals are
-/// a pure function of the inputs, never of scheduling.
+/// Two modes share one implementation:
+///
+/// * **Unbounded** ([`ArtifactCache::new`]) — the batch pipeline's
+///   per-dispatch-unit shards, whose population is bounded by
+///   construction (a challenge task sees ~`4 × transforms` distinct
+///   sources, then the shard is dropped).
+/// * **Bounded LRU** ([`ArtifactCache::bounded`]) — a capacity cap with
+///   least-recently-used eviction, for long-lived shared caches (the
+///   serving layer) where the request stream is unbounded. Eviction
+///   changes only *residency*, never *results*: a re-interned evicted
+///   source is a fresh miss that recomputes identical products
+///   (purity), and hit/miss totals are unchanged whenever capacity is
+///   at least the number of distinct live sources.
+///
+/// Recency is a monotonic access tick per entry plus a tick-ordered
+/// index, so both touch and evict are `O(log n)`.
+///
+/// Not a global structure in the pipeline: one shard per dispatch unit
+/// (per human sample, per challenge task) keeps hit/miss totals a pure
+/// function of the inputs, never of scheduling.
 #[derive(Debug, Default)]
 pub struct ArtifactCache {
-    buckets: HashMap<u64, Vec<Arc<Artifact>>>,
+    buckets: HashMap<u64, Vec<CacheEntry>>,
+    /// `None` = unbounded; `Some(cap)` = LRU with at most `cap` entries.
+    capacity: Option<usize>,
+    /// Resident entry count across all buckets.
+    entries: usize,
+    /// Monotonic access clock; bumped on every intern.
+    tick: u64,
+    /// Recency index: access tick → bucket hash (bounded mode only).
+    recency: BTreeMap<u64, u64>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         ArtifactCache::default()
     }
 
+    /// An empty LRU cache holding at most `capacity` artifacts
+    /// (clamped to at least 1).
+    pub fn bounded(capacity: usize) -> Self {
+        ArtifactCache {
+            capacity: Some(capacity.max(1)),
+            ..ArtifactCache::default()
+        }
+    }
+
     /// Returns the artifact for `source`, creating it on first sight.
     pub fn intern(&mut self, source: &str) -> Arc<Artifact> {
-        if let Some(existing) = self.lookup(source) {
+        if let Some(existing) = self.lookup_touch(source) {
             self.hits += 1;
             return existing;
         }
@@ -257,7 +300,7 @@ impl ArtifactCache {
     /// here records a new distinct source but costs no parse). `unit`
     /// must be exactly `parse(&source)`.
     pub fn intern_with_unit(&mut self, source: String, unit: TranslationUnit) -> Arc<Artifact> {
-        if let Some(existing) = self.lookup(&source) {
+        if let Some(existing) = self.lookup_touch(&source) {
             self.hits += 1;
             return existing;
         }
@@ -274,6 +317,26 @@ impl ArtifactCache {
         self.misses
     }
 
+    /// Artifacts evicted by the LRU policy (always 0 when unbounded).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Artifacts currently resident.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the cache holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// The LRU capacity, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// This cache's counters as mergeable stats (zero wall-clock; the
     /// pipeline times frontend work around its cache calls).
     pub fn stats(&self) -> FrontendStats {
@@ -284,21 +347,66 @@ impl ArtifactCache {
         }
     }
 
-    fn lookup(&self, source: &str) -> Option<Arc<Artifact>> {
-        self.buckets
-            .get(&content_hash(source))?
-            .iter()
-            .find(|a| a.source() == source)
-            .cloned()
+    /// Looks up `source` and, in bounded mode, marks the entry
+    /// most-recently-used.
+    fn lookup_touch(&mut self, source: &str) -> Option<Arc<Artifact>> {
+        let hash = content_hash(source);
+        self.tick += 1;
+        let new_tick = self.tick;
+        let bounded = self.capacity.is_some();
+        let (artifact, old_tick) = {
+            let bucket = self.buckets.get_mut(&hash)?;
+            let entry = bucket.iter_mut().find(|e| e.artifact.source() == source)?;
+            let old = entry.tick;
+            if bounded {
+                entry.tick = new_tick;
+            }
+            (Arc::clone(&entry.artifact), old)
+        };
+        if bounded {
+            self.recency.remove(&old_tick);
+            self.recency.insert(new_tick, hash);
+        }
+        Some(artifact)
     }
 
     fn insert(&mut self, artifact: Arc<Artifact>) -> Arc<Artifact> {
         self.misses += 1;
-        self.buckets
-            .entry(content_hash(artifact.source()))
-            .or_default()
-            .push(Arc::clone(&artifact));
+        self.tick += 1;
+        let tick = self.tick;
+        let hash = content_hash(artifact.source());
+        self.buckets.entry(hash).or_default().push(CacheEntry {
+            artifact: Arc::clone(&artifact),
+            tick,
+        });
+        self.entries += 1;
+        if let Some(cap) = self.capacity {
+            self.recency.insert(tick, hash);
+            // The fresh entry carries the newest tick, so with cap >= 1
+            // it is never the one evicted.
+            while self.entries > cap {
+                self.evict_lru();
+            }
+        }
         artifact
+    }
+
+    /// Removes the least-recently-used entry (bounded mode only).
+    fn evict_lru(&mut self) {
+        let Some((&tick, &hash)) = self.recency.iter().next() else {
+            return;
+        };
+        self.recency.remove(&tick);
+        if let Some(bucket) = self.buckets.get_mut(&hash) {
+            if let Some(pos) = bucket.iter().position(|e| e.tick == tick) {
+                bucket.remove(pos);
+                self.entries -= 1;
+                self.evictions += 1;
+            }
+            if bucket.is_empty() {
+                self.buckets.remove(&hash);
+            }
+        }
     }
 }
 
@@ -381,6 +489,88 @@ mod tests {
         let b = cache.intern_with_unit(SRC.to_string(), parse(SRC).unwrap());
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    /// Distinct valid sources for cache-churn tests.
+    fn source(i: usize) -> String {
+        format!("int main() {{ int v{i} = {i}; return v{i}; }}")
+    }
+
+    #[test]
+    fn bounded_cache_never_exceeds_capacity_and_counts_evictions() {
+        let mut cache = ArtifactCache::bounded(4);
+        for i in 0..20 {
+            cache.intern(&source(i));
+            assert!(cache.len() <= 4, "resident {} > capacity", cache.len());
+        }
+        assert_eq!(cache.misses(), 20);
+        assert_eq!(cache.evictions(), 16);
+        assert_eq!(cache.len(), 4);
+        // The survivors are the four most recent inserts.
+        for i in 16..20 {
+            cache.intern(&source(i));
+        }
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.evictions(), 16, "re-hits evict nothing");
+    }
+
+    #[test]
+    fn lru_eviction_order_respects_touches() {
+        let mut cache = ArtifactCache::bounded(2);
+        cache.intern(&source(0));
+        cache.intern(&source(1));
+        // Touch 0 so 1 becomes least-recently-used.
+        cache.intern(&source(0));
+        cache.intern(&source(2)); // evicts 1
+        assert_eq!(cache.evictions(), 1);
+        cache.intern(&source(0));
+        assert_eq!(cache.hits(), 2, "0 survived the eviction");
+        cache.intern(&source(1));
+        assert_eq!(cache.misses(), 4, "1 was evicted and re-materialises");
+    }
+
+    #[test]
+    fn eviction_changes_residency_never_results() {
+        // Purity across churn: an evicted-and-reinterned source yields
+        // a fresh artifact whose products equal the original's.
+        let mut cache = ArtifactCache::bounded(1);
+        let first = cache.intern(SRC);
+        let fp = first.fingerprint().unwrap();
+        cache.intern(&source(7)); // evicts SRC
+        let again = cache.intern(SRC);
+        assert!(!Arc::ptr_eq(&first, &again), "distinct storage after churn");
+        assert_eq!(again.fingerprint().unwrap(), fp);
+        assert_eq!(again.unit().unwrap(), first.unit().unwrap());
+    }
+
+    #[test]
+    fn generous_capacity_matches_unbounded_hit_miss_semantics() {
+        // The same access sequence (with repeats) through an unbounded
+        // cache and a bounded one whose capacity covers every distinct
+        // source must produce identical counters and zero evictions.
+        let sequence: Vec<String> = (0..30).map(|i| source(i % 10)).collect();
+        let mut unbounded = ArtifactCache::new();
+        let mut bounded = ArtifactCache::bounded(10);
+        for s in &sequence {
+            unbounded.intern(s);
+            bounded.intern(s);
+        }
+        assert_eq!(bounded.hits(), unbounded.hits());
+        assert_eq!(bounded.misses(), unbounded.misses());
+        assert_eq!(bounded.evictions(), 0);
+        assert_eq!(unbounded.evictions(), 0);
+        assert_eq!(bounded.stats(), unbounded.stats());
+    }
+
+    #[test]
+    fn unbounded_cache_reports_len_and_no_capacity() {
+        let mut cache = ArtifactCache::new();
+        assert!(cache.is_empty());
+        cache.intern(SRC);
+        cache.intern(SRC);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.capacity(), None);
+        assert_eq!(ArtifactCache::bounded(0).capacity(), Some(1));
     }
 
     #[test]

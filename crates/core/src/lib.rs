@@ -48,4 +48,4 @@ pub use artifact::{Artifact, ArtifactCache, FrontendStats};
 pub use config::{ExperimentConfig, Scale};
 pub use error::PipelineError;
 pub use model::AuthorshipModel;
-pub use pipeline::{Setting, YearPipeline};
+pub use pipeline::{year_oracle, Setting, YearPipeline};

@@ -35,6 +35,11 @@ use synthattr_gpt::GptError;
 use synthattr_ml::dataset::Dataset;
 use synthattr_util::{pool, Pcg64};
 
+/// Capacity of each per-challenge artifact cache. Far above the
+/// distinct-text count any real challenge produces, so it bounds
+/// memory without ever changing hit/miss totals.
+const PER_CHALLENGE_CACHE_CAP: usize = 4096;
+
 /// The four transformation settings of Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Setting {
@@ -215,57 +220,9 @@ impl YearPipeline {
     pub fn try_build(year: u32, config: &ExperimentConfig) -> Result<Self, PipelineError> {
         let workers = pool::resolve_workers(config.workers);
         let spec = try_year_spec(year, config)?;
-        let corpus = generate_year(&spec, config.seed);
+        let (corpus, human_features, mut diagnostics, mut frontend, oracle) =
+            oracle_stage(&spec, config, workers)?;
         let analyzer = Analyzer::new();
-
-        // Human stage: one artifact per sample carries the parse from
-        // featurization straight into lint — the corpus is featurized
-        // AND linted off a single parse each. Sharding per sample (one
-        // artifact, one miss) keeps the counters a pure function of
-        // the corpus.
-        let extractor = FeatureExtractor::new(config.features.clone());
-        let human: Vec<(Vec<f64>, DiagnosticStats, FrontendStats)> =
-            pool::parallel_try_map_workers(workers, (0..corpus.samples.len()).collect(), |i| {
-                let t0 = Instant::now();
-                let artifact = Artifact::new(corpus.samples[i].source.as_str());
-                let features = artifact
-                    .features(&extractor)
-                    .map_err(|e| PipelineError::Analysis {
-                        stage: "featurize",
-                        source: e,
-                    })?
-                    .to_vec();
-                let mut diags = DiagnosticStats::default();
-                diags.absorb(artifact.diagnostics(&analyzer).map_err(|e| {
-                    PipelineError::Analysis {
-                        stage: "lint",
-                        source: e,
-                    }
-                })?);
-                let frontend = FrontendStats {
-                    cache_hits: 0,
-                    cache_misses: 1,
-                    frontend_ns: t0.elapsed().as_nanos(),
-                };
-                Ok((features, diags, frontend))
-            })?;
-        let mut human_features: Vec<Vec<f64>> = Vec::with_capacity(human.len());
-        let mut diagnostics = DiagnosticStats::default();
-        let mut frontend = FrontendStats::default();
-        for (features, diags, fe) in human {
-            human_features.push(features);
-            diagnostics.merge(&diags);
-            frontend.merge(&fe);
-        }
-
-        // Oracle: one class per human author.
-        let mut human_ds = Dataset::new(spec.authors);
-        for (sample, features) in corpus.samples.iter().zip(&human_features) {
-            human_ds.push(features.clone(), sample.author);
-        }
-        let mut rng = Pcg64::seed_from(config.seed, &["oracle", &year.to_string()]);
-        let oracle =
-            AuthorshipModel::from_features(extractor, &human_ds, &config.forest(), &mut rng);
 
         // Seeds and transformations.
         let pool = YearPool::calibrated(year, config.seed);
@@ -299,7 +256,14 @@ impl YearPipeline {
                     .map(|p| FaultyTransformer::new(&pool, p.plan(), p.policy.clone()));
                 let mut stream_stats = ResilienceStats::default();
                 let mut transformed = Vec::new();
-                let mut cache = ArtifactCache::new();
+                // Bounded so a pathological scale can't hoard every
+                // artifact ever parsed. A challenge interns well under
+                // a hundred distinct texts (two seeds plus one per
+                // transform step × setting), so at this capacity the
+                // bound is pure insurance: no eviction ever fires and
+                // hit/miss totals are identical to the unbounded cache
+                // (`tests/frontend_cache.rs` proves the equivalence).
+                let mut cache = ArtifactCache::bounded(PER_CHALLENGE_CACHE_CAP);
                 let mut diags = DiagnosticStats::default();
                 let mut frontend_ns: u128 = 0;
                 // ChatGPT-generated seed: one solution in a weighted pool
@@ -750,6 +714,96 @@ impl YearPipeline {
     }
 }
 
+/// The human-corpus + oracle stage shared by [`YearPipeline::try_build`]
+/// and [`year_oracle`]: generate the year's corpus, featurize and lint
+/// it (one artifact per sample, so the corpus is featurized AND linted
+/// off a single parse each; sharding per sample keeps the counters a
+/// pure function of the corpus), then train the non-ChatGPT oracle.
+/// The oracle RNG stream is derived as `["oracle", year]` from the
+/// root seed, so every caller trains byte-identical forests.
+#[allow(clippy::type_complexity)]
+fn oracle_stage(
+    spec: &YearSpec,
+    config: &ExperimentConfig,
+    workers: usize,
+) -> Result<
+    (
+        YearCorpus,
+        Vec<Vec<f64>>,
+        DiagnosticStats,
+        FrontendStats,
+        AuthorshipModel,
+    ),
+    PipelineError,
+> {
+    let corpus = generate_year(spec, config.seed);
+    let analyzer = Analyzer::new();
+    let extractor = FeatureExtractor::new(config.features.clone());
+    let human: Vec<(Vec<f64>, DiagnosticStats, FrontendStats)> =
+        pool::parallel_try_map_workers(workers, (0..corpus.samples.len()).collect(), |i| {
+            let t0 = Instant::now();
+            let artifact = Artifact::new(corpus.samples[i].source.as_str());
+            let features = artifact
+                .features(&extractor)
+                .map_err(|e| PipelineError::Analysis {
+                    stage: "featurize",
+                    source: e,
+                })?
+                .to_vec();
+            let mut diags = DiagnosticStats::default();
+            diags.absorb(
+                artifact
+                    .diagnostics(&analyzer)
+                    .map_err(|e| PipelineError::Analysis {
+                        stage: "lint",
+                        source: e,
+                    })?,
+            );
+            let frontend = FrontendStats {
+                cache_hits: 0,
+                cache_misses: 1,
+                frontend_ns: t0.elapsed().as_nanos(),
+            };
+            Ok((features, diags, frontend))
+        })?;
+    let mut human_features: Vec<Vec<f64>> = Vec::with_capacity(human.len());
+    let mut diagnostics = DiagnosticStats::default();
+    let mut frontend = FrontendStats::default();
+    for (features, diags, fe) in human {
+        human_features.push(features);
+        diagnostics.merge(&diags);
+        frontend.merge(&fe);
+    }
+
+    // Oracle: one class per human author.
+    let mut human_ds = Dataset::new(spec.authors);
+    for (sample, features) in corpus.samples.iter().zip(&human_features) {
+        human_ds.push(features.clone(), sample.author);
+    }
+    let mut rng = Pcg64::seed_from(config.seed, &["oracle", &spec.year.to_string()]);
+    let oracle = AuthorshipModel::from_features(extractor, &human_ds, &config.forest(), &mut rng);
+    Ok((corpus, human_features, diagnostics, frontend, oracle))
+}
+
+/// Trains the year's oracle exactly as [`YearPipeline::try_build`]
+/// does — same corpus, same features, same RNG stream — without
+/// running the transformation stage. The serving layer's model
+/// registry loads forests through this entry point, which is what
+/// makes a served verdict byte-identical to the offline pipeline's
+/// oracle for the same source.
+///
+/// # Errors
+///
+/// * [`PipelineError::UnsupportedYear`] — `year` outside 2017–2019.
+/// * [`PipelineError::Analysis`] — a generated program was rejected
+///   downstream (always a bug, reported as data).
+pub fn year_oracle(year: u32, config: &ExperimentConfig) -> Result<AuthorshipModel, PipelineError> {
+    let workers = pool::resolve_workers(config.workers);
+    let spec = try_year_spec(year, config)?;
+    let (_, _, _, _, oracle) = oracle_stage(&spec, config, workers)?;
+    Ok(oracle)
+}
+
 /// The year's dataset spec at the configured scale (paper-scale specs
 /// match [`YearSpec::paper`]).
 fn try_year_spec(year: u32, config: &ExperimentConfig) -> Result<YearSpec, PipelineError> {
@@ -868,6 +922,39 @@ mod tests {
         let b = smoke_pipeline();
         assert_eq!(a.all_labels(), b.all_labels());
         assert_eq!(a.seed_author, b.seed_author);
+    }
+
+    #[test]
+    fn year_oracle_matches_the_pipeline_oracle_byte_for_byte() {
+        // The serving registry's guarantee: the standalone oracle and
+        // the pipeline's oracle are the same model — identical
+        // probability vectors on every human sample and on transformed
+        // text alike.
+        let config = ExperimentConfig::smoke();
+        let p = YearPipeline::build(2018, &config);
+        let standalone = year_oracle(2018, &config).unwrap();
+        for features in p.human_features.iter().take(8) {
+            assert_eq!(
+                standalone.forest().predict_proba(features),
+                p.oracle.forest().predict_proba(features)
+            );
+        }
+        let t = &p.transformed[0];
+        assert_eq!(
+            standalone.forest().predict_proba(&t.features),
+            p.oracle.forest().predict_proba(&t.features)
+        );
+        assert_eq!(
+            standalone.predict_features(&t.features),
+            t.oracle_label,
+            "standalone oracle reproduces the cached label"
+        );
+    }
+
+    #[test]
+    fn year_oracle_rejects_out_of_range_years() {
+        let err = year_oracle(1999, &ExperimentConfig::smoke()).unwrap_err();
+        assert_eq!(err, PipelineError::UnsupportedYear(1999));
     }
 
     #[test]

@@ -114,6 +114,17 @@ impl CircuitBreaker {
         matches!(self.state, State::Open { .. })
     }
 
+    /// The current automaton state as a stable lowercase name
+    /// (`"closed"`, `"open"`, `"half-open"`), for health endpoints and
+    /// operator-facing reports.
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen => "half-open",
+        }
+    }
+
     /// How many times the breaker has tripped open.
     pub fn trips(&self) -> u64 {
         self.trips

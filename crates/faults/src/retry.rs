@@ -104,6 +104,18 @@ impl RetryBudget {
     pub fn remaining(&self) -> u64 {
         self.remaining
     }
+
+    /// Credits `tokens` back, saturating at `cap`. A no-op on
+    /// unlimited budgets. This is the budget machinery run in
+    /// reverse: a token bucket is a `RetryBudget` that refills on a
+    /// clock instead of only draining (the serving layer's per-client
+    /// rate limiter is built on exactly this).
+    pub fn refill(&mut self, tokens: u64, cap: u64) {
+        if self.unlimited {
+            return;
+        }
+        self.remaining = self.remaining.saturating_add(tokens).min(cap);
+    }
 }
 
 #[cfg(test)]
@@ -158,5 +170,32 @@ mod tests {
         for _ in 0..10_000 {
             assert!(b.try_spend());
         }
+    }
+
+    #[test]
+    fn refill_credits_back_up_to_the_cap() {
+        let mut b = RetryBudget::new(3);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        b.refill(1, 3);
+        assert_eq!(b.remaining(), 2);
+        b.refill(100, 3);
+        assert_eq!(b.remaining(), 3, "refill saturates at the cap");
+        // A dry budget comes back to life after a refill.
+        for _ in 0..3 {
+            assert!(b.try_spend());
+        }
+        assert!(!b.try_spend());
+        b.refill(1, 3);
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+    }
+
+    #[test]
+    fn refill_is_a_noop_on_unlimited_budgets() {
+        let mut b = RetryBudget::unlimited();
+        b.refill(5, 10);
+        assert_eq!(b.remaining(), u64::MAX);
+        assert!(b.try_spend());
     }
 }

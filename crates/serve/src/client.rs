@@ -1,0 +1,181 @@
+//! A minimal blocking HTTP/1.1 client for the integration-test and
+//! bench harnesses.
+//!
+//! Hand-rolled for the same reason the server is: the workspace is
+//! hermetic. It speaks exactly the subset the server emits —
+//! `Content-Length`-framed responses with a handful of headers — and
+//! supports keep-alive so the bench harness can measure per-request
+//! latency without paying a TCP handshake each time.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The (possibly empty) body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (panics on invalid bytes — fine for tests).
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body was not utf-8")
+    }
+}
+
+/// A keep-alive connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` with a generous read timeout so a hung
+    /// server fails a test instead of wedging it.
+    ///
+    /// # Errors
+    ///
+    /// Connection or socket-option errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends one request and reads one response on the persistent
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` when the response violates the
+    /// server's framing subset.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        let mut req = format!("{method} {target} HTTP/1.1\r\nHost: synthattr\r\n");
+        for (name, value) in headers {
+            req.push_str(&format!("{name}: {value}\r\n"));
+        }
+        req.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        self.stream.write_all(req.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        read_response(&mut self.reader)
+    }
+}
+
+/// One-shot request on a fresh connection (the common test idiom).
+///
+/// # Errors
+///
+/// Same as [`Client::request`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<ClientResponse> {
+    Client::connect(addr)?.request(method, target, headers, body)
+}
+
+fn invalid(what: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
+}
+
+fn read_line(reader: &mut impl BufRead) -> std::io::Result<String> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(invalid("connection closed mid-response"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn read_response(reader: &mut impl BufRead) -> std::io::Result<ClientResponse> {
+    let status_line = read_line(reader)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("bad status line"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("bad status code"))?;
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| invalid("bad header"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| invalid("bad content-length"))?;
+        }
+        headers.push((name, value));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_framed_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}";
+        let resp = read_response(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.text(), "{}");
+    }
+
+    #[test]
+    fn rejects_garbage_status_lines() {
+        let raw = b"SMTP nope\r\n\r\n";
+        assert!(read_response(&mut Cursor::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn truncated_bodies_error_instead_of_hanging() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_response(&mut Cursor::new(&raw[..])).is_err());
+    }
+}

@@ -1,0 +1,572 @@
+//! A minimal, defensive HTTP/1.1 wire layer.
+//!
+//! Hand-rolled on `std::io` because the workspace is hermetic (zero
+//! registry dependencies): no hyper, no epoll crate — one blocking
+//! reader per connection, served by the worker pool. The parser is
+//! generic over [`BufRead`] so the property suite can drive it with
+//! in-memory cursors at fuzzing speed, and every input dimension is
+//! hard-limited (request line, header count, header size, body size)
+//! so a hostile peer can cost at most a bounded read before a 4xx.
+//!
+//! Supported surface: `GET`/`POST`/`HEAD`, `Content-Length` bodies,
+//! keep-alive and pipelining. Chunked transfer encoding is refused
+//! with `501` rather than half-implemented.
+
+use std::io::{self, BufRead, Write};
+
+/// Input hard limits. Exceeding any of them is a client error, never a
+/// panic or an unbounded allocation.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Longest accepted request line, in bytes.
+    pub max_request_line: usize,
+    /// Longest accepted single header line, in bytes.
+    pub max_header_line: usize,
+    /// Most headers accepted per request.
+    pub max_headers: usize,
+    /// Largest accepted body, in bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_header_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, `HEAD`).
+    pub method: String,
+    /// Path component of the target, before any `?`.
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Everything that can go wrong while reading a request. Each variant
+/// maps to one response status; none of them panic.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Peer closed the connection before sending anything: a clean end
+    /// of a keep-alive session, not an error to report.
+    Closed,
+    /// Malformed request (syntax, bad framing, truncated mid-request).
+    BadRequest(&'static str),
+    /// Request line exceeded [`Limits::max_request_line`] → 414.
+    UriTooLong,
+    /// A header exceeded [`Limits::max_header_line`] or there were more
+    /// than [`Limits::max_headers`] → 431.
+    HeadersTooLarge,
+    /// Body exceeded [`Limits::max_body`] → 413.
+    BodyTooLarge,
+    /// The socket read timed out mid-request (slow-loris) → 408.
+    Timeout,
+    /// Chunked or otherwise unsupported framing → 501.
+    Unsupported(&'static str),
+    /// Transport-level failure; the connection is unusable.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The response status for this error (0 for [`HttpError::Closed`]
+    /// and [`HttpError::Io`], where no response can or should be sent).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => 0,
+            HttpError::BadRequest(_) => 400,
+            HttpError::UriTooLong => 414,
+            HttpError::HeadersTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::Timeout => 408,
+            HttpError::Unsupported(_) => 501,
+        }
+    }
+
+    /// Short operator-facing description.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            HttpError::Closed => "connection closed",
+            HttpError::BadRequest(why) => why,
+            HttpError::UriTooLong => "request line too long",
+            HttpError::HeadersTooLarge => "headers too large",
+            HttpError::BodyTooLarge => "body too large",
+            HttpError::Timeout => "request read timed out",
+            HttpError::Unsupported(why) => why,
+            HttpError::Io(_) => "io error",
+        }
+    }
+}
+
+/// Reads one line (terminated by `\n`, tolerating `\r\n`) of at most
+/// `max` bytes. `Ok(None)` is clean EOF before any byte.
+fn read_line_limited(
+    reader: &mut impl BufRead,
+    max: usize,
+    over_limit: fn() -> HttpError,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest("truncated line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| HttpError::BadRequest("non-utf8 line"))?;
+                    return Ok(Some(text));
+                }
+                line.push(byte[0]);
+                if line.len() > max {
+                    return Err(over_limit());
+                }
+            }
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Read timeouts surface as `WouldBlock` on Unix sockets and
+/// `TimedOut` elsewhere; both mean the peer stalled.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Minimal percent-decoding for query values (`%xx` and `+`). Invalid
+/// escapes pass through literally — queries here carry years and small
+/// identifiers, not arbitrary documents.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a request target into path and decoded query pairs.
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, query)) => {
+            let pairs = query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| match p.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(p), String::new()),
+                })
+                .collect();
+            (path.to_string(), pairs)
+        }
+    }
+}
+
+/// Reads and parses one request.
+///
+/// `Ok(None)` means the peer closed cleanly between requests (normal
+/// keep-alive teardown). Any [`HttpError`] other than
+/// [`HttpError::Closed`]/[`HttpError::Io`] should be answered with
+/// [`Response::from_error`] before closing.
+///
+/// # Errors
+///
+/// See [`HttpError`]; every limit violation and framing defect maps to
+/// a 4xx/5xx status rather than a panic.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    limits: &Limits,
+) -> Result<Option<Request>, HttpError> {
+    // Tolerate a little CRLF noise between pipelined requests
+    // (RFC 9112 §2.2), but only a little: endless blank lines are a
+    // stall, not a request.
+    let mut request_line = None;
+    for _ in 0..4 {
+        match read_line_limited(reader, limits.max_request_line, || HttpError::UriTooLong)? {
+            None => return Ok(None),
+            Some(line) if line.is_empty() => continue,
+            Some(line) => {
+                request_line = Some(line);
+                break;
+            }
+        }
+    }
+    let Some(request_line) = request_line else {
+        return Err(HttpError::BadRequest("blank-line flood"));
+    };
+
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequest("malformed request line")),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest("malformed method token"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest("target must be origin-form"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::BadRequest("unsupported http version")),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line_limited(reader, limits.max_header_line, || HttpError::HeadersTooLarge)?
+            .ok_or(HttpError::BadRequest("truncated headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest("header without colon"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if find("transfer-encoding").is_some() {
+        return Err(HttpError::Unsupported("transfer-encoding not supported"));
+    }
+    let content_length = match find("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest("malformed content-length"))?,
+    };
+    if content_length > limits.max_body {
+        return Err(HttpError::BodyTooLarge);
+    }
+
+    let mut body = vec![0u8; content_length];
+    let mut read_so_far = 0;
+    while read_so_far < content_length {
+        match reader.read(&mut body[read_so_far..]) {
+            Ok(0) => return Err(HttpError::BadRequest("truncated body")),
+            Ok(n) => read_so_far += n,
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+
+    let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => http11,
+    };
+    let (path, query) = split_target(target);
+    Ok(Some(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// One response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Whether the server should close the connection after writing.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.as_bytes().to_vec(),
+            close: false,
+        }
+    }
+
+    /// The error response for a failed request read (connection always
+    /// closes afterwards: framing state is unrecoverable).
+    pub fn from_error(err: &HttpError) -> Self {
+        let mut r = Response::json(
+            err.status(),
+            format!("{{\"error\":{}}}", crate::json::string(err.reason())),
+        );
+        r.close = true;
+        r
+    }
+
+    /// The standard reason phrase for this status.
+    pub fn reason_phrase(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Content Too Large",
+            414 => "URI Too Long",
+            422 => "Unprocessable Content",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    /// Serializes the response (status line, headers, body).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write errors; the caller drops the
+    /// connection on any of them.
+    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        // One buffered write so header and body share a packet.
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            self.reason_phrase(),
+            self.content_type,
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" },
+        )?;
+        out.extend_from_slice(&self.body);
+        writer.write_all(&out)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_get_with_query_and_headers() {
+        let req = parse("GET /attribute?year=2018&k=v HTTP/1.1\r\nHost: x\r\nX-Client-Id: abc\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/attribute");
+        assert_eq!(req.query_param("year"), Some("2018"));
+        assert_eq!(req.query_param("k"), Some("v"));
+        assert_eq!(req.header("x-client-id"), Some("abc"));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req = parse("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloEXTRA")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_an_error() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for raw in [
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x HTTP/1.1 EXTRA\r\n\r\n",
+            "get /x HTTP/1.1\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/2.0\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let err = parse(raw).expect_err(raw);
+            assert_eq!(err.status(), 400, "{raw:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_inputs_map_to_their_statuses() {
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+        assert_eq!(parse(&long_target).unwrap_err().status(), 414);
+
+        let big_header = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "b".repeat(9000));
+        assert_eq!(parse(&big_header).unwrap_err().status(), 431);
+
+        let many_headers = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            (0..70)
+                .map(|i| format!("X-H{i}: v\r\n"))
+                .collect::<String>()
+        );
+        assert_eq!(parse(&many_headers).unwrap_err().status(), 431);
+
+        let huge_body = "POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        assert_eq!(parse(huge_body).unwrap_err().status(), 413);
+    }
+
+    #[test]
+    fn truncated_body_is_a_bad_request() {
+        let err = parse("POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort").unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn chunked_encoding_is_refused_not_half_implemented() {
+        let err = parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let close = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!close.keep_alive);
+        let http10 = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!http10.keep_alive, "HTTP/1.0 defaults to close");
+        let http10_ka = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(http10_ka.keep_alive);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut cursor = Cursor::new(raw.as_bytes());
+        let a = read_request(&mut cursor, &Limits::default()).unwrap().unwrap();
+        let b = read_request(&mut cursor, &Limits::default()).unwrap().unwrap();
+        assert_eq!(a.path, "/a");
+        assert_eq!(b.path, "/b");
+        assert_eq!(b.body, b"hi");
+        assert!(read_request(&mut cursor, &Limits::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn percent_decoding_covers_the_query_surface() {
+        let req = parse("GET /x?a=1%202&b=c+d&flag&bad=%zz HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.query_param("a"), Some("1 2"));
+        assert_eq!(req.query_param("b"), Some("c d"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.query_param("bad"), Some("%zz"));
+    }
+
+    #[test]
+    fn responses_serialize_with_exact_framing() {
+        let mut buf = Vec::new();
+        Response::json(200, "{\"ok\":true}".to_string())
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_responses_always_close() {
+        let r = Response::from_error(&HttpError::Timeout);
+        assert_eq!(r.status, 408);
+        assert!(r.close);
+        assert!(String::from_utf8(r.body).unwrap().contains("timed out"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # synthattr-serve — attribution as a service
+//!
+//! A hermetic (zero registry dependencies) HTTP/1.1 server that wraps
+//! the offline attribution pipeline in a network API:
+//!
+//! | Endpoint | What it does |
+//! |---|---|
+//! | `POST /attribute?year=Y` | C++ source in, ranked author/ChatGPT verdict with probabilities out |
+//! | `POST /transform?year=Y&mode=nct\|ct&steps=N&seed=S` | the simulated ChatGPT transformation chain |
+//! | `GET /healthz` | breaker state, cache hit/eviction rates, batching and traffic counters |
+//!
+//! Architecture, bottom-up:
+//!
+//! * [`http`] — a defensive HTTP/1.1 parser and response writer over
+//!   any `BufRead`, with hard limits on every dimension an attacker
+//!   controls (request-line length, header count/size, body size) and
+//!   explicit timeout mapping, so slow-loris and byte-soup inputs
+//!   degrade to 4xx/close — never a panic or a hang.
+//! * [`json`] — write-only JSON with shortest-round-trip float
+//!   formatting, the property that makes response bodies byte-stable.
+//! * [`registry`] — per-year models trained **once** through the exact
+//!   offline pipeline code path ([`synthattr_core::pipeline::year_oracle`])
+//!   and shared `Arc`-style across workers.
+//! * [`batch`] — micro-batching: concurrent `/attribute` requests
+//!   coalesce into single `predict_proba_batch` calls under a
+//!   deadline; the policy core is pure and clock-explicit.
+//! * [`limit`] — per-client token buckets built by running the fault
+//!   layer's [`synthattr_faults::RetryBudget`] in reverse.
+//! * [`server`] — the accept/worker threadpool over
+//!   [`synthattr_util::pool::WorkQueue`], routing, and handlers; a
+//!   [`synthattr_faults::CircuitBreaker`] guards the transform engine
+//!   and surfaces on `/healthz` as `ok`/`degraded`.
+//! * [`client`] — the minimal blocking client the e2e and bench
+//!   harnesses drive the server with.
+//!
+//! The load-bearing invariant, proven end-to-end in
+//! `tests/serve_e2e.rs`: a served `/attribute` response is
+//! **byte-identical** to what the offline pipeline's oracle produces
+//! for the same source, at any worker count and client concurrency —
+//! batching and caching change scheduling, never results.
+
+pub mod batch;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod limit;
+pub mod registry;
+pub mod server;
+
+pub use batch::{BatchConfig, BatchQueue, MicroBatcher};
+pub use client::{Client, ClientResponse};
+pub use http::{Limits, Request, Response};
+pub use limit::{RateConfig, RateLimiter, TokenBucket};
+pub use registry::{ModelRegistry, YearModel};
+pub use server::{attribution_body, RunningServer, ServeConfig, Server, ServerState};

@@ -1,0 +1,145 @@
+//! The per-year model registry.
+//!
+//! Training a year's oracle is the expensive part of serving (corpus
+//! generation + forest training); the registry does it **at most once
+//! per year** through [`synthattr_core::pipeline::year_oracle`] — the
+//! exact code path the offline pipeline trains through, so a served
+//! verdict is byte-identical to the offline one — and shares the
+//! result `Arc`-style across every worker thread. Slots are
+//! `OnceLock`s keyed by year: the first request for a year trains
+//! while concurrent requests for the same year block on the same slot
+//! (no duplicate training), and requests for other years proceed
+//! independently.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use synthattr_core::config::ExperimentConfig;
+use synthattr_core::pipeline::year_oracle;
+use synthattr_core::{AuthorshipModel, PipelineError};
+use synthattr_gpt::pool::YearPool;
+
+/// One year's trained serving state: the oracle forest plus the
+/// calibrated transformation pool (for `/transform`).
+#[derive(Debug)]
+pub struct YearModel {
+    /// The experiment year.
+    pub year: u32,
+    /// The trained non-ChatGPT oracle.
+    pub model: AuthorshipModel,
+    /// The year's calibrated LLM style pool.
+    pub pool: YearPool,
+}
+
+/// Train-once, share-everywhere storage for [`YearModel`]s.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    config: ExperimentConfig,
+    slots: BTreeMap<u32, OnceLock<Arc<YearModel>>>,
+}
+
+impl ModelRegistry {
+    /// A registry serving exactly `years`, all trained lazily from
+    /// `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnsupportedYear`] if any year is outside the
+    /// paper's 2017–2019 range — checked here so that [`get`] can
+    /// treat an in-registry year as always trainable.
+    ///
+    /// [`get`]: ModelRegistry::get
+    pub fn new(config: ExperimentConfig, years: &[u32]) -> Result<Self, PipelineError> {
+        let mut slots = BTreeMap::new();
+        for &year in years {
+            if !(2017..=2019).contains(&year) {
+                return Err(PipelineError::UnsupportedYear(year));
+            }
+            slots.insert(year, OnceLock::new());
+        }
+        Ok(ModelRegistry { config, slots })
+    }
+
+    /// The configuration models are trained from.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Every year this registry serves.
+    pub fn years(&self) -> Vec<u32> {
+        self.slots.keys().copied().collect()
+    }
+
+    /// Years whose model is already trained (for `/healthz`).
+    pub fn loaded(&self) -> Vec<u32> {
+        self.slots
+            .iter()
+            .filter(|(_, slot)| slot.get().is_some())
+            .map(|(&y, _)| y)
+            .collect()
+    }
+
+    /// The model for `year`, training it on first use. `None` if the
+    /// year is not in the registry (the caller's 404).
+    ///
+    /// # Panics
+    ///
+    /// Panics if training itself fails, which for an in-range year
+    /// means the corpus generator produced unparseable code — an
+    /// internal bug, not a client condition.
+    pub fn get(&self, year: u32) -> Option<Arc<YearModel>> {
+        let slot = self.slots.get(&year)?;
+        let model = slot.get_or_init(|| {
+            let model = year_oracle(year, &self.config)
+                .unwrap_or_else(|e| panic!("registry training failed for {year}: {e}"));
+            Arc::new(YearModel {
+                year,
+                model,
+                pool: YearPool::calibrated(year, self.config.seed),
+            })
+        });
+        Some(Arc::clone(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_registry() -> ModelRegistry {
+        ModelRegistry::new(ExperimentConfig::smoke(), &[2017, 2018]).unwrap()
+    }
+
+    #[test]
+    fn rejects_out_of_range_years_at_construction() {
+        let err = ModelRegistry::new(ExperimentConfig::smoke(), &[2018, 2042]).unwrap_err();
+        assert_eq!(err, PipelineError::UnsupportedYear(2042));
+    }
+
+    #[test]
+    fn trains_once_and_shares_the_arc() {
+        let reg = smoke_registry();
+        assert!(reg.loaded().is_empty(), "lazy: nothing trained up front");
+        let a = reg.get(2018).unwrap();
+        let b = reg.get(2018).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "repeat gets share one model");
+        assert_eq!(reg.loaded(), vec![2018]);
+        assert_eq!(reg.years(), vec![2017, 2018]);
+    }
+
+    #[test]
+    fn unknown_year_is_none_not_a_panic() {
+        assert!(smoke_registry().get(2019).is_none());
+    }
+
+    #[test]
+    fn concurrent_gets_race_to_one_model() {
+        let reg = smoke_registry();
+        let models: Vec<Arc<YearModel>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| reg.get(2017).unwrap())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for m in &models[1..] {
+            assert!(Arc::ptr_eq(&models[0], m));
+        }
+    }
+}

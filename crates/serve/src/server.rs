@@ -1,0 +1,966 @@
+//! The attribution server: listener, worker pool, routing, handlers.
+//!
+//! Threading is the classic accept/worker split built on
+//! [`synthattr_util::pool`]: the acceptor thread pushes accepted
+//! connections into a blocking [`WorkQueue`], and `workers` threads
+//! (resolved by the same `SYNTHATTR_WORKERS` machinery as the offline
+//! pipeline) pop and serve them — keep-alive and pipelining included.
+//! All request handling is pure of the transport
+//! ([`ServerState::handle_request`] maps a parsed request to a
+//! response), which is what lets the unit suite drive every route
+//! without a socket.
+//!
+//! Endpoints:
+//!
+//! * `POST /attribute?year=Y` — body: raw C++ source (`text/plain`);
+//!   response: the oracle's ranked author verdict with probabilities.
+//! * `POST /transform?year=Y&mode=nct|ct&steps=N&seed=S` — body: seed
+//!   source; response: the simulated ChatGPT transformation chain.
+//! * `GET /healthz` — circuit-breaker state, cache hit/eviction rates,
+//!   registry load state, batching and traffic counters.
+//!
+//! Determinism: attribution is a pure function of (year, body) — the
+//! registry trains through the offline pipeline's code path, feature
+//! extraction is cached but pure, and batching only groups pure
+//! per-row predictions — so responses are byte-identical across
+//! worker counts, client counts, and restarts.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use synthattr_core::config::ExperimentConfig;
+use synthattr_core::ArtifactCache;
+use synthattr_faults::{BreakerConfig, CircuitBreaker};
+use synthattr_gen::corpus::Origin;
+use synthattr_gpt::chain::{try_run_ct, try_run_nct};
+use synthattr_gpt::transform::Transformer;
+use synthattr_gpt::GptError;
+use synthattr_util::{pool, pool::WorkQueue, Pcg64};
+
+use crate::batch::{BatchConfig, MicroBatcher};
+use crate::http::{read_request, Limits, Request, Response};
+use crate::json;
+use crate::limit::{RateConfig, RateLimiter};
+use crate::registry::ModelRegistry;
+
+/// Upper bound on `steps` per `/transform` call, so one request cannot
+/// monopolize a worker.
+const MAX_TRANSFORM_STEPS: usize = 64;
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Experiment configuration models are trained from (seed, scale,
+    /// forest, features) — the same struct the offline pipeline takes.
+    pub experiment: ExperimentConfig,
+    /// Years the registry serves.
+    pub years: Vec<u32>,
+    /// Worker thread count override (`None` = `SYNTHATTR_WORKERS` /
+    /// available parallelism).
+    pub workers: Option<usize>,
+    /// Capacity of the shared artifact LRU.
+    pub cache_capacity: usize,
+    /// Micro-batching policy for `/attribute`.
+    pub batch: BatchConfig,
+    /// Per-client rate limits (`None` disables limiting).
+    pub rate: Option<RateConfig>,
+    /// Circuit-breaker tuning for the transform engine.
+    pub breaker: BreakerConfig,
+    /// Socket read timeout, ms — the slow-loris bound.
+    pub read_timeout_ms: u64,
+    /// HTTP input limits.
+    pub limits: Limits,
+    /// Train every registry year at bind time instead of lazily.
+    pub preload: bool,
+}
+
+impl ServeConfig {
+    /// Smoke-scale serving config: small corpus and forest, all three
+    /// years, defaults everywhere else.
+    pub fn smoke() -> Self {
+        ServeConfig {
+            experiment: ExperimentConfig::smoke(),
+            years: vec![2017, 2018, 2019],
+            workers: None,
+            cache_capacity: 256,
+            batch: BatchConfig::default(),
+            rate: Some(RateConfig::default()),
+            breaker: BreakerConfig::default(),
+            read_timeout_ms: 2_000,
+            limits: Limits::default(),
+            preload: false,
+        }
+    }
+}
+
+/// Per-route traffic counters (relaxed atomics; observability only).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests routed, any endpoint.
+    pub requests: AtomicU64,
+    /// `/attribute` requests served 200.
+    pub attribute_ok: AtomicU64,
+    /// `/transform` requests served 200.
+    pub transform_ok: AtomicU64,
+    /// `/healthz` reads.
+    pub healthz: AtomicU64,
+    /// Requests refused with 429.
+    pub rate_limited: AtomicU64,
+    /// 4xx responses (including parse rejections).
+    pub client_errors: AtomicU64,
+    /// 5xx responses.
+    pub server_errors: AtomicU64,
+    /// Handler panics caught and converted to 500s.
+    pub panics: AtomicU64,
+}
+
+/// Everything the workers share. Handlers live here, transport-free.
+#[derive(Debug)]
+pub struct ServerState {
+    config: ServeConfig,
+    registry: ModelRegistry,
+    batchers: Mutex<std::collections::HashMap<u32, Arc<MicroBatcher>>>,
+    cache: Mutex<ArtifactCache>,
+    limiter: Option<Mutex<RateLimiter>>,
+    breaker: Mutex<CircuitBreaker>,
+    stats: ServeStats,
+    started: Instant,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// Builds the shared state (trains nothing unless `preload`).
+    ///
+    /// # Errors
+    ///
+    /// [`synthattr_core::PipelineError::UnsupportedYear`] via the
+    /// registry if `config.years` leaves the paper's 2017–2019 range.
+    pub fn new(config: ServeConfig) -> Result<Self, synthattr_core::PipelineError> {
+        let registry = ModelRegistry::new(config.experiment.clone(), &config.years)?;
+        let state = ServerState {
+            cache: Mutex::new(ArtifactCache::bounded(config.cache_capacity)),
+            limiter: config
+                .rate
+                .clone()
+                .map(|r| Mutex::new(RateLimiter::new(r))),
+            breaker: Mutex::new(CircuitBreaker::new(config.breaker.clone())),
+            batchers: Mutex::new(std::collections::HashMap::new()),
+            stats: ServeStats::default(),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            registry,
+            config,
+        };
+        if state.config.preload {
+            for year in state.registry.years() {
+                state.registry.get(year);
+            }
+        }
+        Ok(state)
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The transform-engine circuit breaker (exposed so operators and
+    /// the regression suite can inspect or trip it directly).
+    pub fn breaker(&self) -> MutexGuard<'_, CircuitBreaker> {
+        self.breaker.lock().expect("breaker poisoned")
+    }
+
+    /// Milliseconds since the server started — the limiter's clock.
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The per-year batcher, created on first use.
+    fn batcher(&self, year: u32) -> Option<Arc<MicroBatcher>> {
+        let model = self.registry.get(year)?;
+        let mut batchers = self.batchers.lock().expect("batchers poisoned");
+        Some(Arc::clone(batchers.entry(year).or_insert_with(|| {
+            Arc::new(MicroBatcher::new(model, self.config.batch.clone()))
+        })))
+    }
+
+    /// Routes one parsed request. Pure of the transport: no socket in
+    /// sight, which is how the unit suite drives every path.
+    pub fn handle_request(&self, req: &Request) -> Response {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/attribute") => self.rate_limited(req, |s, r| s.attribute(r)),
+            ("POST", "/transform") => self.rate_limited(req, |s, r| s.transform(r)),
+            ("GET", "/healthz") => self.healthz(),
+            (_, "/attribute" | "/transform" | "/healthz") => Response::json(
+                405,
+                format!("{{\"error\":{}}}", json::string("method not allowed")),
+            ),
+            _ => Response::json(404, format!("{{\"error\":{}}}", json::string("not found"))),
+        };
+        match response.status {
+            429 => {
+                self.stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+            }
+            s if (400..500).contains(&s) => {
+                self.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            s if s >= 500 => {
+                self.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        response
+    }
+
+    /// Applies the per-client token bucket before running `handler`.
+    fn rate_limited(
+        &self,
+        req: &Request,
+        handler: fn(&ServerState, &Request) -> Response,
+    ) -> Response {
+        if let Some(limiter) = &self.limiter {
+            let client = req.header("x-client-id").unwrap_or("anon");
+            let now = self.now_ms();
+            if !limiter
+                .lock()
+                .expect("limiter poisoned")
+                .check(client, now)
+            {
+                return Response::json(
+                    429,
+                    format!("{{\"error\":{}}}", json::string("rate limit exceeded")),
+                );
+            }
+        }
+        handler(self, req)
+    }
+
+    /// Parses the `year` query parameter and resolves its model.
+    fn year_model(
+        &self,
+        req: &Request,
+    ) -> Result<Arc<crate::registry::YearModel>, Response> {
+        let year_text = req.query_param("year").ok_or_else(|| {
+            Response::json(
+                400,
+                format!("{{\"error\":{}}}", json::string("missing year parameter")),
+            )
+        })?;
+        let year: u32 = year_text.parse().map_err(|_| {
+            Response::json(
+                400,
+                format!("{{\"error\":{}}}", json::string("year must be an integer")),
+            )
+        })?;
+        self.registry.get(year).ok_or_else(|| {
+            Response::json(
+                404,
+                format!(
+                    "{{\"error\":{},\"years\":{}}}",
+                    json::string("year not served"),
+                    json::array(self.registry.years().iter().map(|y| y.to_string()))
+                ),
+            )
+        })
+    }
+
+    /// `POST /attribute?year=Y` — the body is raw C++ source.
+    fn attribute(&self, req: &Request) -> Response {
+        let model = match self.year_model(req) {
+            Ok(m) => m,
+            Err(resp) => return resp,
+        };
+        let source = match std::str::from_utf8(&req.body) {
+            Ok(s) if !s.trim().is_empty() => s,
+            Ok(_) => {
+                return Response::json(
+                    400,
+                    format!("{{\"error\":{}}}", json::string("empty body")),
+                )
+            }
+            Err(_) => {
+                return Response::json(
+                    400,
+                    format!("{{\"error\":{}}}", json::string("body must be utf-8 source")),
+                )
+            }
+        };
+
+        // Shared LRU: identical sources across requests featurize once.
+        // Only extractor-config-independent products plus features are
+        // safe to share here; all registry years use one FeatureConfig,
+        // and labels are computed from each year's forest below — never
+        // from the artifact's per-model label slot.
+        let artifact = self
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .intern(source);
+        let features = match artifact.features(model.model.extractor()) {
+            Ok(f) => f.to_vec(),
+            Err(e) => {
+                return Response::json(
+                    422,
+                    format!(
+                        "{{\"error\":{},\"detail\":{}}}",
+                        json::string("source rejected by the frontend"),
+                        json::string(&e.to_string())
+                    ),
+                )
+            }
+        };
+
+        let batcher = match self.batcher(model.year) {
+            Some(b) => b,
+            None => {
+                return Response::json(
+                    500,
+                    format!("{{\"error\":{}}}", json::string("registry lost a year")),
+                )
+            }
+        };
+        let proba = batcher.submit(features);
+        self.stats.attribute_ok.fetch_add(1, Ordering::Relaxed);
+        Response::json(200, attribution_body(model.year, &proba))
+    }
+
+    /// `POST /transform?year=Y&mode=nct|ct&steps=N&seed=S`.
+    fn transform(&self, req: &Request) -> Response {
+        let model = match self.year_model(req) {
+            Ok(m) => m,
+            Err(resp) => return resp,
+        };
+        let mode = req.query_param("mode").unwrap_or("nct");
+        let chaining = match mode {
+            "nct" => false,
+            "ct" => true,
+            _ => {
+                return Response::json(
+                    400,
+                    format!("{{\"error\":{}}}", json::string("mode must be nct or ct")),
+                )
+            }
+        };
+        let steps: usize = match req.query_param("steps").unwrap_or("3").parse() {
+            Ok(n) if (1..=MAX_TRANSFORM_STEPS).contains(&n) => n,
+            _ => {
+                return Response::json(
+                    400,
+                    format!(
+                        "{{\"error\":{}}}",
+                        json::string("steps must be in 1..=64")
+                    ),
+                )
+            }
+        };
+        let seed: u64 = match req.query_param("seed").unwrap_or("0").parse() {
+            Ok(s) => s,
+            Err(_) => {
+                return Response::json(
+                    400,
+                    format!("{{\"error\":{}}}", json::string("seed must be an integer")),
+                )
+            }
+        };
+        let source = match std::str::from_utf8(&req.body) {
+            Ok(s) if !s.trim().is_empty() => s,
+            _ => {
+                return Response::json(
+                    400,
+                    format!("{{\"error\":{}}}", json::string("body must be utf-8 source")),
+                )
+            }
+        };
+
+        // The breaker guards the transform engine. Open = shed load
+        // with 503 (reads — /attribute, /healthz — are unaffected).
+        if self.breaker().admit().is_err() {
+            return Response::json(
+                503,
+                format!(
+                    "{{\"error\":{},\"breaker\":{}}}",
+                    json::string("transform engine shedding load"),
+                    json::string(self.breaker().state_name())
+                ),
+            );
+        }
+
+        let transformer = Transformer::new(&model.pool);
+        let mut rng = Pcg64::seed_from(
+            seed,
+            &["serve-transform", &model.year.to_string(), mode],
+        );
+        let run = if chaining {
+            try_run_ct(&transformer, source, steps, Origin::Human, &mut rng)
+        } else {
+            try_run_nct(&transformer, source, steps, Origin::Human, &mut rng)
+        };
+        match run {
+            Ok(samples) => {
+                self.breaker().record_success();
+                self.stats.transform_ok.fetch_add(1, Ordering::Relaxed);
+                let steps_json = json::array(samples.iter().map(|s| {
+                    format!(
+                        "{{\"step\":{},\"pool\":{},\"source\":{}}}",
+                        s.step,
+                        s.pool_index,
+                        json::string(&s.source)
+                    )
+                }));
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"year\":{},\"mode\":{},\"seed\":{},\"steps\":{}}}",
+                        model.year,
+                        json::string(mode),
+                        seed,
+                        steps_json
+                    ),
+                )
+            }
+            // A parse rejection is the client's fault, not engine
+            // health: it must not feed the breaker.
+            Err(GptError::Parse(e)) => Response::json(
+                422,
+                format!(
+                    "{{\"error\":{},\"detail\":{}}}",
+                    json::string("seed rejected by the frontend"),
+                    json::string(&e.to_string())
+                ),
+            ),
+            Err(e) => {
+                self.breaker().record_failure();
+                Response::json(
+                    500,
+                    format!(
+                        "{{\"error\":{},\"detail\":{}}}",
+                        json::string("transform engine failure"),
+                        json::string(&e.to_string())
+                    ),
+                )
+            }
+        }
+    }
+
+    /// `GET /healthz`. Always 200 — a degraded engine is reported, not
+    /// hidden behind an error; reads keep flowing while the breaker
+    /// sheds transform load.
+    fn healthz(&self) -> Response {
+        self.stats.healthz.fetch_add(1, Ordering::Relaxed);
+        let breaker = self.breaker();
+        let status = if breaker.is_open() { "degraded" } else { "ok" };
+        let breaker_json = format!(
+            "{{\"state\":{},\"trips\":{}}}",
+            json::string(breaker.state_name()),
+            breaker.trips()
+        );
+        drop(breaker);
+
+        let cache = self.cache.lock().expect("cache poisoned");
+        let hits = cache.hits();
+        let misses = cache.misses();
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        let cache_json = format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"capacity\":{},\"hit_rate\":{}}}",
+            hits,
+            misses,
+            cache.evictions(),
+            cache.len(),
+            cache.capacity().unwrap_or(0),
+            json::f64(hit_rate)
+        );
+        drop(cache);
+
+        let (batches, batched_rows, max_batch) = {
+            let batchers = self.batchers.lock().expect("batchers poisoned");
+            batchers.values().fold((0u64, 0u64, 0u64), |acc, b| {
+                let s = b.stats();
+                (
+                    acc.0 + s.batches.load(Ordering::Relaxed),
+                    acc.1 + s.rows.load(Ordering::Relaxed),
+                    acc.2.max(s.max_batch_seen.load(Ordering::Relaxed)),
+                )
+            })
+        };
+        let (rate_clients, rate_rejected) = match &self.limiter {
+            None => (0, 0),
+            Some(l) => {
+                let l = l.lock().expect("limiter poisoned");
+                (l.clients(), l.rejected())
+            }
+        };
+        let s = &self.stats;
+        let body = format!(
+            "{{\"status\":{},\"uptime_ms\":{},\"years\":{},\"loaded\":{},\"breaker\":{},\"cache\":{},\
+             \"batch\":{{\"batches\":{},\"rows\":{},\"max_batch\":{}}},\
+             \"rate\":{{\"clients\":{},\"rejected\":{}}},\
+             \"requests\":{{\"total\":{},\"attribute_ok\":{},\"transform_ok\":{},\"healthz\":{},\
+             \"rate_limited\":{},\"client_errors\":{},\"server_errors\":{},\"panics\":{}}}}}",
+            json::string(status),
+            self.now_ms(),
+            json::array(self.registry.years().iter().map(|y| y.to_string())),
+            json::array(self.registry.loaded().iter().map(|y| y.to_string())),
+            breaker_json,
+            cache_json,
+            batches,
+            batched_rows,
+            max_batch,
+            rate_clients,
+            rate_rejected,
+            s.requests.load(Ordering::Relaxed),
+            s.attribute_ok.load(Ordering::Relaxed),
+            s.transform_ok.load(Ordering::Relaxed),
+            s.healthz.load(Ordering::Relaxed),
+            s.rate_limited.load(Ordering::Relaxed),
+            s.client_errors.load(Ordering::Relaxed),
+            s.server_errors.load(Ordering::Relaxed),
+            s.panics.load(Ordering::Relaxed),
+        );
+        Response::json(200, body)
+    }
+}
+
+/// Serializes one attribution verdict. Public so the e2e suite can
+/// build its expected bytes from an *offline* oracle's probabilities
+/// and compare them byte-for-byte against served responses.
+pub fn attribution_body(year: u32, proba: &[f32]) -> String {
+    // Descending probability; ties break to the lowest label, matching
+    // the forest's own argmax, so `label` always equals `ranking[0]`.
+    let mut order: Vec<usize> = (0..proba.len()).collect();
+    order.sort_by(|&a, &b| {
+        proba[b]
+            .partial_cmp(&proba[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let label = order.first().copied().unwrap_or(0);
+    let ranking = json::array(order.iter().take(5).map(|&i| {
+        format!("{{\"author\":{},\"p\":{}}}", i, json::f32(proba[i]))
+    }));
+    format!(
+        "{{\"year\":{},\"label\":{},\"ranking\":{},\"probabilities\":{}}}",
+        year,
+        label,
+        ranking,
+        json::array(proba.iter().map(|&p| json::f32(p)))
+    )
+}
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and builds the
+    /// shared state.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from [`TcpListener::bind`]; registry
+    /// configuration errors surface as `InvalidInput`.
+    pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let workers = pool::resolve_workers(config.workers);
+        let state = ServerState::new(config)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(state),
+            workers,
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TcpListener::local_addr`].
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state (stats, breaker, config).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Runs the accept loop on the calling thread, serving on
+    /// `workers` pool threads, until [`RunningServer::shutdown`] (or
+    /// a listener error). Normally reached through [`Server::spawn`].
+    pub fn run(self) -> std::io::Result<()> {
+        let queue: WorkQueue<TcpStream> = WorkQueue::new();
+        let state = &self.state;
+        let timeout = Duration::from_millis(state.config.read_timeout_ms.max(1));
+        let limits = &state.config.limits;
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| {
+                    while let Some(stream) = queue.pop() {
+                        // A handler panic must cost one connection,
+                        // not the worker: count it and keep serving.
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            serve_connection(state, stream, timeout, limits)
+                        }));
+                        if result.is_err() {
+                            state.stats.panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            for stream in self.listener.incoming() {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    queue.push(stream);
+                }
+            }
+            queue.close();
+        });
+        Ok(())
+    }
+
+    /// Starts the server on a background thread and returns a handle
+    /// for shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Server::local_addr`].
+    pub fn spawn(self) -> std::io::Result<RunningServer> {
+        let addr = self.local_addr()?;
+        let state = self.state();
+        let thread = std::thread::spawn(move || self.run());
+        Ok(RunningServer {
+            addr,
+            state,
+            thread,
+        })
+    }
+}
+
+/// A live server: address, shared state, and the accept-loop thread.
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    thread: JoinHandle<std::io::Result<()>>,
+}
+
+impl RunningServer {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (stats, breaker, config).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Stops accepting, drains the workers, and joins the server
+    /// thread.
+    pub fn shutdown(self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `incoming()`; a throwaway
+        // connection wakes it to observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
+    }
+}
+
+/// Serves one connection: keep-alive loop, per-request routing,
+/// defensive error mapping.
+fn serve_connection(
+    state: &ServerState,
+    stream: TcpStream,
+    timeout: Duration,
+    limits: &Limits,
+) {
+    if stream.set_read_timeout(Some(timeout)).is_err() {
+        return;
+    }
+    // Small request/response exchanges stall ~40 ms per round trip
+    // under Nagle + delayed ACK; responses are written in one buffer
+    // anyway, so just disable coalescing.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader, limits) {
+            Ok(None) => return,
+            Ok(Some(req)) => {
+                let mut response = state.handle_request(&req);
+                if !req.keep_alive {
+                    response.close = true;
+                }
+                if response.write_to(&mut writer).is_err() || response.close {
+                    return;
+                }
+            }
+            Err(err) => {
+                // Closed/Io get no response; everything else maps to
+                // its 4xx/5xx, then the connection drops (framing
+                // state is unrecoverable after a bad request).
+                if err.status() != 0 {
+                    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = Response::from_error(&err).write_to(&mut writer);
+                    let _ = writer.flush();
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_year_config() -> ServeConfig {
+        let mut config = ServeConfig::smoke();
+        config.years = vec![2018];
+        config.rate = None;
+        config
+    }
+
+    fn state(config: ServeConfig) -> ServerState {
+        ServerState::new(config).unwrap()
+    }
+
+    fn req(method: &str, path: &str, query: &[(&str, &str)], body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    const SOURCE: &str = "int main() { int total = 3; return total; }";
+
+    #[test]
+    fn router_maps_unknown_paths_and_methods() {
+        let s = state(single_year_config());
+        assert_eq!(s.handle_request(&req("GET", "/nope", &[], "")).status, 404);
+        assert_eq!(
+            s.handle_request(&req("GET", "/attribute", &[], "")).status,
+            405,
+            "known path, wrong method"
+        );
+        assert_eq!(
+            s.handle_request(&req("POST", "/healthz", &[], "")).status,
+            405
+        );
+        assert_eq!(s.stats().client_errors.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn attribute_validates_year_and_body() {
+        let s = state(single_year_config());
+        let missing = s.handle_request(&req("POST", "/attribute", &[], SOURCE));
+        assert_eq!(missing.status, 400, "missing year");
+        let bad = s.handle_request(&req(
+            "POST",
+            "/attribute",
+            &[("year", "soon")],
+            SOURCE,
+        ));
+        assert_eq!(bad.status, 400, "non-integer year");
+        let unserved = s.handle_request(&req(
+            "POST",
+            "/attribute",
+            &[("year", "2019")],
+            SOURCE,
+        ));
+        assert_eq!(unserved.status, 404, "in-range year not in the registry");
+        let empty = s.handle_request(&req("POST", "/attribute", &[("year", "2018")], ""));
+        assert_eq!(empty.status, 400, "empty body");
+        let broken = s.handle_request(&req(
+            "POST",
+            "/attribute",
+            &[("year", "2018")],
+            "int main( {",
+        ));
+        assert_eq!(broken.status, 422, "unparseable source");
+    }
+
+    #[test]
+    fn attribute_matches_the_offline_oracle_byte_for_byte() {
+        let s = state(single_year_config());
+        let served = s.handle_request(&req(
+            "POST",
+            "/attribute",
+            &[("year", "2018")],
+            SOURCE,
+        ));
+        assert_eq!(served.status, 200);
+
+        let oracle =
+            synthattr_core::year_oracle(2018, &s.config().experiment).unwrap();
+        let mut cache = ArtifactCache::new();
+        let artifact = cache.intern(SOURCE);
+        let features = artifact.features(oracle.extractor()).unwrap();
+        let proba = oracle.forest().predict_proba(features);
+        let expected = attribution_body(2018, &proba);
+        assert_eq!(
+            String::from_utf8(served.body).unwrap(),
+            expected,
+            "served verdict == offline pipeline verdict, byte for byte"
+        );
+    }
+
+    #[test]
+    fn rate_limiter_rejects_the_burst_overflow_with_429() {
+        let mut config = single_year_config();
+        config.rate = Some(RateConfig {
+            burst: 2,
+            per_second: 0,
+        });
+        let s = state(config);
+        let attr = || req("POST", "/attribute", &[("year", "2018")], SOURCE);
+        assert_eq!(s.handle_request(&attr()).status, 200);
+        assert_eq!(s.handle_request(&attr()).status, 200);
+        assert_eq!(s.handle_request(&attr()).status, 429, "burst exhausted");
+        assert_eq!(s.stats().rate_limited.load(Ordering::Relaxed), 1);
+        // A different client identity has its own bucket.
+        let mut other = attr();
+        other
+            .headers
+            .push(("x-client-id".to_string(), "fresh".to_string()));
+        assert_eq!(s.handle_request(&other).status, 200);
+        // /healthz is never rate-limited.
+        assert_eq!(s.handle_request(&req("GET", "/healthz", &[], "")).status, 200);
+    }
+
+    #[test]
+    fn healthz_reports_degraded_when_the_breaker_opens_but_reads_still_flow() {
+        let s = state(single_year_config());
+        let healthy = s.handle_request(&req("GET", "/healthz", &[], ""));
+        assert_eq!(healthy.status, 200);
+        let text = String::from_utf8(healthy.body).unwrap();
+        assert!(text.contains("\"status\":\"ok\""), "healthy body: {text}");
+
+        // Trip the breaker the way real transform failures would.
+        for _ in 0..s.config().breaker.failure_threshold {
+            s.breaker().record_failure();
+        }
+        assert!(s.breaker().is_open());
+
+        // Regression: a degraded engine must REPORT degraded, not fail
+        // the health read or the attribution path.
+        let degraded = s.handle_request(&req("GET", "/healthz", &[], ""));
+        assert_eq!(degraded.status, 200, "healthz never errors on degradation");
+        let text = String::from_utf8(degraded.body).unwrap();
+        assert!(
+            text.contains("\"status\":\"degraded\"") && text.contains("\"state\":\"open\""),
+            "degraded body: {text}"
+        );
+        let attributed = s.handle_request(&req(
+            "POST",
+            "/attribute",
+            &[("year", "2018")],
+            SOURCE,
+        ));
+        assert_eq!(attributed.status, 200, "reads flow while transforms shed");
+
+        // Transforms shed with 503 while open.
+        let shed = s.handle_request(&req(
+            "POST",
+            "/transform",
+            &[("year", "2018")],
+            SOURCE,
+        ));
+        assert_eq!(shed.status, 503);
+    }
+
+    #[test]
+    fn transform_is_deterministic_and_parse_rejects_skip_the_breaker() {
+        let s = state(single_year_config());
+        let t = || {
+            req(
+                "POST",
+                "/transform",
+                &[("year", "2018"), ("mode", "ct"), ("steps", "2"), ("seed", "7")],
+                SOURCE,
+            )
+        };
+        let first = s.handle_request(&t());
+        let second = s.handle_request(&t());
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, second.body, "same seed, same chain bytes");
+
+        let trips_before = s.breaker().trips();
+        let rejected = s.handle_request(&req(
+            "POST",
+            "/transform",
+            &[("year", "2018")],
+            "not c++ at all ~~~",
+        ));
+        assert_eq!(rejected.status, 422);
+        assert_eq!(
+            s.breaker().trips(),
+            trips_before,
+            "client parse errors never count against engine health"
+        );
+
+        let bad_mode = s.handle_request(&req(
+            "POST",
+            "/transform",
+            &[("year", "2018"), ("mode", "detox")],
+            SOURCE,
+        ));
+        assert_eq!(bad_mode.status, 400);
+        let bad_steps = s.handle_request(&req(
+            "POST",
+            "/transform",
+            &[("year", "2018"), ("steps", "0")],
+            SOURCE,
+        ));
+        assert_eq!(bad_steps.status, 400);
+    }
+
+    #[test]
+    fn attribution_body_ranks_descending_with_ties_to_the_lowest_label() {
+        let body = attribution_body(2017, &[0.25, 0.5, 0.25, 0.0]);
+        assert!(
+            body.starts_with("{\"year\":2017,\"label\":1,"),
+            "argmax wins: {body}"
+        );
+        let ranked = attribution_body(2019, &[0.4, 0.4, 0.2]);
+        assert!(
+            ranked.contains("\"label\":0") && ranked.contains("[{\"author\":0,"),
+            "ties break to the lowest label, matching the forest: {ranked}"
+        );
+        assert!(
+            ranked.contains("\"probabilities\":[0.4,0.4,0.2]"),
+            "full vector serialized: {ranked}"
+        );
+    }
+}

@@ -45,9 +45,10 @@
 //! assert_eq!(squares.len(), 100);
 //! ```
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Environment variable overriding the worker count (`0` or unset
 /// means "auto"). Set it to `1` to force fully serial execution.
@@ -284,6 +285,93 @@ where
         .collect())
 }
 
+/// A blocking multi-producer multi-consumer work queue with close
+/// semantics, for long-lived worker pools (the serving layer's
+/// accept/worker split) rather than the bounded fork-join shape of
+/// [`parallel_map_workers`].
+///
+/// Producers [`push`](WorkQueue::push) items; consumers
+/// [`pop`](WorkQueue::pop), blocking while the queue is empty. Closing
+/// the queue wakes every blocked consumer: `pop` keeps draining any
+/// queued items and then returns `None` forever, which is the workers'
+/// shutdown signal. Items are delivered in FIFO order, each to exactly
+/// one consumer.
+#[derive(Debug, Default)]
+pub struct WorkQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Default for QueueInner<T> {
+    fn default() -> Self {
+        QueueInner {
+            items: VecDeque::new(),
+            closed: false,
+        }
+    }
+}
+
+impl<T> WorkQueue<T> {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        WorkQueue {
+            inner: Mutex::new(QueueInner::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an item, waking one blocked consumer. Returns `false`
+    /// (dropping the item) if the queue is already closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        if inner.closed {
+            return false;
+        }
+        inner.items.push_back(item);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty and
+    /// open. Returns `None` once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("work queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future `push` calls are refused, and every
+    /// consumer unblocks once the remaining items drain.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        inner.closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued (racy by nature; for stats only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("work queue poisoned").items.len()
+    }
+
+    /// Whether no items are currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +552,74 @@ mod tests {
         assert_eq!(empty, Ok(Vec::new()));
         let one: Result<Vec<u8>, ()> = parallel_try_map(vec![41], |x| Ok(x + 1));
         assert_eq!(one, Ok(vec![42]));
+    }
+
+    #[test]
+    fn work_queue_is_fifo_for_a_single_consumer() {
+        let q = WorkQueue::new();
+        for i in 0..10 {
+            assert!(q.push(i));
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, (0..10).collect::<Vec<_>>());
+        assert_eq!(q.pop(), None, "closed queue stays closed");
+    }
+
+    #[test]
+    fn work_queue_refuses_push_after_close() {
+        let q = WorkQueue::new();
+        q.close();
+        assert!(!q.push(1u8));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn work_queue_pop_blocks_until_push() {
+        let q = WorkQueue::new();
+        std::thread::scope(|s| {
+            let consumer = s.spawn(|| q.pop());
+            // Give the consumer a chance to park before the push.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            assert!(q.push(42u64));
+            assert_eq!(consumer.join().unwrap(), Some(42));
+        });
+    }
+
+    #[test]
+    fn work_queue_delivers_each_item_to_exactly_one_consumer() {
+        let q = WorkQueue::new();
+        let n = 500usize;
+        let consumed = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Some(item) = q.pop() {
+                        consumed.lock().unwrap().push(item);
+                    }
+                });
+            }
+            for i in 0..n {
+                assert!(q.push(i));
+            }
+            q.close();
+        });
+        let mut got = consumed.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_queue_close_unblocks_parked_consumers() {
+        let q: WorkQueue<u8> = WorkQueue::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3).map(|_| s.spawn(|| q.pop())).collect();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            q.close();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), None);
+            }
+        });
     }
 
     #[test]

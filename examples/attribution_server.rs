@@ -1,0 +1,63 @@
+//! Attribution-as-a-service demo: spins up `synthattr-serve` on an
+//! ephemeral loopback port, walks every endpoint with the in-repo
+//! client, and prints the exchanges.
+//!
+//! ```sh
+//! cargo run --release --example attribution_server            # demo run
+//! cargo run --release --example attribution_server -- --listen 8484
+//! # then: curl -s -X POST 'http://127.0.0.1:8484/attribute?year=2018' \
+//! #         --data-binary 'int main() { int total = 3; return total; }'
+//! ```
+
+use synthattr::serve::client::request;
+use synthattr::serve::{ServeConfig, Server};
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    let listen_port = args
+        .iter()
+        .position(|a| a == "--listen")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| p.parse::<u16>().expect("--listen needs a port"));
+
+    let mut config = ServeConfig::smoke();
+    config.preload = true;
+    eprintln!(
+        "[serve] training {} per-year models at smoke scale ...",
+        config.years.len()
+    );
+    let addr = format!("127.0.0.1:{}", listen_port.unwrap_or(0));
+    let server = Server::bind(&addr, config)?.spawn()?;
+    eprintln!("[serve] listening on {}", server.addr());
+
+    if let Some(port) = listen_port {
+        eprintln!("[serve] foreground mode on port {port}; Ctrl-C to stop");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+
+    let addr = server.addr();
+    let source = "int main() { int total = 3; for (int i = 0; i < 4; i = i + 1) { total = total + i; } return total; }";
+
+    println!("== POST /attribute?year=2018 ==");
+    let verdict = request(addr, "POST", "/attribute?year=2018", &[], source.as_bytes())?;
+    println!("{} {}", verdict.status, verdict.text());
+
+    println!("== POST /transform?year=2018&mode=ct&steps=2&seed=42 ==");
+    let chain = request(
+        addr,
+        "POST",
+        "/transform?year=2018&mode=ct&steps=2&seed=42",
+        &[],
+        source.as_bytes(),
+    )?;
+    println!("{} {:.200}...", chain.status, chain.text());
+
+    println!("== GET /healthz ==");
+    let health = request(addr, "GET", "/healthz", &[], b"")?;
+    println!("{} {}", health.status, health.text());
+
+    server.shutdown();
+    Ok(())
+}

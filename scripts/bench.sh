@@ -22,9 +22,16 @@
 # `allocs_per_iter`/`alloc_bytes_per_iter` from the bench binary's
 # counting allocator.
 #
+# The `serve` target spins up a real `synthattr-serve` server on a
+# loopback socket and drives it with seeded keep-alive clients: serial
+# and 8-way-concurrent /attribute latency (p50/p95 per request), a
+# sustained req/s line, and the /healthz routing floor. Lands in
+# BENCH_serve.json.
+#
 # Usage:
 #   scripts/bench.sh                  # full budgets, writes BENCH_forest.json,
-#                                     #   BENCH_faults.json, BENCH_pipeline.json
+#                                     #   BENCH_faults.json, BENCH_pipeline.json,
+#                                     #   BENCH_serve.json
 #   SYNTHATTR_BENCH_MEASURE_MS=500 scripts/bench.sh   # quicker pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,6 +40,7 @@ export CARGO_NET_OFFLINE=true
 OUT="${SYNTHATTR_BENCH_OUT:-BENCH_forest.json}"
 FAULTS_OUT="${SYNTHATTR_BENCH_FAULTS_OUT:-BENCH_faults.json}"
 PIPELINE_OUT="${SYNTHATTR_BENCH_PIPELINE_OUT:-BENCH_pipeline.json}"
+SERVE_OUT="${SYNTHATTR_BENCH_SERVE_OUT:-BENCH_serve.json}"
 
 : > "$OUT"
 for target in forest features analysis; do
@@ -53,6 +61,9 @@ echo "== bench: pipeline (single-parse frontend vs reference) ==" >&2
 SYNTHATTR_BENCH_WARMUP_MS="${SYNTHATTR_BENCH_WARMUP_MS:-2000}" \
 SYNTHATTR_BENCH_MEASURE_MS="${SYNTHATTR_BENCH_MEASURE_MS:-12000}" \
   cargo bench --offline -p synthattr-bench --bench pipeline | grep '^{' > "$PIPELINE_OUT"
+
+echo "== bench: serve (HTTP attribution latency + throughput) ==" >&2
+cargo bench --offline -p synthattr-bench --bench serve | grep '^{' > "$SERVE_OUT"
 
 median_of() {
   grep "\"group\":\"forest\"" "$OUT" | grep "\"bench\":\"$1\"" \
@@ -96,6 +107,20 @@ for pair in plain chaos20; do
   fi
 done
 
+serve_field() {
+  grep "\"bench\":\"$1\"" "$SERVE_OUT" | sed -E "s/.*\"$2\":([0-9.]+).*/\1/" | head -n 1
+}
+
+p50=$(serve_field "attribute/concurrent8" "median_ns")
+rps=$(serve_field "attribute/throughput" "req_per_s")
+if [[ -n "$p50" && -n "$rps" ]]; then
+  awk -v p50="$p50" -v rps="$rps" 'BEGIN {
+    printf "serve /attribute: p50 %.2f ms at 8 clients, %.0f req/s sustained\n",
+      p50 / 1e6, rps
+  }' >&2
+fi
+
 echo "wrote $(wc -l < "$OUT") benchmark lines to $OUT" >&2
 echo "wrote $(wc -l < "$FAULTS_OUT") benchmark lines to $FAULTS_OUT" >&2
 echo "wrote $(wc -l < "$PIPELINE_OUT") benchmark lines to $PIPELINE_OUT" >&2
+echo "wrote $(wc -l < "$SERVE_OUT") benchmark lines to $SERVE_OUT" >&2

@@ -16,6 +16,10 @@
 #   scripts/verify.sh --frontend      # tier-1 + the single-parse
 #                                     #   frontend A/B + cache suites
 #                                     #   with visible output
+#   scripts/verify.sh --serve         # tier-1 + the serving stack:
+#                                     #   serve unit tests, the TCP
+#                                     #   e2e byte-identity suite, and
+#                                     #   the HTTP robustness suite
 #   SYNTHATTR_WORKERS=1 scripts/verify.sh   # serial, for timing noise
 #
 # --bench-smoke additionally runs every bench target with minimal
@@ -41,6 +45,15 @@
 # reference-frontend feature enabled so the retained baseline cannot
 # bit-rot. Both suites also run under plain tier-1; the flag exists
 # to exercise them in isolation with visible output.
+#
+# --serve re-runs the serving suites by name with visible output: the
+# synthattr-serve unit tests (parser, batcher, limiter, registry,
+# routing), the real-TCP e2e suite whose core assertion is that served
+# /attribute responses are byte-identical to the offline pipeline at
+# every worker/client count in the matrix, and the HTTP robustness
+# property suite (byte soup, truncation, oversize, slow-loris,
+# pipelining — 4xx or clean close, never a panic or hang; DESIGN.md
+# §11). All three also run under plain tier-1.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,12 +61,14 @@ BENCH_SMOKE=0
 LINT=0
 CHAOS=0
 FRONTEND=0
+SERVE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --lint) LINT=1 ;;
     --chaos) CHAOS=1 ;;
     --frontend) FRONTEND=1 ;;
+    --serve) SERVE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -76,7 +91,7 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
   export SYNTHATTR_BENCH_WARMUP_MS=1
   export SYNTHATTR_BENCH_MEASURE_MS=1
   export SYNTHATTR_BENCH_SAMPLES=1
-  for b in frontend features forest transform tables analysis faults pipeline; do
+  for b in frontend features forest transform tables analysis faults pipeline serve; do
     echo "== bench smoke: $b (one warmup iteration) ==" >&2
     cargo bench --offline -p synthattr-bench --bench "$b" > /dev/null
   done
@@ -105,6 +120,15 @@ if [[ "$FRONTEND" == "1" ]]; then
   cargo test --offline --test frontend_cache
   echo "== frontend: reference-frontend feature build ==" >&2
   cargo test -q --offline -p synthattr-core --features reference-frontend
+fi
+
+if [[ "$SERVE" == "1" ]]; then
+  echo "== serve: unit suites (parser, batcher, limiter, registry, routing) ==" >&2
+  cargo test --offline -p synthattr-serve --lib
+  echo "== serve: TCP e2e byte-identity suite ==" >&2
+  cargo test --offline --test serve_e2e
+  echo "== serve: HTTP robustness property suite ==" >&2
+  cargo test --offline -p synthattr-serve --test http_properties
 fi
 
 echo "verify: OK" >&2

@@ -34,6 +34,7 @@
 //! | [`gpt`] | `synthattr-gpt` | LLM style simulator (NCT/CT) |
 //! | [`faults`] | `synthattr-faults` | deterministic chaos: fault injection, retry, breaker |
 //! | [`core`] | `synthattr-core` | attribution pipelines + experiments |
+//! | [`serve`] | `synthattr-serve` | attribution-as-a-service HTTP server |
 
 pub use synthattr_analysis as analysis;
 pub use synthattr_core as core;
@@ -43,4 +44,5 @@ pub use synthattr_gen as gen;
 pub use synthattr_gpt as gpt;
 pub use synthattr_lang as lang;
 pub use synthattr_ml as ml;
+pub use synthattr_serve as serve;
 pub use synthattr_util as util;

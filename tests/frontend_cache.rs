@@ -120,3 +120,64 @@ fn degraded_chaos_runs_hit_the_cache() {
         p.corpus.len() + p.transformed.len() + 4 * p.config.scale.challenges
     );
 }
+
+/// ISSUE 6 regression: the bounded LRU is a drop-in for the unbounded
+/// cache. Across nine seeded request pools: a generous capacity gives
+/// *identical* hit/miss totals and zero evictions; a tight capacity
+/// keeps residency bounded, counts its evictions, and still returns
+/// identical frontend products for every request (residency changes,
+/// results never do).
+#[test]
+fn bounded_lru_preserves_semantics_and_bounds_memory() {
+    use synthattr::util::Pcg64;
+
+    const TIGHT: usize = 8;
+    for pool_seed in 0..9u64 {
+        let mut rng = Pcg64::seed_from(0xCAC4_E0, &["lru-ab", &pool_seed.to_string()]);
+        let universe: Vec<String> = (0..32)
+            .map(|i| format!("int main() {{ int v{i} = {i}; return v{i} * 2; }}"))
+            .collect();
+
+        let mut unbounded = ArtifactCache::new();
+        let mut generous = ArtifactCache::bounded(universe.len() * 2);
+        let mut tight = ArtifactCache::bounded(TIGHT);
+        for _ in 0..400 {
+            let src = &universe[rng.next_below(universe.len())];
+            let a = unbounded.intern(src);
+            let b = generous.intern(src);
+            let c = tight.intern(src);
+            // Same text, same products — no matter what got evicted.
+            assert_eq!(a.fingerprint().unwrap(), b.fingerprint().unwrap());
+            assert_eq!(a.fingerprint().unwrap(), c.fingerprint().unwrap());
+            assert!(tight.len() <= TIGHT, "pool {pool_seed}: residency bound");
+        }
+
+        assert_eq!(
+            (unbounded.hits(), unbounded.misses()),
+            (generous.hits(), generous.misses()),
+            "pool {pool_seed}: generous bound must not change hit/miss totals"
+        );
+        assert_eq!(generous.evictions(), 0, "pool {pool_seed}");
+        assert_eq!(unbounded.capacity(), None);
+
+        // The tight cache answered every request too — hits + misses
+        // add up the same — it just re-parsed what it evicted.
+        assert_eq!(
+            tight.hits() + tight.misses(),
+            unbounded.hits() + unbounded.misses(),
+            "pool {pool_seed}"
+        );
+        assert!(
+            tight.evictions() > 0 && tight.misses() > unbounded.misses(),
+            "pool {pool_seed}: a tight cache must evict and re-miss: {} evictions",
+            tight.evictions()
+        );
+        // Conservation: every miss inserted one entry, and every entry
+        // not still resident was evicted.
+        assert_eq!(
+            tight.evictions(),
+            tight.misses() - tight.len() as u64,
+            "pool {pool_seed}: evictions = inserts - residents"
+        );
+    }
+}
