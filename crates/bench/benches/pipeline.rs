@@ -1,17 +1,24 @@
-//! The single-parse frontend vs. the reference re-parse frontend,
-//! end to end (ISSUE 5 acceptance: ≥ 1.5× median speedup in one run).
+//! The frontend generations raced end to end: node-level incremental
+//! (ISSUE 7) vs. whole-file artifact cache (ISSUE 5) vs. the original
+//! re-parse-everywhere reference.
 //!
-//! Both sides build the *same* `YearPipeline` — the A/B suite in
-//! `synthattr-core` proves the results bit-identical — so any timing
+//! All sides build the *same* `YearPipeline` — the A/B suites in
+//! `synthattr-core` prove the results bit-identical — so any timing
 //! gap is pure frontend overhead:
 //!
-//! * `cached/plain` / `reference/plain` — fault-free build;
+//! * `cached/plain` / `reference/plain` — fault-free build, incremental
+//!   vs. pre-artifact-cache re-parse frontend;
 //! * `cached/chaos20` / `reference/chaos20` — the same build under
 //!   the recoverable 20% fault profile (the fault layer's validator
 //!   is one of the re-parse sites the cache eliminates: the reference
 //!   service recomputes the parse + lint + fingerprint expectation of
 //!   the input on every call and re-parses every candidate response;
 //!   the cached service computes the expectation once per stream);
+//! * `cached/chain` / `wholefile/chain` — a chain-heavy build (ISSUE 7
+//!   acceptance: ≥ 2× median speedup): long CT chains change a handful
+//!   of AST sub-trees per step, so the incremental frontend re-renders,
+//!   re-parses, and re-featurizes only the changed regions while the
+//!   whole-file frontend pays full price for every new text.
 //!
 //! The binary installs [`CountingAllocator`] as its global allocator
 //! and the group reports `allocs_per_iter` / `alloc_bytes_per_iter`,
@@ -44,6 +51,18 @@ fn frontend_config() -> ExperimentConfig {
     cfg
 }
 
+/// Chain-heavy scale: one challenge with very long streams (256 steps
+/// per setting) and a minimal corpus/forest, so the per-step frontend
+/// work the node cache amortises dominates the build.
+fn chain_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.scale.authors = 4;
+    cfg.scale.challenges = 1;
+    cfg.scale.transforms = 256;
+    cfg.scale.n_trees = 2;
+    cfg
+}
+
 fn main() {
     let mut group = Group::new("pipeline");
     group.measure_allocs(true);
@@ -59,4 +78,12 @@ fn main() {
             std::hint::black_box(YearPipeline::try_build_reference(2018, cfg).unwrap());
         });
     }
+
+    let chain = chain_config().with_faults(FaultProfile::recoverable(7, 0.20));
+    group.bench("cached/chain", || {
+        std::hint::black_box(YearPipeline::try_build(2018, &chain).unwrap());
+    });
+    group.bench("wholefile/chain", || {
+        std::hint::black_box(YearPipeline::try_build_wholefile(2018, &chain).unwrap());
+    });
 }

@@ -13,9 +13,13 @@
 //!   serialize overhead.
 //!
 //! Request sources are drawn per-client from a seeded [`Pcg64`], so
-//! two runs issue the identical request streams. Honors
-//! `SYNTHATTR_BENCH_SAMPLES` (requests per scenario, default 256).
-//! Feeds `BENCH_serve.json` via `scripts/bench.sh`.
+//! two runs issue the identical request streams. The registry is
+//! preloaded, the worker pool covers every concurrent client, and each
+//! client issues one discarded warmup request before its measured
+//! stream — first-request latencies measure the server, not connection
+//! or queue hand-off. Honors `SYNTHATTR_BENCH_SAMPLES` (requests per
+//! scenario, default 256). Feeds `BENCH_serve.json` via
+//! `scripts/bench.sh`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -56,6 +60,12 @@ fn spawn_server() -> RunningServer {
     config.years = vec![YEAR];
     config.rate = None;
     config.preload = true;
+    // A worker owns its keep-alive connection until the client hangs
+    // up, so the pool must cover every concurrent bench client: with
+    // fewer workers the late clients' first request absorbs the whole
+    // queue wait (hundreds of ms against a ~2 ms median), and the
+    // concurrent scenario measures queueing instead of batching.
+    config.workers = Some(CLIENTS + 1);
     Server::bind("127.0.0.1:0", config)
         .expect("bind")
         .spawn()
@@ -63,15 +73,28 @@ fn spawn_server() -> RunningServer {
 }
 
 /// One client's seeded request loop; returns per-request nanoseconds.
+///
+/// Issues one untimed warmup request after connecting — it absorbs
+/// connection setup and the worker hand-off — and, when `ready` is
+/// given, waits on it so every concurrent client starts its measured
+/// stream together.
 fn client_loop(
     server: &RunningServer,
     client_id: usize,
     requests: usize,
     sources: &[String],
+    ready: Option<&std::sync::Barrier>,
 ) -> Vec<u128> {
     let mut rng = Pcg64::seed_from(0xBE4C_4, &["serve-load", &client_id.to_string()]);
     let mut client = Client::connect(server.addr()).expect("connect");
     let target = format!("/attribute?year={YEAR}");
+    let warm = client
+        .request("POST", &target, &[], sources[0].as_bytes())
+        .expect("warmup");
+    assert_eq!(warm.status, 200, "warmup failed: {}", warm.text());
+    if let Some(barrier) = ready {
+        barrier.wait();
+    }
     let mut lat = Vec::with_capacity(requests);
     for _ in 0..requests {
         let src = &sources[rng.next_below(sources.len())];
@@ -97,34 +120,40 @@ fn main() {
 
     // Warm the cache and the batcher exactly once per source.
     for src in &sources {
-        client_loop(&server, usize::MAX, 1, std::slice::from_ref(src));
+        client_loop(&server, usize::MAX, 1, std::slice::from_ref(src), None);
     }
 
     // Serial: one client, no coalescing.
-    let mut serial = client_loop(&server, 0, n, &sources);
+    let mut serial = client_loop(&server, 0, n, &sources, None);
     serial.sort_unstable();
     emit(&Summary::from_sorted("serve", "attribute/serial", &serial, None));
 
     // Concurrent: 8 clients, shared wall clock for sustained req/s.
+    // The barrier has one extra party — the main thread — so the wall
+    // clock starts when every client is connected and warmed, not
+    // before; warmup requests don't count toward throughput.
     let done = AtomicU64::new(0);
-    let wall = Instant::now();
+    let ready = std::sync::Barrier::new(CLIENTS + 1);
     let per_client = n.div_ceil(CLIENTS);
-    let mut all: Vec<u128> = std::thread::scope(|scope| {
+    let (mut all, wall_ns): (Vec<u128>, u128) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|c| {
                 let server = &server;
                 let sources = &sources;
                 let done = &done;
+                let ready = &ready;
                 scope.spawn(move || {
-                    let lat = client_loop(server, c + 1, per_client, sources);
+                    let lat = client_loop(server, c + 1, per_client, sources, Some(ready));
                     done.fetch_add(lat.len() as u64, Ordering::Relaxed);
                     lat
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        ready.wait();
+        let wall = Instant::now();
+        let all = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        (all, wall.elapsed().as_nanos())
     });
-    let wall_ns = wall.elapsed().as_nanos();
     all.sort_unstable();
     let concurrent = Summary::from_sorted("serve", "attribute/concurrent8", &all, None);
     emit(&concurrent);

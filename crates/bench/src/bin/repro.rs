@@ -281,7 +281,7 @@ impl Runner {
         let mut rng = Pcg64::seed_from(self.config.seed, &["importance"]);
         let take = p.transformed.len().min(400);
         for idx in rng.sample_indices(p.transformed.len(), take) {
-            ds.push(p.transformed[idx].features.clone(), 1);
+            ds.push(p.transformed[idx].features.as_ref().clone(), 1);
         }
         for idx in rng.sample_indices(p.corpus.len(), take.min(p.corpus.len())) {
             ds.push(p.human_features[idx].clone(), 0);

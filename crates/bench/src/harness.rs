@@ -293,23 +293,9 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
+/// JSON string escaping, shared with the serve writers.
 fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    synthattr_util::json::escaped(s)
 }
 
 #[cfg(test)]

@@ -56,9 +56,9 @@ pub struct Artifact {
     source: String,
     tokens: OnceLock<Result<Vec<Token>, ParseError>>,
     unit: OnceLock<Result<TranslationUnit, ParseError>>,
-    diagnostics: OnceLock<Vec<Diagnostic>>,
+    diagnostics: OnceLock<Arc<Vec<Diagnostic>>>,
     fingerprint: OnceLock<u64>,
-    features: OnceLock<Vec<f64>>,
+    features: OnceLock<Arc<Vec<f64>>>,
     oracle_label: OnceLock<usize>,
 }
 
@@ -128,7 +128,31 @@ impl Artifact {
             return Ok(d);
         }
         let unit = self.unit()?;
-        Ok(self.diagnostics.get_or_init(|| analyzer.analyze(unit)))
+        Ok(self
+            .diagnostics
+            .get_or_init(|| Arc::new(analyzer.analyze(unit))))
+    }
+
+    /// Like [`Artifact::diagnostics`], but the first call computes the
+    /// diagnostics via `compute` — the incremental frontend's hook for
+    /// serving the analyzer pass from a sub-tree cache without deep
+    /// copies (the node cache and the artifact share one allocation).
+    /// `compute` must return exactly `analyzer.analyze(unit)` for the
+    /// artifact's own unit; purity of the slot is the caller's
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Artifact::unit`]'s parse error.
+    pub fn diagnostics_with(
+        &self,
+        compute: impl FnOnce(&TranslationUnit) -> Arc<Vec<Diagnostic>>,
+    ) -> Result<&[Diagnostic], ParseError> {
+        if let Some(d) = self.diagnostics.get() {
+            return Ok(d);
+        }
+        let unit = self.unit()?;
+        Ok(self.diagnostics.get_or_init(|| compute(unit)))
     }
 
     /// The semantic fingerprint, computed on first call.
@@ -154,14 +178,37 @@ impl Artifact {
     /// # Errors
     ///
     /// Propagates [`Artifact::unit`]'s parse error.
-    pub fn features(&self, extractor: &FeatureExtractor) -> Result<&[f64], ParseError> {
+    pub fn features(&self, extractor: &FeatureExtractor) -> Result<&Arc<Vec<f64>>, ParseError> {
         if let Some(f) = self.features.get() {
             return Ok(f);
         }
         let unit = self.unit()?;
         Ok(self
             .features
-            .get_or_init(|| extractor.extract_parsed(&self.source, unit)))
+            .get_or_init(|| Arc::new(extractor.extract_parsed(&self.source, unit))))
+    }
+
+    /// Like [`Artifact::features`], but the first call computes the
+    /// vector via `compute` — the incremental frontend's hook for
+    /// assembling features from cached sub-tree partials. `compute`
+    /// must return exactly `extractor.extract_parsed(source, unit)`
+    /// for the pipeline's one extractor configuration; purity of the
+    /// slot is the caller's contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Artifact::unit`]'s parse error.
+    pub fn features_with(
+        &self,
+        compute: impl FnOnce(&str, &TranslationUnit) -> Vec<f64>,
+    ) -> Result<&Arc<Vec<f64>>, ParseError> {
+        if let Some(f) = self.features.get() {
+            return Ok(f);
+        }
+        let unit = self.unit()?;
+        Ok(self
+            .features
+            .get_or_init(|| Arc::new(compute(&self.source, unit))))
     }
 
     /// The oracle's predicted label, computed on first call (features
@@ -175,7 +222,7 @@ impl Artifact {
         if let Some(l) = self.oracle_label.get() {
             return Ok(*l);
         }
-        let features = self.features(model.extractor())?.to_vec();
+        let features = Arc::clone(self.features(model.extractor())?);
         Ok(*self
             .oracle_label
             .get_or_init(|| model.predict_features(&features)))
@@ -187,7 +234,9 @@ impl Artifact {
 ///
 /// `cache_misses` counts distinct sources materialised (each paid for
 /// its frontend work exactly once); `cache_hits` counts the re-parses
-/// the cache avoided. Equality deliberately ignores `frontend_ns` —
+/// the cache avoided. `node_hits`/`node_misses` count AST sub-tree
+/// lookups in the incremental frontend (always 0 on the whole-file
+/// reference path). Equality deliberately ignores `frontend_ns` —
 /// wall-clock varies run to run, the counters must not.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FrontendStats {
@@ -195,6 +244,10 @@ pub struct FrontendStats {
     pub cache_hits: u64,
     /// Requests that materialised a new artifact.
     pub cache_misses: u64,
+    /// Sub-tree lookups served by the incremental node cache.
+    pub node_hits: u64,
+    /// Sub-tree lookups that computed a new node product.
+    pub node_misses: u64,
     /// Wall-clock nanoseconds spent in frontend work (parse, lint,
     /// fingerprint, featurize), summed over dispatch units.
     pub frontend_ns: u128,
@@ -202,7 +255,10 @@ pub struct FrontendStats {
 
 impl PartialEq for FrontendStats {
     fn eq(&self, other: &Self) -> bool {
-        self.cache_hits == other.cache_hits && self.cache_misses == other.cache_misses
+        self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+            && self.node_hits == other.node_hits
+            && self.node_misses == other.node_misses
     }
 }
 
@@ -211,6 +267,8 @@ impl FrontendStats {
     pub fn merge(&mut self, other: &FrontendStats) {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.node_hits += other.node_hits;
+        self.node_misses += other.node_misses;
         self.frontend_ns += other.frontend_ns;
     }
 
@@ -299,12 +357,12 @@ impl ArtifactCache {
     /// on first sight (the transform layer already parsed it; a miss
     /// here records a new distinct source but costs no parse). `unit`
     /// must be exactly `parse(&source)`.
-    pub fn intern_with_unit(&mut self, source: String, unit: TranslationUnit) -> Arc<Artifact> {
-        if let Some(existing) = self.lookup_touch(&source) {
+    pub fn intern_with_unit(&mut self, source: &str, unit: TranslationUnit) -> Arc<Artifact> {
+        if let Some(existing) = self.lookup_touch(source) {
             self.hits += 1;
             return existing;
         }
-        self.insert(Arc::new(Artifact::with_unit(source, unit)))
+        self.insert(Arc::new(Artifact::with_unit(source.to_string(), unit)))
     }
 
     /// Requests served by an existing artifact.
@@ -343,6 +401,8 @@ impl ArtifactCache {
         FrontendStats {
             cache_hits: self.hits,
             cache_misses: self.misses,
+            node_hits: 0,
+            node_misses: 0,
             frontend_ns: 0,
         }
     }
@@ -486,7 +546,7 @@ mod tests {
     fn intern_with_unit_dedups_against_plain_interns() {
         let mut cache = ArtifactCache::new();
         let a = cache.intern(SRC);
-        let b = cache.intern_with_unit(SRC.to_string(), parse(SRC).unwrap());
+        let b = cache.intern_with_unit(SRC, parse(SRC).unwrap());
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
@@ -578,23 +638,34 @@ mod tests {
         let mut a = FrontendStats {
             cache_hits: 2,
             cache_misses: 3,
+            node_hits: 10,
+            node_misses: 4,
             frontend_ns: 100,
         };
         let b = FrontendStats {
             cache_hits: 1,
             cache_misses: 1,
+            node_hits: 5,
+            node_misses: 2,
             frontend_ns: 999,
         };
         a.merge(&b);
         assert_eq!(a.cache_hits, 3);
         assert_eq!(a.cache_misses, 4);
+        assert_eq!(a.node_hits, 15);
+        assert_eq!(a.node_misses, 6);
         assert_eq!(a.frontend_ns, 1099);
         let c = FrontendStats {
             cache_hits: 3,
             cache_misses: 4,
+            node_hits: 15,
+            node_misses: 6,
             frontend_ns: 0,
         };
         assert_eq!(a, c, "equality is on counters, not wall-clock");
+        let mut d = c;
+        d.node_hits = 0;
+        assert_ne!(a, d, "node counters participate in equality");
         assert!((a.hit_rate() - 3.0 / 7.0).abs() < 1e-12);
     }
 }

@@ -137,7 +137,7 @@ pub fn run_with_selection(
     }
     for &i in &set {
         let entry = &p.transformed[i];
-        ds.push(entry.features.clone(), gpt_class);
+        ds.push(entry.features.as_ref().clone(), gpt_class);
         groups.push(entry.challenge);
     }
 

@@ -82,7 +82,7 @@ fn binary_dataset(p: &YearPipeline, challenges: usize) -> (Dataset, Vec<usize>) 
             .map(|(i, _)| i)
             .collect();
         for idx in rng.sample_indices(gpt.len(), per_class.min(gpt.len())) {
-            ds.push(p.transformed[gpt[idx]].features.clone(), 1);
+            ds.push(p.transformed[gpt[idx]].features.as_ref().clone(), 1);
             groups.push(ci);
         }
         // Human class (label 0).

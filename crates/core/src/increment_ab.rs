@@ -1,0 +1,273 @@
+//! A/B equivalence suite for the node-level incremental frontend.
+//!
+//! Every test here builds the same experiment twice — once through the
+//! incremental frontend ([`YearPipeline::try_build`], which hashes AST
+//! sub-trees and recomputes only the feature components whose source
+//! regions changed between chain steps) and once through the whole-file
+//! artifact frontend ([`YearPipeline::try_build_wholefile`], the
+//! pre-incremental implementation kept verbatim) — and asserts the
+//! results are bit-identical. The node cache is only allowed to change
+//! *when* frontend work happens, never *what* it produces.
+//!
+//! Coverage follows the paper's experimental grid at reduced scale:
+//! all nine style pools (years 2017–2019 × root seeds 1–3), both
+//! protocols (NCT and CT run inside every pipeline via the four
+//! settings of Table II), and fault-injection rates 0%, 5%, and 20%.
+//!
+//! [`FrontendStats`] is deliberately *not* compared wholesale between
+//! the two paths: the whole-file path records zero node traffic by
+//! construction, so the suite compares the artifact-cache counters
+//! field by field and separately asserts the incremental path actually
+//! reused nodes.
+
+use crate::config::{ExperimentConfig, Scale};
+use crate::pipeline::YearPipeline;
+use synthattr_faults::FaultProfile;
+
+const YEARS: [u32; 3] = [2017, 2018, 2019];
+const SEEDS: [u64; 3] = [1, 2, 3];
+const RATES: [f64; 3] = [0.0, 0.05, 0.20];
+
+/// Same deliberately tiny scale as `frontend_ab`: incremental
+/// equivalence is scale-free (the same code paths run at paper scale
+/// with bigger loops).
+fn tiny(seed: u64, rate: f64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.seed = seed;
+    cfg.scale = Scale {
+        authors: 6,
+        challenges: 2,
+        transforms: 4,
+        n_trees: 4,
+    };
+    if rate > 0.0 {
+        cfg = cfg.with_faults(FaultProfile::recoverable(seed, rate));
+    }
+    cfg
+}
+
+/// Field-by-field bit-identity between an incremental build and a
+/// whole-file build (everything except node-cache traffic, which only
+/// the incremental path records).
+fn assert_pipelines_identical(incr: &YearPipeline, wholefile: &YearPipeline, ctx: &str) {
+    assert_eq!(
+        incr.human_features, wholefile.human_features,
+        "human feature matrix diverged ({ctx})"
+    );
+    assert_eq!(incr.seed_author, wholefile.seed_author, "{ctx}");
+    assert_eq!(
+        incr.diagnostics, wholefile.diagnostics,
+        "lint diagnostics diverged ({ctx})"
+    );
+    assert_eq!(
+        incr.resilience, wholefile.resilience,
+        "resilience accounting diverged ({ctx})"
+    );
+    // Artifact-cache traffic is unchanged by the node layer: the same
+    // intern sequence hits the same per-challenge shards.
+    assert_eq!(
+        incr.frontend.cache_hits, wholefile.frontend.cache_hits,
+        "artifact hits diverged ({ctx})"
+    );
+    assert_eq!(
+        incr.frontend.cache_misses, wholefile.frontend.cache_misses,
+        "artifact misses diverged ({ctx})"
+    );
+    assert_eq!(
+        (wholefile.frontend.node_hits, wholefile.frontend.node_misses),
+        (0, 0),
+        "whole-file path must record no node traffic ({ctx})"
+    );
+    assert_eq!(incr.transformed.len(), wholefile.transformed.len(), "{ctx}");
+    for (a, b) in incr.transformed.iter().zip(&wholefile.transformed) {
+        assert_eq!(a.sample, b.sample, "transformed sample diverged ({ctx})");
+        assert_eq!(a.challenge, b.challenge, "{ctx}");
+        assert_eq!(a.setting, b.setting, "{ctx}");
+        assert_eq!(a.features, b.features, "feature vector diverged ({ctx})");
+        assert_eq!(a.oracle_label, b.oracle_label, "oracle label diverged ({ctx})");
+        assert_eq!(a.outcome, b.outcome, "{ctx}");
+    }
+}
+
+/// The tentpole guarantee over the full grid: 9 pools × 3 fault rates,
+/// NCT and CT both exercised inside every build.
+#[test]
+fn incremental_frontend_matches_wholefile_across_pools_and_fault_rates() {
+    for year in YEARS {
+        for seed in SEEDS {
+            for rate in RATES {
+                let ctx = format!("year={year} seed={seed} rate={rate}");
+                let cfg = tiny(seed, rate);
+                let incr = YearPipeline::try_build(year, &cfg)
+                    .unwrap_or_else(|e| panic!("incremental build failed ({ctx}): {e}"));
+                let wholefile = YearPipeline::try_build_wholefile(year, &cfg)
+                    .unwrap_or_else(|e| panic!("wholefile build failed ({ctx}): {e}"));
+                assert_pipelines_identical(&incr, &wholefile, &ctx);
+                // The incremental path must actually share sub-trees.
+                // (At this tiny 4-step scale reuse is modest; the
+                // 50-step chain test below proves hits dominate on
+                // long chains, where the speedup lives.)
+                assert!(
+                    incr.frontend.node_hits > 0,
+                    "{ctx}: node cache unused: {:?}",
+                    incr.frontend
+                );
+            }
+        }
+    }
+}
+
+/// Worker invariance of the node counters: the node cache is sharded
+/// per challenge exactly like the artifact cache, so `FrontendStats`
+/// (node counters included, via `PartialEq`) cannot depend on
+/// scheduling — at any fault rate.
+#[test]
+fn node_counters_are_worker_invariant() {
+    for rate in RATES {
+        let mut serial_cfg = tiny(2, rate);
+        serial_cfg.workers = Some(1);
+        let mut wide_cfg = tiny(2, rate);
+        wide_cfg.workers = Some(4);
+        let serial = YearPipeline::try_build(2018, &serial_cfg).unwrap();
+        let wide = YearPipeline::try_build(2018, &wide_cfg).unwrap();
+        assert_eq!(serial.frontend, wide.frontend, "rate={rate}");
+        assert_eq!(serial.all_labels(), wide.all_labels(), "rate={rate}");
+    }
+}
+
+/// Degraded (not just recovered) runs must also be increment-invariant:
+/// the brutal profile forces NCT resamples and CT held steps, which is
+/// exactly where region structure threads through fallback paths
+/// (held steps reuse the chain's last regions, seed fallbacks carry
+/// none).
+#[test]
+fn degraded_runs_match_wholefile() {
+    let mut cfg = tiny(3, 0.0);
+    cfg = cfg.with_faults(FaultProfile::brutal(3));
+    let incr = YearPipeline::try_build(2018, &cfg).unwrap();
+    let wholefile = YearPipeline::try_build_wholefile(2018, &cfg).unwrap();
+    assert_pipelines_identical(&incr, &wholefile, "brutal 2018");
+    assert!(
+        incr.resilience.degraded + incr.resilience.failed > 0,
+        "brutal profile should degrade: {:?}",
+        incr.resilience
+    );
+}
+
+/// Satellite: a long CT chain re-featurizes only what changed. Runs a
+/// 50-step chain through the cached driver and, step by step, checks
+/// that the node cache's misses during featurization are exactly the
+/// sub-trees and regions this step introduced — everything already
+/// seen is served from cache.
+#[test]
+fn ct_chain_refeaturizes_only_changed_regions() {
+    use std::collections::HashSet;
+    use synthattr_features::FeatureExtractor;
+    use synthattr_gen::corpus::Origin;
+    use synthattr_gpt::incr::{try_run_ct_steps_cached, FrontendCache};
+    use synthattr_gpt::pool::YearPool;
+    use synthattr_gpt::transform::Transformer;
+    use synthattr_util::Pcg64;
+
+    let cfg = ExperimentConfig::smoke();
+    let pool = YearPool::calibrated(2018, cfg.seed);
+    let transformer = Transformer::new(&pool);
+    let mut gen_rng = Pcg64::seed_from(cfg.seed, &["gpt-gen", "2018", "0"]);
+    let style_idx = pool.sample_index(&mut gen_rng);
+    let seed = synthattr_gen::corpus::solution_in_style(
+        synthattr_gen::challenges::ChallengeId::SumSeries,
+        pool.style(style_idx),
+        cfg.seed,
+        &["gpt-gen-code", "2018", "0"],
+    );
+    let seed_unit = synthattr_lang::parse(&seed).unwrap();
+
+    let mut fc = FrontendCache::new();
+    let steps = try_run_ct_steps_cached(
+        &transformer,
+        &seed,
+        &seed_unit,
+        50,
+        Origin::ChatGpt,
+        &mut Pcg64::new(42),
+        &mut fc,
+    )
+    .unwrap();
+    assert_eq!(steps.len(), 50);
+
+    let extractor = FeatureExtractor::new(cfg.features.clone());
+    let mut seen_items: HashSet<u64> = HashSet::new();
+    let mut seen_regions: HashSet<String> = HashSet::new();
+    let mut total_new = 0u64;
+    for (i, step) in steps.iter().enumerate() {
+        // How many node products *can* this step introduce? One
+        // feature partial per unseen item hash, one layout scan per
+        // unseen region text.
+        let new_items = step
+            .regions
+            .item_hashes
+            .iter()
+            .filter(|h| seen_items.insert(**h))
+            .count() as u64;
+        let new_regions = step
+            .regions
+            .spans
+            .iter()
+            .map(|sp| step.sample.source[sp.start..sp.end].to_string())
+            .filter(|r| seen_regions.insert(r.clone()))
+            .count() as u64;
+        total_new += new_items + new_regions;
+
+        let before = fc.node_misses();
+        let items: Vec<_> = step
+            .regions
+            .item_hashes
+            .iter()
+            .zip(&step.unit.items)
+            .map(|(h, item)| fc.item_features_for(*h, item))
+            .collect();
+        let layouts: Vec<_> = step
+            .regions
+            .spans
+            .iter()
+            .map(|sp| {
+                (
+                    sp.sep_before,
+                    fc.layout_for(&step.sample.source[sp.start..sp.end]),
+                )
+            })
+            .collect();
+        let features = extractor.extract_from_parts(
+            step.sample.source.len(),
+            items.iter().map(|a| a.as_ref()),
+            layouts.iter().map(|(s, l)| (*s, l.as_ref())),
+        );
+        let misses = fc.node_misses() - before;
+
+        // Bit-identity with the whole-file extractor, per step.
+        assert_eq!(
+            features,
+            extractor.extract_parsed(&step.sample.source, &step.unit),
+            "step {i}"
+        );
+        // Only the changed sub-trees were recomputed. (The chain
+        // driver itself may have warmed some of them while rendering,
+        // so featurization can even be all-hits.)
+        assert!(
+            misses <= new_items + new_regions,
+            "step {i}: featurizing recomputed {misses} nodes but only {} changed",
+            new_items + new_regions
+        );
+    }
+    // The reuse the speedup comes from: across 50 chained steps, far
+    // fewer distinct nodes exist than `steps × items-per-step` naive
+    // featurization would touch.
+    let touched: u64 = steps
+        .iter()
+        .map(|s| 2 * s.regions.item_hashes.len() as u64)
+        .sum();
+    assert!(
+        total_new * 2 < touched,
+        "chain steps share sub-trees: {total_new} distinct vs {touched} touched"
+    );
+}

@@ -39,6 +39,8 @@ pub mod artifact;
 pub mod config;
 #[cfg(test)]
 mod frontend_ab;
+#[cfg(test)]
+mod increment_ab;
 pub mod error;
 pub mod experiments;
 pub mod model;

@@ -20,15 +20,17 @@ use crate::config::ExperimentConfig;
 use crate::error::PipelineError;
 use crate::model::AuthorshipModel;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 use synthattr_analysis::{Analyzer, Severity};
-use synthattr_faults::drivers::{run_ct_resilient_parsed, run_nct_resilient_parsed};
+use synthattr_faults::drivers::{run_ct_resilient_cached, run_nct_resilient_cached};
 use synthattr_faults::{FaultyTransformer, Outcome, ResilienceStats};
 use synthattr_features::FeatureExtractor;
 use synthattr_gen::challenges::ChallengeId;
 use synthattr_gen::corpus::{generate_year, Origin, YearCorpus, YearSpec};
 use synthattr_gen::style::AuthorStyle;
-use synthattr_gpt::chain::{try_run_ct_steps, try_run_nct_steps, TransformedSample};
+use synthattr_gpt::chain::TransformedSample;
+use synthattr_gpt::incr::{try_run_ct_steps_cached, try_run_nct_steps_cached, FrontendCache};
 use synthattr_gpt::pool::YearPool;
 use synthattr_gpt::transform::Transformer;
 use synthattr_gpt::GptError;
@@ -146,8 +148,9 @@ pub struct TransformedEntry {
     pub challenge: usize,
     /// Transformation setting.
     pub setting: Setting,
-    /// Cached stylometry vector.
-    pub features: Vec<f64>,
+    /// Cached stylometry vector, shared with the artifact that
+    /// computed it.
+    pub features: Arc<Vec<f64>>,
     /// The oracle's predicted author label — the sample's "style".
     pub oracle_label: usize,
     /// How the sample survived fault injection ([`Outcome::Clean`]
@@ -264,6 +267,12 @@ impl YearPipeline {
                 // hit/miss totals are identical to the unbounded cache
                 // (`tests/frontend_cache.rs` proves the equivalence).
                 let mut cache = ArtifactCache::bounded(PER_CHALLENGE_CACHE_CAP);
+                // The node-level cache behind the incremental frontend:
+                // shared across this challenge's four settings (their
+                // chains revisit the same seeds, items, and layouts),
+                // sharded per challenge for the same worker-invariance
+                // reason as the artifact cache.
+                let mut fc = FrontendCache::new();
                 let mut diags = DiagnosticStats::default();
                 let mut frontend_ns: u128 = 0;
                 // ChatGPT-generated seed: one solution in a weighted pool
@@ -313,6 +322,275 @@ impl YearPipeline {
                     // is shared by its two settings, so this is two
                     // misses and two hits per challenge — and exactly
                     // one parse per distinct seed.
+                    let t0 = Instant::now();
+                    let seed_artifact = cache.intern(seed_code);
+                    let seed_unit = seed_artifact
+                        .unit()
+                        .map_err(|e| fail(GptError::Parse(e)))?;
+                    frontend_ns += t0.elapsed().as_nanos();
+                    let (samples, units, regions, outcomes) = match (&service, &config.faults)
+                    {
+                        (Some(svc), Some(profile)) => {
+                            let anchor = format!("ch{ci}/{}", setting.notation());
+                            let mut cx = profile.stream_cx(n_streams);
+                            let run = if setting.chaining() {
+                                run_ct_resilient_cached(
+                                    svc,
+                                    seed_code,
+                                    seed_unit,
+                                    config.scale.transforms,
+                                    origin,
+                                    &mut rng,
+                                    &anchor,
+                                    &mut cx,
+                                    &mut fc,
+                                )
+                            } else {
+                                run_nct_resilient_cached(
+                                    svc,
+                                    seed_code,
+                                    seed_unit,
+                                    config.scale.transforms,
+                                    origin,
+                                    &mut rng,
+                                    &anchor,
+                                    &mut cx,
+                                    &mut fc,
+                                )
+                            }
+                            .map_err(fail)?;
+                            stream_stats.merge(&run.stats);
+                            (run.samples, run.units, run.regions, run.outcomes)
+                        }
+                        _ => {
+                            let steps = if setting.chaining() {
+                                try_run_ct_steps_cached(
+                                    &transformer,
+                                    seed_code,
+                                    seed_unit,
+                                    config.scale.transforms,
+                                    origin,
+                                    &mut rng,
+                                    &mut fc,
+                                )
+                            } else {
+                                try_run_nct_steps_cached(
+                                    &transformer,
+                                    seed_code,
+                                    seed_unit,
+                                    config.scale.transforms,
+                                    origin,
+                                    &mut rng,
+                                    &mut fc,
+                                )
+                            }
+                            .map_err(fail)?;
+                            let outcomes = vec![Outcome::Clean; steps.len()];
+                            for o in &outcomes {
+                                stream_stats.record(*o);
+                            }
+                            let mut samples = Vec::with_capacity(steps.len());
+                            let mut units = Vec::with_capacity(steps.len());
+                            let mut regions = Vec::with_capacity(steps.len());
+                            for step in steps {
+                                samples.push(step.sample);
+                                units.push(step.unit);
+                                regions.push(Some(step.regions));
+                            }
+                            (samples, units, regions, outcomes)
+                        }
+                    };
+                    // Featurize, label, and lint each sample off one
+                    // shared artifact. The transform layer already
+                    // parsed every accepted response, so even a cache
+                    // miss here costs no parse; a hit (CT held steps,
+                    // NCT fixed points) reuses every cached product.
+                    // When the step carries its region structure, even
+                    // a *miss* only pays for the sub-trees this step
+                    // actually changed: features assemble from cached
+                    // per-item partials and per-region layout scans,
+                    // and diagnostics come off the unit-hash cache.
+                    for (((sample, unit), region), outcome) in
+                        samples.into_iter().zip(units).zip(regions).zip(outcomes)
+                    {
+                        let t0 = Instant::now();
+                        let artifact = cache.intern_with_unit(&sample.source, unit);
+                        let features = match &region {
+                            Some(ri) => artifact.features_with(|src, unit| {
+                                let items: Vec<_> = ri
+                                    .item_hashes
+                                    .iter()
+                                    .zip(&unit.items)
+                                    .map(|(h, item)| fc.item_features_for(*h, item))
+                                    .collect();
+                                let layouts: Vec<_> = ri
+                                    .spans
+                                    .iter()
+                                    .map(|sp| {
+                                        (sp.sep_before, fc.layout_for(&src[sp.start..sp.end]))
+                                    })
+                                    .collect();
+                                oracle.extractor().extract_from_parts(
+                                    src.len(),
+                                    items.iter().map(|a| a.as_ref()),
+                                    layouts.iter().map(|(s, l)| (*s, l.as_ref())),
+                                )
+                            }),
+                            None => artifact.features(oracle.extractor()),
+                        }
+                        .map_err(|e| PipelineError::Analysis {
+                            stage: "featurize",
+                            source: e,
+                        })?
+                        .clone();
+                        let oracle_label =
+                            artifact
+                                .oracle_label(&oracle)
+                                .map_err(|e| PipelineError::Analysis {
+                                    stage: "featurize",
+                                    source: e,
+                                })?;
+                        let sample_diags = match &region {
+                            Some(ri) => artifact.diagnostics_with(|unit| {
+                                fc.diags_for(ri.unit_hash, unit, &analyzer)
+                            }),
+                            None => artifact.diagnostics(&analyzer),
+                        }
+                        .map_err(|e| PipelineError::Analysis {
+                            stage: "lint",
+                            source: e,
+                        })?;
+                        diags.absorb(sample_diags);
+                        frontend_ns += t0.elapsed().as_nanos();
+                        transformed.push(TransformedEntry {
+                            sample,
+                            challenge: ci,
+                            setting,
+                            features,
+                            oracle_label,
+                            outcome,
+                        });
+                    }
+                }
+                let mut frontend = cache.stats();
+                frontend.node_hits = fc.node_hits();
+                frontend.node_misses = fc.node_misses();
+                frontend.frontend_ns = frontend_ns;
+                Ok((transformed, stream_stats, diags, frontend))
+            })?;
+        let mut resilience = ResilienceStats::default();
+        let mut transformed: Vec<TransformedEntry> = Vec::new();
+        for (entries, stats, d, fe) in per_challenge {
+            transformed.extend(entries);
+            resilience.merge(&stats);
+            diagnostics.merge(&d);
+            frontend.merge(&fe);
+        }
+
+        Ok(YearPipeline {
+            year,
+            config: config.clone(),
+            corpus,
+            human_features,
+            oracle,
+            transformed,
+            seed_author,
+            diagnostics,
+            resilience,
+            frontend,
+        })
+    }
+
+    /// Builds the pipeline through the whole-file artifact frontend,
+    /// exactly as [`YearPipeline::try_build`] worked before the
+    /// node-level incremental refactor: every distinct source text is
+    /// parsed/linted/featurized at most once (the artifact cache), but
+    /// each *new* text pays for its full frontend even when only one
+    /// sub-tree changed since the previous chain step. Kept
+    /// (test/feature-gated) as the reference implementation the
+    /// incremental A/B suite (`increment_ab`) and the
+    /// `pipeline` bench compare against. Its `frontend` records no
+    /// node-cache traffic (`node_hits == node_misses == 0`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`YearPipeline::try_build`].
+    #[cfg(any(test, feature = "reference-increment"))]
+    pub fn try_build_wholefile(
+        year: u32,
+        config: &ExperimentConfig,
+    ) -> Result<Self, PipelineError> {
+        use synthattr_faults::drivers::{run_ct_resilient_parsed, run_nct_resilient_parsed};
+        use synthattr_gpt::chain::{try_run_ct_steps, try_run_nct_steps};
+
+        let workers = pool::resolve_workers(config.workers);
+        let spec = try_year_spec(year, config)?;
+        let (corpus, human_features, mut diagnostics, mut frontend, oracle) =
+            oracle_stage(&spec, config, workers)?;
+        let analyzer = Analyzer::new();
+
+        let pool = YearPool::calibrated(year, config.seed);
+        let transformer = Transformer::new(&pool);
+        let seed_author = (year as usize * 7) % spec.authors;
+        let n_streams = spec.challenges.len() * Setting::all().len();
+        #[allow(clippy::type_complexity)]
+        let per_challenge: Vec<(
+            Vec<TransformedEntry>,
+            ResilienceStats,
+            DiagnosticStats,
+            FrontendStats,
+        )> =
+            pool::parallel_try_map_workers(workers, (0..spec.challenges.len()).collect(), |ci| {
+                let challenge = spec.challenges[ci];
+                let service = config
+                    .faults
+                    .as_ref()
+                    .map(|p| FaultyTransformer::new(&pool, p.plan(), p.policy.clone()));
+                let mut stream_stats = ResilienceStats::default();
+                let mut transformed = Vec::new();
+                let mut cache = ArtifactCache::bounded(PER_CHALLENGE_CACHE_CAP);
+                let mut diags = DiagnosticStats::default();
+                let mut frontend_ns: u128 = 0;
+                let mut gen_rng = Pcg64::seed_from(
+                    config.seed,
+                    &["gpt-gen", &year.to_string(), &ci.to_string()],
+                );
+                let gen_style_idx = pool.sample_index(&mut gen_rng);
+                let gpt_seed = synthattr_gen::corpus::solution_in_style(
+                    challenge,
+                    pool.style(gen_style_idx),
+                    config.seed,
+                    &["gpt-gen-code", &year.to_string(), &ci.to_string()],
+                );
+                let human_seed = corpus
+                    .samples
+                    .iter()
+                    .find(|s| s.author == seed_author && s.challenge == ci)
+                    .expect("corpus covers author x challenge")
+                    .source
+                    .clone();
+
+                for setting in Setting::all() {
+                    let (seed_code, origin) = if setting.human_seed() {
+                        (&human_seed, Origin::Human)
+                    } else {
+                        (&gpt_seed, Origin::ChatGpt)
+                    };
+                    let mut rng = Pcg64::seed_from(
+                        config.seed,
+                        &[
+                            "transform",
+                            &year.to_string(),
+                            &ci.to_string(),
+                            setting.notation(),
+                        ],
+                    );
+                    let fail = |source| PipelineError::Transform {
+                        year,
+                        challenge: ci,
+                        setting: setting.notation(),
+                        source,
+                    };
                     let t0 = Instant::now();
                     let seed_artifact = cache.intern(seed_code);
                     let seed_unit = seed_artifact
@@ -384,23 +662,18 @@ impl YearPipeline {
                             (samples, units, outcomes)
                         }
                     };
-                    // Featurize, label, and lint each sample off one
-                    // shared artifact. The transform layer already
-                    // parsed every accepted response, so even a cache
-                    // miss here costs no parse; a hit (CT held steps,
-                    // NCT fixed points) reuses every cached product.
                     for ((sample, unit), outcome) in
                         samples.into_iter().zip(units).zip(outcomes)
                     {
                         let t0 = Instant::now();
-                        let artifact = cache.intern_with_unit(sample.source.clone(), unit);
+                        let artifact = cache.intern_with_unit(&sample.source, unit);
                         let features = artifact
                             .features(oracle.extractor())
                             .map_err(|e| PipelineError::Analysis {
                                 stage: "featurize",
                                 source: e,
                             })?
-                            .to_vec();
+                            .clone();
                         let oracle_label =
                             artifact
                                 .oracle_label(&oracle)
@@ -614,7 +887,7 @@ impl YearPipeline {
                             sample,
                             challenge: ci,
                             setting,
-                            features,
+                            features: Arc::new(features),
                             oracle_label,
                             outcome,
                         });
@@ -749,7 +1022,8 @@ fn oracle_stage(
                     stage: "featurize",
                     source: e,
                 })?
-                .to_vec();
+                .as_ref()
+                .clone();
             let mut diags = DiagnosticStats::default();
             diags.absorb(
                 artifact
@@ -762,6 +1036,8 @@ fn oracle_stage(
             let frontend = FrontendStats {
                 cache_hits: 0,
                 cache_misses: 1,
+                node_hits: 0,
+                node_misses: 0,
                 frontend_ns: t0.elapsed().as_nanos(),
             };
             Ok((features, diags, frontend))

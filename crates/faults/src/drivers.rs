@@ -25,6 +25,7 @@ use crate::plan::CallScope;
 use crate::retry::RetryBudget;
 use crate::service::{CallTrace, FaultyTransformer};
 use synthattr_gen::corpus::Origin;
+use synthattr_gpt::incr::{FrontendCache, RegionInfo};
 use synthattr_gpt::{GptError, TransformMode, TransformedSample};
 use synthattr_lang::{parse, TranslationUnit};
 use synthattr_util::Pcg64;
@@ -378,6 +379,297 @@ pub fn run_ct_resilient_parsed(
     Ok(ResilientRun {
         samples,
         units,
+        outcomes,
+        stats,
+    })
+}
+
+/// A completed node-cached resilient run: [`ResilientRun`] plus each
+/// step's region structure (`None` when the step fell back to raw seed
+/// text the cached frontend never rendered).
+#[derive(Debug, Clone)]
+pub struct CachedRun {
+    /// The transformed samples, in step order. Always `n` long.
+    pub samples: Vec<TransformedSample>,
+    /// `units[i]` is the AST of `samples[i].source`.
+    pub units: Vec<TranslationUnit>,
+    /// `regions[i]` is the node structure of `samples[i].source`, when
+    /// the step came out of the cached frontend.
+    pub regions: Vec<Option<RegionInfo>>,
+    /// `outcomes[i]` describes how `samples[i]` survived the chaos.
+    pub outcomes: Vec<Outcome>,
+    /// Aggregated accounting for the stream.
+    pub stats: ResilienceStats,
+}
+
+/// Node-cached variant of [`run_nct_resilient_parsed`]: every attempt
+/// runs through `fc`, and each produced step's region structure is
+/// returned for incremental downstream featurization. Samples,
+/// outcomes, and stats are byte-identical to the uncached driver.
+///
+/// # Errors
+///
+/// Only [`GptError::Parse`], and only from a transformer bug surfaced
+/// by the debug semantics gate.
+#[allow(clippy::too_many_arguments)]
+pub fn run_nct_resilient_cached(
+    svc: &FaultyTransformer<'_>,
+    seed_code: &str,
+    seed_unit: &TranslationUnit,
+    n: usize,
+    seed_origin: Origin,
+    rng: &mut Pcg64,
+    anchor: &str,
+    cx: &mut StreamCx,
+    fc: &mut FrontendCache,
+) -> Result<CachedRun, GptError> {
+    let pool = svc.pool();
+    let year = pool.year;
+    let seed_exp = svc.prepare(seed_unit);
+    let mut samples = Vec::with_capacity(n);
+    let mut units = Vec::with_capacity(n);
+    let mut regions: Vec<Option<RegionInfo>> = Vec::with_capacity(n);
+    let mut outcomes = Vec::with_capacity(n);
+    let mut stats = ResilienceStats::default();
+    let trips_before = cx.breaker.trips();
+    for step in 1..=n {
+        let pool_index = pool.sample_index(rng);
+        let scope = CallScope { year, anchor, step };
+        let mut trace = CallTrace::default();
+        let outcome = match svc.transform_prepared_cached(
+            seed_code,
+            seed_unit,
+            None,
+            &seed_exp,
+            pool_index,
+            rng,
+            &scope,
+            &mut cx.budget,
+            &mut cx.breaker,
+            &mut trace,
+            fc,
+        ) {
+            Ok(accepted) => {
+                absorb(&mut stats, &trace);
+                samples.push(sample(
+                    accepted.source,
+                    step,
+                    TransformMode::NonChaining,
+                    seed_origin,
+                    pool_index,
+                ));
+                units.push(accepted.unit);
+                regions.push(Some(accepted.regions));
+                if trace.attempts > 1 {
+                    Outcome::Recovered {
+                        attempts: trace.attempts,
+                    }
+                } else {
+                    Outcome::Clean
+                }
+            }
+            Err(GptError::Parse(e)) => return Err(GptError::Parse(e)),
+            Err(err) => {
+                absorb(&mut stats, &trace);
+                if matches!(err, GptError::CircuitOpen { .. }) {
+                    stats.record_fault("circuit-open");
+                }
+                let mut rescued = None;
+                for k in 1..=cx.resamples {
+                    let re_anchor = format!("{anchor}/resample{k}");
+                    let re_scope = CallScope {
+                        year,
+                        anchor: &re_anchor,
+                        step,
+                    };
+                    let mut re_rng = Pcg64::seed_from(
+                        svc.plan().seed,
+                        &[
+                            "nct-resample",
+                            &year.to_string(),
+                            anchor,
+                            &step.to_string(),
+                            &k.to_string(),
+                        ],
+                    );
+                    let mut re_trace = CallTrace::default();
+                    match svc.transform_prepared_cached(
+                        seed_code,
+                        seed_unit,
+                        None,
+                        &seed_exp,
+                        pool_index,
+                        &mut re_rng,
+                        &re_scope,
+                        &mut cx.budget,
+                        &mut cx.breaker,
+                        &mut re_trace,
+                        fc,
+                    ) {
+                        Ok(accepted) => {
+                            absorb(&mut stats, &re_trace);
+                            rescued = Some((accepted, k));
+                            break;
+                        }
+                        Err(GptError::Parse(e)) => return Err(GptError::Parse(e)),
+                        Err(re_err) => {
+                            absorb(&mut stats, &re_trace);
+                            if matches!(re_err, GptError::CircuitOpen { .. }) {
+                                stats.record_fault("circuit-open");
+                            }
+                        }
+                    }
+                }
+                match rescued {
+                    Some((accepted, k)) => {
+                        samples.push(sample(
+                            accepted.source,
+                            step,
+                            TransformMode::NonChaining,
+                            seed_origin,
+                            pool_index,
+                        ));
+                        units.push(accepted.unit);
+                        regions.push(Some(accepted.regions));
+                        Outcome::Degraded {
+                            fallback: Fallback::Resampled { resamples: k },
+                        }
+                    }
+                    None => {
+                        samples.push(sample(
+                            seed_code.to_string(),
+                            step,
+                            TransformMode::NonChaining,
+                            seed_origin,
+                            pool_index,
+                        ));
+                        units.push(seed_unit.clone());
+                        regions.push(None);
+                        Outcome::Failed
+                    }
+                }
+            }
+        };
+        stats.record(outcome);
+        outcomes.push(outcome);
+    }
+    stats.breaker_trips = cx.breaker.trips() - trips_before;
+    Ok(CachedRun {
+        samples,
+        units,
+        regions,
+        outcomes,
+        stats,
+    })
+}
+
+/// Node-cached variant of [`run_ct_resilient_parsed`]: the chain
+/// threads each accepted step's region structure into the next call,
+/// so unchanged items are never re-rendered, re-parsed or re-scanned.
+/// Samples, outcomes, and stats are byte-identical to the uncached
+/// driver.
+///
+/// # Errors
+///
+/// Only [`GptError::Parse`], and only from a transformer bug surfaced
+/// by the debug semantics gate.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ct_resilient_cached(
+    svc: &FaultyTransformer<'_>,
+    seed_code: &str,
+    seed_unit: &TranslationUnit,
+    n: usize,
+    seed_origin: Origin,
+    rng: &mut Pcg64,
+    anchor: &str,
+    cx: &mut StreamCx,
+    fc: &mut FrontendCache,
+) -> Result<CachedRun, GptError> {
+    let pool = svc.pool();
+    let year = pool.year;
+    let mut samples: Vec<TransformedSample> = Vec::with_capacity(n);
+    let mut units: Vec<TranslationUnit> = Vec::with_capacity(n);
+    let mut regions: Vec<Option<RegionInfo>> = Vec::with_capacity(n);
+    let mut outcomes = Vec::with_capacity(n);
+    let mut stats = ResilienceStats::default();
+    let trips_before = cx.breaker.trips();
+    let mut current_source = seed_code.to_string();
+    let mut current_unit = seed_unit.clone();
+    let mut current_regions: Option<RegionInfo> = None;
+    let mut current_exp = svc.prepare(seed_unit);
+    let mut style_idx = pool.sample_index(rng);
+    for step in 1..=n {
+        if step > 1 && !rng.next_bool(pool.ct_stickiness) {
+            style_idx = pool.sample_index(rng);
+        }
+        let scope = CallScope { year, anchor, step };
+        let mut trace = CallTrace::default();
+        let outcome = match svc.transform_prepared_cached(
+            &current_source,
+            &current_unit,
+            current_regions.as_ref(),
+            &current_exp,
+            style_idx,
+            rng,
+            &scope,
+            &mut cx.budget,
+            &mut cx.breaker,
+            &mut trace,
+            fc,
+        ) {
+            Ok(accepted) => {
+                absorb(&mut stats, &trace);
+                current_source = accepted.source.clone();
+                current_unit = accepted.unit;
+                current_regions = Some(accepted.regions);
+                current_exp = accepted.expectation;
+                samples.push(sample(
+                    accepted.source,
+                    step,
+                    TransformMode::Chaining,
+                    seed_origin,
+                    style_idx,
+                ));
+                units.push(current_unit.clone());
+                regions.push(current_regions.clone());
+                if trace.attempts > 1 {
+                    Outcome::Recovered {
+                        attempts: trace.attempts,
+                    }
+                } else {
+                    Outcome::Clean
+                }
+            }
+            Err(GptError::Parse(e)) => return Err(GptError::Parse(e)),
+            Err(err) => {
+                absorb(&mut stats, &trace);
+                samples.push(sample(
+                    current_source.clone(),
+                    step,
+                    TransformMode::Chaining,
+                    seed_origin,
+                    style_idx,
+                ));
+                units.push(current_unit.clone());
+                regions.push(current_regions.clone());
+                if matches!(err, GptError::CircuitOpen { .. }) {
+                    stats.record_fault("circuit-open");
+                    Outcome::Failed
+                } else {
+                    Outcome::Degraded {
+                        fallback: Fallback::HeldStep,
+                    }
+                }
+            }
+        };
+        stats.record(outcome);
+        outcomes.push(outcome);
+    }
+    stats.breaker_trips = cx.breaker.trips() - trips_before;
+    Ok(CachedRun {
+        samples,
+        units,
+        regions,
         outcomes,
         stats,
     })
@@ -971,6 +1263,96 @@ mod tests {
                 assert_eq!(run.units.len(), run.samples.len());
                 for (s, u) in run.samples.iter().zip(&run.units) {
                     assert_eq!(*u, parse(&s.source).unwrap(), "step {}", s.step);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_drivers_match_parsed_drivers_across_fault_rates() {
+        // The node-cached resilient drivers must be a pure-function
+        // swap: same samples, outcomes, and stats as the uncached
+        // drivers at every fault rate, and each cached step's region
+        // structure must describe its sample exactly.
+        for (fault_seed, rate) in [(99u64, 0.0), (7, 0.05), (7, 0.20)] {
+            let pool = YearPool::calibrated(2019, 2);
+            let svc = lenient_svc(&pool, fault_seed, rate);
+            let seed = seed_code(2);
+            let seed_unit = parse(&seed).unwrap();
+
+            for chaining in [false, true] {
+                let (base_rng_seed, anchor) = if chaining { (9, "ct-ab") } else { (8, "nct-ab") };
+                let plain = if chaining {
+                    run_ct_resilient_parsed(
+                        &svc,
+                        &seed,
+                        &seed_unit,
+                        15,
+                        Origin::ChatGpt,
+                        &mut Pcg64::new(base_rng_seed),
+                        anchor,
+                        &mut lenient_cx(),
+                    )
+                } else {
+                    run_nct_resilient_parsed(
+                        &svc,
+                        &seed,
+                        &seed_unit,
+                        15,
+                        Origin::ChatGpt,
+                        &mut Pcg64::new(base_rng_seed),
+                        anchor,
+                        &mut lenient_cx(),
+                    )
+                }
+                .unwrap();
+                let mut fc = FrontendCache::new();
+                let cached = if chaining {
+                    run_ct_resilient_cached(
+                        &svc,
+                        &seed,
+                        &seed_unit,
+                        15,
+                        Origin::ChatGpt,
+                        &mut Pcg64::new(base_rng_seed),
+                        anchor,
+                        &mut lenient_cx(),
+                        &mut fc,
+                    )
+                } else {
+                    run_nct_resilient_cached(
+                        &svc,
+                        &seed,
+                        &seed_unit,
+                        15,
+                        Origin::ChatGpt,
+                        &mut Pcg64::new(base_rng_seed),
+                        anchor,
+                        &mut lenient_cx(),
+                        &mut fc,
+                    )
+                }
+                .unwrap();
+                let label = format!("rate {rate} chaining {chaining}");
+                assert_eq!(cached.samples, plain.samples, "{label}");
+                assert_eq!(cached.units, plain.units, "{label}");
+                assert_eq!(cached.outcomes, plain.outcomes, "{label}");
+                assert_eq!(cached.stats, plain.stats, "{label}");
+                assert_eq!(cached.regions.len(), cached.samples.len(), "{label}");
+                for (i, (s, ri)) in cached.samples.iter().zip(&cached.regions).enumerate() {
+                    let Some(ri) = ri else { continue };
+                    assert_eq!(ri.spans.len(), cached.units[i].items.len(), "{label} step {i}");
+                    for sp in &ri.spans {
+                        assert!(sp.end <= s.source.len(), "{label} step {i}");
+                    }
+                    assert_eq!(
+                        ri.unit_hash,
+                        synthattr_lang::hash::unit_hash(&cached.units[i]),
+                        "{label} step {i}"
+                    );
+                }
+                if rate == 0.0 && chaining {
+                    assert!(fc.node_hits() > 0, "CT chain must reuse cached nodes");
                 }
             }
         }

@@ -20,7 +20,11 @@ use crate::breaker::CircuitBreaker;
 use crate::plan::{CallScope, FaultKind, FaultPlan};
 use crate::retry::{RetryBudget, RetryPolicy};
 use crate::validate::{Expectation, ResponseValidator};
-use synthattr_gpt::{GptError, ServiceFault, Transformer, YearPool};
+use synthattr_gpt::incr::{
+    detect_with_regions, transform_step_cached, FrontendCache, RegionInfo,
+};
+use synthattr_gpt::transform::detect_render_style;
+use synthattr_gpt::{GptError, ResponseViolation, ServiceFault, Transformer, YearPool};
 use synthattr_lang::{parse, TranslationUnit};
 use synthattr_util::Pcg64;
 
@@ -45,6 +49,20 @@ pub struct AcceptedResponse {
     pub source: String,
     /// The AST of `source`.
     pub unit: TranslationUnit,
+    /// `source`'s diagnostics + fingerprint, ready for the next call.
+    pub expectation: Expectation,
+}
+
+/// An [`AcceptedResponse`] that also carries the response's node-level
+/// region structure, as produced by the cached service path.
+#[derive(Debug, Clone)]
+pub struct AcceptedStep {
+    /// The accepted transformed source text.
+    pub source: String,
+    /// The AST of `source`.
+    pub unit: TranslationUnit,
+    /// Node-level structure of `source`.
+    pub regions: RegionInfo,
     /// `source`'s diagnostics + fingerprint, ready for the next call.
     pub expectation: Expectation,
 }
@@ -246,6 +264,170 @@ impl<'a> FaultyTransformer<'a> {
         Ok(AcceptedResponse {
             source: out,
             unit: resp_unit,
+            expectation: resp_expectation,
+        })
+    }
+
+    /// Node-cached variant of [`FaultyTransformer::transform_prepared`]:
+    /// the attempt's layout detection, render, re-parse, diagnostics
+    /// and fingerprint all run through `fc`, so a chain step pays only
+    /// for the items it actually changed. `regions` is the input's
+    /// node structure when the input was itself produced by a cached
+    /// step (`None` for raw seeds). Faults, retries, RNG commitment,
+    /// produced text, and every error are byte-identical to
+    /// [`FaultyTransformer::transform_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FaultyTransformer::transform_prepared`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn transform_prepared_cached(
+        &self,
+        source: &str,
+        unit: &TranslationUnit,
+        regions: Option<&RegionInfo>,
+        expectation: &Expectation,
+        pool_index: usize,
+        rng: &mut Pcg64,
+        scope: &CallScope<'_>,
+        budget: &mut RetryBudget,
+        breaker: &mut CircuitBreaker,
+        trace: &mut CallTrace,
+        fc: &mut FrontendCache,
+    ) -> Result<AcceptedStep, GptError> {
+        let mut attempt: u32 = 1;
+        loop {
+            if let Err(fails) = breaker.admit() {
+                return Err(GptError::CircuitOpen {
+                    consecutive_failures: fails,
+                });
+            }
+            trace.attempts = attempt;
+            match self.attempt_cached(
+                source,
+                unit,
+                regions,
+                pool_index,
+                rng,
+                scope,
+                attempt,
+                expectation,
+                fc,
+            ) {
+                Ok(out) => {
+                    breaker.record_success();
+                    return Ok(out);
+                }
+                Err(e) if !e.is_retryable() => {
+                    breaker.record_failure();
+                    return Err(e);
+                }
+                Err(e) => {
+                    trace.fault_tags.push(e.tag());
+                    breaker.record_failure();
+                    if attempt >= self.policy.max_attempts {
+                        return Err(GptError::RetriesExhausted {
+                            attempts: attempt,
+                            last: Box::new(e),
+                        });
+                    }
+                    if !budget.try_spend() {
+                        return Err(GptError::BudgetExhausted { last: Box::new(e) });
+                    }
+                    let mut jitter = scope.stream(self.plan.seed, "backoff", attempt);
+                    trace.backoff_ms += self.policy.backoff_ms(attempt, &mut jitter);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One node-cached attempt. Sabotaged attempts fall back to the
+    /// plain text gate (the mangled body is not region-tiled); clean
+    /// attempts validate through the unit-hash diagnostic and
+    /// fingerprint caches.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_cached(
+        &self,
+        source: &str,
+        unit: &TranslationUnit,
+        regions: Option<&RegionInfo>,
+        pool_index: usize,
+        rng: &mut Pcg64,
+        scope: &CallScope<'_>,
+        attempt: u32,
+        expectation: &Expectation,
+        fc: &mut FrontendCache,
+    ) -> Result<AcceptedStep, GptError> {
+        let injected = self.plan.draw(scope, attempt);
+        if let Some(fault) = &injected {
+            let mut params = fault.params.clone();
+            match fault.kind {
+                FaultKind::Timeout => {
+                    return Err(GptError::Service(ServiceFault::Timeout {
+                        after_ms: 500 + params.next_u64() % 1_500,
+                    }));
+                }
+                FaultKind::RateLimit => {
+                    return Err(GptError::Service(ServiceFault::RateLimited {
+                        retry_after_ms: 100 + params.next_u64() % 2_000,
+                    }));
+                }
+                FaultKind::Transient => {
+                    let code = *params.choose(&[500u16, 502, 503]).expect("non-empty");
+                    return Err(GptError::Service(ServiceFault::Transient { code }));
+                }
+                FaultKind::Truncated | FaultKind::Corrupted => {}
+            }
+        }
+        let src_render = match regions {
+            Some(ri) => detect_with_regions(fc, source, ri),
+            None => detect_render_style(source),
+        };
+        let mut attempt_rng = rng.clone();
+        let step = match transform_step_cached(
+            &self.inner,
+            source,
+            unit,
+            &src_render,
+            pool_index,
+            &mut attempt_rng,
+            fc,
+        ) {
+            Ok(s) => s,
+            // The reference path discovers an unparseable rendered
+            // body inside `validate`; surface the identical retryable
+            // violation rather than the cached step's typed error.
+            Err(GptError::Parse(e)) => {
+                return Err(GptError::InvalidResponse {
+                    violation: ResponseViolation::Unparseable,
+                    detail: e.to_string(),
+                })
+            }
+            Err(other) => return Err(other),
+        };
+        if let Some(fault) = injected {
+            let mut params = fault.params;
+            let mangled = self.sabotage(fault.kind, &step.source, &mut params, expectation);
+            let err = self
+                .validator
+                .validate(expectation, &mangled)
+                .map(|_| ())
+                .expect_err("sabotage is construction-guaranteed to fail validation");
+            return Err(err);
+        }
+        let post = fc.diags_for(
+            step.regions.unit_hash,
+            &step.unit,
+            self.validator.analyzer(),
+        );
+        let fp = fc.fingerprint_for(step.regions.unit_hash, &step.unit);
+        let resp_expectation = self.validator.validate_parsed(expectation, post, fp)?;
+        *rng = attempt_rng;
+        Ok(AcceptedStep {
+            source: step.source,
+            unit: step.unit,
+            regions: step.regions,
             expectation: resp_expectation,
         })
     }

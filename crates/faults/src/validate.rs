@@ -14,6 +14,7 @@
 //! diagnostics), then the semantic fingerprint (catches parseable,
 //! lint-clean responses whose behaviour changed).
 
+use std::sync::Arc;
 use synthattr_analysis::{fingerprint, new_errors, Analyzer, Diagnostic};
 use synthattr_gpt::{GptError, ResponseViolation};
 use synthattr_lang::{parse, TranslationUnit};
@@ -22,7 +23,7 @@ use synthattr_lang::{parse, TranslationUnit};
 /// once per logical call (attempts and retries reuse it).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Expectation {
-    pre_diags: Vec<Diagnostic>,
+    pre_diags: Arc<Vec<Diagnostic>>,
     fingerprint: u64,
 }
 
@@ -57,9 +58,54 @@ impl ResponseValidator {
     /// what a valid response must look like.
     pub fn expectation_parsed(&self, unit: &TranslationUnit) -> Expectation {
         Expectation {
-            pre_diags: self.analyzer.analyze(unit),
+            pre_diags: Arc::new(self.analyzer.analyze(unit)),
             fingerprint: fingerprint(unit),
         }
+    }
+
+    /// The analyzer behind the gates (shared with the node-cached
+    /// service path, which keys this analyzer's output by unit hash).
+    pub(crate) fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// The gate sequence of [`ResponseValidator::validate`] for a
+    /// response that is already parsed and analyzed: `post_diags` and
+    /// `fp` must be the response's analyzer output and fingerprint
+    /// (possibly served from a unit-hash cache). Runs the identical
+    /// lint-delta and fingerprint checks and returns the identical
+    /// next-call [`Expectation`].
+    ///
+    /// # Errors
+    ///
+    /// [`GptError::InvalidResponse`] naming the first violated gate,
+    /// byte-identical to [`ResponseValidator::validate`].
+    pub(crate) fn validate_parsed(
+        &self,
+        expected: &Expectation,
+        post_diags: Arc<Vec<Diagnostic>>,
+        fp: u64,
+    ) -> Result<Expectation, GptError> {
+        let fresh = new_errors(&expected.pre_diags, &post_diags);
+        if let Some(first) = fresh.first() {
+            return Err(GptError::InvalidResponse {
+                violation: ResponseViolation::LintErrors,
+                detail: format!("{} new error(s), first: {first}", fresh.len()),
+            });
+        }
+        if fp != expected.fingerprint {
+            return Err(GptError::InvalidResponse {
+                violation: ResponseViolation::FingerprintMismatch,
+                detail: format!(
+                    "fingerprint {fp:#018x} != expected {:#018x}",
+                    expected.fingerprint
+                ),
+            });
+        }
+        Ok(Expectation {
+            pre_diags: post_diags,
+            fingerprint: fp,
+        })
     }
 
     /// Accepts or rejects one response body.
@@ -87,7 +133,7 @@ impl ResponseValidator {
                 })
             }
         };
-        let post_diags = self.analyzer.analyze(&unit);
+        let post_diags = Arc::new(self.analyzer.analyze(&unit));
         let fresh = new_errors(&expected.pre_diags, &post_diags);
         if let Some(first) = fresh.first() {
             return Err(GptError::InvalidResponse {

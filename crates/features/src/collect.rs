@@ -4,8 +4,41 @@
 use synthattr_lang::ast::*;
 use synthattr_lang::visit::{walk_unit, Visitor};
 
+/// The per-identifier summary every name-derived feature reads: byte
+/// length, the three casing/underscore predicates, and the stable
+/// unigram hash. Collected once per name at walk time so merging
+/// per-item partials is a flat copy instead of a `String` clone per
+/// identifier (the walk itself also stops allocating).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdentStat {
+    /// `name.len()` in bytes.
+    pub len: u32,
+    /// `name.contains('_')`.
+    pub snake: bool,
+    /// Starts lowercase and contains an uppercase letter (camelCase).
+    pub camel: bool,
+    /// Starts with an uppercase letter.
+    pub upper: bool,
+    /// [`crate::stable_hash`] of the name (unigram bucketing).
+    pub hash: u64,
+}
+
+impl IdentStat {
+    /// Summarises one identifier name.
+    pub fn of(name: &str) -> Self {
+        IdentStat {
+            len: name.len() as u32,
+            snake: name.contains('_'),
+            camel: name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                && name.chars().any(|c| c.is_ascii_uppercase()),
+            upper: name.chars().next().is_some_and(|c| c.is_ascii_uppercase()),
+            hash: crate::stable_hash(name),
+        }
+    }
+}
+
 /// Raw counts harvested from one translation unit in a single walk.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CodeStats {
     /// `if` statements.
     pub if_count: usize,
@@ -41,8 +74,9 @@ pub struct CodeStats {
     pub call_count: usize,
     /// Identifier *uses* (expression positions).
     pub ident_uses: usize,
-    /// Every identifier name observed (uses + declarations).
-    pub ident_names: Vec<String>,
+    /// Every identifier observed (uses + declarations), summarised in
+    /// observation order.
+    pub ident_names: Vec<IdentStat>,
     /// `cin >>` / `cout <<` stream expressions.
     pub stream_io_count: usize,
     /// `scanf` / `printf` call count.
@@ -87,6 +121,103 @@ impl CodeStats {
         stats
     }
 
+    /// Collects statistics for one top-level item, exactly as a
+    /// whole-unit walk would have contributed them (items sit at depth
+    /// 1; only `node_count` observes depth-free node events, so the
+    /// partial is the item's slice of the whole-unit walk verbatim).
+    pub fn collect_item(item: &Item) -> Self {
+        let mut stats = CodeStats::default();
+        synthattr_lang::visit::walk_item(item, &mut stats, 1);
+        stats
+    }
+
+    /// Merges per-item partials into whole-unit statistics, adding the
+    /// unit root's own node. Bit-identical to [`CodeStats::collect`] on
+    /// the whole unit: every field is an integer count, a bool OR, or
+    /// an order-preserving name concatenation.
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a Self>) -> Self {
+        let mut total = CodeStats::default();
+        for p in parts {
+            // Exhaustive destructuring: adding a field to CodeStats
+            // without deciding how it merges is a compile error.
+            let CodeStats {
+                if_count,
+                else_count,
+                for_count,
+                foreach_count,
+                while_count,
+                do_count,
+                return_count,
+                jump_count,
+                ternary_count,
+                function_count,
+                param_count,
+                declarator_count,
+                multi_declarations,
+                literal_count,
+                string_count,
+                call_count,
+                ident_uses,
+                ident_names,
+                stream_io_count,
+                stdio_count,
+                endl_count,
+                newline_literal_count,
+                pre_incdec,
+                post_incdec,
+                c_casts,
+                static_casts,
+                compound_assign,
+                plain_assign,
+                line_comments,
+                block_comments,
+                include_count,
+                define_count,
+                alias_count,
+                using_namespace,
+                node_count,
+            } = p;
+            total.if_count += if_count;
+            total.else_count += else_count;
+            total.for_count += for_count;
+            total.foreach_count += foreach_count;
+            total.while_count += while_count;
+            total.do_count += do_count;
+            total.return_count += return_count;
+            total.jump_count += jump_count;
+            total.ternary_count += ternary_count;
+            total.function_count += function_count;
+            total.param_count += param_count;
+            total.declarator_count += declarator_count;
+            total.multi_declarations += multi_declarations;
+            total.literal_count += literal_count;
+            total.string_count += string_count;
+            total.call_count += call_count;
+            total.ident_uses += ident_uses;
+            total.ident_names.extend_from_slice(ident_names);
+            total.stream_io_count += stream_io_count;
+            total.stdio_count += stdio_count;
+            total.endl_count += endl_count;
+            total.newline_literal_count += newline_literal_count;
+            total.pre_incdec += pre_incdec;
+            total.post_incdec += post_incdec;
+            total.c_casts += c_casts;
+            total.static_casts += static_casts;
+            total.compound_assign += compound_assign;
+            total.plain_assign += plain_assign;
+            total.line_comments += line_comments;
+            total.block_comments += block_comments;
+            total.include_count += include_count;
+            total.define_count += define_count;
+            total.alias_count += alias_count;
+            total.using_namespace |= using_namespace;
+            total.node_count += node_count;
+        }
+        // The unit root node itself.
+        total.node_count += 1;
+        total
+    }
+
     /// All loops of any kind.
     pub fn loop_count(&self) -> usize {
         self.for_count + self.foreach_count + self.while_count + self.do_count
@@ -94,7 +225,7 @@ impl CodeStats {
 
     /// Identifier name lengths.
     pub fn ident_lengths(&self) -> Vec<f64> {
-        self.ident_names.iter().map(|n| n.len() as f64).collect()
+        self.ident_names.iter().map(|n| n.len as f64).collect()
     }
 }
 
@@ -119,9 +250,9 @@ impl Visitor for CodeStats {
             Item::Function(f) => {
                 self.function_count += 1;
                 self.param_count += f.params.len();
-                self.ident_names.push(f.name.clone());
+                self.ident_names.push(IdentStat::of(&f.name));
                 for p in &f.params {
-                    self.ident_names.push(p.name.clone());
+                    self.ident_names.push(IdentStat::of(&p.name));
                 }
             }
             Item::GlobalVar(d) => self.note_declaration(d),
@@ -140,7 +271,7 @@ impl Visitor for CodeStats {
             Stmt::For { .. } => self.for_count += 1,
             Stmt::ForEach { name, .. } => {
                 self.foreach_count += 1;
-                self.ident_names.push(name.clone());
+                self.ident_names.push(IdentStat::of(name));
             }
             Stmt::While { .. } => self.while_count += 1,
             Stmt::DoWhile { .. } => self.do_count += 1,
@@ -177,7 +308,7 @@ impl Visitor for CodeStats {
                     "cin" | "cout" | "cerr" | "std" | "max" | "min" | "abs" | "sort" | "swap"
                     | "sqrt" | "pow" | "floor" | "ceil" | "printf" | "scanf" | "puts"
                     | "getline" | "to_string" => {}
-                    _ => self.ident_names.push(name.clone()),
+                    _ => self.ident_names.push(IdentStat::of(name)),
                 }
             }
             Expr::Ternary { .. } => self.ternary_count += 1,
@@ -228,7 +359,7 @@ impl CodeStats {
             self.multi_declarations += 1;
         }
         for dd in &d.declarators {
-            self.ident_names.push(dd.name.clone());
+            self.ident_names.push(IdentStat::of(&dd.name));
         }
     }
 }
@@ -320,11 +451,15 @@ int main() {
     #[test]
     fn ident_names_exclude_library_names() {
         let s = stats();
-        assert!(s.ident_names.iter().any(|n| n == "total"));
-        assert!(s.ident_names.iter().any(|n| n == "helper"));
-        assert!(!s.ident_names.iter().any(|n| n == "cin"));
-        assert!(!s.ident_names.iter().any(|n| n == "endl"));
-        assert!(!s.ident_names.iter().any(|n| n == "printf"));
+        let has = |name: &str| {
+            let stat = IdentStat::of(name);
+            s.ident_names.iter().any(|n| *n == stat)
+        };
+        assert!(has("total"));
+        assert!(has("helper"));
+        assert!(!has("cin"));
+        assert!(!has("endl"));
+        assert!(!has("printf"));
     }
 
     #[test]
@@ -333,5 +468,15 @@ int main() {
         assert_eq!(s.function_count, 0);
         assert_eq!(s.loop_count(), 0);
         assert_eq!(s.node_count, 1);
+    }
+
+    #[test]
+    fn merged_item_partials_equal_whole_unit_collect() {
+        for src in ["", "int x;", SRC] {
+            let unit = parse(src).unwrap();
+            let parts: Vec<CodeStats> = unit.items.iter().map(CodeStats::collect_item).collect();
+            let merged = CodeStats::merge(&parts);
+            assert_eq!(merged, CodeStats::collect(&unit), "mismatch for {src:?}");
+        }
     }
 }

@@ -3,7 +3,8 @@
 use crate::collect::CodeStats;
 use crate::{layout, lexical, syntactic};
 use synthattr_lang::ast::TranslationUnit;
-use synthattr_lang::metrics::AstMetrics;
+use synthattr_lang::metrics::{AstMetrics, MetricsBuilder};
+use synthattr_lang::visit::{walk_unit, Pair};
 use synthattr_lang::{parse, ParseError};
 
 /// Which feature families to extract, and hash-bucket sizes.
@@ -122,6 +123,24 @@ impl FeatureExtractor {
     /// parsing in pipelines that already hold the AST).
     pub fn extract_parsed(&self, source: &str, unit: &TranslationUnit) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.dim());
+        if self.config.lexical && self.config.syntactic {
+            // Both AST-derived families off one fused traversal; each
+            // visitor sees the exact node stream it would see alone.
+            let mut stats = CodeStats::default();
+            let mut metrics = MetricsBuilder::for_unit();
+            walk_unit(unit, &mut Pair(&mut stats, &mut metrics));
+            lexical::push_features(&stats, source.len(), self.config.unigram_buckets, &mut out);
+            if self.config.layout {
+                layout::push_features(source, &mut out);
+            }
+            syntactic::push_features(
+                &metrics.into_metrics(),
+                self.config.bigram_buckets,
+                &mut out,
+            );
+            debug_assert_eq!(out.len(), self.dim());
+            return out;
+        }
         if self.config.lexical {
             let stats = CodeStats::collect(unit);
             lexical::push_features(&stats, source.len(), self.config.unigram_buckets, &mut out);

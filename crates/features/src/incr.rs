@@ -1,0 +1,173 @@
+//! Incremental feature extraction from cached per-item partials.
+//!
+//! The pipeline's transformation chains change only a few top-level
+//! items per step, so most of a step's feature work repeats the
+//! previous step's. This module lets callers keep *partials* — one
+//! [`ItemFeatures`] per top-level item (AST-derived families) and one
+//! [`RegionLayout`](crate::layout::RegionLayout) per rendered region
+//! (text-derived family) — and assemble the whole-unit vector from
+//! them. Every partial is keyed by content (item structural hash or
+//! region text), so unchanged items cost a cache lookup instead of a
+//! walk.
+//!
+//! [`FeatureExtractor::extract_from_parts`] is bit-identical to
+//! [`FeatureExtractor::extract_parsed`] on the assembled source; the
+//! property tests below and the `reference-increment` A/B suite in the
+//! core crate keep that claim honest.
+
+use crate::collect::CodeStats;
+use crate::layout::{self, RegionLayout};
+use crate::{lexical, syntactic, FeatureExtractor};
+use synthattr_lang::ast::Item;
+use synthattr_lang::metrics::{MetricsBuilder, MetricsPartial};
+use synthattr_lang::visit::{walk_item, Pair};
+
+/// Mergeable AST-derived measurements of one top-level item: the
+/// lexical-family statistics slice and the syntactic-family metrics
+/// partial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemFeatures {
+    stats: CodeStats,
+    metrics: MetricsPartial,
+}
+
+impl ItemFeatures {
+    /// Measures one item: a single walk restricted to the item feeds
+    /// both the lexical statistics and the syntactic metrics partial,
+    /// bit-identical to [`CodeStats::collect_item`] +
+    /// [`MetricsPartial::of_item`] run separately.
+    pub fn of_item(item: &Item) -> Self {
+        let mut stats = CodeStats::default();
+        let mut metrics = MetricsBuilder::for_item();
+        walk_item(item, &mut Pair(&mut stats, &mut metrics), 1);
+        ItemFeatures {
+            stats,
+            metrics: metrics.into_partial(),
+        }
+    }
+}
+
+impl FeatureExtractor {
+    /// Extracts the whole-unit feature vector from per-item partials
+    /// and per-region layout scans.
+    ///
+    /// `source_len` is the length of the assembled source (regions plus
+    /// separator newlines); `regions` yields `(separator_lines, scan)`
+    /// in item order. Bit-identical to
+    /// [`extract_parsed`](FeatureExtractor::extract_parsed) on the
+    /// assembled text and the unit holding these items.
+    pub fn extract_from_parts<'a>(
+        &self,
+        source_len: usize,
+        items: impl IntoIterator<Item = &'a ItemFeatures>,
+        regions: impl IntoIterator<Item = (usize, &'a RegionLayout)>,
+    ) -> Vec<f64> {
+        let items: Vec<&ItemFeatures> = items.into_iter().collect();
+        let config = self.config();
+        let mut out = Vec::with_capacity(self.dim());
+        if config.lexical {
+            let stats = CodeStats::merge(items.iter().map(|f| &f.stats));
+            lexical::push_features(&stats, source_len, config.unigram_buckets, &mut out);
+        }
+        if config.layout {
+            layout::push_features_merged(regions, &mut out);
+        }
+        if config.syntactic {
+            let metrics = MetricsPartial::merge(items.iter().map(|f| &f.metrics));
+            syntactic::push_features(&metrics, config.bigram_buckets, &mut out);
+        }
+        debug_assert_eq!(out.len(), self.dim());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureConfig;
+    use synthattr_lang::parse;
+    use synthattr_lang::render::{render_with_regions, BraceStyle, Indent, RenderStyle};
+
+    const SOURCES: &[&str] = &[
+        "",
+        "int x;",
+        "int main() { return 0; }",
+        r#"
+#include <iostream>
+#include <vector>
+#define MAXN 100
+using namespace std;
+typedef long long ll;
+// a helper
+int helper(int a, int b) {
+    return a > b ? a : b;
+}
+ll total = 0;
+int main() {
+    int n, m;
+    cin >> n >> m;
+    for (int i = 0; i < n; ++i) {
+        total += (long long)i;
+        if (i % 2 == 0) {
+            total = total * 2;
+        } else {
+            continue;
+        }
+    }
+    while (m > 0) m--;
+    printf("%d\n", n);
+    cout << helper(n, m) << endl;
+    return 0;
+}
+"#,
+    ];
+
+    fn styles() -> Vec<RenderStyle> {
+        let mut out = Vec::new();
+        for indent in [Indent::Spaces(2), Indent::Spaces(4), Indent::Tab] {
+            for brace in [BraceStyle::SameLine, BraceStyle::NextLine] {
+                for blanks in [0u8, 1] {
+                    out.push(RenderStyle {
+                        indent,
+                        brace,
+                        blank_lines_between_fns: blanks,
+                        blank_line_after_prologue: blanks > 0,
+                        space_around_binary: blanks == 0,
+                        ..RenderStyle::default()
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parts_extraction_is_bit_identical_to_whole() {
+        for config in [
+            FeatureConfig::default(),
+            FeatureConfig::lexical_only(),
+            FeatureConfig::without_syntactic(),
+        ] {
+            let ex = FeatureExtractor::new(config);
+            for src in SOURCES {
+                let unit = parse(src).unwrap();
+                for style in styles() {
+                    let (text, spans) = render_with_regions(&unit, &style);
+                    let whole = ex.extract_parsed(&text, &unit);
+                    let items: Vec<ItemFeatures> =
+                        unit.items.iter().map(ItemFeatures::of_item).collect();
+                    let scans: Vec<(usize, RegionLayout)> = spans
+                        .iter()
+                        .map(|s| (s.sep_before, RegionLayout::scan(&text[s.start..s.end])))
+                        .collect();
+                    let parts = ex.extract_from_parts(
+                        text.len(),
+                        items.iter(),
+                        scans.iter().map(|(sep, r)| (*sep, r)),
+                    );
+                    assert_eq!(whole, parts, "config {:?} src {src:?}", ex.config());
+                }
+            }
+        }
+    }
+}

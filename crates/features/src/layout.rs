@@ -142,6 +142,15 @@ pub fn push_features(src: &str, out: &mut Vec<f64>) {
 /// Compound operators (`==`, `<=`, `+=`, …) are excluded by inspecting
 /// the characters around each `=`.
 fn assign_spacing_ratio(src: &str) -> f64 {
+    let (plain, spaced) = assign_spacing_counts(src);
+    if plain == 0 {
+        0.0
+    } else {
+        spaced as f64 / plain as f64
+    }
+}
+
+fn assign_spacing_counts(src: &str) -> (usize, usize) {
     let bytes = src.as_bytes();
     let mut plain = 0usize;
     let mut spaced = 0usize;
@@ -164,11 +173,222 @@ fn assign_spacing_ratio(src: &str) -> f64 {
             spaced += 1;
         }
     }
-    if plain == 0 {
+    (plain, spaced)
+}
+
+/// Layout scan of one rendered region (one top-level item's text),
+/// mergeable into whole-file layout features.
+///
+/// Whole-file source is the concatenation of regions with a number of
+/// blank separator lines before each region (see
+/// `synthattr_lang::render::render_with_regions`). Every region ends
+/// with a newline, so line boundaries align with region boundaries and
+/// no scanned substring pattern — none contains `'\n'` — can straddle
+/// one. [`push_features_merged`] therefore reproduces
+/// [`push_features`] on the concatenated text bit-for-bit: the ordered
+/// per-line vectors are rebuilt exactly (separator lines are empty),
+/// and every remaining accumulator is an integer count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionLayout {
+    len: usize,
+    tabs: usize,
+    spaces: usize,
+    ws_chars: usize,
+    /// Byte length of every line, in order.
+    line_lens: Vec<u32>,
+    /// `(leading-ws width, leading contains tab)` per non-blank line,
+    /// in order.
+    leading: Vec<(u32, bool)>,
+    empty_lines: usize,
+    open_brace_lines: usize,
+    own_line: usize,
+    same_line: usize,
+    commas: usize,
+    spaced_commas: usize,
+    assign_plain: usize,
+    assign_spaced: usize,
+    kw_spaced: usize,
+    kw_tight: usize,
+    line_comments: usize,
+    block_comments: usize,
+}
+
+impl RegionLayout {
+    /// Scans one region's text.
+    pub fn scan(region: &str) -> Self {
+        // The assign-spacing scan defaults the byte before the region
+        // to ' '; that is only exact because no rendered item starts
+        // with '='.
+        debug_assert!(!region.starts_with('='), "region starts with '='");
+        let mut line_lens = Vec::new();
+        let mut leading = Vec::new();
+        let mut empty_lines = 0usize;
+        let mut open_brace_lines = 0usize;
+        let mut own_line = 0usize;
+        let mut same_line = 0usize;
+        for l in region.lines() {
+            line_lens.push(l.len() as u32);
+            if l.trim().is_empty() {
+                empty_lines += 1;
+            } else {
+                let lead = l
+                    .chars()
+                    .take_while(|c| *c == ' ' || *c == '\t')
+                    .collect::<String>();
+                leading.push((lead.len() as u32, lead.contains('\t')));
+            }
+            if l.contains('{') {
+                open_brace_lines += 1;
+            }
+            let t = l.trim();
+            if t == "{" {
+                own_line += 1;
+            } else if t.ends_with('{') && t.len() > 1 {
+                same_line += 1;
+            }
+        }
+        let (assign_plain, assign_spaced) = assign_spacing_counts(region);
+        RegionLayout {
+            len: region.len(),
+            tabs: region.matches('\t').count(),
+            spaces: region.matches(' ').count(),
+            ws_chars: region.chars().filter(|c| c.is_whitespace()).count(),
+            line_lens,
+            leading,
+            empty_lines,
+            open_brace_lines,
+            own_line,
+            same_line,
+            commas: region.matches(',').count(),
+            spaced_commas: region.matches(", ").count(),
+            assign_plain,
+            assign_spaced,
+            kw_spaced: region.matches("if (").count()
+                + region.matches("for (").count()
+                + region.matches("while (").count(),
+            kw_tight: region.matches("if(").count()
+                + region.matches("for(").count()
+                + region.matches("while(").count(),
+            line_comments: region.matches("//").count(),
+            block_comments: region.matches("/*").count(),
+        }
+    }
+}
+
+/// Pushes the layout features of the source assembled from `regions`,
+/// where each `(sep, scan)` pair contributes `sep` blank separator
+/// lines followed by the scanned region text. Bit-identical to
+/// [`push_features`] on the concatenated source.
+pub fn push_features_merged<'a, I>(regions: I, out: &mut Vec<f64>)
+where
+    I: IntoIterator<Item = (usize, &'a RegionLayout)>,
+{
+    let mut len = 0usize;
+    let mut tabs = 0usize;
+    let mut spaces = 0usize;
+    let mut ws_chars = 0usize;
+    let mut empty_lines = 0usize;
+    let mut line_lens: Vec<f64> = Vec::new();
+    let mut leading_ws: Vec<f64> = Vec::new();
+    let mut tab_lines = 0usize;
+    let mut space_indented = 0usize;
+    let mut space_mod = [0usize; 3]; // widths divisible by 2 / 3 / 4
+    let mut open_brace_lines = 0usize;
+    let mut own_line = 0usize;
+    let mut same_line = 0usize;
+    let mut commas = 0usize;
+    let mut spaced_commas = 0usize;
+    let mut assign_plain = 0usize;
+    let mut assign_spaced = 0usize;
+    let mut kw_spaced = 0usize;
+    let mut kw_tight = 0usize;
+    let mut line_comments = 0usize;
+    let mut block_comments = 0usize;
+
+    for (sep, r) in regions {
+        len += sep + r.len;
+        ws_chars += sep + r.ws_chars; // separator newlines are whitespace
+        empty_lines += sep + r.empty_lines;
+        line_lens.extend(std::iter::repeat(0.0).take(sep));
+        line_lens.extend(r.line_lens.iter().map(|&w| w as f64));
+        for &(w, has_tab) in &r.leading {
+            leading_ws.push(w as f64);
+            if has_tab {
+                tab_lines += 1;
+            } else if w > 0 {
+                space_indented += 1;
+                for (slot, m) in space_mod.iter_mut().zip([2u32, 3, 4]) {
+                    if w % m == 0 {
+                        *slot += 1;
+                    }
+                }
+            }
+        }
+        tabs += r.tabs;
+        spaces += r.spaces;
+        open_brace_lines += r.open_brace_lines;
+        own_line += r.own_line;
+        same_line += r.same_line;
+        commas += r.commas;
+        spaced_commas += r.spaced_commas;
+        assign_plain += r.assign_plain;
+        assign_spaced += r.assign_spaced;
+        kw_spaced += r.kw_spaced;
+        kw_tight += r.kw_tight;
+        line_comments += r.line_comments;
+        block_comments += r.block_comments;
+    }
+
+    let line_count = line_lens.len().max(1);
+    out.push(log_ratio(tabs, len));
+    out.push(log_ratio(spaces, len));
+    out.push(log_ratio(empty_lines, line_count));
+    out.push(ws_chars as f64 / len.max(1) as f64);
+    out.push(mean(&line_lens) / 100.0);
+    out.push(std_dev(&line_lens) / 100.0);
+    out.push(line_lens.iter().cloned().fold(0.0, f64::max) / 100.0);
+    out.push(mean(&leading_ws) / 10.0);
+    let indented_total = tab_lines + space_indented;
+    out.push(if indented_total == 0 {
         0.0
     } else {
-        spaced as f64 / plain as f64
+        tab_lines as f64 / indented_total as f64
+    });
+    for slot in space_mod {
+        out.push(if space_indented == 0 {
+            0.0
+        } else {
+            slot as f64 / space_indented as f64
+        });
     }
+    out.push(if open_brace_lines == 0 {
+        0.0
+    } else {
+        own_line as f64 / open_brace_lines as f64
+    });
+    out.push(if open_brace_lines == 0 {
+        0.0
+    } else {
+        same_line as f64 / open_brace_lines as f64
+    });
+    out.push(if commas == 0 {
+        0.0
+    } else {
+        spaced_commas as f64 / commas as f64
+    });
+    out.push(if assign_plain == 0 {
+        0.0
+    } else {
+        assign_spaced as f64 / assign_plain as f64
+    });
+    out.push(if kw_spaced + kw_tight == 0 {
+        0.0
+    } else {
+        kw_spaced as f64 / (kw_spaced + kw_tight) as f64
+    });
+    out.push(empty_lines as f64 / line_count as f64);
+    out.push(log_ratio(line_comments, line_count));
+    out.push(log_ratio(block_comments, line_count));
 }
 
 #[cfg(test)]
@@ -251,6 +471,37 @@ mod tests {
         let i = idx("lay.space_after_keyword_ratio");
         assert_eq!(extract(spaced)[i], 1.0);
         assert_eq!(extract(tight)[i], 0.0);
+    }
+
+    #[test]
+    fn merged_region_scans_equal_whole_file_features() {
+        // Regions mimic rendered items: each ends with '\n'; separators
+        // are blank lines inserted before a region.
+        let cases: Vec<Vec<(usize, &str)>> = vec![
+            vec![],
+            vec![(0, "int main() {\n\treturn 0;\n}\n")],
+            vec![
+                (0, "#include <iostream>\n"),
+                (0, "using namespace std;\n"),
+                (1, "// helper, does x = 1\nint f(int a, int b) {\n  int x=1;\n  if (a>b) { return a; }\n  return b + x;\n}\n"),
+                (2, "int main()\n{\n    int v = f(1, 2);\n    while(v > 0) v--;\n    /* done */\n    return v;\n}\n"),
+            ],
+        ];
+        for parts in cases {
+            let full: String = parts
+                .iter()
+                .map(|(sep, text)| format!("{}{}", "\n".repeat(*sep), text))
+                .collect();
+            let mut whole = Vec::new();
+            push_features(&full, &mut whole);
+            let scans: Vec<(usize, RegionLayout)> = parts
+                .iter()
+                .map(|(sep, text)| (*sep, RegionLayout::scan(text)))
+                .collect();
+            let mut merged = Vec::new();
+            push_features_merged(scans.iter().map(|(s, r)| (*s, r)), &mut merged);
+            assert_eq!(whole, merged, "mismatch for {full:?}");
+        }
     }
 
     #[test]

@@ -2,7 +2,6 @@
 //! statistics, IO idioms, and hashed identifier unigram frequencies.
 
 use crate::collect::CodeStats;
-use crate::stable_hash;
 use synthattr_util::stats::{log_ratio, mean, std_dev};
 
 /// Ratio with a small epsilon guard; `0.0` when both counts are zero.
@@ -106,30 +105,19 @@ pub fn push_features(stats: &CodeStats, len: usize, unigram_buckets: usize, out:
     out.push(mean(&lengths));
     out.push(std_dev(&lengths));
     let total = s.ident_names.len().max(1) as f64;
-    let short = s.ident_names.iter().filter(|n| n.len() <= 2).count();
+    let short = s.ident_names.iter().filter(|n| n.len <= 2).count();
     out.push(short as f64 / total);
-    let snake = s.ident_names.iter().filter(|n| n.contains('_')).count();
+    let snake = s.ident_names.iter().filter(|n| n.snake).count();
     out.push(snake as f64 / total);
-    let camel = s
-        .ident_names
-        .iter()
-        .filter(|n| {
-            n.chars().next().is_some_and(|c| c.is_ascii_lowercase())
-                && n.chars().any(|c| c.is_ascii_uppercase())
-        })
-        .count();
+    let camel = s.ident_names.iter().filter(|n| n.camel).count();
     out.push(camel as f64 / total);
-    let upper = s
-        .ident_names
-        .iter()
-        .filter(|n| n.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
-        .count();
+    let upper = s.ident_names.iter().filter(|n| n.upper).count();
     out.push(upper as f64 / total);
 
     // Hashed identifier unigram term frequencies.
     let mut buckets = vec![0usize; unigram_buckets];
     for name in &s.ident_names {
-        let b = (stable_hash(name) % unigram_buckets as u64) as usize;
+        let b = (name.hash % unigram_buckets as u64) as usize;
         buckets[b] += 1;
     }
     let denom = s.ident_names.len().max(1);

@@ -30,6 +30,7 @@
 
 pub mod collect;
 pub mod extractor;
+pub mod incr;
 pub mod layout;
 pub mod lexical;
 pub mod syntactic;

@@ -38,6 +38,7 @@
 
 pub mod chain;
 pub mod error;
+pub mod incr;
 pub mod pool;
 pub mod transform;
 

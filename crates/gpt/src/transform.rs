@@ -82,13 +82,35 @@ impl<'a> Transformer<'a> {
     fn transform_owned(
         &self,
         source: &str,
-        mut unit: TranslationUnit,
+        unit: TranslationUnit,
         pool_idx: usize,
         rng: &mut Pcg64,
     ) -> Result<String, GptError> {
+        let src_render = detect_render_style(source);
+        let (unit, style) = self.rewrite_styled(&src_render, unit, pool_idx, rng);
+        let out = render(&unit, &style);
+        #[cfg(debug_assertions)]
+        debug_assert_semantics_preserved(source, &out)?;
+        Ok(out)
+    }
+
+    /// The content-style rewrites plus the layout blend, factored out of
+    /// [`Transformer::transform_owned`] so the incremental frontend
+    /// ([`crate::incr`]) can run the identical rewrite pass while
+    /// supplying a cached source-layout detection and rendering from
+    /// cached per-item pieces. Consumes exactly the same RNG stream as
+    /// the rewrite section of `transform_owned` — every `next_bool`
+    /// gate fires in the same order whether or not the caller's layout
+    /// detection and render were cached.
+    pub(crate) fn rewrite_styled(
+        &self,
+        src_render: &RenderStyle,
+        mut unit: TranslationUnit,
+        pool_idx: usize,
+        rng: &mut Pcg64,
+    ) -> (TranslationUnit, RenderStyle) {
         let target = &self.pool.styles[pool_idx].style;
         let fidelity = self.pool.fidelity;
-        let src_render = detect_render_style(source);
         // NOTE: the type environment is captured *before* renaming, so
         // IO-idiom conversion only fires for statements whose variables
         // kept their pre-rename names. This partial adoption is part of
@@ -165,11 +187,8 @@ impl<'a> Transformer<'a> {
 
         // Layout blend: each field adopts the target with probability
         // `fidelity`, else keeps the detected source value.
-        let style = blend_render_styles(&src_render, &target.render, fidelity, rng);
-        let out = render(&unit, &style);
-        #[cfg(debug_assertions)]
-        debug_assert_semantics_preserved(source, &out)?;
-        Ok(out)
+        let style = blend_render_styles(src_render, &target.render, fidelity, rng);
+        (unit, style)
     }
 }
 
@@ -184,7 +203,7 @@ impl<'a> Transformer<'a> {
 /// comparisons themselves keep assert semantics — a violation there is
 /// a transformer bug, not an input problem.
 #[cfg(debug_assertions)]
-fn debug_assert_semantics_preserved(source: &str, out: &str) -> Result<(), GptError> {
+pub(crate) fn debug_assert_semantics_preserved(source: &str, out: &str) -> Result<(), GptError> {
     use synthattr_analysis::{fingerprint_source, new_errors, Analyzer};
     let analyzer = Analyzer::new();
     let pre = analyzer.analyze_source(source).map_err(GptError::Parse)?;

@@ -38,6 +38,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod hash;
 pub mod lexer;
 pub mod metrics;
 pub mod parser;

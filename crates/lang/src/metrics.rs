@@ -39,14 +39,126 @@ impl AstMetrics {
     /// # Ok::<(), synthattr_lang::ParseError>(())
     /// ```
     pub fn measure(unit: &TranslationUnit) -> Self {
-        let mut collector = Collector::default();
-        walk_unit(unit, &mut collector);
-        collector.finish()
+        let mut builder = MetricsBuilder::for_unit();
+        walk_unit(unit, &mut builder);
+        builder.into_metrics()
     }
 
     /// Count for one node kind.
     pub fn kind_count(&self, kind: NodeKind) -> usize {
         self.kind_counts[kind.index()]
+    }
+}
+
+/// Raw (pre-`finish`) syntactic measurements of one top-level item,
+/// exactly as a whole-unit walk would have contributed them.
+///
+/// [`MetricsPartial::of_item`] replays the item's node stream with the
+/// unit root pre-seeded on the ancestor stack, so the `(Unit, item)`
+/// bigram and the root→item edge land in the partial; the unit node
+/// itself (one node at depth 0, one `Unit` kind count, one internal
+/// root when any item exists) is added once at merge time. That makes
+/// [`MetricsPartial::merge`] bit-identical to [`AstMetrics::measure`]
+/// on the whole unit: every accumulator is an integer, and the only
+/// floating-point math happens in the shared `finish` divisions over
+/// identical operands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsPartial {
+    node_count: usize,
+    depth_sum: usize,
+    max_depth: usize,
+    kind_counts: [usize; NodeKind::COUNT],
+    bigram_counts: HashMap<(NodeKind, NodeKind), usize>,
+    children_total: usize,
+    internal_nodes: usize,
+}
+
+impl MetricsPartial {
+    /// Measures one item as a mergeable partial.
+    pub fn of_item(item: &crate::ast::Item) -> Self {
+        let mut builder = MetricsBuilder::for_item();
+        crate::visit::walk_item(item, &mut builder, 1);
+        builder.into_partial()
+    }
+
+    /// Merges per-item partials into the whole-unit [`AstMetrics`],
+    /// adding the unit root's own contributions.
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a Self>) -> AstMetrics {
+        let mut c = Collector::default();
+        let mut any = false;
+        for p in parts {
+            any = true;
+            c.node_count += p.node_count;
+            c.depth_sum += p.depth_sum;
+            c.max_depth = c.max_depth.max(p.max_depth);
+            for (k, n) in p.kind_counts.iter().enumerate() {
+                c.kind_counts[k] += n;
+            }
+            for (&bigram, &n) in &p.bigram_counts {
+                *c.bigram_counts.entry(bigram).or_insert(0) += n;
+            }
+            c.children_total += p.children_total;
+            c.internal_nodes += p.internal_nodes;
+        }
+        // The unit root: one node at depth 0, internal iff it has items.
+        c.node_count += 1;
+        c.kind_counts[NodeKind::Unit.index()] += 1;
+        if any {
+            c.internal_nodes += 1;
+        }
+        c.finish()
+    }
+}
+
+/// An in-progress syntactic measurement that can ride a shared AST
+/// walk: construct, feed it a walk (alone or fused with another
+/// visitor via [`crate::visit::Pair`]), then finish. The node stream a
+/// builder observes is exactly what [`AstMetrics::measure`] /
+/// [`MetricsPartial::of_item`] would produce, so fused use is
+/// bit-identical to the stand-alone constructors.
+pub struct MetricsBuilder(Collector);
+
+impl MetricsBuilder {
+    /// Ready to observe a whole-unit walk ([`walk_unit`]).
+    pub fn for_unit() -> Self {
+        MetricsBuilder(Collector::default())
+    }
+
+    /// Ready to observe one item's walk at depth 1, pre-seeded with
+    /// the unit root: the item's root node then records the
+    /// `(Unit, item)` bigram and the root-to-item edge exactly like
+    /// the whole-unit walk, and `counted = true` stops the partial
+    /// from re-counting the root as internal (merge adds it once).
+    pub fn for_item() -> Self {
+        let mut c = Collector::default();
+        c.stack.push(NodeKind::Unit);
+        c.counted.push(true);
+        MetricsBuilder(c)
+    }
+
+    /// Finishes a whole-unit observation.
+    pub fn into_metrics(self) -> AstMetrics {
+        self.0.finish()
+    }
+
+    /// Finishes a per-item observation.
+    pub fn into_partial(self) -> MetricsPartial {
+        let c = self.0;
+        MetricsPartial {
+            node_count: c.node_count,
+            depth_sum: c.depth_sum,
+            max_depth: c.max_depth,
+            kind_counts: c.kind_counts,
+            bigram_counts: c.bigram_counts,
+            children_total: c.children_total,
+            internal_nodes: c.internal_nodes,
+        }
+    }
+}
+
+impl Visitor for MetricsBuilder {
+    fn visit(&mut self, kind: NodeKind, depth: usize) {
+        self.0.visit(kind, depth);
     }
 }
 
@@ -193,6 +305,22 @@ mod tests {
         assert_eq!(m.node_count, 1); // the unit node itself
         assert_eq!(m.max_depth, 0);
         assert_eq!(m.avg_branching, 0.0);
+    }
+
+    #[test]
+    fn merged_partials_equal_whole_unit_measure() {
+        for src in [
+            "",
+            "int main() { return 0; }",
+            "#include <iostream>\nusing namespace std;\nint helper(int a) { return a * 2; }\nint main() { int x = 0; cin >> x; if (x > 1) { x = helper(x); } cout << x; return 0; }",
+            "// note\ntypedef long long ll;\nll v = 4;\nint main() { for (int i = 0; i < 3; ++i) { v += i; } return 0; }",
+        ] {
+            let unit = parse(src).unwrap();
+            let parts: Vec<MetricsPartial> =
+                unit.items.iter().map(MetricsPartial::of_item).collect();
+            let merged = MetricsPartial::merge(&parts);
+            assert_eq!(merged, AstMetrics::measure(&unit), "mismatch for {src:?}");
+        }
     }
 
     #[test]

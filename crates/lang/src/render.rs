@@ -138,6 +138,89 @@ pub fn render(unit: &TranslationUnit, style: &RenderStyle) -> String {
     w.finish()
 }
 
+/// One item's byte range in the output of
+/// [`render_with_regions`], together with the number of blank
+/// separator lines emitted immediately before it.
+///
+/// Regions tile the text: separators are bare `'\n'` bytes between
+/// regions, every region starts at column 0 and ends with `'\n'`, and
+/// `start..end` of region *i* plus `sep_before` newlines of region
+/// *i + 1* are contiguous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionSpan {
+    /// Byte offset of the region's first byte.
+    pub start: usize,
+    /// Byte offset one past the region's final `'\n'`.
+    pub end: usize,
+    /// Blank separator lines emitted before this region.
+    pub sep_before: usize,
+}
+
+/// Number of blank separator lines [`render`] emits before each item.
+///
+/// This is the item-loop separator policy of [`render`] factored out:
+/// a pure function of the item-kind sequence and the style, shared by
+/// the region-tracking renderer and the incremental per-item renderer
+/// so all three agree byte-for-byte.
+pub fn separator_plan(items: &[Item], style: &RenderStyle) -> Vec<usize> {
+    let mut plan = Vec::with_capacity(items.len());
+    let mut prev_was_fn = false;
+    let mut prologue_done = false;
+    for (i, item) in items.iter().enumerate() {
+        let is_prologue = matches!(
+            item,
+            Item::Include { .. } | Item::Define { .. } | Item::UsingNamespace(_)
+        );
+        let mut sep = 0usize;
+        if !is_prologue && !prologue_done && i > 0 && style.blank_line_after_prologue {
+            sep += 1;
+        }
+        if !is_prologue {
+            prologue_done = true;
+        }
+        if matches!(item, Item::Function(_)) && prev_was_fn {
+            sep += style.blank_lines_between_fns as usize;
+        }
+        plan.push(sep);
+        prev_was_fn = matches!(item, Item::Function(_));
+    }
+    plan
+}
+
+/// Renders one item in isolation at nesting level 0.
+///
+/// Because the [`Writer`] carries no cross-item state other than the
+/// output buffer (the nesting level returns to 0 after every item),
+/// this equals the corresponding region of [`render`] byte-for-byte —
+/// `render_with_regions_equals_render` and
+/// `single_item_render_equals_region` below keep that claim honest.
+pub fn render_item_text(item: &Item, style: &RenderStyle) -> String {
+    let mut w = Writer::new(style);
+    render_item(item, &mut w);
+    w.finish()
+}
+
+/// Renders `unit` exactly like [`render`], additionally reporting each
+/// item's byte region in the output.
+pub fn render_with_regions(unit: &TranslationUnit, style: &RenderStyle) -> (String, Vec<RegionSpan>) {
+    let plan = separator_plan(&unit.items, style);
+    let mut w = Writer::new(style);
+    let mut regions = Vec::with_capacity(unit.items.len());
+    for (item, &sep_before) in unit.items.iter().zip(&plan) {
+        for _ in 0..sep_before {
+            w.blank_line();
+        }
+        let start = w.out.len();
+        render_item(item, &mut w);
+        regions.push(RegionSpan {
+            start,
+            end: w.out.len(),
+            sep_before,
+        });
+    }
+    (w.finish(), regions)
+}
+
 struct Writer<'s> {
     out: String,
     level: usize,
@@ -732,6 +815,64 @@ int main() {
             }
         }
         styles
+    }
+
+    #[test]
+    fn render_with_regions_equals_render() {
+        let unit = parse(PROGRAM.replace("? 1 : 0", "").as_str())
+            .map(|u| u)
+            .unwrap_or_else(|_| parse("int main() { return 0; }").unwrap());
+        let rich = parse(
+            "#include <iostream>\nusing namespace std;\nint f() { return 1; }\nint g() { return 2; }\nint main() { return f() + g(); }",
+        )
+        .unwrap();
+        for unit in [&unit, &rich, &parse("").unwrap()] {
+            for style in all_styles() {
+                for blanks in [0u8, 1, 2] {
+                    let style = RenderStyle {
+                        blank_lines_between_fns: blanks,
+                        blank_line_after_prologue: blanks > 0,
+                        ..style.clone()
+                    };
+                    let plain = render(unit, &style);
+                    let (text, regions) = render_with_regions(unit, &style);
+                    assert_eq!(text, plain);
+                    assert_eq!(regions.len(), unit.items.len());
+                    // Regions + separators tile the text.
+                    let mut pos = 0usize;
+                    for r in &regions {
+                        assert_eq!(r.start, pos + r.sep_before);
+                        assert_eq!(&text[pos..r.start], "\n".repeat(r.sep_before));
+                        assert!(text[r.start..r.end].ends_with('\n') || r.start == r.end);
+                        pos = r.end;
+                    }
+                    assert_eq!(pos, text.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_item_render_equals_region() {
+        let unit = parse(
+            "#include <iostream>\nusing namespace std;\ntypedef long long ll;\nll cache = 0;\nint f(int a) { if (a > 0) { return a; } return -a; }\nint main() { return f(3); }",
+        )
+        .unwrap();
+        for style in all_styles() {
+            let style = RenderStyle {
+                blank_lines_between_fns: 1,
+                blank_line_after_prologue: true,
+                ..style
+            };
+            let (text, regions) = render_with_regions(&unit, &style);
+            for (item, r) in unit.items.iter().zip(&regions) {
+                assert_eq!(render_item_text(item, &style), &text[r.start..r.end]);
+            }
+            let plan = separator_plan(&unit.items, &style);
+            let seps: Vec<usize> = regions.iter().map(|r| r.sep_before).collect();
+            assert_eq!(plan, seps);
+            assert_eq!(text, render(&unit, &style));
+        }
     }
 
     #[test]

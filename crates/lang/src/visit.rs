@@ -22,6 +22,34 @@ pub trait Visitor {
     fn visit_expr(&mut self, _expr: &Expr) {}
 }
 
+/// Feeds one traversal to two visitors, in order. Each visitor sees
+/// exactly the node stream it would have seen walking alone, so
+/// fusing two independent collectors into one walk is bit-identical
+/// to running them back to back — at half the traversal cost.
+pub struct Pair<'a, A, B>(pub &'a mut A, pub &'a mut B);
+
+impl<A: Visitor, B: Visitor> Visitor for Pair<'_, A, B> {
+    fn visit(&mut self, kind: NodeKind, depth: usize) {
+        self.0.visit(kind, depth);
+        self.1.visit(kind, depth);
+    }
+
+    fn visit_item(&mut self, item: &Item) {
+        self.0.visit_item(item);
+        self.1.visit_item(item);
+    }
+
+    fn visit_stmt(&mut self, stmt: &Stmt) {
+        self.0.visit_stmt(stmt);
+        self.1.visit_stmt(stmt);
+    }
+
+    fn visit_expr(&mut self, expr: &Expr) {
+        self.0.visit_expr(expr);
+        self.1.visit_expr(expr);
+    }
+}
+
 /// Walks the unit in pre-order, invoking `v` for every node.
 pub fn walk_unit<V: Visitor>(unit: &TranslationUnit, v: &mut V) {
     v.visit(NodeKind::Unit, 0);
@@ -30,7 +58,10 @@ pub fn walk_unit<V: Visitor>(unit: &TranslationUnit, v: &mut V) {
     }
 }
 
-fn walk_item<V: Visitor>(item: &Item, v: &mut V, depth: usize) {
+/// Walks one item in pre-order at `depth` (items sit at depth 1 in a
+/// whole-unit walk). Exposed so per-item collectors can reproduce the
+/// exact node stream [`walk_unit`] would produce for this item.
+pub fn walk_item<V: Visitor>(item: &Item, v: &mut V, depth: usize) {
     v.visit_item(item);
     match item {
         Item::Include { .. } => v.visit(NodeKind::Include, depth),

@@ -33,6 +33,7 @@
 //! assert!((0.0..1.0).contains(&x));
 //! ```
 
+pub mod json;
 pub mod pool;
 pub mod prop;
 pub mod rng;

@@ -309,7 +309,12 @@ pub mod gen {
         let len = rng.next_below(max_len + 1);
         (0..len)
             .map(|_| match rng.next_below(8) {
-                0 => char::from_u32(rng.next_below(0x20) as u32).unwrap_or('\0'),
+                // Controls from 0x01..=0x1f: NUL is excluded because it
+                // is not "byte soup" any text pipeline must survive —
+                // it's the C string terminator, and emitting it makes
+                // every downstream FFI/display assertion flaky.
+                0 => char::from_u32(1 + rng.next_below(0x1f) as u32)
+                    .expect("0x01..=0x1f are valid chars"),
                 1 => ['é', 'λ', '→', '…', '中', '\u{7f}', '\u{2028}', '🦀'][rng.next_below(8)],
                 _ => char::from_u32(0x20 + rng.next_below(0x5f) as u32).unwrap(),
             })
@@ -480,6 +485,24 @@ mod tests {
         let shrunk = (4u64, true).shrink();
         assert!(shrunk.contains(&(0, true)));
         assert!(shrunk.contains(&(4, false)));
+    }
+
+    #[test]
+    fn any_string_never_emits_nul() {
+        // Regression: the control-char arm used `unwrap_or('\0')`,
+        // which turned the draw 0 into a NUL byte.
+        Runner::new("any_string_no_nul").cases(500).run(
+            |rng| gen::any_string(rng, 64),
+            |s| {
+                prop_assert!(!s.contains('\0'), "NUL in {s:?}");
+                Ok(())
+            },
+        );
+        // The arm must still reach both ends of the control range.
+        let mut rng = Pcg64::new(11);
+        let soup: String = (0..64).map(|_| gen::any_string(&mut rng, 64)).collect();
+        assert!(soup.contains('\u{1}'), "low control never generated");
+        assert!(soup.contains('\u{1f}'), "high control never generated");
     }
 
     #[test]

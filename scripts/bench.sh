@@ -14,13 +14,16 @@
 # against the bare simulator and lands in BENCH_faults.json, so the
 # retry/validation overhead has its own trajectory file.
 #
-# The `pipeline` target races the single-parse artifact frontend
-# against the retained reference re-parse frontend on the same
-# end-to-end `YearPipeline` build (fault-free and chaos@20%), lands
-# in BENCH_pipeline.json, and the summary printed at the end is the
-# cached-vs-reference speedup on this machine. Its JSON lines carry
-# `allocs_per_iter`/`alloc_bytes_per_iter` from the bench binary's
-# counting allocator.
+# The `pipeline` target races all three frontend generations in one
+# run: the node-level incremental frontend vs. the retained reference
+# re-parse frontend on the frontend-heavy build (fault-free and
+# chaos@20%), and incremental vs. the retained whole-file artifact
+# cache on the chain-heavy build (`cached/chain` / `wholefile/chain`,
+# both under the recoverable 20% fault profile). Lands in
+# BENCH_pipeline.json; the summary printed at the end gives the
+# cached-vs-reference and chain speedups on this machine. Its JSON
+# lines carry `allocs_per_iter`/`alloc_bytes_per_iter` from the bench
+# binary's counting allocator.
 #
 # The `serve` target spins up a real `synthattr-serve` server on a
 # loopback socket and drives it with seeded keep-alive clients: serial
@@ -106,6 +109,15 @@ for pair in plain chaos20; do
     }' >&2
   fi
 done
+
+incr=$(pipeline_median "cached/chain")
+whole=$(pipeline_median "wholefile/chain")
+if [[ -n "$incr" && -n "$whole" ]]; then
+  awk -v incr="$incr" -v whole="$whole" 'BEGIN {
+    printf "pipeline chain: incremental %.2f ms vs wholefile %.2f ms -> %.2fx speedup\n",
+      incr / 1e6, whole / 1e6, whole / incr
+  }' >&2
+fi
 
 serve_field() {
   grep "\"bench\":\"$1\"" "$SERVE_OUT" | sed -E "s/.*\"$2\":([0-9.]+).*/\1/" | head -n 1

@@ -16,6 +16,9 @@
 #   scripts/verify.sh --frontend      # tier-1 + the single-parse
 #                                     #   frontend A/B + cache suites
 #                                     #   with visible output
+#   scripts/verify.sh --increment     # tier-1 + the node-level
+#                                     #   incremental-vs-reference A/B
+#                                     #   suite with visible output
 #   scripts/verify.sh --serve         # tier-1 + the serving stack:
 #                                     #   serve unit tests, the TCP
 #                                     #   e2e byte-identity suite, and
@@ -46,6 +49,17 @@
 # bit-rot. Both suites also run under plain tier-1; the flag exists
 # to exercise them in isolation with visible output.
 #
+# --increment re-runs the node-level incremental frontend suites by
+# name: the incremental-vs-wholefile A/B grid in synthattr-core (9
+# pools x NCT/CT x fault rates 0/5/20% — features, diagnostics,
+# fingerprints, and tables must be bit-identical, and node counters
+# worker-invariant; DESIGN.md §12), the features crate's
+# parts-vs-whole extraction property suite, and a test build of
+# synthattr-core with the reference-increment feature enabled so the
+# retained whole-file chain path cannot bit-rot. The grid also runs
+# under plain tier-1; the flag exists to exercise it in isolation
+# with visible output.
+#
 # --serve re-runs the serving suites by name with visible output: the
 # synthattr-serve unit tests (parser, batcher, limiter, registry,
 # routing), the real-TCP e2e suite whose core assertion is that served
@@ -61,6 +75,7 @@ BENCH_SMOKE=0
 LINT=0
 CHAOS=0
 FRONTEND=0
+INCREMENT=0
 SERVE=0
 for arg in "$@"; do
   case "$arg" in
@@ -68,6 +83,7 @@ for arg in "$@"; do
     --lint) LINT=1 ;;
     --chaos) CHAOS=1 ;;
     --frontend) FRONTEND=1 ;;
+    --increment) INCREMENT=1 ;;
     --serve) SERVE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -120,6 +136,15 @@ if [[ "$FRONTEND" == "1" ]]; then
   cargo test --offline --test frontend_cache
   echo "== frontend: reference-frontend feature build ==" >&2
   cargo test -q --offline -p synthattr-core --features reference-frontend
+fi
+
+if [[ "$INCREMENT" == "1" ]]; then
+  echo "== increment: incremental vs wholefile A/B grid (9 pools x NCT/CT x 0/5/20%) ==" >&2
+  cargo test --offline -p synthattr-core --lib increment_ab
+  echo "== increment: parts-vs-whole extraction property suite ==" >&2
+  cargo test --offline -p synthattr-features --lib incr
+  echo "== increment: reference-increment feature build ==" >&2
+  cargo test -q --offline -p synthattr-core --features reference-increment
 fi
 
 if [[ "$SERVE" == "1" ]]; then
