@@ -151,12 +151,12 @@ fn inline_trivial_helpers(u: &mut TranslationUnit) {
             return;
         };
         let n = body.stmts.len();
-        let mut work: Vec<Stmt> = body.stmts[..n - 1].to_vec();
+        let work: Vec<Stmt> = body.stmts[..n - 1].to_vec();
         let Some(Stmt::Return(Some(value))) = body.stmts.last() else {
             unreachable!("candidate shape checked");
         };
         let value = value.clone();
-        if !splice_call_site(u, &name, work.drain(..).collect(), value) {
+        if !splice_call_site(u, &name, work, value) {
             return;
         }
         u.items
@@ -193,12 +193,7 @@ fn find_inline_candidate(u: &TranslationUnit) -> Option<(String, Block)> {
 
 /// Finds the unique statement containing `name()`, splices `work`
 /// before it, and replaces the call with `value`.
-fn splice_call_site(
-    u: &mut TranslationUnit,
-    name: &str,
-    work: Vec<Stmt>,
-    value: Expr,
-) -> bool {
+fn splice_call_site(u: &mut TranslationUnit, name: &str, work: Vec<Stmt>, value: Expr) -> bool {
     let mut done = false;
     for item in &mut u.items {
         let Item::Function(f) = item else { continue };
@@ -488,7 +483,7 @@ fn normalize_stmts(u: &mut TranslationUnit) {
     }
 }
 
-fn norm_stmt_list(stmts: &mut Vec<Stmt>) {
+fn norm_stmt_list(stmts: &mut [Stmt]) {
     for stmt in stmts.iter_mut() {
         norm_stmt(stmt);
     }
@@ -502,9 +497,7 @@ fn norm_stmt(stmt: &mut Stmt) {
             // hoisted into a wrapper block exactly as the transformer's
             // for->while conversion does, so both directions land on
             // the same shape.
-            Stmt::For {
-                cond: Some(_), ..
-            } => {
+            Stmt::For { cond: Some(_), .. } => {
                 let Stmt::For {
                     init,
                     cond,
@@ -545,10 +538,7 @@ fn norm_stmt(stmt: &mut Stmt) {
         }
     }
     // Canonicalize the step of any remaining (condition-less) `for`.
-    if let Stmt::For {
-        step: Some(s), ..
-    } = stmt
-    {
+    if let Stmt::For { step: Some(s), .. } = stmt {
         norm_value_dropped_expr(s);
     }
     // Recurse into child blocks.
@@ -624,11 +614,13 @@ fn distribute_ternary(e: &Expr) -> Option<Stmt> {
     else {
         return None;
     };
-    let branch = |value: Expr| Block::new(vec![Stmt::Expr(Expr::Assign {
-        op: AssignOp::Assign,
-        lhs: lhs.clone(),
-        rhs: Box::new(value),
-    })]);
+    let branch = |value: Expr| {
+        Block::new(vec![Stmt::Expr(Expr::Assign {
+            op: AssignOp::Assign,
+            lhs: lhs.clone(),
+            rhs: Box::new(value),
+        })])
+    };
     match rhs.as_ref() {
         Expr::Ternary {
             cond,
@@ -655,12 +647,10 @@ fn distribute_ternary(e: &Expr) -> Option<Stmt> {
             if base != lhs {
                 return None;
             }
-            let apply = |value: &Expr| {
-                Expr::Binary {
-                    op: *op,
-                    lhs: base.clone(),
-                    rhs: Box::new(value.clone()),
-                }
+            let apply = |value: &Expr| Expr::Binary {
+                op: *op,
+                lhs: base.clone(),
+                rhs: Box::new(value.clone()),
             };
             Some(Stmt::If {
                 cond: (**cond).clone(),
@@ -780,9 +770,9 @@ fn each_stmt(b: &Block, f: &mut impl FnMut(&Stmt)) {
                 }
                 each_stmt(body, f);
             }
-            Stmt::ForEach { body, .. }
-            | Stmt::While { body, .. }
-            | Stmt::DoWhile { body, .. } => each_stmt(body, f),
+            Stmt::ForEach { body, .. } | Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => {
+                each_stmt(body, f)
+            }
             Stmt::Block(inner) => each_stmt(inner, f),
             _ => {}
         }

@@ -17,15 +17,24 @@
 //!   layout, loop form, compound-assignment sugar, IO idiom and helper
 //!   outlining, so `fingerprint(c0) == fingerprint(GPT(c0))` is
 //!   assertable for every transform the simulator performs.
+//! - [`cfg`] and [`dataflow`]: per-function control-flow graphs and a
+//!   worklist fixed-point framework (reaching definitions, liveness,
+//!   definite-uninitialization, constant propagation) powering the
+//!   `use-before-init`/`dead-store` passes and the `df.*` attribution
+//!   feature family.
 //!
 //! Diagnostics carry structural paths (`main/[3]/for/body/[0]`) rather
 //! than source spans: paths stay stable across re-rendering, which is
 //! what the transform pre/post gates compare.
 
+pub mod cfg;
+pub mod dataflow;
 pub mod fingerprint;
 pub mod passes;
 pub mod resolve;
 
+pub use cfg::Cfg;
+pub use dataflow::{dead_stores, solve, use_before_init, Analysis, DataflowSummary, Direction};
 pub use fingerprint::{fingerprint, fingerprint_source, normalize};
 pub use passes::{error_count, new_errors, Analyzer, Context, Diagnostic, Pass, Severity};
 pub use resolve::{resolve, Binding, BindingKind, Resolution, Undeclared};

@@ -9,8 +9,11 @@
 //! are [`Severity::Warning`]s. The transformation gates only reject
 //! *new* errors, so a warning-heavy human seed still transforms.
 
+use crate::cfg::Cfg;
+use crate::dataflow::{dead_stores, use_before_init};
 use crate::resolve::{resolve, Resolution};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use synthattr_lang::ast::*;
 use synthattr_lang::{parse, ParseError};
 
@@ -65,12 +68,36 @@ pub struct Context<'a> {
     pub unit: &'a TranslationUnit,
     /// Its resolution (bindings, use counts, unresolved uses).
     pub resolution: &'a Resolution,
+    /// Per-function CFGs, built on first demand and shared by every
+    /// dataflow pass.
+    cfgs: OnceLock<Vec<Cfg>>,
+}
+
+impl<'a> Context<'a> {
+    /// A context over `unit` and its `resolution`.
+    pub fn new(unit: &'a TranslationUnit, resolution: &'a Resolution) -> Self {
+        Context {
+            unit,
+            resolution,
+            cfgs: OnceLock::new(),
+        }
+    }
+
+    /// The unit's per-function CFGs (built at most once per context).
+    pub fn cfgs(&self) -> &[Cfg] {
+        self.cfgs.get_or_init(|| Cfg::build_all(self.unit))
+    }
 }
 
 /// A single analysis pass.
 pub trait Pass {
     /// Stable pass name (used in reports and gate accounting).
     fn name(&self) -> &'static str;
+
+    /// The severity of every diagnostic this pass emits. Gates reject
+    /// on [`Severity::Error`] only, so this is the pass's contract with
+    /// the pipeline, not a per-finding judgment call.
+    fn severity(&self) -> Severity;
 
     /// Appends findings for `ctx` to `out`.
     fn run(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>);
@@ -88,8 +115,10 @@ impl Analyzer {
             passes: vec![
                 Box::new(UndeclaredIdentifier),
                 Box::new(DuplicateDeclaration),
+                Box::new(UseBeforeInit),
                 Box::new(VariableShadowing),
                 Box::new(UnusedVariable),
+                Box::new(DeadStore),
                 Box::new(UnreachableCode),
             ],
         }
@@ -111,13 +140,18 @@ impl Analyzer {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
+    /// Name and severity of the registered passes, in run order.
+    pub fn pass_summaries(&self) -> Vec<(&'static str, Severity)> {
+        self.passes
+            .iter()
+            .map(|p| (p.name(), p.severity()))
+            .collect()
+    }
+
     /// Runs every pass over `unit`.
     pub fn analyze(&self, unit: &TranslationUnit) -> Vec<Diagnostic> {
         let resolution = resolve(unit);
-        let ctx = Context {
-            unit,
-            resolution: &resolution,
-        };
+        let ctx = Context::new(unit, &resolution);
         let mut out = Vec::new();
         for pass in &self.passes {
             pass.run(&ctx, &mut out);
@@ -190,6 +224,10 @@ impl Pass for UndeclaredIdentifier {
         "undeclared-identifier"
     }
 
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn run(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         let mut counts: Vec<(&str, &str, usize)> = Vec::new();
         for u in &ctx.resolution.undeclared {
@@ -201,7 +239,7 @@ impl Pass for UndeclaredIdentifier {
         for (name, site, uses) in counts {
             out.push(Diagnostic {
                 pass: self.name(),
-                severity: Severity::Error,
+                severity: self.severity(),
                 site: site.to_string(),
                 message: if uses == 1 {
                     format!("use of undeclared identifier `{name}`")
@@ -221,13 +259,17 @@ impl Pass for DuplicateDeclaration {
         "duplicate-declaration"
     }
 
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn run(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         for b in &ctx.resolution.bindings {
             if let Some(first) = b.duplicate_of {
                 let original = &ctx.resolution.bindings[first];
                 out.push(Diagnostic {
                     pass: self.name(),
-                    severity: Severity::Error,
+                    severity: self.severity(),
                     site: b.site.clone(),
                     message: format!(
                         "`{}` redeclared in the same scope (first declared at {})",
@@ -247,18 +289,19 @@ impl Pass for VariableShadowing {
         "variable-shadowing"
     }
 
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
     fn run(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         for b in &ctx.resolution.bindings {
             if let Some(outer) = b.shadows {
                 let hidden = &ctx.resolution.bindings[outer];
                 out.push(Diagnostic {
                     pass: self.name(),
-                    severity: Severity::Warning,
+                    severity: self.severity(),
                     site: b.site.clone(),
-                    message: format!(
-                        "`{}` shadows the declaration at {}",
-                        b.name, hidden.site
-                    ),
+                    message: format!("`{}` shadows the declaration at {}", b.name, hidden.site),
                 });
             }
         }
@@ -266,7 +309,9 @@ impl Pass for VariableShadowing {
 }
 
 /// Reports variables (globals, params, locals, loop variables) that are
-/// never read or written after declaration.
+/// never mentioned after declaration, and — reconciled with the
+/// liveness-based [`DeadStore`] pass — write-only variables that are
+/// assigned but never read back.
 pub struct UnusedVariable;
 
 impl Pass for UnusedVariable {
@@ -274,14 +319,87 @@ impl Pass for UnusedVariable {
         "unused-variable"
     }
 
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
     fn run(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         for b in &ctx.resolution.bindings {
-            if b.kind.is_variable() && b.uses == 0 && b.duplicate_of.is_none() {
+            if !b.kind.is_variable() || b.duplicate_of.is_some() {
+                continue;
+            }
+            if b.uses == 0 {
                 out.push(Diagnostic {
                     pass: self.name(),
-                    severity: Severity::Warning,
+                    severity: self.severity(),
                     site: b.site.clone(),
                     message: format!("variable `{}` is never used", b.name),
+                });
+            } else if b.reads == 0 {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    severity: self.severity(),
+                    site: b.site.clone(),
+                    message: format!("variable `{}` is assigned but never read", b.name),
+                });
+            }
+        }
+    }
+}
+
+/// Reports reads of variables that are definitely unassigned — no path
+/// from function entry stores a value first. Backed by the must-variant
+/// uninitialized-variable analysis over the per-function CFGs, so
+/// "assigned on one branch only" patterns (which semantics-preserving
+/// transforms rearrange freely) are deliberately not reported.
+pub struct UseBeforeInit;
+
+impl Pass for UseBeforeInit {
+    fn name(&self) -> &'static str {
+        "use-before-init"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn run(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        for cfg in ctx.cfgs() {
+            for (site, name) in use_before_init(cfg) {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    severity: self.severity(),
+                    site,
+                    message: format!("`{name}` is read before any value is assigned"),
+                });
+            }
+        }
+    }
+}
+
+/// Reports stores whose value can never be read (liveness-based, over
+/// the per-function CFGs). Only explicit assignments and scalar
+/// initializers are eligible; IO-written and address-taken variables
+/// are exempt.
+pub struct DeadStore;
+
+impl Pass for DeadStore {
+    fn name(&self) -> &'static str {
+        "dead-store"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn run(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        for cfg in ctx.cfgs() {
+            for (site, name) in dead_stores(cfg) {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    severity: self.severity(),
+                    site,
+                    message: format!("value assigned to `{name}` is never read"),
                 });
             }
         }
@@ -297,6 +415,10 @@ impl Pass for UnreachableCode {
         "unreachable-code"
     }
 
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
     fn run(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         for item in &ctx.unit.items {
             if let Item::Function(f) = item {
@@ -307,14 +429,19 @@ impl Pass for UnreachableCode {
     }
 }
 
-fn check_block(block: &Block, path: &mut Vec<String>, pass: &'static str, out: &mut Vec<Diagnostic>) {
+fn check_block(
+    block: &Block,
+    path: &mut Vec<String>,
+    pass: &'static str,
+    out: &mut Vec<Diagnostic>,
+) {
     let mut terminated_at: Option<(usize, &'static str)> = None;
     for (i, stmt) in block.stmts.iter().enumerate() {
         if let Some((t, what)) = terminated_at {
             if !matches!(stmt, Stmt::Comment(_) | Stmt::Empty) {
                 out.push(Diagnostic {
                     pass,
-                    severity: Severity::Warning,
+                    severity: UnreachableCode.severity(),
                     site: format!("{}/[{}]", path.join("/"), i),
                     message: format!("statement is unreachable after the `{what}` at [{t}]"),
                 });

@@ -15,6 +15,7 @@
 //! post-transformation), and structural paths are stable under
 //! re-rendering where source spans are not.
 
+use crate::cfg::is_cin_chain;
 use std::collections::HashMap;
 use synthattr_lang::ast::*;
 
@@ -59,6 +60,12 @@ pub struct Binding {
     pub site: String,
     /// Number of resolved uses.
     pub uses: usize,
+    /// Number of resolved uses that *read* the value. A use that only
+    /// stores (simple-assignment target, `cin >>` target, `&x` handed
+    /// to `scanf`, `getline`'s destination) counts toward `uses` but
+    /// not `reads`; compound assignments and `++`/`--` read first, so
+    /// they count toward both.
+    pub reads: usize,
     /// Index of an outer-scope binding this one shadows, if any.
     pub shadows: Option<usize>,
     /// Index of a same-scope binding this one duplicates, if any.
@@ -101,10 +108,46 @@ impl Resolution {
 /// transformer's reserved-name list so that nothing the generator or
 /// the style simulator emits can be reported as undeclared.
 pub const STD_NAMES: &[&str] = &[
-    "cin", "cout", "cerr", "endl", "string", "vector", "pair", "map", "set", "max", "min", "abs",
-    "sort", "swap", "printf", "scanf", "puts", "getline", "to_string", "make_pair", "sqrt", "pow",
-    "floor", "ceil", "round", "fabs", "memset", "strlen", "isdigit", "isalpha", "tolower",
-    "toupper", "INT_MAX", "INT_MIN", "LLONG_MAX", "LLONG_MIN", "EOF", "NULL", "size_t", "std",
+    "cin",
+    "cout",
+    "cerr",
+    "endl",
+    "string",
+    "vector",
+    "pair",
+    "map",
+    "set",
+    "max",
+    "min",
+    "abs",
+    "sort",
+    "swap",
+    "printf",
+    "scanf",
+    "puts",
+    "getline",
+    "to_string",
+    "make_pair",
+    "sqrt",
+    "pow",
+    "floor",
+    "ceil",
+    "round",
+    "fabs",
+    "memset",
+    "strlen",
+    "isdigit",
+    "isalpha",
+    "tolower",
+    "toupper",
+    "INT_MAX",
+    "INT_MIN",
+    "LLONG_MAX",
+    "LLONG_MIN",
+    "EOF",
+    "NULL",
+    "size_t",
+    "std",
 ];
 
 /// Whether `name` is a standard-library name per [`STD_NAMES`].
@@ -116,9 +159,10 @@ pub fn is_std_name(name: &str) -> bool {
 pub fn resolve(unit: &TranslationUnit) -> Resolution {
     let mut r = Resolver {
         res: Resolution {
-            std_in_scope: unit.items.iter().any(|i| {
-                matches!(i, Item::Include { .. }) || matches!(i, Item::UsingNamespace(_))
-            }),
+            std_in_scope: unit
+                .items
+                .iter()
+                .any(|i| matches!(i, Item::Include { .. }) || matches!(i, Item::UsingNamespace(_))),
             ..Resolution::default()
         },
         scopes: vec![HashMap::new()],
@@ -168,6 +212,7 @@ impl Resolver {
             kind,
             site: self.site(),
             uses: 0,
+            reads: 0,
             shadows,
             duplicate_of,
         });
@@ -180,9 +225,21 @@ impl Resolver {
     /// Resolves a name use: innermost binding wins, then std names,
     /// otherwise the use is recorded as undeclared.
     fn use_name(&mut self, name: &str) {
+        self.use_name_ctx(name, true);
+    }
+
+    /// Resolves a use that only stores into the name (no read).
+    fn use_name_write(&mut self, name: &str) {
+        self.use_name_ctx(name, false);
+    }
+
+    fn use_name_ctx(&mut self, name: &str, is_read: bool) {
         for scope in self.scopes.iter().rev() {
             if let Some(&idx) = scope.get(name) {
                 self.res.bindings[idx].uses += 1;
+                if is_read {
+                    self.res.bindings[idx].reads += 1;
+                }
                 return;
             }
         }
@@ -403,7 +460,43 @@ impl Resolver {
     fn expr(&mut self, e: &Expr) {
         match e {
             Expr::Ident(name) => self.use_name(name),
+            // `&x` in this subset only ever feeds `scanf`, which stores
+            // into the target.
+            Expr::Unary {
+                op: UnaryOp::AddrOf,
+                expr,
+            } => match expr.unparenthesized() {
+                Expr::Ident(name) => self.use_name_write(name),
+                _ => self.expr(expr),
+            },
             Expr::Unary { expr, .. } => self.expr(expr),
+            // A simple-assignment target is stored to, not read;
+            // compound assignments (`+=` …) read the old value first
+            // and fall through to the general arm.
+            Expr::Assign {
+                op: AssignOp::Assign,
+                lhs,
+                rhs,
+            } => {
+                match lhs.unparenthesized() {
+                    Expr::Ident(name) => self.use_name_write(name),
+                    _ => self.expr(lhs),
+                }
+                self.expr(rhs);
+            }
+            // `cin >> x` stores into `x`; chains associate left, so the
+            // lhs recursion re-enters this arm for every target.
+            Expr::Binary {
+                op: BinaryOp::Shr,
+                lhs,
+                rhs,
+            } if is_cin_chain(lhs) => {
+                self.expr(lhs);
+                match rhs.unparenthesized() {
+                    Expr::Ident(name) => self.use_name_write(name),
+                    _ => self.expr(rhs),
+                }
+            }
             Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
                 self.expr(lhs);
                 self.expr(rhs);
@@ -419,8 +512,16 @@ impl Resolver {
             }
             Expr::Call { callee, args } => {
                 self.expr(callee);
-                for a in args {
-                    self.expr(a);
+                // `getline(cin, s)` stores into its second argument.
+                let getline_target = match callee.unparenthesized() {
+                    Expr::Ident(n) if n == "getline" && args.len() >= 2 => Some(1),
+                    _ => None,
+                };
+                for (i, a) in args.iter().enumerate() {
+                    match (Some(i) == getline_target, a.unparenthesized()) {
+                        (true, Expr::Ident(name)) => self.use_name_write(name),
+                        _ => self.expr(a),
+                    }
                 }
             }
             // Member names are not scoped identifiers; only the base
@@ -533,8 +634,7 @@ int main() {
         let r = resolve_src(
             "#include <iostream>\nint x;\nint main() { int x = 1; { int x = 2; cout << x; } return x; }",
         );
-        let shadowers: Vec<&Binding> =
-            r.bindings.iter().filter(|b| b.shadows.is_some()).collect();
+        let shadowers: Vec<&Binding> = r.bindings.iter().filter(|b| b.shadows.is_some()).collect();
         assert_eq!(shadowers.len(), 2, "{:?}", shadowers);
     }
 

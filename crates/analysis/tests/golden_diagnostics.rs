@@ -49,11 +49,13 @@ fn undeclared_identifier_fires_for_std_without_include() {
 #[test]
 fn duplicate_declaration_fires() {
     // The redeclaration is an error; the orphaned first binding (all
-    // later uses resolve to the newer `x`) is additionally unused.
+    // later uses resolve to the newer `x`) is additionally unused, and
+    // its initializer is a store nothing can read.
     assert_eq!(
         lint("int main() { int x = 1; int x = 2; return x; }"),
         vec![
             "error[duplicate-declaration] at main/[1]",
+            "warning[dead-store] at main/[0]",
             "warning[unused-variable] at main/[0]",
         ]
     );
@@ -88,9 +90,65 @@ fn variable_shadowing_stays_silent_for_distinct_names() {
 
 #[test]
 fn unused_variable_fires() {
+    // A never-mentioned local keeps the original PR 3 message (pinned
+    // by `unused_variable_message_is_unchanged`); its initializer is
+    // also a dead store.
     assert_eq!(
         lint("int main() { int used = 1; int spare = 2; return used; }"),
-        vec!["warning[unused-variable] at main/[1]"]
+        vec![
+            "warning[dead-store] at main/[1]",
+            "warning[unused-variable] at main/[1]",
+        ]
+    );
+}
+
+#[test]
+fn unused_variable_message_is_unchanged() {
+    // The liveness reconciliation must not disturb the historical
+    // never-used verdict text.
+    let diags = Analyzer::new()
+        .analyze_source("int main() { int used = 1; int spare = 2; return used; }")
+        .unwrap();
+    let unused: Vec<_> = diags
+        .iter()
+        .filter(|d| d.pass == "unused-variable")
+        .collect();
+    assert_eq!(unused.len(), 1);
+    assert_eq!(unused[0].message, "variable `spare` is never used");
+}
+
+#[test]
+fn write_only_variable_is_assigned_but_never_read() {
+    // `sink` is mentioned (so the old pass stayed silent) but every
+    // mention stores: the reconciled pass and the liveness-based
+    // dead-store pass now agree it is write-only.
+    assert_eq!(
+        lint("int main() { int sink = 1; sink = 2; return 0; }"),
+        vec![
+            "warning[dead-store] at main/[0]",
+            "warning[dead-store] at main/[1]",
+            "warning[unused-variable] at main/[0]",
+        ]
+    );
+    let diags = Analyzer::new()
+        .analyze_source("int main() { int sink = 1; sink = 2; return 0; }")
+        .unwrap();
+    let unused: Vec<_> = diags
+        .iter()
+        .filter(|d| d.pass == "unused-variable")
+        .collect();
+    assert_eq!(
+        unused[0].message,
+        "variable `sink` is assigned but never read"
+    );
+}
+
+#[test]
+fn write_only_reconciliation_stays_silent_for_compound_assign() {
+    // `s += i` reads the old value of `s`: not write-only.
+    assert_eq!(
+        lint("int main() { int s = 0; for (int i = 0; i < 3; i++) { s += i; } return s; }"),
+        Vec::<String>::new()
     );
 }
 
@@ -113,9 +171,7 @@ fn unreachable_code_fires_after_return() {
 #[test]
 fn unreachable_code_fires_after_break() {
     assert_eq!(
-        lint(
-            "int main() { int n = 3; while (n > 0) { break; n = n - 1; } return n; }"
-        ),
+        lint("int main() { int n = 3; while (n > 0) { break; n = n - 1; } return n; }"),
         vec!["warning[unreachable-code] at main/[1]/[1]"]
     );
 }
@@ -133,16 +189,60 @@ fn unreachable_code_stays_silent_for_trailing_terminator() {
 }
 
 #[test]
-fn multiple_defects_report_together() {
-    // One snippet, three passes firing at once — counts and sites all
-    // pinned.
+fn use_before_init_fires() {
+    assert_eq!(
+        lint("int main() { int x; return x; }"),
+        vec!["error[use-before-init] at main/[1]"]
+    );
+}
+
+#[test]
+fn use_before_init_stays_silent_when_all_paths_assign() {
+    assert_eq!(
+        lint("int main() { int x; int c = 2; if (c > 0) { x = 1; } else { x = 2; } return x; }"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn use_before_init_stays_silent_for_io_reads() {
+    // `cin >> n` and `scanf("%d", &m)` both assign their targets.
     assert_eq!(
         lint(
-            "int main() { int dead = 1; int x = 2; int x = 3; return missing; }"
+            "#include <iostream>\n#include <cstdio>\nusing namespace std;\nint main() { int n; int m; cin >> n; scanf(\"%d\", &m); return n + m; }"
         ),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn dead_store_fires_for_overwritten_value() {
+    assert_eq!(
+        lint("int main() { int x = 1; x = 2; return x; }"),
+        vec!["warning[dead-store] at main/[0]"]
+    );
+}
+
+#[test]
+fn dead_store_stays_silent_for_loop_carried_values() {
+    assert_eq!(
+        lint("int main() { int s = 0; for (int i = 0; i < 4; i++) { s = s + i; } return s; }"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn multiple_defects_report_together() {
+    // One snippet, four passes firing at once — counts and sites all
+    // pinned. Every initializer here feeds a value nothing reads.
+    assert_eq!(
+        lint("int main() { int dead = 1; int x = 2; int x = 3; return missing; }"),
         vec![
             "error[duplicate-declaration] at main/[2]",
             "error[undeclared-identifier] at main/[3]",
+            "warning[dead-store] at main/[0]",
+            "warning[dead-store] at main/[1]",
+            "warning[dead-store] at main/[2]",
             "warning[unused-variable] at main/[0]",
             "warning[unused-variable] at main/[1]",
         ]
@@ -188,10 +288,18 @@ fn severity_split_matches_pass_contract() {
         .unwrap();
     for d in &diags {
         let expected = match d.pass {
-            "undeclared-identifier" | "duplicate-declaration" => Severity::Error,
+            "undeclared-identifier" | "duplicate-declaration" | "use-before-init" => {
+                Severity::Error
+            }
             _ => Severity::Warning,
         };
         assert_eq!(d.severity, expected, "{d}");
     }
-    assert_eq!(diags.iter().filter(|d| d.severity == Severity::Error).count(), 2);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count(),
+        2
+    );
 }

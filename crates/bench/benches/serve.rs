@@ -85,7 +85,7 @@ fn client_loop(
     sources: &[String],
     ready: Option<&std::sync::Barrier>,
 ) -> Vec<u128> {
-    let mut rng = Pcg64::seed_from(0xBE4C_4, &["serve-load", &client_id.to_string()]);
+    let mut rng = Pcg64::seed_from(0xB_E4C4, &["serve-load", &client_id.to_string()]);
     let mut client = Client::connect(server.addr()).expect("connect");
     let target = format!("/attribute?year={YEAR}");
     let warm = client
@@ -126,7 +126,12 @@ fn main() {
     // Serial: one client, no coalescing.
     let mut serial = client_loop(&server, 0, n, &sources, None);
     serial.sort_unstable();
-    emit(&Summary::from_sorted("serve", "attribute/serial", &serial, None));
+    emit(&Summary::from_sorted(
+        "serve",
+        "attribute/serial",
+        &serial,
+        None,
+    ));
 
     // Concurrent: 8 clients, shared wall clock for sustained req/s.
     // The barrier has one extra party — the main thread — so the wall
@@ -151,7 +156,10 @@ fn main() {
             .collect();
         ready.wait();
         let wall = Instant::now();
-        let all = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let all = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         (all, wall.elapsed().as_nanos())
     });
     all.sort_unstable();
@@ -171,12 +179,19 @@ fn main() {
     let mut health = Vec::with_capacity(n);
     for _ in 0..n {
         let started = Instant::now();
-        let resp = client.request("GET", "/healthz", &[], b"").expect("healthz");
+        let resp = client
+            .request("GET", "/healthz", &[], b"")
+            .expect("healthz");
         health.push(started.elapsed().as_nanos());
         assert_eq!(resp.status, 200);
     }
     health.sort_unstable();
-    emit(&Summary::from_sorted("serve", "healthz/serial", &health, None));
+    emit(&Summary::from_sorted(
+        "serve",
+        "healthz/serial",
+        &health,
+        None,
+    ));
 
     server.shutdown();
 }

@@ -201,9 +201,10 @@ impl Runner {
     /// Design-choice ablation: which feature families carry the
     /// attribution signal, and does information-gain selection keep it?
     fn ablation_features(&mut self) {
-        let variants: [(&str, FeatureConfig); 3] = [
+        let variants: [(&str, FeatureConfig); 4] = [
             ("lexical only", FeatureConfig::lexical_only()),
             ("lex+layout", FeatureConfig::without_syntactic()),
+            ("full - dataflow", FeatureConfig::without_dataflow()),
             ("full", FeatureConfig::default()),
         ];
         let mut t = Table::new(vec!["Features", "Dim", "205-class avg", "ChatGPT set avg"])

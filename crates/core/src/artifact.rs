@@ -505,10 +505,7 @@ mod tests {
         let seeded = Artifact::with_unit(SRC, unit.clone());
         let fresh = Artifact::new(SRC);
         assert_eq!(seeded.unit().unwrap(), fresh.unit().unwrap());
-        assert_eq!(
-            seeded.fingerprint().unwrap(),
-            fresh.fingerprint().unwrap()
-        );
+        assert_eq!(seeded.fingerprint().unwrap(), fresh.fingerprint().unwrap());
         assert_eq!(seeded.unit().unwrap(), &unit);
     }
 

@@ -66,7 +66,10 @@ fn assert_pipelines_identical(cached: &YearPipeline, reference: &YearPipeline, c
         assert_eq!(a.challenge, b.challenge, "{ctx}");
         assert_eq!(a.setting, b.setting, "{ctx}");
         assert_eq!(a.features, b.features, "feature vector diverged ({ctx})");
-        assert_eq!(a.oracle_label, b.oracle_label, "oracle label diverged ({ctx})");
+        assert_eq!(
+            a.oracle_label, b.oracle_label,
+            "oracle label diverged ({ctx})"
+        );
         assert_eq!(a.outcome, b.outcome, "{ctx}");
     }
 }
@@ -146,7 +149,11 @@ fn experiment_tables_match_reference_frontend() {
             format!("{:?}", binary::run_individual(&reference)),
             "{ctx}"
         );
-        assert_eq!(figures::figure1(&cached), figures::figure1(&reference), "{ctx}");
+        assert_eq!(
+            figures::figure1(&cached),
+            figures::figure1(&reference),
+            "{ctx}"
+        );
 
         cached_years.push(cached);
         reference_years.push(reference);

@@ -84,7 +84,10 @@ fn assert_pipelines_identical(incr: &YearPipeline, wholefile: &YearPipeline, ctx
         assert_eq!(a.challenge, b.challenge, "{ctx}");
         assert_eq!(a.setting, b.setting, "{ctx}");
         assert_eq!(a.features, b.features, "feature vector diverged ({ctx})");
-        assert_eq!(a.oracle_label, b.oracle_label, "oracle label diverged ({ctx})");
+        assert_eq!(
+            a.oracle_label, b.oracle_label,
+            "oracle label diverged ({ctx})"
+        );
         assert_eq!(a.outcome, b.outcome, "{ctx}");
     }
 }

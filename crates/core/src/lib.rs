@@ -37,12 +37,12 @@
 
 pub mod artifact;
 pub mod config;
+pub mod error;
+pub mod experiments;
 #[cfg(test)]
 mod frontend_ab;
 #[cfg(test)]
 mod increment_ab;
-pub mod error;
-pub mod experiments;
 pub mod model;
 pub mod pipeline;
 

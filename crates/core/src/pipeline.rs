@@ -250,234 +250,227 @@ impl YearPipeline {
             ResilienceStats,
             DiagnosticStats,
             FrontendStats,
-        )> =
-            pool::parallel_try_map_workers(workers, (0..spec.challenges.len()).collect(), |ci| {
-                let challenge = spec.challenges[ci];
-                let service = config
-                    .faults
-                    .as_ref()
-                    .map(|p| FaultyTransformer::new(&pool, p.plan(), p.policy.clone()));
-                let mut stream_stats = ResilienceStats::default();
-                let mut transformed = Vec::new();
-                // Bounded so a pathological scale can't hoard every
-                // artifact ever parsed. A challenge interns well under
-                // a hundred distinct texts (two seeds plus one per
-                // transform step × setting), so at this capacity the
-                // bound is pure insurance: no eviction ever fires and
-                // hit/miss totals are identical to the unbounded cache
-                // (`tests/frontend_cache.rs` proves the equivalence).
-                let mut cache = ArtifactCache::bounded(PER_CHALLENGE_CACHE_CAP);
-                // The node-level cache behind the incremental frontend:
-                // shared across this challenge's four settings (their
-                // chains revisit the same seeds, items, and layouts),
-                // sharded per challenge for the same worker-invariance
-                // reason as the artifact cache.
-                let mut fc = FrontendCache::new();
-                let mut diags = DiagnosticStats::default();
-                let mut frontend_ns: u128 = 0;
-                // ChatGPT-generated seed: one solution in a weighted pool
-                // style (the "generation" role of the simulator).
-                let mut gen_rng = Pcg64::seed_from(
-                    config.seed,
-                    &["gpt-gen", &year.to_string(), &ci.to_string()],
-                );
-                let gen_style_idx = pool.sample_index(&mut gen_rng);
-                let gpt_seed = synthattr_gen::corpus::solution_in_style(
-                    challenge,
-                    pool.style(gen_style_idx),
-                    config.seed,
-                    &["gpt-gen-code", &year.to_string(), &ci.to_string()],
-                );
-                // Human seed: the chosen author's solution to this challenge.
-                let human_seed = corpus
-                    .samples
-                    .iter()
-                    .find(|s| s.author == seed_author && s.challenge == ci)
-                    .expect("corpus covers author x challenge")
-                    .source
-                    .clone();
+        )> = pool::parallel_try_map_workers(workers, (0..spec.challenges.len()).collect(), |ci| {
+            let challenge = spec.challenges[ci];
+            let service = config
+                .faults
+                .as_ref()
+                .map(|p| FaultyTransformer::new(&pool, p.plan(), p.policy.clone()));
+            let mut stream_stats = ResilienceStats::default();
+            let mut transformed = Vec::new();
+            // Bounded so a pathological scale can't hoard every
+            // artifact ever parsed. A challenge interns well under
+            // a hundred distinct texts (two seeds plus one per
+            // transform step × setting), so at this capacity the
+            // bound is pure insurance: no eviction ever fires and
+            // hit/miss totals are identical to the unbounded cache
+            // (`tests/frontend_cache.rs` proves the equivalence).
+            let mut cache = ArtifactCache::bounded(PER_CHALLENGE_CACHE_CAP);
+            // The node-level cache behind the incremental frontend:
+            // shared across this challenge's four settings (their
+            // chains revisit the same seeds, items, and layouts),
+            // sharded per challenge for the same worker-invariance
+            // reason as the artifact cache.
+            let mut fc = FrontendCache::new();
+            let mut diags = DiagnosticStats::default();
+            let mut frontend_ns: u128 = 0;
+            // ChatGPT-generated seed: one solution in a weighted pool
+            // style (the "generation" role of the simulator).
+            let mut gen_rng = Pcg64::seed_from(
+                config.seed,
+                &["gpt-gen", &year.to_string(), &ci.to_string()],
+            );
+            let gen_style_idx = pool.sample_index(&mut gen_rng);
+            let gpt_seed = synthattr_gen::corpus::solution_in_style(
+                challenge,
+                pool.style(gen_style_idx),
+                config.seed,
+                &["gpt-gen-code", &year.to_string(), &ci.to_string()],
+            );
+            // Human seed: the chosen author's solution to this challenge.
+            let human_seed = corpus
+                .samples
+                .iter()
+                .find(|s| s.author == seed_author && s.challenge == ci)
+                .expect("corpus covers author x challenge")
+                .source
+                .clone();
 
-                for setting in Setting::all() {
-                    let (seed_code, origin) = if setting.human_seed() {
-                        (&human_seed, Origin::Human)
-                    } else {
-                        (&gpt_seed, Origin::ChatGpt)
-                    };
-                    let mut rng = Pcg64::seed_from(
-                        config.seed,
-                        &[
-                            "transform",
-                            &year.to_string(),
-                            &ci.to_string(),
-                            setting.notation(),
-                        ],
-                    );
-                    let fail = |source| PipelineError::Transform {
-                        year,
-                        challenge: ci,
-                        setting: setting.notation(),
-                        source,
-                    };
-                    // Intern the seed once per setting: each seed text
-                    // is shared by its two settings, so this is two
-                    // misses and two hits per challenge — and exactly
-                    // one parse per distinct seed.
-                    let t0 = Instant::now();
-                    let seed_artifact = cache.intern(seed_code);
-                    let seed_unit = seed_artifact
-                        .unit()
-                        .map_err(|e| fail(GptError::Parse(e)))?;
-                    frontend_ns += t0.elapsed().as_nanos();
-                    let (samples, units, regions, outcomes) = match (&service, &config.faults)
-                    {
-                        (Some(svc), Some(profile)) => {
-                            let anchor = format!("ch{ci}/{}", setting.notation());
-                            let mut cx = profile.stream_cx(n_streams);
-                            let run = if setting.chaining() {
-                                run_ct_resilient_cached(
-                                    svc,
-                                    seed_code,
-                                    seed_unit,
-                                    config.scale.transforms,
-                                    origin,
-                                    &mut rng,
-                                    &anchor,
-                                    &mut cx,
-                                    &mut fc,
-                                )
-                            } else {
-                                run_nct_resilient_cached(
-                                    svc,
-                                    seed_code,
-                                    seed_unit,
-                                    config.scale.transforms,
-                                    origin,
-                                    &mut rng,
-                                    &anchor,
-                                    &mut cx,
-                                    &mut fc,
-                                )
-                            }
-                            .map_err(fail)?;
-                            stream_stats.merge(&run.stats);
-                            (run.samples, run.units, run.regions, run.outcomes)
+            for setting in Setting::all() {
+                let (seed_code, origin) = if setting.human_seed() {
+                    (&human_seed, Origin::Human)
+                } else {
+                    (&gpt_seed, Origin::ChatGpt)
+                };
+                let mut rng = Pcg64::seed_from(
+                    config.seed,
+                    &[
+                        "transform",
+                        &year.to_string(),
+                        &ci.to_string(),
+                        setting.notation(),
+                    ],
+                );
+                let fail = |source| PipelineError::Transform {
+                    year,
+                    challenge: ci,
+                    setting: setting.notation(),
+                    source,
+                };
+                // Intern the seed once per setting: each seed text
+                // is shared by its two settings, so this is two
+                // misses and two hits per challenge — and exactly
+                // one parse per distinct seed.
+                let t0 = Instant::now();
+                let seed_artifact = cache.intern(seed_code);
+                let seed_unit = seed_artifact.unit().map_err(|e| fail(GptError::Parse(e)))?;
+                frontend_ns += t0.elapsed().as_nanos();
+                let (samples, units, regions, outcomes) = match (&service, &config.faults) {
+                    (Some(svc), Some(profile)) => {
+                        let anchor = format!("ch{ci}/{}", setting.notation());
+                        let mut cx = profile.stream_cx(n_streams);
+                        let run = if setting.chaining() {
+                            run_ct_resilient_cached(
+                                svc,
+                                seed_code,
+                                seed_unit,
+                                config.scale.transforms,
+                                origin,
+                                &mut rng,
+                                &anchor,
+                                &mut cx,
+                                &mut fc,
+                            )
+                        } else {
+                            run_nct_resilient_cached(
+                                svc,
+                                seed_code,
+                                seed_unit,
+                                config.scale.transforms,
+                                origin,
+                                &mut rng,
+                                &anchor,
+                                &mut cx,
+                                &mut fc,
+                            )
                         }
-                        _ => {
-                            let steps = if setting.chaining() {
-                                try_run_ct_steps_cached(
-                                    &transformer,
-                                    seed_code,
-                                    seed_unit,
-                                    config.scale.transforms,
-                                    origin,
-                                    &mut rng,
-                                    &mut fc,
-                                )
-                            } else {
-                                try_run_nct_steps_cached(
-                                    &transformer,
-                                    seed_code,
-                                    seed_unit,
-                                    config.scale.transforms,
-                                    origin,
-                                    &mut rng,
-                                    &mut fc,
-                                )
-                            }
-                            .map_err(fail)?;
-                            let outcomes = vec![Outcome::Clean; steps.len()];
-                            for o in &outcomes {
-                                stream_stats.record(*o);
-                            }
-                            let mut samples = Vec::with_capacity(steps.len());
-                            let mut units = Vec::with_capacity(steps.len());
-                            let mut regions = Vec::with_capacity(steps.len());
-                            for step in steps {
-                                samples.push(step.sample);
-                                units.push(step.unit);
-                                regions.push(Some(step.regions));
-                            }
-                            (samples, units, regions, outcomes)
-                        }
-                    };
-                    // Featurize, label, and lint each sample off one
-                    // shared artifact. The transform layer already
-                    // parsed every accepted response, so even a cache
-                    // miss here costs no parse; a hit (CT held steps,
-                    // NCT fixed points) reuses every cached product.
-                    // When the step carries its region structure, even
-                    // a *miss* only pays for the sub-trees this step
-                    // actually changed: features assemble from cached
-                    // per-item partials and per-region layout scans,
-                    // and diagnostics come off the unit-hash cache.
-                    for (((sample, unit), region), outcome) in
-                        samples.into_iter().zip(units).zip(regions).zip(outcomes)
-                    {
-                        let t0 = Instant::now();
-                        let artifact = cache.intern_with_unit(&sample.source, unit);
-                        let features = match &region {
-                            Some(ri) => artifact.features_with(|src, unit| {
-                                let items: Vec<_> = ri
-                                    .item_hashes
-                                    .iter()
-                                    .zip(&unit.items)
-                                    .map(|(h, item)| fc.item_features_for(*h, item))
-                                    .collect();
-                                let layouts: Vec<_> = ri
-                                    .spans
-                                    .iter()
-                                    .map(|sp| {
-                                        (sp.sep_before, fc.layout_for(&src[sp.start..sp.end]))
-                                    })
-                                    .collect();
-                                oracle.extractor().extract_from_parts(
-                                    src.len(),
-                                    items.iter().map(|a| a.as_ref()),
-                                    layouts.iter().map(|(s, l)| (*s, l.as_ref())),
-                                )
-                            }),
-                            None => artifact.features(oracle.extractor()),
-                        }
-                        .map_err(|e| PipelineError::Analysis {
-                            stage: "featurize",
-                            source: e,
-                        })?
-                        .clone();
-                        let oracle_label =
-                            artifact
-                                .oracle_label(&oracle)
-                                .map_err(|e| PipelineError::Analysis {
-                                    stage: "featurize",
-                                    source: e,
-                                })?;
-                        let sample_diags = match &region {
-                            Some(ri) => artifact.diagnostics_with(|unit| {
-                                fc.diags_for(ri.unit_hash, unit, &analyzer)
-                            }),
-                            None => artifact.diagnostics(&analyzer),
-                        }
-                        .map_err(|e| PipelineError::Analysis {
-                            stage: "lint",
-                            source: e,
-                        })?;
-                        diags.absorb(sample_diags);
-                        frontend_ns += t0.elapsed().as_nanos();
-                        transformed.push(TransformedEntry {
-                            sample,
-                            challenge: ci,
-                            setting,
-                            features,
-                            oracle_label,
-                            outcome,
-                        });
+                        .map_err(fail)?;
+                        stream_stats.merge(&run.stats);
+                        (run.samples, run.units, run.regions, run.outcomes)
                     }
+                    _ => {
+                        let steps = if setting.chaining() {
+                            try_run_ct_steps_cached(
+                                &transformer,
+                                seed_code,
+                                seed_unit,
+                                config.scale.transforms,
+                                origin,
+                                &mut rng,
+                                &mut fc,
+                            )
+                        } else {
+                            try_run_nct_steps_cached(
+                                &transformer,
+                                seed_code,
+                                seed_unit,
+                                config.scale.transforms,
+                                origin,
+                                &mut rng,
+                                &mut fc,
+                            )
+                        }
+                        .map_err(fail)?;
+                        let outcomes = vec![Outcome::Clean; steps.len()];
+                        for o in &outcomes {
+                            stream_stats.record(*o);
+                        }
+                        let mut samples = Vec::with_capacity(steps.len());
+                        let mut units = Vec::with_capacity(steps.len());
+                        let mut regions = Vec::with_capacity(steps.len());
+                        for step in steps {
+                            samples.push(step.sample);
+                            units.push(step.unit);
+                            regions.push(Some(step.regions));
+                        }
+                        (samples, units, regions, outcomes)
+                    }
+                };
+                // Featurize, label, and lint each sample off one
+                // shared artifact. The transform layer already
+                // parsed every accepted response, so even a cache
+                // miss here costs no parse; a hit (CT held steps,
+                // NCT fixed points) reuses every cached product.
+                // When the step carries its region structure, even
+                // a *miss* only pays for the sub-trees this step
+                // actually changed: features assemble from cached
+                // per-item partials and per-region layout scans,
+                // and diagnostics come off the unit-hash cache.
+                for (((sample, unit), region), outcome) in
+                    samples.into_iter().zip(units).zip(regions).zip(outcomes)
+                {
+                    let t0 = Instant::now();
+                    let artifact = cache.intern_with_unit(&sample.source, unit);
+                    let features = match &region {
+                        Some(ri) => artifact.features_with(|src, unit| {
+                            let items: Vec<_> = ri
+                                .item_hashes
+                                .iter()
+                                .zip(&unit.items)
+                                .map(|(h, item)| fc.item_features_for(*h, item))
+                                .collect();
+                            let layouts: Vec<_> = ri
+                                .spans
+                                .iter()
+                                .map(|sp| (sp.sep_before, fc.layout_for(&src[sp.start..sp.end])))
+                                .collect();
+                            oracle.extractor().extract_from_parts(
+                                src.len(),
+                                items.iter().map(|a| a.as_ref()),
+                                layouts.iter().map(|(s, l)| (*s, l.as_ref())),
+                            )
+                        }),
+                        None => artifact.features(oracle.extractor()),
+                    }
+                    .map_err(|e| PipelineError::Analysis {
+                        stage: "featurize",
+                        source: e,
+                    })?
+                    .clone();
+                    let oracle_label =
+                        artifact
+                            .oracle_label(&oracle)
+                            .map_err(|e| PipelineError::Analysis {
+                                stage: "featurize",
+                                source: e,
+                            })?;
+                    let sample_diags = match &region {
+                        Some(ri) => artifact
+                            .diagnostics_with(|unit| fc.diags_for(ri.unit_hash, unit, &analyzer)),
+                        None => artifact.diagnostics(&analyzer),
+                    }
+                    .map_err(|e| PipelineError::Analysis {
+                        stage: "lint",
+                        source: e,
+                    })?;
+                    diags.absorb(sample_diags);
+                    frontend_ns += t0.elapsed().as_nanos();
+                    transformed.push(TransformedEntry {
+                        sample,
+                        challenge: ci,
+                        setting,
+                        features,
+                        oracle_label,
+                        outcome,
+                    });
                 }
-                let mut frontend = cache.stats();
-                frontend.node_hits = fc.node_hits();
-                frontend.node_misses = fc.node_misses();
-                frontend.frontend_ns = frontend_ns;
-                Ok((transformed, stream_stats, diags, frontend))
-            })?;
+            }
+            let mut frontend = cache.stats();
+            frontend.node_hits = fc.node_hits();
+            frontend.node_misses = fc.node_misses();
+            frontend.frontend_ns = frontend_ns;
+            Ok((transformed, stream_stats, diags, frontend))
+        })?;
         let mut resilience = ResilienceStats::default();
         let mut transformed: Vec<TransformedEntry> = Vec::new();
         for (entries, stats, d, fe) in per_challenge {
@@ -539,169 +532,164 @@ impl YearPipeline {
             ResilienceStats,
             DiagnosticStats,
             FrontendStats,
-        )> =
-            pool::parallel_try_map_workers(workers, (0..spec.challenges.len()).collect(), |ci| {
-                let challenge = spec.challenges[ci];
-                let service = config
-                    .faults
-                    .as_ref()
-                    .map(|p| FaultyTransformer::new(&pool, p.plan(), p.policy.clone()));
-                let mut stream_stats = ResilienceStats::default();
-                let mut transformed = Vec::new();
-                let mut cache = ArtifactCache::bounded(PER_CHALLENGE_CACHE_CAP);
-                let mut diags = DiagnosticStats::default();
-                let mut frontend_ns: u128 = 0;
-                let mut gen_rng = Pcg64::seed_from(
-                    config.seed,
-                    &["gpt-gen", &year.to_string(), &ci.to_string()],
-                );
-                let gen_style_idx = pool.sample_index(&mut gen_rng);
-                let gpt_seed = synthattr_gen::corpus::solution_in_style(
-                    challenge,
-                    pool.style(gen_style_idx),
-                    config.seed,
-                    &["gpt-gen-code", &year.to_string(), &ci.to_string()],
-                );
-                let human_seed = corpus
-                    .samples
-                    .iter()
-                    .find(|s| s.author == seed_author && s.challenge == ci)
-                    .expect("corpus covers author x challenge")
-                    .source
-                    .clone();
+        )> = pool::parallel_try_map_workers(workers, (0..spec.challenges.len()).collect(), |ci| {
+            let challenge = spec.challenges[ci];
+            let service = config
+                .faults
+                .as_ref()
+                .map(|p| FaultyTransformer::new(&pool, p.plan(), p.policy.clone()));
+            let mut stream_stats = ResilienceStats::default();
+            let mut transformed = Vec::new();
+            let mut cache = ArtifactCache::bounded(PER_CHALLENGE_CACHE_CAP);
+            let mut diags = DiagnosticStats::default();
+            let mut frontend_ns: u128 = 0;
+            let mut gen_rng = Pcg64::seed_from(
+                config.seed,
+                &["gpt-gen", &year.to_string(), &ci.to_string()],
+            );
+            let gen_style_idx = pool.sample_index(&mut gen_rng);
+            let gpt_seed = synthattr_gen::corpus::solution_in_style(
+                challenge,
+                pool.style(gen_style_idx),
+                config.seed,
+                &["gpt-gen-code", &year.to_string(), &ci.to_string()],
+            );
+            let human_seed = corpus
+                .samples
+                .iter()
+                .find(|s| s.author == seed_author && s.challenge == ci)
+                .expect("corpus covers author x challenge")
+                .source
+                .clone();
 
-                for setting in Setting::all() {
-                    let (seed_code, origin) = if setting.human_seed() {
-                        (&human_seed, Origin::Human)
-                    } else {
-                        (&gpt_seed, Origin::ChatGpt)
-                    };
-                    let mut rng = Pcg64::seed_from(
-                        config.seed,
-                        &[
-                            "transform",
-                            &year.to_string(),
-                            &ci.to_string(),
-                            setting.notation(),
-                        ],
-                    );
-                    let fail = |source| PipelineError::Transform {
-                        year,
-                        challenge: ci,
-                        setting: setting.notation(),
-                        source,
-                    };
+            for setting in Setting::all() {
+                let (seed_code, origin) = if setting.human_seed() {
+                    (&human_seed, Origin::Human)
+                } else {
+                    (&gpt_seed, Origin::ChatGpt)
+                };
+                let mut rng = Pcg64::seed_from(
+                    config.seed,
+                    &[
+                        "transform",
+                        &year.to_string(),
+                        &ci.to_string(),
+                        setting.notation(),
+                    ],
+                );
+                let fail = |source| PipelineError::Transform {
+                    year,
+                    challenge: ci,
+                    setting: setting.notation(),
+                    source,
+                };
+                let t0 = Instant::now();
+                let seed_artifact = cache.intern(seed_code);
+                let seed_unit = seed_artifact.unit().map_err(|e| fail(GptError::Parse(e)))?;
+                frontend_ns += t0.elapsed().as_nanos();
+                let (samples, units, outcomes) = match (&service, &config.faults) {
+                    (Some(svc), Some(profile)) => {
+                        let anchor = format!("ch{ci}/{}", setting.notation());
+                        let mut cx = profile.stream_cx(n_streams);
+                        let run = if setting.chaining() {
+                            run_ct_resilient_parsed(
+                                svc,
+                                seed_code,
+                                seed_unit,
+                                config.scale.transforms,
+                                origin,
+                                &mut rng,
+                                &anchor,
+                                &mut cx,
+                            )
+                        } else {
+                            run_nct_resilient_parsed(
+                                svc,
+                                seed_code,
+                                seed_unit,
+                                config.scale.transforms,
+                                origin,
+                                &mut rng,
+                                &anchor,
+                                &mut cx,
+                            )
+                        }
+                        .map_err(fail)?;
+                        stream_stats.merge(&run.stats);
+                        (run.samples, run.units, run.outcomes)
+                    }
+                    _ => {
+                        let steps = if setting.chaining() {
+                            try_run_ct_steps(
+                                &transformer,
+                                seed_code,
+                                seed_unit,
+                                config.scale.transforms,
+                                origin,
+                                &mut rng,
+                            )
+                        } else {
+                            try_run_nct_steps(
+                                &transformer,
+                                seed_code,
+                                seed_unit,
+                                config.scale.transforms,
+                                origin,
+                                &mut rng,
+                            )
+                        }
+                        .map_err(fail)?;
+                        let outcomes = vec![Outcome::Clean; steps.len()];
+                        for o in &outcomes {
+                            stream_stats.record(*o);
+                        }
+                        let mut samples = Vec::with_capacity(steps.len());
+                        let mut units = Vec::with_capacity(steps.len());
+                        for step in steps {
+                            samples.push(step.sample);
+                            units.push(step.unit);
+                        }
+                        (samples, units, outcomes)
+                    }
+                };
+                for ((sample, unit), outcome) in samples.into_iter().zip(units).zip(outcomes) {
                     let t0 = Instant::now();
-                    let seed_artifact = cache.intern(seed_code);
-                    let seed_unit = seed_artifact
-                        .unit()
-                        .map_err(|e| fail(GptError::Parse(e)))?;
-                    frontend_ns += t0.elapsed().as_nanos();
-                    let (samples, units, outcomes) = match (&service, &config.faults) {
-                        (Some(svc), Some(profile)) => {
-                            let anchor = format!("ch{ci}/{}", setting.notation());
-                            let mut cx = profile.stream_cx(n_streams);
-                            let run = if setting.chaining() {
-                                run_ct_resilient_parsed(
-                                    svc,
-                                    seed_code,
-                                    seed_unit,
-                                    config.scale.transforms,
-                                    origin,
-                                    &mut rng,
-                                    &anchor,
-                                    &mut cx,
-                                )
-                            } else {
-                                run_nct_resilient_parsed(
-                                    svc,
-                                    seed_code,
-                                    seed_unit,
-                                    config.scale.transforms,
-                                    origin,
-                                    &mut rng,
-                                    &anchor,
-                                    &mut cx,
-                                )
-                            }
-                            .map_err(fail)?;
-                            stream_stats.merge(&run.stats);
-                            (run.samples, run.units, run.outcomes)
-                        }
-                        _ => {
-                            let steps = if setting.chaining() {
-                                try_run_ct_steps(
-                                    &transformer,
-                                    seed_code,
-                                    seed_unit,
-                                    config.scale.transforms,
-                                    origin,
-                                    &mut rng,
-                                )
-                            } else {
-                                try_run_nct_steps(
-                                    &transformer,
-                                    seed_code,
-                                    seed_unit,
-                                    config.scale.transforms,
-                                    origin,
-                                    &mut rng,
-                                )
-                            }
-                            .map_err(fail)?;
-                            let outcomes = vec![Outcome::Clean; steps.len()];
-                            for o in &outcomes {
-                                stream_stats.record(*o);
-                            }
-                            let mut samples = Vec::with_capacity(steps.len());
-                            let mut units = Vec::with_capacity(steps.len());
-                            for step in steps {
-                                samples.push(step.sample);
-                                units.push(step.unit);
-                            }
-                            (samples, units, outcomes)
-                        }
-                    };
-                    for ((sample, unit), outcome) in
-                        samples.into_iter().zip(units).zip(outcomes)
-                    {
-                        let t0 = Instant::now();
-                        let artifact = cache.intern_with_unit(&sample.source, unit);
-                        let features = artifact
-                            .features(oracle.extractor())
+                    let artifact = cache.intern_with_unit(&sample.source, unit);
+                    let features = artifact
+                        .features(oracle.extractor())
+                        .map_err(|e| PipelineError::Analysis {
+                            stage: "featurize",
+                            source: e,
+                        })?
+                        .clone();
+                    let oracle_label =
+                        artifact
+                            .oracle_label(&oracle)
                             .map_err(|e| PipelineError::Analysis {
                                 stage: "featurize",
                                 source: e,
-                            })?
-                            .clone();
-                        let oracle_label =
-                            artifact
-                                .oracle_label(&oracle)
-                                .map_err(|e| PipelineError::Analysis {
-                                    stage: "featurize",
-                                    source: e,
-                                })?;
-                        diags.absorb(artifact.diagnostics(&analyzer).map_err(|e| {
-                            PipelineError::Analysis {
-                                stage: "lint",
-                                source: e,
-                            }
-                        })?);
-                        frontend_ns += t0.elapsed().as_nanos();
-                        transformed.push(TransformedEntry {
-                            sample,
-                            challenge: ci,
-                            setting,
-                            features,
-                            oracle_label,
-                            outcome,
-                        });
-                    }
+                            })?;
+                    diags.absorb(artifact.diagnostics(&analyzer).map_err(|e| {
+                        PipelineError::Analysis {
+                            stage: "lint",
+                            source: e,
+                        }
+                    })?);
+                    frontend_ns += t0.elapsed().as_nanos();
+                    transformed.push(TransformedEntry {
+                        sample,
+                        challenge: ci,
+                        setting,
+                        features,
+                        oracle_label,
+                        outcome,
+                    });
                 }
-                let mut frontend = cache.stats();
-                frontend.frontend_ns = frontend_ns;
-                Ok((transformed, stream_stats, diags, frontend))
-            })?;
+            }
+            let mut frontend = cache.stats();
+            frontend.frontend_ns = frontend_ns;
+            Ok((transformed, stream_stats, diags, frontend))
+        })?;
         let mut resilience = ResilienceStats::default();
         let mut transformed: Vec<TransformedEntry> = Vec::new();
         for (entries, stats, d, fe) in per_challenge {

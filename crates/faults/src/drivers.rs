@@ -1055,11 +1055,8 @@ mod tests {
         // Harsh service: no retries, so ~35% of calls fail outright
         // and must be rescued by resampling.
         let pool = YearPool::calibrated(2018, 3);
-        let svc = FaultyTransformer::new(
-            &pool,
-            FaultPlan::new(21, 0.35),
-            RetryPolicy::no_retries(),
-        );
+        let svc =
+            FaultyTransformer::new(&pool, FaultPlan::new(21, 0.35), RetryPolicy::no_retries());
         let seed = seed_code(3);
         let mut cx = StreamCx {
             budget: RetryBudget::unlimited(),
@@ -1083,14 +1080,20 @@ mod tests {
         let resampled = run
             .outcomes
             .iter()
-            .filter(|o| matches!(o, Outcome::Degraded { fallback: Fallback::Resampled { .. } }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    Outcome::Degraded {
+                        fallback: Fallback::Resampled { .. }
+                    }
+                )
+            })
             .count();
         assert!(resampled > 0, "expected resampled steps: {:?}", run.stats);
         // Resampled steps still carry valid, parseable transforms.
         for (s, o) in run.samples.iter().zip(&run.outcomes) {
             if !matches!(o, Outcome::Failed) {
-                synthattr_lang::parse(&s.source)
-                    .unwrap_or_else(|e| panic!("step {}: {e}", s.step));
+                synthattr_lang::parse(&s.source).unwrap_or_else(|e| panic!("step {}: {e}", s.step));
             }
         }
         assert_eq!(
@@ -1104,11 +1107,7 @@ mod tests {
         // Rate 1.0 with no retries: every call fails, the chain never
         // advances, and every sample is the seed itself.
         let pool = YearPool::calibrated(2017, 1);
-        let svc = FaultyTransformer::new(
-            &pool,
-            FaultPlan::new(33, 1.0),
-            RetryPolicy::no_retries(),
-        );
+        let svc = FaultyTransformer::new(&pool, FaultPlan::new(33, 1.0), RetryPolicy::no_retries());
         let seed = seed_code(4);
         let mut cx = StreamCx {
             budget: RetryBudget::new(5),
@@ -1130,10 +1129,12 @@ mod tests {
         .unwrap();
         assert_eq!(run.samples.len(), 20);
         assert!(run.samples.iter().all(|s| s.source == seed));
-        assert!(run
-            .outcomes
-            .iter()
-            .all(|o| matches!(o, Outcome::Degraded { fallback: Fallback::HeldStep } | Outcome::Failed)));
+        assert!(run.outcomes.iter().all(|o| matches!(
+            o,
+            Outcome::Degraded {
+                fallback: Fallback::HeldStep
+            } | Outcome::Failed
+        )));
         assert!(
             run.outcomes.iter().any(|o| matches!(o, Outcome::Failed)),
             "the tripped breaker must reject some calls outright: {:?}",
@@ -1171,11 +1172,8 @@ mod tests {
         let pool = YearPool::calibrated(2019, 3);
         let seed = seed_code(9);
         for rate in [0.0, 0.05, 0.35] {
-            let svc = FaultyTransformer::new(
-                &pool,
-                FaultPlan::new(55, rate),
-                RetryPolicy::no_retries(),
-            );
+            let svc =
+                FaultyTransformer::new(&pool, FaultPlan::new(55, rate), RetryPolicy::no_retries());
             let nct_new = run_nct_resilient(
                 &svc,
                 &seed,
@@ -1234,11 +1232,8 @@ mod tests {
         let pool = YearPool::calibrated(2018, 2);
         let seed = seed_code(6);
         for rate in [0.0, 0.35] {
-            let svc = FaultyTransformer::new(
-                &pool,
-                FaultPlan::new(77, rate),
-                RetryPolicy::no_retries(),
-            );
+            let svc =
+                FaultyTransformer::new(&pool, FaultPlan::new(77, rate), RetryPolicy::no_retries());
             let nct = run_nct_resilient(
                 &svc,
                 &seed,
@@ -1281,7 +1276,11 @@ mod tests {
             let seed_unit = parse(&seed).unwrap();
 
             for chaining in [false, true] {
-                let (base_rng_seed, anchor) = if chaining { (9, "ct-ab") } else { (8, "nct-ab") };
+                let (base_rng_seed, anchor) = if chaining {
+                    (9, "ct-ab")
+                } else {
+                    (8, "nct-ab")
+                };
                 let plain = if chaining {
                     run_ct_resilient_parsed(
                         &svc,
@@ -1341,7 +1340,11 @@ mod tests {
                 assert_eq!(cached.regions.len(), cached.samples.len(), "{label}");
                 for (i, (s, ri)) in cached.samples.iter().zip(&cached.regions).enumerate() {
                     let Some(ri) = ri else { continue };
-                    assert_eq!(ri.spans.len(), cached.units[i].items.len(), "{label} step {i}");
+                    assert_eq!(
+                        ri.spans.len(),
+                        cached.units[i].items.len(),
+                        "{label} step {i}"
+                    );
                     for sp in &ri.spans {
                         assert!(sp.end <= s.source.len(), "{label} step {i}");
                     }

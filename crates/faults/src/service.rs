@@ -20,9 +20,7 @@ use crate::breaker::CircuitBreaker;
 use crate::plan::{CallScope, FaultKind, FaultPlan};
 use crate::retry::{RetryBudget, RetryPolicy};
 use crate::validate::{Expectation, ResponseValidator};
-use synthattr_gpt::incr::{
-    detect_with_regions, transform_step_cached, FrontendCache, RegionInfo,
-};
+use synthattr_gpt::incr::{detect_with_regions, transform_step_cached, FrontendCache, RegionInfo};
 use synthattr_gpt::transform::detect_render_style;
 use synthattr_gpt::{GptError, ResponseViolation, ServiceFault, Transformer, YearPool};
 use synthattr_lang::{parse, TranslationUnit};
@@ -546,7 +544,11 @@ mod tests {
                 .unwrap();
             assert_eq!(got, expected);
             assert_eq!(trace.attempts, 1);
-            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "streams stay in lockstep");
+            assert_eq!(
+                rng_a.next_u64(),
+                rng_b.next_u64(),
+                "streams stay in lockstep"
+            );
         }
     }
 
@@ -586,11 +588,7 @@ mod tests {
     #[test]
     fn failed_calls_leave_the_rng_untouched() {
         let pool = YearPool::calibrated(2018, 1);
-        let svc = FaultyTransformer::new(
-            &pool,
-            FaultPlan::new(3, 1.0),
-            RetryPolicy::no_retries(),
-        );
+        let svc = FaultyTransformer::new(&pool, FaultPlan::new(3, 1.0), RetryPolicy::no_retries());
         let mut budget = RetryBudget::unlimited();
         let mut breaker = lenient_breaker();
         let mut rng = Pcg64::new(44);
@@ -607,7 +605,10 @@ mod tests {
                 &mut trace,
             )
             .unwrap_err();
-        assert!(matches!(err, GptError::RetriesExhausted { attempts: 1, .. }));
+        assert!(matches!(
+            err,
+            GptError::RetriesExhausted { attempts: 1, .. }
+        ));
         assert_eq!(rng.next_u64(), entry.clone().next_u64(), "rng rolled back");
     }
 
@@ -683,11 +684,7 @@ mod tests {
     #[test]
     fn open_breaker_rejects_without_spending_budget() {
         let pool = YearPool::calibrated(2017, 1);
-        let svc = FaultyTransformer::new(
-            &pool,
-            FaultPlan::new(2, 1.0),
-            RetryPolicy::no_retries(),
-        );
+        let svc = FaultyTransformer::new(&pool, FaultPlan::new(2, 1.0), RetryPolicy::no_retries());
         let mut budget = RetryBudget::new(100);
         let mut breaker = CircuitBreaker::new(BreakerConfig {
             failure_threshold: 2,
@@ -754,7 +751,10 @@ mod tests {
         let cut = truncate_response(SRC, &mut params);
         assert!(cut.len() < SRC.len());
         assert!(!cut.contains("return total"), "tail must be gone");
-        assert!(synthattr_lang::parse(&cut).is_err(), "cut code must not parse");
+        assert!(
+            synthattr_lang::parse(&cut).is_err(),
+            "cut code must not parse"
+        );
     }
 
     #[test]

@@ -172,15 +172,9 @@ fn brutal_faults_degrade_gracefully_and_deterministically() {
                         &anchor,
                         &mut cx,
                     ),
-                    _ => run_ct_resilient(
-                        &svc,
-                        &seed,
-                        STEPS,
-                        Origin::ChatGpt,
-                        rng,
-                        &anchor,
-                        &mut cx,
-                    ),
+                    _ => {
+                        run_ct_resilient(&svc, &seed, STEPS, Origin::ChatGpt, rng, &anchor, &mut cx)
+                    }
                 }
                 .unwrap()
             };

@@ -453,7 +453,7 @@ int main() {
         let s = stats();
         let has = |name: &str| {
             let stat = IdentStat::of(name);
-            s.ident_names.iter().any(|n| *n == stat)
+            s.ident_names.contains(&stat)
         };
         assert!(has("total"));
         assert!(has("helper"));

@@ -1,7 +1,8 @@
 //! The assembled feature extractor.
 
 use crate::collect::CodeStats;
-use crate::{layout, lexical, syntactic};
+use crate::dataflow::DataflowPartial;
+use crate::{dataflow, layout, lexical, syntactic};
 use synthattr_lang::ast::TranslationUnit;
 use synthattr_lang::metrics::{AstMetrics, MetricsBuilder};
 use synthattr_lang::visit::{walk_unit, Pair};
@@ -19,6 +20,8 @@ pub struct FeatureConfig {
     pub layout: bool,
     /// Extract the syntactic family.
     pub syntactic: bool,
+    /// Extract the dataflow family (CFG/fixed-point measurements).
+    pub dataflow: bool,
     /// Hash buckets for identifier unigrams.
     pub unigram_buckets: usize,
     /// Hash buckets for AST bigrams.
@@ -31,6 +34,7 @@ impl Default for FeatureConfig {
             lexical: true,
             layout: true,
             syntactic: true,
+            dataflow: true,
             unigram_buckets: 48,
             bigram_buckets: 48,
         }
@@ -43,6 +47,7 @@ impl FeatureConfig {
         FeatureConfig {
             layout: false,
             syntactic: false,
+            dataflow: false,
             ..Self::default()
         }
     }
@@ -51,6 +56,16 @@ impl FeatureConfig {
     pub fn without_syntactic() -> Self {
         FeatureConfig {
             syntactic: false,
+            dataflow: false,
+            ..Self::default()
+        }
+    }
+
+    /// The full surface set without the dataflow family (ablation:
+    /// isolates the accuracy delta the semantic features contribute).
+    pub fn without_dataflow() -> Self {
+        FeatureConfig {
+            dataflow: false,
             ..Self::default()
         }
     }
@@ -89,6 +104,9 @@ impl FeatureExtractor {
         }
         if config.syntactic {
             syntactic::push_names(config.bigram_buckets, &mut names);
+        }
+        if config.dataflow {
+            dataflow::push_names(&mut names);
         }
         FeatureExtractor { config, names }
     }
@@ -138,6 +156,9 @@ impl FeatureExtractor {
                 self.config.bigram_buckets,
                 &mut out,
             );
+            if self.config.dataflow {
+                self.push_dataflow(unit, &mut out);
+            }
             debug_assert_eq!(out.len(), self.dim());
             return out;
         }
@@ -152,8 +173,27 @@ impl FeatureExtractor {
             let metrics = AstMetrics::measure(unit);
             syntactic::push_features(&metrics, self.config.bigram_buckets, &mut out);
         }
+        if self.config.dataflow {
+            self.push_dataflow(unit, &mut out);
+        }
         debug_assert_eq!(out.len(), self.dim());
         out
+    }
+
+    /// Appends the dataflow family. Deliberately per-item (each
+    /// function's CFG built in isolation, summaries merged) so the
+    /// whole-unit path computes exactly what
+    /// [`extract_from_parts`](FeatureExtractor::extract_from_parts)
+    /// reassembles from cached partials.
+    fn push_dataflow(&self, unit: &TranslationUnit, out: &mut Vec<f64>) {
+        let total = DataflowPartial::merge(
+            unit.items
+                .iter()
+                .map(DataflowPartial::of_item)
+                .collect::<Vec<_>>()
+                .iter(),
+        );
+        dataflow::push_features(&total, out);
     }
 }
 
@@ -194,6 +234,7 @@ int main()
         assert!(ex.names().iter().any(|n| n.starts_with("lex.")));
         assert!(ex.names().iter().any(|n| n.starts_with("lay.")));
         assert!(ex.names().iter().any(|n| n.starts_with("syn.")));
+        assert!(ex.names().iter().any(|n| n.starts_with("df.")));
         assert!(ex.dim() > 100, "dim = {}", ex.dim());
     }
 

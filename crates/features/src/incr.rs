@@ -16,26 +16,30 @@
 //! core crate keep that claim honest.
 
 use crate::collect::CodeStats;
+use crate::dataflow::DataflowPartial;
 use crate::layout::{self, RegionLayout};
-use crate::{lexical, syntactic, FeatureExtractor};
+use crate::{dataflow, lexical, syntactic, FeatureExtractor};
 use synthattr_lang::ast::Item;
 use synthattr_lang::metrics::{MetricsBuilder, MetricsPartial};
 use synthattr_lang::visit::{walk_item, Pair};
 
 /// Mergeable AST-derived measurements of one top-level item: the
-/// lexical-family statistics slice and the syntactic-family metrics
-/// partial.
+/// lexical-family statistics slice, the syntactic-family metrics
+/// partial, and the dataflow-family CFG summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ItemFeatures {
     stats: CodeStats,
     metrics: MetricsPartial,
+    dataflow: DataflowPartial,
 }
 
 impl ItemFeatures {
     /// Measures one item: a single walk restricted to the item feeds
     /// both the lexical statistics and the syntactic metrics partial,
     /// bit-identical to [`CodeStats::collect_item`] +
-    /// [`MetricsPartial::of_item`] run separately.
+    /// [`MetricsPartial::of_item`] run separately; the dataflow
+    /// summary comes from the item's own CFGs
+    /// ([`DataflowPartial::of_item`]).
     pub fn of_item(item: &Item) -> Self {
         let mut stats = CodeStats::default();
         let mut metrics = MetricsBuilder::for_item();
@@ -43,6 +47,7 @@ impl ItemFeatures {
         ItemFeatures {
             stats,
             metrics: metrics.into_partial(),
+            dataflow: DataflowPartial::of_item(item),
         }
     }
 }
@@ -75,6 +80,10 @@ impl FeatureExtractor {
         if config.syntactic {
             let metrics = MetricsPartial::merge(items.iter().map(|f| &f.metrics));
             syntactic::push_features(&metrics, config.bigram_buckets, &mut out);
+        }
+        if config.dataflow {
+            let total = DataflowPartial::merge(items.iter().map(|f| &f.dataflow));
+            dataflow::push_features(&total, &mut out);
         }
         debug_assert_eq!(out.len(), self.dim());
         out
@@ -147,6 +156,7 @@ int main() {
             FeatureConfig::default(),
             FeatureConfig::lexical_only(),
             FeatureConfig::without_syntactic(),
+            FeatureConfig::without_dataflow(),
         ] {
             let ex = FeatureExtractor::new(config);
             for src in SOURCES {

@@ -309,7 +309,7 @@ where
         len += sep + r.len;
         ws_chars += sep + r.ws_chars; // separator newlines are whitespace
         empty_lines += sep + r.empty_lines;
-        line_lens.extend(std::iter::repeat(0.0).take(sep));
+        line_lens.extend(std::iter::repeat_n(0.0, sep));
         line_lens.extend(r.line_lens.iter().map(|&w| w as f64));
         for &(w, has_tab) in &r.leading {
             leading_ws.push(w as f64);

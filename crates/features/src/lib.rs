@@ -11,7 +11,10 @@
 //!   placement, spacing and comment-style measurements taken from the
 //!   raw text;
 //! * **syntactic** ([`syntactic`]) — AST depth statistics, node-kind
-//!   term frequencies, and hashed parent–child bigram frequencies.
+//!   term frequencies, and hashed parent–child bigram frequencies;
+//! * **dataflow** ([`dataflow`]) — CFG shape, def-use chain fan-out,
+//!   live-range pressure/spans, dead-store and constant-foldable
+//!   fractions from the fixed-point analyses in `synthattr_analysis`.
 //!
 //! The entry point is [`FeatureExtractor`]:
 //!
@@ -29,6 +32,7 @@
 //! position, which the ML layer uses to report information gain.
 
 pub mod collect;
+pub mod dataflow;
 pub mod extractor;
 pub mod incr;
 pub mod layout;

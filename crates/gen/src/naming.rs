@@ -150,11 +150,7 @@ fn synonyms(concept: &str) -> Synonyms {
         "loop_index3" => syn!(
             ["p", "u", "a"],
             [["p"], ["first"], ["outer"]],
-            [
-                ["first", "index"],
-                ["outer", "position"],
-                ["scan", "index"]
-            ]
+            [["first", "index"], ["outer", "position"], ["scan", "index"]]
         ),
         "count" => syn!(
             ["c", "cnt", "k"],

@@ -398,19 +398,37 @@ mod tests {
         let seed_unit = parse(&seed).unwrap();
 
         let plain = try_run_nct(&gpt, &seed, 7, Origin::ChatGpt, &mut Pcg64::new(31)).unwrap();
-        let steps =
-            try_run_nct_steps(&gpt, &seed, &seed_unit, 7, Origin::ChatGpt, &mut Pcg64::new(31))
-                .unwrap();
-        assert_eq!(plain, steps.iter().map(|s| s.sample.clone()).collect::<Vec<_>>());
+        let steps = try_run_nct_steps(
+            &gpt,
+            &seed,
+            &seed_unit,
+            7,
+            Origin::ChatGpt,
+            &mut Pcg64::new(31),
+        )
+        .unwrap();
+        assert_eq!(
+            plain,
+            steps.iter().map(|s| s.sample.clone()).collect::<Vec<_>>()
+        );
         for s in &steps {
             assert_eq!(s.unit, parse(&s.sample.source).unwrap());
         }
 
         let plain = try_run_ct(&gpt, &seed, 7, Origin::Human, &mut Pcg64::new(32)).unwrap();
-        let steps =
-            try_run_ct_steps(&gpt, &seed, &seed_unit, 7, Origin::Human, &mut Pcg64::new(32))
-                .unwrap();
-        assert_eq!(plain, steps.iter().map(|s| s.sample.clone()).collect::<Vec<_>>());
+        let steps = try_run_ct_steps(
+            &gpt,
+            &seed,
+            &seed_unit,
+            7,
+            Origin::Human,
+            &mut Pcg64::new(32),
+        )
+        .unwrap();
+        assert_eq!(
+            plain,
+            steps.iter().map(|s| s.sample.clone()).collect::<Vec<_>>()
+        );
         for s in &steps {
             assert_eq!(s.unit, parse(&s.sample.source).unwrap());
         }

@@ -151,7 +151,7 @@ impl StyleScan {
 /// region order, exactly as
 /// [`render_with_regions`](synthattr_lang::render::render_with_regions)
 /// reports them. Bit-identical to detecting on the whole text.
-pub fn detect_from_scans<'a>(scans: &[(usize, &'a StyleScan)]) -> RenderStyle {
+pub fn detect_from_scans(scans: &[(usize, &StyleScan)]) -> RenderStyle {
     let mut tab_lines = 0usize;
     let mut indent_lines = 0usize;
     let mut min_indent: Option<usize> = None;
@@ -396,12 +396,7 @@ pub fn detect_with_regions(
     let pairs: Vec<(usize, &StyleScan)> = regions
         .spans
         .iter()
-        .map(|span| {
-            (
-                span.sep_before,
-                &fc.scans[&source[span.start..span.end]],
-            )
-        })
+        .map(|span| (span.sep_before, &fc.scans[&source[span.start..span.end]]))
         .collect();
     let style = detect_from_scans(&pairs);
     debug_assert_eq!(style, detect_render_style(source));
@@ -454,8 +449,7 @@ pub fn transform_step_cached(
         item_hashes.push(h);
         pieces.push(fc.rendered_for(h, item, &style));
     }
-    let total: usize =
-        seps.iter().sum::<usize>() + pieces.iter().map(|p| p.len()).sum::<usize>();
+    let total: usize = seps.iter().sum::<usize>() + pieces.iter().map(|p| p.len()).sum::<usize>();
     let mut out = String::with_capacity(total);
     let mut spans = Vec::with_capacity(pieces.len());
     for (piece, sep) in pieces.iter().zip(&seps) {
@@ -712,9 +706,15 @@ mod tests {
         let seed = seed_code(9);
         let seed_unit = parse(&seed).unwrap();
 
-        let plain =
-            try_run_ct_steps(&gpt, &seed, &seed_unit, 12, Origin::Human, &mut Pcg64::new(32))
-                .unwrap();
+        let plain = try_run_ct_steps(
+            &gpt,
+            &seed,
+            &seed_unit,
+            12,
+            Origin::Human,
+            &mut Pcg64::new(32),
+        )
+        .unwrap();
         let mut fc = FrontendCache::new();
         let cached = try_run_ct_steps_cached(
             &gpt,
@@ -773,9 +773,15 @@ mod tests {
         let seed = seed_code(4);
         let seed_unit = parse(&seed).unwrap();
 
-        let plain =
-            try_run_nct_steps(&gpt, &seed, &seed_unit, 10, Origin::ChatGpt, &mut Pcg64::new(31))
-                .unwrap();
+        let plain = try_run_nct_steps(
+            &gpt,
+            &seed,
+            &seed_unit,
+            10,
+            Origin::ChatGpt,
+            &mut Pcg64::new(31),
+        )
+        .unwrap();
         let mut fc = FrontendCache::new();
         let cached = try_run_nct_steps_cached(
             &gpt,
@@ -825,4 +831,3 @@ mod tests {
         assert_eq!(fp1, fingerprint(&unit));
     }
 }
-

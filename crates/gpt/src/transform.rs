@@ -17,9 +17,11 @@ use std::collections::HashMap;
 use synthattr_gen::naming::{apply_case, NamingStyle, Verbosity};
 use synthattr_gen::style::AuthorStyle;
 use synthattr_lang::ast::*;
-use synthattr_lang::render::{render, BraceStyle, Indent, RenderStyle};
-use synthattr_lang::visit::{declared_names, for_each_block_mut, rename_idents, unrenameable_names};
 use synthattr_lang::parse;
+use synthattr_lang::render::{render, BraceStyle, Indent, RenderStyle};
+use synthattr_lang::visit::{
+    declared_names, for_each_block_mut, rename_idents, unrenameable_names,
+};
 use synthattr_util::Pcg64;
 
 /// The transformation engine bound to one year pool.

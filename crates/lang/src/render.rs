@@ -202,7 +202,10 @@ pub fn render_item_text(item: &Item, style: &RenderStyle) -> String {
 
 /// Renders `unit` exactly like [`render`], additionally reporting each
 /// item's byte region in the output.
-pub fn render_with_regions(unit: &TranslationUnit, style: &RenderStyle) -> (String, Vec<RegionSpan>) {
+pub fn render_with_regions(
+    unit: &TranslationUnit,
+    style: &RenderStyle,
+) -> (String, Vec<RegionSpan>) {
     let plan = separator_plan(&unit.items, style);
     let mut w = Writer::new(style);
     let mut regions = Vec::with_capacity(unit.items.len());
@@ -820,7 +823,6 @@ int main() {
     #[test]
     fn render_with_regions_equals_render() {
         let unit = parse(PROGRAM.replace("? 1 : 0", "").as_str())
-            .map(|u| u)
             .unwrap_or_else(|_| parse("int main() { return 0; }").unwrap());
         let rich = parse(
             "#include <iostream>\nusing namespace std;\nint f() { return 1; }\nint g() { return 2; }\nint main() { return f() + g(); }",

@@ -471,7 +471,10 @@ mod tests {
         let b = Symbol::intern("total_count");
         let c = Symbol::intern("other_name");
         assert_eq!(a, b);
-        assert!(Arc::ptr_eq(&a.0, &b.0), "equal spellings must share storage");
+        assert!(
+            Arc::ptr_eq(&a.0, &b.0),
+            "equal spellings must share storage"
+        );
         assert_ne!(a, c);
         assert_eq!(a, *"total_count");
         assert_eq!(a, "total_count");

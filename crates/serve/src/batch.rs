@@ -78,8 +78,7 @@ impl BatchQueue {
 
     /// The instant the current round must flush, if one is open.
     pub fn deadline_ms(&self) -> Option<u64> {
-        self.round_started_ms
-            .map(|t| t + self.config.max_delay_ms)
+        self.round_started_ms.map(|t| t + self.config.max_delay_ms)
     }
 
     /// Whether the current round should flush at `now_ms`: batch full
@@ -240,7 +239,9 @@ impl MicroBatcher {
             let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
             let probas = self.model.model.forest().predict_proba_batch(&row_refs);
             self.stats.batches.fetch_add(1, Ordering::Relaxed);
-            self.stats.rows.fetch_add(rows.len() as u64, Ordering::Relaxed);
+            self.stats
+                .rows
+                .fetch_add(rows.len() as u64, Ordering::Relaxed);
             self.stats
                 .max_batch_seen
                 .fetch_max(rows.len() as u64, Ordering::Relaxed);

@@ -254,8 +254,7 @@ pub fn read_request(
     };
 
     let mut parts = request_line.split(' ');
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
-    {
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
         _ => return Err(HttpError::BadRequest("malformed request line")),
     };
@@ -273,8 +272,10 @@ pub fn read_request(
 
     let mut headers: Vec<(String, String)> = Vec::new();
     loop {
-        let line = read_line_limited(reader, limits.max_header_line, || HttpError::HeadersTooLarge)?
-            .ok_or(HttpError::BadRequest("truncated headers"))?;
+        let line = read_line_limited(reader, limits.max_header_line, || {
+            HttpError::HeadersTooLarge
+        })?
+        .ok_or(HttpError::BadRequest("truncated headers"))?;
         if line.is_empty() {
             break;
         }
@@ -437,9 +438,10 @@ mod tests {
 
     #[test]
     fn parses_a_get_with_query_and_headers() {
-        let req = parse("GET /attribute?year=2018&k=v HTTP/1.1\r\nHost: x\r\nX-Client-Id: abc\r\n\r\n")
-            .unwrap()
-            .unwrap();
+        let req =
+            parse("GET /attribute?year=2018&k=v HTTP/1.1\r\nHost: x\r\nX-Client-Id: abc\r\n\r\n")
+                .unwrap()
+                .unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/attribute");
         assert_eq!(req.query_param("year"), Some("2018"));
@@ -530,12 +532,18 @@ mod tests {
     fn pipelined_requests_parse_back_to_back() {
         let raw = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
         let mut cursor = Cursor::new(raw.as_bytes());
-        let a = read_request(&mut cursor, &Limits::default()).unwrap().unwrap();
-        let b = read_request(&mut cursor, &Limits::default()).unwrap().unwrap();
+        let a = read_request(&mut cursor, &Limits::default())
+            .unwrap()
+            .unwrap();
+        let b = read_request(&mut cursor, &Limits::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(a.path, "/a");
         assert_eq!(b.path, "/b");
         assert_eq!(b.body, b"hi");
-        assert!(read_request(&mut cursor, &Limits::default()).unwrap().is_none());
+        assert!(read_request(&mut cursor, &Limits::default())
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -192,11 +192,13 @@ mod tests {
 
     #[test]
     fn replaying_a_clock_script_gives_identical_decisions() {
-        let script: Vec<u64> = (0..200).map(|i| i * 37 % 5000).scan(0, |acc, d| {
-            *acc += d;
-            Some(*acc)
-        })
-        .collect();
+        let script: Vec<u64> = (0..200)
+            .map(|i| i * 37 % 5000)
+            .scan(0, |acc, d| {
+                *acc += d;
+                Some(*acc)
+            })
+            .collect();
         let run = |script: &[u64]| {
             let mut b = TokenBucket::new(&config(5, 7), 0);
             script.iter().map(|&t| b.try_acquire(t)).collect::<Vec<_>>()

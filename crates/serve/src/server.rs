@@ -144,10 +144,7 @@ impl ServerState {
         let registry = ModelRegistry::new(config.experiment.clone(), &config.years)?;
         let state = ServerState {
             cache: Mutex::new(ArtifactCache::bounded(config.cache_capacity)),
-            limiter: config
-                .rate
-                .clone()
-                .map(|r| Mutex::new(RateLimiter::new(r))),
+            limiter: config.rate.clone().map(|r| Mutex::new(RateLimiter::new(r))),
             breaker: Mutex::new(CircuitBreaker::new(config.breaker.clone())),
             batchers: Mutex::new(std::collections::HashMap::new()),
             stats: ServeStats::default(),
@@ -232,11 +229,7 @@ impl ServerState {
         if let Some(limiter) = &self.limiter {
             let client = req.header("x-client-id").unwrap_or("anon");
             let now = self.now_ms();
-            if !limiter
-                .lock()
-                .expect("limiter poisoned")
-                .check(client, now)
-            {
+            if !limiter.lock().expect("limiter poisoned").check(client, now) {
                 return Response::json(
                     429,
                     format!("{{\"error\":{}}}", json::string("rate limit exceeded")),
@@ -247,10 +240,7 @@ impl ServerState {
     }
 
     /// Parses the `year` query parameter and resolves its model.
-    fn year_model(
-        &self,
-        req: &Request,
-    ) -> Result<Arc<crate::registry::YearModel>, Response> {
+    fn year_model(&self, req: &Request) -> Result<Arc<crate::registry::YearModel>, Response> {
         let year_text = req.query_param("year").ok_or_else(|| {
             Response::json(
                 400,
@@ -284,15 +274,15 @@ impl ServerState {
         let source = match std::str::from_utf8(&req.body) {
             Ok(s) if !s.trim().is_empty() => s,
             Ok(_) => {
-                return Response::json(
-                    400,
-                    format!("{{\"error\":{}}}", json::string("empty body")),
-                )
+                return Response::json(400, format!("{{\"error\":{}}}", json::string("empty body")))
             }
             Err(_) => {
                 return Response::json(
                     400,
-                    format!("{{\"error\":{}}}", json::string("body must be utf-8 source")),
+                    format!(
+                        "{{\"error\":{}}}",
+                        json::string("body must be utf-8 source")
+                    ),
                 )
             }
         };
@@ -302,11 +292,7 @@ impl ServerState {
         // safe to share here; all registry years use one FeatureConfig,
         // and labels are computed from each year's forest below — never
         // from the artifact's per-model label slot.
-        let artifact = self
-            .cache
-            .lock()
-            .expect("cache poisoned")
-            .intern(source);
+        let artifact = self.cache.lock().expect("cache poisoned").intern(source);
         let features = match artifact.features(model.model.extractor()) {
             Ok(f) => f.to_vec(),
             Err(e) => {
@@ -357,10 +343,7 @@ impl ServerState {
             _ => {
                 return Response::json(
                     400,
-                    format!(
-                        "{{\"error\":{}}}",
-                        json::string("steps must be in 1..=64")
-                    ),
+                    format!("{{\"error\":{}}}", json::string("steps must be in 1..=64")),
                 )
             }
         };
@@ -378,7 +361,10 @@ impl ServerState {
             _ => {
                 return Response::json(
                     400,
-                    format!("{{\"error\":{}}}", json::string("body must be utf-8 source")),
+                    format!(
+                        "{{\"error\":{}}}",
+                        json::string("body must be utf-8 source")
+                    ),
                 )
             }
         };
@@ -397,10 +383,7 @@ impl ServerState {
         }
 
         let transformer = Transformer::new(&model.pool);
-        let mut rng = Pcg64::seed_from(
-            seed,
-            &["serve-transform", &model.year.to_string(), mode],
-        );
+        let mut rng = Pcg64::seed_from(seed, &["serve-transform", &model.year.to_string(), mode]);
         let run = if chaining {
             try_run_ct(&transformer, source, steps, Origin::Human, &mut rng)
         } else {
@@ -549,9 +532,12 @@ pub fn attribution_body(year: u32, proba: &[f32]) -> String {
             .then(a.cmp(&b))
     });
     let label = order.first().copied().unwrap_or(0);
-    let ranking = json::array(order.iter().take(5).map(|&i| {
-        format!("{{\"author\":{},\"p\":{}}}", i, json::f32(proba[i]))
-    }));
+    let ranking = json::array(
+        order
+            .iter()
+            .take(5)
+            .map(|&i| format!("{{\"author\":{},\"p\":{}}}", i, json::f32(proba[i]))),
+    );
     format!(
         "{{\"year\":{},\"label\":{},\"ranking\":{},\"probabilities\":{}}}",
         year,
@@ -688,12 +674,7 @@ impl RunningServer {
 
 /// Serves one connection: keep-alive loop, per-request routing,
 /// defensive error mapping.
-fn serve_connection(
-    state: &ServerState,
-    stream: TcpStream,
-    timeout: Duration,
-    limits: &Limits,
-) {
+fn serve_connection(state: &ServerState, stream: TcpStream, timeout: Duration, limits: &Limits) {
     if stream.set_read_timeout(Some(timeout)).is_err() {
         return;
     }
@@ -786,19 +767,9 @@ mod tests {
         let s = state(single_year_config());
         let missing = s.handle_request(&req("POST", "/attribute", &[], SOURCE));
         assert_eq!(missing.status, 400, "missing year");
-        let bad = s.handle_request(&req(
-            "POST",
-            "/attribute",
-            &[("year", "soon")],
-            SOURCE,
-        ));
+        let bad = s.handle_request(&req("POST", "/attribute", &[("year", "soon")], SOURCE));
         assert_eq!(bad.status, 400, "non-integer year");
-        let unserved = s.handle_request(&req(
-            "POST",
-            "/attribute",
-            &[("year", "2019")],
-            SOURCE,
-        ));
+        let unserved = s.handle_request(&req("POST", "/attribute", &[("year", "2019")], SOURCE));
         assert_eq!(unserved.status, 404, "in-range year not in the registry");
         let empty = s.handle_request(&req("POST", "/attribute", &[("year", "2018")], ""));
         assert_eq!(empty.status, 400, "empty body");
@@ -814,16 +785,10 @@ mod tests {
     #[test]
     fn attribute_matches_the_offline_oracle_byte_for_byte() {
         let s = state(single_year_config());
-        let served = s.handle_request(&req(
-            "POST",
-            "/attribute",
-            &[("year", "2018")],
-            SOURCE,
-        ));
+        let served = s.handle_request(&req("POST", "/attribute", &[("year", "2018")], SOURCE));
         assert_eq!(served.status, 200);
 
-        let oracle =
-            synthattr_core::year_oracle(2018, &s.config().experiment).unwrap();
+        let oracle = synthattr_core::year_oracle(2018, &s.config().experiment).unwrap();
         let mut cache = ArtifactCache::new();
         let artifact = cache.intern(SOURCE);
         let features = artifact.features(oracle.extractor()).unwrap();
@@ -856,7 +821,10 @@ mod tests {
             .push(("x-client-id".to_string(), "fresh".to_string()));
         assert_eq!(s.handle_request(&other).status, 200);
         // /healthz is never rate-limited.
-        assert_eq!(s.handle_request(&req("GET", "/healthz", &[], "")).status, 200);
+        assert_eq!(
+            s.handle_request(&req("GET", "/healthz", &[], "")).status,
+            200
+        );
     }
 
     #[test]
@@ -882,21 +850,11 @@ mod tests {
             text.contains("\"status\":\"degraded\"") && text.contains("\"state\":\"open\""),
             "degraded body: {text}"
         );
-        let attributed = s.handle_request(&req(
-            "POST",
-            "/attribute",
-            &[("year", "2018")],
-            SOURCE,
-        ));
+        let attributed = s.handle_request(&req("POST", "/attribute", &[("year", "2018")], SOURCE));
         assert_eq!(attributed.status, 200, "reads flow while transforms shed");
 
         // Transforms shed with 503 while open.
-        let shed = s.handle_request(&req(
-            "POST",
-            "/transform",
-            &[("year", "2018")],
-            SOURCE,
-        ));
+        let shed = s.handle_request(&req("POST", "/transform", &[("year", "2018")], SOURCE));
         assert_eq!(shed.status, 503);
     }
 
@@ -907,7 +865,12 @@ mod tests {
             req(
                 "POST",
                 "/transform",
-                &[("year", "2018"), ("mode", "ct"), ("steps", "2"), ("seed", "7")],
+                &[
+                    ("year", "2018"),
+                    ("mode", "ct"),
+                    ("steps", "2"),
+                    ("seed", "7"),
+                ],
                 SOURCE,
             )
         };

@@ -85,7 +85,8 @@ fn parser_is_total_over_http_shaped_fragments() {
 /// typed error — never a panic or a bogus parse.
 #[test]
 fn truncation_at_every_boundary_is_handled() {
-    let valid = b"POST /attribute?year=2018 HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nint main(){";
+    let valid =
+        b"POST /attribute?year=2018 HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nint main(){";
     Runner::new("http-truncation").cases(256).run(
         |rng| rng.next_below(valid.len() + 1),
         |&cut| {
@@ -155,14 +156,11 @@ fn oversize_maps_to_the_right_status() {
                         (0..5 + extra % 8).map(|i| format!("H{i}: v\r\n")).collect();
                     format!("GET / HTTP/1.1\r\n{headers}\r\n")
                 }
-                _ => format!(
-                    "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
-                    128 + extra
-                ),
+                _ => format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 128 + extra),
             };
             let mut cursor = Cursor::new(raw.as_bytes());
-            let err = read_request(&mut cursor, &limits)
-                .expect_err("oversized input must be rejected");
+            let err =
+                read_request(&mut cursor, &limits).expect_err("oversized input must be rejected");
             let want = [414, 431, 431, 413][kind];
             prop_assert!(
                 err.status() == want,
@@ -229,7 +227,7 @@ fn assert_alive(server: &RunningServer) {
 #[test]
 fn live_server_survives_byte_soup() {
     let server = hardened_server();
-    let mut rng = Pcg64::new(0xB17E_50 + 7);
+    let mut rng = Pcg64::new(0xB1_7E50 + 7);
     for _ in 0..48 {
         let payload = gen::any_string(&mut rng, 768).into_bytes();
         let reply = exchange_raw(&server, &payload, true);
@@ -258,7 +256,10 @@ fn live_server_rejects_oversized_requests() {
         String::from_utf8_lossy(&reply)
     );
 
-    let fat_header = format!("GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "h".repeat(4096));
+    let fat_header = format!(
+        "GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+        "h".repeat(4096)
+    );
     let reply = exchange_raw(&server, fat_header.as_bytes(), false);
     assert!(
         String::from_utf8_lossy(&reply).starts_with("HTTP/1.1 431"),

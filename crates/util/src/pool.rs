@@ -478,10 +478,8 @@ mod tests {
 
     #[test]
     fn try_map_collects_ok_results_in_order() {
-        let out = parallel_try_map_workers(8, (0..500usize).collect(), |x| {
-            Ok::<_, String>(x * 2)
-        })
-        .unwrap();
+        let out = parallel_try_map_workers(8, (0..500usize).collect(), |x| Ok::<_, String>(x * 2))
+            .unwrap();
         assert_eq!(out, (0..500).map(|x| x * 2).collect::<Vec<_>>());
     }
 

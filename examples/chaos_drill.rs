@@ -25,7 +25,10 @@ fn report(label: &str, r: &ResilienceStats) {
     );
     println!(
         "   retries {:4}  simulated backoff {:6} ms  breaker trips {:2}  fidelity {:.4}",
-        r.retries, r.backoff_ms, r.breaker_trips, r.fidelity()
+        r.retries,
+        r.backoff_ms,
+        r.breaker_trips,
+        r.fidelity()
     );
     if !r.faults_by_tag.is_empty() {
         let mix: Vec<String> = r

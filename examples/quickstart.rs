@@ -46,6 +46,44 @@ int main()
 	return 0;
 }
 "#;
+    let alice_count = r#"
+#include <iostream>
+using namespace std;
+int main() {
+    int numValues;
+    cin >> numValues;
+    int evenCount = 0;
+    for (int index = 0; index < numValues; ++index) {
+        int currentValue;
+        cin >> currentValue;
+        if (currentValue % 2 == 0) {
+            evenCount += 1;
+        }
+    }
+    cout << evenCount << endl;
+    return 0;
+}
+"#;
+    let bob_count = r#"
+#include <cstdio>
+int main()
+{
+	int n;
+	scanf("%d", &n);
+	int c = 0;
+	for (int i = 0; i < n; i++)
+	{
+		int x;
+		scanf("%d", &x);
+		if (x % 2 == 0)
+		{
+			c = c + 1;
+		}
+	}
+	printf("%d\n", c);
+	return 0;
+}
+"#;
     let alice_max = r#"
 #include <iostream>
 using namespace std;
@@ -93,8 +131,14 @@ int main()
             .unwrap_or(0)
     );
 
-    // ...and the authorship model learns who writes like what.
-    let train = vec![(alice_sum, 0usize), (bob_sum, 1usize)];
+    // ...and the authorship model learns who writes like what (two
+    // solved problems per author).
+    let train = vec![
+        (alice_sum, 0usize),
+        (alice_count, 0usize),
+        (bob_sum, 1usize),
+        (bob_count, 1usize),
+    ];
     let model = AuthorshipModel::train(
         &train,
         2,

@@ -23,6 +23,15 @@
 #                                     #   serve unit tests, the TCP
 #                                     #   e2e byte-identity suite, and
 #                                     #   the HTTP robustness suite
+#   scripts/verify.sh --dataflow      # tier-1 + the CFG/dataflow
+#                                     #   suites in isolation: analysis
+#                                     #   unit tests, golden
+#                                     #   diagnostics, and the
+#                                     #   transform-invariance property
+#                                     #   suite
+#   scripts/verify.sh --strict        # tier-1 + clippy with
+#                                     #   -D warnings across all
+#                                     #   targets + cargo fmt --check
 #   SYNTHATTR_WORKERS=1 scripts/verify.sh   # serial, for timing noise
 #
 # --bench-smoke additionally runs every bench target with minimal
@@ -60,6 +69,20 @@
 # under plain tier-1; the flag exists to exercise it in isolation
 # with visible output.
 #
+# --dataflow re-runs the dataflow subsystem by name with visible
+# output: the synthattr-analysis unit tests (CFG construction, the
+# fixed-point framework and its four instantiations), the golden
+# diagnostics suite (use-before-init / dead-store / reconciled
+# unused-variable verdicts pinned), and the workspace-level
+# dataflow_properties suite (verdicts preserved by all transforms and
+# 50-step CT chains over all 9 pool seeds; cached per-item dataflow
+# worker-invariant; DESIGN.md §13). All of these also run under plain
+# tier-1.
+#
+# --strict is the workshop hygiene gate: clippy over every workspace
+# target with warnings denied, then rustfmt in check mode. Both must
+# stay clean — new code rides this stage in CI.
+#
 # --serve re-runs the serving suites by name with visible output: the
 # synthattr-serve unit tests (parser, batcher, limiter, registry,
 # routing), the real-TCP e2e suite whose core assertion is that served
@@ -77,6 +100,8 @@ CHAOS=0
 FRONTEND=0
 INCREMENT=0
 SERVE=0
+DATAFLOW=0
+STRICT=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
@@ -85,6 +110,8 @@ for arg in "$@"; do
     --frontend) FRONTEND=1 ;;
     --increment) INCREMENT=1 ;;
     --serve) SERVE=1 ;;
+    --dataflow) DATAFLOW=1 ;;
+    --strict) STRICT=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -145,6 +172,23 @@ if [[ "$INCREMENT" == "1" ]]; then
   cargo test --offline -p synthattr-features --lib incr
   echo "== increment: reference-increment feature build ==" >&2
   cargo test -q --offline -p synthattr-core --features reference-increment
+fi
+
+if [[ "$DATAFLOW" == "1" ]]; then
+  echo "== dataflow: analysis unit tests (cfg + fixed-point framework) ==" >&2
+  cargo test --offline -p synthattr-analysis --lib cfg
+  cargo test --offline -p synthattr-analysis --lib dataflow
+  echo "== dataflow: golden diagnostics (new passes + reconciliation) ==" >&2
+  cargo test --offline -p synthattr-analysis --test golden_diagnostics
+  echo "== dataflow: transform/chain invariance + worker invariance ==" >&2
+  cargo test --offline --test dataflow_properties
+fi
+
+if [[ "$STRICT" == "1" ]]; then
+  echo "== strict: cargo clippy --workspace --all-targets -D warnings ==" >&2
+  cargo clippy --offline --workspace --all-targets -- -D warnings
+  echo "== strict: cargo fmt --check ==" >&2
+  cargo fmt --check
 fi
 
 if [[ "$SERVE" == "1" ]]; then

@@ -37,7 +37,11 @@ fn recoverable_chaos_reproduces_the_tables_byte_for_byte() {
             assert_eq!(a.sample.source, b.sample.source, "rate={rate}");
             assert_eq!(a.oracle_label, b.oracle_label, "rate={rate}");
         }
-        assert_eq!(plain_styles, format!("{:?}", styles::run(&chaos)), "rate={rate}");
+        assert_eq!(
+            plain_styles,
+            format!("{:?}", styles::run(&chaos)),
+            "rate={rate}"
+        );
         assert_eq!(
             plain_diversity,
             format!("{:?}", diversity::run(&chaos)),

@@ -1,0 +1,167 @@
+//! Property-based integration tests for the dataflow layer: the CFG +
+//! fixed-point verdicts must be *transform-invariant* (a style rewrite
+//! can never make a program read uninitialized memory), and the cached
+//! per-item dataflow partials feeding the attribution vector must be
+//! worker-count invariant end to end.
+//!
+//! Driven by the in-repo harness (`synthattr::util::prop`) — see
+//! DESIGN.md's hermetic zero-dependency policy.
+
+use synthattr::analysis::cfg::Cfg;
+use synthattr::analysis::dataflow::{dead_stores, use_before_init};
+use synthattr::analysis::{new_errors, Analyzer};
+use synthattr::gen::challenges::ChallengeId;
+use synthattr::gen::corpus::Origin;
+use synthattr::gen::style::AuthorStyle;
+use synthattr::gpt::chain::run_ct;
+use synthattr::gpt::pool::YearPool;
+use synthattr::gpt::transform::Transformer;
+use synthattr::lang::parse;
+use synthattr::util::prop::Runner;
+use synthattr::util::Pcg64;
+use synthattr_util::{prop_assert, prop_assert_eq};
+
+fn challenge(idx: usize) -> ChallengeId {
+    let all = ChallengeId::all();
+    all[idx % all.len()]
+}
+
+/// Unit-level dataflow verdict counts: reads of definitely-uninit
+/// variables (the Error) and dead stores (the Warning).
+fn verdicts(src: &str) -> (usize, usize) {
+    let unit = parse(src).expect("source parses");
+    let cfgs = Cfg::build_all(&unit);
+    let uninit: usize = cfgs.iter().map(|c| use_before_init(c).len()).sum();
+    let dead: usize = cfgs.iter().map(|c| dead_stores(c).len()).sum();
+    (uninit, dead)
+}
+
+/// Every fingerprint-preserving transform keeps the dataflow verdicts:
+/// the use-before-init count is exactly preserved, and a program with
+/// no dead stores never acquires one.
+#[test]
+fn transforms_preserve_dataflow_verdicts() {
+    let analyzer = Analyzer::new();
+    Runner::new("transforms_preserve_dataflow_verdicts")
+        .cases(48)
+        .run(
+            |rng| {
+                (
+                    rng.next_below(2000) as u64,
+                    rng.next_below(2000) as u64,
+                    rng.next_below(ChallengeId::all().len()),
+                )
+            },
+            |&(style_seed, t_seed, ch_idx)| {
+                let mut rng = Pcg64::new(style_seed);
+                let style = AuthorStyle::sample(&mut rng);
+                let src =
+                    challenge(ch_idx).render_solution(&style, Pcg64::new(style_seed ^ 0xDF01));
+                let pool = YearPool::calibrated(2018, 5);
+                let gpt = Transformer::new(&pool);
+                let mut t_rng = Pcg64::new(t_seed);
+                let idx = pool.sample_index(&mut t_rng);
+                let out = gpt.transform(&src, idx, &mut t_rng).expect("transforms");
+
+                let (pre_uninit, pre_dead) = verdicts(&src);
+                let (post_uninit, post_dead) = verdicts(&out);
+                prop_assert_eq!(
+                    pre_uninit,
+                    post_uninit,
+                    "use-before-init verdict changed:\n--- seed ---\n{}\n--- out ---\n{}",
+                    src,
+                    out
+                );
+                if pre_dead == 0 {
+                    prop_assert_eq!(
+                        post_dead,
+                        0,
+                        "transform invented a dead store:\n--- seed ---\n{}\n--- out ---\n{}",
+                        src,
+                        out
+                    );
+                }
+                // The registered passes agree: no new error diagnostics.
+                let pre = analyzer.analyze_source(&src).expect("seed parses");
+                let post = analyzer.analyze_source(&out).expect("output parses");
+                let fresh = new_errors(&pre, &post);
+                prop_assert!(fresh.is_empty(), "new errors {:?}:\n{}", fresh, out);
+                Ok(())
+            },
+        );
+}
+
+/// Over every pool seed (all nine challenges, pool-styled), a full
+/// 50-step CT chain keeps the dataflow layer clean at every step: zero
+/// uninitialized reads throughout, and no step invents a dead store
+/// the seed did not have.
+#[test]
+fn every_pool_seed_keeps_dataflow_verdicts_through_ct_chains() {
+    for (ci, &ch) in ChallengeId::all().iter().enumerate() {
+        let year = [2017u32, 2018, 2019][ci % 3];
+        let pool = YearPool::calibrated(year, 11);
+        let gpt = Transformer::new(&pool);
+        let seed_src = ch.render_solution(
+            &pool.style(ci % pool.styles.len()).clone(),
+            Pcg64::new(7000 + ci as u64),
+        );
+        let (seed_uninit, seed_dead) = verdicts(&seed_src);
+        assert_eq!(seed_uninit, 0, "{ch:?}: generated seed reads uninit memory");
+
+        let mut rng = Pcg64::seed_from(42, &["df-ct", &ci.to_string()]);
+        let ct = run_ct(&gpt, &seed_src, 50, Origin::ChatGpt, &mut rng);
+        assert_eq!(ct.len(), 50);
+        for s in &ct {
+            let (uninit, dead) = verdicts(&s.source);
+            assert_eq!(
+                uninit, 0,
+                "{ch:?} step {}: uninitialized read appeared\n{}",
+                s.step, s.source
+            );
+            if seed_dead == 0 {
+                assert_eq!(
+                    dead, 0,
+                    "{ch:?} step {}: dead store appeared\n{}",
+                    s.step, s.source
+                );
+            }
+        }
+    }
+}
+
+/// The dataflow family rides the per-item cache: whole pipelines built
+/// with different worker counts must produce byte-identical feature
+/// matrices (the `df.*` tail included) and identical node counters.
+#[test]
+fn cached_item_dataflow_is_worker_invariant() {
+    use synthattr::core::config::{ExperimentConfig, Scale};
+    use synthattr::core::pipeline::YearPipeline;
+
+    let tiny = |workers: usize| {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.seed = 2;
+        cfg.scale = Scale {
+            authors: 6,
+            challenges: 2,
+            transforms: 4,
+            n_trees: 4,
+        };
+        cfg.workers = Some(workers);
+        cfg
+    };
+    let serial = YearPipeline::try_build(2018, &tiny(1)).unwrap();
+    let wide = YearPipeline::try_build(2018, &tiny(4)).unwrap();
+    assert_eq!(
+        serial.human_features, wide.human_features,
+        "human feature matrix depends on worker count"
+    );
+    assert_eq!(serial.transformed.len(), wide.transformed.len());
+    for (a, b) in serial.transformed.iter().zip(&wide.transformed) {
+        assert_eq!(a.features, b.features, "transformed features diverged");
+    }
+    assert_eq!(serial.frontend, wide.frontend, "node counters diverged");
+    // Sanity: the configured extractor really carries the df. family.
+    use synthattr::features::FeatureExtractor;
+    let ex = FeatureExtractor::new(ExperimentConfig::smoke().features);
+    assert!(ex.names().iter().any(|n| n.starts_with("df.")));
+}

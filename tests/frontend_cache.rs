@@ -133,7 +133,7 @@ fn bounded_lru_preserves_semantics_and_bounds_memory() {
 
     const TIGHT: usize = 8;
     for pool_seed in 0..9u64 {
-        let mut rng = Pcg64::seed_from(0xCAC4_E0, &["lru-ab", &pool_seed.to_string()]);
+        let mut rng = Pcg64::seed_from(0xCA_C4E0, &["lru-ab", &pool_seed.to_string()]);
         let universe: Vec<String> = (0..32)
             .map(|i| format!("int main() {{ int v{i} = {i}; return v{i} * 2; }}"))
             .collect();

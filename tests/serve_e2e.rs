@@ -11,8 +11,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use synthattr::core::config::ExperimentConfig;
 use synthattr::core::{year_oracle, ArtifactCache};
 use synthattr::serve::client::{request, Client};
-use synthattr::serve::server::{attribution_body, RunningServer, ServeConfig, Server};
 use synthattr::serve::limit::RateConfig;
+use synthattr::serve::server::{attribution_body, RunningServer, ServeConfig, Server};
 
 const YEAR: u32 = 2018;
 
@@ -183,7 +183,10 @@ fn healthz_reflects_traffic_and_keep_alive_reuses_one_connection() {
     assert_eq!(health.status, 200);
     let text = health.text();
     assert!(text.contains("\"status\":\"ok\""), "body: {text}");
-    assert!(text.contains(&format!("\"loaded\":[{YEAR}]")), "body: {text}");
+    assert!(
+        text.contains(&format!("\"loaded\":[{YEAR}]")),
+        "body: {text}"
+    );
     assert!(text.contains("\"hits\":"), "cache stats present: {text}");
     server.shutdown();
 }
@@ -236,7 +239,9 @@ fn unknown_routes_and_bad_requests_fail_clean_over_tcp() {
     let addr = server.addr();
     assert_eq!(request(addr, "GET", "/", &[], b"").unwrap().status, 404);
     assert_eq!(
-        request(addr, "DELETE", "/attribute", &[], b"").unwrap().status,
+        request(addr, "DELETE", "/attribute", &[], b"")
+            .unwrap()
+            .status,
         405
     );
     assert_eq!(
