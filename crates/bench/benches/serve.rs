@@ -10,28 +10,40 @@
 //!   summary's p50/p95 are per-request latencies across all clients,
 //!   and a separate `throughput` line reports sustained req/s;
 //! * `healthz/serial` — the no-model control: pure parse + route +
-//!   serialize overhead.
+//!   serialize overhead;
+//! * `sweep/cN` (N ∈ 1, 8, 64, 256) — the saturating sweep: N
+//!   keep-alive clients against a fixed 4-worker pool, which is where
+//!   connection rotation earns its keep (workers park idle
+//!   connections instead of camping, so 256 clients don't need 256
+//!   threads server-side);
+//! * `sweep+loris16/cN` — the same sweep with 16 slow-loris
+//!   connections (from `synthattr_faults::TrafficProfile`) held open
+//!   in the background, reconnecting whenever the header deadline
+//!   cuts them — the survivability overhead, measured.
 //!
 //! Request sources are drawn per-client from a seeded [`Pcg64`], so
 //! two runs issue the identical request streams. The registry is
-//! preloaded, the worker pool covers every concurrent client, and each
-//! client issues one discarded warmup request before its measured
-//! stream — first-request latencies measure the server, not connection
-//! or queue hand-off. Honors `SYNTHATTR_BENCH_SAMPLES` (requests per
-//! scenario, default 256). Feeds `BENCH_serve.json` via
-//! `scripts/bench.sh`.
+//! preloaded and each client issues one discarded warmup request
+//! before its measured stream — first-request latencies measure the
+//! server, not connection or queue hand-off. Honors
+//! `SYNTHATTR_BENCH_SAMPLES` (requests per scenario, default 256).
+//! Feeds `BENCH_serve.json` via `scripts/bench.sh`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use synthattr_bench::harness::Summary;
 use synthattr_core::config::ExperimentConfig;
+use synthattr_faults::{HostileKind, TrafficProfile};
 use synthattr_serve::client::Client;
 use synthattr_serve::server::{RunningServer, ServeConfig, Server};
 use synthattr_util::Pcg64;
 
 const YEAR: u32 = 2018;
 const CLIENTS: usize = 8;
+const SWEEP: [usize; 4] = [1, 8, 64, 256];
+const LORIS: usize = 16;
 
 fn samples_per_scenario() -> usize {
     std::env::var("SYNTHATTR_BENCH_SAMPLES")
@@ -60,12 +72,12 @@ fn spawn_server() -> RunningServer {
     config.years = vec![YEAR];
     config.rate = None;
     config.preload = true;
-    // A worker owns its keep-alive connection until the client hangs
-    // up, so the pool must cover every concurrent bench client: with
-    // fewer workers the late clients' first request absorbs the whole
-    // queue wait (hundreds of ms against a ~2 ms median), and the
-    // concurrent scenario measures queueing instead of batching.
-    config.workers = Some(CLIENTS + 1);
+    // Connection rotation decouples the pool from the connection
+    // count: workers park connections that yield no bytes, so a fixed
+    // 4-worker pool serves every cell of the sweep — including 256
+    // concurrent clients plus 16 hostile loris — without a
+    // thread-per-connection anywhere.
+    config.workers = Some(4);
     Server::bind("127.0.0.1:0", config)
         .expect("bind")
         .spawn()
@@ -111,6 +123,81 @@ fn client_loop(
 fn emit(summary: &Summary) {
     eprintln!("{}", summary.human_line());
     println!("{}", summary.json_line());
+}
+
+/// One sweep cell: `clients` concurrent keep-alive clients, shared
+/// wall clock, emitted as a latency summary plus a throughput row.
+fn sweep_cell(server: &RunningServer, tag: &str, clients: usize, n: usize, sources: &[String]) {
+    let per_client = (n / clients).max(4);
+    let ready = std::sync::Barrier::new(clients + 1);
+    let (mut all, wall_ns): (Vec<u128>, u128) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (server, sources, ready) = (&*server, &*sources, &ready);
+                scope
+                    .spawn(move || client_loop(server, 1_000 + c, per_client, sources, Some(ready)))
+            })
+            .collect();
+        ready.wait();
+        let wall = Instant::now();
+        let all: Vec<u128> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        (all, wall.elapsed().as_nanos())
+    });
+    all.sort_unstable();
+    let bench = format!("{tag}/c{clients}");
+    emit(&Summary::from_sorted("serve", &bench, &all, None));
+    let requests = all.len();
+    let req_per_s = requests as f64 / (wall_ns as f64 / 1e9).max(1e-12);
+    eprintln!(
+        "serve/{bench}: {req_per_s:.0} req/s sustained ({requests} requests, {clients} clients)"
+    );
+    println!(
+        "{{\"group\":\"serve\",\"bench\":\"{bench}/throughput\",\"requests\":{requests},\
+         \"clients\":{clients},\"wall_ns\":{wall_ns},\"req_per_s\":{req_per_s:.1}}}"
+    );
+}
+
+/// Holds ~`LORIS` slow-loris connections open against the server for
+/// the duration of the loaded sweep, reconnecting whenever the header
+/// deadline cuts one. Scripts come from the fault layer's seeded
+/// [`TrafficProfile`], so the hostile byte streams are reproducible.
+fn with_loris_fleet(server: &RunningServer, body: impl FnOnce()) {
+    let stop = AtomicBool::new(false);
+    let addr = server.addr();
+    let request = format!(
+        "POST /attribute?year={YEAR} HTTP/1.1\r\nHost: synthattr\r\nContent-Length: 4\r\n\r\nvoid"
+    )
+    .into_bytes();
+    std::thread::scope(|scope| {
+        for i in 0..LORIS {
+            let (stop, request) = (&stop, &request);
+            let profile = TrafficProfile {
+                loris_pause_ms: 150,
+                ..TrafficProfile::new(0x10A15)
+            };
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let Ok(mut stream) = TcpStream::connect(addr) else {
+                        return;
+                    };
+                    let script = profile.script(HostileKind::SlowLoris, i, request);
+                    let _ = script.play(&mut stream, |ms| {
+                        let mut left = ms;
+                        while left > 0 && !stop.load(Ordering::Relaxed) {
+                            let step = left.min(50);
+                            std::thread::sleep(std::time::Duration::from_millis(step));
+                            left -= step;
+                        }
+                    });
+                }
+            });
+        }
+        body();
+        stop.store(true, Ordering::Relaxed);
+    });
 }
 
 fn main() {
@@ -192,6 +279,23 @@ fn main() {
         &health,
         None,
     ));
+
+    // The saturating sweep, clean and then under hostile background
+    // load — the with/without delta is the survivability overhead.
+    for clients in SWEEP {
+        sweep_cell(&server, "sweep", clients, n, &sources);
+    }
+    with_loris_fleet(&server, || {
+        for clients in SWEEP {
+            sweep_cell(
+                &server,
+                &format!("sweep+loris{LORIS}"),
+                clients,
+                n,
+                &sources,
+            );
+        }
+    });
 
     server.shutdown();
 }

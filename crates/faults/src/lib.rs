@@ -26,6 +26,10 @@
 //!   a fresh stream, CT holds its last good step) instead of
 //!   panicking, returning per-step [`Outcome`]s and aggregated
 //!   [`ResilienceStats`].
+//! * [`traffic::TrafficProfile`] — the hostile *client* side: seeded,
+//!   transport-free scripts of slow-loris writers, mid-request
+//!   stallers, byte-at-a-time drippers, and abrupt resets, replayed
+//!   over live sockets by the serve crate's chaos suite.
 //!
 //! # Example
 //!
@@ -53,6 +57,7 @@ pub mod plan;
 pub mod profile;
 pub mod retry;
 pub mod service;
+pub mod traffic;
 pub mod validate;
 
 pub use breaker::{BreakerConfig, CircuitBreaker};
@@ -65,4 +70,5 @@ pub use plan::{CallScope, FaultKind, FaultPlan, FaultWeights, InjectedFault};
 pub use profile::FaultProfile;
 pub use retry::{RetryBudget, RetryPolicy};
 pub use service::{AcceptedResponse, CallTrace, FaultyTransformer};
+pub use traffic::{HostileKind, HostileScript, ScriptEnd, SocketOp, TrafficProfile};
 pub use validate::{Expectation, ResponseValidator};

@@ -1,0 +1,409 @@
+//! Seeded hostile-client traffic for chaos-at-the-socket tests.
+//!
+//! The fault [`plan`](crate::plan) sabotages the *service side* of the
+//! simulated ChatGPT calls. This module models the other direction:
+//! clients that misbehave at the transport layer — slow-loris header
+//! writers, mid-request stallers, byte-at-a-time drippers, and clients
+//! that vanish with a TCP reset. The serve crate's survivability
+//! claims ("hostile connections hold sockets, never threads") are
+//! proven against exactly these shapes.
+//!
+//! Scripts are **transport-free**: a [`HostileScript`] is a plain
+//! sequence of [`SocketOp`]s, generated deterministically from
+//! `(seed, kind, index)` on a dedicated [`Pcg64`] stream. The live-TCP
+//! tests in `tests/serve_chaos.rs` replay them over real sockets; unit
+//! tests here assert their shapes without any I/O. Same coordinates,
+//! same bytes, forever — a chaos failure replays from its seed.
+
+use std::io::Write;
+
+use synthattr_util::Pcg64;
+
+/// The archetypes of hostile client behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostileKind {
+    /// Sends the request line, then drips bogus headers forever-ish —
+    /// the head never completes. Exercises the header progress
+    /// deadline.
+    SlowLoris,
+    /// Sends a complete head with a `Content-Length`, part of the
+    /// body, then goes silent. Exercises the body progress deadline.
+    MidRequestStall,
+    /// Sends a complete, valid request — but in tiny chunks with short
+    /// pauses. A *legitimate* slow client: the server must serve it,
+    /// not cut it.
+    ByteDripper,
+    /// Sends a partial request, then resets the connection. Exercises
+    /// mid-parse error paths (`ECONNRESET` must never panic a worker).
+    AbruptReset,
+}
+
+impl HostileKind {
+    /// All kinds, for coverage sweeps.
+    pub const ALL: [HostileKind; 4] = [
+        HostileKind::SlowLoris,
+        HostileKind::MidRequestStall,
+        HostileKind::ByteDripper,
+        HostileKind::AbruptReset,
+    ];
+
+    /// Short lowercase tag for stats keys and RNG coordinates.
+    pub fn tag(self) -> &'static str {
+        match self {
+            HostileKind::SlowLoris => "slow-loris",
+            HostileKind::MidRequestStall => "mid-request-stall",
+            HostileKind::ByteDripper => "byte-dripper",
+            HostileKind::AbruptReset => "abrupt-reset",
+        }
+    }
+}
+
+/// One primitive action a hostile client performs on its socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketOp {
+    /// Write these bytes.
+    Send(Vec<u8>),
+    /// Sleep this long, keeping the connection open and silent.
+    PauseMs(u64),
+    /// Abort the connection (the executor should drop it with a TCP
+    /// RST — `SO_LINGER 0` — not a graceful FIN).
+    Reset,
+}
+
+/// How a script's playback ended, so socket executors know whether to
+/// close gracefully or slam the connection shut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptEnd {
+    /// All ops ran; close (or keep reading) normally.
+    Done,
+    /// Playback hit [`SocketOp::Reset`]: abort with a TCP RST.
+    Reset,
+}
+
+/// A deterministic sequence of socket operations for one hostile
+/// connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostileScript {
+    /// The behaviour archetype this script realizes.
+    pub kind: HostileKind,
+    /// The ops, in playback order.
+    pub ops: Vec<SocketOp>,
+}
+
+impl HostileScript {
+    /// Every byte the script would send, concatenated (what the server
+    /// eventually observes, pauses elided).
+    pub fn sent_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            match op {
+                SocketOp::Send(bytes) => out.extend_from_slice(bytes),
+                SocketOp::Reset => break,
+                SocketOp::PauseMs(_) => {}
+            }
+        }
+        out
+    }
+
+    /// Total scripted pause time — how long the connection stays open
+    /// and (mostly) silent if the server never cuts it.
+    pub fn total_pause_ms(&self) -> u64 {
+        self.ops
+            .iter()
+            .map_while(|op| match op {
+                SocketOp::PauseMs(ms) => Some(*ms),
+                SocketOp::Send(_) => Some(0),
+                SocketOp::Reset => None,
+            })
+            .sum()
+    }
+
+    /// Replays the script against any byte sink, delegating pauses to
+    /// the caller (pass a `std::thread::sleep` wrapper for live
+    /// sockets, a recording closure for tests).
+    ///
+    /// Stops at the first [`SocketOp::Reset`] and reports it via
+    /// [`ScriptEnd::Reset`] — the RST itself is transport-specific and
+    /// stays the caller's job.
+    ///
+    /// # Errors
+    ///
+    /// Write errors from the sink. A server that cuts the connection
+    /// mid-script surfaces here as `BrokenPipe`/`ConnectionReset`,
+    /// which chaos tests treat as the expected outcome for hostile
+    /// kinds.
+    pub fn play<W: Write>(
+        &self,
+        sink: &mut W,
+        mut pause: impl FnMut(u64),
+    ) -> std::io::Result<ScriptEnd> {
+        for op in &self.ops {
+            match op {
+                SocketOp::Send(bytes) => {
+                    sink.write_all(bytes)?;
+                    sink.flush()?;
+                }
+                SocketOp::PauseMs(ms) => pause(*ms),
+                SocketOp::Reset => return Ok(ScriptEnd::Reset),
+            }
+        }
+        Ok(ScriptEnd::Done)
+    }
+}
+
+/// A seeded generator of hostile connection scripts.
+///
+/// The timing knobs are public so chaos tests can scale pauses to the
+/// server deadlines under test (e.g. a dripper that must *survive* a
+/// 2 s header deadline needs its total drip time under 2 s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficProfile {
+    /// Root seed; scripts derive from `(seed, kind, index)`.
+    pub seed: u64,
+    /// Pause between slow-loris header fragments.
+    pub loris_pause_ms: u64,
+    /// Bogus header lines a slow-loris emits before its script ends
+    /// (each preceded by a pause; the head never completes).
+    pub loris_headers: usize,
+    /// How long a mid-request staller stays silent after its partial
+    /// body.
+    pub stall_ms: u64,
+    /// Pause between dripper chunks.
+    pub drip_pause_ms: u64,
+    /// Largest dripper chunk (chunk sizes jitter in `1..=max`).
+    pub drip_chunk_max: usize,
+}
+
+impl TrafficProfile {
+    /// A profile with hostile-by-default timings: loris/staller pauses
+    /// far beyond any sane progress deadline, dripper chunks small and
+    /// quick enough to finish under one.
+    pub fn new(seed: u64) -> Self {
+        TrafficProfile {
+            seed,
+            loris_pause_ms: 500,
+            loris_headers: 64,
+            stall_ms: 10_000,
+            drip_pause_ms: 2,
+            drip_chunk_max: 3,
+        }
+    }
+
+    fn rng(&self, kind: HostileKind, index: usize) -> Pcg64 {
+        Pcg64::seed_from(self.seed, &["traffic", kind.tag(), &index.to_string()])
+    }
+
+    /// The script for hostile connection `index` of the given kind,
+    /// attacking (or slowly delivering) `request` — a full, valid
+    /// request as the workload's legitimate clients would send it.
+    ///
+    /// Pure: same `(profile, kind, index, request)`, same script.
+    pub fn script(&self, kind: HostileKind, index: usize, request: &[u8]) -> HostileScript {
+        let mut rng = self.rng(kind, index);
+        let head_end = find_head_end(request);
+        let ops = match kind {
+            HostileKind::SlowLoris => self.loris_ops(&mut rng, request),
+            HostileKind::MidRequestStall => self.stall_ops(&mut rng, request, head_end),
+            HostileKind::ByteDripper => self.drip_ops(&mut rng, request),
+            HostileKind::AbruptReset => self.reset_ops(&mut rng, request),
+        };
+        HostileScript { kind, ops }
+    }
+
+    /// A mixed fleet of `n` hostile connections: kinds drawn from a
+    /// weighted mix (loris-heavy, like real abuse traffic), scripts
+    /// indexed so every connection is independently replayable.
+    pub fn fleet(&self, n: usize, request: &[u8]) -> Vec<HostileScript> {
+        let mut rng = Pcg64::seed_from(self.seed, &["traffic", "fleet"]);
+        (0..n)
+            .map(|index| {
+                let kind = HostileKind::ALL[rng.choose_weighted(&[4.0, 2.0, 2.0, 1.0])];
+                self.script(kind, index, request)
+            })
+            .collect()
+    }
+
+    /// Request line + one bogus header fragment at a time, paused,
+    /// never the terminating blank line.
+    fn loris_ops(&self, rng: &mut Pcg64, request: &[u8]) -> Vec<SocketOp> {
+        let line_end = request
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .map_or(request.len(), |p| p + 2);
+        let mut ops = vec![SocketOp::Send(request[..line_end].to_vec())];
+        for i in 0..self.loris_headers {
+            ops.push(SocketOp::PauseMs(self.jitter(rng, self.loris_pause_ms)));
+            let header = format!("X-Loris-{i}: {:016x}\r\n", rng.next_u64());
+            ops.push(SocketOp::Send(header.into_bytes()));
+        }
+        ops
+    }
+
+    /// The complete head, a strict prefix of the body (or of the head
+    /// when there is no body), then silence.
+    fn stall_ops(&self, rng: &mut Pcg64, request: &[u8], head_end: usize) -> Vec<SocketOp> {
+        let body = &request[head_end..];
+        let ops = if body.is_empty() {
+            // Bodyless request: stall two bytes short of the head's
+            // terminating blank line instead.
+            vec![SocketOp::Send(request[..head_end - 2].to_vec())]
+        } else {
+            let cut = 1 + rng.next_below(body.len().max(1));
+            let cut = cut.min(body.len() - 1).max(1).min(body.len());
+            vec![
+                SocketOp::Send(request[..head_end].to_vec()),
+                SocketOp::PauseMs(self.jitter(rng, self.drip_pause_ms)),
+                SocketOp::Send(body[..cut].to_vec()),
+            ]
+        };
+        let mut ops = ops;
+        ops.push(SocketOp::PauseMs(self.stall_ms));
+        ops
+    }
+
+    /// The full request, honestly delivered — in jittered 1..=max byte
+    /// chunks with short pauses.
+    fn drip_ops(&self, rng: &mut Pcg64, request: &[u8]) -> Vec<SocketOp> {
+        let mut ops = Vec::new();
+        let mut at = 0;
+        while at < request.len() {
+            let take = (1 + rng.next_below(self.drip_chunk_max.max(1))).min(request.len() - at);
+            ops.push(SocketOp::Send(request[at..at + take].to_vec()));
+            at += take;
+            if at < request.len() {
+                ops.push(SocketOp::PauseMs(self.drip_pause_ms));
+            }
+        }
+        ops
+    }
+
+    /// A nonempty strict prefix, a beat, then a hard reset.
+    fn reset_ops(&self, rng: &mut Pcg64, request: &[u8]) -> Vec<SocketOp> {
+        let cut = 1 + rng.next_below(request.len().saturating_sub(1).max(1));
+        vec![
+            SocketOp::Send(request[..cut.min(request.len() - 1)].to_vec()),
+            SocketOp::PauseMs(self.jitter(rng, self.drip_pause_ms)),
+            SocketOp::Reset,
+        ]
+    }
+
+    /// ±25% deterministic jitter so fleets don't move in lockstep.
+    fn jitter(&self, rng: &mut Pcg64, base_ms: u64) -> u64 {
+        let base = base_ms.max(1) as i64;
+        (base + rng.next_range(-(base / 4), base / 4 + 1)).max(1) as u64
+    }
+}
+
+/// Byte offset one past the head's `\r\n\r\n` terminator (i.e. the
+/// body start), or `len` when the request has no complete head.
+fn find_head_end(request: &[u8]) -> usize {
+    request
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map_or(request.len(), |p| p + 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REQUEST: &[u8] =
+        b"POST /attribute?year=2018 HTTP/1.1\r\nHost: synthattr\r\nContent-Length: 11\r\n\r\nint main(){";
+
+    #[test]
+    fn scripts_are_deterministic_and_index_sensitive() {
+        let profile = TrafficProfile::new(7);
+        for kind in HostileKind::ALL {
+            let a = profile.script(kind, 3, REQUEST);
+            let b = profile.script(kind, 3, REQUEST);
+            assert_eq!(a, b, "{kind:?}: same coordinates, same script");
+            let c = profile.script(kind, 4, REQUEST);
+            assert_ne!(a.ops, c.ops, "{kind:?}: different index, different script");
+        }
+    }
+
+    #[test]
+    fn slow_loris_never_completes_its_head() {
+        let profile = TrafficProfile::new(11);
+        let script = profile.script(HostileKind::SlowLoris, 0, REQUEST);
+        let sent = script.sent_bytes();
+        assert!(
+            !sent.windows(4).any(|w| w == b"\r\n\r\n"),
+            "a loris head must never terminate"
+        );
+        assert!(sent.starts_with(b"POST /attribute?year=2018 HTTP/1.1\r\n"));
+        assert!(
+            script.total_pause_ms() >= profile.loris_pause_ms,
+            "a loris must hold the connection across pauses"
+        );
+    }
+
+    #[test]
+    fn mid_request_stall_sends_the_head_but_not_the_body() {
+        let profile = TrafficProfile::new(13);
+        let script = profile.script(HostileKind::MidRequestStall, 2, REQUEST);
+        let sent = script.sent_bytes();
+        assert!(sent.windows(4).any(|w| w == b"\r\n\r\n"), "head completes");
+        assert!(sent.len() < REQUEST.len(), "body must stay incomplete");
+        assert!(
+            matches!(script.ops.last(), Some(SocketOp::PauseMs(ms)) if *ms == profile.stall_ms),
+            "a staller ends in silence, not a close"
+        );
+    }
+
+    #[test]
+    fn byte_dripper_delivers_the_exact_request() {
+        let profile = TrafficProfile::new(17);
+        let script = profile.script(HostileKind::ByteDripper, 5, REQUEST);
+        assert_eq!(script.sent_bytes(), REQUEST, "a dripper is slow, not wrong");
+        assert!(
+            script
+                .ops
+                .iter()
+                .all(|op| !matches!(op, SocketOp::Send(b) if b.len() > profile.drip_chunk_max)),
+            "chunks respect drip_chunk_max"
+        );
+    }
+
+    #[test]
+    fn abrupt_reset_sends_a_strict_prefix_then_resets() {
+        let profile = TrafficProfile::new(19);
+        let script = profile.script(HostileKind::AbruptReset, 1, REQUEST);
+        assert_eq!(script.ops.last(), Some(&SocketOp::Reset));
+        let sent = script.sent_bytes();
+        assert!(!sent.is_empty() && sent.len() < REQUEST.len());
+        assert!(REQUEST.starts_with(&sent));
+    }
+
+    #[test]
+    fn fleet_is_deterministic_and_covers_every_kind() {
+        let profile = TrafficProfile::new(23);
+        let fleet = profile.fleet(64, REQUEST);
+        assert_eq!(fleet.len(), 64);
+        assert_eq!(fleet, profile.fleet(64, REQUEST));
+        for kind in HostileKind::ALL {
+            assert!(
+                fleet.iter().any(|s| s.kind == kind),
+                "a 64-strong fleet should include {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn play_records_ops_and_reports_the_ending() {
+        let profile = TrafficProfile::new(29);
+        let script = profile.script(HostileKind::AbruptReset, 0, REQUEST);
+        let mut sink = Vec::new();
+        let mut paused = 0u64;
+        let end = script.play(&mut sink, |ms| paused += ms).unwrap();
+        assert_eq!(end, ScriptEnd::Reset);
+        assert_eq!(sink, script.sent_bytes());
+        assert!(paused > 0, "the pre-reset beat must be delegated");
+
+        let dripper = profile.script(HostileKind::ByteDripper, 0, REQUEST);
+        let mut sink = Vec::new();
+        let end = dripper.play(&mut sink, |_| {}).unwrap();
+        assert_eq!(end, ScriptEnd::Done);
+        assert_eq!(sink, REQUEST);
+    }
+}

@@ -46,15 +46,34 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to `addr` with a generous read timeout so a hung
-    /// server fails a test instead of wedging it.
+    /// The default read timeout: generous, so a hung server fails a
+    /// test instead of wedging it. Chaos suites that need tight
+    /// deadlines use [`Client::connect_with_timeout`] with the
+    /// server's advertised
+    /// [`crate::server::ServeConfig::client_timeout`] instead.
+    pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// Connects to `addr` with [`Client::DEFAULT_READ_TIMEOUT`].
     ///
     /// # Errors
     ///
     /// Connection or socket-option errors.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        Client::connect_with_timeout(addr, Client::DEFAULT_READ_TIMEOUT)
+    }
+
+    /// Connects to `addr` with an explicit read timeout — typically
+    /// the server's advertised
+    /// [`crate::server::ServeConfig::client_timeout`], so client
+    /// patience tracks the server's own stall deadlines instead of a
+    /// hard-coded constant.
+    ///
+    /// # Errors
+    ///
+    /// Connection or socket-option errors.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client { stream, reader })

@@ -338,6 +338,153 @@ pub fn read_request(
     }))
 }
 
+/// What an incremental scan of buffered connection bytes concluded.
+///
+/// The rotation loop reads whatever a socket has to offer without
+/// blocking, so a connection's buffer is usually a *prefix* of a
+/// request. [`scan_request`] classifies that prefix cheaply — without
+/// allocating or parsing — so the transport knows whether to hand the
+/// bytes to [`read_request`] (the single authoritative parser), keep
+/// waiting, or reject the peer outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanStatus {
+    /// No bytes buffered: the connection is idle between requests.
+    Empty,
+    /// A request has started arriving but its head is incomplete.
+    PartialHead,
+    /// The head is complete; the request spans `total_len` bytes
+    /// (head + declared body) and the buffer does not hold them yet.
+    NeedBody {
+        /// Head plus declared body length, in bytes.
+        total_len: usize,
+    },
+    /// The first `total_len` buffered bytes form one complete unit:
+    /// either a parseable request or a head whose defects
+    /// [`read_request`] is guaranteed to reject without blocking
+    /// (blank-line flood, malformed or oversized framing, unsupported
+    /// transfer-encoding).
+    Complete {
+        /// Bytes to feed to [`read_request`] and then consume.
+        total_len: usize,
+    },
+}
+
+/// Incrementally classifies the buffered prefix of a request.
+///
+/// Mirrors [`read_request`]'s limit accounting exactly (line lengths
+/// include a trailing `\r`, the header-count check fires on the
+/// header *after* the last accepted one) so a scan error is always
+/// the same status the authoritative parse would produce — just
+/// earlier, before the hostile peer finishes its line.
+///
+/// # Errors
+///
+/// [`HttpError::UriTooLong`] / [`HttpError::HeadersTooLarge`] when a
+/// partial or complete line already exceeds its limit — the caller
+/// should answer and close without waiting for more bytes.
+pub fn scan_request(buf: &[u8], limits: &Limits) -> Result<ScanStatus, HttpError> {
+    if buf.is_empty() {
+        return Ok(ScanStatus::Empty);
+    }
+    let mut pos = 0usize;
+    let mut blank_lines = 0usize;
+    let mut in_headers = false;
+    let mut header_count = 0usize;
+    let mut content_length: Option<Result<usize, ()>> = None;
+    let mut head_malformed = false;
+    loop {
+        let line_end = buf[pos..].iter().position(|&b| b == b'\n');
+        let Some(rel) = line_end else {
+            // An unterminated line: over-limit is decidable now, more
+            // bytes are needed otherwise. Lengths match
+            // `read_line_limited`, which counts every pushed byte
+            // (including a pending '\r').
+            let partial = buf.len() - pos;
+            let (max, err): (usize, fn() -> HttpError) = if in_headers {
+                (limits.max_header_line, || HttpError::HeadersTooLarge)
+            } else {
+                (limits.max_request_line, || HttpError::UriTooLong)
+            };
+            if partial > max {
+                return Err(err());
+            }
+            return Ok(ScanStatus::PartialHead);
+        };
+        // The line as `read_line_limited` counts it: '\n' excluded,
+        // '\r' included in the length check but not the content.
+        let raw = &buf[pos..pos + rel];
+        let line = if raw.last() == Some(&b'\r') {
+            &raw[..raw.len() - 1]
+        } else {
+            raw
+        };
+        let after = pos + rel + 1;
+        if !in_headers {
+            if line.is_empty() {
+                blank_lines += 1;
+                // `read_request` tolerates three blank lines before
+                // the request line; the fourth makes the whole prefix
+                // a guaranteed 400 ("blank-line flood").
+                if blank_lines >= 4 {
+                    return Ok(ScanStatus::Complete { total_len: after });
+                }
+                pos = after;
+                continue;
+            }
+            if raw.len() > limits.max_request_line {
+                return Err(HttpError::UriTooLong);
+            }
+            in_headers = true;
+            pos = after;
+            continue;
+        }
+        if line.is_empty() {
+            // End of head. Anything the scan could not vouch for is
+            // handed to `read_request`, which will reject it from the
+            // buffered head alone — no body read can block on a
+            // malformed or refused request.
+            let body_len = match content_length {
+                None => 0,
+                Some(Ok(n)) => n,
+                Some(Err(())) => return Ok(ScanStatus::Complete { total_len: after }),
+            };
+            if head_malformed || body_len > limits.max_body {
+                return Ok(ScanStatus::Complete { total_len: after });
+            }
+            let total_len = after + body_len;
+            return Ok(if buf.len() >= total_len {
+                ScanStatus::Complete { total_len }
+            } else {
+                ScanStatus::NeedBody { total_len }
+            });
+        }
+        if raw.len() > limits.max_header_line {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        if header_count >= limits.max_headers {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        header_count += 1;
+        match line.iter().position(|&b| b == b':') {
+            None => head_malformed = true,
+            Some(colon) => {
+                let name = &line[..colon];
+                if name.eq_ignore_ascii_case(b"transfer-encoding") {
+                    // Refused with 501 by the parser; no body follows.
+                    head_malformed = true;
+                }
+                if name.eq_ignore_ascii_case(b"content-length") && content_length.is_none() {
+                    let value = std::str::from_utf8(&line[colon + 1..])
+                        .map(str::trim)
+                        .map_err(|_| ());
+                    content_length = Some(value.and_then(|v| v.parse::<usize>().map_err(|_| ())));
+                }
+            }
+        }
+        pos = after;
+    }
+}
+
 /// One response ready to serialize.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -403,14 +550,10 @@ impl Response {
         }
     }
 
-    /// Serializes the response (status line, headers, body).
-    ///
-    /// # Errors
-    ///
-    /// Propagates transport write errors; the caller drops the
-    /// connection on any of them.
-    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
-        // One buffered write so header and body share a packet.
+    /// Serializes the response into one buffer (status line, headers,
+    /// body) — the unit the rotation loop queues for non-blocking
+    /// writes, so header and body always share a packet.
+    pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.body.len() + 128);
         write!(
             out,
@@ -420,9 +563,20 @@ impl Response {
             self.content_type,
             self.body.len(),
             if self.close { "close" } else { "keep-alive" },
-        )?;
+        )
+        .expect("write! to a Vec cannot fail");
         out.extend_from_slice(&self.body);
-        writer.write_all(&out)?;
+        out
+    }
+
+    /// Serializes the response (status line, headers, body).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write errors; the caller drops the
+    /// connection on any of them.
+    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        writer.write_all(&self.to_bytes())?;
         writer.flush()
     }
 }
@@ -555,6 +709,125 @@ mod tests {
         assert_eq!(req.query_param("b"), Some("c d"));
         assert_eq!(req.query_param("flag"), Some(""));
         assert_eq!(req.query_param("bad"), Some("%zz"));
+    }
+
+    fn scan(buf: &[u8]) -> Result<ScanStatus, HttpError> {
+        scan_request(buf, &Limits::default())
+    }
+
+    #[test]
+    fn scan_classifies_prefixes_of_a_posted_request() {
+        let full = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let head_end = full
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .map(|p| p + 4)
+            .unwrap();
+        let total = full.len(); // head + the 5 declared body bytes
+        assert_eq!(scan(b"").unwrap(), ScanStatus::Empty);
+        for cut in 1..head_end {
+            // Everything before the blank line ends is a partial head.
+            assert_eq!(
+                scan(&full[..cut]).unwrap(),
+                ScanStatus::PartialHead,
+                "cut={cut}"
+            );
+        }
+        assert_eq!(
+            scan(&full[..head_end]).unwrap(),
+            ScanStatus::NeedBody { total_len: total },
+            "head complete, body missing"
+        );
+        assert_eq!(
+            scan(&full[..total - 2]).unwrap(),
+            ScanStatus::NeedBody { total_len: total },
+            "body partially buffered"
+        );
+        assert_eq!(
+            scan(full).unwrap(),
+            ScanStatus::Complete { total_len: total },
+            "whole request buffered"
+        );
+        // Extra pipelined bytes never change the first request's span.
+        let mut two = full.to_vec();
+        two.extend_from_slice(b"GET /y HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            scan(&two).unwrap(),
+            ScanStatus::Complete { total_len: total }
+        );
+    }
+
+    #[test]
+    fn scan_agrees_with_read_request_on_every_complete_span() {
+        // For each raw exchange: scanning must find the same span the
+        // authoritative parser consumes, and parsing exactly that span
+        // must succeed (or fail) identically to streaming the bytes.
+        for raw in [
+            "GET /a HTTP/1.1\r\n\r\n".to_string(),
+            "\r\n\r\nGET /a HTTP/1.1\r\nHost: x\r\n\r\n".to_string(),
+            "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi".to_string(),
+            "GET /a HTTP/1.0\nConnection: keep-alive\n\n".to_string(),
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_string(),
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n".to_string(),
+            "POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n".to_string(),
+            "GET /x HTTP/1.1\r\nno-colon\r\n\r\n".to_string(),
+            "\r\n\r\n\r\n\r\n".to_string(),
+        ] {
+            let buf = raw.as_bytes();
+            let ScanStatus::Complete { total_len } = scan(buf).unwrap() else {
+                panic!("{raw:?} should scan complete");
+            };
+            let mut streamed = Cursor::new(buf);
+            let streamed_result = read_request(&mut streamed, &Limits::default());
+            let sliced_result =
+                read_request(&mut Cursor::new(&buf[..total_len]), &Limits::default());
+            match (streamed_result, sliced_result) {
+                (Ok(Some(a)), Ok(Some(b))) => {
+                    assert_eq!(a.path, b.path, "{raw:?}");
+                    assert_eq!(a.body, b.body, "{raw:?}");
+                    assert_eq!(
+                        streamed.position() as usize,
+                        total_len,
+                        "{raw:?}: scan span must equal the parser's consumption"
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(a.status(), b.status(), "{raw:?}"),
+                (a, b) => panic!("{raw:?}: streamed {a:?} vs sliced {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scan_rejects_oversized_lines_before_they_finish() {
+        let long_target = format!("GET /{}", "a".repeat(9000));
+        assert_eq!(
+            scan(long_target.as_bytes()).unwrap_err().status(),
+            414,
+            "partial oversize request line is decidable early"
+        );
+        let big_header = format!("GET / HTTP/1.1\r\nX-Big: {}", "b".repeat(9000));
+        assert_eq!(scan(big_header.as_bytes()).unwrap_err().status(), 431);
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}",
+            (0..70)
+                .map(|i| format!("X-H{i}: v\r\n"))
+                .collect::<String>()
+        );
+        assert_eq!(scan(many.as_bytes()).unwrap_err().status(), 431);
+        // Exactly at the limit is still fine.
+        let at_limit = format!("GET /{}", "a".repeat(8 * 1024 - 5));
+        assert_eq!(scan(at_limit.as_bytes()).unwrap(), ScanStatus::PartialHead);
+    }
+
+    #[test]
+    fn scan_takes_the_first_content_length_like_the_parser() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 9\r\n\r\nhi";
+        assert_eq!(
+            scan(raw).unwrap(),
+            ScanStatus::Complete {
+                total_len: raw.len()
+            }
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! |---|---|
 //! | `POST /attribute?year=Y` | C++ source in, ranked author/ChatGPT verdict with probabilities out |
 //! | `POST /transform?year=Y&mode=nct\|ct&steps=N&seed=S` | the simulated ChatGPT transformation chain |
-//! | `GET /healthz` | breaker state, cache hit/eviction rates, batching and traffic counters |
+//! | `GET /healthz` | breaker state, cache/batch/traffic counters, connection gauges, per-cause close counters, drain state |
 //!
 //! Architecture, bottom-up:
 //!
@@ -26,21 +26,37 @@
 //!   deadline; the policy core is pure and clock-explicit.
 //! * [`limit`] — per-client token buckets built by running the fault
 //!   layer's [`synthattr_faults::RetryBudget`] in reverse.
-//! * [`server`] — the accept/worker threadpool over
-//!   [`synthattr_util::pool::WorkQueue`], routing, and handlers; a
+//! * [`conn`] — the connection-survivability policy core: per-
+//!   connection budgets (lifetime idle budget, header/body progress
+//!   deadlines, max requests) decided by a clock-explicit
+//!   [`conn::ConnGauge`], unit-testable without sockets.
+//! * [`drain`] — graceful-shutdown bookkeeping: the draining flag,
+//!   the force-close hard deadline, and the [`drain::DrainStats`]
+//!   report `shutdown()` returns.
+//! * [`server`] — non-blocking accept plus a worker **rotation loop**
+//!   over [`synthattr_util::pool::WorkQueue`]: workers park
+//!   connections that yield no bytes instead of camping on them, so
+//!   hostile connections hold sockets, never threads; a
 //!   [`synthattr_faults::CircuitBreaker`] guards the transform engine
-//!   and surfaces on `/healthz` as `ok`/`degraded`.
+//!   and surfaces on `/healthz` as `ok`/`degraded`/`draining`.
 //! * [`client`] — the minimal blocking client the e2e and bench
-//!   harnesses drive the server with.
+//!   harnesses drive the server with (read timeout configurable,
+//!   defaulting to the server's advertised deadline-derived value).
 //!
 //! The load-bearing invariant, proven end-to-end in
 //! `tests/serve_e2e.rs`: a served `/attribute` response is
 //! **byte-identical** to what the offline pipeline's oracle produces
 //! for the same source, at any worker count and client concurrency —
-//! batching and caching change scheduling, never results.
+//! batching, caching, and connection rotation change scheduling,
+//! never results. The survivability claims get their own live-TCP
+//! proof in `tests/serve_chaos.rs` (hostile traffic from
+//! `synthattr_faults::TrafficProfile`) and `tests/serve_drain.rs`
+//! (shutdown racing pipelined bursts drops zero responses).
 
 pub mod batch;
 pub mod client;
+pub mod conn;
+pub mod drain;
 pub mod http;
 pub mod json;
 pub mod limit;
@@ -49,6 +65,8 @@ pub mod server;
 
 pub use batch::{BatchConfig, BatchQueue, MicroBatcher};
 pub use client::{Client, ClientResponse};
+pub use conn::{CloseCause, ConnGauge, ConnPolicy, Phase, Verdict};
+pub use drain::{DrainState, DrainStats};
 pub use http::{Limits, Request, Response};
 pub use limit::{RateConfig, RateLimiter, TokenBucket};
 pub use registry::{ModelRegistry, YearModel};

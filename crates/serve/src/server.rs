@@ -1,11 +1,24 @@
-//! The attribution server: listener, worker pool, routing, handlers.
+//! The attribution server: listener, rotation loop, routing, handlers.
 //!
-//! Threading is the classic accept/worker split built on
-//! [`synthattr_util::pool`]: the acceptor thread pushes accepted
-//! connections into a blocking [`WorkQueue`], and `workers` threads
+//! Threading is an accept/worker split built on
+//! [`synthattr_util::pool`], hardened for hostile connections: the
+//! acceptor runs a **non-blocking** accept loop and parks each
+//! accepted connection on a blocking [`WorkQueue`]; `workers` threads
 //! (resolved by the same `SYNTHATTR_WORKERS` machinery as the offline
-//! pipeline) pop and serve them — keep-alive and pipelining included.
-//! All request handling is pure of the transport
+//! pipeline) **rotate** over the parked set. A worker pops a
+//! connection, reads whatever it has to offer without blocking,
+//! serves every complete pipelined request, and *parks the
+//! connection back* the moment it stops yielding bytes — so a
+//! slow-loris army holds open sockets, never worker threads. Budgets
+//! ([`crate::conn::ConnPolicy`]: lifetime idle budget, header/body
+//! progress deadlines, max requests per connection) are enforced by
+//! the clock-explicit [`crate::conn::ConnGauge`] core; shutdown is a
+//! graceful drain ([`crate::drain`]): stop accepting, answer every
+//! in-flight request with `Connection: close` on the final response,
+//! force-close stragglers only at a hard deadline, and report
+//! [`DrainStats`] from [`RunningServer::shutdown`].
+//!
+//! All request handling stays pure of the transport
 //! ([`ServerState::handle_request`] maps a parsed request to a
 //! response), which is what lets the unit suite drive every route
 //! without a socket.
@@ -17,18 +30,19 @@
 //! * `POST /transform?year=Y&mode=nct|ct&steps=N&seed=S` — body: seed
 //!   source; response: the simulated ChatGPT transformation chain.
 //! * `GET /healthz` — circuit-breaker state, cache hit/eviction rates,
-//!   registry load state, batching and traffic counters.
+//!   registry load state, batching, traffic, connection gauges,
+//!   per-cause close counters, and the drain state.
 //!
 //! Determinism: attribution is a pure function of (year, body) — the
 //! registry trains through the offline pipeline's code path, feature
 //! extraction is cached but pure, and batching only groups pure
 //! per-row predictions — so responses are byte-identical across
-//! worker counts, client counts, and restarts.
+//! worker counts, client counts, rotation schedules, and restarts.
 
-use std::io::{BufReader, Write};
+use std::io::{self, Cursor, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -43,7 +57,9 @@ use synthattr_gpt::GptError;
 use synthattr_util::{pool, pool::WorkQueue, Pcg64};
 
 use crate::batch::{BatchConfig, MicroBatcher};
-use crate::http::{read_request, Limits, Request, Response};
+use crate::conn::{CloseCause, ConnCounters, ConnGauge, ConnPolicy, Verdict};
+use crate::drain::{DrainState, DrainStats};
+use crate::http::{read_request, scan_request, HttpError, Limits, Request, Response, ScanStatus};
 use crate::json;
 use crate::limit::{RateConfig, RateLimiter};
 use crate::registry::ModelRegistry;
@@ -71,8 +87,12 @@ pub struct ServeConfig {
     pub rate: Option<RateConfig>,
     /// Circuit-breaker tuning for the transform engine.
     pub breaker: BreakerConfig,
-    /// Socket read timeout, ms — the slow-loris bound.
-    pub read_timeout_ms: u64,
+    /// Per-connection budgets and rotation tuning — the slow-loris,
+    /// staller, and zombie bounds.
+    pub conn: ConnPolicy,
+    /// Hard deadline for the graceful drain, ms: connections still
+    /// open this long after `shutdown()` are force-closed.
+    pub drain_deadline_ms: u64,
     /// HTTP input limits.
     pub limits: Limits,
     /// Train every registry year at bind time instead of lazily.
@@ -91,10 +111,19 @@ impl ServeConfig {
             batch: BatchConfig::default(),
             rate: Some(RateConfig::default()),
             breaker: BreakerConfig::default(),
-            read_timeout_ms: 2_000,
+            conn: ConnPolicy::default(),
+            drain_deadline_ms: 5_000,
             limits: Limits::default(),
             preload: false,
         }
+    }
+
+    /// The read timeout the server advertises to its own blocking
+    /// client ([`crate::client::Client::connect`] uses it by
+    /// default when connecting via
+    /// [`crate::client::Client::connect_with_timeout`]).
+    pub fn client_timeout(&self) -> Duration {
+        self.conn.client_timeout()
     }
 }
 
@@ -129,8 +158,9 @@ pub struct ServerState {
     limiter: Option<Mutex<RateLimiter>>,
     breaker: Mutex<CircuitBreaker>,
     stats: ServeStats,
+    conns: ConnCounters,
+    drain: DrainState,
     started: Instant,
-    shutdown: AtomicBool,
 }
 
 impl ServerState {
@@ -148,8 +178,9 @@ impl ServerState {
             breaker: Mutex::new(CircuitBreaker::new(config.breaker.clone())),
             batchers: Mutex::new(std::collections::HashMap::new()),
             stats: ServeStats::default(),
+            conns: ConnCounters::default(),
+            drain: DrainState::new(config.drain_deadline_ms),
             started: Instant::now(),
-            shutdown: AtomicBool::new(false),
             registry,
             config,
         };
@@ -175,6 +206,24 @@ impl ServerState {
     /// the regression suite can inspect or trip it directly).
     pub fn breaker(&self) -> MutexGuard<'_, CircuitBreaker> {
         self.breaker.lock().expect("breaker poisoned")
+    }
+
+    /// Connection gauges and per-cause close counters.
+    pub fn conns(&self) -> &ConnCounters {
+        &self.conns
+    }
+
+    /// The graceful-drain state (flag, deadline, drain counters).
+    pub fn drain(&self) -> &DrainState {
+        &self.drain
+    }
+
+    /// Starts the graceful drain: `/healthz` flips to `draining`, the
+    /// acceptor stops, and workers finish in-flight requests.
+    /// Idempotent; normally reached through
+    /// [`RunningServer::shutdown`].
+    pub fn begin_drain(&self) {
+        self.drain.begin(self.now_ms());
     }
 
     /// Milliseconds since the server started — the limiter's clock.
@@ -442,7 +491,13 @@ impl ServerState {
     fn healthz(&self) -> Response {
         self.stats.healthz.fetch_add(1, Ordering::Relaxed);
         let breaker = self.breaker();
-        let status = if breaker.is_open() { "degraded" } else { "ok" };
+        let status = if self.drain.is_draining() {
+            "draining"
+        } else if breaker.is_open() {
+            "degraded"
+        } else {
+            "ok"
+        };
         let breaker_json = format!(
             "{{\"state\":{},\"trips\":{}}}",
             json::string(breaker.state_name()),
@@ -487,14 +542,30 @@ impl ServerState {
                 (l.clients(), l.rejected())
             }
         };
+        let closes = CloseCause::ALL
+            .iter()
+            .map(|&cause| format!("{}:{}", json::string(cause.tag()), self.conns.closed(cause)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let connections_json = format!(
+            "\"connections_open\":{},\"connections_parked\":{},\"connections_opened\":{},\
+             \"connection_closes\":{{{}}}",
+            self.conns.open_now(),
+            self.conns.parked_now(),
+            self.conns.opened.load(Ordering::Relaxed),
+            closes
+        );
         let s = &self.stats;
         let body = format!(
-            "{{\"status\":{},\"uptime_ms\":{},\"years\":{},\"loaded\":{},\"breaker\":{},\"cache\":{},\
+            "{{\"status\":{},\"drain_state\":{},\"uptime_ms\":{},\"years\":{},\"loaded\":{},\
+             \"breaker\":{},\"cache\":{},\
              \"batch\":{{\"batches\":{},\"rows\":{},\"max_batch\":{}}},\
              \"rate\":{{\"clients\":{},\"rejected\":{}}},\
+             {},\
              \"requests\":{{\"total\":{},\"attribute_ok\":{},\"transform_ok\":{},\"healthz\":{},\
              \"rate_limited\":{},\"client_errors\":{},\"server_errors\":{},\"panics\":{}}}}}",
             json::string(status),
+            json::string(self.drain.state_name()),
             self.now_ms(),
             json::array(self.registry.years().iter().map(|y| y.to_string())),
             json::array(self.registry.loaded().iter().map(|y| y.to_string())),
@@ -505,6 +576,7 @@ impl ServerState {
             max_batch,
             rate_clients,
             rate_rejected,
+            connections_json,
             s.requests.load(Ordering::Relaxed),
             s.attribute_ok.load(Ordering::Relaxed),
             s.transform_ok.load(Ordering::Relaxed),
@@ -588,37 +660,54 @@ impl Server {
         Arc::clone(&self.state)
     }
 
-    /// Runs the accept loop on the calling thread, serving on
-    /// `workers` pool threads, until [`RunningServer::shutdown`] (or
-    /// a listener error). Normally reached through [`Server::spawn`].
+    /// Runs the non-blocking accept loop on the calling thread,
+    /// serving on `workers` rotation threads, until
+    /// [`RunningServer::shutdown`] begins the drain (or a listener
+    /// error). Normally reached through [`Server::spawn`].
     pub fn run(self) -> std::io::Result<()> {
-        let queue: WorkQueue<TcpStream> = WorkQueue::new();
+        let queue: WorkQueue<Conn> = WorkQueue::new();
         let state = &self.state;
-        let timeout = Duration::from_millis(state.config.read_timeout_ms.max(1));
-        let limits = &state.config.limits;
+        self.listener.set_nonblocking(true)?;
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
-                scope.spawn(|| {
-                    while let Some(stream) = queue.pop() {
-                        // A handler panic must cost one connection,
-                        // not the worker: count it and keep serving.
-                        let result = catch_unwind(AssertUnwindSafe(|| {
-                            serve_connection(state, stream, timeout, limits)
-                        }));
-                        if result.is_err() {
-                            state.stats.panics.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                });
+                scope.spawn(|| worker_loop(state, &queue));
             }
-            for stream in self.listener.incoming() {
-                if state.shutdown.load(Ordering::SeqCst) {
+            // Non-blocking accept: new connections are configured and
+            // parked; the 1 ms poll doubles as the drain-flag check,
+            // so shutdown needs no wake-up connection.
+            loop {
+                if state.drain.is_draining() {
                     break;
                 }
-                if let Ok(stream) = stream {
-                    queue.push(stream);
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        // Small exchanges stall ~40 ms per round trip
+                        // under Nagle + delayed ACK; responses go out
+                        // in one buffer anyway.
+                        let _ = stream.set_nodelay(true);
+                        state.conns.on_accept();
+                        let conn = Conn::new(stream, state.now_ms());
+                        state.conns.on_park();
+                        if queue.offer(conn).is_err() {
+                            // Unreachable before the drain closes the
+                            // queue; dispose deliberately regardless.
+                            state.conns.on_resume();
+                            state.conns.on_close(CloseCause::Forced);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
                 }
             }
+            // Closing the queue flips every worker into drain mode:
+            // remaining parked connections pop with the drain flag up,
+            // and further parks bounce back for inline drain service.
             queue.close();
         });
         Ok(())
@@ -661,55 +750,452 @@ impl RunningServer {
         Arc::clone(&self.state)
     }
 
-    /// Stops accepting, drains the workers, and joins the server
-    /// thread.
-    pub fn shutdown(self) {
-        self.state.shutdown.store(true, Ordering::SeqCst);
-        // The accept loop blocks in `incoming()`; a throwaway
-        // connection wakes it to observe the flag.
-        let _ = TcpStream::connect(self.addr);
+    /// Begins the graceful drain, joins the server thread, and
+    /// reports what the drain did: stop accepting, answer every
+    /// in-flight request (`Connection: close` on each connection's
+    /// final response), force-close stragglers only at
+    /// [`ServeConfig::drain_deadline_ms`].
+    pub fn shutdown(self) -> DrainStats {
+        let begun = Instant::now();
+        self.state.begin_drain();
         let _ = self.thread.join();
+        self.state.drain.stats(begun.elapsed().as_millis() as u64)
     }
 }
 
-/// Serves one connection: keep-alive loop, per-request routing,
-/// defensive error mapping.
-fn serve_connection(state: &ServerState, stream: TcpStream, timeout: Duration, limits: &Limits) {
-    if stream.set_read_timeout(Some(timeout)).is_err() {
-        return;
+/// One live connection as the rotation loop carries it: the
+/// non-blocking socket, buffered request bytes, not-yet-flushed
+/// response bytes, and the budget gauge.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    /// Request bytes read but not yet consumed by the parser.
+    buf: Vec<u8>,
+    /// Serialized response bytes not yet accepted by the socket.
+    pending: Vec<u8>,
+    /// Prefix of `pending` already written.
+    sent: usize,
+    gauge: ConnGauge,
+    /// Close this connection (with this cause) once `pending` drains.
+    close_after_write: Option<CloseCause>,
+    /// The peer half-closed its write side (EOF on read).
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now_ms: u64) -> Self {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            pending: Vec::new(),
+            sent: 0,
+            gauge: ConnGauge::new(now_ms),
+            close_after_write: None,
+            eof: false,
+        }
     }
-    // Small request/response exchanges stall ~40 ms per round trip
-    // under Nagle + delayed ACK; responses are written in one buffer
-    // anyway, so just disable coalescing.
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
+
+    /// Queues a response for writing.
+    fn enqueue(&mut self, response: &Response) {
+        self.pending.extend_from_slice(&response.to_bytes());
+    }
+}
+
+/// What one non-blocking flush attempt achieved.
+enum Flush {
+    /// Everything pending is on the wire.
+    Done,
+    /// Some bytes moved, then the socket filled.
+    Progress,
+    /// The socket accepted nothing.
+    Blocked,
+}
+
+/// Writes as much of `pending` as the socket accepts right now.
+fn flush(conn: &mut Conn) -> io::Result<Flush> {
+    let mut progressed = false;
     loop {
-        match read_request(&mut reader, limits) {
-            Ok(None) => return,
-            Ok(Some(req)) => {
-                let mut response = state.handle_request(&req);
-                if !req.keep_alive {
-                    response.close = true;
-                }
-                if response.write_to(&mut writer).is_err() || response.close {
-                    return;
+        if conn.sent >= conn.pending.len() {
+            conn.pending.clear();
+            conn.sent = 0;
+            return Ok(Flush::Done);
+        }
+        match conn.stream.write(&conn.pending[conn.sent..]) {
+            Ok(0) => return Err(io::Error::from(io::ErrorKind::WriteZero)),
+            Ok(n) => {
+                conn.sent += n;
+                progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return Ok(if progressed {
+                    Flush::Progress
+                } else {
+                    Flush::Blocked
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The rotation loop's decision for a driven connection, plus whether
+/// the slice did any real work (for the workers' idle back-off).
+struct DriveOutcome {
+    verdict: Verdict,
+    productive: bool,
+}
+
+impl DriveOutcome {
+    fn close(cause: CloseCause, productive: bool) -> Self {
+        DriveOutcome {
+            verdict: Verdict::Close(cause),
+            productive,
+        }
+    }
+
+    fn park(productive: bool) -> Self {
+        DriveOutcome {
+            verdict: Verdict::Park,
+            productive,
+        }
+    }
+}
+
+/// Counts and queues the error response for a failed request read,
+/// with the same accounting the blocking loop used.
+fn enqueue_error(state: &ServerState, conn: &mut Conn, err: &HttpError) {
+    if err.status() != 0 {
+        state.stats.requests.fetch_add(1, Ordering::Relaxed);
+        state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+        conn.enqueue(&Response::from_error(err));
+    }
+}
+
+/// Drives one connection for one slice: flush what we owe, serve every
+/// complete buffered request, read until the socket runs dry, then
+/// park or close per the budget gauge. Never blocks.
+fn drive(state: &ServerState, conn: &mut Conn) -> DriveOutcome {
+    if state.drain.is_draining() {
+        let cause = drain_serve(state, conn);
+        return DriveOutcome::close(cause, true);
+    }
+    let policy = &state.config.conn;
+    let limits = &state.config.limits;
+    let mut productive = false;
+
+    // A previously blocked response write gets first claim on the
+    // slice; reading more requests while the peer won't take answers
+    // just grows the buffer.
+    if !conn.pending.is_empty() {
+        let now = state.now_ms();
+        match flush(conn) {
+            Err(_) => return DriveOutcome::close(CloseCause::HostileReset, false),
+            Ok(Flush::Blocked) => {
+                conn.gauge.write_blocked(now);
+                return DriveOutcome {
+                    verdict: conn.gauge.stalled(policy, now),
+                    productive: false,
+                };
+            }
+            Ok(Flush::Progress) => {
+                conn.gauge.write_blocked(now);
+                conn.gauge.write_progress(now);
+                return DriveOutcome::park(true);
+            }
+            Ok(Flush::Done) => {
+                conn.gauge.write_drained(now);
+                productive = true;
+                if let Some(cause) = conn.close_after_write {
+                    return DriveOutcome::close(cause, true);
                 }
             }
+        }
+    }
+
+    let mut served_in_slice: u32 = 0;
+    loop {
+        // Serve every complete request already buffered (pipelining),
+        // up to the fairness cap.
+        while conn.close_after_write.is_none() && served_in_slice < policy.max_requests_per_slice {
+            match scan_request(&conn.buf, limits) {
+                Err(err) => {
+                    // Over-limit mid-line: decidable without more
+                    // bytes. Answer and close; framing is gone.
+                    enqueue_error(state, conn, &err);
+                    conn.buf.clear();
+                    conn.close_after_write = Some(CloseCause::BadRequest);
+                    productive = true;
+                }
+                Ok(ScanStatus::Complete { total_len }) => {
+                    let request_bytes: Vec<u8> = conn.buf.drain(..total_len).collect();
+                    match read_request(&mut Cursor::new(&request_bytes[..]), limits) {
+                        Ok(Some(req)) => {
+                            let mut response = state.handle_request(&req);
+                            let exhausted = conn.gauge.request_served(policy, state.now_ms());
+                            if !req.keep_alive {
+                                response.close = true;
+                                conn.close_after_write
+                                    .get_or_insert(CloseCause::ClientClose);
+                            }
+                            if exhausted {
+                                response.close = true;
+                                conn.close_after_write
+                                    .get_or_insert(CloseCause::MaxRequests);
+                            }
+                            conn.enqueue(&response);
+                            served_in_slice += 1;
+                            productive = true;
+                        }
+                        Ok(None) => {
+                            conn.close_after_write = Some(CloseCause::PeerClosed);
+                        }
+                        Err(err) => {
+                            enqueue_error(state, conn, &err);
+                            conn.buf.clear();
+                            conn.close_after_write = Some(CloseCause::BadRequest);
+                            productive = true;
+                        }
+                    }
+                }
+                Ok(status) => {
+                    conn.gauge.observe_scan(status, state.now_ms());
+                    break;
+                }
+            }
+        }
+
+        // Push out what we owe, without blocking.
+        if !conn.pending.is_empty() {
+            let now = state.now_ms();
+            match flush(conn) {
+                Err(_) => return DriveOutcome::close(CloseCause::HostileReset, productive),
+                Ok(Flush::Done) => conn.gauge.write_drained(now),
+                Ok(Flush::Progress) | Ok(Flush::Blocked) => {
+                    conn.gauge.write_blocked(now);
+                    return DriveOutcome {
+                        verdict: conn.gauge.stalled(policy, now),
+                        productive,
+                    };
+                }
+            }
+        }
+        if let Some(cause) = conn.close_after_write {
+            return DriveOutcome::close(cause, productive);
+        }
+        if served_in_slice >= policy.max_requests_per_slice {
+            // Fairness: a hot pipelining peer yields the worker.
+            return DriveOutcome::park(productive);
+        }
+        if conn.eof {
+            if conn.buf.is_empty() {
+                return DriveOutcome::close(CloseCause::PeerClosed, productive);
+            }
+            // Bytes remain but no complete request ever will: let the
+            // authoritative parser name the truncation, answer it, and
+            // close through the flush path above.
+            let err = match read_request(&mut Cursor::new(&conn.buf[..]), limits) {
+                Err(err) => err,
+                Ok(_) => HttpError::BadRequest("truncated request"),
+            };
+            enqueue_error(state, conn, &err);
+            conn.buf.clear();
+            conn.close_after_write = Some(CloseCause::BadRequest);
+            continue;
+        }
+
+        // Pull whatever the socket has.
+        let mut chunk = [0u8; 8192];
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                productive = true;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                productive = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                let now = state.now_ms();
+                let verdict = conn.gauge.stalled(policy, now);
+                if let Verdict::Close(cause) = verdict {
+                    // A mid-request stall earns its 408 (best effort —
+                    // the peer is hostile by definition here).
+                    if matches!(cause, CloseCause::HeaderStall | CloseCause::BodyStall) {
+                        enqueue_error(state, conn, &HttpError::Timeout);
+                        let _ = flush(conn);
+                    }
+                }
+                return DriveOutcome {
+                    verdict,
+                    productive,
+                };
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return DriveOutcome::close(CloseCause::HostileReset, productive),
+        }
+    }
+}
+
+/// Serves a connection during the drain: complete every in-flight
+/// request (polling briefly for bytes already on the wire), mark the
+/// final response `Connection: close`, flush with the hard deadline
+/// as the bound, and report how the connection ended.
+fn drain_serve(state: &ServerState, conn: &mut Conn) -> CloseCause {
+    let limits = &state.config.limits;
+    let mut responses: Vec<Response> = Vec::new();
+    let mut hostile = false;
+    let mut forced = false;
+    loop {
+        if state.drain.force_deadline_passed(state.now_ms()) {
+            forced = true;
+            break;
+        }
+        match scan_request(&conn.buf, limits) {
             Err(err) => {
-                // Closed/Io get no response; everything else maps to
-                // its 4xx/5xx, then the connection drops (framing
-                // state is unrecoverable after a bad request).
                 if err.status() != 0 {
                     state.stats.requests.fetch_add(1, Ordering::Relaxed);
                     state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = Response::from_error(&err).write_to(&mut writer);
-                    let _ = writer.flush();
+                    responses.push(Response::from_error(&err));
                 }
-                return;
+                conn.buf.clear();
+                break;
+            }
+            Ok(ScanStatus::Complete { total_len }) => {
+                let request_bytes: Vec<u8> = conn.buf.drain(..total_len).collect();
+                match read_request(&mut Cursor::new(&request_bytes[..]), limits) {
+                    Ok(Some(req)) => responses.push(state.handle_request(&req)),
+                    Ok(None) => break,
+                    Err(err) => {
+                        if err.status() != 0 {
+                            state.stats.requests.fetch_add(1, Ordering::Relaxed);
+                            state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                            responses.push(Response::from_error(&err));
+                        }
+                        conn.buf.clear();
+                        break;
+                    }
+                }
+            }
+            Ok(ScanStatus::Empty) => break,
+            Ok(ScanStatus::PartialHead) | Ok(ScanStatus::NeedBody { .. }) => {
+                if conn.eof {
+                    // The rest of this request is never coming.
+                    let err = match read_request(&mut Cursor::new(&conn.buf[..]), limits) {
+                        Err(err) => err,
+                        Ok(_) => HttpError::BadRequest("truncated request"),
+                    };
+                    if err.status() != 0 {
+                        state.stats.requests.fetch_add(1, Ordering::Relaxed);
+                        state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                        responses.push(Response::from_error(&err));
+                    }
+                    conn.buf.clear();
+                    break;
+                }
+                // An in-flight request: poll briefly for bytes already
+                // on the wire. New requests are not waited for — only
+                // started ones are finished.
+                let mut chunk = [0u8; 8192];
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => conn.eof = true,
+                    Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        hostile = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // The connection's final response announces the close.
+    if let Some(last) = responses.last_mut() {
+        last.close = true;
+    }
+    let answered = responses.len() as u64;
+    for response in &responses {
+        conn.enqueue(response);
+    }
+    // Flush everything owed — pre-drain leftovers included — bounded
+    // by the hard deadline.
+    while !conn.pending.is_empty() && !hostile {
+        if state.drain.force_deadline_passed(state.now_ms()) {
+            forced = true;
+            break;
+        }
+        match flush(conn) {
+            Ok(Flush::Done) => break,
+            Ok(Flush::Progress) => {}
+            Ok(Flush::Blocked) => std::thread::sleep(Duration::from_millis(1)),
+            Err(_) => {
+                hostile = true;
+                break;
+            }
+        }
+    }
+    state.drain.note_final_responses(answered);
+    state.drain.note_drained();
+    if forced {
+        state.drain.note_forced();
+        CloseCause::Forced
+    } else if hostile {
+        CloseCause::HostileReset
+    } else {
+        CloseCause::Drain
+    }
+}
+
+/// One rotation worker: pop a parked connection, drive it for a
+/// slice, park it back or retire it, and back off exponentially when
+/// a full sweep of the open set yields nothing (bounding idle spin at
+/// [`ConnPolicy::rotation_backoff_ms`] per sweep).
+fn worker_loop(state: &ServerState, queue: &WorkQueue<Conn>) {
+    let backoff_cap = state.config.conn.rotation_backoff_ms.max(1);
+    let mut idle_streak: u64 = 0;
+    let mut backoff_ms: u64 = 1;
+    while let Some(mut conn) = queue.pop() {
+        state.conns.on_resume();
+        // A handler panic must cost one connection, not the worker.
+        let outcome = match catch_unwind(AssertUnwindSafe(|| drive(state, &mut conn))) {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                state.stats.panics.fetch_add(1, Ordering::Relaxed);
+                DriveOutcome::close(CloseCause::HostileReset, true)
+            }
+        };
+        match outcome.verdict {
+            Verdict::Close(cause) => {
+                state.conns.on_close(cause);
+                drop(conn);
+            }
+            Verdict::Park => {
+                state.conns.on_park();
+                if let Err(mut conn) = queue.offer(conn) {
+                    // The drain closed the queue between our drain
+                    // check and the park: finish the connection here
+                    // instead of slamming it shut.
+                    state.conns.on_resume();
+                    let cause = drain_serve(state, &mut conn);
+                    state.conns.on_close(cause);
+                }
+            }
+        }
+        if outcome.productive {
+            idle_streak = 0;
+            backoff_ms = 1;
+        } else {
+            idle_streak += 1;
+            if idle_streak >= state.conns.open_now().max(1) {
+                // A whole sweep with no progress: sleep instead of
+                // spinning the park/pop cycle.
+                std::thread::sleep(Duration::from_millis(backoff_ms));
+                backoff_ms = (backoff_ms * 2).min(backoff_cap);
+                idle_streak = 0;
             }
         }
     }
@@ -907,6 +1393,44 @@ mod tests {
             SOURCE,
         ));
         assert_eq!(bad_steps.status, 400);
+    }
+
+    #[test]
+    fn healthz_reports_drain_state_and_connection_counters() {
+        let s = state(single_year_config());
+        let before = s.handle_request(&req("GET", "/healthz", &[], ""));
+        let text = String::from_utf8(before.body).unwrap();
+        assert!(text.contains("\"status\":\"ok\""), "body: {text}");
+        assert!(text.contains("\"drain_state\":\"active\""), "body: {text}");
+        assert!(text.contains("\"connections_open\":0"), "body: {text}");
+        assert!(text.contains("\"connections_parked\":0"), "body: {text}");
+        assert!(
+            text.contains("\"connection_closes\":{\"peer_closed\":0,"),
+            "per-cause close counters present: {text}"
+        );
+
+        // Connection life-cycle events surface as gauges + counters.
+        s.conns().on_accept();
+        s.conns().on_accept();
+        s.conns().on_park();
+        s.conns().on_close(CloseCause::IdleBudget);
+        let mid = s.handle_request(&req("GET", "/healthz", &[], ""));
+        let text = String::from_utf8(mid.body).unwrap();
+        assert!(text.contains("\"connections_open\":1"), "body: {text}");
+        assert!(text.contains("\"connections_parked\":1"), "body: {text}");
+        assert!(text.contains("\"idle_budget\":1"), "body: {text}");
+
+        // The drain flips both status and drain_state, and healthz
+        // keeps answering (load balancers need the draining signal).
+        s.begin_drain();
+        let draining = s.handle_request(&req("GET", "/healthz", &[], ""));
+        assert_eq!(draining.status, 200);
+        let text = String::from_utf8(draining.body).unwrap();
+        assert!(text.contains("\"status\":\"draining\""), "body: {text}");
+        assert!(
+            text.contains("\"drain_state\":\"draining\""),
+            "body: {text}"
+        );
     }
 
     #[test]

@@ -176,12 +176,19 @@ fn oversize_maps_to_the_right_status() {
 
 /// A registry-configured but never-trained server: malformed traffic
 /// is rejected before any handler runs, so these spin up in
-/// milliseconds. A short read timeout keeps the slow-loris test fast.
+/// milliseconds. Short progress deadlines keep the slow-loris test
+/// fast.
 fn hardened_server() -> RunningServer {
     let mut config = ServeConfig::smoke();
     config.years = vec![2018];
     config.workers = Some(2);
-    config.read_timeout_ms = 150;
+    config.conn = synthattr_serve::ConnPolicy {
+        header_deadline_ms: 150,
+        body_deadline_ms: 150,
+        write_stall_ms: 500,
+        idle_budget_ms: 2_000,
+        ..synthattr_serve::ConnPolicy::default()
+    };
     config.limits = Limits {
         max_request_line: 1024,
         max_header_line: 1024,
@@ -290,8 +297,8 @@ fn live_server_rejects_truncated_bodies() {
 }
 
 /// Slow-loris: a client that sends half a request line and stalls is
-/// cut off by the read timeout — bounded wall-clock, then the worker
-/// moves on.
+/// cut off by the header progress deadline — bounded wall-clock, and
+/// because workers rotate instead of camping, no thread is lost.
 #[test]
 fn live_server_times_out_slow_loris_clients() {
     let server = hardened_server();
@@ -301,7 +308,7 @@ fn live_server_times_out_slow_loris_clients() {
         .set_read_timeout(Some(Duration::from_secs(10)))
         .expect("timeout");
     stream.write_all(b"GET /heal").expect("drip");
-    // Stall. The server's 150 ms read timeout must fire long before
+    // Stall. The server's 150 ms header deadline must fire long before
     // our own 10 s guard.
     let mut buf = [0u8; 1024];
     let mut reply = Vec::new();

@@ -329,13 +329,27 @@ impl<T> WorkQueue<T> {
     /// Enqueues an item, waking one blocked consumer. Returns `false`
     /// (dropping the item) if the queue is already closed.
     pub fn push(&self, item: T) -> bool {
+        self.offer(item).is_ok()
+    }
+
+    /// Enqueues an item like [`push`](WorkQueue::push), but hands the
+    /// item **back** instead of silently dropping it when the queue is
+    /// closed. Producers whose items own live resources (the serving
+    /// layer parks open connections here) need the rejected item to
+    /// dispose of it deliberately — e.g. finish a graceful drain —
+    /// rather than have `Drop` slam the resource shut.
+    ///
+    /// # Errors
+    ///
+    /// `Err(item)` when the queue is closed; the queue is unchanged.
+    pub fn offer(&self, item: T) -> Result<(), T> {
         let mut inner = self.inner.lock().expect("work queue poisoned");
         if inner.closed {
-            return false;
+            return Err(item);
         }
         inner.items.push_back(item);
         self.ready.notify_one();
-        true
+        Ok(())
     }
 
     /// Dequeues the next item, blocking while the queue is empty and
@@ -569,6 +583,19 @@ mod tests {
         let q = WorkQueue::new();
         q.close();
         assert!(!q.push(1u8));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn work_queue_offer_returns_the_item_when_closed() {
+        let q = WorkQueue::new();
+        assert_eq!(q.offer(7u8), Ok(()));
+        q.close();
+        // The queued item still drains…
+        assert_eq!(q.pop(), Some(7));
+        // …but a rejected offer hands the item back intact instead of
+        // dropping it, so the caller can dispose of it deliberately.
+        assert_eq!(q.offer(9u8), Err(9));
         assert_eq!(q.pop(), None);
     }
 

@@ -28,8 +28,11 @@
 # The `serve` target spins up a real `synthattr-serve` server on a
 # loopback socket and drives it with seeded keep-alive clients: serial
 # and 8-way-concurrent /attribute latency (p50/p95 per request), a
-# sustained req/s line, and the /healthz routing floor. Lands in
-# BENCH_serve.json.
+# sustained req/s line, the /healthz routing floor, and the saturating
+# sweep — 1/8/64/256 clients against the fixed 4-worker rotation pool,
+# clean and with 16 slow-loris connections held open in the background
+# (`sweep/cN` / `sweep+loris16/cN`), so the survivability overhead has
+# its own trajectory. Lands in BENCH_serve.json.
 #
 # Usage:
 #   scripts/bench.sh                  # full budgets, writes BENCH_forest.json,
@@ -129,6 +132,30 @@ if [[ -n "$p50" && -n "$rps" ]]; then
   awk -v p50="$p50" -v rps="$rps" 'BEGIN {
     printf "serve /attribute: p50 %.2f ms at 8 clients, %.0f req/s sustained\n",
       p50 / 1e6, rps
+  }' >&2
+fi
+
+# Saturation sweep: clean vs hostile-background throughput per cell,
+# and the knee (the client count where clean throughput peaks).
+knee_clients=""
+knee_rps=0
+for cell in 1 8 64 256; do
+  clean=$(serve_field "sweep/c$cell/throughput" "req_per_s")
+  loris=$(serve_field "sweep+loris16/c$cell/throughput" "req_per_s")
+  if [[ -n "$clean" && -n "$loris" ]]; then
+    awk -v c="$cell" -v clean="$clean" -v loris="$loris" 'BEGIN {
+      printf "serve sweep c%-3d: %.0f req/s clean, %.0f req/s with 16 loris (%.2fx)\n",
+        c, clean, loris, loris / clean
+    }' >&2
+    if awk -v a="$clean" -v b="$knee_rps" 'BEGIN { exit !(a > b) }'; then
+      knee_rps="$clean"
+      knee_clients="$cell"
+    fi
+  fi
+done
+if [[ -n "$knee_clients" ]]; then
+  awk -v c="$knee_clients" -v rps="$knee_rps" 'BEGIN {
+    printf "serve sweep knee: throughput peaks at %d clients (%.0f req/s)\n", c, rps
   }' >&2
 fi
 

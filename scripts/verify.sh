@@ -23,6 +23,12 @@
 #                                     #   serve unit tests, the TCP
 #                                     #   e2e byte-identity suite, and
 #                                     #   the HTTP robustness suite
+#   scripts/verify.sh --serve-hardening  # tier-1 + the connection-
+#                                     #   survivability suites: conn/
+#                                     #   drain policy unit tests, the
+#                                     #   hostile-traffic generator,
+#                                     #   chaos-at-the-socket, and the
+#                                     #   graceful-drain race
 #   scripts/verify.sh --dataflow      # tier-1 + the CFG/dataflow
 #                                     #   suites in isolation: analysis
 #                                     #   unit tests, golden
@@ -91,6 +97,16 @@
 # property suite (byte soup, truncation, oversize, slow-loris,
 # pipelining — 4xx or clean close, never a panic or hang; DESIGN.md
 # §11). All three also run under plain tier-1.
+#
+# --serve-hardening re-runs the connection-survivability stack by name
+# with visible output (DESIGN.md §14): the clock-explicit conn/drain
+# policy unit tests, the seeded hostile-traffic generator in
+# synthattr-faults, the chaos-at-the-socket suite (64 slow-loris hold
+# sockets while legit /attribute p95 stays within 5x unloaded; cuts
+# land in the per-cause close counters), and the graceful-drain race
+# (shutdown vs. pipelined keep-alive bursts at workers 1 and 4 drops
+# zero responses, forced_closes == 0). All of these also run under
+# plain tier-1.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -100,6 +116,7 @@ CHAOS=0
 FRONTEND=0
 INCREMENT=0
 SERVE=0
+SERVE_HARDENING=0
 DATAFLOW=0
 STRICT=0
 for arg in "$@"; do
@@ -110,6 +127,7 @@ for arg in "$@"; do
     --frontend) FRONTEND=1 ;;
     --increment) INCREMENT=1 ;;
     --serve) SERVE=1 ;;
+    --serve-hardening) SERVE_HARDENING=1 ;;
     --dataflow) DATAFLOW=1 ;;
     --strict) STRICT=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
@@ -198,6 +216,18 @@ if [[ "$SERVE" == "1" ]]; then
   cargo test --offline --test serve_e2e
   echo "== serve: HTTP robustness property suite ==" >&2
   cargo test --offline -p synthattr-serve --test http_properties
+fi
+
+if [[ "$SERVE_HARDENING" == "1" ]]; then
+  echo "== serve-hardening: connection policy + drain bookkeeping units ==" >&2
+  cargo test --offline -p synthattr-serve --lib conn
+  cargo test --offline -p synthattr-serve --lib drain
+  echo "== serve-hardening: hostile-traffic generator (seeded scripts) ==" >&2
+  cargo test --offline -p synthattr-faults --lib traffic
+  echo "== serve-hardening: chaos at the socket (loris/staller/dripper/reset) ==" >&2
+  cargo test --offline --test serve_chaos
+  echo "== serve-hardening: graceful drain vs pipelined bursts ==" >&2
+  cargo test --offline --test serve_drain
 fi
 
 echo "verify: OK" >&2

@@ -1,0 +1,178 @@
+//! Graceful drain under fire: `shutdown()` racing pipelined
+//! keep-alive bursts must drop **zero** in-flight responses.
+//!
+//! The protocol under test (see DESIGN.md §14): `shutdown()` flips the
+//! draining flag, the acceptor stops, the work queue closes, and every
+//! worker answers all complete buffered requests on the connections it
+//! still holds — marking the final response `Connection: close` — then
+//! flushes with a bounded-blocking loop before the hard deadline
+//! force-closes stragglers. A client that managed to get its bytes
+//! onto an accepted connection gets complete answers, ending exactly
+//! on a frame boundary.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use synthattr::serve::server::{RunningServer, ServeConfig, Server};
+
+const BURST: usize = 24;
+
+fn spawn(workers: usize) -> RunningServer {
+    let mut config = ServeConfig::smoke();
+    config.years = vec![2018];
+    config.workers = Some(workers);
+    config.rate = None;
+    config.drain_deadline_ms = 10_000;
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+/// One pipelined burst of `BURST` keep-alive requests in a single
+/// write.
+fn burst_bytes() -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..BURST {
+        out.extend_from_slice(
+            format!("GET /healthz HTTP/1.1\r\nHost: synthattr\r\nX-Seq: {i}\r\n\r\n").as_bytes(),
+        );
+    }
+    out
+}
+
+/// Splits a raw reply into complete `Content-Length`-framed responses.
+/// Returns `(status_codes, leftover_bytes)`; a half-written response
+/// shows up as nonempty leftover.
+fn parse_responses(mut raw: &[u8]) -> (Vec<u16>, usize) {
+    let mut statuses = Vec::new();
+    loop {
+        let Some(head_end) = raw.windows(4).position(|w| w == b"\r\n\r\n") else {
+            return (statuses, raw.len());
+        };
+        let head = String::from_utf8_lossy(&raw[..head_end]);
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+        let total = head_end + 4 + content_length;
+        if raw.len() < total {
+            return (statuses, raw.len() - head_end.min(raw.len()));
+        }
+        statuses.push(status);
+        raw = &raw[total..];
+        if raw.is_empty() {
+            return (statuses, 0);
+        }
+    }
+}
+
+/// The core race, at a given worker count and shutdown stagger: a
+/// pipelined burst lands on an accepted connection, `shutdown()` fires
+/// mid-flight, and the client still collects `BURST` complete 200s.
+fn race_once(workers: usize, stagger: Duration) {
+    let server = spawn(workers);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(15)))
+        .expect("timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.write_all(&burst_bytes()).expect("burst");
+    stream.flush().expect("flush");
+
+    // Wait for the first response byte so we know the connection was
+    // accepted and is mid-serve — *then* race the drain against the
+    // rest of the burst.
+    let mut reply = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    let n = stream.read(&mut buf).expect("first bytes before drain");
+    assert!(n > 0, "server closed before answering anything");
+    reply.extend_from_slice(&buf[..n]);
+    std::thread::sleep(stagger);
+
+    let stats = server.shutdown();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => reply.extend_from_slice(&buf[..n]),
+            Err(e) => panic!(
+                "workers={workers} stagger={stagger:?}: read failed mid-drain \
+                 after {} bytes: {e}",
+                reply.len()
+            ),
+        }
+    }
+
+    let (statuses, leftover) = parse_responses(&reply);
+    assert_eq!(
+        statuses.len(),
+        BURST,
+        "workers={workers} stagger={stagger:?}: dropped responses (got {statuses:?})"
+    );
+    assert!(
+        statuses.iter().all(|&s| s == 200),
+        "workers={workers}: non-200 in {statuses:?}"
+    );
+    assert_eq!(
+        leftover, 0,
+        "workers={workers} stagger={stagger:?}: reply ends mid-frame ({leftover} dangling bytes)"
+    );
+    assert_eq!(
+        stats.forced_closes, 0,
+        "workers={workers}: drain had to force-close"
+    );
+    assert!(stats.clean, "workers={workers}: drain not clean: {stats:?}");
+}
+
+#[test]
+fn drain_races_a_pipelined_burst_without_dropping_responses() {
+    for workers in [1usize, 4] {
+        for stagger_ms in [0u64, 2, 10] {
+            race_once(workers, Duration::from_millis(stagger_ms));
+        }
+    }
+}
+
+/// Draining with no traffic at all is clean and immediate, and the
+/// acceptor really stops: new connections are refused (or die unread)
+/// after `shutdown()` returns.
+#[test]
+fn idle_drain_is_clean_and_stops_accepting() {
+    let server = spawn(2);
+    let addr = server.addr();
+    let resp = synthattr::serve::client::request(addr, "GET", "/healthz", &[], b"")
+        .expect("pre-drain healthz");
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("\"drain_state\":\"active\""));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.forced_closes, 0);
+    assert!(stats.clean);
+
+    // The listener is gone with the server.
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut stream) => {
+            // Connected to a dead address reuse at worst — no one
+            // answers.
+            stream
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .expect("timeout");
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buf = [0u8; 64];
+            !matches!(stream.read(&mut buf), Ok(n) if n > 0)
+        }
+    };
+    assert!(refused, "a drained server must not serve new connections");
+}

@@ -188,7 +188,19 @@ fn healthz_reflects_traffic_and_keep_alive_reuses_one_connection() {
         "body: {text}"
     );
     assert!(text.contains("\"hits\":"), "cache stats present: {text}");
-    server.shutdown();
+    // Connection-survivability gauges: this keep-alive connection is
+    // open (and being driven) right now, nothing has been drained.
+    assert!(text.contains("\"drain_state\":\"active\""), "body: {text}");
+    assert!(text.contains("\"connections_open\":"), "body: {text}");
+    assert!(text.contains("\"connections_parked\":"), "body: {text}");
+    assert!(
+        text.contains("\"connection_closes\":{\"peer_closed\":"),
+        "body: {text}"
+    );
+
+    let stats = server.shutdown();
+    assert!(stats.clean, "quiet shutdown must drain clean: {stats:?}");
+    assert_eq!(stats.forced_closes, 0, "stats: {stats:?}");
 }
 
 #[test]
