@@ -148,11 +148,17 @@ pub const STD_NAMES: &[&str] = &[
     "NULL",
     "size_t",
     "std",
+    "fixed",
+    "setprecision",
 ];
 
 /// Whether `name` is a standard-library name per [`STD_NAMES`].
+///
+/// Namespace-qualified names (`ios_base::sync_with_stdio`) are always
+/// library names: the parser only produces them for non-`std`
+/// qualifiers, and user code cannot declare one.
 pub fn is_std_name(name: &str) -> bool {
-    STD_NAMES.contains(&name)
+    STD_NAMES.contains(&name) || name.contains("::")
 }
 
 /// Resolves `unit`, producing bindings, use counts and unresolved uses.

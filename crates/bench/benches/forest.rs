@@ -1,11 +1,19 @@
 //! Random-forest benchmarks, including the forest-size ablation
 //! called out in DESIGN.md.
+//!
+//! Runs under [`CountingAllocator`], so every row carries allocator
+//! traffic and the live-heap high-water mark (`peak_alloc_bytes`)
+//! next to the wall-clock numbers.
 
+use synthattr_bench::alloc_counter::CountingAllocator;
 use synthattr_bench::harness::Group;
 use synthattr_ml::dataset::Dataset;
 use synthattr_ml::forest::{ForestConfig, RandomForest};
 use synthattr_ml::select::select_top_k;
 use synthattr_util::Pcg64;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 /// A synthetic multi-class dataset shaped like the attribution task
 /// (many classes, wide features).
@@ -33,6 +41,7 @@ fn main() {
     let test = synthetic(24, 4, 150, 2);
 
     let mut group = Group::new("forest");
+    group.measure_allocs(true);
 
     for n_trees in [25usize, 50, 100] {
         let cfg = ForestConfig {

@@ -1,0 +1,206 @@
+//! Corpus scale-out sweep: 204 / 2 000 / 20 000 authors end to end.
+//!
+//! Each cell runs three one-shot phases (the 20k build takes minutes,
+//! so `bench_once` times a single execution instead of sampling for a
+//! median):
+//!
+//! * `build/<authors>` — stream the year corpus in 256-author chunks
+//!   ([`stream_year`]), featurize each chunk on the worker pool, and
+//!   append the rows to two on-disk [`ColumnStore`]s (train + a
+//!   per-author reservoir hold-out picked by [`reservoir_holdout`]).
+//!   No chunk outlives its append, so the peak heap stays flat as the
+//!   author count grows 100×.
+//! * `train/<authors>` — shard-parallel forest training straight from
+//!   the train store ([`RandomForest::fit_sharded`]); only one shard's
+//!   rows are resident per worker at a time.
+//! * `eval/<authors>` — stream the hold-out store and score the
+//!   forest; an `accuracy/<authors>` JSON row records the resulting
+//!   accuracy-vs-scale point next to the timing rows.
+//!
+//! The binary installs [`CountingAllocator`], so every row carries
+//! `peak_alloc_bytes` — the live-heap high-water mark of that phase,
+//! the in-process stand-in for peak RSS. `scripts/bench.sh scale`
+//! lands the rows in `BENCH_scale.json`.
+//!
+//! `SYNTHATTR_SCALE_AUTHORS` (comma-separated, default
+//! `204,2000,20000`) overrides the sweep — the verify script's smoke
+//! pass sets it to a small value.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use synthattr_bench::alloc_counter::CountingAllocator;
+use synthattr_bench::harness::{Group, ENV_JSON_PATH};
+use synthattr_features::{FeatureConfig, FeatureExtractor};
+use synthattr_gen::corpus::{stream_year, YearSpec};
+use synthattr_ml::colstore::{ColumnStore, ColumnStoreWriter};
+use synthattr_ml::cv::reservoir_holdout;
+use synthattr_ml::forest::{ForestConfig, RandomForest};
+use synthattr_ml::source::for_each_row;
+use synthattr_util::{pool, Pcg64};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Challenges per author: three quarters of paper scale keeps the 20k
+/// cell well under a minute while leaving 5 train rows per class
+/// after the one-row holdout.
+const CHALLENGES: usize = 6;
+/// Authors generated (and featurized) per streamed chunk.
+const CHUNK_AUTHORS: usize = 256;
+/// Rows per column chunk in the on-disk stores.
+const CHUNK_ROWS: usize = 1024;
+/// Forest size for the sweep (accuracy trend, not peak accuracy).
+const N_TREES: usize = 96;
+/// Training shards: how many row ranges are resident at once.
+const N_SHARDS: usize = 8;
+/// Root seed shared by every cell (same seed as the corpus tests).
+const SEED: u64 = 41;
+
+fn author_counts() -> Vec<usize> {
+    std::env::var("SYNTHATTR_SCALE_AUTHORS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![204, 2000, 20000])
+}
+
+/// Emits a non-harness JSON row (the accuracy point) to the same
+/// sinks as the harness: stdout, plus the [`ENV_JSON_PATH`] tee.
+fn emit_row(json: &str) {
+    println!("{json}");
+    if let Ok(path) = std::env::var(ENV_JSON_PATH) {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(file, "{json}");
+        }
+    }
+}
+
+fn store_path(tag: &str, authors: usize) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "synthattr_scale_{}_{tag}_{authors}.cols",
+        std::process::id()
+    ));
+    path
+}
+
+fn main() {
+    let mut group = Group::new("scale");
+    group.measure_allocs(true);
+    let extractor = FeatureExtractor::new(FeatureConfig::default());
+    let workers = pool::resolve_workers(None);
+
+    for authors in author_counts() {
+        let spec = YearSpec::tiny(2018, authors, CHALLENGES);
+        let n_rows = authors * spec.challenges.len();
+
+        // The label sequence is known before generation (author-major
+        // order), so the per-author reservoir hold-out — one of each
+        // author's solutions — is drawn up front and the build phase
+        // routes each sample to the right store in a single pass.
+        let fold = reservoir_holdout(
+            (0..authors).flat_map(|a| std::iter::repeat_n(a, spec.challenges.len())),
+            authors,
+            1,
+            Pcg64::seed_from(SEED, &["scale-fold", &authors.to_string()]),
+        );
+        let mut in_test = vec![false; n_rows];
+        for &i in &fold.test {
+            in_test[i] = true;
+        }
+
+        let train_path = store_path("train", authors);
+        let test_path = store_path("test", authors);
+        let mut stores: Option<(ColumnStore, ColumnStore)> = None;
+        group.bench_once(&format!("build/{authors}"), || {
+            let mut train_w =
+                ColumnStoreWriter::create(&train_path, extractor.dim(), authors, CHUNK_ROWS)
+                    .expect("create train store");
+            let mut test_w =
+                ColumnStoreWriter::create(&test_path, extractor.dim(), authors, CHUNK_ROWS)
+                    .expect("create test store");
+            let mut row = 0usize;
+            for chunk in stream_year(&spec, SEED, CHUNK_AUTHORS) {
+                let rows = pool::parallel_map_workers(workers, chunk, |sample| {
+                    (
+                        extractor
+                            .extract(&sample.source)
+                            .expect("generated sample must parse"),
+                        sample.author,
+                    )
+                });
+                for (features, label) in rows {
+                    let w = if in_test[row] {
+                        &mut test_w
+                    } else {
+                        &mut train_w
+                    };
+                    w.push_row(&features, label).expect("push row");
+                    row += 1;
+                }
+            }
+            assert_eq!(row, n_rows);
+            stores = Some((
+                train_w.finish().expect("finish train store"),
+                test_w.finish().expect("finish test store"),
+            ));
+        });
+        let (train_store, test_store) = stores.expect("build phase ran");
+
+        let config = ForestConfig {
+            n_trees: N_TREES,
+            ..ForestConfig::default()
+        };
+        let mut forest: Option<RandomForest> = None;
+        group.bench_once(&format!("train/{authors}"), || {
+            let mut rng = Pcg64::seed_from(SEED, &["scale-train", &authors.to_string()]);
+            forest = Some(
+                RandomForest::fit_sharded(&train_store, N_SHARDS, &config, &mut rng)
+                    .expect("sharded training"),
+            );
+        });
+        let forest = forest.expect("train phase ran");
+
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        group.bench_once(&format!("eval/{authors}"), || {
+            for_each_row(&test_store, CHUNK_ROWS, |features, label| {
+                if forest.predict(features) == label {
+                    correct += 1;
+                }
+                total += 1;
+            })
+            .expect("stream hold-out store");
+        });
+        assert_eq!(total, fold.test.len());
+
+        let accuracy = correct as f64 / total.max(1) as f64;
+        emit_row(&format!(
+            "{{\"group\":\"scale\",\"bench\":\"accuracy/{authors}\",\"authors\":{authors},\
+             \"challenges\":{CHALLENGES},\"train_rows\":{},\"test_rows\":{total},\
+             \"dim\":{},\"n_trees\":{N_TREES},\"n_shards\":{N_SHARDS},\
+             \"accuracy\":{accuracy:.4}}}",
+            train_store.len(),
+            extractor.dim(),
+        ));
+        eprintln!(
+            "scale/accuracy/{authors}: {correct}/{total} = {accuracy:.4} \
+             ({} train rows, dim {})",
+            train_store.len(),
+            extractor.dim(),
+        );
+
+        drop((train_store, test_store));
+        let _ = std::fs::remove_file(&train_path);
+        let _ = std::fs::remove_file(&test_path);
+    }
+}

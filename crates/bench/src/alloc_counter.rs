@@ -11,22 +11,35 @@
 //! ```
 //!
 //! and the harness's `Group::measure_allocs` then reports
-//! `allocs_per_iter` / `alloc_bytes_per_iter` in each summary's JSON
-//! line. In a binary that keeps the default allocator the counters
-//! simply stay at zero — [`snapshot`] is always safe to call.
+//! `allocs_per_iter` / `alloc_bytes_per_iter` /
+//! `peak_alloc_bytes` in each summary's JSON line. In a binary that
+//! keeps the default allocator the counters simply stay at zero —
+//! [`snapshot`], [`bytes_live`], and [`bytes_peak`] are always safe
+//! to call.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
-/// The system allocator plus two relaxed counters.
+/// Adds `delta` live bytes and ratchets the high-water mark.
+#[inline]
+fn grow_live(delta: u64) {
+    let live = LIVE_BYTES.fetch_add(delta, Ordering::Relaxed) + delta;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+/// The system allocator plus relaxed traffic counters and a live-set
+/// gauge with a high-water mark.
 ///
-/// Deallocations are uncounted on purpose: the interesting signal for
-/// the frontend cache is how much allocation work an iteration
-/// *requests* (every parse builds a fresh AST; a cache hit builds
-/// nothing), not the live-set size.
+/// The cumulative call/byte counters stay monotonic (the interesting
+/// signal for the frontend cache is how much allocation work an
+/// iteration *requests*); the live-bytes gauge additionally tracks
+/// deallocations so the scale benches can report the peak resident
+/// footprint of an out-of-core run.
 pub struct CountingAllocator;
 
 // SAFETY: defers every operation to `System`, which upholds the
@@ -36,12 +49,14 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        grow_live(layout.size() as u64);
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        grow_live(layout.size() as u64);
         System.alloc_zeroed(layout)
     }
 
@@ -52,10 +67,16 @@ unsafe impl GlobalAlloc for CountingAllocator {
             new_size.saturating_sub(layout.size()) as u64,
             Ordering::Relaxed,
         );
+        if new_size >= layout.size() {
+            grow_live((new_size - layout.size()) as u64);
+        } else {
+            LIVE_BYTES.fetch_sub((layout.size() - new_size) as u64, Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 }
@@ -71,6 +92,35 @@ pub fn snapshot() -> (u64, u64) {
     )
 }
 
+/// Bytes currently live (allocated and not yet freed).
+///
+/// Zero in binaries that keep the default allocator.
+pub fn bytes_live() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// The live-bytes high-water mark since process start or the last
+/// [`reset_peak`].
+pub fn bytes_peak() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Restarts the high-water mark at the current live-set size, so the
+/// next [`bytes_peak`] reading covers only the region of interest.
+///
+/// Concurrent allocations may land between the load and the store;
+/// with relaxed bench-grade accounting that slack is at most a few
+/// in-flight allocations and never *hides* a peak reached after the
+/// reset (the gauge ratchets up again immediately).
+pub fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Serializes unit tests that reset or assert on the process-wide
+/// gauge (they run in parallel threads of one test binary).
+#[cfg(test)]
+pub(crate) static TEST_GAUGE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +134,25 @@ mod tests {
         let (a2, b2) = snapshot();
         assert!(a2 >= a1);
         assert!(b2 >= b1);
+    }
+
+    #[test]
+    fn peak_gauge_ratchets_and_resets() {
+        let _guard = TEST_GAUGE_LOCK.lock().unwrap();
+        // Drive the gauge directly (the test binary keeps the system
+        // allocator, so the statics only move when we move them).
+        reset_peak();
+        let floor = bytes_peak();
+        assert_eq!(floor, bytes_live());
+        grow_live(10_000);
+        assert_eq!(bytes_live(), floor + 10_000);
+        assert_eq!(bytes_peak(), floor + 10_000);
+        // Freeing drops the live gauge but never the mark.
+        LIVE_BYTES.fetch_sub(10_000, Ordering::Relaxed);
+        assert_eq!(bytes_live(), floor);
+        assert_eq!(bytes_peak(), floor + 10_000);
+        // Resetting re-anchors the mark at the (restored) live size.
+        reset_peak();
+        assert_eq!(bytes_peak(), floor);
     }
 }

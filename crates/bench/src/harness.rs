@@ -79,11 +79,12 @@ impl Group {
     }
 
     /// Also report allocator traffic per iteration
-    /// (`allocs_per_iter` / `alloc_bytes_per_iter` in the JSON line),
-    /// measured over one extra untimed iteration after sampling.
+    /// (`allocs_per_iter` / `alloc_bytes_per_iter` /
+    /// `peak_alloc_bytes` in the JSON line), measured over one extra
+    /// untimed iteration after sampling.
     ///
     /// Only meaningful in a binary whose `#[global_allocator]` is
-    /// [`crate::alloc_counter::CountingAllocator`]; elsewhere both
+    /// [`crate::alloc_counter::CountingAllocator`]; elsewhere all
     /// counts read as zero.
     pub fn measure_allocs(&mut self, yes: bool) {
         self.measure_allocs = yes;
@@ -134,11 +135,49 @@ impl Group {
             Summary::from_sorted(&self.name, name, &samples_ns, self.throughput_bytes);
         if self.measure_allocs {
             let (calls_before, bytes_before) = crate::alloc_counter::snapshot();
+            crate::alloc_counter::reset_peak();
             f();
             let (calls_after, bytes_after) = crate::alloc_counter::snapshot();
             summary.allocs_per_iter = Some(calls_after - calls_before);
             summary.alloc_bytes_per_iter = Some(bytes_after - bytes_before);
+            summary.peak_alloc_bytes = Some(crate::alloc_counter::bytes_peak());
         }
+        self.emit(&summary);
+        summary
+    }
+
+    /// Times exactly one run of `f` — no warmup, one sample — and
+    /// reports the same JSON row shape as [`Group::bench`].
+    ///
+    /// For closures whose single execution is the measurement (a
+    /// 20 000-author corpus build takes minutes; repeating it for a
+    /// median would turn a bench sweep into an afternoon). When the
+    /// group measures allocations, the peak gauge brackets this same
+    /// run, so `peak_alloc_bytes` is the high-water mark of the timed
+    /// region itself.
+    pub fn bench_once<F: FnOnce()>(&mut self, name: &str, f: F) -> Summary {
+        let measuring = self.measure_allocs;
+        let (calls_before, bytes_before) = crate::alloc_counter::snapshot();
+        if measuring {
+            crate::alloc_counter::reset_peak();
+        }
+        let t = Instant::now();
+        f();
+        let elapsed = t.elapsed().as_nanos();
+        let mut summary = Summary::from_sorted(&self.name, name, &[elapsed], self.throughput_bytes);
+        if measuring {
+            let (calls_after, bytes_after) = crate::alloc_counter::snapshot();
+            summary.allocs_per_iter = Some(calls_after - calls_before);
+            summary.alloc_bytes_per_iter = Some(bytes_after - bytes_before);
+            summary.peak_alloc_bytes = Some(crate::alloc_counter::bytes_peak());
+        }
+        self.emit(&summary);
+        summary
+    }
+
+    /// Prints the stderr progress line and the stdout JSON line, and
+    /// tees the JSON to [`ENV_JSON_PATH`] when set.
+    fn emit(&self, summary: &Summary) {
         eprintln!("{}", summary.human_line());
         println!("{}", summary.json_line());
         if let Ok(path) = std::env::var(ENV_JSON_PATH) {
@@ -150,7 +189,6 @@ impl Group {
                 let _ = writeln!(file, "{}", summary.json_line());
             }
         }
-        summary
     }
 }
 
@@ -181,6 +219,10 @@ pub struct Summary {
     /// Bytes requested from the allocator in one iteration, under the
     /// same conditions.
     pub alloc_bytes_per_iter: Option<u64>,
+    /// Live-bytes high-water mark over the measured iteration — the
+    /// in-process stand-in for peak RSS (heap only; stacks and code
+    /// pages excluded).
+    pub peak_alloc_bytes: Option<u64>,
 }
 
 impl Summary {
@@ -209,6 +251,7 @@ impl Summary {
             bytes_per_iter,
             allocs_per_iter: None,
             alloc_bytes_per_iter: None,
+            peak_alloc_bytes: None,
         }
     }
 
@@ -235,6 +278,12 @@ impl Summary {
         }
         if let Some(allocs) = self.allocs_per_iter {
             line.push_str(&format!(", {allocs} allocs/iter"));
+        }
+        if let Some(peak) = self.peak_alloc_bytes {
+            line.push_str(&format!(
+                ", peak {:.1} MiB",
+                peak as f64 / (1024.0 * 1024.0)
+            ));
         }
         line
     }
@@ -263,6 +312,9 @@ impl Summary {
         }
         if let Some(bytes) = self.alloc_bytes_per_iter {
             fields.push(format!("\"alloc_bytes_per_iter\":{bytes}"));
+        }
+        if let Some(peak) = self.peak_alloc_bytes {
+            fields.push(format!("\"peak_alloc_bytes\":{peak}"));
         }
         format!("{{{}}}", fields.join(","))
     }
@@ -348,12 +400,16 @@ mod tests {
     fn alloc_fields_appear_only_when_measured() {
         let mut s = sample_summary();
         assert!(!s.json_line().contains("allocs_per_iter"));
+        assert!(!s.json_line().contains("peak_alloc_bytes"));
         s.allocs_per_iter = Some(42);
         s.alloc_bytes_per_iter = Some(4096);
+        s.peak_alloc_bytes = Some(3 * 1024 * 1024);
         let line = s.json_line();
         assert!(line.contains("\"allocs_per_iter\":42"), "{line}");
         assert!(line.contains("\"alloc_bytes_per_iter\":4096"), "{line}");
+        assert!(line.contains("\"peak_alloc_bytes\":3145728"), "{line}");
         assert!(s.human_line().contains("42 allocs/iter"));
+        assert!(s.human_line().contains("peak 3.0 MiB"));
     }
 
     #[test]
@@ -379,5 +435,30 @@ mod tests {
         assert!(summary.samples >= 3);
         assert!(summary.min_ns <= summary.max_ns);
         assert!(summary.median_ns <= summary.p95_ns);
+    }
+
+    #[test]
+    fn bench_once_takes_exactly_one_sample() {
+        let _guard = crate::alloc_counter::TEST_GAUGE_LOCK.lock().unwrap();
+        let mut group = Group {
+            name: "test".into(),
+            throughput_bytes: None,
+            measure_allocs: true,
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(1),
+            min_samples: 1,
+        };
+        let mut runs = 0u32;
+        let summary = group.bench_once("one", || {
+            runs += 1;
+            std::hint::black_box(vec![0u8; 1024]);
+        });
+        assert_eq!(runs, 1);
+        assert_eq!(summary.samples, 1);
+        assert_eq!(summary.median_ns, summary.min_ns as f64);
+        // The default allocator is installed in tests, so the gauge
+        // reads zero — but the fields must still be present.
+        assert!(summary.allocs_per_iter.is_some());
+        assert!(summary.peak_alloc_bytes.is_some());
     }
 }

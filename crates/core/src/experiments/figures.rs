@@ -96,16 +96,20 @@ pub fn paper_style() -> AuthorStyle {
         naming: NamingStyle {
             case_style: Case::Camel,
             verbosity: Verbosity::Medium,
+            flavor: 0,
         },
         io: IoStyle {
             stdio: false,
             merge_reads: true,
             endl: false,
+            fast_io: false,
+            precision: 6,
         },
         loops: LoopStyle {
             while_bias: 0.0,
             post_increment: false,
             one_based_cases: true,
+            predeclare_counter: false,
         },
         structure: StructureStyle {
             helper_bias: 0.0,
@@ -113,15 +117,18 @@ pub fn paper_style() -> AuthorStyle {
             compound_assign: false,
             static_cast: false,
             merge_decls: true,
+            explicit_return: true,
         },
         comments: CommentStyle {
             density: 0.0,
             block: false,
+            banner: false,
         },
         prologue: PrologueStyle {
             bits_stdcpp: false,
             long_long_alias: 0,
             using_namespace: true,
+            extra_headers: false,
         },
     }
 }

@@ -52,6 +52,12 @@ impl CodeBuilder {
     /// `["iostream", "vector", "algorithm"]`).
     pub fn prologue(&mut self, headers: &[&str]) -> Vec<Item> {
         let mut items = Vec::new();
+        if self.style.comments.banner {
+            items.push(Item::Comment(Comment {
+                text: "solution".into(),
+                block: self.style.comments.block,
+            }));
+        }
         if self.style.prologue.bits_stdcpp {
             items.push(Item::Include {
                 path: "bits/stdc++.h".into(),
@@ -61,6 +67,13 @@ impl CodeBuilder {
             let mut list: Vec<&str> = headers.to_vec();
             if self.style.io.stdio && !list.contains(&"cstdio") {
                 list.push("cstdio");
+            }
+            if self.style.prologue.extra_headers {
+                for h in ["cmath", "cstring"] {
+                    if !list.contains(&h) {
+                        list.push(h);
+                    }
+                }
             }
             for h in list {
                 items.push(Item::Include {
@@ -219,6 +232,17 @@ impl CodeBuilder {
             );
             chain = Expr::bin(BinaryOp::Shl, chain, case_expr);
             chain = Expr::bin(BinaryOp::Shl, chain, Expr::Str(": ".into()));
+            if double_result {
+                chain = Expr::bin(BinaryOp::Shl, chain, Expr::ident("fixed"));
+                chain = Expr::bin(
+                    BinaryOp::Shl,
+                    chain,
+                    Expr::call(
+                        "setprecision",
+                        vec![Expr::Int(i64::from(self.style.io.precision))],
+                    ),
+                );
+            }
             chain = Expr::bin(BinaryOp::Shl, chain, value);
             chain = Expr::bin(
                 BinaryOp::Shl,
@@ -289,6 +313,25 @@ impl CodeBuilder {
                     body: Block::new(inner),
                 },
             ]
+        } else if self.style.loops.predeclare_counter {
+            // `int i; for (i = from; ...)` — the counter outlives the
+            // loop, as some authors habitually write it.
+            vec![
+                Stmt::Decl(Declaration {
+                    ty: Type::Int,
+                    declarators: vec![Declarator::plain(name)],
+                }),
+                Stmt::For {
+                    init: Some(Box::new(Stmt::Expr(Expr::assign(
+                        AssignOp::Assign,
+                        Expr::ident(name),
+                        from,
+                    )))),
+                    cond: Some(cond),
+                    step: Some(step),
+                    body: Block::new(body),
+                },
+            ]
         } else {
             vec![Stmt::For {
                 init: Some(Box::new(Stmt::Decl(Declaration {
@@ -311,21 +354,51 @@ impl CodeBuilder {
         &mut self,
         body: impl FnOnce(&mut CodeBuilder, Expr) -> Vec<Stmt>,
     ) -> Vec<Stmt> {
-        let mut out = self.read_vars(&[("num_cases", Type::Int)]);
+        let mut out = Vec::new();
+        if self.style.io.fast_io && !self.style.io.stdio {
+            // The competitive-programming fast-IO incantation.
+            out.push(Stmt::Expr(Expr::call(
+                "ios_base::sync_with_stdio",
+                vec![Expr::Bool(false)],
+            )));
+            out.push(Stmt::Expr(Expr::method(
+                Expr::ident("cin"),
+                "tie",
+                vec![Expr::Int(0)],
+            )));
+        }
+        out.extend(self.read_vars(&[("num_cases", Type::Int)]));
         let t = self.n("num_cases");
         let i = self.n("case_index");
         if self.style.loops.one_based_cases {
             let stmts = body(self, Expr::ident(i.clone()));
             let step = self.incr(&i);
-            out.push(Stmt::For {
-                init: Some(Box::new(Stmt::Decl(Declaration {
+            if self.style.loops.predeclare_counter {
+                out.push(Stmt::Decl(Declaration {
                     ty: Type::Int,
-                    declarators: vec![Declarator::init(i.clone(), Expr::Int(1))],
-                }))),
-                cond: Some(Expr::bin(BinaryOp::Le, Expr::ident(i), Expr::ident(t))),
-                step: Some(step),
-                body: Block::new(stmts),
-            });
+                    declarators: vec![Declarator::plain(i.clone())],
+                }));
+                out.push(Stmt::For {
+                    init: Some(Box::new(Stmt::Expr(Expr::assign(
+                        AssignOp::Assign,
+                        Expr::ident(i.clone()),
+                        Expr::Int(1),
+                    )))),
+                    cond: Some(Expr::bin(BinaryOp::Le, Expr::ident(i), Expr::ident(t))),
+                    step: Some(step),
+                    body: Block::new(stmts),
+                });
+            } else {
+                out.push(Stmt::For {
+                    init: Some(Box::new(Stmt::Decl(Declaration {
+                        ty: Type::Int,
+                        declarators: vec![Declarator::init(i.clone(), Expr::Int(1))],
+                    }))),
+                    cond: Some(Expr::bin(BinaryOp::Le, Expr::ident(i), Expr::ident(t))),
+                    step: Some(step),
+                    body: Block::new(stmts),
+                });
+            }
         } else {
             let case_expr = Expr::bin(BinaryOp::Add, Expr::ident(i.clone()), Expr::Int(1));
             let stmts = body(self, case_expr);
@@ -649,6 +722,93 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("using ll = long long;"), "{text}");
+    }
+
+    #[test]
+    fn fast_io_prelude_opens_stream_mains() {
+        let mut b = builder(20);
+        b.style.io.stdio = false;
+        b.style.io.fast_io = true;
+        b.style.loops.while_bias = 0.0;
+        let stmts = b.case_loop(|b, case| vec![b.print_case(case, Expr::Int(0), false)]);
+        let text = render_stmts(stmts);
+        assert!(text.contains("ios_base::sync_with_stdio(false)"), "{text}");
+        assert!(text.contains("tie(0)"), "{text}");
+
+        // stdio authors never emit it, fast_io habit or not.
+        let mut b = builder(21);
+        b.style.io.stdio = true;
+        b.style.io.fast_io = true;
+        b.style.loops.while_bias = 0.0;
+        let stmts = b.case_loop(|b, case| vec![b.print_case(case, Expr::Int(0), false)]);
+        let text = render_stmts(stmts);
+        assert!(!text.contains("sync_with_stdio"), "{text}");
+    }
+
+    #[test]
+    fn predeclared_counters_split_decl_from_for_init() {
+        let mut b = builder(22);
+        b.style.loops.predeclare_counter = true;
+        b.style.loops.while_bias = 0.0;
+        let stmts = b.count_loop("i", Expr::Int(0), Expr::Int(5), vec![Stmt::Empty]);
+        let text = render_stmts(stmts);
+        assert!(text.contains("int i;"), "{text}");
+        assert!(
+            text.contains("for (i = 0") || text.contains("for(i=0"),
+            "{text}"
+        );
+
+        // One-based case loops honor the habit too.
+        let mut b = builder(23);
+        b.style.io.stdio = false;
+        b.style.io.fast_io = false;
+        b.style.loops.one_based_cases = true;
+        b.style.loops.predeclare_counter = true;
+        let stmts = b.case_loop(|b, case| vec![b.print_case(case, Expr::Int(0), false)]);
+        let text = render_stmts(stmts);
+        assert!(text.contains("= 1;"), "{text}");
+    }
+
+    #[test]
+    fn stream_doubles_carry_the_author_precision() {
+        let mut b = builder(24);
+        b.style.io.stdio = false;
+        b.style.io.precision = 9;
+        let s = b.print_case(Expr::Int(1), Expr::ident("x"), true);
+        let text = render_stmts(vec![b.decl(Type::Double, "x", Expr::Float("0".into())), s]);
+        assert!(text.contains("fixed"), "{text}");
+        assert!(text.contains("setprecision(9)"), "{text}");
+
+        // Integer results never pick up the precision chain.
+        let mut b = builder(25);
+        b.style.io.stdio = false;
+        let s = b.print_case(Expr::Int(1), Expr::Int(7), false);
+        let text = render_stmts(vec![s]);
+        assert!(!text.contains("setprecision"), "{text}");
+    }
+
+    #[test]
+    fn banner_and_extra_headers_shape_the_prologue() {
+        let mut b = builder(26);
+        b.style.comments.banner = true;
+        b.style.comments.block = false;
+        b.style.prologue.bits_stdcpp = false;
+        b.style.prologue.extra_headers = true;
+        let items = b.prologue(&["iostream"]);
+        assert!(matches!(items[0], Item::Comment(_)), "{items:?}");
+        let unit = TranslationUnit { items };
+        let text = render(&unit, &RenderStyle::default());
+        assert!(text.contains("cmath") && text.contains("cstring"), "{text}");
+
+        // bits/stdc++.h subsumes the extra headers.
+        let mut b = builder(27);
+        b.style.comments.banner = false;
+        b.style.prologue.bits_stdcpp = true;
+        b.style.prologue.extra_headers = true;
+        let items = b.prologue(&["iostream"]);
+        let unit = TranslationUnit { items };
+        let text = render(&unit, &RenderStyle::default());
+        assert!(!text.contains("cmath"), "{text}");
     }
 
     #[test]

@@ -187,9 +187,15 @@ fn scaffold(
     result: Result_,
     case_body: &CaseBody,
 ) -> TranslationUnit {
-    let mut items = b.prologue(headers);
-    let result_ty = result.ty(b);
     let double_result = result == Result_::Double;
+    // Stream-printed doubles go through `setprecision`, which needs
+    // <iomanip> when headers are spelled individually.
+    let mut headers: Vec<&str> = headers.to_vec();
+    if double_result && !b.style.io.stdio && !headers.contains(&"iomanip") {
+        headers.push("iomanip");
+    }
+    let mut items = b.prologue(&headers);
+    let result_ty = result.ty(b);
 
     if let Some(Stmt::Comment(c)) = b.maybe_comment("solution") {
         items.push(Item::Comment(c));
@@ -214,7 +220,7 @@ fn scaffold(
             };
             vec![stmt]
         });
-        items.push(main_fn(main_stmts));
+        items.push(main_fn(b, main_stmts));
     } else {
         let main_stmts = b.case_loop(|b, case| {
             let (mut stmts, result_expr) = case_body(b);
@@ -226,13 +232,15 @@ fn scaffold(
             stmts.push(stmt);
             stmts
         });
-        items.push(main_fn(main_stmts));
+        items.push(main_fn(b, main_stmts));
     }
     TranslationUnit { items }
 }
 
-fn main_fn(mut stmts: Vec<Stmt>) -> Item {
-    stmts.push(Stmt::Return(Some(Expr::Int(0))));
+fn main_fn(b: &CodeBuilder, mut stmts: Vec<Stmt>) -> Item {
+    if b.style.structure.explicit_return {
+        stmts.push(Stmt::Return(Some(Expr::Int(0))));
+    }
     Item::Function(Function {
         ret: Type::Int,
         name: "main".into(),
@@ -539,7 +547,7 @@ fn gcd_program(b: &mut CodeBuilder) -> TranslationUnit {
             stmts.push(b.print_case(case, call, false));
             stmts
         });
-        items.push(main_fn(main_stmts));
+        items.push(main_fn(b, main_stmts));
     } else {
         let main_stmts = b.case_loop(|b, case| {
             let mut stmts = b.read_vars(&[("value", Type::Int), ("value2", Type::Int)]);
@@ -572,7 +580,7 @@ fn gcd_program(b: &mut CodeBuilder) -> TranslationUnit {
             stmts.push(b.print_case(case, Expr::ident(x), false));
             stmts
         });
-        items.push(main_fn(main_stmts));
+        items.push(main_fn(b, main_stmts));
     }
     TranslationUnit { items }
 }

@@ -118,30 +118,88 @@ pub fn generate_year(spec: &YearSpec, root_seed: u64) -> YearCorpus {
     for author in 0..spec.authors {
         let base_style = AuthorStyle::for_author(root_seed, spec.year, author);
         for (ci, &challenge) in spec.challenges.iter().enumerate() {
-            let mut rng = Pcg64::seed_from(
+            samples.push(one_sample(
+                spec,
                 root_seed,
-                &[
-                    "sample",
-                    &spec.year.to_string(),
-                    &author.to_string(),
-                    &ci.to_string(),
-                ],
-            );
-            let mut style = base_style.clone();
-            wobble_style(&mut style, &mut rng);
-            let source = challenge.render_solution(&style, rng.fork(&["file"]));
-            samples.push(CodeSample {
-                source,
+                &base_style,
                 author,
-                challenge: ci,
-                year: spec.year,
-                origin: Origin::Human,
-            });
+                ci,
+                challenge,
+            ));
         }
     }
     YearCorpus {
         spec: spec.clone(),
         samples,
+    }
+}
+
+/// Streams the same corpus [`generate_year`] builds, yielding authors
+/// in chunks of `chunk_authors` so a 20 000-author year never has to
+/// be resident at once.
+///
+/// Every sample is generated from the same per-`(year, author,
+/// challenge)` seed derivation as `generate_year`, so concatenating
+/// the chunks reproduces `generate_year(spec, root_seed).samples`
+/// exactly — the equivalence test pins this. Callers featurize (or
+/// write to a [`ColumnStore`](../../synthattr_ml/colstore/index.html))
+/// each chunk and drop it before pulling the next.
+pub fn stream_year(
+    spec: &YearSpec,
+    root_seed: u64,
+    chunk_authors: usize,
+) -> impl Iterator<Item = Vec<CodeSample>> + '_ {
+    let chunk_authors = chunk_authors.max(1);
+    let n_chunks = spec.authors.div_ceil(chunk_authors);
+    (0..n_chunks).map(move |c| {
+        let lo = c * chunk_authors;
+        let hi = (lo + chunk_authors).min(spec.authors);
+        let mut samples = Vec::with_capacity((hi - lo) * spec.challenges.len());
+        for author in lo..hi {
+            let base_style = AuthorStyle::for_author(root_seed, spec.year, author);
+            for (ci, &challenge) in spec.challenges.iter().enumerate() {
+                samples.push(one_sample(
+                    spec,
+                    root_seed,
+                    &base_style,
+                    author,
+                    ci,
+                    challenge,
+                ));
+            }
+        }
+        samples
+    })
+}
+
+/// Generates the `(author, challenge)` sample — the shared inner step
+/// of [`generate_year`] and [`stream_year`].
+fn one_sample(
+    spec: &YearSpec,
+    root_seed: u64,
+    base_style: &AuthorStyle,
+    author: usize,
+    ci: usize,
+    challenge: ChallengeId,
+) -> CodeSample {
+    let mut rng = Pcg64::seed_from(
+        root_seed,
+        &[
+            "sample",
+            &spec.year.to_string(),
+            &author.to_string(),
+            &ci.to_string(),
+        ],
+    );
+    let mut style = base_style.clone();
+    wobble_style(&mut style, &mut rng);
+    let source = challenge.render_solution(&style, rng.fork(&["file"]));
+    CodeSample {
+        source,
+        author,
+        challenge: ci,
+        year: spec.year,
+        origin: Origin::Human,
     }
 }
 
@@ -233,6 +291,30 @@ mod tests {
                 "author {author} switched indentation mid-year"
             );
         }
+    }
+
+    #[test]
+    fn streaming_reproduces_the_batch_corpus_exactly() {
+        let spec = YearSpec::tiny(2017, 7, 3);
+        let batch = generate_year(&spec, 41);
+        for chunk_authors in [1usize, 2, 3, 7, 50] {
+            let streamed: Vec<CodeSample> =
+                stream_year(&spec, 41, chunk_authors).flatten().collect();
+            assert_eq!(
+                streamed, batch.samples,
+                "chunk size {chunk_authors} diverged from generate_year"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_chunks_are_author_aligned() {
+        let spec = YearSpec::tiny(2018, 5, 2);
+        let chunks: Vec<Vec<CodeSample>> = stream_year(&spec, 9, 2).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 4); // 2 authors x 2 challenges
+        assert_eq!(chunks[2].len(), 2); // tail author
+        assert!(chunks[1].iter().all(|s| s.author == 2 || s.author == 3));
     }
 
     #[test]

@@ -39,10 +39,19 @@ pub struct NamingStyle {
     pub case_style: Case,
     /// Synonym-set tier.
     pub verbosity: Verbosity,
+    /// Author-stable rotation applied to every synonym draw: two
+    /// authors with the same case and verbosity but different flavors
+    /// still pick different words for the same concepts. Widens the
+    /// naming space 4x for large-population separability.
+    pub flavor: u8,
 }
 
 impl NamingStyle {
     /// Samples a naming style.
+    ///
+    /// `flavor` stays 0 here: [`crate::style::AuthorStyle::sample`]
+    /// draws it at the end of the profile so pre-existing seeded
+    /// corpora keep their original case/verbosity assignments.
     pub fn sample(rng: &mut Pcg64) -> Self {
         let case_style = match rng.choose_weighted(&[4.0, 1.0, 3.0, 1.5]) {
             0 => Case::Camel,
@@ -58,6 +67,7 @@ impl NamingStyle {
         NamingStyle {
             case_style,
             verbosity,
+            flavor: 0,
         }
     }
 }
@@ -356,17 +366,23 @@ impl Namer {
             return existing.clone();
         }
         let syn = synonyms(concept);
+        // The per-file draw picks a slot, the per-author flavor
+        // rotates it: file-to-file variety is preserved while two
+        // otherwise-identical authors still diverge on word choice.
+        let flavor = self.style.flavor as usize;
         let mut candidate = match self.style.verbosity {
             Verbosity::Short => {
-                let pick = *self.rng.choose(syn.short).expect("short synonyms");
-                pick.to_string()
+                let i = self.rng.next_below(syn.short.len());
+                syn.short[(i + flavor) % syn.short.len()].to_string()
             }
             Verbosity::Medium => {
-                let words = *self.rng.choose(syn.medium).expect("medium synonyms");
+                let i = self.rng.next_below(syn.medium.len());
+                let words = syn.medium[(i + flavor) % syn.medium.len()];
                 apply_case(words, self.style.case_style)
             }
             Verbosity::Long => {
-                let words = *self.rng.choose(syn.long).expect("long synonyms");
+                let i = self.rng.next_below(syn.long.len());
+                let words = syn.long[(i + flavor) % syn.long.len()];
                 apply_case(words, self.style.case_style)
             }
         };
@@ -445,9 +461,32 @@ mod tests {
             NamingStyle {
                 case_style,
                 verbosity,
+                flavor: 0,
             },
             Pcg64::new(seed),
         )
+    }
+
+    #[test]
+    fn flavor_rotates_word_choice_per_author() {
+        // Same convention, same per-file seed, different flavor =>
+        // different (rotated) synonym picks for at least one concept.
+        let name_with = |flavor: u8| {
+            let mut n = Namer::new(
+                NamingStyle {
+                    case_style: Case::Camel,
+                    verbosity: Verbosity::Medium,
+                    flavor,
+                },
+                Pcg64::new(11),
+            );
+            ["num_cases", "answer", "sum", "arr"].map(|c| n.name(c))
+        };
+        let base = name_with(0);
+        assert_ne!(base, name_with(1));
+        assert_ne!(base, name_with(2));
+        // And each flavor is internally deterministic.
+        assert_eq!(name_with(3), name_with(3));
     }
 
     #[test]

@@ -2064,6 +2064,7 @@ int main() {
         let naming = NamingStyle {
             case_style: Case::Snake,
             verbosity: Verbosity::Long,
+            flavor: 0,
         };
         let vocab = StyleVocab::for_anchor(4, 2018, 0);
         rename_all(&mut unit, naming, &vocab);

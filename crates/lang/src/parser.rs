@@ -887,13 +887,21 @@ impl Parser {
                 Ok(Expr::call("sizeof", vec![inner]))
             }
             Ident(name) => {
+                let name = name.to_string();
                 self.advance();
-                // Allow `std::foo`.
-                if name == "std" && self.eat(&ColonColon) {
+                // Qualified names: `std::foo` normalizes to `foo`
+                // (the renderer never re-qualifies), any other
+                // `ns::member` is kept verbatim as one identifier
+                // (e.g. `ios_base::sync_with_stdio`).
+                if self.eat(&ColonColon) {
                     let inner = self.expect_ident()?;
-                    return Ok(Expr::Ident(inner));
+                    return Ok(if name == "std" {
+                        Expr::Ident(inner)
+                    } else {
+                        Expr::Ident(format!("{name}::{inner}"))
+                    });
                 }
-                Ok(Expr::Ident(name.to_string()))
+                Ok(Expr::Ident(name))
             }
             LBrace => {
                 self.advance();

@@ -1,7 +1,11 @@
-//! Bagged random forests with parallel training.
+//! Bagged random forests with parallel training, including
+//! shard-parallel training over out-of-core sources
+//! ([`RandomForest::fit_sharded`]).
 
 use crate::dataset::Dataset;
+use crate::source::DatasetSource;
 use crate::tree::{argmax, DecisionTree, TreeConfig};
+use std::io;
 use synthattr_util::{pool, Pcg64};
 
 /// Random-forest hyperparameters.
@@ -115,6 +119,135 @@ impl RandomForest {
         }
     }
 
+    /// Trains a forest shard-parallel over any [`DatasetSource`],
+    /// without ever materializing the full source in RAM.
+    ///
+    /// The source's rows are split into `n_shards` contiguous ranges
+    /// (sizes differing by at most one). Tree `t` trains on shard
+    /// `t % n_shards`: its bootstrap draws from that shard's rows
+    /// only, with the bootstrap size scaled to the shard. Shards load
+    /// and train concurrently on the worker pool; at most the loading
+    /// shards' rows are resident at once. The per-shard sub-forests
+    /// merge back in tree-index order, so the result is one ordinary
+    /// [`RandomForest`].
+    ///
+    /// # Determinism
+    ///
+    /// Per-tree RNG streams are forked from `rng` by tree index —
+    /// exactly the derivation [`Self::fit`] uses — before any
+    /// dispatch, and shard assignment is pure arithmetic, so the
+    /// trained forest depends only on `(source rows, n_shards,
+    /// config, seed)`: never on the worker count. With `n_shards ==
+    /// 1` the shard is the whole source and every tree's bootstrap
+    /// sees the same row range as `fit` — the forest is
+    /// **bit-identical** to `fit` on the materialized dataset (the
+    /// `tests/scale_out.rs` A/B suite pins this at paper scale).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first source I/O or validation error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source is empty or `config.n_trees == 0`.
+    pub fn fit_sharded<S: DatasetSource + ?Sized>(
+        source: &S,
+        n_shards: usize,
+        config: &ForestConfig,
+        rng: &mut Pcg64,
+    ) -> io::Result<Self> {
+        assert!(
+            !source.is_empty(),
+            "cannot fit a forest on an empty dataset"
+        );
+        assert!(config.n_trees > 0, "forest needs at least one tree");
+        let n = source.len();
+        let n_shards = n_shards.clamp(1, n.min(config.n_trees));
+        let workers = pool::resolve_workers(config.workers);
+
+        // Per-tree seeds forked before dispatch — the same path
+        // strings as fit_with, so a 1-shard run replays fit exactly.
+        let seeds: Vec<Pcg64> = (0..config.n_trees)
+            .map(|t| rng.fork(&["tree", &t.to_string()]))
+            .collect();
+
+        if n_shards == 1 {
+            // Degenerate sharding: load once, then train parallel over
+            // trees like fit_with (shard-level parallelism would leave
+            // every worker but one idle).
+            let data = source.load_rows(0, n)?;
+            let sample_size = ((n * config.bootstrap_pct as usize) / 100).max(1);
+            let train_one = |mut tree_rng: Pcg64| -> DecisionTree {
+                let indices: Vec<usize> =
+                    (0..sample_size).map(|_| tree_rng.next_below(n)).collect();
+                DecisionTree::fit_on(&data, &indices, &config.tree, &mut tree_rng)
+            };
+            let trees: Vec<DecisionTree> = if config.parallel && config.n_trees > 1 {
+                pool::parallel_map_workers(workers, seeds, train_one)
+            } else {
+                seeds.into_iter().map(train_one).collect()
+            };
+            return Ok(RandomForest {
+                trees,
+                n_classes: source.n_classes(),
+            });
+        }
+
+        // Shard s covers a contiguous range; the first `rem` shards
+        // absorb the remainder row each.
+        let base = n / n_shards;
+        let rem = n % n_shards;
+        let range_of = |s: usize| -> (usize, usize) {
+            let start = s * base + s.min(rem);
+            let count = base + usize::from(s < rem);
+            (start, count)
+        };
+        // Tree t → shard t % n_shards, with its pre-forked seed.
+        let mut shard_trees: Vec<Vec<(usize, Pcg64)>> = vec![Vec::new(); n_shards];
+        for (t, seed) in seeds.into_iter().enumerate() {
+            shard_trees[t % n_shards].push((t, seed));
+        }
+
+        let train_shard =
+            |(s, trees): (usize, Vec<(usize, Pcg64)>)| -> io::Result<Vec<(usize, DecisionTree)>> {
+                let (start, count) = range_of(s);
+                let data = source.load_rows(start, count)?;
+                let sample_size = ((count * config.bootstrap_pct as usize) / 100).max(1);
+                Ok(trees
+                    .into_iter()
+                    .map(|(t, mut tree_rng)| {
+                        let indices: Vec<usize> = (0..sample_size)
+                            .map(|_| tree_rng.next_below(count))
+                            .collect();
+                        (
+                            t,
+                            DecisionTree::fit_on(&data, &indices, &config.tree, &mut tree_rng),
+                        )
+                    })
+                    .collect())
+            };
+
+        let shard_jobs: Vec<(usize, Vec<(usize, Pcg64)>)> =
+            shard_trees.into_iter().enumerate().collect();
+        let per_shard: Vec<Vec<(usize, DecisionTree)>> = if config.parallel && n_shards > 1 {
+            pool::parallel_try_map_workers(workers, shard_jobs, train_shard)?
+        } else {
+            shard_jobs
+                .into_iter()
+                .map(train_shard)
+                .collect::<io::Result<_>>()?
+        };
+
+        // Merge in tree-index order so the ensemble is independent of
+        // which shard trained which tree.
+        let mut merged: Vec<(usize, DecisionTree)> = per_shard.into_iter().flatten().collect();
+        merged.sort_by_key(|(t, _)| *t);
+        Ok(RandomForest {
+            trees: merged.into_iter().map(|(_, tree)| tree).collect(),
+            n_classes: source.n_classes(),
+        })
+    }
+
     /// Number of trees.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
@@ -126,13 +259,14 @@ impl RandomForest {
     }
 
     /// Mean class-probability vector over all trees.
+    ///
+    /// Trees accumulate their sparse leaf distributions directly into
+    /// the dense accumulator; at 20k classes this walks the handful of
+    /// classes present in each leaf instead of the full class range.
     pub fn predict_proba(&self, features: &[f64]) -> Vec<f32> {
         let mut acc = vec![0.0f32; self.n_classes];
         for tree in &self.trees {
-            let p = tree.predict_proba(features);
-            for (a, &x) in acc.iter_mut().zip(p) {
-                *a += x;
-            }
+            tree.accumulate_proba(features, &mut acc);
         }
         let k = self.trees.len() as f32;
         for a in &mut acc {
@@ -385,6 +519,161 @@ mod tests {
         assert_eq!(forest.predict_batch(&[row]), vec![forest.predict(row)]);
         assert!(forest.predict_batch(&[]).is_empty());
         assert!(forest.predict_proba_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_shard_training_is_bit_identical_to_fit() {
+        // The A/B guarantee behind scripts/verify.sh --scale: with one
+        // shard, fit_sharded replays fit's exact seed derivation and
+        // bootstrap, so the forests must agree to the bit at any
+        // worker count.
+        let train = blobs(20, 50);
+        let test = blobs(15, 51);
+        for workers in [1usize, 3, 8] {
+            let cfg = ForestConfig {
+                n_trees: 14,
+                workers: Some(workers),
+                ..ForestConfig::default()
+            };
+            let direct = RandomForest::fit(&train, &cfg, &mut Pcg64::new(99));
+            let sharded = RandomForest::fit_sharded(&train, 1, &cfg, &mut Pcg64::new(99)).unwrap();
+            for i in 0..test.len() {
+                let a = direct.predict_proba(test.row(i));
+                let b = sharded.predict_proba(test.row(i));
+                assert_eq!(
+                    a.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                    "row {i} workers {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_training_is_worker_count_invariant() {
+        // Multi-shard forests differ from fit (different bootstraps),
+        // but must never depend on how many workers ran the shards.
+        let train = blobs(20, 52);
+        let test = blobs(15, 53);
+        let fit_with = |workers: usize| {
+            let cfg = ForestConfig {
+                n_trees: 16,
+                workers: Some(workers),
+                ..ForestConfig::default()
+            };
+            RandomForest::fit_sharded(&train, 3, &cfg, &mut Pcg64::new(7)).unwrap()
+        };
+        let baseline = fit_with(1);
+        for workers in [2usize, 8] {
+            let forest = fit_with(workers);
+            for i in 0..test.len() {
+                assert_eq!(
+                    baseline.predict_proba(test.row(i)),
+                    forest.predict_proba(test.row(i)),
+                    "row {i} with {workers} workers"
+                );
+            }
+        }
+        // And serial dispatch agrees with the pool too.
+        let serial = {
+            let cfg = ForestConfig {
+                n_trees: 16,
+                parallel: false,
+                ..ForestConfig::default()
+            };
+            RandomForest::fit_sharded(&train, 3, &cfg, &mut Pcg64::new(7)).unwrap()
+        };
+        for i in 0..test.len() {
+            assert_eq!(
+                baseline.predict_proba(test.row(i)),
+                serial.predict_proba(test.row(i)),
+                "row {i} serial"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_training_from_colstore_matches_in_ram_source() {
+        // Same rows, two backends: the trained forests must be
+        // bit-identical, proving out-of-core training changes where
+        // bytes live, not what gets learned.
+        let train = blobs(15, 54);
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "synthattr_forest_shard_{}.cols",
+            std::process::id()
+        ));
+        let mut w =
+            crate::colstore::ColumnStoreWriter::create(&path, train.dim(), train.n_classes(), 9)
+                .unwrap();
+        for i in 0..train.len() {
+            w.push_row(train.row(i), train.label(i)).unwrap();
+        }
+        let store = w.finish().unwrap();
+        let cfg = ForestConfig {
+            n_trees: 10,
+            ..ForestConfig::default()
+        };
+        let from_ram = RandomForest::fit_sharded(&train, 4, &cfg, &mut Pcg64::new(31)).unwrap();
+        let from_disk = RandomForest::fit_sharded(&store, 4, &cfg, &mut Pcg64::new(31)).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let test = blobs(10, 55);
+        for i in 0..test.len() {
+            let a = from_ram.predict_proba(test.row(i));
+            let b = from_disk.predict_proba(test.row(i));
+            assert_eq!(
+                a.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_forest_still_classifies() {
+        // Sanity: shard-local bootstraps still learn the blobs. Each
+        // shard sees a contiguous slice, so shuffle labels across the
+        // range by interleaving classes.
+        let mut rng = Pcg64::new(56);
+        let mut train = Dataset::new(4);
+        let centers = [(0.0, 0.0), (5.0, 5.0), (0.0, 5.0), (5.0, 0.0)];
+        for i in 0..120 {
+            let label = i % 4;
+            let (cx, cy) = centers[label];
+            train.push(
+                vec![rng.next_gaussian(cx, 0.6), rng.next_gaussian(cy, 0.6)],
+                label,
+            );
+        }
+        let cfg = ForestConfig {
+            n_trees: 24,
+            ..ForestConfig::default()
+        };
+        let forest = RandomForest::fit_sharded(&train, 4, &cfg, &mut Pcg64::new(57)).unwrap();
+        assert_eq!(forest.n_trees(), 24);
+        let test = blobs(10, 58);
+        let correct = (0..test.len())
+            .filter(|&i| forest.predict(test.row(i)) == test.label(i))
+            .count();
+        assert!(
+            correct as f64 / test.len() as f64 > 0.9,
+            "accuracy {correct}/{}",
+            test.len()
+        );
+    }
+
+    #[test]
+    fn shard_count_clamps_to_rows_and_trees() {
+        // More shards than rows (or trees) must degrade gracefully
+        // rather than produce empty shards.
+        let train = blobs(2, 59); // 8 rows
+        let cfg = ForestConfig {
+            n_trees: 5,
+            ..ForestConfig::default()
+        };
+        let forest = RandomForest::fit_sharded(&train, 64, &cfg, &mut Pcg64::new(60)).unwrap();
+        assert_eq!(forest.n_trees(), 5);
+        let _ = forest.predict(train.row(0));
     }
 
     #[test]

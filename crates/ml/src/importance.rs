@@ -77,9 +77,7 @@ impl AnalysisForest {
             for (tree, bag) in self.trees.iter().zip(&self.in_bag) {
                 if bag.binary_search(&i).is_err() {
                     any = true;
-                    for (v, &p) in votes.iter_mut().zip(tree.predict_proba(data.row(i))) {
-                        *v += p;
-                    }
+                    tree.accumulate_proba(data.row(i), &mut votes);
                 }
             }
             if !any {

@@ -9,9 +9,17 @@
 //!   subsampling);
 //! * [`forest`] — bagged random forests with probability voting,
 //!   trained in parallel on the in-repo scoped pool
-//!   (`synthattr_util::pool`);
-//! * [`cv`] — stratified k-fold and *grouped* folds (the paper
-//!   evaluates with one fold per GCJ challenge);
+//!   (`synthattr_util::pool`), including shard-parallel training over
+//!   out-of-core sources;
+//! * [`colstore`] — an on-disk columnar feature store (streaming
+//!   writer, checksummed header, chunked reader) for corpora that do
+//!   not fit in RAM;
+//! * [`source`] — the [`source::DatasetSource`] abstraction feeding
+//!   training from either a resident [`Dataset`] or a [`colstore`]
+//!   file;
+//! * [`cv`] — stratified k-fold, *grouped* folds (the paper evaluates
+//!   with one fold per GCJ challenge), and per-class reservoir
+//!   sampling for fold construction over streams;
 //! * [`select`] — information-gain feature ranking (the paper's
 //!   feature-selection step);
 //! * [`metrics`] — accuracy, confusion matrices, per-class recall;
@@ -39,6 +47,7 @@
 //! ```
 
 pub mod baseline;
+pub mod colstore;
 pub mod cv;
 pub mod dataset;
 pub mod forest;
@@ -46,8 +55,11 @@ pub mod importance;
 pub mod knn;
 pub mod metrics;
 pub mod select;
+pub mod source;
 pub mod tree;
 
+pub use colstore::{ColStoreError, ColumnStore, ColumnStoreWriter};
 pub use dataset::Dataset;
 pub use forest::{ForestConfig, RandomForest};
 pub use metrics::ConfusionMatrix;
+pub use source::DatasetSource;

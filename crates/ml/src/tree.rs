@@ -22,6 +22,27 @@
 //! All float sorts use [`f64::total_cmp`]: the comparator is total
 //! even in the presence of NaN, so a corrupt value can never scramble
 //! the sort order (NaN sorts after every finite value).
+//!
+//! # Scaling to tens of thousands of classes
+//!
+//! The corpus scale-out path trains on 10k–20k author labels. Two
+//! representations that were fine at 204 classes become the bottleneck
+//! there, so both are class-sparse:
+//!
+//! * **Leaves** store only the classes *present* in the leaf as
+//!   `(class, probability)` pairs. A dense `Vec<f32>` per leaf is
+//!   O(leaves × C) — ~80 KB per leaf at 20k classes, gigabytes per
+//!   tree — while the pairs sum to at most the tree's sample count.
+//!   Prediction adds the sparse pairs into a dense accumulator; the
+//!   skipped entries are exact `+0.0` additions, so forest
+//!   probabilities are bit-identical to the dense representation.
+//! * **Split histograms** are indexed by a per-node [`ClassRemap`]
+//!   that renames the node's distinct classes to `0..m` (epoch-stamped
+//!   O(1) lookups, one O(C) allocation per tree). Gini is a sum over
+//!   per-class counts, so renaming classes permutes integer additions
+//!   only — every float the search computes is unchanged. Both the
+//!   optimised and the reference splitter read labels through the same
+//!   remap, so the equivalence tests pin the whole arrangement.
 
 use crate::dataset::Dataset;
 use synthattr_util::Pcg64;
@@ -72,8 +93,9 @@ impl Default for TreeConfig {
 #[derive(Debug, Clone)]
 enum Node {
     Leaf {
-        /// Normalized class distribution at the leaf.
-        probs: Vec<f32>,
+        /// Normalized class distribution at the leaf, sparse over the
+        /// classes actually present, ascending by class id.
+        dist: Vec<(u32, f32)>,
     },
     Split {
         feature: usize,
@@ -87,6 +109,65 @@ enum Node {
 
 /// The best split found for one node: `(feature, threshold, gain)`.
 type BestSplit = Option<(usize, f64, f64)>;
+
+/// Per-tree scratch renaming each node's distinct classes to a dense
+/// `0..m` range, so split histograms cost O(m) instead of O(C) at
+/// every node.
+///
+/// The `stamp` array makes invalidation free: a slot is valid only if
+/// its stamp equals the current epoch, so starting a new node is one
+/// counter increment, not an O(C) clear. Slots are assigned in
+/// first-seen order over the node's indices — deterministic, because
+/// the index order itself is.
+pub(crate) struct ClassRemap {
+    slot: Vec<u32>,
+    stamp: Vec<u64>,
+    epoch: u64,
+    classes: Vec<u32>,
+}
+
+impl ClassRemap {
+    pub(crate) fn new(n_classes: usize) -> Self {
+        ClassRemap {
+            slot: vec![0; n_classes],
+            stamp: vec![0; n_classes],
+            epoch: 0,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Starts a node: maps its distinct labels to `0..m` and fills
+    /// `counts` with the local class histogram (`counts[s]` = samples
+    /// of the class in slot `s`).
+    pub(crate) fn begin(&mut self, data: &Dataset, indices: &[usize], counts: &mut Vec<usize>) {
+        self.epoch += 1;
+        self.classes.clear();
+        counts.clear();
+        for &i in indices {
+            let c = data.label(i);
+            if self.stamp[c] != self.epoch {
+                self.stamp[c] = self.epoch;
+                self.slot[c] = self.classes.len() as u32;
+                self.classes.push(c as u32);
+                counts.push(0);
+            }
+            counts[self.slot[c] as usize] += 1;
+        }
+    }
+
+    /// The local slot of a global class id (valid for labels seen by
+    /// the latest [`Self::begin`]).
+    #[inline]
+    pub(crate) fn local(&self, class: usize) -> usize {
+        debug_assert_eq!(self.stamp[class], self.epoch, "class unseen by this node");
+        self.slot[class] as usize
+    }
+
+    /// Slot-to-global-class mapping for the current node.
+    pub(crate) fn classes(&self) -> &[u32] {
+        &self.classes
+    }
+}
 
 /// Reusable per-node working memory for the split search, owned once
 /// per tree fit and threaded down the recursion so no inner loop
@@ -106,11 +187,11 @@ pub(crate) struct SplitScratch {
 }
 
 impl SplitScratch {
-    pub(crate) fn new(n_classes: usize) -> Self {
+    pub(crate) fn new() -> Self {
         SplitScratch {
             pairs: Vec::new(),
-            left_counts: vec![0; n_classes],
-            right_counts: vec![0; n_classes],
+            left_counts: Vec::new(),
+            right_counts: Vec::new(),
         }
     }
 
@@ -118,6 +199,10 @@ impl SplitScratch {
     /// then a single sweep maintaining class counts and sums of
     /// squared counts for both sides, so each candidate position costs
     /// O(1) instead of an O(C) allocation + re-count.
+    ///
+    /// `counts` is the node-local histogram produced by
+    /// [`ClassRemap::begin`]; labels are read through `remap`, so the
+    /// side histograms are sized to the node's distinct classes.
     ///
     /// Returns the same `(feature, threshold, gain)` as
     /// [`reference::best_split`], bit for bit: the running sums of
@@ -129,6 +214,7 @@ impl SplitScratch {
         indices: &[usize],
         candidates: &[usize],
         counts: &[usize],
+        remap: &ClassRemap,
         parent_gini: f64,
     ) -> BestSplit {
         let total = indices.len();
@@ -144,13 +230,18 @@ impl SplitScratch {
             left_counts,
             right_counts,
         } = self;
+        left_counts.clear();
+        left_counts.resize(counts.len(), 0);
+        right_counts.clear();
+        right_counts.resize(counts.len(), 0);
         for &feature in candidates {
             pairs.clear();
-            pairs.extend(
-                indices
-                    .iter()
-                    .map(|&i| (total_cmp_key(data.row(i)[feature]), data.label(i))),
-            );
+            pairs.extend(indices.iter().map(|&i| {
+                (
+                    total_cmp_key(data.row(i)[feature]),
+                    remap.local(data.label(i)),
+                )
+            }));
             // Unstable sort on integer keys: no allocation, and no
             // per-comparison float bit transform. Within a run of
             // equal values the label order is irrelevant — splits are
@@ -225,14 +316,16 @@ impl DecisionTree {
             n_classes: data.n_classes(),
         };
         let mut idx = indices.to_vec();
-        let mut scratch = SplitScratch::new(data.n_classes());
+        let mut scratch = SplitScratch::new();
+        let mut remap = ClassRemap::new(data.n_classes());
         tree.build_with(
             data,
             &mut idx,
             0,
             config,
             rng,
-            &mut |d, i, cand, counts, pg| scratch.find_best(d, i, cand, counts, pg),
+            &mut remap,
+            &mut |d, i, cand, counts, rm, pg| scratch.find_best(d, i, cand, counts, rm, pg),
         );
         tree
     }
@@ -272,6 +365,7 @@ impl DecisionTree {
     /// optimised and the reference splitter, so the two trainers can
     /// only differ through `find_best` — which the equivalence tests
     /// prove they don't.
+    #[allow(clippy::too_many_arguments)]
     fn build_with<F>(
         &mut self,
         data: &Dataset,
@@ -279,16 +373,21 @@ impl DecisionTree {
         depth: usize,
         config: &TreeConfig,
         rng: &mut Pcg64,
+        remap: &mut ClassRemap,
         find_best: &mut F,
     ) -> usize
     where
-        F: FnMut(&Dataset, &[usize], &[usize], &[usize], f64) -> BestSplit,
+        F: FnMut(&Dataset, &[usize], &[usize], &[usize], &ClassRemap, f64) -> BestSplit,
     {
-        let counts = class_counts(data, indices, self.n_classes);
+        // Node-local class histogram: `counts[s]` counts the class in
+        // remap slot `s`, so its length is the node's *distinct* class
+        // count, not the dataset's. Purity is then a length check.
+        let mut counts = Vec::new();
+        remap.begin(data, indices, &mut counts);
         let total = indices.len();
-        let pure = counts.contains(&total);
+        let pure = counts.len() == 1;
         if pure || depth >= config.max_depth || total < config.min_samples_split {
-            return self.leaf(&counts, total);
+            return self.leaf(&counts, remap.classes(), total);
         }
 
         let dim = data.dim();
@@ -296,23 +395,23 @@ impl DecisionTree {
         let candidates = rng.sample_indices(dim, k);
 
         let parent_gini = gini_from_sq(sum_sq(&counts), total);
-        let best = find_best(data, indices, &candidates, &counts, parent_gini);
+        let best = find_best(data, indices, &candidates, &counts, remap, parent_gini);
 
         let Some((feature, threshold, _)) = best else {
-            return self.leaf(&counts, total);
+            return self.leaf(&counts, remap.classes(), total);
         };
 
         // Partition indices in place around the threshold.
         let mid = partition(indices, |&i| data.row(i)[feature] <= threshold);
         if mid == 0 || mid == total {
-            return self.leaf(&counts, total);
+            return self.leaf(&counts, remap.classes(), total);
         }
         // Reserve the slot before children so the parent sits above them.
         let slot = self.nodes.len();
-        self.nodes.push(Node::Leaf { probs: Vec::new() });
+        self.nodes.push(Node::Leaf { dist: Vec::new() });
         let (left_idx, right_idx) = indices.split_at_mut(mid);
-        let left = self.build_with(data, left_idx, depth + 1, config, rng, find_best);
-        let right = self.build_with(data, right_idx, depth + 1, config, rng, find_best);
+        let left = self.build_with(data, left_idx, depth + 1, config, rng, remap, find_best);
+        let right = self.build_with(data, right_idx, depth + 1, config, rng, remap, find_best);
         self.nodes[slot] = Node::Split {
             feature,
             threshold,
@@ -322,21 +421,30 @@ impl DecisionTree {
         slot
     }
 
-    fn leaf(&mut self, counts: &[usize], total: usize) -> usize {
-        let probs: Vec<f32> = counts
+    /// Builds a sparse leaf from the node-local histogram. Must run
+    /// while `classes` still describes the node (i.e. before recursing
+    /// into children re-stamps the remap).
+    fn leaf(&mut self, counts: &[usize], classes: &[u32], total: usize) -> usize {
+        let mut dist: Vec<(u32, f32)> = classes
             .iter()
-            .map(|&c| c as f32 / total.max(1) as f32)
+            .zip(counts)
+            .map(|(&class, &c)| (class, c as f32 / total.max(1) as f32))
             .collect();
-        self.nodes.push(Node::Leaf { probs });
+        // Ascending class order so prediction ties break to the lowest
+        // class id without consulting absent classes.
+        dist.sort_unstable_by_key(|e| e.0);
+        self.nodes.push(Node::Leaf { dist });
         self.nodes.len() - 1
     }
 
-    /// Class-probability estimate for one sample.
-    pub fn predict_proba(&self, features: &[f64]) -> &[f32] {
+    /// The sparse class distribution of the leaf this sample lands in:
+    /// `(class, probability)` pairs ascending by class, covering
+    /// exactly the classes present in the leaf.
+    pub fn leaf_dist(&self, features: &[f64]) -> &[(u32, f32)] {
         let mut at = 0usize;
         loop {
             match &self.nodes[at] {
-                Node::Leaf { probs } => return probs,
+                Node::Leaf { dist } => return dist,
                 Node::Split {
                     feature,
                     threshold,
@@ -353,10 +461,39 @@ impl DecisionTree {
         }
     }
 
+    /// Adds this tree's leaf distribution into a dense per-class
+    /// accumulator (the forest's soft-voting hot path). Skipping the
+    /// absent classes adds exactly `+0.0` to non-negative partial
+    /// sums, so the result is bit-identical to dense accumulation.
+    pub fn accumulate_proba(&self, features: &[f64], acc: &mut [f32]) {
+        for &(class, p) in self.leaf_dist(features) {
+            acc[class as usize] += p;
+        }
+    }
+
+    /// Class-probability estimate for one sample, densified over all
+    /// classes.
+    pub fn predict_proba(&self, features: &[f64]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.n_classes];
+        self.accumulate_proba(features, &mut acc);
+        acc
+    }
+
     /// Predicted class for one sample (argmax probability; ties break
     /// to the lowest class id).
     pub fn predict(&self, features: &[f64]) -> usize {
-        argmax(self.predict_proba(features))
+        // The sparse entries are ascending by class and every absent
+        // class has probability zero below the leaf's maximum, so the
+        // strict `>` scan reproduces the dense tie-break exactly.
+        let mut best = 0usize;
+        let mut best_p = f32::NEG_INFINITY;
+        for &(class, p) in self.leaf_dist(features) {
+            if p > best_p {
+                best_p = p;
+                best = class as usize;
+            }
+        }
+        best
     }
 }
 
@@ -392,17 +529,22 @@ pub mod reference {
             n_classes: data.n_classes(),
         };
         let mut idx = indices.to_vec();
-        tree.build_with(data, &mut idx, 0, config, rng, &mut best_split);
+        let mut remap = ClassRemap::new(data.n_classes());
+        tree.build_with(data, &mut idx, 0, config, rng, &mut remap, &mut best_split);
         tree
     }
 
     /// The naive per-node search: allocates and re-counts at every
-    /// candidate position.
+    /// candidate position. Labels go through the same node-local
+    /// `remap` as the fast path, so `counts` has one slot per distinct
+    /// class in the node — renaming classes only reorders the integer
+    /// additions inside each sum of squares.
     pub(crate) fn best_split(
         data: &Dataset,
         indices: &[usize],
         candidates: &[usize],
         counts: &[usize],
+        remap: &ClassRemap,
         parent_gini: f64,
     ) -> BestSplit {
         let total = indices.len();
@@ -413,7 +555,7 @@ pub mod reference {
             scratch.extend(
                 indices
                     .iter()
-                    .map(|&i| (data.row(i)[feature], data.label(i))),
+                    .map(|&i| (data.row(i)[feature], remap.local(data.label(i)))),
             );
             scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
             if scratch[0].0 == scratch[total - 1].0 {
@@ -456,14 +598,6 @@ pub(crate) fn argmax(xs: &[f32]) -> usize {
         }
     }
     best
-}
-
-fn class_counts(data: &Dataset, indices: &[usize], n_classes: usize) -> Vec<usize> {
-    let mut counts = vec![0usize; n_classes];
-    for &i in indices {
-        counts[data.label(i)] += 1;
-    }
-    counts
 }
 
 /// Order-preserving integer image of an `f64`: sorting keys ascending
@@ -722,14 +856,15 @@ mod tests {
                 }
                 let indices: Vec<usize> = (0..n).collect();
                 let candidates: Vec<usize> = (0..dim).collect();
-                let mut counts = vec![0usize; n_classes];
-                for i in 0..n {
-                    counts[ds.label(i)] += 1;
-                }
+                let mut remap = ClassRemap::new(n_classes);
+                let mut counts = Vec::new();
+                remap.begin(&ds, &indices, &mut counts);
                 let parent_gini = gini_from_sq(sum_sq(&counts), n);
-                let mut scratch = SplitScratch::new(n_classes);
-                let fast = scratch.find_best(&ds, &indices, &candidates, &counts, parent_gini);
-                let naive = reference::best_split(&ds, &indices, &candidates, &counts, parent_gini);
+                let mut scratch = SplitScratch::new();
+                let fast =
+                    scratch.find_best(&ds, &indices, &candidates, &counts, &remap, parent_gini);
+                let naive =
+                    reference::best_split(&ds, &indices, &candidates, &counts, &remap, parent_gini);
                 prop_assert_eq!(fast, naive, "split search diverged");
                 Ok(())
             },
@@ -791,6 +926,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sparse_leaves_agree_with_dense_reconstruction() {
+        // The sparse leaf representation must carry exactly the
+        // classes present, reconstruct the same dense vector, and make
+        // the same argmax call as the dense tie-break.
+        let ds = gridded_dataset(5, 80, 3, 4);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default(), &mut Pcg64::new(5));
+        for i in 0..ds.len() {
+            let dist = tree.leaf_dist(ds.row(i));
+            assert!(!dist.is_empty(), "row {i}: empty leaf");
+            assert!(
+                dist.windows(2).all(|w| w[0].0 < w[1].0),
+                "row {i}: classes not strictly ascending"
+            );
+            assert!(dist.iter().all(|&(_, p)| p > 0.0), "row {i}: stored zero");
+            let dense = tree.predict_proba(ds.row(i));
+            assert_eq!(dense.len(), 4);
+            for (class, p) in dense.iter().enumerate() {
+                let sparse = dist
+                    .iter()
+                    .find(|e| e.0 as usize == class)
+                    .map_or(0.0, |e| e.1);
+                assert_eq!(*p, sparse, "row {i} class {class}");
+            }
+            assert_eq!(tree.predict(ds.row(i)), argmax(&dense), "row {i}");
+        }
+    }
+
+    #[test]
+    fn class_remap_assigns_dense_first_seen_slots() {
+        let mut ds = Dataset::new(6);
+        for &(label, v) in &[(4usize, 0.0), (1, 1.0), (4, 2.0), (5, 3.0), (1, 4.0)] {
+            ds.push(vec![v], label);
+        }
+        let mut remap = ClassRemap::new(6);
+        let mut counts = Vec::new();
+        remap.begin(&ds, &[0, 1, 2, 3, 4], &mut counts);
+        assert_eq!(remap.classes(), &[4, 1, 5]);
+        assert_eq!(counts, vec![2, 2, 1]);
+        assert_eq!(remap.local(4), 0);
+        assert_eq!(remap.local(1), 1);
+        assert_eq!(remap.local(5), 2);
+        // A later node sees a different subset; stamps invalidate the
+        // old slots without any O(C) clearing.
+        remap.begin(&ds, &[3, 4], &mut counts);
+        assert_eq!(remap.classes(), &[5, 1]);
+        assert_eq!(counts, vec![1, 1]);
+        assert_eq!(remap.local(5), 0);
+        assert_eq!(remap.local(1), 1);
     }
 
     #[test]

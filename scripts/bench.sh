@@ -34,10 +34,18 @@
 # (`sweep/cN` / `sweep+loris16/cN`), so the survivability overhead has
 # its own trajectory. Lands in BENCH_serve.json.
 #
+# The `scale` target sweeps the out-of-core corpus path at 204 /
+# 2 000 / 20 000 authors — streamed generation → columnar feature
+# stores → sharded forest training — and lands one-shot wall-time +
+# peak-heap (`peak_alloc_bytes`) rows plus an accuracy-vs-scale row
+# per cell in BENCH_scale.json. The summary prints the per-cell
+# build/train times, peak heap, and accuracy curve.
+#
 # Usage:
 #   scripts/bench.sh                  # full budgets, writes BENCH_forest.json,
 #                                     #   BENCH_faults.json, BENCH_pipeline.json,
-#                                     #   BENCH_serve.json
+#                                     #   BENCH_serve.json, BENCH_scale.json
+#   scripts/bench.sh scale            # only the scale sweep (minutes)
 #   SYNTHATTR_BENCH_MEASURE_MS=500 scripts/bench.sh   # quicker pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -47,6 +55,36 @@ OUT="${SYNTHATTR_BENCH_OUT:-BENCH_forest.json}"
 FAULTS_OUT="${SYNTHATTR_BENCH_FAULTS_OUT:-BENCH_faults.json}"
 PIPELINE_OUT="${SYNTHATTR_BENCH_PIPELINE_OUT:-BENCH_pipeline.json}"
 SERVE_OUT="${SYNTHATTR_BENCH_SERVE_OUT:-BENCH_serve.json}"
+SCALE_OUT="${SYNTHATTR_BENCH_SCALE_OUT:-BENCH_scale.json}"
+
+scale_sweep() {
+  echo "== bench: scale (204 / 2k / 20k author out-of-core sweep) ==" >&2
+  cargo bench --offline -p synthattr-bench --bench scale | grep '^{' > "$SCALE_OUT"
+
+  scale_field() {
+    grep "\"bench\":\"$1\"" "$SCALE_OUT" | sed -E "s/.*\"$2\":([0-9.]+).*/\1/" | head -n 1
+  }
+  for a in 204 2000 20000; do
+    build=$(scale_field "build/$a" "median_ns")
+    train=$(scale_field "train/$a" "median_ns")
+    bpk=$(scale_field "build/$a" "peak_alloc_bytes")
+    tpk=$(scale_field "train/$a" "peak_alloc_bytes")
+    acc=$(scale_field "accuracy/$a" "accuracy")
+    if [[ -n "$build" && -n "$train" && -n "$acc" ]]; then
+      awk -v a="$a" -v build="$build" -v train="$train" \
+          -v bpk="${bpk:-0}" -v tpk="${tpk:-0}" -v acc="$acc" 'BEGIN {
+        printf "scale %-5d authors: build %.2f s (peak %.0f MiB), train %.2f s (peak %.0f MiB), accuracy %.3f\n",
+          a, build / 1e9, bpk / 1048576, train / 1e9, tpk / 1048576, acc
+      }' >&2
+    fi
+  done
+  echo "wrote $(wc -l < "$SCALE_OUT") benchmark lines to $SCALE_OUT" >&2
+}
+
+if [[ "${1:-}" == "scale" ]]; then
+  scale_sweep
+  exit 0
+fi
 
 : > "$OUT"
 for target in forest features analysis; do
@@ -70,6 +108,8 @@ SYNTHATTR_BENCH_MEASURE_MS="${SYNTHATTR_BENCH_MEASURE_MS:-12000}" \
 
 echo "== bench: serve (HTTP attribution latency + throughput) ==" >&2
 cargo bench --offline -p synthattr-bench --bench serve | grep '^{' > "$SERVE_OUT"
+
+scale_sweep
 
 median_of() {
   grep "\"group\":\"forest\"" "$OUT" | grep "\"bench\":\"$1\"" \

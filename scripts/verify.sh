@@ -35,6 +35,15 @@
 #                                     #   diagnostics, and the
 #                                     #   transform-invariance property
 #                                     #   suite
+#   scripts/verify.sh --scale         # tier-1 + the scale-out A/B
+#                                     #   suite (single-shard
+#                                     #   out-of-core training
+#                                     #   bit-identical to the in-RAM
+#                                     #   reference at 204 authors;
+#                                     #   multi-shard worker
+#                                     #   invariance), the 2000-author
+#                                     #   out-of-core smoke, and the
+#                                     #   20k profile-collision audit
 #   scripts/verify.sh --strict        # tier-1 + clippy with
 #                                     #   -D warnings across all
 #                                     #   targets + cargo fmt --check
@@ -85,6 +94,18 @@
 # worker-invariant; DESIGN.md §13). All of these also run under plain
 # tier-1.
 #
+# --scale re-runs the corpus scale-out stack by name with visible
+# output (DESIGN.md §15): the workspace-level scale_out suite — at 204
+# authors, single-shard `fit_sharded` over the on-disk ColumnStore
+# must be bit-identical to `RandomForest::fit` on the equivalent
+# in-RAM Dataset for workers 1/2/8, and 8-shard training must be
+# worker-invariant and rerun-deterministic — plus the 2000-author
+# out-of-core smoke (ignored under plain tier-1: streamed generation →
+# columnar stores → sharded training → reservoir hold-out accuracy far
+# above chance), the ml sharded-trainer unit invariants, and the
+# seeded 20 000-profile collision audit in synthattr-gen. The
+# non-ignored suites also run under plain tier-1.
+#
 # --strict is the workshop hygiene gate: clippy over every workspace
 # target with warnings denied, then rustfmt in check mode. Both must
 # stay clean — new code rides this stage in CI.
@@ -118,6 +139,7 @@ INCREMENT=0
 SERVE=0
 SERVE_HARDENING=0
 DATAFLOW=0
+SCALE=0
 STRICT=0
 for arg in "$@"; do
   case "$arg" in
@@ -129,6 +151,7 @@ for arg in "$@"; do
     --serve) SERVE=1 ;;
     --serve-hardening) SERVE_HARDENING=1 ;;
     --dataflow) DATAFLOW=1 ;;
+    --scale) SCALE=1 ;;
     --strict) STRICT=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -156,6 +179,9 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
     echo "== bench smoke: $b (one warmup iteration) ==" >&2
     cargo bench --offline -p synthattr-bench --bench "$b" > /dev/null
   done
+  echo "== bench smoke: scale (24-author sweep) ==" >&2
+  SYNTHATTR_SCALE_AUTHORS=24 \
+    cargo bench --offline -p synthattr-bench --bench scale > /dev/null
 fi
 
 if [[ "$LINT" == "1" ]]; then
@@ -200,6 +226,18 @@ if [[ "$DATAFLOW" == "1" ]]; then
   cargo test --offline -p synthattr-analysis --test golden_diagnostics
   echo "== dataflow: transform/chain invariance + worker invariance ==" >&2
   cargo test --offline --test dataflow_properties
+fi
+
+if [[ "$SCALE" == "1" ]]; then
+  echo "== scale: 204-author out-of-core A/B (bit-identity + worker invariance) ==" >&2
+  cargo test --offline --test scale_out
+  echo "== scale: 2000-author out-of-core smoke (streamed corpus -> colstore -> sharded forest) ==" >&2
+  cargo test --offline --test scale_out -- --ignored
+  echo "== scale: sharded-trainer + reservoir unit invariants (ml) ==" >&2
+  cargo test --offline -p synthattr-ml --lib forest
+  cargo test --offline -p synthattr-ml --lib cv
+  echo "== scale: 20k profile-collision audit (gen) ==" >&2
+  cargo test --offline -p synthattr-gen --lib twenty_thousand_profiles_rarely_collide
 fi
 
 if [[ "$STRICT" == "1" ]]; then
